@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.queries import workload_join_queries
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """Analytic TPC-H catalog: large enough for realistic plan choices, small
+    enough that a full benchmark run finishes in minutes."""
+    return tpch_catalog(scale_factor=0.01)
+
+
+@pytest.fixture(scope="session")
+def join_queries():
+    """The Figure 4 / Figure 7 query set: Q5, Q5S, Q10, Q8Join, Q8JoinS."""
+    return workload_join_queries()

@@ -1,0 +1,77 @@
+"""Adaptive stream processing over a Linear Road-style stream (SegTollS).
+
+This is the paper's second target domain: a continuous windowed query over a
+bursty stream whose data distribution drifts, so the best plan changes over
+time.  The script runs the adaptive controller in three configurations — our
+incremental re-optimizer, a non-incremental (from scratch) re-optimizer, and a
+single static plan — and reports per-slice re-optimization and execution
+times, as in the paper's Figures 9 and 10.
+
+Run with::
+
+    python examples/adaptive_stream_processing.py
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.controller import AdaptationMode, AdaptiveController
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.streams.linear_road import (
+    GeneratorConfig,
+    LinearRoadGenerator,
+    linear_road_catalog,
+    segtolls_query,
+)
+
+STREAM_SECONDS = 20
+
+
+def main() -> None:
+    query = segtolls_query()
+    generator = LinearRoadGenerator(
+        GeneratorConfig(reports_per_second=30, cars=150, seed=2)
+    )
+    slices = generator.generate_slices(STREAM_SECONDS, 1.0)
+    print(f"stream: {STREAM_SECONDS}s, {sum(s.row_count for s in slices)} reports")
+
+    runs = {}
+
+    runs["incremental AQP"] = AdaptiveController(
+        query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL, reoptimize_every=1
+    ).run(slices)
+
+    runs["non-incremental AQP"] = AdaptiveController(
+        query, linear_road_catalog(), mode=AdaptationMode.NON_INCREMENTAL, reoptimize_every=1
+    ).run(slices)
+
+    # Static plan optimized from full-stream statistics ("good single plan").
+    sample = [row for stream_slice in slices for row in stream_slice.rows]
+    good_catalog = linear_road_catalog(sample)
+    good_plan = DeclarativeOptimizer(query, good_catalog).optimize().plan
+    runs["static good plan"] = AdaptiveController(
+        query, good_catalog, mode=AdaptationMode.STATIC, static_plan=good_plan
+    ).run(slices)
+
+    print(f"\n{'strategy':22s} {'re-opt s':>9s} {'exec s':>9s} {'total s':>9s} "
+          f"{'switches':>9s} {'rows':>7s}")
+    for name, outcome in runs.items():
+        print(
+            f"{name:22s} {outcome.total_reoptimize_seconds:9.3f} "
+            f"{outcome.total_execute_seconds:9.3f} {outcome.total_seconds:9.3f} "
+            f"{outcome.plan_switches:9d} {outcome.total_output_rows:7d}"
+        )
+
+    print("\nper-slice re-optimization time (ms) — incremental vs non-incremental:")
+    incremental = runs["incremental AQP"].reports
+    non_incremental = runs["non-incremental AQP"].reports
+    print("slice:      " + " ".join(f"{r.slice_index:6d}" for r in incremental))
+    print("incremental " + " ".join(f"{r.reoptimize_seconds * 1000:6.1f}" for r in incremental))
+    print("from-scratch" + " ".join(f"{r.reoptimize_seconds * 1000:6.1f}" for r in non_incremental))
+    print(
+        "\nNote how the incremental optimizer's per-slice overhead decays as its "
+        "statistics converge, while the from-scratch optimizer pays a constant cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

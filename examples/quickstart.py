@@ -1,0 +1,64 @@
+"""Quickstart: optimize the paper's running example (Q3S) and inspect the state.
+
+This reproduces the paper's Section 2 walk-through: the simplified TPC-H Q3
+(called Q3S) is optimized by the declarative optimizer; we print the chosen
+physical plan, the surviving ``SearchSpace`` rows (the paper's Table 1), and
+the and-or-graph costs (the paper's Figure 2), then apply one statistics
+change and re-optimize incrementally.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DeclarativeOptimizer
+from repro.relational.expressions import Expression
+from repro.workloads.queries import q3s
+from repro.workloads.tpch import tpch_catalog
+
+
+def main() -> None:
+    query = q3s()
+    catalog = tpch_catalog(scale_factor=0.01)
+    optimizer = DeclarativeOptimizer(query, catalog)
+
+    print("=== Initial optimization of Q3S ===")
+    result = optimizer.optimize()
+    print(result.plan.pretty())
+    print(f"\nestimated cost: {result.cost:.3f}")
+    metrics = result.metrics
+    print(
+        f"search space: {metrics.or_nodes_enumerated} expression-property pairs, "
+        f"{metrics.and_nodes_enumerated} alternatives "
+        f"({metrics.pruning_ratio_or:.0%} / {metrics.pruning_ratio_and:.0%} pruned)"
+    )
+
+    print("\n=== Surviving SearchSpace rows (cf. the paper's Table 1) ===")
+    for row in optimizer.search_space_rows():
+        print(f"  {row}")
+
+    print("\n=== BestCost per expression (cf. the paper's Figure 2) ===")
+    for or_key in sorted(
+        {entry.key.or_key for entry in optimizer.search_space_rows()},
+        key=lambda key: (len(key.expression), str(key)),
+    ):
+        print(f"  BestCost{or_key.expression} = {optimizer.best_cost(or_key):.3f}")
+
+    print("\n=== Incremental re-optimization ===")
+    # Suppose we discover at runtime that customer x orders produces 4x the
+    # estimated rows: push the observation in and re-optimize incrementally.
+    delta = optimizer.update_join_selectivity(Expression.of("customer", "orders"), 4.0)
+    updated = optimizer.reoptimize([delta])
+    print(updated.plan.pretty())
+    print(
+        f"\nre-optimization touched {updated.metrics.or_nodes_touched} of "
+        f"{updated.metrics.or_nodes_total} expression-property pairs "
+        f"({updated.metrics.update_ratio_or:.0%}) and took "
+        f"{updated.metrics.elapsed_seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

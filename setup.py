@@ -1,0 +1,5 @@
+"""Legacy setup shim so `pip install -e .` works without network access."""
+
+from setuptools import setup
+
+setup()

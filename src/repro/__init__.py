@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Enabling Incremental Query Re-Optimization".
+
+The package implements a declarative, rule-based query optimizer whose state
+(plan search space, plan costs, pruning bounds) is maintained incrementally,
+so that re-optimization after a statistics change only recomputes the affected
+portion of the search space.  It also ships the substrates that the paper's
+evaluation relies on: a cost model and catalog, Volcano- and System-R-style
+baseline optimizers, an in-memory execution engine, TPC-H-style and Linear
+Road-style workloads, and an adaptive query processing loop.
+
+Quick start::
+
+    from repro import DeclarativeOptimizer, tpch_catalog, q3s
+
+    optimizer = DeclarativeOptimizer(q3s(), tpch_catalog(scale_factor=0.01))
+    result = optimizer.optimize()
+    print(result.plan.pretty())
+"""
+
+from repro.optimizer import (
+    DeclarativeOptimizer,
+    OptimizationResult,
+    PruningConfig,
+    SystemROptimizer,
+    VolcanoOptimizer,
+)
+from repro.relational import (
+    ComparisonOp,
+    Expression,
+    PhysicalPlan,
+    Query,
+    QueryBuilder,
+)
+from repro.workloads import q3s, q5, q5s, q8join, q8joins, q10, tpch_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeclarativeOptimizer",
+    "OptimizationResult",
+    "PruningConfig",
+    "SystemROptimizer",
+    "VolcanoOptimizer",
+    "ComparisonOp",
+    "Expression",
+    "PhysicalPlan",
+    "Query",
+    "QueryBuilder",
+    "q3s",
+    "q5",
+    "q5s",
+    "q10",
+    "q8join",
+    "q8joins",
+    "tpch_catalog",
+    "__version__",
+]

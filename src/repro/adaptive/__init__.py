@@ -1,0 +1,21 @@
+"""Adaptive query processing: monitoring, state migration, and the AQP loop."""
+
+from repro.adaptive.controller import (
+    AdaptationMode,
+    AdaptiveController,
+    AdaptiveRunResult,
+    SliceReport,
+)
+from repro.adaptive.migration import MigrationStats, StateMigrator
+from repro.adaptive.monitor import ObservationHistory, RuntimeMonitor
+
+__all__ = [
+    "AdaptationMode",
+    "AdaptiveController",
+    "AdaptiveRunResult",
+    "SliceReport",
+    "MigrationStats",
+    "StateMigrator",
+    "ObservationHistory",
+    "RuntimeMonitor",
+]

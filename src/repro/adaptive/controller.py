@@ -1,0 +1,212 @@
+"""The adaptive query processing loop (data-partitioned model of [15]).
+
+The controller processes a stream slice at a time.  At every re-optimization
+point (every ``reoptimize_every`` slices) it feeds the statistics observed so
+far to its optimizer, obtains a (possibly new) plan, migrates state if the
+plan changed, and executes the next slice with that plan.  Three optimizer
+modes cover the paper's comparisons:
+
+* ``incremental`` — the declarative optimizer re-optimized incrementally
+  (our approach);
+* ``non_incremental`` — a Volcano-style optimizer re-run from scratch at every
+  re-optimization point (the paper's "Tukwila-style" comparison in Figure 9);
+* ``static`` — no adaptation: a fixed plan is used for every slice (the
+  "good plan" / "bad plan" series of Figure 10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.adaptive.migration import MigrationStats, StateMigrator
+from repro.adaptive.monitor import RuntimeMonitor
+from repro.catalog.catalog import Catalog
+from repro.common.errors import AdaptationError
+from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import PruningConfig
+from repro.relational.plan import PhysicalPlan
+from repro.relational.query import Query
+from repro.streams.windows import StreamSlice, WindowManager
+
+
+class AdaptationMode(Enum):
+    INCREMENTAL = "incremental"
+    NON_INCREMENTAL = "non-incremental"
+    STATIC = "static"
+
+
+@dataclass
+class SliceReport:
+    """What happened while processing one slice."""
+
+    slice_index: int
+    reoptimize_seconds: float
+    execute_seconds: float
+    migration: MigrationStats
+    plan_changed: bool
+    plan_cost: float
+    output_rows: int
+    window_rows: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.reoptimize_seconds + self.execute_seconds + self.migration.elapsed_seconds
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Aggregate outcome of processing a whole stream."""
+
+    reports: List[SliceReport] = field(default_factory=list)
+
+    @property
+    def total_reoptimize_seconds(self) -> float:
+        return sum(report.reoptimize_seconds for report in self.reports)
+
+    @property
+    def total_execute_seconds(self) -> float:
+        return sum(report.execute_seconds for report in self.reports)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(report.total_seconds for report in self.reports)
+
+    @property
+    def plan_switches(self) -> int:
+        return sum(1 for report in self.reports if report.plan_changed)
+
+    @property
+    def total_output_rows(self) -> int:
+        return sum(report.output_rows for report in self.reports)
+
+
+class AdaptiveController:
+    """Slice-at-a-time adaptive execution with pluggable re-optimization."""
+
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        mode: AdaptationMode = AdaptationMode.INCREMENTAL,
+        cumulative: bool = True,
+        reoptimize_every: int = 1,
+        pruning: Optional[PruningConfig] = None,
+        static_plan: Optional[PhysicalPlan] = None,
+        cost_parameters=None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.mode = mode
+        self.reoptimize_every = max(1, reoptimize_every)
+        self.monitor = RuntimeMonitor(cumulative=cumulative)
+        self.migrator = StateMigrator(query)
+        self._static_plan = static_plan
+        if mode is AdaptationMode.STATIC:
+            if static_plan is None:
+                raise AdaptationError("static mode needs a plan to execute")
+            self.optimizer = None
+        elif mode is AdaptationMode.INCREMENTAL:
+            self.optimizer = DeclarativeOptimizer(
+                query,
+                catalog,
+                pruning=pruning or PruningConfig.full(),
+                cost_parameters=cost_parameters,
+            )
+        else:
+            self.optimizer = VolcanoOptimizer(query, catalog, cost_parameters=cost_parameters)
+        self._initialized = False
+        self.current_plan: Optional[PhysicalPlan] = static_plan
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        slices: Sequence[StreamSlice],
+        window_manager: Optional[WindowManager] = None,
+    ) -> AdaptiveRunResult:
+        """Process every slice, re-optimizing on the configured cadence."""
+        windows = window_manager or WindowManager(self.query)
+        result = AdaptiveRunResult()
+        for stream_slice in slices:
+            windows.advance(stream_slice)
+            data = windows.materialize()
+            report = self._process_slice(stream_slice, data, windows)
+            result.reports.append(report)
+        return result
+
+    def _process_slice(
+        self,
+        stream_slice: StreamSlice,
+        data: Dict[str, List[dict]],
+        windows: WindowManager,
+    ) -> SliceReport:
+        previous_plan = self.current_plan
+        reopt_seconds = 0.0
+        if self.mode is not AdaptationMode.STATIC and self._should_reoptimize(stream_slice):
+            reopt_seconds = self._reoptimize()
+        if self.current_plan is None:
+            raise AdaptationError("no plan available to execute")
+
+        plan_changed = (
+            previous_plan is not None
+            and previous_plan.join_order_signature() != self.current_plan.join_order_signature()
+        )
+        migration = (
+            self.migrator.migrate(previous_plan, self.current_plan, data)
+            if plan_changed
+            else MigrationStats.empty()
+        )
+
+        executor = PlanExecutor(self.query, data)
+        execution = executor.execute(self.current_plan)
+        self.monitor.record_execution(execution)
+        self.monitor.record_window_sizes(windows.window_sizes())
+
+        return SliceReport(
+            slice_index=stream_slice.index,
+            reoptimize_seconds=reopt_seconds,
+            execute_seconds=execution.elapsed_seconds,
+            migration=migration,
+            plan_changed=plan_changed,
+            plan_cost=self.current_plan.total_cost,
+            output_rows=execution.row_count,
+            window_rows=windows.total_window_rows(),
+        )
+
+    # ------------------------------------------------------------------
+    # Re-optimization
+    # ------------------------------------------------------------------
+
+    def _should_reoptimize(self, stream_slice: StreamSlice) -> bool:
+        if not self._initialized:
+            return True
+        return stream_slice.index % self.reoptimize_every == 0
+
+    def _reoptimize(self) -> float:
+        assert self.optimizer is not None
+        started = time.perf_counter()
+        if self.mode is AdaptationMode.INCREMENTAL:
+            declarative = self.optimizer
+            if not self._initialized:
+                outcome = declarative.optimize()
+            else:
+                deltas = self.monitor.produce_deltas(declarative)
+                if deltas:
+                    outcome = declarative.reoptimize(deltas)
+                else:
+                    return time.perf_counter() - started
+        else:
+            volcano = self.optimizer
+            self.monitor.produce_deltas(volcano)
+            volcano.invalidate_statistics()
+            outcome = volcano.optimize()
+        self.current_plan = outcome.plan
+        self._initialized = True
+        return time.perf_counter() - started

@@ -1,0 +1,95 @@
+"""Plan-switch state migration (the paper uses CAPE's "moving state" strategy).
+
+When the adaptive controller switches plans at a slice boundary, the state of
+stateful operators (hash tables over window contents) must be made available
+to the new plan.  Following CAPE's moving-state strategy, the migrator
+rebuilds the hash-join build sides required by the new plan directly from the
+current window contents and reports how much work that took, so the adaptive
+experiments can account for (or at least measure) migration overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.expressions import Expression
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.relational.query import Query
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Cost of migrating operator state into a new plan."""
+
+    joins_rebuilt: int
+    tuples_rehashed: int
+    elapsed_seconds: float
+
+    @classmethod
+    def empty(cls) -> "MigrationStats":
+        return cls(0, 0, 0.0)
+
+
+class StateMigrator:
+    """Rebuilds join state for a new plan from materialized window contents."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+
+    def migrate(
+        self,
+        old_plan: Optional[PhysicalPlan],
+        new_plan: PhysicalPlan,
+        window_data: Mapping[str, Sequence[Row]],
+    ) -> MigrationStats:
+        """Migrate state from ``old_plan`` to ``new_plan``.
+
+        If the plans share their join-order signature no work is needed.
+        Otherwise every hash join of the new plan gets its build side rebuilt
+        from the window contents of the relations below it.
+        """
+        if old_plan is not None and old_plan.join_order_signature() == new_plan.join_order_signature():
+            return MigrationStats.empty()
+        started = time.perf_counter()
+        joins_rebuilt = 0
+        tuples_rehashed = 0
+        for node in new_plan.iter_nodes():
+            if node.operator not in (
+                PhysicalOperator.HASH_JOIN,
+                PhysicalOperator.INDEX_NL_JOIN,
+            ):
+                continue
+            build_side = node.right if node.right is not None else None
+            if build_side is None:
+                continue
+            joins_rebuilt += 1
+            tuples_rehashed += self._rebuild_hash_state(build_side.expression, window_data)
+        elapsed = time.perf_counter() - started
+        return MigrationStats(joins_rebuilt, tuples_rehashed, elapsed)
+
+    def _rebuild_hash_state(
+        self, expression: Expression, window_data: Mapping[str, Sequence[Row]]
+    ) -> int:
+        """Build a hash index over the base rows feeding *expression*."""
+        rehashed = 0
+        for alias in expression:
+            rows = window_data.get(alias, ())
+            index: Dict[Tuple, List[Row]] = {}
+            key_columns = self._join_columns(alias)
+            for row in rows:
+                key = tuple(row.get(column) for column in key_columns)
+                index.setdefault(key, []).append(row)
+                rehashed += 1
+        return rehashed
+
+    def _join_columns(self, alias: str) -> List[str]:
+        columns: List[str] = []
+        for predicate in self.query.join_predicates:
+            for column in (predicate.left, predicate.right):
+                if column.alias == alias and column.column not in columns:
+                    columns.append(column.column)
+        return columns or ["__all__"]

@@ -1,0 +1,139 @@
+"""Runtime statistics monitoring for adaptive query processing.
+
+During execution the engine reports the observed cardinality of every operator
+output.  The monitor turns those observations into the statistics deltas that
+drive incremental re-optimization.  Two accumulation modes mirror the paper's
+Figure 10 series:
+
+* **cumulative** — observations are averaged over every slice seen so far
+  ("AQP-Cumulative"); estimates stabilize as the stream progresses;
+* **non-cumulative** — only the latest slice's observations are used
+  ("AQP-NonCumulative"); the optimizer chases the most recent distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.cost.overrides import StatisticsDelta
+from repro.engine.executor import ExecutionResult
+from repro.relational.expressions import Expression
+
+
+@dataclass
+class ObservationHistory:
+    """Running history of observed cardinalities for one expression."""
+
+    observations: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.observations.append(value)
+
+    @property
+    def latest(self) -> float:
+        return self.observations[-1]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.observations) / len(self.observations)
+
+
+class RuntimeMonitor:
+    """Collects observed cardinalities and produces statistics deltas."""
+
+    def __init__(
+        self,
+        cumulative: bool = True,
+        minimum_rows: float = 1.0,
+        change_threshold: float = 0.05,
+    ) -> None:
+        self.cumulative = cumulative
+        self.minimum_rows = minimum_rows
+        #: relative change below which an observation is not worth a new delta;
+        #: this is what makes re-optimization overhead decay as the stream (and
+        #: the statistics) converge, as in the paper's Figure 9.
+        self.change_threshold = change_threshold
+        self._history: Dict[Expression, ObservationHistory] = {}
+        #: relation-count scaling: window sizes per alias observed per slice
+        self._alias_rows: Dict[str, ObservationHistory] = {}
+        self._last_emitted: Dict[object, float] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record_execution(self, result: ExecutionResult) -> None:
+        """Record every operator output cardinality from one slice's execution."""
+        for expression, rows in result.observed_cardinalities.items():
+            history = self._history.setdefault(expression, ObservationHistory())
+            history.add(max(float(rows), self.minimum_rows))
+
+    def record_window_sizes(self, sizes: Mapping[str, int]) -> None:
+        for alias, rows in sizes.items():
+            history = self._alias_rows.setdefault(alias, ObservationHistory())
+            history.add(max(float(rows), self.minimum_rows))
+
+    # -- reads ----------------------------------------------------------------
+
+    def observed(self, expression: Expression) -> Optional[float]:
+        history = self._history.get(expression)
+        if history is None:
+            return None
+        return history.mean if self.cumulative else history.latest
+
+    def observed_alias_rows(self, alias: str) -> Optional[float]:
+        history = self._alias_rows.get(alias)
+        if history is None:
+            return None
+        return history.mean if self.cumulative else history.latest
+
+    def expressions(self) -> List[Expression]:
+        return sorted(self._history, key=lambda expression: (len(expression), expression.name))
+
+    # -- delta production -------------------------------------------------------
+
+    def produce_deltas(self, optimizer) -> List[StatisticsDelta]:
+        """Translate current observations into optimizer statistics deltas.
+
+        ``optimizer`` is any object exposing ``observe_cardinality`` /
+        ``update_table_cardinality`` with the declarative optimizer's
+        signatures (the procedural baselines share them through
+        :class:`~repro.optimizer.baselines.base.ProceduralOptimizerBase`).
+        """
+        deltas: List[StatisticsDelta] = []
+        for alias in sorted(self._alias_rows):
+            observed_rows = self.observed_alias_rows(alias)
+            if observed_rows is None:
+                continue
+            table = optimizer.query.relation(alias).table
+            base = (
+                optimizer.catalog.row_count(table)
+                if optimizer.catalog.has_stats(table)
+                else None
+            )
+            if base is None or base <= 0:
+                continue
+            factor = max(observed_rows / base, 1e-6)
+            if not self._worth_emitting(("alias", alias), factor):
+                continue
+            deltas.append(optimizer.update_table_cardinality(alias, factor))
+        for expression in self.expressions():
+            if len(expression) < 2:
+                continue
+            observed_rows = self.observed(expression)
+            if observed_rows is None:
+                continue
+            if not self._worth_emitting(("expr", expression), observed_rows):
+                continue
+            if hasattr(optimizer, "observe_cardinality"):
+                deltas.append(optimizer.observe_cardinality(expression, observed_rows))
+        return [delta for delta in deltas if not delta.is_noop]
+
+    def _worth_emitting(self, key: object, value: float) -> bool:
+        """Skip observations that barely changed since the last emitted delta."""
+        previous = self._last_emitted.get(key)
+        if previous is not None and previous > 0:
+            relative_change = abs(value - previous) / previous
+            if relative_change < self.change_threshold:
+                return False
+        self._last_emitted[key] = value
+        return True

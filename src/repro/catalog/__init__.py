@@ -1,0 +1,7 @@
+"""Catalog subpackage: histograms, statistics and the metadata catalog."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.histogram import Bucket, EquiDepthHistogram
+from repro.catalog.statistics import ColumnStats, TableStats
+
+__all__ = ["Catalog", "Bucket", "EquiDepthHistogram", "ColumnStats", "TableStats"]

@@ -1,0 +1,88 @@
+"""The catalog: schema plus statistics plus physical metadata.
+
+The catalog is the single source of metadata for every optimizer in the
+library (declarative, Volcano-style, System-R-style), mirroring the paper's
+shared histogram / cost-estimation components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.common.errors import CatalogError
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.relational.schema import Index, Schema, Table
+
+
+class Catalog:
+    """Schema + statistics + index metadata for one database instance."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._stats: Dict[str, TableStats] = {}
+
+    # -- statistics ------------------------------------------------------
+
+    def set_table_stats(self, table: str, stats: TableStats) -> None:
+        if not self.schema.has_table(table):
+            raise CatalogError(f"cannot attach statistics to unknown table {table!r}")
+        self._stats[table] = stats
+
+    def table_stats(self, table: str) -> TableStats:
+        try:
+            return self._stats[table]
+        except KeyError:
+            raise CatalogError(f"no statistics recorded for table {table!r}") from None
+
+    def has_stats(self, table: str) -> bool:
+        return table in self._stats
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        return self.table_stats(table).column(column)
+
+    def row_count(self, table: str) -> float:
+        return self.table_stats(table).row_count
+
+    def update_row_count(self, table: str, row_count: float) -> None:
+        """Overwrite a table's cardinality (used by adaptive feedback)."""
+        stats = self.table_stats(table)
+        stats.row_count = float(row_count)
+
+    # -- physical metadata ------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        return self.schema.table(name)
+
+    def index_on(self, table: str, column: str) -> Optional[Index]:
+        return self.schema.index_on_column(table, column)
+
+    def indexes_on(self, table: str) -> Sequence[Index]:
+        return self.schema.indexes_on(table)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_data(
+        cls,
+        schema: Schema,
+        data: Mapping[str, Sequence[Mapping[str, object]]],
+        bucket_count: int = 16,
+    ) -> "Catalog":
+        """Build a catalog whose statistics are computed from in-memory rows."""
+        catalog = cls(schema)
+        for table_name, rows in data.items():
+            table = schema.table(table_name)
+            catalog.set_table_stats(
+                table_name,
+                TableStats.from_rows(rows, columns=table.column_names, bucket_count=bucket_count),
+            )
+        return catalog
+
+    def copy(self) -> "Catalog":
+        """A shallow copy sharing column stats but with independent row counts."""
+        clone = Catalog(self.schema)
+        for table, stats in self._stats.items():
+            clone.set_table_stats(
+                table, TableStats(row_count=stats.row_count, columns=dict(stats.columns))
+            )
+        return clone

@@ -1,0 +1,191 @@
+"""Equi-depth histograms used for selectivity estimation.
+
+The paper's optimizers share a histogram-based estimator ("involving
+histograms, cost estimation, and expression decomposition"); all optimizer
+implementations in this library use this same module, mirroring that shared
+code.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.common.errors import CatalogError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket: value range plus row/distinct counts."""
+
+    low: Number
+    high: Number
+    row_count: float
+    distinct_count: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise CatalogError("bucket high bound below low bound")
+        if self.row_count < 0 or self.distinct_count < 0:
+            raise CatalogError("bucket counts must be non-negative")
+
+
+class EquiDepthHistogram:
+    """An equi-depth histogram over numeric (or orderable) values."""
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        if not buckets:
+            raise CatalogError("a histogram needs at least one bucket")
+        self.buckets: List[Bucket] = list(buckets)
+        self._lows = [bucket.low for bucket in self.buckets]
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[Number], bucket_count: int = 16
+    ) -> "EquiDepthHistogram":
+        """Build an equi-depth histogram from a sample of column values."""
+        if not values:
+            raise CatalogError("cannot build a histogram from no values")
+        ordered = sorted(values)
+        total = len(ordered)
+        bucket_count = max(1, min(bucket_count, total))
+        per_bucket = total / bucket_count
+        buckets: List[Bucket] = []
+        start = 0
+        for index in range(bucket_count):
+            end = total if index == bucket_count - 1 else int(round((index + 1) * per_bucket))
+            end = max(end, start + 1)
+            chunk = ordered[start:end]
+            if not chunk:
+                continue
+            buckets.append(
+                Bucket(
+                    low=chunk[0],
+                    high=chunk[-1],
+                    row_count=float(len(chunk)),
+                    distinct_count=float(len(set(chunk))),
+                )
+            )
+            start = end
+            if start >= total:
+                break
+        return cls(buckets)
+
+    @classmethod
+    def uniform(
+        cls, low: Number, high: Number, row_count: float, distinct_count: float,
+        bucket_count: int = 8,
+    ) -> "EquiDepthHistogram":
+        """Build an analytic histogram assuming a uniform distribution."""
+        if high < low:
+            raise CatalogError("uniform histogram needs low <= high")
+        bucket_count = max(1, bucket_count)
+        span = (high - low) / bucket_count if high > low else 0
+        buckets = []
+        for index in range(bucket_count):
+            b_low = low + index * span
+            b_high = high if index == bucket_count - 1 else low + (index + 1) * span
+            buckets.append(
+                Bucket(
+                    low=b_low,
+                    high=b_high,
+                    row_count=row_count / bucket_count,
+                    distinct_count=max(1.0, distinct_count / bucket_count),
+                )
+            )
+        return cls(buckets)
+
+    # -- basic stats -----------------------------------------------------
+
+    @property
+    def row_count(self) -> float:
+        return sum(bucket.row_count for bucket in self.buckets)
+
+    @property
+    def distinct_count(self) -> float:
+        return max(1.0, sum(bucket.distinct_count for bucket in self.buckets))
+
+    @property
+    def min_value(self) -> Number:
+        return self.buckets[0].low
+
+    @property
+    def max_value(self) -> Number:
+        return self.buckets[-1].high
+
+    # -- selectivity estimation ------------------------------------------
+
+    def selectivity_eq(self, value: Number) -> float:
+        """Estimated fraction of rows with column == value.
+
+        Every bucket whose range covers the value contributes
+        ``rows / distinct`` (the average frequency of one value in that
+        bucket), which keeps the estimate accurate for heavily skewed data
+        where a single value spans several equi-depth buckets.
+        """
+        total = self.row_count
+        if total <= 0:
+            return 0.0
+        if value < self.min_value or value > self.max_value:
+            return 0.0
+        matched = 0.0
+        for bucket in self.buckets:
+            if bucket.low <= value <= bucket.high:
+                matched += bucket.row_count / max(1.0, bucket.distinct_count)
+        return min(1.0, matched / total)
+
+    def selectivity_range(
+        self,
+        low: Optional[Number] = None,
+        high: Optional[Number] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Estimated fraction of rows with low <= column <= high (open ends ok)."""
+        total = self.row_count
+        if total <= 0:
+            return 0.0
+        selected = 0.0
+        for bucket in self.buckets:
+            selected += self._bucket_overlap(bucket, low, high)
+        fraction = selected / total
+        # Inclusivity nudges matter only for point-heavy data; clamp regardless.
+        if not include_low and low is not None:
+            fraction -= self.selectivity_eq(low)
+        if not include_high and high is not None:
+            fraction -= self.selectivity_eq(high)
+        return min(1.0, max(0.0, fraction))
+
+    def _bucket_overlap(
+        self, bucket: Bucket, low: Optional[Number], high: Optional[Number]
+    ) -> float:
+        b_low, b_high = bucket.low, bucket.high
+        lo = b_low if low is None else max(b_low, low)
+        hi = b_high if high is None else min(b_high, high)
+        if hi < lo:
+            return 0.0
+        if b_high == b_low:
+            return bucket.row_count
+        fraction = (hi - lo) / (b_high - b_low)
+        return bucket.row_count * min(1.0, max(0.0, fraction))
+
+    def _bucket_for(self, value: Number) -> Optional[Bucket]:
+        if value < self.min_value or value > self.max_value:
+            return None
+        index = bisect.bisect_right(self._lows, value) - 1
+        index = max(0, min(index, len(self.buckets) - 1))
+        bucket = self.buckets[index]
+        if value > bucket.high and index + 1 < len(self.buckets):
+            bucket = self.buckets[index + 1]
+        return bucket
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EquiDepthHistogram({len(self.buckets)} buckets, "
+            f"rows={self.row_count:.0f}, ndv={self.distinct_count:.0f})"
+        )

@@ -1,0 +1,21 @@
+"""Shared utilities: errors and small helpers used across subpackages."""
+
+from repro.common.errors import (
+    AdaptationError,
+    CatalogError,
+    ExecutionError,
+    OptimizationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "CatalogError",
+    "QueryError",
+    "OptimizationError",
+    "ExecutionError",
+    "AdaptationError",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table, column or index reference does not match the schema."""
+
+
+class CatalogError(ReproError):
+    """Statistics or metadata were requested for an unknown object."""
+
+
+class QueryError(ReproError):
+    """The query specification is malformed (unknown alias, bad predicate...)."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine failed while running a physical plan."""
+
+
+class AdaptationError(ReproError):
+    """The adaptive controller was asked to do something inconsistent."""

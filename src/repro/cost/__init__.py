@@ -1,0 +1,17 @@
+"""Cost estimation subpackage: selectivity, summaries, overlay and cost model."""
+
+from repro.cost.cost_model import CostModel, CostParameters
+from repro.cost.overrides import ChangeKind, StatisticsDelta, StatisticsOverlay
+from repro.cost.selectivity import SelectivityEstimator
+from repro.cost.summaries import ExpressionSummary, SummaryProvider
+
+__all__ = [
+    "CostModel",
+    "CostParameters",
+    "ChangeKind",
+    "StatisticsDelta",
+    "StatisticsOverlay",
+    "SelectivityEstimator",
+    "ExpressionSummary",
+    "SummaryProvider",
+]

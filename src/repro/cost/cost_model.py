@@ -1,0 +1,181 @@
+"""The physical cost model: the paper's ``Fn_scancost`` / ``Fn_nonscancost``.
+
+Costs combine I/O (pages read, random vs sequential) and CPU (per-tuple work)
+into a single scalar, as in classical System-R / Volcano cost models.  The
+model is deliberately simple but consistent: every optimizer implementation in
+the library calls exactly these functions, so differences between them come
+only from search strategy and pruning — as in the paper's evaluation setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import OptimizationError
+from repro.cost.overrides import StatisticsOverlay
+from repro.cost.summaries import ExpressionSummary, SummaryProvider
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.plan import PhysicalOperator
+from repro.relational.properties import PhysicalProperty, PropertyKind
+from repro.relational.query import Query
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable constants of the cost model."""
+
+    page_size_bytes: float = 8192.0
+    sequential_page_cost: float = 1.0
+    random_page_cost: float = 3.0
+    cpu_tuple_cost: float = 0.01
+    cpu_operator_cost: float = 0.0025
+    hash_build_tuple_cost: float = 0.02
+    sort_tuple_cost: float = 0.015
+    index_probe_cost: float = 0.25
+    output_tuple_cost: float = 0.005
+
+
+class CostModel:
+    """Computes local operator costs and combines them into plan costs."""
+
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        summaries: Optional[SummaryProvider] = None,
+        parameters: Optional[CostParameters] = None,
+        overlay: Optional[StatisticsOverlay] = None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.parameters = parameters or CostParameters()
+        if summaries is not None:
+            self.summaries = summaries
+            self.overlay = summaries.overlay
+        else:
+            self.overlay = overlay if overlay is not None else StatisticsOverlay()
+            self.summaries = SummaryProvider(query, catalog, self.overlay)
+
+    # ------------------------------------------------------------------
+    # Summaries (Fn_scansummary / Fn_nonscansummary)
+    # ------------------------------------------------------------------
+
+    def summary(self, expression: Expression) -> ExpressionSummary:
+        return self.summaries.summary(expression)
+
+    # ------------------------------------------------------------------
+    # Scan costs (Fn_scancost)
+    # ------------------------------------------------------------------
+
+    def scan_cost(
+        self,
+        alias: str,
+        operator: PhysicalOperator,
+        output_property: PhysicalProperty,
+    ) -> float:
+        """Cost of producing the filtered base relation behind *alias*."""
+        params = self.parameters
+        table_name = self.query.relation(alias).table
+        table = self.catalog.table(table_name)
+        base_rows = self.summaries.base_cardinality(alias)
+        out_rows = self.summaries.filtered_cardinality(alias)
+        pages = self._pages(base_rows, table.row_width_bytes)
+        filter_count = len(self.query.filters_for(alias))
+        cpu = base_rows * (params.cpu_tuple_cost + filter_count * params.cpu_operator_cost)
+
+        if operator is PhysicalOperator.SEQ_SCAN:
+            cost = pages * params.sequential_page_cost + cpu
+        elif operator is PhysicalOperator.INDEX_SCAN:
+            # Probe the index then fetch matching rows with random I/O.
+            matching_fraction = out_rows / max(base_rows, 1.0)
+            fetched_pages = max(1.0, pages * matching_fraction)
+            cost = (
+                out_rows * params.index_probe_cost
+                + fetched_pages * params.random_page_cost
+                + out_rows * params.cpu_tuple_cost
+            )
+        elif operator is PhysicalOperator.SORTED_SCAN:
+            # Sequential scan followed by an in-memory sort of the survivors.
+            sort_cost = self._sort_cost(out_rows)
+            cost = pages * params.sequential_page_cost + cpu + sort_cost
+        else:
+            raise OptimizationError(f"{operator} is not a scan operator")
+
+        cost += out_rows * params.output_tuple_cost
+        return cost * self.overlay.scan_cost_factor(alias)
+
+    # ------------------------------------------------------------------
+    # Join / aggregate local costs (Fn_nonscancost)
+    # ------------------------------------------------------------------
+
+    def join_local_cost(
+        self,
+        operator: PhysicalOperator,
+        output: ExpressionSummary,
+        left: ExpressionSummary,
+        right: ExpressionSummary,
+    ) -> float:
+        """Cost of the join operator itself, excluding its children."""
+        params = self.parameters
+        left_rows = left.cardinality
+        right_rows = right.cardinality
+        out_rows = output.cardinality
+
+        if operator is PhysicalOperator.HASH_JOIN:
+            # Build a hash table on the smaller (right) input, probe with left.
+            cost = (
+                right_rows * params.hash_build_tuple_cost
+                + left_rows * params.cpu_tuple_cost
+                + out_rows * params.cpu_operator_cost
+            )
+        elif operator is PhysicalOperator.SORT_MERGE_JOIN:
+            # Inputs are required to arrive sorted; the merge itself is linear.
+            cost = (left_rows + right_rows) * params.cpu_tuple_cost + out_rows * params.cpu_operator_cost
+        elif operator is PhysicalOperator.INDEX_NL_JOIN:
+            # Outer (left) probes an index on the inner (right) per tuple.
+            probe_depth = math.log2(max(right_rows, 2.0))
+            cost = (
+                left_rows * params.index_probe_cost * probe_depth / 4.0
+                + out_rows * params.cpu_tuple_cost
+            )
+        elif operator is PhysicalOperator.NESTED_LOOP_JOIN:
+            cost = left_rows * right_rows * params.cpu_operator_cost + out_rows * params.cpu_tuple_cost
+        else:
+            raise OptimizationError(f"{operator} is not a join operator")
+
+        cost += out_rows * params.output_tuple_cost
+        return cost
+
+    def aggregate_cost(self, input_summary: ExpressionSummary, group_count: float) -> float:
+        params = self.parameters
+        return (
+            input_summary.cardinality * (params.cpu_tuple_cost + params.hash_build_tuple_cost)
+            + group_count * params.output_tuple_cost
+        )
+
+    def sort_enforcer_cost(self, summary: ExpressionSummary) -> float:
+        """Cost of sorting an intermediate result to satisfy a sort property."""
+        return self._sort_cost(summary.cardinality)
+
+    # ------------------------------------------------------------------
+    # Combination (Fn_sum)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def combine(local_cost: float, *child_costs: float) -> float:
+        """The paper's ``Fn_sum``: plan cost = local cost + children costs."""
+        return local_cost + sum(child_costs)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _pages(self, rows: float, row_width: float) -> float:
+        return max(1.0, rows * row_width / self.parameters.page_size_bytes)
+
+    def _sort_cost(self, rows: float) -> float:
+        rows = max(rows, 1.0)
+        return self.parameters.sort_tuple_cost * rows * math.log2(rows + 1.0)

@@ -1,0 +1,142 @@
+"""Runtime statistics overlay: the knobs that trigger re-optimization.
+
+During adaptive execution the system observes that its original estimates were
+wrong — a join produced more (or fewer) rows than expected, a scan became more
+expensive because of contention, a cardinality was measured exactly.  Those
+observations are recorded here as *overrides* layered on top of the static
+catalog estimates.  The incremental re-optimizer consumes the resulting
+:class:`StatisticsDelta` objects to decide which part of its state to update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.common.errors import CatalogError
+from repro.relational.expressions import Expression
+
+
+class ChangeKind(Enum):
+    """What kind of estimate changed."""
+
+    JOIN_SELECTIVITY = "join-selectivity"
+    EXPRESSION_CARDINALITY = "expression-cardinality"
+    SCAN_COST = "scan-cost"
+    TABLE_CARDINALITY = "table-cardinality"
+
+
+@dataclass(frozen=True)
+class StatisticsDelta:
+    """A single change to the statistics overlay.
+
+    ``expression`` identifies the smallest expression whose estimate changed.
+    Every plan for an expression that *contains* it may need re-costing; the
+    incremental optimizer uses exactly this containment test.
+    """
+
+    kind: ChangeKind
+    expression: Expression
+    old_factor: float
+    new_factor: float
+
+    @property
+    def is_noop(self) -> bool:
+        return abs(self.old_factor - self.new_factor) < 1e-12
+
+
+class StatisticsOverlay:
+    """Mutable set of multiplicative overrides over the static estimates.
+
+    * ``selectivity_factor(expr)`` — multiplied into the cardinality of every
+      expression containing ``expr`` (models "the join producing expr was
+      X times more/less selective than estimated").
+    * ``scan_cost_factor(alias)`` — multiplied into the scan cost of a base
+      relation (models slower/faster access paths, e.g. a loaded machine).
+    * ``cardinality override`` — an observed exact row count for an
+      expression, converted internally into a selectivity factor relative to
+      the original estimate so super-expressions stay consistent.
+    """
+
+    def __init__(self) -> None:
+        self._selectivity_factors: Dict[FrozenSet[str], float] = {}
+        self._scan_cost_factors: Dict[str, float] = {}
+        self._table_card_factors: Dict[str, float] = {}
+
+    # -- selectivity -------------------------------------------------------
+
+    def set_selectivity_factor(
+        self, expression: Expression, factor: float
+    ) -> StatisticsDelta:
+        if factor <= 0:
+            raise CatalogError("selectivity factor must be positive")
+        key = expression.aliases
+        old = self._selectivity_factors.get(key, 1.0)
+        self._selectivity_factors[key] = factor
+        return StatisticsDelta(ChangeKind.JOIN_SELECTIVITY, expression, old, factor)
+
+    def selectivity_factor(self, expression: Expression) -> float:
+        """Product of every override whose expression is contained in *expression*."""
+        factor = 1.0
+        for aliases, value in self._selectivity_factors.items():
+            if aliases <= expression.aliases:
+                factor *= value
+        return factor
+
+    def own_selectivity_factor(self, expression: Expression) -> float:
+        """The override keyed by exactly *expression* (1.0 when unset)."""
+        return self._selectivity_factors.get(expression.aliases, 1.0)
+
+    # -- scan cost ---------------------------------------------------------
+
+    def set_scan_cost_factor(self, alias: str, factor: float) -> StatisticsDelta:
+        if factor <= 0:
+            raise CatalogError("scan cost factor must be positive")
+        old = self._scan_cost_factors.get(alias, 1.0)
+        self._scan_cost_factors[alias] = factor
+        return StatisticsDelta(
+            ChangeKind.SCAN_COST, Expression.leaf(alias), old, factor
+        )
+
+    def scan_cost_factor(self, alias: str) -> float:
+        return self._scan_cost_factors.get(alias, 1.0)
+
+    # -- table cardinality ---------------------------------------------------
+
+    def set_table_cardinality_factor(self, alias: str, factor: float) -> StatisticsDelta:
+        if factor <= 0:
+            raise CatalogError("cardinality factor must be positive")
+        old = self._table_card_factors.get(alias, 1.0)
+        self._table_card_factors[alias] = factor
+        return StatisticsDelta(
+            ChangeKind.TABLE_CARDINALITY, Expression.leaf(alias), old, factor
+        )
+
+    def table_cardinality_factor(self, alias: str) -> float:
+        return self._table_card_factors.get(alias, 1.0)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def clear(self) -> None:
+        self._selectivity_factors.clear()
+        self._scan_cost_factors.clear()
+        self._table_card_factors.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-friendly snapshot (used by tests and the AQP monitor log)."""
+        return {
+            "selectivity": {
+                "(" + " ".join(sorted(k)) + ")": v
+                for k, v in self._selectivity_factors.items()
+            },
+            "scan_cost": dict(self._scan_cost_factors),
+            "table_cardinality": dict(self._table_card_factors),
+        }
+
+    def copy(self) -> "StatisticsOverlay":
+        clone = StatisticsOverlay()
+        clone._selectivity_factors = dict(self._selectivity_factors)
+        clone._scan_cost_factors = dict(self._scan_cost_factors)
+        clone._table_card_factors = dict(self._table_card_factors)
+        return clone

@@ -1,0 +1,119 @@
+"""Selectivity estimation for filter and join predicates.
+
+All optimizer implementations in this library share this estimator, just as
+the paper's Volcano-style, System-R-style and declarative optimizers share
+their histogram and cost-estimation code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStats
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.query import Query
+
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 0.3
+DEFAULT_NE_SELECTIVITY = 0.9
+
+
+class SelectivityEstimator:
+    """Histogram-backed selectivity estimation with sensible fallbacks."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    # -- filters ----------------------------------------------------------
+
+    def filter_selectivity(self, query: Query, predicate: FilterPredicate) -> float:
+        """Fraction of rows of the predicate's relation that satisfy it."""
+        if predicate.selectivity_hint is not None:
+            return predicate.selectivity_hint
+        table = query.relation(predicate.alias).table
+        stats = self._column_stats(table, predicate.column.column)
+        if stats is None:
+            return self._fallback(predicate.op)
+        return self._estimate_from_stats(stats, predicate)
+
+    def _estimate_from_stats(
+        self, stats: ColumnStats, predicate: FilterPredicate
+    ) -> float:
+        value = predicate.value
+        numeric = isinstance(value, (int, float))
+        if predicate.op is ComparisonOp.EQ:
+            if stats.histogram is not None and numeric:
+                return self._clamp(stats.histogram.selectivity_eq(value))
+            return self._clamp(1.0 / max(1.0, stats.distinct_count))
+        if predicate.op is ComparisonOp.NE:
+            return self._clamp(1.0 - 1.0 / max(1.0, stats.distinct_count))
+        if predicate.op.is_range and numeric:
+            if stats.histogram is not None:
+                low, high = self._range_bounds(predicate.op, value)
+                return self._clamp(stats.histogram.selectivity_range(low, high))
+            if stats.min_value is not None and stats.max_value is not None:
+                return self._clamp(
+                    self._linear_range(stats.min_value, stats.max_value, predicate.op, value)
+                )
+        return self._fallback(predicate.op)
+
+    @staticmethod
+    def _range_bounds(op: ComparisonOp, value: object):
+        if op in (ComparisonOp.LT, ComparisonOp.LE):
+            return None, value
+        return value, None
+
+    @staticmethod
+    def _linear_range(min_value, max_value, op: ComparisonOp, value) -> float:
+        if max_value == min_value:
+            return 0.5
+        fraction = (value - min_value) / (max_value - min_value)
+        fraction = min(1.0, max(0.0, fraction))
+        if op in (ComparisonOp.LT, ComparisonOp.LE):
+            return fraction
+        return 1.0 - fraction
+
+    @staticmethod
+    def _fallback(op: ComparisonOp) -> float:
+        if op is ComparisonOp.EQ:
+            return DEFAULT_EQ_SELECTIVITY
+        if op is ComparisonOp.NE:
+            return DEFAULT_NE_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # -- joins -------------------------------------------------------------
+
+    def join_selectivity(self, query: Query, predicate: JoinPredicate) -> float:
+        """Selectivity of an equi-join predicate: 1 / max(ndv(left), ndv(right))."""
+        if not predicate.is_equijoin:
+            return DEFAULT_RANGE_SELECTIVITY
+        left_ndv = self._distinct_for(query, predicate.left.alias, predicate.left.column)
+        right_ndv = self._distinct_for(query, predicate.right.alias, predicate.right.column)
+        return self._clamp(1.0 / max(1.0, left_ndv, right_ndv))
+
+    def distinct_values(self, query: Query, alias: str, column: str) -> float:
+        return self._distinct_for(query, alias, column)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _distinct_for(self, query: Query, alias: str, column: str) -> float:
+        table = query.relation(alias).table
+        stats = self._column_stats(table, column)
+        if stats is None:
+            if self._catalog.has_stats(table):
+                return max(1.0, self._catalog.row_count(table))
+            return 1000.0
+        return max(1.0, stats.distinct_count)
+
+    def _column_stats(self, table: str, column: str) -> Optional[ColumnStats]:
+        if not self._catalog.has_stats(table):
+            return None
+        stats = self._catalog.table_stats(table)
+        if not stats.has_column(column):
+            return None
+        return stats.column(column)
+
+    @staticmethod
+    def _clamp(value: float) -> float:
+        return min(1.0, max(1e-9, value))

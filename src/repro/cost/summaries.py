@@ -1,0 +1,132 @@
+"""Expression summaries: the paper's ``Fn_scansummary`` / ``Fn_nonscansummary``.
+
+A *summary* captures everything the cost model needs to know about the output
+of a (sub)expression: estimated cardinality, row width and per-column distinct
+counts.  Summaries are computed directly from base-table statistics plus the
+query's predicates, so that every plan for the same expression sees the same
+cardinality regardless of join order (estimate consistency), and they are
+adjusted by the :class:`~repro.cost.overrides.StatisticsOverlay` so the
+incremental re-optimizer can inject observed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.cost.overrides import StatisticsOverlay
+from repro.cost.selectivity import SelectivityEstimator
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.query import Query
+
+
+@dataclass(frozen=True)
+class ExpressionSummary:
+    """Statistics describing the output of one query subexpression."""
+
+    expression: Expression
+    cardinality: float
+    row_width_bytes: float
+    distinct: Dict[str, float] = field(default_factory=dict)
+
+    def distinct_values(self, column: ColumnRef) -> float:
+        """Distinct count of a column in this output (capped by cardinality)."""
+        base = self.distinct.get(str(column), self.cardinality)
+        return max(1.0, min(base, self.cardinality)) if self.cardinality > 0 else 1.0
+
+
+class SummaryProvider:
+    """Computes and caches :class:`ExpressionSummary` objects for one query.
+
+    The provider is the single place where the statistics overlay is applied,
+    so "what changed" is always expressible as a set of expressions whose
+    summaries became stale (see :meth:`invalidate_containing`).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        overlay: Optional[StatisticsOverlay] = None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.overlay = overlay if overlay is not None else StatisticsOverlay()
+        self._estimator = SelectivityEstimator(catalog)
+        self._cache: Dict[FrozenSet[str], ExpressionSummary] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def summary(self, expression: Expression) -> ExpressionSummary:
+        key = expression.aliases
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        computed = self._compute(expression)
+        self._cache[key] = computed
+        return computed
+
+    def base_cardinality(self, alias: str) -> float:
+        """Unfiltered cardinality of the base relation behind *alias*."""
+        table = self.query.relation(alias).table
+        rows = self.catalog.row_count(table) if self.catalog.has_stats(table) else 1000.0
+        return rows * self.overlay.table_cardinality_factor(alias)
+
+    def filtered_cardinality(self, alias: str) -> float:
+        """Cardinality of *alias* after its pushed-down filters."""
+        rows = self.base_cardinality(alias)
+        for predicate in self.query.filters_for(alias):
+            rows *= self._estimator.filter_selectivity(self.query, predicate)
+        return max(rows, 1e-6)
+
+    def invalidate_containing(self, expression: Expression) -> None:
+        """Drop cached summaries for every expression containing *expression*.
+
+        Called after an overlay change so the next lookup recomputes them.
+        """
+        stale = [key for key in self._cache if expression.aliases <= key]
+        for key in stale:
+            del self._cache[key]
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    # -- computation ---------------------------------------------------------
+
+    def _compute(self, expression: Expression) -> ExpressionSummary:
+        cardinality = self._cardinality(expression)
+        width = self._row_width(expression)
+        distinct = self._distinct_counts(expression, cardinality)
+        return ExpressionSummary(
+            expression=expression,
+            cardinality=cardinality,
+            row_width_bytes=width,
+            distinct=distinct,
+        )
+
+    def _cardinality(self, expression: Expression) -> float:
+        rows = 1.0
+        for alias in expression:
+            rows *= self.filtered_cardinality(alias)
+        for predicate in self.query.predicates_within(expression):
+            rows *= self._estimator.join_selectivity(self.query, predicate)
+        rows *= self.overlay.selectivity_factor(expression)
+        return max(rows, 1e-6)
+
+    def _row_width(self, expression: Expression) -> float:
+        width = 0.0
+        for alias in expression:
+            table = self.catalog.table(self.query.relation(alias).table)
+            width += table.row_width_bytes
+        return max(width, 8.0)
+
+    def _distinct_counts(
+        self, expression: Expression, cardinality: float
+    ) -> Dict[str, float]:
+        counts: Dict[str, float] = {}
+        for alias in expression:
+            for column in self.query.columns_of_alias(alias):
+                ndv = self._estimator.distinct_values(self.query, alias, column.column)
+                counts[str(column)] = max(1.0, min(ndv, cardinality))
+        return counts

@@ -1,0 +1,35 @@
+"""Incremental (delta-processing) dataflow substrate used by the optimizer."""
+
+from repro.datalog.aggregates import GroupedMaxAggregate, GroupedMinAggregate, GroupExtreme
+from repro.datalog.dataflow import (
+    Dataflow,
+    Emission,
+    FilterRule,
+    JoinRule,
+    MapRule,
+    MinAggregateRule,
+    Rule,
+)
+from repro.datalog.deltas import Delta, DeltaAction
+from repro.datalog.refcount import ReferenceCounter, RefTransition
+from repro.datalog.relation import DeltaRelation, MultisetRelation, Transition
+
+__all__ = [
+    "GroupedMinAggregate",
+    "GroupedMaxAggregate",
+    "GroupExtreme",
+    "Dataflow",
+    "Emission",
+    "FilterRule",
+    "JoinRule",
+    "MapRule",
+    "MinAggregateRule",
+    "Rule",
+    "Delta",
+    "DeltaAction",
+    "ReferenceCounter",
+    "RefTransition",
+    "DeltaRelation",
+    "MultisetRelation",
+    "Transition",
+]

@@ -1,0 +1,174 @@
+"""Grouped MIN / MAX aggregates with "next-best" recovery.
+
+The paper's incremental aggregate selection relies on min-aggregate operators
+that "preserve all the computed, even pruned, PlanCost tuples... so it can
+find the 'next best' value even if the minimum is removed.  In our
+implementation we use a priority queue to store the sorted tuples."  These
+classes implement exactly that: per group, every (value, payload) entry ever
+inserted (and not yet deleted) is retained in a lazily-cleaned heap, and every
+mutation reports how the group's extreme changed as a
+:class:`~repro.datalog.deltas.Delta`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.common.errors import ReproError
+from repro.datalog.deltas import Delta
+
+K = TypeVar("K", bound=Hashable)
+P = TypeVar("P", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class GroupExtreme(Generic[P]):
+    """The current extreme (minimum or maximum) of one group."""
+
+    value: float
+    payload: P
+
+
+class _GroupState(Generic[P]):
+    """Heap of live entries plus a counter of live entries per (value, payload)."""
+
+    __slots__ = ("heap", "live", "size")
+
+    def __init__(self) -> None:
+        self.heap: List[Tuple[float, int, P]] = []
+        self.live: Dict[Tuple[float, P], int] = {}
+        self.size = 0
+
+
+class GroupedMinAggregate(Generic[K, P]):
+    """Incrementally maintained per-group minimum with next-best recovery."""
+
+    #: sign = +1 keeps a min-heap ordering; GroupedMaxAggregate flips it.
+    _sign = 1.0
+
+    def __init__(self) -> None:
+        self._groups: Dict[K, _GroupState[P]] = {}
+        self._tiebreak = itertools.count()
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, group: K, value: float, payload: P) -> Optional[Delta[GroupExtreme[P]]]:
+        """Add an entry; return the delta on the group's extreme, if any."""
+        before = self.current(group)
+        state = self._groups.setdefault(group, _GroupState())
+        heapq.heappush(state.heap, (self._sign * value, next(self._tiebreak), payload))
+        key = (value, payload)
+        state.live[key] = state.live.get(key, 0) + 1
+        state.size += 1
+        return self._extreme_delta(before, self.current(group))
+
+    def delete(self, group: K, value: float, payload: P) -> Optional[Delta[GroupExtreme[P]]]:
+        """Remove one matching entry; return the delta on the extreme, if any."""
+        state = self._groups.get(group)
+        key = (value, payload)
+        if state is None or state.live.get(key, 0) <= 0:
+            raise ReproError(
+                f"delete of absent aggregate entry {key!r} in group {group!r}"
+            )
+        before = self.current(group)
+        state.live[key] -= 1
+        if state.live[key] == 0:
+            del state.live[key]
+        state.size -= 1
+        if state.size == 0:
+            del self._groups[group]
+        return self._extreme_delta(before, self.current(group))
+
+    def update(
+        self, group: K, old_value: float, new_value: float, payload: P
+    ) -> Optional[Delta[GroupExtreme[P]]]:
+        """Replace one entry's value; single compact delta on the extreme."""
+        before = self.current(group)
+        self._delete_quiet(group, old_value, payload)
+        self._insert_quiet(group, new_value, payload)
+        return self._extreme_delta(before, self.current(group))
+
+    def _insert_quiet(self, group: K, value: float, payload: P) -> None:
+        state = self._groups.setdefault(group, _GroupState())
+        heapq.heappush(state.heap, (self._sign * value, next(self._tiebreak), payload))
+        key = (value, payload)
+        state.live[key] = state.live.get(key, 0) + 1
+        state.size += 1
+
+    def _delete_quiet(self, group: K, value: float, payload: P) -> None:
+        state = self._groups.get(group)
+        key = (value, payload)
+        if state is None or state.live.get(key, 0) <= 0:
+            raise ReproError(
+                f"delete of absent aggregate entry {key!r} in group {group!r}"
+            )
+        state.live[key] -= 1
+        if state.live[key] == 0:
+            del state.live[key]
+        state.size -= 1
+        if state.size == 0:
+            del self._groups[group]
+
+    # -- queries -----------------------------------------------------------
+
+    def current(self, group: K) -> Optional[GroupExtreme[P]]:
+        """The group's current extreme entry, or None for an empty group."""
+        state = self._groups.get(group)
+        if state is None:
+            return None
+        heap = state.heap
+        while heap:
+            signed_value, _, payload = heap[0]
+            value = self._sign * signed_value
+            if state.live.get((value, payload), 0) > 0:
+                return GroupExtreme(value=value, payload=payload)
+            heapq.heappop(heap)
+        return None
+
+    def value(self, group: K) -> Optional[float]:
+        extreme = self.current(group)
+        return None if extreme is None else extreme.value
+
+    def entries(self, group: K) -> List[Tuple[float, P]]:
+        """All live entries of a group (unsorted); mostly for tests/metrics."""
+        state = self._groups.get(group)
+        if state is None:
+            return []
+        result: List[Tuple[float, P]] = []
+        for (value, payload), count in state.live.items():
+            result.extend([(value, payload)] * count)
+        return result
+
+    def group_size(self, group: K) -> int:
+        state = self._groups.get(group)
+        return 0 if state is None else state.size
+
+    def groups(self) -> Iterator[K]:
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _extreme_delta(
+        before: Optional[GroupExtreme[P]], after: Optional[GroupExtreme[P]]
+    ) -> Optional[Delta[GroupExtreme[P]]]:
+        if before == after:
+            return None
+        if before is None:
+            assert after is not None
+            return Delta.insert(after)
+        if after is None:
+            return Delta.delete(before)
+        return Delta.update(before, after)
+
+
+class GroupedMaxAggregate(GroupedMinAggregate[K, P]):
+    """Same machinery as :class:`GroupedMinAggregate`, tracking the maximum."""
+
+    _sign = -1.0

@@ -1,0 +1,276 @@
+"""A small push-based, incremental rule dataflow.
+
+This is the generic machinery the declarative optimizer is built on: named
+relations hold multisets of tuples; rules subscribe to input relations and
+emit deltas into output relations; a scheduler drains a work queue until
+fixpoint.  Because rule outputs can feed back into rule inputs, recursive
+(datalog-style) programs are supported, and because every operator processes
+deltas, programs are *incrementally maintainable*: after the initial fixpoint,
+new base deltas propagate only to the derived tuples they affect.
+
+Deletion is handled with counting semantics (one count per derivation), which
+is exact for the non-recursive rules used here and for recursive programs
+whose derivations are acyclic — the optimizer's search space is a DAG of
+strictly-shrinking expressions, so this applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.datalog.aggregates import GroupedMinAggregate, GroupExtreme
+from repro.datalog.deltas import Delta, DeltaAction
+from repro.datalog.relation import MultisetRelation
+
+Row = Tuple
+KeyFunc = Callable[[Row], Hashable]
+
+
+@dataclass(frozen=True)
+class Emission:
+    """A delta destined for a named relation."""
+
+    relation: str
+    delta: Delta
+
+
+class Rule:
+    """Base class: reacts to deltas on its input relations."""
+
+    #: names of the relations this rule listens to
+    inputs: Tuple[str, ...] = ()
+    #: name of the relation this rule writes to
+    output: str = ""
+
+    def on_delta(self, relation: str, delta: Delta, dataflow: "Dataflow") -> Iterable[Emission]:
+        raise NotImplementedError
+
+
+class MapRule(Rule):
+    """Project/transform each input tuple into zero or more output tuples."""
+
+    def __init__(
+        self,
+        input_relation: str,
+        output_relation: str,
+        transform: Callable[[Row], Iterable[Row]],
+    ) -> None:
+        self.inputs = (input_relation,)
+        self.output = output_relation
+        self._transform = transform
+
+    def on_delta(self, relation: str, delta: Delta, dataflow: "Dataflow") -> Iterable[Emission]:
+        emissions: List[Emission] = []
+        for action, value in delta.expand():
+            for produced in self._transform(value):
+                if action is DeltaAction.INSERT:
+                    emissions.append(Emission(self.output, Delta.insert(produced)))
+                else:
+                    emissions.append(Emission(self.output, Delta.delete(produced)))
+        return emissions
+
+
+class FilterRule(MapRule):
+    """Keep only the tuples satisfying a predicate."""
+
+    def __init__(
+        self,
+        input_relation: str,
+        output_relation: str,
+        predicate: Callable[[Row], bool],
+    ) -> None:
+        super().__init__(
+            input_relation,
+            output_relation,
+            lambda row: [row] if predicate(row) else [],
+        )
+
+
+class JoinRule(Rule):
+    """Incremental binary equi-join with counting semantics.
+
+    ``delta(A join B) = delta(A) join B  +  A' join delta(B)`` where ``A'``
+    already includes the delta — the standard incremental join expansion.
+    """
+
+    def __init__(
+        self,
+        left_relation: str,
+        right_relation: str,
+        output_relation: str,
+        left_key: KeyFunc,
+        right_key: KeyFunc,
+        combine: Callable[[Row, Row], Row] = lambda left, right: left + right,
+    ) -> None:
+        if left_relation == right_relation:
+            raise ReproError("self-joins need two differently-named relation copies")
+        self.inputs = (left_relation, right_relation)
+        self.output = output_relation
+        self._left_relation = left_relation
+        self._right_relation = right_relation
+        self._left_key = left_key
+        self._right_key = right_key
+        self._combine = combine
+        self._left_index: Dict[Hashable, MultisetRelation[Row]] = {}
+        self._right_index: Dict[Hashable, MultisetRelation[Row]] = {}
+
+    def on_delta(self, relation: str, delta: Delta, dataflow: "Dataflow") -> Iterable[Emission]:
+        emissions: List[Emission] = []
+        for action, value in delta.expand():
+            if relation == self._left_relation:
+                emissions.extend(self._apply_side(action, value, is_left=True))
+            elif relation == self._right_relation:
+                emissions.extend(self._apply_side(action, value, is_left=False))
+        return emissions
+
+    def _apply_side(self, action: DeltaAction, row: Row, is_left: bool) -> List[Emission]:
+        own_index = self._left_index if is_left else self._right_index
+        other_index = self._right_index if is_left else self._left_index
+        key = self._left_key(row) if is_left else self._right_key(row)
+
+        bucket = own_index.setdefault(key, MultisetRelation())
+        if action is DeltaAction.INSERT:
+            bucket.insert(row)
+        else:
+            bucket.delete(row)
+
+        emissions: List[Emission] = []
+        matches = other_index.get(key)
+        if not matches:
+            return emissions
+        for other_row in matches:
+            count = matches.count(other_row)
+            left_row, right_row = (row, other_row) if is_left else (other_row, row)
+            combined = self._combine(left_row, right_row)
+            for _ in range(count):
+                if action is DeltaAction.INSERT:
+                    emissions.append(Emission(self.output, Delta.insert(combined)))
+                else:
+                    emissions.append(Emission(self.output, Delta.delete(combined)))
+        return emissions
+
+
+class MinAggregateRule(Rule):
+    """Grouped MIN view: output holds one ``(group, min_value)`` row per group.
+
+    Uses :class:`GroupedMinAggregate`, so deleting the current minimum
+    recovers the next-best value instead of recomputing the group.
+    """
+
+    def __init__(
+        self,
+        input_relation: str,
+        output_relation: str,
+        group_key: KeyFunc,
+        value_of: Callable[[Row], float],
+    ) -> None:
+        self.inputs = (input_relation,)
+        self.output = output_relation
+        self._group_key = group_key
+        self._value_of = value_of
+        self._aggregate: GroupedMinAggregate[Hashable, Row] = GroupedMinAggregate()
+
+    def on_delta(self, relation: str, delta: Delta, dataflow: "Dataflow") -> Iterable[Emission]:
+        emissions: List[Emission] = []
+        for action, value in delta.expand():
+            group = self._group_key(value)
+            numeric = self._value_of(value)
+            if action is DeltaAction.INSERT:
+                change = self._aggregate.insert(group, numeric, value)
+            else:
+                change = self._aggregate.delete(group, numeric, value)
+            emissions.extend(self._to_emissions(group, change))
+        return emissions
+
+    def _to_emissions(
+        self, group: Hashable, change: Optional[Delta[GroupExtreme[Row]]]
+    ) -> List[Emission]:
+        if change is None:
+            return []
+        emissions: List[Emission] = []
+        if change.is_update:
+            assert change.old_value is not None
+            emissions.append(
+                Emission(self.output, Delta.delete((group, change.old_value.value)))
+            )
+            emissions.append(
+                Emission(self.output, Delta.insert((group, change.value.value)))
+            )
+        elif change.is_insert:
+            emissions.append(Emission(self.output, Delta.insert((group, change.value.value))))
+        else:
+            emissions.append(Emission(self.output, Delta.delete((group, change.value.value))))
+        return emissions
+
+    def minimum(self, group: Hashable) -> Optional[float]:
+        return self._aggregate.value(group)
+
+
+class Dataflow:
+    """Holds relations and rules; drains deltas to fixpoint."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, MultisetRelation[Row]] = {}
+        self._rules_by_input: Dict[str, List[Rule]] = {}
+        self._queue: Deque[Emission] = deque()
+        self.steps = 0
+
+    # -- declaration -------------------------------------------------------
+
+    def relation(self, name: str) -> MultisetRelation[Row]:
+        if name not in self._relations:
+            self._relations[name] = MultisetRelation(name)
+        return self._relations[name]
+
+    def add_rule(self, rule: Rule) -> None:
+        self.relation(rule.output)
+        for input_name in rule.inputs:
+            self.relation(input_name)
+            self._rules_by_input.setdefault(input_name, []).append(rule)
+
+    # -- execution -----------------------------------------------------------
+
+    def insert(self, relation: str, row: Row) -> None:
+        self._queue.append(Emission(relation, Delta.insert(row)))
+
+    def delete(self, relation: str, row: Row) -> None:
+        self._queue.append(Emission(relation, Delta.delete(row)))
+
+    def run_to_fixpoint(self, max_steps: int = 1_000_000) -> int:
+        """Process queued deltas (and everything they trigger); return step count."""
+        steps = 0
+        while self._queue:
+            steps += 1
+            if steps > max_steps:
+                raise ReproError("dataflow did not reach fixpoint within max_steps")
+            emission = self._queue.popleft()
+            relation = self.relation(emission.relation)
+            visible_changes: List[Delta] = []
+            for action, value in emission.delta.expand():
+                before = relation.count(value)
+                if action is DeltaAction.INSERT:
+                    relation.insert(value)
+                    if before <= 0 < relation.count(value):
+                        visible_changes.append(Delta.insert(value))
+                else:
+                    relation.delete(value)
+                    if before > 0 >= relation.count(value):
+                        visible_changes.append(Delta.delete(value))
+            for change in visible_changes:
+                for rule in self._rules_by_input.get(emission.relation, []):
+                    for produced in rule.on_delta(emission.relation, change, self):
+                        self._queue.append(produced)
+        self.steps += steps
+        return steps
+
+    # -- inspection ------------------------------------------------------------
+
+    def rows(self, relation: str) -> List[Row]:
+        return sorted(self.relation(relation), key=repr)
+
+    def __contains__(self, item: Tuple[str, Row]) -> bool:
+        relation, row = item
+        return row in self.relation(relation)

@@ -1,0 +1,81 @@
+"""Delta tuples: the unit of incremental computation.
+
+Following the paper (§4), every operator in the incremental engine consumes
+and produces *delta tuples*: an insertion ``R[+x]``, a deletion ``R[-x]`` or a
+replacement ``R[x -> x']``.  A replacement is semantically a deletion followed
+by an insertion but is kept as a single unit so aggregate operators can emit
+compact "the minimum changed from a to b" updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+from repro.common.errors import ReproError
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DeltaAction(Enum):
+    INSERT = "+"
+    DELETE = "-"
+    UPDATE = "->"
+
+
+@dataclass(frozen=True)
+class Delta(Generic[T]):
+    """A single change to a relation."""
+
+    action: DeltaAction
+    value: T
+    old_value: Optional[T] = None
+
+    def __post_init__(self) -> None:
+        if self.action is DeltaAction.UPDATE and self.old_value is None:
+            raise ReproError("UPDATE deltas need an old_value")
+        if self.action is not DeltaAction.UPDATE and self.old_value is not None:
+            raise ReproError("only UPDATE deltas carry an old_value")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def insert(cls, value: T) -> "Delta[T]":
+        return cls(DeltaAction.INSERT, value)
+
+    @classmethod
+    def delete(cls, value: T) -> "Delta[T]":
+        return cls(DeltaAction.DELETE, value)
+
+    @classmethod
+    def update(cls, old_value: T, new_value: T) -> "Delta[T]":
+        return cls(DeltaAction.UPDATE, new_value, old_value)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def is_insert(self) -> bool:
+        return self.action is DeltaAction.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.action is DeltaAction.DELETE
+
+    @property
+    def is_update(self) -> bool:
+        return self.action is DeltaAction.UPDATE
+
+    def expand(self) -> Iterator[Tuple[DeltaAction, T]]:
+        """Expand an UPDATE into its delete+insert pair; pass others through."""
+        if self.is_update:
+            assert self.old_value is not None
+            yield DeltaAction.DELETE, self.old_value
+            yield DeltaAction.INSERT, self.value
+        else:
+            yield self.action, self.value
+
+    def __str__(self) -> str:
+        if self.is_update:
+            return f"[{self.old_value} -> {self.value}]"
+        return f"[{self.action.value}{self.value}]"

@@ -1,0 +1,75 @@
+"""Reference counting of derived tuples (§3.2 of the paper).
+
+The optimizer annotates every expression-property pair with "the number of
+parent plans still present in the SearchSpace"; when the count drops to zero
+the pair's plans can be pruned, and when it rises from zero they must be
+re-derived.  This counter is deliberately generic so it can also be reused by
+the dataflow rules and the execution engine.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Generic, Hashable, Iterator, TypeVar
+
+from repro.common.errors import ReproError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class RefTransition(Enum):
+    """How a key's liveness changed after an increment/decrement."""
+
+    BECAME_LIVE = "became-live"    # count went 0 -> 1
+    BECAME_DEAD = "became-dead"    # count went 1 -> 0
+    UNCHANGED = "unchanged"
+
+
+class ReferenceCounter(Generic[K]):
+    """Per-key non-negative reference counts with liveness transitions."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[K, int] = {}
+
+    def increment(self, key: K, amount: int = 1) -> RefTransition:
+        if amount < 0:
+            raise ReproError("increment amount must be non-negative")
+        before = self._counts.get(key, 0)
+        after = before + amount
+        self._counts[key] = after
+        if before == 0 and after > 0:
+            return RefTransition.BECAME_LIVE
+        return RefTransition.UNCHANGED
+
+    def decrement(self, key: K, amount: int = 1) -> RefTransition:
+        if amount < 0:
+            raise ReproError("decrement amount must be non-negative")
+        before = self._counts.get(key, 0)
+        after = before - amount
+        if after < 0:
+            raise ReproError(f"reference count for {key!r} would become negative")
+        if after == 0:
+            self._counts.pop(key, None)
+        else:
+            self._counts[key] = after
+        if before > 0 and after == 0:
+            return RefTransition.BECAME_DEAD
+        return RefTransition.UNCHANGED
+
+    def count(self, key: K) -> int:
+        return self._counts.get(key, 0)
+
+    def is_live(self, key: K) -> bool:
+        return self._counts.get(key, 0) > 0
+
+    def live_keys(self) -> Iterator[K]:
+        return (key for key, count in self._counts.items() if count > 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def snapshot(self) -> Dict[K, int]:
+        return dict(self._counts)

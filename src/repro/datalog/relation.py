@@ -1,0 +1,132 @@
+"""Multiset relations with counts, the state of every stateful operator.
+
+The paper extends each stateful operator with a per-tuple count: "insertions
+increment the count and deletions decrement it; counts may temporarily become
+negative if a deletion is processed out of order with its corresponding
+insertion... a tuple only affects the output of a stateful operator if its
+count is positive".  :class:`MultisetRelation` implements exactly that
+contract and reports the membership transitions (appeared / disappeared) that
+downstream operators react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Generic, Hashable, Iterator, List, Optional, TypeVar
+
+from repro.datalog.deltas import Delta, DeltaAction
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Transition(Enum):
+    """How a tuple's visibility changed after applying a delta."""
+
+    APPEARED = "appeared"       # count went from <=0 to >0
+    DISAPPEARED = "disappeared"  # count went from >0 to <=0
+    UNCHANGED = "unchanged"      # visibility did not change
+
+
+class MultisetRelation(Generic[T]):
+    """A bag of tuples with (possibly temporarily negative) counts."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counts: Dict[T, int] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, value: T) -> Transition:
+        return self._adjust(value, +1)
+
+    def delete(self, value: T) -> Transition:
+        return self._adjust(value, -1)
+
+    def apply(self, delta: Delta[T]) -> List[Transition]:
+        transitions: List[Transition] = []
+        for action, value in delta.expand():
+            if action is DeltaAction.INSERT:
+                transitions.append(self.insert(value))
+            else:
+                transitions.append(self.delete(value))
+        return transitions
+
+    def _adjust(self, value: T, amount: int) -> Transition:
+        before = self._counts.get(value, 0)
+        after = before + amount
+        if after == 0:
+            self._counts.pop(value, None)
+        else:
+            self._counts[value] = after
+        if before <= 0 < after:
+            return Transition.APPEARED
+        if before > 0 >= after:
+            return Transition.DISAPPEARED
+        return Transition.UNCHANGED
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, value: T) -> int:
+        return self._counts.get(value, 0)
+
+    def __contains__(self, value: T) -> bool:
+        return self._counts.get(value, 0) > 0
+
+    def __len__(self) -> int:
+        return sum(1 for count in self._counts.values() if count > 0)
+
+    def __iter__(self) -> Iterator[T]:
+        return (value for value, count in self._counts.items() if count > 0)
+
+    @property
+    def has_negative_counts(self) -> bool:
+        """True while some deletion has been seen before its insertion."""
+        return any(count < 0 for count in self._counts.values())
+
+    def snapshot(self) -> Dict[T, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultisetRelation({self.name!r}, {len(self)} visible tuples)"
+
+
+DeltaListener = Callable[[Delta], None]
+
+
+class DeltaRelation(MultisetRelation[T]):
+    """A multiset relation that notifies subscribers of visibility changes.
+
+    Subscribers receive *visibility* deltas only: an INSERT when a tuple
+    becomes visible and a DELETE when it disappears, so duplicate derivations
+    of the same tuple (counting semantics) do not produce duplicate downstream
+    work.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._listeners: List[DeltaListener] = []
+
+    def subscribe(self, listener: DeltaListener) -> None:
+        self._listeners.append(listener)
+
+    def apply(self, delta: Delta[T]) -> List[Transition]:
+        transitions: List[Transition] = []
+        for action, value in delta.expand():
+            if action is DeltaAction.INSERT:
+                transition = self.insert(value)
+                if transition is Transition.APPEARED:
+                    self._emit(Delta.insert(value))
+            else:
+                transition = self.delete(value)
+                if transition is Transition.DISAPPEARED:
+                    self._emit(Delta.delete(value))
+            transitions.append(transition)
+        return transitions
+
+    def _emit(self, delta: Delta[T]) -> None:
+        for listener in self._listeners:
+            listener(delta)

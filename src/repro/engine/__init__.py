@@ -1,0 +1,5 @@
+"""In-memory execution engine for physical plans."""
+
+from repro.engine.executor import ExecutionResult, PlanExecutor
+
+__all__ = ["ExecutionResult", "PlanExecutor"]

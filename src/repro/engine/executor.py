@@ -1,0 +1,239 @@
+"""An in-memory execution engine for physical plans.
+
+The engine executes the :class:`~repro.relational.plan.PhysicalPlan` trees
+produced by any of the optimizers over Python-dict rows.  It exists for the
+experiments that need *observed* behaviour: runtime cardinalities feeding the
+incremental re-optimizer (Figure 6), and the adaptive stream processing
+experiments (Figures 9, 10 and Table 3).
+
+Rows are dictionaries keyed by qualified column names (``"alias.column"``);
+scans perform the qualification and apply pushed-down filters.  The engine
+also records the observed cardinality of every operator output, keyed by the
+operator's expression, which is exactly the feedback the adaptive monitor
+turns into statistics deltas.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.relational.predicates import ComparisonOp, JoinPredicate
+from repro.relational.query import AggregateFunction, Query
+
+Row = Dict[str, object]
+Table = List[Row]
+
+
+@dataclass
+class ExecutionResult:
+    """Output rows plus per-expression observed cardinalities and timing."""
+
+    rows: Table
+    observed_cardinalities: Dict[Expression, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    operator_timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class PlanExecutor:
+    """Executes physical plans over in-memory data."""
+
+    def __init__(self, query: Query, data: Mapping[str, Sequence[Mapping[str, object]]]) -> None:
+        self.query = query
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        started = time.perf_counter()
+        result = ExecutionResult(rows=[])
+        result.rows = self._execute_node(plan, result)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_node(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
+        operator = node.operator
+        node_start = time.perf_counter()
+        if operator.is_scan:
+            rows = self._execute_scan(node)
+        elif operator is PhysicalOperator.SORT:
+            rows = self._execute_sort(node, result)
+        elif operator.is_join:
+            rows = self._execute_join(node, result)
+        elif operator is PhysicalOperator.HASH_AGGREGATE:
+            rows = self._execute_aggregate(node, result)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unsupported operator {operator}")
+        result.observed_cardinalities[node.expression] = len(rows)
+        result.operator_timings[f"{operator.value} {node.expression}"] = (
+            time.perf_counter() - node_start
+        )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def _execute_scan(self, node: PhysicalPlan) -> Table:
+        alias = node.expression.sole_alias
+        relation = self.query.relation(alias)
+        # Windowed/streamed inputs are keyed by alias (each alias sees its own
+        # window over the same stream); stored tables are keyed by table name.
+        if alias in self.data:
+            base_rows = self.data[alias]
+        elif relation.table in self.data:
+            base_rows = self.data[relation.table]
+        else:
+            raise ExecutionError(
+                f"no data loaded for alias {alias!r} or table {relation.table!r}"
+            )
+        filters = self.query.filters_for(alias)
+        output: Table = []
+        for base_row in base_rows:
+            keep = True
+            for predicate in filters:
+                value = base_row.get(predicate.column.column)
+                if value is None or not predicate.evaluate(value):
+                    keep = False
+                    break
+            if keep:
+                output.append(
+                    {f"{alias}.{name}": value for name, value in base_row.items()}
+                )
+        return output
+
+    # ------------------------------------------------------------------
+    # Sort enforcer
+    # ------------------------------------------------------------------
+
+    def _execute_sort(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
+        child_rows = self._execute_node(node.children[0], result)
+        column = node.output_property.column
+        if column is None:
+            return child_rows
+        key = str(column)
+        return sorted(child_rows, key=lambda row: (row.get(key) is None, row.get(key)))
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _execute_join(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
+        left_node, right_node = node.children[0], node.children[1]
+        left_rows = self._execute_node(left_node, result)
+        right_rows = self._execute_node(right_node, result)
+        predicates = self.query.predicates_between(left_node.expression, right_node.expression)
+        equi = [predicate for predicate in predicates if predicate.is_equijoin]
+        residual = [predicate for predicate in predicates if not predicate.is_equijoin]
+        if equi:
+            joined = self._hash_join(left_rows, right_rows, left_node.expression, equi)
+        else:
+            joined = self._nested_loop(left_rows, right_rows)
+        if residual:
+            joined = [row for row in joined if self._residual_ok(row, residual)]
+        return joined
+
+    def _hash_join(
+        self,
+        left_rows: Table,
+        right_rows: Table,
+        left_expression: Expression,
+        predicates: List[JoinPredicate],
+    ) -> Table:
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        for predicate in predicates:
+            left_column = predicate.column_for(left_expression)
+            right_column = predicate.right if left_column == predicate.left else predicate.left
+            left_keys.append(str(left_column))
+            right_keys.append(str(right_column))
+        index: Dict[Tuple, List[Row]] = {}
+        for row in right_rows:
+            key = tuple(row.get(column) for column in right_keys)
+            index.setdefault(key, []).append(row)
+        output: Table = []
+        for row in left_rows:
+            key = tuple(row.get(column) for column in left_keys)
+            for match in index.get(key, ()):  # noqa: B020
+                combined = dict(row)
+                combined.update(match)
+                output.append(combined)
+        return output
+
+    @staticmethod
+    def _nested_loop(left_rows: Table, right_rows: Table) -> Table:
+        output: Table = []
+        for left_row in left_rows:
+            for right_row in right_rows:
+                combined = dict(left_row)
+                combined.update(right_row)
+                output.append(combined)
+        return output
+
+    @staticmethod
+    def _residual_ok(row: Row, predicates: Iterable[JoinPredicate]) -> bool:
+        for predicate in predicates:
+            left_value = row.get(str(predicate.left))
+            right_value = row.get(str(predicate.right))
+            if left_value is None or right_value is None:
+                return False
+            if not predicate.op.evaluate(left_value, right_value):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _execute_aggregate(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
+        child_rows = self._execute_node(node.children[0], result)
+        group_columns = [str(column) for column in self.query.group_by]
+        groups: Dict[Tuple, List[Row]] = {}
+        for row in child_rows:
+            key = tuple(row.get(column) for column in group_columns)
+            groups.setdefault(key, []).append(row)
+        if not groups and not group_columns:
+            groups[()] = []
+        output: Table = []
+        for key, rows in groups.items():
+            out_row: Row = dict(zip(group_columns, key))
+            for aggregate in self.query.aggregates:
+                out_row[str(aggregate)] = self._compute_aggregate(aggregate, rows)
+            output.append(out_row)
+        return output
+
+    def _compute_aggregate(self, aggregate, rows: Table) -> object:
+        column = str(aggregate.column) if aggregate.column is not None else None
+        if aggregate.function is AggregateFunction.COUNT:
+            if column is None:
+                return len(rows)
+            values = [row.get(column) for row in rows if row.get(column) is not None]
+            return len(set(values)) if aggregate.distinct else len(values)
+        values = [row.get(column) for row in rows if row.get(column) is not None]
+        if aggregate.distinct:
+            values = list(set(values))
+        if not values:
+            return None
+        if aggregate.function is AggregateFunction.SUM:
+            return sum(values)  # type: ignore[arg-type]
+        if aggregate.function is AggregateFunction.MIN:
+            return min(values)
+        if aggregate.function is AggregateFunction.MAX:
+            return max(values)
+        if aggregate.function is AggregateFunction.AVG:
+            return sum(values) / len(values)  # type: ignore[arg-type]
+        raise ExecutionError(f"unsupported aggregate {aggregate.function}")

@@ -1,0 +1,6 @@
+"""Procedural baseline optimizers (Volcano-style and System-R-style)."""
+
+from repro.optimizer.baselines.system_r import SystemROptimizer
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+
+__all__ = ["SystemROptimizer", "VolcanoOptimizer"]

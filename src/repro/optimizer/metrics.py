@@ -1,0 +1,123 @@
+"""Optimizer metrics: the quantities plotted in the paper's evaluation.
+
+Two families of numbers matter:
+
+* **Pruning ratios** (Figures 4 and 7): of everything the optimizer
+  enumerated, how many plan-table entries (OR nodes) and plan alternatives
+  (AND nodes) were subsequently pruned from its state.
+* **Update ratios** (Figures 5, 6 and 8): during an incremental
+  re-optimization, how many OR / AND nodes had their state touched, relative
+  to the total state a from-scratch optimization would process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.optimizer.tables import AndKey, OrKey
+
+
+@dataclass
+class OptimizationMetrics:
+    """Counters for one optimization (or re-optimization) run."""
+
+    or_nodes_enumerated: int = 0
+    or_nodes_pruned: int = 0
+    and_nodes_enumerated: int = 0
+    and_nodes_pruned: int = 0
+    plan_costs_computed: int = 0
+    elapsed_seconds: float = 0.0
+
+    # incremental-run specific
+    or_nodes_touched: int = 0
+    and_nodes_touched: int = 0
+    or_nodes_total: int = 0
+    and_nodes_total: int = 0
+
+    # -- derived ratios -----------------------------------------------------
+
+    @property
+    def pruning_ratio_or(self) -> float:
+        if self.or_nodes_enumerated == 0:
+            return 0.0
+        return self.or_nodes_pruned / self.or_nodes_enumerated
+
+    @property
+    def pruning_ratio_and(self) -> float:
+        if self.and_nodes_enumerated == 0:
+            return 0.0
+        return self.and_nodes_pruned / self.and_nodes_enumerated
+
+    @property
+    def update_ratio_or(self) -> float:
+        if self.or_nodes_total == 0:
+            return 0.0
+        return self.or_nodes_touched / self.or_nodes_total
+
+    @property
+    def update_ratio_and(self) -> float:
+        if self.and_nodes_total == 0:
+            return 0.0
+        return self.and_nodes_touched / self.and_nodes_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "or_nodes_enumerated": self.or_nodes_enumerated,
+            "or_nodes_pruned": self.or_nodes_pruned,
+            "and_nodes_enumerated": self.and_nodes_enumerated,
+            "and_nodes_pruned": self.and_nodes_pruned,
+            "plan_costs_computed": self.plan_costs_computed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "pruning_ratio_or": self.pruning_ratio_or,
+            "pruning_ratio_and": self.pruning_ratio_and,
+            "or_nodes_touched": self.or_nodes_touched,
+            "and_nodes_touched": self.and_nodes_touched,
+            "update_ratio_or": self.update_ratio_or,
+            "update_ratio_and": self.update_ratio_and,
+        }
+
+
+class MetricsRecorder:
+    """Records touched/pruned node sets for one run and produces metrics."""
+
+    def __init__(self) -> None:
+        self._touched_or: Set[OrKey] = set()
+        self._touched_and: Set[AndKey] = set()
+        self._start: Optional[float] = None
+        self.plan_costs_computed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._touched_or.clear()
+        self._touched_and.clear()
+        self.plan_costs_computed = 0
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    # -- recording -------------------------------------------------------------
+
+    def touch_or(self, key: OrKey) -> None:
+        self._touched_or.add(key)
+
+    def touch_and(self, key: AndKey) -> None:
+        self._touched_and.add(key)
+
+    def record_plan_cost(self) -> None:
+        self.plan_costs_computed += 1
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def touched_or_count(self) -> int:
+        return len(self._touched_or)
+
+    @property
+    def touched_and_count(self) -> int:
+        return len(self._touched_and)

@@ -1,0 +1,11 @@
+"""Pruning strategies of the declarative optimizer.
+
+Aggregate selection and reference counting are implemented inline in
+:mod:`repro.optimizer.declarative` (they are checks applied as deltas flow
+through the PlanCost / SearchSpace views); recursive bounding has enough
+independent state to live in its own module, :mod:`repro.optimizer.pruning.bounds`.
+"""
+
+from repro.optimizer.pruning.bounds import INFINITY, BoundChange, BoundsManager
+
+__all__ = ["INFINITY", "BoundChange", "BoundsManager"]

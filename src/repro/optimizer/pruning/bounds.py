@@ -1,0 +1,138 @@
+"""Recursive bounding (§3.3 / §4.3): the ``Bound`` relation.
+
+``Bound(expr, prop)`` is the tightest cost any plan for that OR node may have
+and still participate in the optimal plan.  It is the minimum of
+
+* the best known cost of an equivalent plan (``BestCost``), and
+* the loosest bound any *parent* plan can tolerate (``MaxBound``), where a
+  parent alternative ``p`` with bound ``B`` and local cost ``l`` can tolerate
+  ``B - l - BestCost(sibling)`` for this child (rules r1–r4 of the paper).
+
+The :class:`BoundsManager` stores the current bound per OR node, a
+:class:`~repro.datalog.aggregates.GroupedMaxAggregate` of parent contributions
+(so removing one parent recovers the next-loosest bound), and reports every
+bound change so the optimizer can prune or re-introduce plans incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.datalog.aggregates import GroupedMaxAggregate
+from repro.optimizer.tables import AndKey, OrKey
+
+INFINITY = float("inf")
+
+ContributionKey = Tuple[AndKey, str]  # (parent alternative, "left" | "right")
+
+
+@dataclass(frozen=True)
+class BoundChange:
+    """A change to one OR node's bound value."""
+
+    or_key: OrKey
+    old_bound: float
+    new_bound: float
+
+    @property
+    def increased(self) -> bool:
+        return self.new_bound > self.old_bound
+
+    @property
+    def decreased(self) -> bool:
+        return self.new_bound < self.old_bound
+
+
+class BoundsManager:
+    """Incrementally maintained branch-and-bound limits per OR node."""
+
+    def __init__(self) -> None:
+        self._contributions: GroupedMaxAggregate[OrKey, ContributionKey] = GroupedMaxAggregate()
+        self._contribution_values: Dict[ContributionKey, Tuple[OrKey, float]] = {}
+        self._best_costs: Dict[OrKey, float] = {}
+        self._bounds: Dict[OrKey, float] = {}
+
+    # -- reads ------------------------------------------------------------
+
+    def bound(self, or_key: OrKey) -> float:
+        return self._bounds.get(or_key, INFINITY)
+
+    def best_cost(self, or_key: OrKey) -> float:
+        return self._best_costs.get(or_key, INFINITY)
+
+    def max_parent_bound(self, or_key: OrKey) -> float:
+        value = self._contributions.value(or_key)
+        return INFINITY if value is None else value
+
+    # -- updates ------------------------------------------------------------
+
+    def update_best_cost(self, or_key: OrKey, value: Optional[float]) -> Optional[BoundChange]:
+        """Record a new BestCost for an OR node (None clears it)."""
+        if value is None:
+            self._best_costs.pop(or_key, None)
+        else:
+            self._best_costs[or_key] = value
+        return self._recompute(or_key)
+
+    def set_contribution(
+        self,
+        child: OrKey,
+        parent: AndKey,
+        side: str,
+        value: Optional[float],
+    ) -> Optional[BoundChange]:
+        """Set / update / remove one parent alternative's bound contribution."""
+        key: ContributionKey = (parent, side)
+        existing = self._contribution_values.get(key)
+        if value is None:
+            if existing is None:
+                return None
+            old_child, old_value = existing
+            del self._contribution_values[key]
+            self._contributions.delete(old_child, old_value, key)
+            return self._recompute(old_child)
+        if existing is None:
+            self._contribution_values[key] = (child, value)
+            self._contributions.insert(child, value, key)
+            return self._recompute(child)
+        old_child, old_value = existing
+        if old_child == child and old_value == value:
+            return None
+        if old_child == child:
+            self._contribution_values[key] = (child, value)
+            self._contributions.update(child, old_value, value, key)
+            return self._recompute(child)
+        # The contribution moved to a different child group (should not happen
+        # for a fixed search space, but handle it for safety).
+        self._contributions.delete(old_child, old_value, key)
+        self._contribution_values[key] = (child, value)
+        self._contributions.insert(child, value, key)
+        first = self._recompute(old_child)
+        second = self._recompute(child)
+        return second if second is not None else first
+
+    def remove_parent(self, parent: AndKey) -> List[BoundChange]:
+        """Remove both contributions of a parent alternative (it was pruned)."""
+        changes: List[BoundChange] = []
+        for side in ("left", "right"):
+            change = self.set_contribution(OrKey(parent.expression, parent.prop), parent, side, None)
+            if change is not None:
+                changes.append(change)
+        return changes
+
+    # -- internals ------------------------------------------------------------
+
+    def _recompute(self, or_key: OrKey) -> Optional[BoundChange]:
+        old_bound = self._bounds.get(or_key, INFINITY)
+        new_bound = min(self.best_cost(or_key), self.max_parent_bound(or_key))
+        if new_bound == old_bound:
+            return None
+        if new_bound == INFINITY:
+            self._bounds.pop(or_key, None)
+        else:
+            self._bounds[or_key] = new_bound
+        return BoundChange(or_key, old_bound, new_bound)
+
+    def snapshot(self) -> Dict[OrKey, float]:
+        return dict(self._bounds)

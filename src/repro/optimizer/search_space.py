@@ -1,0 +1,352 @@
+"""Search-space enumeration: the paper's ``Fn_split`` / ``Fn_isleaf`` / ``Fn_phyOp``.
+
+Given an expression-property pair (an OR node), :class:`SearchSpaceEnumerator`
+produces every physical alternative (AND node) for it in one shot — the merged
+logical + physical enumeration of §2.3.  Enumeration is deterministic, so the
+alternative indexes assigned here are stable across re-optimizations and can
+be used as persistent keys of the optimizer's incremental state.
+
+Enumerated alternatives per OR node:
+
+* leaf + ANY: sequential scan, plus an index scan when an index exists on a
+  filtered column (an access-path alternative);
+* leaf + SORTED(col): sorted scan (scan + sort), plus an index scan when an
+  index on ``col`` exists;
+* leaf + INDEXED(col): index scan (only emitted when the index exists);
+* join + ANY: for every connected partition — pipelined hash join (both
+  orientations), sort-merge join (children required sorted on the join
+  columns), indexed nested-loop join (when the inner is an indexed leaf), and
+  a plain nested-loop join when no equi-join predicate links the two sides;
+* join + SORTED(col): a sort enforcer over the ANY plan, plus sort-merge
+  joins whose merge column equals the requested column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import OptimizationError
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.plan import LogicalOperator, PhysicalOperator
+from repro.relational.predicates import JoinPredicate
+from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
+from repro.relational.query import Query
+from repro.optimizer.tables import AndKey, OrKey, SearchSpaceEntry
+
+
+@dataclass(frozen=True)
+class EnumerationOptions:
+    """Knobs controlling the richness of the enumerated space."""
+
+    left_deep_only: bool = False
+    enable_sort_merge: bool = True
+    enable_index_nl: bool = True
+    enable_index_scans: bool = True
+
+
+class SearchSpaceEnumerator:
+    """Deterministic enumeration of physical alternatives for OR nodes."""
+
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        options: Optional[EnumerationOptions] = None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.options = options or EnumerationOptions()
+
+    # ------------------------------------------------------------------
+    # Fn_isleaf
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def is_leaf(expression: Expression) -> bool:
+        return expression.is_leaf
+
+    # ------------------------------------------------------------------
+    # Fn_split (merged logical + physical enumeration)
+    # ------------------------------------------------------------------
+
+    def expand(self, or_key: OrKey) -> List[SearchSpaceEntry]:
+        """All physical alternatives for one expression-property pair."""
+        expression, prop = or_key.expression, or_key.prop
+        if expression.is_leaf:
+            raw = self._scan_alternatives(expression, prop)
+        else:
+            raw = self._join_alternatives(expression, prop)
+        entries: List[SearchSpaceEntry] = []
+        for index, (logical_op, physical_op, left, right) in enumerate(raw, start=1):
+            entries.append(
+                SearchSpaceEntry(
+                    key=AndKey(expression, prop, index),
+                    logical_op=logical_op,
+                    physical_op=physical_op,
+                    left=left,
+                    right=right,
+                )
+            )
+        return entries
+
+    # -- scans ----------------------------------------------------------
+
+    def _scan_alternatives(
+        self, expression: Expression, prop: PhysicalProperty
+    ) -> List[Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]]:
+        alias = expression.sole_alias
+        table = self.query.relation(alias).table
+        alternatives = []
+        if prop.is_any:
+            alternatives.append((LogicalOperator.SCAN, PhysicalOperator.SEQ_SCAN, None, None))
+            if self.options.enable_index_scans and self._filtered_index_column(alias):
+                alternatives.append(
+                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
+                )
+        elif prop.kind is PropertyKind.SORTED:
+            assert prop.column is not None
+            alternatives.append((LogicalOperator.SCAN, PhysicalOperator.SORTED_SCAN, None, None))
+            if (
+                self.options.enable_index_scans
+                and prop.column.alias == alias
+                and self.catalog.index_on(table, prop.column.column) is not None
+            ):
+                alternatives.append(
+                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
+                )
+        elif prop.kind is PropertyKind.INDEXED:
+            assert prop.column is not None
+            if (
+                prop.column.alias == alias
+                and self.catalog.index_on(table, prop.column.column) is not None
+            ):
+                alternatives.append(
+                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
+                )
+        return alternatives
+
+    def _filtered_index_column(self, alias: str) -> Optional[ColumnRef]:
+        """A column of *alias* that both has an index and appears in a filter."""
+        table = self.query.relation(alias).table
+        for predicate in self.query.filters_for(alias):
+            if self.catalog.index_on(table, predicate.column.column) is not None:
+                return predicate.column
+        return None
+
+    # -- joins ----------------------------------------------------------
+
+    def _join_alternatives(
+        self, expression: Expression, prop: PhysicalProperty
+    ) -> List[Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]]:
+        if prop.kind is PropertyKind.INDEXED:
+            # Indexes exist only on base relations; no way to deliver this.
+            return []
+        alternatives: List[
+            Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]
+        ] = []
+        if prop.kind is PropertyKind.SORTED:
+            # An explicit sort enforcer over the unconstrained plan.
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.SORT,
+                    OrKey(expression, ANY_PROPERTY),
+                    None,
+                )
+            )
+        for left, right in self._valid_partitions(expression):
+            predicates = self.query.predicates_between(left, right)
+            equi = [predicate for predicate in predicates if predicate.is_equijoin]
+            if prop.is_any:
+                alternatives.extend(self._any_join_alternatives(left, right, equi, predicates))
+            else:
+                assert prop.column is not None
+                alternatives.extend(
+                    self._sorted_join_alternatives(left, right, equi, prop.column)
+                )
+        return alternatives
+
+    def _valid_partitions(
+        self, expression: Expression
+    ) -> List[Tuple[Expression, Expression]]:
+        """Connected, non-cross-product splits (falling back if none exist)."""
+        connected: List[Tuple[Expression, Expression]] = []
+        fallback: List[Tuple[Expression, Expression]] = []
+        for left, right in expression.partitions():
+            if self.options.left_deep_only and not (left.is_leaf or right.is_leaf):
+                continue
+            if not self.query.is_connected(left.aliases) or not self.query.is_connected(
+                right.aliases
+            ):
+                continue
+            pair = (left, right)
+            if self.query.predicates_between(left, right):
+                connected.append(pair)
+            else:
+                fallback.append(pair)
+        return connected if connected else fallback
+
+    def _any_join_alternatives(
+        self,
+        left: Expression,
+        right: Expression,
+        equi: List[JoinPredicate],
+        predicates: List[JoinPredicate],
+    ) -> List[Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]]:
+        alternatives = []
+        if equi:
+            # Pipelined hash join, both orientations (build side differs).
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.HASH_JOIN,
+                    OrKey(left, ANY_PROPERTY),
+                    OrKey(right, ANY_PROPERTY),
+                )
+            )
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.HASH_JOIN,
+                    OrKey(right, ANY_PROPERTY),
+                    OrKey(left, ANY_PROPERTY),
+                )
+            )
+            predicate = equi[0]
+            left_column = predicate.column_for(left)
+            right_column = predicate.column_for(right)
+            if self.options.enable_sort_merge:
+                alternatives.append(
+                    (
+                        LogicalOperator.JOIN,
+                        PhysicalOperator.SORT_MERGE_JOIN,
+                        OrKey(left, PhysicalProperty.sorted_on(left_column)),
+                        OrKey(right, PhysicalProperty.sorted_on(right_column)),
+                    )
+                )
+            if self.options.enable_index_nl:
+                alternatives.extend(
+                    self._index_nl_alternatives(left, right, left_column, right_column)
+                )
+        elif not predicates:
+            # Cross product (only reachable for disconnected join graphs).
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.NESTED_LOOP_JOIN,
+                    OrKey(left, ANY_PROPERTY),
+                    OrKey(right, ANY_PROPERTY),
+                )
+            )
+        else:
+            # Theta join: nested loops in both orientations.
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.NESTED_LOOP_JOIN,
+                    OrKey(left, ANY_PROPERTY),
+                    OrKey(right, ANY_PROPERTY),
+                )
+            )
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.NESTED_LOOP_JOIN,
+                    OrKey(right, ANY_PROPERTY),
+                    OrKey(left, ANY_PROPERTY),
+                )
+            )
+        return alternatives
+
+    def _index_nl_alternatives(
+        self,
+        left: Expression,
+        right: Expression,
+        left_column: ColumnRef,
+        right_column: ColumnRef,
+    ) -> List[Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]]:
+        """Indexed nested-loop joins: the indexed leaf side becomes the inner."""
+        alternatives = []
+        if right.is_leaf and self._has_index(right, right_column):
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.INDEX_NL_JOIN,
+                    OrKey(left, ANY_PROPERTY),
+                    OrKey(right, PhysicalProperty.indexed_on(right_column)),
+                )
+            )
+        if left.is_leaf and self._has_index(left, left_column):
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.INDEX_NL_JOIN,
+                    OrKey(right, ANY_PROPERTY),
+                    OrKey(left, PhysicalProperty.indexed_on(left_column)),
+                )
+            )
+        return alternatives
+
+    def _sorted_join_alternatives(
+        self,
+        left: Expression,
+        right: Expression,
+        equi: List[JoinPredicate],
+        required_column: ColumnRef,
+    ) -> List[Tuple[LogicalOperator, PhysicalOperator, Optional[OrKey], Optional[OrKey]]]:
+        """Sort-merge joins that natively deliver the requested sort order."""
+        alternatives = []
+        if not (self.options.enable_sort_merge and equi):
+            return alternatives
+        predicate = equi[0]
+        left_column = predicate.column_for(left)
+        right_column = predicate.column_for(right)
+        if required_column in (left_column, right_column):
+            alternatives.append(
+                (
+                    LogicalOperator.JOIN,
+                    PhysicalOperator.SORT_MERGE_JOIN,
+                    OrKey(left, PhysicalProperty.sorted_on(left_column)),
+                    OrKey(right, PhysicalProperty.sorted_on(right_column)),
+                )
+            )
+        return alternatives
+
+    # -- helpers ----------------------------------------------------------
+
+    def _has_index(self, expression: Expression, column: ColumnRef) -> bool:
+        alias = expression.sole_alias
+        if column.alias != alias:
+            return False
+        table = self.query.relation(alias).table
+        return self.catalog.index_on(table, column.column) is not None
+
+    # ------------------------------------------------------------------
+    # Exhaustive-universe helper (used for metrics denominators and tests)
+    # ------------------------------------------------------------------
+
+    def full_universe_size(self) -> Tuple[int, int]:
+        """(OR nodes, AND nodes) of the complete un-pruned search space.
+
+        Runs a breadth-first expansion of every reachable expression-property
+        pair without any pruning.  Used as the denominator when reporting
+        update ratios, and by tests validating enumeration completeness.
+        """
+        root = OrKey(self.query.root_expression, ANY_PROPERTY)
+        seen: Dict[OrKey, int] = {}
+        frontier = [root]
+        and_count = 0
+        while frontier:
+            or_key = frontier.pop()
+            if or_key in seen:
+                continue
+            entries = self.expand(or_key)
+            seen[or_key] = len(entries)
+            and_count += len(entries)
+            for entry in entries:
+                for child in entry.children():
+                    if child not in seen:
+                        frontier.append(child)
+        return len(seen), and_count

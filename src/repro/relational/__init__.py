@@ -1,0 +1,42 @@
+"""Relational substrate: schema, expressions, predicates, queries, plans."""
+
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.plan import LogicalOperator, PhysicalOperator, PhysicalPlan
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
+from repro.relational.query import (
+    AggregateFunction,
+    AggregateSpec,
+    Query,
+    QueryBuilder,
+    RelationRef,
+    WindowKind,
+    WindowSpec,
+)
+from repro.relational.schema import Column, DataType, Index, Schema, Table
+
+__all__ = [
+    "ColumnRef",
+    "Expression",
+    "LogicalOperator",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "ComparisonOp",
+    "FilterPredicate",
+    "JoinPredicate",
+    "ANY_PROPERTY",
+    "PhysicalProperty",
+    "PropertyKind",
+    "AggregateFunction",
+    "AggregateSpec",
+    "Query",
+    "QueryBuilder",
+    "RelationRef",
+    "WindowKind",
+    "WindowSpec",
+    "Column",
+    "DataType",
+    "Index",
+    "Schema",
+    "Table",
+]

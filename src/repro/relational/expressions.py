@@ -1,0 +1,149 @@
+"""Query (sub)expressions used by the optimizer.
+
+Within a single select-project-join block, every algebraic subexpression the
+optimizer considers is fully identified by the *set of base relation aliases*
+it joins (e.g. ``{customer, orders}``).  This mirrors the paper's ``Expr``
+values such as ``(CO)`` or ``(COL)``: the logical content of an expression is
+the join of its relations with all applicable predicates pushed down, so the
+alias set is a canonical identifier for the equivalence class of plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from repro.common.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A column qualified by the relation alias it belongs to."""
+
+    alias: str
+    column: str
+
+    @classmethod
+    def parse(cls, text: str) -> "ColumnRef":
+        """Parse ``"alias.column"`` into a :class:`ColumnRef`."""
+        if "." not in text:
+            raise QueryError(f"column reference {text!r} must be 'alias.column'")
+        alias, _, column = text.partition(".")
+        if not alias or not column:
+            raise QueryError(f"column reference {text!r} must be 'alias.column'")
+        return cls(alias=alias, column=column)
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+class Expression:
+    """An immutable set of relation aliases identifying a subexpression.
+
+    Instances are hashable and canonically ordered so they can be used as
+    keys of the optimizer's ``SearchSpace`` / ``PlanCost`` views.
+    """
+
+    __slots__ = ("_aliases", "_name")
+
+    def __init__(self, aliases: Iterable[str]) -> None:
+        alias_set = frozenset(aliases)
+        if not alias_set:
+            raise QueryError("an expression must contain at least one relation")
+        object.__setattr__(self, "_aliases", alias_set)
+        object.__setattr__(self, "_name", "(" + " ".join(sorted(alias_set)) + ")")
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def of(cls, *aliases: str) -> "Expression":
+        return cls(aliases)
+
+    @classmethod
+    def leaf(cls, alias: str) -> "Expression":
+        return cls((alias,))
+
+    # -- set protocol ----------------------------------------------------
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self._aliases
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def is_leaf(self) -> bool:
+        return len(self._aliases) == 1
+
+    @property
+    def sole_alias(self) -> str:
+        if not self.is_leaf:
+            raise QueryError(f"expression {self._name} is not a leaf")
+        return next(iter(self._aliases))
+
+    def __len__(self) -> int:
+        return len(self._aliases)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._aliases))
+
+    def __contains__(self, alias: str) -> bool:
+        return alias in self._aliases
+
+    def contains(self, other: "Expression") -> bool:
+        """True if *other* is a (non-strict) subexpression of this one."""
+        return other._aliases <= self._aliases
+
+    def union(self, other: "Expression") -> "Expression":
+        return Expression(self._aliases | other._aliases)
+
+    def difference(self, other: "Expression") -> "Expression":
+        remaining = self._aliases - other._aliases
+        if not remaining:
+            raise QueryError(
+                f"difference of {self._name} and {other._name} would be empty"
+            )
+        return Expression(remaining)
+
+    def partitions(self) -> Iterator[Tuple["Expression", "Expression"]]:
+        """Yield every unordered split of this expression into two halves.
+
+        Each split is yielded once, with the half containing the
+        lexicographically-smallest alias on the left.  Leaves have no splits.
+        """
+        aliases = sorted(self._aliases)
+        if len(aliases) < 2:
+            return
+        anchor = aliases[0]
+        rest = aliases[1:]
+        # Enumerate subsets of `rest` joined with the anchor as the left side.
+        for mask in range(2 ** len(rest)):
+            left = {anchor}
+            for position, alias in enumerate(rest):
+                if mask & (1 << position):
+                    left.add(alias)
+            right = self._aliases - left
+            if not right:
+                continue
+            yield Expression(left), Expression(right)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expression):
+            return NotImplemented
+        return self._aliases == other._aliases
+
+    def __hash__(self) -> int:
+        return hash(self._aliases)
+
+    def __lt__(self, other: "Expression") -> bool:
+        return (len(self._aliases), self._name) < (len(other._aliases), other._name)
+
+    def __repr__(self) -> str:
+        return f"Expression{self._name}"
+
+    def __str__(self) -> str:
+        return self._name

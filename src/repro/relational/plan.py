@@ -1,0 +1,154 @@
+"""Physical plan trees produced by the optimizers and consumed by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.relational.expressions import Expression
+from repro.relational.properties import ANY_PROPERTY, PhysicalProperty
+
+
+class LogicalOperator(Enum):
+    """Logical (algebraic) operators in the search space."""
+
+    SCAN = "scan"
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+
+
+class PhysicalOperator(Enum):
+    """Physical operator implementations costed by the cost model."""
+
+    SEQ_SCAN = "seq-scan"
+    INDEX_SCAN = "index-scan"
+    SORTED_SCAN = "sorted-scan"
+    HASH_JOIN = "pipelined-hash-join"
+    SORT_MERGE_JOIN = "sort-merge-join"
+    INDEX_NL_JOIN = "indexed-nested-loop-join"
+    NESTED_LOOP_JOIN = "nested-loop-join"
+    SORT = "sort"
+    HASH_AGGREGATE = "hash-aggregate"
+
+    @property
+    def is_scan(self) -> bool:
+        return self in (
+            PhysicalOperator.SEQ_SCAN,
+            PhysicalOperator.INDEX_SCAN,
+            PhysicalOperator.SORTED_SCAN,
+        )
+
+    @property
+    def is_join(self) -> bool:
+        return self in (
+            PhysicalOperator.HASH_JOIN,
+            PhysicalOperator.SORT_MERGE_JOIN,
+            PhysicalOperator.INDEX_NL_JOIN,
+            PhysicalOperator.NESTED_LOOP_JOIN,
+        )
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """An immutable physical plan node.
+
+    ``local_cost`` is the cost of the root operator alone; ``total_cost``
+    includes the children (the paper's ``PlanCost``).  ``cardinality`` is the
+    estimated number of output rows used when the plan was costed.
+    """
+
+    operator: PhysicalOperator
+    expression: Expression
+    output_property: PhysicalProperty = ANY_PROPERTY
+    children: Tuple["PhysicalPlan", ...] = ()
+    local_cost: float = 0.0
+    total_cost: float = 0.0
+    cardinality: float = 0.0
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def left(self) -> Optional["PhysicalPlan"]:
+        return self.children[0] if self.children else None
+
+    @property
+    def right(self) -> Optional["PhysicalPlan"]:
+        return self.children[1] if len(self.children) > 1 else None
+
+    def iter_nodes(self) -> Iterator["PhysicalPlan"]:
+        """Pre-order traversal of the plan tree."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth for child in self.children)
+
+    def leaf_order(self) -> List[str]:
+        """The left-to-right order in which base relations are accessed."""
+        if self.is_leaf:
+            return [self.expression.sole_alias]
+        order: List[str] = []
+        for child in self.children:
+            order.extend(child.leaf_order())
+        return order
+
+    def operators_used(self) -> Dict[PhysicalOperator, int]:
+        counts: Dict[PhysicalOperator, int] = {}
+        for node in self.iter_nodes():
+            counts[node.operator] = counts.get(node.operator, 0) + 1
+        return counts
+
+    def detail(self, key: str, default: object = None) -> object:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    # -- comparison helpers ---------------------------------------------
+
+    def join_order_signature(self) -> Tuple[object, ...]:
+        """A structural signature: join tree shape + operators, ignoring costs.
+
+        Two plans with identical signatures access the data the same way, so
+        the adaptive controller can decide whether switching plans requires
+        state migration.
+        """
+        if self.is_leaf:
+            return (self.operator.value, self.expression.name)
+        return (
+            self.operator.value,
+            self.expression.name,
+            tuple(child.join_order_signature() for child in self.children),
+        )
+
+    # -- rendering -------------------------------------------------------
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        prop = "" if self.output_property.is_any else f" [{self.output_property}]"
+        line = (
+            f"{pad}{self.operator.value} {self.expression}{prop} "
+            f"(local={self.local_cost:.3f}, total={self.total_cost:.3f}, "
+            f"rows={self.cardinality:.0f})"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()

@@ -1,0 +1,118 @@
+"""Filter and join predicates attached to a query block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Optional, Union
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef, Expression
+
+
+class ComparisonOp(Enum):
+    """Comparison operators supported in predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left: object, right: object) -> bool:
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.LT:
+            return left < right  # type: ignore[operator]
+        if self is ComparisonOp.LE:
+            return left <= right  # type: ignore[operator]
+        if self is ComparisonOp.GT:
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+
+    @property
+    def is_equality(self) -> bool:
+        return self is ComparisonOp.EQ
+
+    @property
+    def is_range(self) -> bool:
+        return self in (ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE)
+
+
+Value = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A single-relation predicate ``alias.column <op> constant``.
+
+    ``selectivity_hint`` lets a workload pin the selectivity directly instead
+    of relying on histogram estimation (useful for deterministic tests).
+    """
+
+    column: ColumnRef
+    op: ComparisonOp
+    value: Value
+    selectivity_hint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.selectivity_hint is not None and not 0.0 <= self.selectivity_hint <= 1.0:
+            raise QueryError("selectivity_hint must be within [0, 1]")
+
+    @property
+    def alias(self) -> str:
+        return self.column.alias
+
+    def evaluate(self, row_value: object) -> bool:
+        return self.op.evaluate(row_value, self.value)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A binary predicate ``left.column <op> right.column`` between two aliases."""
+
+    left: ColumnRef
+    right: ColumnRef
+    op: ComparisonOp = ComparisonOp.EQ
+
+    def __post_init__(self) -> None:
+        if self.left.alias == self.right.alias:
+            raise QueryError(
+                f"join predicate {self} must reference two distinct aliases"
+            )
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return frozenset((self.left.alias, self.right.alias))
+
+    @property
+    def is_equijoin(self) -> bool:
+        return self.op.is_equality
+
+    def involves(self, alias: str) -> bool:
+        return alias in self.aliases
+
+    def connects(self, left_expr: Expression, right_expr: Expression) -> bool:
+        """True if this predicate links the two (disjoint) expressions."""
+        left_in = self.left.alias in left_expr
+        right_in = self.right.alias in right_expr
+        if left_in and right_in:
+            return True
+        return self.left.alias in right_expr and self.right.alias in left_expr
+
+    def column_for(self, expr: Expression) -> ColumnRef:
+        """Return whichever side of the predicate belongs to *expr*."""
+        if self.left.alias in expr:
+            return self.left
+        if self.right.alias in expr:
+            return self.right
+        raise QueryError(f"predicate {self} does not touch expression {expr}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"

@@ -1,0 +1,77 @@
+"""Physical properties ("interesting orders") of plan outputs.
+
+A plan for a given logical expression may produce its output in a particular
+physical shape: sorted on a column (useful for merge joins and order-by), or
+accessible through an index on a column (useful as the inner of an indexed
+nested-loop join).  The optimizer enumerates plans per *(expression,
+property)* pair, exactly as the paper's ``SearchSpace``/``PlanCost`` tables
+are keyed on ``(Expr, Prop)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef
+
+
+class PropertyKind(Enum):
+    """The kind of physical property a plan output can carry."""
+
+    ANY = "any"
+    SORTED = "sorted"
+    INDEXED = "indexed"
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalProperty:
+    """A required or delivered physical property of a plan's output."""
+
+    kind: PropertyKind = PropertyKind.ANY
+    column: Optional[ColumnRef] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PropertyKind.ANY and self.column is not None:
+            raise QueryError("ANY property must not carry a column")
+        if self.kind is not PropertyKind.ANY and self.column is None:
+            raise QueryError(f"{self.kind.value} property requires a column")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def any(cls) -> "PhysicalProperty":
+        return _ANY
+
+    @classmethod
+    def sorted_on(cls, column: ColumnRef) -> "PhysicalProperty":
+        return cls(PropertyKind.SORTED, column)
+
+    @classmethod
+    def indexed_on(cls, column: ColumnRef) -> "PhysicalProperty":
+        return cls(PropertyKind.INDEXED, column)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_any(self) -> bool:
+        return self.kind is PropertyKind.ANY
+
+    def satisfies(self, required: "PhysicalProperty") -> bool:
+        """True if a plan delivering ``self`` meets the ``required`` property."""
+        if required.is_any:
+            return True
+        return self.kind is required.kind and self.column == required.column
+
+    def __str__(self) -> str:
+        if self.is_any:
+            return "-"
+        return f"{self.kind.value}({self.column})"
+
+
+_ANY = PhysicalProperty()
+
+ANY_PROPERTY = _ANY
+"""Singleton "no requirement" property, shared to keep keys compact."""

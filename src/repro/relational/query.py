@@ -1,0 +1,310 @@
+"""Query specification: a single select-project-join(-aggregate) block.
+
+The optimizer in this library (like the paper's) works on one query block at
+a time: a set of relations (possibly windowed streams), a conjunction of
+equi-join predicates, per-relation filter predicates, a projection list and an
+optional group-by/aggregate.  The :class:`QueryBuilder` offers a small fluent
+API used by :mod:`repro.workloads.queries` to express the paper's workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.schema import Schema
+
+
+class WindowKind(Enum):
+    """Kinds of stream windows supported (Linear Road uses both)."""
+
+    TIME = "time"
+    TUPLES = "tuples"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A sliding window applied to a streamed relation reference."""
+
+    kind: WindowKind
+    size: int
+    partition_by: Tuple[ColumnRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise QueryError("window size must be positive")
+
+    def __str__(self) -> str:
+        parts = f"[size {self.size} {self.kind.value}"
+        if self.partition_by:
+            parts += " partition by " + ", ".join(str(c) for c in self.partition_by)
+        return parts + "]"
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A relation (or windowed stream) occurrence in the FROM clause."""
+
+    alias: str
+    table: str
+    window: Optional[WindowSpec] = None
+
+    @property
+    def is_windowed(self) -> bool:
+        return self.window is not None
+
+
+class AggregateFunction(Enum):
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """An aggregate in the SELECT list, e.g. ``COUNT(DISTINCT r5.xpos)``."""
+
+    function: AggregateFunction
+    column: Optional[ColumnRef] = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.column is None else str(self.column)
+        if self.distinct:
+            inner = f"distinct {inner}"
+        return f"{self.function.value}({inner})"
+
+
+class Query:
+    """An immutable single-block query."""
+
+    def __init__(
+        self,
+        name: str,
+        relations: Sequence[RelationRef],
+        join_predicates: Sequence[JoinPredicate] = (),
+        filters: Sequence[FilterPredicate] = (),
+        projections: Sequence[ColumnRef] = (),
+        group_by: Sequence[ColumnRef] = (),
+        aggregates: Sequence[AggregateSpec] = (),
+    ) -> None:
+        if not relations:
+            raise QueryError("a query needs at least one relation")
+        self.name = name
+        self._relations: Dict[str, RelationRef] = {}
+        for ref in relations:
+            if ref.alias in self._relations:
+                raise QueryError(f"duplicate alias {ref.alias!r} in query {name!r}")
+            self._relations[ref.alias] = ref
+        self.join_predicates: Tuple[JoinPredicate, ...] = tuple(join_predicates)
+        self.filters: Tuple[FilterPredicate, ...] = tuple(filters)
+        self.projections: Tuple[ColumnRef, ...] = tuple(projections)
+        self.group_by: Tuple[ColumnRef, ...] = tuple(group_by)
+        self.aggregates: Tuple[AggregateSpec, ...] = tuple(aggregates)
+        self._validate_references()
+
+    # -- validation ------------------------------------------------------
+
+    def _validate_references(self) -> None:
+        aliases = set(self._relations)
+        for predicate in self.join_predicates:
+            for ref in (predicate.left, predicate.right):
+                if ref.alias not in aliases:
+                    raise QueryError(
+                        f"join predicate {predicate} uses unknown alias {ref.alias!r}"
+                    )
+        for predicate in self.filters:
+            if predicate.alias not in aliases:
+                raise QueryError(
+                    f"filter {predicate} uses unknown alias {predicate.alias!r}"
+                )
+        for column in list(self.projections) + list(self.group_by):
+            if column.alias not in aliases:
+                raise QueryError(f"column {column} uses unknown alias")
+        for aggregate in self.aggregates:
+            if aggregate.column is not None and aggregate.column.alias not in aliases:
+                raise QueryError(f"aggregate {aggregate} uses unknown alias")
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check every table/column reference against a concrete schema."""
+        for ref in self._relations.values():
+            table = schema.table(ref.table)
+            for column in self.columns_of_alias(ref.alias):
+                if not table.has_column(column.column):
+                    raise QueryError(
+                        f"query {self.name!r}: column {column} not in table {ref.table!r}"
+                    )
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def relations(self) -> List[RelationRef]:
+        return list(self._relations.values())
+
+    @property
+    def aliases(self) -> List[str]:
+        return list(self._relations)
+
+    def relation(self, alias: str) -> RelationRef:
+        try:
+            return self._relations[alias]
+        except KeyError:
+            raise QueryError(f"unknown alias {alias!r} in query {self.name!r}") from None
+
+    @property
+    def root_expression(self) -> Expression:
+        """The expression joining every relation — the optimizer's goal."""
+        return Expression(self._relations)
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+    def filters_for(self, alias: str) -> List[FilterPredicate]:
+        return [predicate for predicate in self.filters if predicate.alias == alias]
+
+    def columns_of_alias(self, alias: str) -> List[ColumnRef]:
+        """Every column of *alias* mentioned anywhere in the query."""
+        columns: List[ColumnRef] = []
+        for predicate in self.join_predicates:
+            for ref in (predicate.left, predicate.right):
+                if ref.alias == alias:
+                    columns.append(ref)
+        for predicate in self.filters:
+            if predicate.alias == alias:
+                columns.append(predicate.column)
+        for ref in list(self.projections) + list(self.group_by):
+            if ref.alias == alias:
+                columns.append(ref)
+        for aggregate in self.aggregates:
+            if aggregate.column is not None and aggregate.column.alias == alias:
+                columns.append(aggregate.column)
+        seen: Set[ColumnRef] = set()
+        unique: List[ColumnRef] = []
+        for column in columns:
+            if column not in seen:
+                seen.add(column)
+                unique.append(column)
+        return unique
+
+    # -- join graph ------------------------------------------------------
+
+    def join_graph(self) -> Dict[str, Set[str]]:
+        """Adjacency map between aliases induced by the join predicates."""
+        graph: Dict[str, Set[str]] = {alias: set() for alias in self._relations}
+        for predicate in self.join_predicates:
+            left, right = predicate.left.alias, predicate.right.alias
+            graph[left].add(right)
+            graph[right].add(left)
+        return graph
+
+    def is_connected(self, aliases: Iterable[str]) -> bool:
+        """True if the aliases form a connected subgraph of the join graph."""
+        alias_set = set(aliases)
+        if not alias_set:
+            return False
+        if len(alias_set) == 1:
+            return True
+        graph = self.join_graph()
+        frontier = [next(iter(alias_set))]
+        seen = {frontier[0]}
+        while frontier:
+            node = frontier.pop()
+            for neighbor in graph[node] & alias_set:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == alias_set
+
+    def predicates_between(
+        self, left: Expression, right: Expression
+    ) -> List[JoinPredicate]:
+        """Join predicates connecting two disjoint subexpressions."""
+        return [
+            predicate
+            for predicate in self.join_predicates
+            if predicate.connects(left, right)
+        ]
+
+    def predicates_within(self, expr: Expression) -> List[JoinPredicate]:
+        """Join predicates fully contained inside *expr*."""
+        return [
+            predicate
+            for predicate in self.join_predicates
+            if predicate.aliases <= expr.aliases
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query({self.name!r}, {len(self._relations)} relations)"
+
+
+class QueryBuilder:
+    """Small fluent builder used by the workload definitions and tests."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._relations: List[RelationRef] = []
+        self._joins: List[JoinPredicate] = []
+        self._filters: List[FilterPredicate] = []
+        self._projections: List[ColumnRef] = []
+        self._group_by: List[ColumnRef] = []
+        self._aggregates: List[AggregateSpec] = []
+
+    def scan(
+        self, table: str, alias: Optional[str] = None, window: Optional[WindowSpec] = None
+    ) -> "QueryBuilder":
+        self._relations.append(RelationRef(alias or table, table, window))
+        return self
+
+    def join_on(self, left: str, right: str, op: ComparisonOp = ComparisonOp.EQ) -> "QueryBuilder":
+        self._joins.append(
+            JoinPredicate(ColumnRef.parse(left), ColumnRef.parse(right), op)
+        )
+        return self
+
+    def filter(
+        self,
+        column: str,
+        op: ComparisonOp,
+        value: object,
+        selectivity: Optional[float] = None,
+    ) -> "QueryBuilder":
+        self._filters.append(
+            FilterPredicate(ColumnRef.parse(column), op, value, selectivity)  # type: ignore[arg-type]
+        )
+        return self
+
+    def select(self, *columns: str) -> "QueryBuilder":
+        self._projections.extend(ColumnRef.parse(column) for column in columns)
+        return self
+
+    def group_by(self, *columns: str) -> "QueryBuilder":
+        self._group_by.extend(ColumnRef.parse(column) for column in columns)
+        return self
+
+    def aggregate(
+        self,
+        function: AggregateFunction,
+        column: Optional[str] = None,
+        distinct: bool = False,
+    ) -> "QueryBuilder":
+        ref = ColumnRef.parse(column) if column is not None else None
+        self._aggregates.append(AggregateSpec(function, ref, distinct))
+        return self
+
+    def build(self) -> Query:
+        return Query(
+            name=self._name,
+            relations=self._relations,
+            join_predicates=self._joins,
+            filters=self._filters,
+            projections=self._projections,
+            group_by=self._group_by,
+            aggregates=self._aggregates,
+        )

@@ -1,0 +1,21 @@
+"""Stream processing substrate: windows, slices, and the Linear Road workload."""
+
+from repro.streams.linear_road import (
+    GeneratorConfig,
+    LinearRoadGenerator,
+    linear_road_catalog,
+    linear_road_schema,
+    segtolls_query,
+)
+from repro.streams.windows import StreamSlice, WindowManager, slice_stream
+
+__all__ = [
+    "GeneratorConfig",
+    "LinearRoadGenerator",
+    "linear_road_catalog",
+    "linear_road_schema",
+    "segtolls_query",
+    "StreamSlice",
+    "WindowManager",
+    "slice_stream",
+]

@@ -1,0 +1,192 @@
+"""A Linear Road-style stream workload.
+
+The paper's adaptive experiments use the Linear Road benchmark's largest
+query, ``SegToll``, simplified into a five-way windowed self-join
+(``SegTollS``, Table 2) over a stream of car location reports whose
+characteristics "frequently change".  The original generator is not available
+offline, so this module provides a synthetic substitute that preserves the
+property the experiments rely on: the distribution of reports across
+expressways and segments drifts and bursts over time, so the best join order
+changes from slice to slice.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import TableStats
+from repro.relational.expressions import ColumnRef
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import (
+    AggregateFunction,
+    Query,
+    QueryBuilder,
+    WindowKind,
+    WindowSpec,
+)
+from repro.relational.schema import Column, Index, Schema, Table
+from repro.streams.windows import StreamSlice, slice_stream
+
+Row = Dict[str, object]
+
+STREAM_TABLE = "carlocstr"
+
+
+def linear_road_schema() -> Schema:
+    """Schema of the car-location report stream."""
+    table = Table(
+        STREAM_TABLE,
+        [
+            Column("carid"),
+            Column("speed"),
+            Column("expway"),
+            Column("lane"),
+            Column("dir"),
+            Column("seg"),
+            Column("xpos"),
+            Column("t"),
+        ],
+    )
+    indexes = [
+        Index("idx_carloc_carid", STREAM_TABLE, "carid"),
+        Index("idx_carloc_seg", STREAM_TABLE, "seg"),
+    ]
+    return Schema(tables=[table], indexes=indexes)
+
+
+def segtolls_query() -> Query:
+    """The paper's SegTollS: a five-way windowed self-join (Table 2)."""
+    partition_r2 = (
+        ColumnRef("r2", "expway"),
+        ColumnRef("r2", "dir"),
+        ColumnRef("r2", "seg"),
+    )
+    return (
+        QueryBuilder("SegTollS")
+        .scan(STREAM_TABLE, alias="r1", window=WindowSpec(WindowKind.TIME, 300))
+        .scan(
+            STREAM_TABLE,
+            alias="r2",
+            window=WindowSpec(WindowKind.TUPLES, 1, partition_r2),
+        )
+        .scan(
+            STREAM_TABLE,
+            alias="r3",
+            window=WindowSpec(WindowKind.TUPLES, 1, (ColumnRef("r3", "carid"),)),
+        )
+        .scan(STREAM_TABLE, alias="r4", window=WindowSpec(WindowKind.TIME, 30))
+        .scan(
+            STREAM_TABLE,
+            alias="r5",
+            window=WindowSpec(WindowKind.TUPLES, 4, (ColumnRef("r5", "carid"),)),
+        )
+        .join_on("r2.expway", "r3.expway")
+        .join_on("r2.seg", "r3.seg", ComparisonOp.LT)
+        .join_on("r3.carid", "r4.carid")
+        .join_on("r3.carid", "r5.carid")
+        .join_on("r1.expway", "r2.expway")
+        .join_on("r1.dir", "r2.dir")
+        .join_on("r1.seg", "r2.seg")
+        .filter("r2.dir", ComparisonOp.EQ, 0, selectivity=0.5)
+        .filter("r3.dir", ComparisonOp.EQ, 0, selectivity=0.5)
+        .select("r1.expway", "r1.dir", "r1.seg")
+        .group_by("r2.expway", "r2.dir", "r2.seg")
+        .aggregate(AggregateFunction.COUNT, "r5.xpos", distinct=True)
+        .build()
+    )
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the synthetic Linear Road-style generator."""
+
+    expressways: int = 3
+    segments: int = 100
+    cars: int = 400
+    reports_per_second: int = 120
+    #: how strongly traffic concentrates on the moving hotspot segment
+    hotspot_strength: float = 3.0
+    #: period (seconds) of the hotspot drifting across segments
+    hotspot_period: float = 40.0
+    #: probability per second of a burst (accident) pinning traffic to a segment
+    burst_probability: float = 0.08
+    burst_duration: float = 5.0
+    seed: int = 13
+
+
+class LinearRoadGenerator:
+    """Generates timestamped car-location reports with drifting distributions."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def generate(self, duration_seconds: int) -> List[Row]:
+        """Reports for ``duration_seconds`` seconds of simulated time."""
+        config = self.config
+        rng = self._rng
+        rows: List[Row] = []
+        burst_until = -1.0
+        burst_segment = 0
+        burst_expway = 0
+        for second in range(duration_seconds):
+            if second > burst_until and rng.random() < config.burst_probability:
+                burst_until = second + config.burst_duration
+                burst_segment = rng.randrange(config.segments)
+                burst_expway = rng.randrange(config.expressways)
+            hotspot = int(
+                (config.segments / 2)
+                * (1 + math.sin(2 * math.pi * second / config.hotspot_period))
+            ) % config.segments
+            popular_expway = (second // 20) % config.expressways
+            for _ in range(config.reports_per_second):
+                in_burst = second <= burst_until
+                if in_burst and rng.random() < 0.6:
+                    expway = burst_expway
+                    segment = burst_segment
+                elif rng.random() < 0.7:
+                    expway = popular_expway
+                    spread = max(1, int(config.segments / (2 * config.hotspot_strength)))
+                    segment = (hotspot + rng.randint(-spread, spread)) % config.segments
+                else:
+                    expway = rng.randrange(config.expressways)
+                    segment = rng.randrange(config.segments)
+                carid = rng.randrange(config.cars)
+                rows.append(
+                    {
+                        "carid": carid,
+                        "speed": rng.randint(0, 100),
+                        "expway": expway,
+                        "lane": rng.randint(0, 3),
+                        "dir": rng.randint(0, 1),
+                        "seg": segment,
+                        "xpos": segment * 5280 + rng.randint(0, 5279),
+                        "t": float(second),
+                    }
+                )
+        return rows
+
+    def generate_slices(
+        self, duration_seconds: int, slice_duration: float
+    ) -> List[StreamSlice]:
+        return slice_stream(self.generate(duration_seconds), slice_duration)
+
+
+def linear_road_catalog(sample_rows: Optional[Sequence[Row]] = None) -> Catalog:
+    """A catalog for the stream schema, optionally seeded from a sample.
+
+    With no sample the catalog contains deliberately uninformative statistics,
+    matching the adaptive experiments' setup where "the optimizer starts with
+    zero statistical information on the data".
+    """
+    schema = linear_road_schema()
+    catalog = Catalog(schema)
+    if sample_rows:
+        catalog.set_table_stats(STREAM_TABLE, TableStats.from_rows(list(sample_rows)))
+    else:
+        catalog.set_table_stats(STREAM_TABLE, TableStats(row_count=1000.0))
+    return catalog

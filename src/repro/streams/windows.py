@@ -1,0 +1,158 @@
+"""Stream slices and window materialization.
+
+The adaptive experiments process a stream one *slice* at a time (the paper's
+data-partitioned adaptivity model [15]): execution pauses at slice boundaries,
+the optimizer may pick a new plan, and the next slice is processed with that
+plan.  Windowed relation references (``[size 300 time]``,
+``[size 4 tuple partition by carid]``) see the stream history according to
+their window specification; :class:`WindowManager` maintains that history and
+materializes the current window contents per alias for the executor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.relational.query import Query, RelationRef, WindowKind
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class StreamSlice:
+    """One slice of the input stream: rows arriving in [start_time, end_time)."""
+
+    index: int
+    start_time: float
+    end_time: float
+    rows: Tuple[Row, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class _AliasWindow:
+    """Window state for one windowed relation reference."""
+
+    def __init__(self, ref: RelationRef, timestamp_column: str) -> None:
+        if ref.window is None:
+            raise ExecutionError(f"relation {ref.alias} has no window specification")
+        self.ref = ref
+        self.window = ref.window
+        self.timestamp_column = timestamp_column
+        # Time windows keep a deque of (timestamp, row); tuple windows keep a
+        # per-partition deque bounded at the window size.
+        self._time_rows: Deque[Tuple[float, Row]] = deque()
+        self._partitions: Dict[Tuple, Deque[Row]] = {}
+
+    def append(self, row: Row, timestamp: float) -> None:
+        if self.window.kind is WindowKind.TIME:
+            self._time_rows.append((timestamp, row))
+        else:
+            key = tuple(row.get(column.column) for column in self.window.partition_by)
+            bucket = self._partitions.setdefault(key, deque(maxlen=self.window.size))
+            bucket.append(row)
+
+    def evict(self, now: float) -> None:
+        if self.window.kind is not WindowKind.TIME:
+            return
+        horizon = now - self.window.size
+        while self._time_rows and self._time_rows[0][0] <= horizon:
+            self._time_rows.popleft()
+
+    def contents(self) -> List[Row]:
+        if self.window.kind is WindowKind.TIME:
+            return [row for _, row in self._time_rows]
+        rows: List[Row] = []
+        for bucket in self._partitions.values():
+            rows.extend(bucket)
+        return rows
+
+    def row_count(self) -> int:
+        if self.window.kind is WindowKind.TIME:
+            return len(self._time_rows)
+        return sum(len(bucket) for bucket in self._partitions.values())
+
+
+class WindowManager:
+    """Maintains window contents for every windowed alias of one query."""
+
+    def __init__(self, query: Query, timestamp_column: str = "t") -> None:
+        self.query = query
+        self.timestamp_column = timestamp_column
+        self._windows: Dict[str, _AliasWindow] = {}
+        self._static: Dict[str, List[Row]] = {}
+        for ref in query.relations:
+            if ref.is_windowed:
+                self._windows[ref.alias] = _AliasWindow(ref, timestamp_column)
+        self.current_time: float = 0.0
+
+    # -- feeding ----------------------------------------------------------
+
+    def advance(self, stream_slice: StreamSlice) -> None:
+        """Append a slice of stream rows and advance the clock."""
+        for row in stream_slice.rows:
+            timestamp = float(row.get(self.timestamp_column, stream_slice.end_time))
+            for window in self._windows.values():
+                window.append(row, timestamp)
+        self.current_time = stream_slice.end_time
+        for window in self._windows.values():
+            window.evict(self.current_time)
+
+    def set_static_table(self, alias: str, rows: Sequence[Row]) -> None:
+        """Provide contents for a non-windowed relation (stored tables)."""
+        self._static[alias] = list(rows)
+
+    # -- reading -------------------------------------------------------------
+
+    def materialize(self) -> Dict[str, List[Row]]:
+        """Current contents per alias, consumable by the plan executor."""
+        data: Dict[str, List[Row]] = {}
+        for alias, window in self._windows.items():
+            data[alias] = window.contents()
+        data.update({alias: list(rows) for alias, rows in self._static.items()})
+        return data
+
+    def window_sizes(self) -> Dict[str, int]:
+        return {alias: window.row_count() for alias, window in self._windows.items()}
+
+    def total_window_rows(self) -> int:
+        return sum(self.window_sizes().values())
+
+
+def slice_stream(
+    rows: Sequence[Row],
+    slice_duration: float,
+    timestamp_column: str = "t",
+) -> List[StreamSlice]:
+    """Group timestamped rows into consecutive fixed-duration slices."""
+    if slice_duration <= 0:
+        raise ExecutionError("slice duration must be positive")
+    ordered = sorted(rows, key=lambda row: row.get(timestamp_column, 0))
+    if not ordered:
+        return []
+    start = float(ordered[0].get(timestamp_column, 0))
+    slices: List[StreamSlice] = []
+    bucket: List[Row] = []
+    index = 0
+    boundary = start + slice_duration
+    for row in ordered:
+        timestamp = float(row.get(timestamp_column, 0))
+        while timestamp >= boundary:
+            slices.append(
+                StreamSlice(index, boundary - slice_duration, boundary, tuple(bucket))
+            )
+            bucket = []
+            index += 1
+            boundary += slice_duration
+        bucket.append(row)
+    slices.append(StreamSlice(index, boundary - slice_duration, boundary, tuple(bucket)))
+    return slices

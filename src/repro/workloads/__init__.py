@@ -1,0 +1,47 @@
+"""Workload definitions: TPC-H-style schema, statistics, data and queries."""
+
+from repro.workloads.queries import (
+    all_queries,
+    q1,
+    q3,
+    q3s,
+    q5,
+    q5_expression_chain,
+    q5s,
+    q6,
+    q8join,
+    q8joins,
+    q10,
+    workload_join_queries,
+)
+from repro.workloads.tpch import (
+    BASE_ROW_COUNTS,
+    ZipfSampler,
+    catalog_from_data,
+    generate_tpch_data,
+    partition_rows,
+    tpch_catalog,
+    tpch_schema,
+)
+
+__all__ = [
+    "all_queries",
+    "q1",
+    "q3",
+    "q3s",
+    "q5",
+    "q5_expression_chain",
+    "q5s",
+    "q6",
+    "q8join",
+    "q8joins",
+    "q10",
+    "workload_join_queries",
+    "BASE_ROW_COUNTS",
+    "ZipfSampler",
+    "catalog_from_data",
+    "generate_tpch_data",
+    "partition_rows",
+    "tpch_catalog",
+    "tpch_schema",
+]

@@ -1,0 +1,235 @@
+"""The paper's query workload (Table 2 and §5) built on the query builder.
+
+Categorical predicates from the original SQL (market segment, region name,
+return flag) are expressed against the integer encodings produced by
+:mod:`repro.workloads.tpch`, with selectivity hints matching the documented
+TPC-H value distributions so the optimizer sees the same estimates the paper's
+optimizer derived from its histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.relational.expressions import Expression
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import AggregateFunction, Query, QueryBuilder
+
+# Date constants (days since 1992-01-01).
+_DATE_1995_03_15 = 1_168
+_DATE_1994_01_01 = 730
+_DATE_1995_01_01 = 1_095
+_DATE_1993_10_01 = 639
+_DATE_1994_01_01_PLUS_3M = 729
+_DATE_1998_09_02 = 2_436
+
+
+def q1() -> Query:
+    """TPC-H Q1: single-table aggregation over lineitem."""
+    return (
+        QueryBuilder("Q1")
+        .scan("lineitem")
+        .filter("lineitem.l_shipdate", ComparisonOp.LE, _DATE_1998_09_02, selectivity=0.95)
+        .select("lineitem.l_returnflag", "lineitem.l_linestatus")
+        .group_by("lineitem.l_returnflag", "lineitem.l_linestatus")
+        .aggregate(AggregateFunction.SUM, "lineitem.l_quantity")
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .aggregate(AggregateFunction.AVG, "lineitem.l_discount")
+        .aggregate(AggregateFunction.COUNT)
+        .build()
+    )
+
+
+def q6() -> Query:
+    """TPC-H Q6: single-table selective aggregation over lineitem."""
+    return (
+        QueryBuilder("Q6")
+        .scan("lineitem")
+        .filter("lineitem.l_shipdate", ComparisonOp.GE, _DATE_1994_01_01, selectivity=0.3)
+        .filter("lineitem.l_shipdate", ComparisonOp.LT, _DATE_1995_01_01, selectivity=0.5)
+        .filter("lineitem.l_discount", ComparisonOp.GE, 0.05, selectivity=0.5)
+        .filter("lineitem.l_quantity", ComparisonOp.LT, 24.0, selectivity=0.48)
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .build()
+    )
+
+
+def q3s() -> Query:
+    """The paper's running example: simplified TPC-H Q3 (no aggregates)."""
+    return (
+        QueryBuilder("Q3S")
+        .scan("customer")
+        .scan("orders")
+        .scan("lineitem")
+        .join_on("customer.c_custkey", "orders.o_custkey")
+        .join_on("orders.o_orderkey", "lineitem.l_orderkey")
+        .filter("customer.c_mktsegment", ComparisonOp.EQ, 2, selectivity=0.2)
+        .filter("orders.o_orderdate", ComparisonOp.LT, _DATE_1995_03_15, selectivity=0.48)
+        .filter("lineitem.l_shipdate", ComparisonOp.GT, _DATE_1995_03_15, selectivity=0.54)
+        .select("lineitem.l_orderkey", "orders.o_orderdate", "orders.o_shippriority")
+        .build()
+    )
+
+
+def q3() -> Query:
+    """TPC-H Q3 with its group-by and revenue aggregate."""
+    return (
+        QueryBuilder("Q3")
+        .scan("customer")
+        .scan("orders")
+        .scan("lineitem")
+        .join_on("customer.c_custkey", "orders.o_custkey")
+        .join_on("orders.o_orderkey", "lineitem.l_orderkey")
+        .filter("customer.c_mktsegment", ComparisonOp.EQ, 2, selectivity=0.2)
+        .filter("orders.o_orderdate", ComparisonOp.LT, _DATE_1995_03_15, selectivity=0.48)
+        .filter("lineitem.l_shipdate", ComparisonOp.GT, _DATE_1995_03_15, selectivity=0.54)
+        .select("lineitem.l_orderkey", "orders.o_orderdate", "orders.o_shippriority")
+        .group_by("lineitem.l_orderkey", "orders.o_orderdate", "orders.o_shippriority")
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .build()
+    )
+
+
+def _q5_builder(name: str) -> QueryBuilder:
+    return (
+        QueryBuilder(name)
+        .scan("region")
+        .scan("nation")
+        .scan("customer")
+        .scan("orders")
+        .scan("lineitem")
+        .scan("supplier")
+        .join_on("nation.n_regionkey", "region.r_regionkey")
+        .join_on("customer.c_nationkey", "nation.n_nationkey")
+        .join_on("orders.o_custkey", "customer.c_custkey")
+        .join_on("lineitem.l_orderkey", "orders.o_orderkey")
+        .join_on("lineitem.l_suppkey", "supplier.s_suppkey")
+        .join_on("supplier.s_nationkey", "nation.n_nationkey")
+        .filter("region.r_name", ComparisonOp.EQ, 2, selectivity=0.2)
+        .filter("orders.o_orderdate", ComparisonOp.GE, _DATE_1994_01_01, selectivity=0.3)
+        .filter("orders.o_orderdate", ComparisonOp.LT, _DATE_1995_01_01, selectivity=0.5)
+        .select("nation.n_name")
+    )
+
+
+def q5() -> Query:
+    """TPC-H Q5: six-way join with aggregation."""
+    return (
+        _q5_builder("Q5")
+        .group_by("nation.n_name")
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .build()
+    )
+
+
+def q5s() -> Query:
+    """Q5 with the aggregation removed (the paper's Q5S)."""
+    return _q5_builder("Q5S").build()
+
+
+def q10() -> Query:
+    """TPC-H Q10: four-way join with aggregation."""
+    return (
+        QueryBuilder("Q10")
+        .scan("customer")
+        .scan("orders")
+        .scan("lineitem")
+        .scan("nation")
+        .join_on("customer.c_custkey", "orders.o_custkey")
+        .join_on("lineitem.l_orderkey", "orders.o_orderkey")
+        .join_on("customer.c_nationkey", "nation.n_nationkey")
+        .filter("orders.o_orderdate", ComparisonOp.GE, _DATE_1993_10_01, selectivity=0.25)
+        .filter("orders.o_orderdate", ComparisonOp.LT, _DATE_1994_01_01_PLUS_3M + 92, selectivity=0.35)
+        .filter("lineitem.l_returnflag", ComparisonOp.EQ, 1, selectivity=0.33)
+        .select("customer.c_name", "nation.n_name")
+        .group_by("customer.c_name", "nation.n_name")
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .build()
+    )
+
+
+def _q8join_builder(name: str) -> QueryBuilder:
+    """The paper's hand-constructed eight-way join (Table 2)."""
+    return (
+        QueryBuilder(name)
+        .scan("orders")
+        .scan("lineitem")
+        .scan("customer")
+        .scan("part")
+        .scan("partsupp")
+        .scan("supplier")
+        .scan("nation")
+        .scan("region")
+        .join_on("orders.o_orderkey", "lineitem.l_orderkey")
+        .join_on("customer.c_custkey", "orders.o_custkey")
+        .join_on("part.p_partkey", "lineitem.l_partkey")
+        .join_on("partsupp.ps_partkey", "part.p_partkey")
+        .join_on("supplier.s_suppkey", "partsupp.ps_suppkey")
+        .join_on("region.r_regionkey", "nation.n_regionkey")
+        .join_on("supplier.s_nationkey", "nation.n_nationkey")
+        .select(
+            "customer.c_name",
+            "part.p_name",
+            "partsupp.ps_availqty",
+            "supplier.s_name",
+            "orders.o_custkey",
+            "region.r_name",
+            "nation.n_name",
+        )
+    )
+
+
+def q8join() -> Query:
+    return (
+        _q8join_builder("Q8Join")
+        .group_by(
+            "customer.c_name",
+            "part.p_name",
+            "partsupp.ps_availqty",
+            "supplier.s_name",
+            "orders.o_custkey",
+            "region.r_name",
+            "nation.n_name",
+        )
+        .aggregate(AggregateFunction.SUM, "lineitem.l_extendedprice")
+        .build()
+    )
+
+
+def q8joins() -> Query:
+    """Q8Join with the aggregation removed (the paper's Q8JoinS)."""
+    return _q8join_builder("Q8JoinS").build()
+
+
+# ---------------------------------------------------------------------------
+# Named expressions used by the incremental re-optimization experiments
+# ---------------------------------------------------------------------------
+
+def q5_expression_chain() -> Dict[str, Expression]:
+    """Figure 5's named subexpressions of Q5.
+
+    A = region ⋈ nation, B = customer ⋈ A, C = orders ⋈ B, D = lineitem ⋈ C,
+    E = supplier ⋈ D (the full query).
+    """
+    a = Expression.of("region", "nation")
+    b = a.union(Expression.leaf("customer"))
+    c = b.union(Expression.leaf("orders"))
+    d = c.union(Expression.leaf("lineitem"))
+    e = d.union(Expression.leaf("supplier"))
+    return {"A": a, "B": b, "C": c, "D": d, "E": e}
+
+
+def workload_join_queries() -> Dict[str, Query]:
+    """The join queries used in Figures 4 and 7."""
+    return {
+        "Q5": q5(),
+        "Q5S": q5s(),
+        "Q10": q10(),
+        "Q8Join": q8join(),
+        "Q8JoinS": q8joins(),
+    }
+
+
+def all_queries() -> List[Query]:
+    """Every TPC-H-style query defined by the workload."""
+    return [q1(), q3(), q3s(), q5(), q5s(), q6(), q10(), q8join(), q8joins()]

@@ -1,0 +1,107 @@
+"""Tests for the adaptive query processing controller."""
+
+import pytest
+
+from repro.adaptive.controller import AdaptationMode, AdaptiveController
+from repro.common.errors import AdaptationError
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.streams.linear_road import (
+    GeneratorConfig,
+    LinearRoadGenerator,
+    linear_road_catalog,
+    segtolls_query,
+)
+
+
+@pytest.fixture(scope="module")
+def small_stream():
+    generator = LinearRoadGenerator(
+        GeneratorConfig(reports_per_second=20, cars=80, seed=5)
+    )
+    return generator.generate_slices(8, 1.0)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return segtolls_query()
+
+
+class TestAdaptiveController:
+    def test_incremental_mode_processes_every_slice(self, query, small_stream):
+        controller = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
+        )
+        result = controller.run(small_stream)
+        assert len(result.reports) == len(small_stream)
+        assert result.total_reoptimize_seconds > 0
+        assert result.total_execute_seconds > 0
+
+    def test_non_incremental_mode_runs(self, query, small_stream):
+        controller = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.NON_INCREMENTAL
+        )
+        result = controller.run(small_stream)
+        assert len(result.reports) == len(small_stream)
+
+    def test_both_modes_produce_same_output_rows(self, query, small_stream):
+        """Plan choice must never change query results."""
+        incremental = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
+        ).run(small_stream)
+        non_incremental = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.NON_INCREMENTAL
+        ).run(small_stream)
+        per_slice_incremental = [report.output_rows for report in incremental.reports]
+        per_slice_non_incremental = [report.output_rows for report in non_incremental.reports]
+        assert per_slice_incremental == per_slice_non_incremental
+
+    def test_static_mode_requires_plan(self, query):
+        with pytest.raises(AdaptationError):
+            AdaptiveController(query, linear_road_catalog(), mode=AdaptationMode.STATIC)
+
+    def test_static_mode_never_reoptimizes(self, query, small_stream):
+        sample = [row for stream_slice in small_stream for row in stream_slice.rows]
+        catalog = linear_road_catalog(sample)
+        plan = DeclarativeOptimizer(query, catalog).optimize().plan
+        controller = AdaptiveController(
+            query, catalog, mode=AdaptationMode.STATIC, static_plan=plan
+        )
+        result = controller.run(small_stream)
+        assert result.total_reoptimize_seconds == 0
+        assert result.plan_switches == 0
+
+    def test_reoptimize_every_n_slices(self, query, small_stream):
+        controller = AdaptiveController(
+            query,
+            linear_road_catalog(),
+            mode=AdaptationMode.INCREMENTAL,
+            reoptimize_every=4,
+        )
+        result = controller.run(small_stream)
+        reopt_slices = [r.slice_index for r in result.reports if r.reoptimize_seconds > 0]
+        # only slice 0 and every 4th slice afterwards may re-optimize
+        assert all(index % 4 == 0 for index in reopt_slices)
+
+    def test_migration_only_on_plan_change(self, query, small_stream):
+        controller = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
+        )
+        result = controller.run(small_stream)
+        for report in result.reports:
+            if not report.plan_changed:
+                assert report.migration.joins_rebuilt == 0
+
+    def test_incremental_reopt_time_decays(self, query):
+        """Figure 9's qualitative behaviour: as statistics converge, the
+        incremental re-optimizer has less and less to do."""
+        generator = LinearRoadGenerator(
+            GeneratorConfig(reports_per_second=20, cars=80, seed=11)
+        )
+        slices = generator.generate_slices(16, 1.0)
+        controller = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
+        )
+        reports = controller.run(slices).reports
+        first_half = sum(r.reoptimize_seconds for r in reports[1:8]) / 7
+        second_half = sum(r.reoptimize_seconds for r in reports[8:]) / len(reports[8:])
+        assert second_half <= first_half * 1.5

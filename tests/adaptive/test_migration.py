@@ -1,0 +1,57 @@
+"""Tests for plan-switch state migration."""
+
+from repro.adaptive.migration import StateMigrator
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.relational.expressions import Expression
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.workloads.queries import q3s
+from repro.workloads.tpch import tpch_catalog
+
+
+def hash_join_plan(left_alias, right_alias):
+    left = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf(left_alias))
+    right = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf(right_alias))
+    return PhysicalPlan(
+        PhysicalOperator.HASH_JOIN,
+        Expression.of(left_alias, right_alias),
+        children=(left, right),
+    )
+
+
+class TestStateMigrator:
+    def test_no_migration_for_identical_plans(self):
+        query = q3s()
+        migrator = StateMigrator(query)
+        plan = hash_join_plan("customer", "orders")
+        stats = migrator.migrate(plan, plan, {"customer": [], "orders": []})
+        assert stats.joins_rebuilt == 0
+        assert stats.tuples_rehashed == 0
+
+    def test_initial_plan_requires_build(self):
+        query = q3s()
+        migrator = StateMigrator(query)
+        plan = hash_join_plan("customer", "orders")
+        data = {"customer": [{"c_custkey": 1}], "orders": [{"o_custkey": 1}, {"o_custkey": 2}]}
+        stats = migrator.migrate(None, plan, data)
+        assert stats.joins_rebuilt == 1
+        assert stats.tuples_rehashed == 2  # build side = orders
+
+    def test_plan_switch_rebuilds_new_build_sides(self):
+        query = q3s()
+        migrator = StateMigrator(query)
+        old_plan = hash_join_plan("customer", "orders")
+        new_plan = hash_join_plan("orders", "customer")
+        data = {"customer": [{"c_custkey": 1}] * 3, "orders": [{"o_custkey": 1}] * 5}
+        stats = migrator.migrate(old_plan, new_plan, data)
+        assert stats.joins_rebuilt == 1
+        assert stats.tuples_rehashed == 3  # the new build side is customer
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_real_optimizer_plans_migrate(self):
+        query = q3s()
+        catalog = tpch_catalog(0.01)
+        plan = DeclarativeOptimizer(query, catalog).optimize().plan
+        migrator = StateMigrator(query)
+        data = {alias: [] for alias in query.aliases}
+        stats = migrator.migrate(None, plan, data)
+        assert stats.joins_rebuilt >= 1

@@ -1,0 +1,69 @@
+"""Tests for the catalog (schema + statistics + indexes)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import TableStats
+from repro.common.errors import CatalogError
+from repro.workloads.tpch import generate_tpch_data, tpch_catalog, tpch_schema
+
+
+class TestCatalogBasics:
+    def test_set_and_get_stats(self, two_table_schema):
+        catalog = Catalog(two_table_schema)
+        catalog.set_table_stats("emp", TableStats(100))
+        assert catalog.has_stats("emp")
+        assert catalog.row_count("emp") == 100
+        assert not catalog.has_stats("dept")
+
+    def test_unknown_table_stats_rejected(self, two_table_schema):
+        catalog = Catalog(two_table_schema)
+        with pytest.raises(CatalogError):
+            catalog.set_table_stats("missing", TableStats(1))
+        with pytest.raises(CatalogError):
+            catalog.table_stats("dept")
+
+    def test_index_lookup(self, two_table_schema):
+        catalog = Catalog(two_table_schema)
+        assert catalog.index_on("emp", "dept_id") is not None
+        assert catalog.index_on("emp", "salary") is None
+        assert len(catalog.indexes_on("emp")) == 2
+
+    def test_update_row_count(self, two_table_schema):
+        catalog = Catalog(two_table_schema)
+        catalog.set_table_stats("emp", TableStats(100))
+        catalog.update_row_count("emp", 500)
+        assert catalog.row_count("emp") == 500
+
+    def test_copy_is_independent(self, two_table_schema):
+        catalog = Catalog(two_table_schema)
+        catalog.set_table_stats("emp", TableStats(100))
+        clone = catalog.copy()
+        clone.update_row_count("emp", 999)
+        assert catalog.row_count("emp") == 100
+
+
+class TestTpchCatalog:
+    def test_all_tables_have_stats(self):
+        catalog = tpch_catalog(0.01)
+        for table in tpch_schema().table_names:
+            assert catalog.has_stats(table)
+
+    def test_scale_factor_scales_large_tables(self):
+        small = tpch_catalog(0.01)
+        large = tpch_catalog(0.1)
+        assert large.row_count("lineitem") > small.row_count("lineitem")
+        # region/nation are fixed-size regardless of scale factor
+        assert large.row_count("region") == small.row_count("region") == 5
+
+    def test_relative_table_sizes(self):
+        catalog = tpch_catalog(0.01)
+        assert catalog.row_count("lineitem") > catalog.row_count("orders")
+        assert catalog.row_count("orders") > catalog.row_count("customer")
+        assert catalog.row_count("customer") > catalog.row_count("supplier")
+
+    def test_from_data_matches_generated_rows(self):
+        data = generate_tpch_data(scale_factor=0.0005, seed=1)
+        catalog = Catalog.from_data(tpch_schema(), data)
+        assert catalog.row_count("lineitem") == len(data["lineitem"])
+        assert catalog.column_stats("orders", "o_custkey").distinct_count > 0

@@ -1,0 +1,81 @@
+"""Tests for equi-depth histograms."""
+
+import pytest
+
+from repro.catalog.histogram import Bucket, EquiDepthHistogram
+from repro.common.errors import CatalogError
+
+
+class TestBucket:
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(CatalogError):
+            Bucket(low=10, high=5, row_count=1, distinct_count=1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CatalogError):
+            Bucket(low=0, high=1, row_count=-1, distinct_count=1)
+
+
+class TestConstruction:
+    def test_from_values_row_count_preserved(self):
+        histogram = EquiDepthHistogram.from_values(list(range(1000)), 16)
+        assert histogram.row_count == pytest.approx(1000)
+        assert histogram.min_value == 0
+        assert histogram.max_value == 999
+
+    def test_from_values_rejects_empty(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram.from_values([])
+
+    def test_bucket_count_capped_by_values(self):
+        histogram = EquiDepthHistogram.from_values([1, 2, 3], 16)
+        assert len(histogram.buckets) <= 3
+
+    def test_uniform_histogram_totals(self):
+        histogram = EquiDepthHistogram.uniform(0, 100, row_count=500, distinct_count=100)
+        assert histogram.row_count == pytest.approx(500)
+        assert histogram.distinct_count == pytest.approx(100, rel=0.1)
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram.uniform(10, 0, 100, 10)
+
+    def test_needs_buckets(self):
+        with pytest.raises(CatalogError):
+            EquiDepthHistogram([])
+
+
+class TestSelectivity:
+    def test_range_half(self):
+        histogram = EquiDepthHistogram.from_values(list(range(100)), 10)
+        assert histogram.selectivity_range(None, 49) == pytest.approx(0.5, abs=0.08)
+
+    def test_range_everything(self):
+        histogram = EquiDepthHistogram.from_values(list(range(100)), 10)
+        assert histogram.selectivity_range(None, None) == pytest.approx(1.0, abs=0.01)
+
+    def test_range_outside_domain(self):
+        histogram = EquiDepthHistogram.from_values(list(range(100)), 10)
+        assert histogram.selectivity_range(200, 300) == 0.0
+        assert histogram.selectivity_range(None, -5) == 0.0
+
+    def test_equality_uniform_data(self):
+        histogram = EquiDepthHistogram.from_values(list(range(100)), 10)
+        assert histogram.selectivity_eq(42) == pytest.approx(0.01, abs=0.01)
+
+    def test_equality_out_of_range(self):
+        histogram = EquiDepthHistogram.from_values(list(range(100)), 10)
+        assert histogram.selectivity_eq(-10) == 0.0
+        assert histogram.selectivity_eq(1000) == 0.0
+
+    def test_skewed_data_equality_reflects_frequency(self):
+        # 90% of rows are the value 1, the rest spread over 2..11.
+        values = [1] * 900 + list(range(2, 12)) * 10
+        histogram = EquiDepthHistogram.from_values(values, 8)
+        assert histogram.selectivity_eq(1) > 0.3
+
+    def test_selectivity_bounded(self):
+        histogram = EquiDepthHistogram.from_values(list(range(50)), 4)
+        for low, high in [(None, 10), (10, None), (5, 45), (None, None)]:
+            value = histogram.selectivity_range(low, high)
+            assert 0.0 <= value <= 1.0

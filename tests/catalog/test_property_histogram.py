@@ -1,0 +1,44 @@
+"""Property-based tests for histogram selectivity estimates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.histogram import EquiDepthHistogram
+
+value_lists = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
+)
+
+
+@given(value_lists, st.integers(min_value=1, max_value=32))
+@settings(max_examples=150, deadline=None)
+def test_row_count_preserved(values, buckets):
+    histogram = EquiDepthHistogram.from_values(values, buckets)
+    assert histogram.row_count == len(values)
+
+
+@given(value_lists, st.integers(min_value=-1200, max_value=1200))
+@settings(max_examples=150, deadline=None)
+def test_selectivities_are_probabilities(values, probe):
+    histogram = EquiDepthHistogram.from_values(values, 8)
+    assert 0.0 <= histogram.selectivity_eq(probe) <= 1.0
+    assert 0.0 <= histogram.selectivity_range(None, probe) <= 1.0
+    assert 0.0 <= histogram.selectivity_range(probe, None) <= 1.0
+
+
+@given(value_lists)
+@settings(max_examples=100, deadline=None)
+def test_full_range_selectivity_is_one(values):
+    histogram = EquiDepthHistogram.from_values(values, 8)
+    assert histogram.selectivity_range(None, None) >= 0.99
+
+
+@given(value_lists, st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=-1000, max_value=1000))
+@settings(max_examples=150, deadline=None)
+def test_range_monotone_in_width(values, low, high):
+    histogram = EquiDepthHistogram.from_values(values, 8)
+    low, high = min(low, high), max(low, high)
+    narrow = histogram.selectivity_range(low, high)
+    wide = histogram.selectivity_range(low - 100, high + 100)
+    assert wide >= narrow - 1e-9

@@ -1,0 +1,67 @@
+"""Tests for column and table statistics."""
+
+import pytest
+
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.common.errors import CatalogError
+
+
+class TestColumnStats:
+    def test_from_values(self):
+        stats = ColumnStats.from_values([1, 2, 2, 3, 3, 3])
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+        assert stats.histogram is not None
+
+    def test_from_empty_values(self):
+        stats = ColumnStats.from_values([])
+        assert stats.distinct_count == 0
+        assert stats.histogram is None
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=-1)
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct_count=1, null_fraction=2.0)
+
+    def test_scaled(self):
+        stats = ColumnStats(distinct_count=100)
+        assert stats.scaled(0.5).distinct_count == 50
+        assert stats.scaled(0.0).distinct_count == 1.0
+        assert stats.scaled(2.0).distinct_count == 100
+
+
+class TestTableStats:
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(CatalogError):
+            TableStats(row_count=-1)
+
+    def test_column_lookup(self):
+        stats = TableStats(10, {"a": ColumnStats(distinct_count=5)})
+        assert stats.column("a").distinct_count == 5
+        assert stats.has_column("a")
+        with pytest.raises(CatalogError):
+            stats.column("missing")
+
+    def test_distinct_defaults_to_row_count(self):
+        stats = TableStats(42)
+        assert stats.distinct("unknown") == 42
+        assert stats.distinct("unknown", default=7) == 7
+
+    def test_from_rows_numeric_columns(self):
+        rows = [{"a": i, "b": i % 3} for i in range(30)]
+        stats = TableStats.from_rows(rows)
+        assert stats.row_count == 30
+        assert stats.column("a").distinct_count == 30
+        assert stats.column("b").distinct_count == 3
+
+    def test_from_rows_non_numeric_column(self):
+        rows = [{"name": f"x{i % 4}"} for i in range(20)]
+        stats = TableStats.from_rows(rows)
+        assert stats.column("name").distinct_count == 4
+        assert stats.column("name").histogram is None
+
+    def test_from_rows_empty(self):
+        stats = TableStats.from_rows([])
+        assert stats.row_count == 0

@@ -1,0 +1,88 @@
+"""Shared fixtures: catalogs, queries and small generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import Query, QueryBuilder
+from repro.relational.schema import Column, DataType, Index, Schema, Table
+from repro.workloads.queries import q3s, q5, q5s, q8joins, q10
+from repro.workloads.tpch import generate_tpch_data, tpch_catalog, tpch_schema
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Catalog:
+    """An analytic TPC-H catalog at 1% scale (fast, deterministic)."""
+    return tpch_catalog(scale_factor=0.01)
+
+
+@pytest.fixture(scope="session")
+def q3s_query() -> Query:
+    return q3s()
+
+
+@pytest.fixture(scope="session")
+def q5_query() -> Query:
+    return q5()
+
+
+@pytest.fixture(scope="session")
+def q5s_query() -> Query:
+    return q5s()
+
+
+@pytest.fixture(scope="session")
+def q10_query() -> Query:
+    return q10()
+
+
+@pytest.fixture(scope="session")
+def q8joins_query() -> Query:
+    return q8joins()
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """A tiny generated TPC-H dataset used by execution tests."""
+    return generate_tpch_data(scale_factor=0.0005, skew=0.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tpch_schema_fixture() -> Schema:
+    return tpch_schema()
+
+
+@pytest.fixture()
+def two_table_schema() -> Schema:
+    """A minimal two-table schema used by focused unit tests."""
+    return Schema(
+        tables=[
+            Table(
+                "emp",
+                [Column("id"), Column("dept_id"), Column("salary", DataType.FLOAT)],
+                primary_key="id",
+            ),
+            Table("dept", [Column("id"), Column("budget", DataType.FLOAT)], primary_key="id"),
+        ],
+        indexes=[
+            Index("idx_emp_pk", "emp", "id", unique=True),
+            Index("idx_emp_dept", "emp", "dept_id"),
+            Index("idx_dept_pk", "dept", "id", unique=True),
+        ],
+    )
+
+
+@pytest.fixture()
+def two_table_query() -> Query:
+    """emp join dept with one filter, used by focused unit tests."""
+    return (
+        QueryBuilder("emp_dept")
+        .scan("emp", alias="e")
+        .scan("dept", alias="d")
+        .join_on("e.dept_id", "d.id")
+        .filter("e.salary", ComparisonOp.GT, 1000.0, selectivity=0.5)
+        .select("e.id", "d.id")
+        .build()
+    )

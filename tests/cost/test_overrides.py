@@ -1,0 +1,95 @@
+"""Tests for the statistics overlay (runtime overrides)."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.cost.overrides import ChangeKind, StatisticsDelta, StatisticsOverlay
+from repro.relational.expressions import Expression
+
+
+class TestSelectivityFactors:
+    def test_default_factor_is_one(self):
+        overlay = StatisticsOverlay()
+        assert overlay.selectivity_factor(Expression.of("a", "b")) == 1.0
+
+    def test_factor_applies_to_containing_expressions(self):
+        overlay = StatisticsOverlay()
+        overlay.set_selectivity_factor(Expression.of("a", "b"), 4.0)
+        assert overlay.selectivity_factor(Expression.of("a", "b")) == 4.0
+        assert overlay.selectivity_factor(Expression.of("a", "b", "c")) == 4.0
+        assert overlay.selectivity_factor(Expression.of("a", "c")) == 1.0
+        assert overlay.selectivity_factor(Expression.leaf("a")) == 1.0
+
+    def test_factors_multiply(self):
+        overlay = StatisticsOverlay()
+        overlay.set_selectivity_factor(Expression.of("a", "b"), 2.0)
+        overlay.set_selectivity_factor(Expression.of("b", "c"), 3.0)
+        assert overlay.selectivity_factor(Expression.of("a", "b", "c")) == pytest.approx(6.0)
+
+    def test_setting_replaces_previous_value(self):
+        overlay = StatisticsOverlay()
+        overlay.set_selectivity_factor(Expression.of("a", "b"), 2.0)
+        delta = overlay.set_selectivity_factor(Expression.of("a", "b"), 8.0)
+        assert delta.old_factor == 2.0
+        assert delta.new_factor == 8.0
+        assert overlay.selectivity_factor(Expression.of("a", "b")) == 8.0
+
+    def test_invalid_factor_rejected(self):
+        overlay = StatisticsOverlay()
+        with pytest.raises(CatalogError):
+            overlay.set_selectivity_factor(Expression.of("a", "b"), 0.0)
+
+
+class TestScanAndCardinalityFactors:
+    def test_scan_cost_factor(self):
+        overlay = StatisticsOverlay()
+        delta = overlay.set_scan_cost_factor("orders", 4.0)
+        assert delta.kind is ChangeKind.SCAN_COST
+        assert overlay.scan_cost_factor("orders") == 4.0
+        assert overlay.scan_cost_factor("lineitem") == 1.0
+
+    def test_table_cardinality_factor(self):
+        overlay = StatisticsOverlay()
+        delta = overlay.set_table_cardinality_factor("orders", 0.5)
+        assert delta.kind is ChangeKind.TABLE_CARDINALITY
+        assert overlay.table_cardinality_factor("orders") == 0.5
+
+    def test_invalid_factors_rejected(self):
+        overlay = StatisticsOverlay()
+        with pytest.raises(CatalogError):
+            overlay.set_scan_cost_factor("orders", -1.0)
+        with pytest.raises(CatalogError):
+            overlay.set_table_cardinality_factor("orders", 0.0)
+
+
+class TestDeltaAndSnapshot:
+    def test_noop_detection(self):
+        delta = StatisticsDelta(
+            ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 1.0
+        )
+        assert delta.is_noop
+        delta2 = StatisticsDelta(
+            ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 2.0
+        )
+        assert not delta2.is_noop
+
+    def test_snapshot_round_trip(self):
+        overlay = StatisticsOverlay()
+        overlay.set_selectivity_factor(Expression.of("a", "b"), 2.0)
+        overlay.set_scan_cost_factor("a", 3.0)
+        snapshot = overlay.snapshot()
+        assert snapshot["selectivity"]["(a b)"] == 2.0
+        assert snapshot["scan_cost"]["a"] == 3.0
+
+    def test_copy_independent(self):
+        overlay = StatisticsOverlay()
+        overlay.set_scan_cost_factor("a", 3.0)
+        clone = overlay.copy()
+        clone.set_scan_cost_factor("a", 9.0)
+        assert overlay.scan_cost_factor("a") == 3.0
+
+    def test_clear(self):
+        overlay = StatisticsOverlay()
+        overlay.set_scan_cost_factor("a", 3.0)
+        overlay.clear()
+        assert overlay.scan_cost_factor("a") == 1.0

@@ -1,0 +1,81 @@
+"""Tests for the selectivity estimator."""
+
+import pytest
+
+from repro.cost.selectivity import SelectivityEstimator
+from repro.relational.expressions import ColumnRef
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.workloads.queries import q3s, q5
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return SelectivityEstimator(tpch_catalog(0.01))
+
+
+class TestFilterSelectivity:
+    def test_hint_takes_precedence(self, estimator):
+        query = q3s()
+        predicate = FilterPredicate(
+            ColumnRef("customer", "c_mktsegment"), ComparisonOp.EQ, 2, selectivity_hint=0.2
+        )
+        assert estimator.filter_selectivity(query, predicate) == 0.2
+
+    def test_equality_uses_distinct_count(self, estimator):
+        query = q3s()
+        predicate = FilterPredicate(ColumnRef("customer", "c_mktsegment"), ComparisonOp.EQ, 2)
+        value = estimator.filter_selectivity(query, predicate)
+        assert value == pytest.approx(1.0 / 5.0, rel=0.5)
+
+    def test_range_uses_histogram(self, estimator):
+        query = q3s()
+        # o_orderdate spans [0, 2555]; < 1277 should be about half.
+        predicate = FilterPredicate(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 1277)
+        value = estimator.filter_selectivity(query, predicate)
+        assert value == pytest.approx(0.5, abs=0.1)
+
+    def test_not_equal_close_to_one(self, estimator):
+        query = q3s()
+        predicate = FilterPredicate(ColumnRef("customer", "c_mktsegment"), ComparisonOp.NE, 2)
+        assert estimator.filter_selectivity(query, predicate) > 0.7
+
+    def test_result_clamped(self, estimator):
+        query = q3s()
+        predicate = FilterPredicate(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 99999)
+        value = estimator.filter_selectivity(query, predicate)
+        assert 0.0 < value <= 1.0
+
+
+class TestJoinSelectivity:
+    def test_pk_fk_join_selectivity(self, estimator):
+        query = q3s()
+        predicate = JoinPredicate(
+            ColumnRef("customer", "c_custkey"), ColumnRef("orders", "o_custkey")
+        )
+        value = estimator.join_selectivity(query, predicate)
+        # 1 / ndv(custkey) at 1% scale = 1/1500
+        assert value == pytest.approx(1.0 / 1500.0, rel=0.2)
+
+    def test_non_equi_join_uses_default(self, estimator):
+        query = q3s()
+        predicate = JoinPredicate(
+            ColumnRef("customer", "c_custkey"),
+            ColumnRef("orders", "o_custkey"),
+            ComparisonOp.LT,
+        )
+        assert estimator.join_selectivity(query, predicate) == pytest.approx(0.3)
+
+    def test_small_domain_join(self, estimator):
+        query = q5()
+        predicate = JoinPredicate(
+            ColumnRef("nation", "n_regionkey"), ColumnRef("region", "r_regionkey")
+        )
+        value = estimator.join_selectivity(query, predicate)
+        assert value == pytest.approx(1.0 / 5.0, rel=0.3)
+
+    def test_distinct_values_lookup(self, estimator):
+        query = q3s()
+        assert estimator.distinct_values(query, "customer", "c_mktsegment") == pytest.approx(
+            5.0, rel=0.1
+        )

@@ -1,0 +1,107 @@
+"""Tests for expression summaries (Fn_scansummary / Fn_nonscansummary)."""
+
+import pytest
+
+from repro.cost.overrides import StatisticsOverlay
+from repro.cost.summaries import SummaryProvider
+from repro.relational.expressions import ColumnRef, Expression
+from repro.workloads.queries import q3s
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture()
+def provider():
+    return SummaryProvider(q3s(), tpch_catalog(0.01))
+
+
+class TestBaseCardinalities:
+    def test_filtered_cardinality_below_base(self, provider):
+        base = provider.base_cardinality("customer")
+        filtered = provider.filtered_cardinality("customer")
+        assert filtered < base
+        assert filtered == pytest.approx(base * 0.2, rel=0.01)
+
+    def test_unfiltered_relation(self, provider):
+        # orders has a filter (selectivity 0.48); lineitem has one too (0.54).
+        assert provider.filtered_cardinality("orders") == pytest.approx(
+            provider.base_cardinality("orders") * 0.48, rel=0.01
+        )
+
+
+class TestJoinCardinalities:
+    def test_join_cardinality_consistent_across_order(self, provider):
+        # Cardinality is a property of the expression, not of any join order.
+        col = provider.summary(Expression.of("customer", "orders", "lineitem")).cardinality
+        assert col > 0
+
+    def test_join_smaller_than_cross_product(self, provider):
+        customers = provider.filtered_cardinality("customer")
+        orders = provider.filtered_cardinality("orders")
+        joined = provider.summary(Expression.of("customer", "orders")).cardinality
+        assert joined < customers * orders
+
+    def test_disconnected_pair_is_cross_product(self, provider):
+        customers = provider.filtered_cardinality("customer")
+        lineitems = provider.filtered_cardinality("lineitem")
+        cross = provider.summary(Expression.of("customer", "lineitem")).cardinality
+        assert cross == pytest.approx(customers * lineitems, rel=0.01)
+
+    def test_distinct_counts_capped_by_cardinality(self, provider):
+        summary = provider.summary(Expression.of("customer", "orders"))
+        for value in summary.distinct.values():
+            assert value <= summary.cardinality + 1e-6
+
+    def test_row_width_grows_with_expression(self, provider):
+        small = provider.summary(Expression.leaf("customer")).row_width_bytes
+        large = provider.summary(Expression.of("customer", "orders")).row_width_bytes
+        assert large > small
+
+
+class TestOverlayInteraction:
+    def test_selectivity_factor_scales_cardinality(self):
+        overlay = StatisticsOverlay()
+        provider = SummaryProvider(q3s(), tpch_catalog(0.01), overlay)
+        expr = Expression.of("customer", "orders")
+        before = provider.summary(expr).cardinality
+        overlay.set_selectivity_factor(expr, 4.0)
+        provider.invalidate_containing(expr)
+        after = provider.summary(expr).cardinality
+        assert after == pytest.approx(before * 4.0, rel=0.01)
+
+    def test_factor_propagates_to_superexpressions(self):
+        overlay = StatisticsOverlay()
+        provider = SummaryProvider(q3s(), tpch_catalog(0.01), overlay)
+        sub = Expression.of("customer", "orders")
+        full = Expression.of("customer", "orders", "lineitem")
+        before = provider.summary(full).cardinality
+        overlay.set_selectivity_factor(sub, 0.5)
+        provider.invalidate_containing(sub)
+        assert provider.summary(full).cardinality == pytest.approx(before * 0.5, rel=0.01)
+
+    def test_cache_must_be_invalidated(self):
+        overlay = StatisticsOverlay()
+        provider = SummaryProvider(q3s(), tpch_catalog(0.01), overlay)
+        expr = Expression.of("customer", "orders")
+        before = provider.summary(expr).cardinality
+        overlay.set_selectivity_factor(expr, 4.0)
+        # Without invalidation the cached value is returned.
+        assert provider.summary(expr).cardinality == before
+        provider.invalidate_containing(expr)
+        assert provider.summary(expr).cardinality != before
+
+    def test_invalidate_containing_only_affects_supersets(self):
+        provider = SummaryProvider(q3s(), tpch_catalog(0.01))
+        sub = Expression.of("customer", "orders")
+        other = Expression.leaf("lineitem")
+        provider.summary(sub)
+        provider.summary(other)
+        provider.invalidate_containing(sub)
+        assert sub.aliases not in provider._cache
+        assert other.aliases in provider._cache
+
+    def test_table_cardinality_factor(self):
+        overlay = StatisticsOverlay()
+        provider = SummaryProvider(q3s(), tpch_catalog(0.01), overlay)
+        before = provider.base_cardinality("orders")
+        overlay.set_table_cardinality_factor("orders", 2.0)
+        assert provider.base_cardinality("orders") == pytest.approx(before * 2.0)

@@ -1,0 +1,126 @@
+"""Tests for grouped min/max aggregates with next-best recovery."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.datalog.aggregates import GroupedMaxAggregate, GroupedMinAggregate
+
+
+class TestGroupedMinAggregate:
+    def test_first_insert_emits_insert_delta(self):
+        aggregate = GroupedMinAggregate()
+        delta = aggregate.insert("g", 5.0, "p1")
+        assert delta is not None and delta.is_insert
+        assert aggregate.value("g") == 5.0
+
+    def test_cheaper_insert_updates_minimum(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 5.0, "p1")
+        delta = aggregate.insert("g", 3.0, "p2")
+        assert delta is not None and delta.is_update
+        assert aggregate.value("g") == 3.0
+        assert aggregate.current("g").payload == "p2"
+
+    def test_more_expensive_insert_is_silent(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        assert aggregate.insert("g", 9.0, "p2") is None
+        assert aggregate.value("g") == 3.0
+
+    def test_delete_minimum_recovers_next_best(self):
+        """The core property the incremental optimizer relies on (§4.1)."""
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 5.0, "p1")
+        aggregate.insert("g", 3.0, "p2")
+        aggregate.insert("g", 7.0, "p3")
+        delta = aggregate.delete("g", 3.0, "p2")
+        assert delta is not None and delta.is_update
+        assert aggregate.value("g") == 5.0
+        assert aggregate.current("g").payload == "p1"
+
+    def test_delete_non_minimum_is_silent(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 7.0, "p2")
+        assert aggregate.delete("g", 7.0, "p2") is None
+
+    def test_delete_last_entry_emits_delete(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        delta = aggregate.delete("g", 3.0, "p1")
+        assert delta is not None and delta.is_delete
+        assert aggregate.value("g") is None
+
+    def test_delete_absent_entry_raises(self):
+        aggregate = GroupedMinAggregate()
+        with pytest.raises(ReproError):
+            aggregate.delete("g", 1.0, "p")
+
+    def test_update_raising_minimum_promotes_next_best(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 5.0, "p2")
+        delta = aggregate.update("g", 3.0, 10.0, "p1")
+        assert delta is not None and delta.is_update
+        assert aggregate.value("g") == 5.0
+
+    def test_update_lowering_other_entry_takes_over(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 5.0, "p2")
+        delta = aggregate.update("g", 5.0, 1.0, "p2")
+        assert delta is not None
+        assert aggregate.value("g") == 1.0
+
+    def test_update_without_extreme_change_is_silent(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 5.0, "p2")
+        assert aggregate.update("g", 5.0, 4.0, "p2") is None
+
+    def test_groups_are_independent(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g1", 3.0, "a")
+        aggregate.insert("g2", 1.0, "b")
+        assert aggregate.value("g1") == 3.0
+        assert aggregate.value("g2") == 1.0
+        assert len(aggregate) == 2
+
+    def test_duplicate_entries_counted(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p")
+        aggregate.insert("g", 3.0, "p")
+        aggregate.delete("g", 3.0, "p")
+        assert aggregate.value("g") == 3.0
+        assert aggregate.group_size("g") == 1
+
+    def test_entries_listing(self):
+        aggregate = GroupedMinAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 5.0, "p2")
+        assert sorted(aggregate.entries("g")) == [(3.0, "p1"), (5.0, "p2")]
+        assert aggregate.entries("unknown") == []
+
+
+class TestGroupedMaxAggregate:
+    def test_tracks_maximum(self):
+        aggregate = GroupedMaxAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 9.0, "p2")
+        assert aggregate.value("g") == 9.0
+
+    def test_delete_maximum_recovers_next_best(self):
+        aggregate = GroupedMaxAggregate()
+        aggregate.insert("g", 3.0, "p1")
+        aggregate.insert("g", 9.0, "p2")
+        delta = aggregate.delete("g", 9.0, "p2")
+        assert delta is not None and delta.is_update
+        assert aggregate.value("g") == 3.0
+
+    def test_infinity_values_supported(self):
+        aggregate = GroupedMaxAggregate()
+        aggregate.insert("g", float("inf"), "p1")
+        aggregate.insert("g", 5.0, "p2")
+        assert aggregate.value("g") == float("inf")
+        aggregate.delete("g", float("inf"), "p1")
+        assert aggregate.value("g") == 5.0

@@ -1,0 +1,175 @@
+"""Tests for the incremental rule dataflow (joins, aggregates, recursion)."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.datalog.dataflow import (
+    Dataflow,
+    FilterRule,
+    JoinRule,
+    MapRule,
+    MinAggregateRule,
+)
+
+
+def build_edge_path_dataflow() -> Dataflow:
+    """Classic recursive program: path(x,y) :- edge(x,y) | edge(x,z), path(z,y)."""
+    flow = Dataflow()
+    flow.add_rule(MapRule("edge", "path", lambda row: [row]))
+    flow.add_rule(
+        JoinRule(
+            "edge",
+            "path",
+            "path",
+            left_key=lambda edge: edge[1],
+            right_key=lambda path: path[0],
+            combine=lambda edge, path: (edge[0], path[1]),
+        )
+    )
+    return flow
+
+
+class TestMapAndFilterRules:
+    def test_map_transforms_tuples(self):
+        flow = Dataflow()
+        flow.add_rule(MapRule("numbers", "doubled", lambda row: [(row[0] * 2,)]))
+        flow.insert("numbers", (3,))
+        flow.run_to_fixpoint()
+        assert flow.rows("doubled") == [(6,)]
+
+    def test_map_propagates_deletions(self):
+        flow = Dataflow()
+        flow.add_rule(MapRule("numbers", "doubled", lambda row: [(row[0] * 2,)]))
+        flow.insert("numbers", (3,))
+        flow.run_to_fixpoint()
+        flow.delete("numbers", (3,))
+        flow.run_to_fixpoint()
+        assert flow.rows("doubled") == []
+
+    def test_filter_rule(self):
+        flow = Dataflow()
+        flow.add_rule(FilterRule("numbers", "big", lambda row: row[0] > 10))
+        flow.insert("numbers", (5,))
+        flow.insert("numbers", (15,))
+        flow.run_to_fixpoint()
+        assert flow.rows("big") == [(15,)]
+
+
+class TestJoinRule:
+    def build(self):
+        flow = Dataflow()
+        flow.add_rule(
+            JoinRule(
+                "r",
+                "s",
+                "rs",
+                left_key=lambda row: row[0],
+                right_key=lambda row: row[0],
+                combine=lambda left, right: (left[0], left[1], right[1]),
+            )
+        )
+        return flow
+
+    def test_join_produces_matches(self):
+        flow = self.build()
+        flow.insert("r", (1, "a"))
+        flow.insert("s", (1, "x"))
+        flow.insert("s", (2, "y"))
+        flow.run_to_fixpoint()
+        assert flow.rows("rs") == [(1, "a", "x")]
+
+    def test_incremental_insert_into_either_side(self):
+        flow = self.build()
+        flow.insert("r", (1, "a"))
+        flow.run_to_fixpoint()
+        flow.insert("s", (1, "x"))
+        flow.run_to_fixpoint()
+        assert flow.rows("rs") == [(1, "a", "x")]
+
+    def test_deletion_retracts_join_results(self):
+        flow = self.build()
+        flow.insert("r", (1, "a"))
+        flow.insert("s", (1, "x"))
+        flow.run_to_fixpoint()
+        flow.delete("r", (1, "a"))
+        flow.run_to_fixpoint()
+        assert flow.rows("rs") == []
+
+    def test_duplicate_matches_counted(self):
+        flow = self.build()
+        flow.insert("r", (1, "a"))
+        flow.insert("s", (1, "x"))
+        flow.insert("s", (1, "x"))
+        flow.run_to_fixpoint()
+        # Two derivations of the same output tuple; deleting one s copy keeps it.
+        flow.delete("s", (1, "x"))
+        flow.run_to_fixpoint()
+        assert flow.rows("rs") == [(1, "a", "x")]
+
+    def test_self_join_requires_distinct_names(self):
+        with pytest.raises(ReproError):
+            JoinRule("r", "r", "out", left_key=lambda r: r, right_key=lambda r: r)
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        flow = build_edge_path_dataflow()
+        for edge in [(1, 2), (2, 3), (3, 4)]:
+            flow.insert("edge", edge)
+        flow.run_to_fixpoint()
+        paths = set(flow.rows("path"))
+        assert (1, 4) in paths
+        assert (1, 3) in paths
+        assert len(paths) == 6
+
+    def test_incremental_edge_insertion_extends_paths(self):
+        flow = build_edge_path_dataflow()
+        for edge in [(1, 2), (3, 4)]:
+            flow.insert("edge", edge)
+        flow.run_to_fixpoint()
+        assert (1, 4) not in set(flow.rows("path"))
+        flow.insert("edge", (2, 3))
+        flow.run_to_fixpoint()
+        assert (1, 4) in set(flow.rows("path"))
+
+    def test_fixpoint_step_limit(self):
+        flow = Dataflow()
+        # A rule that regenerates its own input forever.
+        flow.add_rule(MapRule("a", "a", lambda row: [(row[0] + 1,)]))
+        flow.insert("a", (0,))
+        with pytest.raises(ReproError):
+            flow.run_to_fixpoint(max_steps=100)
+
+
+class TestMinAggregateRule:
+    def build(self):
+        flow = Dataflow()
+        rule = MinAggregateRule(
+            "costs", "best", group_key=lambda row: row[0], value_of=lambda row: row[1]
+        )
+        flow.add_rule(rule)
+        return flow, rule
+
+    def test_minimum_maintained(self):
+        flow, rule = self.build()
+        flow.insert("costs", ("q", 5.0))
+        flow.insert("costs", ("q", 3.0))
+        flow.run_to_fixpoint()
+        assert flow.rows("best") == [("q", 3.0)]
+        assert rule.minimum("q") == 3.0
+
+    def test_minimum_recovers_after_delete(self):
+        flow, rule = self.build()
+        flow.insert("costs", ("q", 5.0))
+        flow.insert("costs", ("q", 3.0))
+        flow.run_to_fixpoint()
+        flow.delete("costs", ("q", 3.0))
+        flow.run_to_fixpoint()
+        assert flow.rows("best") == [("q", 5.0)]
+
+    def test_groups_independent(self):
+        flow, _ = self.build()
+        flow.insert("costs", ("q1", 5.0))
+        flow.insert("costs", ("q2", 1.0))
+        flow.run_to_fixpoint()
+        assert set(flow.rows("best")) == {("q1", 5.0), ("q2", 1.0)}

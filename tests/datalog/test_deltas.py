@@ -1,0 +1,44 @@
+"""Tests for delta tuples."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.datalog.deltas import Delta, DeltaAction
+
+
+class TestConstruction:
+    def test_insert_delete(self):
+        insert = Delta.insert(("a", 1))
+        delete = Delta.delete(("a", 1))
+        assert insert.is_insert and not insert.is_delete
+        assert delete.is_delete and not delete.is_insert
+
+    def test_update_requires_old_value(self):
+        with pytest.raises(ReproError):
+            Delta(DeltaAction.UPDATE, "new")
+
+    def test_non_update_must_not_carry_old_value(self):
+        with pytest.raises(ReproError):
+            Delta(DeltaAction.INSERT, "new", old_value="old")
+
+    def test_update_fields(self):
+        delta = Delta.update("old", "new")
+        assert delta.is_update
+        assert delta.old_value == "old"
+        assert delta.value == "new"
+
+
+class TestExpand:
+    def test_insert_expands_to_itself(self):
+        assert list(Delta.insert(1).expand()) == [(DeltaAction.INSERT, 1)]
+
+    def test_delete_expands_to_itself(self):
+        assert list(Delta.delete(1).expand()) == [(DeltaAction.DELETE, 1)]
+
+    def test_update_expands_to_delete_then_insert(self):
+        expanded = list(Delta.update(1, 2).expand())
+        assert expanded == [(DeltaAction.DELETE, 1), (DeltaAction.INSERT, 2)]
+
+    def test_str_representation(self):
+        assert "+" in str(Delta.insert(1))
+        assert "->" in str(Delta.update(1, 2))

@@ -1,0 +1,69 @@
+"""Property-based tests: the incremental min/max aggregates always agree with
+recomputation from scratch, regardless of the operation sequence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.aggregates import GroupedMaxAggregate, GroupedMinAggregate
+
+
+# A scenario is a list of (group, value, payload) insertions; deletions are
+# derived from prefixes so they always target present entries.
+entries = st.lists(
+    st.tuples(
+        st.sampled_from(["g1", "g2", "g3"]),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=20),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(entries, st.data())
+@settings(max_examples=120, deadline=None)
+def test_min_aggregate_matches_recomputation(scenario, data):
+    aggregate = GroupedMinAggregate()
+    live = []
+    for group, value, payload in scenario:
+        aggregate.insert(group, value, payload)
+        live.append((group, value, payload))
+        # Occasionally delete a random live entry.
+        if len(live) > 1 and data.draw(st.booleans()):
+            index = data.draw(st.integers(min_value=0, max_value=len(live) - 1))
+            victim = live.pop(index)
+            aggregate.delete(*victim)
+    for group in {"g1", "g2", "g3"}:
+        expected = [value for g, value, _ in live if g == group]
+        if expected:
+            assert aggregate.value(group) == min(expected)
+        else:
+            assert aggregate.value(group) is None
+
+
+@given(entries)
+@settings(max_examples=80, deadline=None)
+def test_max_aggregate_matches_recomputation(scenario):
+    aggregate = GroupedMaxAggregate()
+    for group, value, payload in scenario:
+        aggregate.insert(group, value, payload)
+    for group in {g for g, _, _ in scenario}:
+        expected = max(value for g, value, _ in scenario if g == group)
+        assert aggregate.value(group) == expected
+
+
+@given(entries)
+@settings(max_examples=80, deadline=None)
+def test_update_equals_delete_plus_insert(scenario):
+    """Applying update() gives the same extreme as delete()+insert()."""
+    via_update = GroupedMinAggregate()
+    via_delete_insert = GroupedMinAggregate()
+    for group, value, payload in scenario:
+        via_update.insert(group, value, payload)
+        via_delete_insert.insert(group, value, payload)
+    for group, value, payload in scenario:
+        new_value = value + 1.0
+        via_update.update(group, value, new_value, payload)
+        via_delete_insert.delete(group, value, payload)
+        via_delete_insert.insert(group, new_value, payload)
+        assert via_update.value(group) == via_delete_insert.value(group)

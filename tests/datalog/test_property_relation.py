@@ -1,0 +1,44 @@
+"""Property-based tests for multiset relations: order-insensitive convergence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.relation import MultisetRelation
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["+", "-"]), st.integers(min_value=0, max_value=5)),
+    max_size=60,
+)
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_counts_equal_insertions_minus_deletions(ops):
+    relation = MultisetRelation()
+    for action, value in ops:
+        if action == "+":
+            relation.insert(value)
+        else:
+            relation.delete(value)
+    for value in range(6):
+        expected = sum(1 for a, v in ops if v == value and a == "+") - sum(
+            1 for a, v in ops if v == value and a == "-"
+        )
+        assert relation.count(value) == expected
+        assert (value in relation) == (expected > 0)
+
+
+@given(operations, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_final_state_independent_of_order(ops, rng):
+    """Out-of-order delivery (the pipelined-engine scenario) converges to the
+    same visible relation as in-order delivery."""
+    in_order = MultisetRelation()
+    for action, value in ops:
+        (in_order.insert if action == "+" else in_order.delete)(value)
+    shuffled_ops = list(ops)
+    rng.shuffle(shuffled_ops)
+    out_of_order = MultisetRelation()
+    for action, value in shuffled_ops:
+        (out_of_order.insert if action == "+" else out_of_order.delete)(value)
+    assert in_order.snapshot() == out_of_order.snapshot()

@@ -1,0 +1,59 @@
+"""Tests for the reference counter."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.datalog.refcount import ReferenceCounter, RefTransition
+
+
+class TestReferenceCounter:
+    def test_increment_from_zero_becomes_live(self):
+        counter = ReferenceCounter()
+        assert counter.increment("k") is RefTransition.BECAME_LIVE
+        assert counter.is_live("k")
+        assert counter.count("k") == 1
+
+    def test_further_increments_unchanged(self):
+        counter = ReferenceCounter()
+        counter.increment("k")
+        assert counter.increment("k") is RefTransition.UNCHANGED
+        assert counter.count("k") == 2
+
+    def test_decrement_to_zero_becomes_dead(self):
+        counter = ReferenceCounter()
+        counter.increment("k")
+        counter.increment("k")
+        assert counter.decrement("k") is RefTransition.UNCHANGED
+        assert counter.decrement("k") is RefTransition.BECAME_DEAD
+        assert not counter.is_live("k")
+
+    def test_decrement_below_zero_raises(self):
+        counter = ReferenceCounter()
+        with pytest.raises(ReproError):
+            counter.decrement("k")
+
+    def test_negative_amounts_rejected(self):
+        counter = ReferenceCounter()
+        with pytest.raises(ReproError):
+            counter.increment("k", -1)
+        with pytest.raises(ReproError):
+            counter.decrement("k", -1)
+
+    def test_bulk_amounts(self):
+        counter = ReferenceCounter()
+        assert counter.increment("k", 3) is RefTransition.BECAME_LIVE
+        assert counter.decrement("k", 3) is RefTransition.BECAME_DEAD
+
+    def test_live_keys_listing(self):
+        counter = ReferenceCounter()
+        counter.increment("a")
+        counter.increment("b")
+        counter.decrement("b")
+        assert list(counter.live_keys()) == ["a"]
+
+    def test_snapshot_and_clear(self):
+        counter = ReferenceCounter()
+        counter.increment("a", 2)
+        assert counter.snapshot() == {"a": 2}
+        counter.clear()
+        assert counter.count("a") == 0

@@ -1,0 +1,84 @@
+"""Tests for multiset relations with counts."""
+
+from repro.datalog.deltas import Delta
+from repro.datalog.relation import DeltaRelation, MultisetRelation, Transition
+
+
+class TestMultisetRelation:
+    def test_insert_and_membership(self):
+        relation = MultisetRelation("r")
+        assert relation.insert("x") is Transition.APPEARED
+        assert "x" in relation
+        assert relation.count("x") == 1
+        assert len(relation) == 1
+
+    def test_duplicate_insert_no_transition(self):
+        relation = MultisetRelation("r")
+        relation.insert("x")
+        assert relation.insert("x") is Transition.UNCHANGED
+        assert relation.count("x") == 2
+        assert len(relation) == 1  # still one visible tuple value
+
+    def test_delete_to_zero_disappears(self):
+        relation = MultisetRelation("r")
+        relation.insert("x")
+        assert relation.delete("x") is Transition.DISAPPEARED
+        assert "x" not in relation
+
+    def test_out_of_order_delete_goes_negative(self):
+        """The paper's contract: deletions seen before insertions give
+        temporarily negative counts; the later insertion cancels them."""
+        relation = MultisetRelation("r")
+        assert relation.delete("x") is Transition.UNCHANGED
+        assert relation.count("x") == -1
+        assert relation.has_negative_counts
+        assert "x" not in relation
+        assert relation.insert("x") is Transition.UNCHANGED
+        assert relation.count("x") == 0
+        assert not relation.has_negative_counts
+
+    def test_apply_update_delta(self):
+        relation = MultisetRelation("r")
+        relation.insert("old")
+        transitions = relation.apply(Delta.update("old", "new"))
+        assert Transition.DISAPPEARED in transitions
+        assert Transition.APPEARED in transitions
+        assert "new" in relation and "old" not in relation
+
+    def test_iteration_only_visible(self):
+        relation = MultisetRelation("r")
+        relation.insert("a")
+        relation.delete("b")
+        assert sorted(relation) == ["a"]
+
+    def test_snapshot_and_clear(self):
+        relation = MultisetRelation("r")
+        relation.insert("a")
+        relation.insert("a")
+        assert relation.snapshot() == {"a": 2}
+        relation.clear()
+        assert len(relation) == 0
+
+
+class TestDeltaRelation:
+    def test_listeners_receive_visibility_changes_only(self):
+        relation = DeltaRelation("r")
+        events = []
+        relation.subscribe(events.append)
+        relation.apply(Delta.insert("x"))
+        relation.apply(Delta.insert("x"))  # duplicate: no new visibility event
+        relation.apply(Delta.delete("x"))  # still one copy left: no event
+        relation.apply(Delta.delete("x"))  # now it disappears
+        assert len(events) == 2
+        assert events[0].is_insert and events[1].is_delete
+
+    def test_update_delta_emits_delete_and_insert(self):
+        relation = DeltaRelation("r")
+        events = []
+        relation.subscribe(events.append)
+        relation.apply(Delta.insert("a"))
+        relation.apply(Delta.update("a", "b"))
+        kinds = [(event.is_insert, event.value) for event in events]
+        assert (True, "a") in kinds
+        assert (True, "b") in kinds
+        assert any(event.is_delete and event.value == "a" for event in events)

@@ -1,0 +1,121 @@
+"""Integration tests spanning optimizer, engine and adaptive layers."""
+
+import pytest
+
+from repro.adaptive.controller import AdaptationMode, AdaptiveController
+from repro.adaptive.monitor import RuntimeMonitor
+from repro.engine.executor import PlanExecutor
+from repro.optimizer.baselines.system_r import SystemROptimizer
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import PruningConfig
+from repro.streams.linear_road import (
+    GeneratorConfig,
+    LinearRoadGenerator,
+    linear_road_catalog,
+    segtolls_query,
+)
+from repro.workloads.queries import q3s, q5, workload_join_queries
+from repro.workloads.tpch import (
+    catalog_from_data,
+    generate_tpch_data,
+    partition_rows,
+    tpch_catalog,
+)
+
+
+class TestOptimizeThenExecute:
+    def test_all_workload_queries_optimize_under_all_optimizers(self):
+        catalog = tpch_catalog(0.01)
+        for name, query in workload_join_queries().items():
+            costs = set()
+            for optimizer_cls in (DeclarativeOptimizer, VolcanoOptimizer, SystemROptimizer):
+                result = optimizer_cls(query, catalog).optimize()
+                costs.add(round(result.cost, 6))
+            assert len(costs) == 1, f"optimizers disagree on {name}: {costs}"
+
+    def test_execution_feedback_loop_improves_estimates(self):
+        """Optimize with analytic stats, execute on skewed data, feed observed
+        cardinalities back, and verify the re-optimized estimates match what
+        was actually observed (the Figure 6 pipeline)."""
+        data = generate_tpch_data(scale_factor=0.0005, skew=0.8, seed=21)
+        query = q3s()
+        catalog = catalog_from_data(data)
+        optimizer = DeclarativeOptimizer(query, catalog)
+        plan = optimizer.optimize().plan
+
+        execution = PlanExecutor(query, data).execute(plan)
+        monitor = RuntimeMonitor(cumulative=False)
+        monitor.record_execution(execution)
+        deltas = monitor.produce_deltas(optimizer)
+        optimizer.reoptimize(deltas)
+
+        for expression, observed in execution.observed_cardinalities.items():
+            if len(expression) < 2 or observed == 0:
+                continue
+            estimate = optimizer.cost_model.summary(expression).cardinality
+            assert estimate == pytest.approx(observed, rel=0.05)
+
+    def test_partitioned_reoptimization_rounds(self):
+        """Re-optimize after each skewed partition, as in Figure 6."""
+        data = generate_tpch_data(scale_factor=0.0005, skew=0.5, seed=8)
+        partitions = partition_rows(data["lineitem"], 3)
+        query = q3s()
+        catalog = catalog_from_data(data)
+        optimizer = DeclarativeOptimizer(query, catalog)
+        optimizer.optimize()
+        monitor = RuntimeMonitor(cumulative=True)
+        for part in partitions:
+            slice_data = dict(data)
+            slice_data["lineitem"] = part
+            plan = optimizer.best_plan()
+            execution = PlanExecutor(query, slice_data).execute(plan)
+            monitor.record_execution(execution)
+            deltas = monitor.produce_deltas(optimizer)
+            result = optimizer.reoptimize(deltas) if deltas else None
+            if result is not None:
+                assert result.cost > 0
+
+
+class TestStreamingEndToEnd:
+    def test_adaptive_matches_static_results_and_reports_overheads(self):
+        query = segtolls_query()
+        generator = LinearRoadGenerator(
+            GeneratorConfig(reports_per_second=15, cars=60, seed=17)
+        )
+        slices = generator.generate_slices(6, 1.0)
+        adaptive = AdaptiveController(
+            query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
+        ).run(slices)
+        sample = [row for stream_slice in slices for row in stream_slice.rows]
+        static_catalog = linear_road_catalog(sample)
+        static_plan = DeclarativeOptimizer(query, static_catalog).optimize().plan
+        static = AdaptiveController(
+            query,
+            static_catalog,
+            mode=AdaptationMode.STATIC,
+            static_plan=static_plan,
+        ).run(slices)
+        assert [r.output_rows for r in adaptive.reports] == [
+            r.output_rows for r in static.reports
+        ]
+        assert adaptive.total_reoptimize_seconds > 0
+        assert static.total_reoptimize_seconds == 0
+
+
+class TestPruningDoesNotChangeResults:
+    def test_executed_results_identical_across_pruning_configs(self):
+        data = generate_tpch_data(scale_factor=0.0005, seed=30)
+        catalog = catalog_from_data(data)
+        query = q3s()
+        reference = None
+        for config in (PruningConfig.none(), PruningConfig.evita_raced(), PruningConfig.full()):
+            plan = DeclarativeOptimizer(query, catalog, pruning=config).optimize().plan
+            rows = PlanExecutor(query, data).execute(plan).rows
+            key = sorted(
+                (row["lineitem.l_orderkey"], row["orders.o_orderdate"]) for row in rows
+            )
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference

@@ -1,0 +1,96 @@
+"""Tests for the Volcano-style and System-R-style baseline optimizers."""
+
+import pytest
+
+from repro.optimizer.baselines.system_r import SystemROptimizer
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.relational.plan import PhysicalOperator
+from repro.workloads.queries import q3s, q5, q5s, q10
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog_small():
+    return tpch_catalog(0.01)
+
+
+class TestVolcano:
+    def test_produces_complete_plan(self, catalog_small):
+        result = VolcanoOptimizer(q3s(), catalog_small).optimize()
+        assert sorted(result.plan.leaf_order()) == ["customer", "lineitem", "orders"]
+        assert result.optimizer == "volcano"
+
+    def test_aggregate_root_for_aggregation_query(self, catalog_small):
+        result = VolcanoOptimizer(q5(), catalog_small).optimize()
+        assert result.plan.operator is PhysicalOperator.HASH_AGGREGATE
+
+    def test_branch_and_bound_prunes_alternatives(self, catalog_small):
+        result = VolcanoOptimizer(q5s(), catalog_small).optimize()
+        assert result.metrics.and_nodes_pruned > 0
+
+    def test_plan_totals_consistent(self, catalog_small):
+        result = VolcanoOptimizer(q3s(), catalog_small).optimize()
+        root = result.plan
+        assert root.total_cost == pytest.approx(
+            root.local_cost + sum(child.total_cost for child in root.children), rel=1e-6
+        )
+
+    def test_reoptimize_reruns_search(self, catalog_small):
+        optimizer = VolcanoOptimizer(q3s(), catalog_small)
+        baseline = optimizer.optimize()
+        optimizer.update_scan_cost("lineitem", 10.0)
+        rerun = optimizer.reoptimize()
+        assert rerun.cost > baseline.cost
+
+
+class TestSystemR:
+    def test_produces_complete_plan(self, catalog_small):
+        result = SystemROptimizer(q3s(), catalog_small).optimize()
+        assert sorted(result.plan.leaf_order()) == ["customer", "lineitem", "orders"]
+        assert result.optimizer == "system-r"
+
+    def test_never_prunes_plan_table_entries(self, catalog_small):
+        result = SystemROptimizer(q5s(), catalog_small).optimize()
+        assert result.metrics.or_nodes_pruned == 0
+
+    def test_dp_table_covers_connected_subexpressions(self, catalog_small):
+        optimizer = SystemROptimizer(q5s(), catalog_small)
+        optimizer.optimize()
+        expressions = optimizer._connected_expressions(sorted(q5s().aliases))
+        # region-nation-customer-orders-lineitem-supplier chain + s-n edge:
+        # every listed expression must be connected.
+        for expression in expressions:
+            assert q5s().is_connected(expression.aliases)
+
+    def test_reoptimize_reruns_dp(self, catalog_small):
+        optimizer = SystemROptimizer(q3s(), catalog_small)
+        baseline = optimizer.optimize()
+        optimizer.update_scan_cost("lineitem", 10.0)
+        rerun = optimizer.reoptimize()
+        assert rerun.cost > baseline.cost
+
+
+class TestOptimizerAgreement:
+    """All optimizers share cost model and enumeration, so they must agree on
+    the optimal cost (the paper's correctness baseline)."""
+
+    @pytest.mark.parametrize("make_query", [q3s, q5s, q5, q10])
+    def test_same_optimal_cost(self, catalog_small, make_query):
+        query = make_query()
+        declarative = DeclarativeOptimizer(query, catalog_small).optimize()
+        volcano = VolcanoOptimizer(query, catalog_small).optimize()
+        system_r = SystemROptimizer(query, catalog_small).optimize()
+        assert declarative.cost == pytest.approx(volcano.cost, rel=1e-6)
+        assert declarative.cost == pytest.approx(system_r.cost, rel=1e-6)
+
+    @pytest.mark.parametrize("make_query", [q3s, q5s])
+    def test_same_join_structure_cost_under_overrides(self, catalog_small, make_query):
+        """After a statistics change, a fresh run of every optimizer still
+        agrees (sanity for the incremental-vs-from-scratch comparisons)."""
+        query = make_query()
+        declarative = DeclarativeOptimizer(query, catalog_small)
+        declarative.update_scan_cost("orders", 5.0)
+        volcano = VolcanoOptimizer(query, catalog_small)
+        volcano.update_scan_cost("orders", 5.0)
+        assert declarative.optimize().cost == pytest.approx(volcano.optimize().cost, rel=1e-6)

@@ -1,0 +1,116 @@
+"""Tests for the declarative optimizer: initial optimization behaviour."""
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import OrKey, PruningConfig
+from repro.relational.expressions import Expression
+from repro.relational.plan import PhysicalOperator
+from repro.relational.properties import ANY_PROPERTY
+from repro.workloads.queries import q3s, q5, q5s
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog_small():
+    return tpch_catalog(0.01)
+
+
+class TestInitialOptimization:
+    def test_produces_plan_covering_all_relations(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        result = optimizer.optimize()
+        assert sorted(result.plan.leaf_order()) == ["customer", "lineitem", "orders"]
+        assert result.cost > 0
+
+    def test_plan_cost_matches_total(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        result = optimizer.optimize()
+        assert result.cost == pytest.approx(result.plan.total_cost)
+
+    def test_plan_totals_are_consistent_with_children(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q5s(), catalog_small)
+        result = optimizer.optimize()
+        for node in result.plan.iter_nodes():
+            expected = node.local_cost + sum(child.total_cost for child in node.children)
+            assert node.total_cost == pytest.approx(expected, rel=1e-6)
+
+    def test_aggregation_query_gets_aggregate_root(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q5(), catalog_small)
+        result = optimizer.optimize()
+        assert result.plan.operator is PhysicalOperator.HASH_AGGREGATE
+        assert len(result.plan.children) == 1
+
+    def test_non_aggregation_query_has_join_root(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q5s(), catalog_small)
+        result = optimizer.optimize()
+        assert result.plan.operator is not PhysicalOperator.HASH_AGGREGATE
+
+    def test_best_cost_accessor(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        optimizer.optimize()
+        root = OrKey(q3s().root_expression, ANY_PROPERTY)
+        assert optimizer.best_cost(root) > 0
+        with pytest.raises(OptimizationError):
+            optimizer.best_cost(OrKey(Expression.of("customer", "lineitem"), ANY_PROPERTY))
+
+    def test_reoptimize_before_optimize_rejected(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        with pytest.raises(OptimizationError):
+            optimizer.reoptimize([])
+
+    def test_optimize_is_repeatable(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        first = optimizer.optimize()
+        second = optimizer.optimize()
+        assert first.cost == pytest.approx(second.cost)
+
+    def test_search_space_rows_only_contains_active_entries(self, catalog_small):
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small)
+        optimizer.optimize()
+        active = optimizer.active_search_space()
+        for row in optimizer.search_space_rows():
+            assert row.key in active
+
+
+class TestMetricsOfInitialRun:
+    def test_metrics_counts_positive(self, catalog_small):
+        result = DeclarativeOptimizer(q3s(), catalog_small).optimize()
+        metrics = result.metrics
+        assert metrics.or_nodes_enumerated > 0
+        assert metrics.and_nodes_enumerated >= metrics.or_nodes_enumerated
+        assert metrics.plan_costs_computed > 0
+        assert metrics.elapsed_seconds > 0
+
+    def test_full_pruning_reduces_state(self, catalog_small):
+        result = DeclarativeOptimizer(
+            q5s(), catalog_small, pruning=PruningConfig.full()
+        ).optimize()
+        assert result.metrics.pruning_ratio_or > 0.3
+        assert result.metrics.pruning_ratio_and > 0.5
+
+    def test_evita_raced_never_prunes_plan_table_entries(self, catalog_small):
+        result = DeclarativeOptimizer(
+            q5s(), catalog_small, pruning=PruningConfig.evita_raced()
+        ).optimize()
+        assert result.metrics.or_nodes_pruned == 0
+        assert result.metrics.pruning_ratio_and > 0.0
+
+    def test_final_state_contains_only_optimal_plan_with_full_pruning(self, catalog_small):
+        """§3.2: at the end, SearchSpace/PlanCost only hold the optimal plan tree."""
+        optimizer = DeclarativeOptimizer(q3s(), catalog_small, pruning=PruningConfig.full())
+        result = optimizer.optimize()
+        active = optimizer.active_search_space()
+        # The final active SearchSpace should be about the size of the plan
+        # (one alternative per plan node, modulo equivalent-cost ties).
+        assert len(active) <= result.plan.node_count + 3
+
+
+class TestPlanQualityAgainstExhaustiveSearch:
+    def test_matches_exhaustive_enumeration_cost(self, catalog_small):
+        """The declarative optimizer with full pruning must still find the
+        global optimum found by an optimizer with no pruning at all."""
+        pruned = DeclarativeOptimizer(q3s(), catalog_small, pruning=PruningConfig.full())
+        unpruned = DeclarativeOptimizer(q3s(), catalog_small, pruning=PruningConfig.none())
+        assert pruned.optimize().cost == pytest.approx(unpruned.optimize().cost)

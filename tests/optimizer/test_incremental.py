@@ -1,0 +1,178 @@
+"""Tests for incremental re-optimization (§4): the paper's core claim.
+
+The key invariant: after any sequence of statistics changes, the incrementally
+maintained optimizer must report the same best cost as a from-scratch
+optimization run under the same statistics.
+"""
+
+import pytest
+
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import PruningConfig
+from repro.workloads.queries import q3s, q5, q5_expression_chain, q5s
+from repro.workloads.tpch import tpch_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog_small():
+    return tpch_catalog(0.01)
+
+
+def fresh_cost(query, catalog, overlay) -> float:
+    """Optimal cost from a from-scratch Volcano run sharing the overlay."""
+    return VolcanoOptimizer(query, catalog, overlay=overlay.copy()).optimize().cost
+
+
+class TestSelectivityChanges:
+    @pytest.mark.parametrize("factor", [0.125, 0.5, 2.0, 8.0])
+    def test_reoptimized_cost_matches_from_scratch(self, catalog_small, factor):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        expressions = q5_expression_chain()
+        delta = optimizer.update_join_selectivity(expressions["C"], factor)
+        result = optimizer.reoptimize([delta])
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    @pytest.mark.parametrize("label", ["A", "B", "C", "D", "E"])
+    def test_every_chain_expression_can_be_updated(self, catalog_small, label):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        delta = optimizer.update_join_selectivity(q5_expression_chain()[label], 4.0)
+        result = optimizer.reoptimize([delta])
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_update_ratio_smaller_for_larger_expressions(self, catalog_small):
+        """Figure 5's trend: changes to larger subplans touch less state."""
+        query = q5()
+        expressions = q5_expression_chain()
+
+        def touched(label: str) -> int:
+            optimizer = DeclarativeOptimizer(query, catalog_small)
+            optimizer.optimize()
+            delta = optimizer.update_join_selectivity(expressions[label], 4.0)
+            return optimizer.reoptimize([delta]).metrics.and_nodes_touched
+
+        assert touched("E") <= touched("A")
+
+    def test_incremental_touches_fraction_of_state(self, catalog_small):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        delta = optimizer.update_join_selectivity(q5_expression_chain()["D"], 2.0)
+        metrics = optimizer.reoptimize([delta]).metrics
+        assert 0 < metrics.update_ratio_and < 0.8
+        assert 0 < metrics.update_ratio_or < 0.8
+
+
+class TestScanCostChanges:
+    @pytest.mark.parametrize("factor", [0.125, 0.5, 2.0, 8.0])
+    def test_orders_scan_cost_change(self, catalog_small, factor):
+        """The paper's Figure 8 scenario: the Orders scan cost is updated."""
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        delta = optimizer.update_scan_cost("orders", factor)
+        result = optimizer.reoptimize([delta])
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_scan_cost_increase_can_change_plan_shape(self, catalog_small):
+        query = q3s()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        before = optimizer.optimize()
+        delta = optimizer.update_scan_cost("lineitem", 50.0)
+        after = optimizer.reoptimize([delta])
+        assert after.cost > before.cost
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert after.cost == pytest.approx(expected, rel=1e-6)
+
+
+class TestRepeatedAndCombinedChanges:
+    def test_sequence_of_changes_stays_consistent(self, catalog_small):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        expressions = q5_expression_chain()
+        history = [
+            ("A", 8.0),
+            ("C", 0.25),
+            ("A", 1.0),
+            ("E", 2.0),
+            ("B", 0.5),
+        ]
+        for label, factor in history:
+            delta = optimizer.update_join_selectivity(expressions[label], factor)
+            result = optimizer.reoptimize([delta])
+            expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+            assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_multiple_simultaneous_changes(self, catalog_small):
+        query = q5s()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        expressions = q5_expression_chain()
+        deltas = [
+            optimizer.update_join_selectivity(expressions["B"], 3.0),
+            optimizer.update_scan_cost("lineitem", 2.0),
+            optimizer.update_table_cardinality("supplier", 0.5),
+        ]
+        result = optimizer.reoptimize(deltas)
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_revert_restores_original_plan_cost(self, catalog_small):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        original = optimizer.optimize()
+        expressions = q5_expression_chain()
+        delta = optimizer.update_join_selectivity(expressions["C"], 8.0)
+        optimizer.reoptimize([delta])
+        revert = optimizer.update_join_selectivity(expressions["C"], 1.0)
+        restored = optimizer.reoptimize([revert])
+        assert restored.cost == pytest.approx(original.cost, rel=1e-6)
+
+    def test_noop_delta_touches_nothing(self, catalog_small):
+        query = q5()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        delta = optimizer.update_join_selectivity(q5_expression_chain()["C"], 1.0)
+        metrics = optimizer.reoptimize([delta]).metrics
+        assert metrics.and_nodes_touched == 0
+
+
+class TestIncrementalWithDifferentPruningConfigs:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            PruningConfig.aggsel(),
+            PruningConfig.aggsel_refcount(),
+            PruningConfig.aggsel_bounding(),
+            PruningConfig.full(),
+            PruningConfig.evita_raced(),
+        ],
+        ids=lambda config: config.label() if hasattr(config, "label") else str(config),
+    )
+    def test_correct_under_every_config(self, catalog_small, config):
+        query = q5s()
+        optimizer = DeclarativeOptimizer(query, catalog_small, pruning=config)
+        optimizer.optimize()
+        delta = optimizer.update_join_selectivity(q5_expression_chain()["C"], 6.0)
+        result = optimizer.reoptimize([delta])
+        expected = fresh_cost(query, catalog_small, optimizer.cost_model.overlay)
+        assert result.cost == pytest.approx(expected, rel=1e-6)
+
+    def test_observe_cardinality_roundtrip(self, catalog_small):
+        query = q5s()
+        optimizer = DeclarativeOptimizer(query, catalog_small)
+        optimizer.optimize()
+        expression = q5_expression_chain()["B"]
+        delta = optimizer.observe_cardinality(expression, 1234.0)
+        optimizer.reoptimize([delta])
+        assert optimizer.cost_model.summary(expression).cardinality == pytest.approx(
+            1234.0, rel=1e-3
+        )

@@ -1,0 +1,62 @@
+"""Tests for optimizer metrics and the metrics recorder."""
+
+from repro.optimizer.metrics import MetricsRecorder, OptimizationMetrics
+from repro.optimizer.tables import AndKey, OrKey
+from repro.relational.expressions import Expression
+from repro.relational.properties import ANY_PROPERTY
+
+
+class TestOptimizationMetrics:
+    def test_pruning_ratios(self):
+        metrics = OptimizationMetrics(
+            or_nodes_enumerated=10,
+            or_nodes_pruned=4,
+            and_nodes_enumerated=20,
+            and_nodes_pruned=15,
+        )
+        assert metrics.pruning_ratio_or == 0.4
+        assert metrics.pruning_ratio_and == 0.75
+
+    def test_zero_denominators(self):
+        metrics = OptimizationMetrics()
+        assert metrics.pruning_ratio_or == 0.0
+        assert metrics.update_ratio_and == 0.0
+
+    def test_update_ratios(self):
+        metrics = OptimizationMetrics(
+            or_nodes_touched=3, or_nodes_total=10, and_nodes_touched=5, and_nodes_total=50
+        )
+        assert metrics.update_ratio_or == 0.3
+        assert metrics.update_ratio_and == 0.1
+
+    def test_as_dict_contains_all_ratios(self):
+        keys = OptimizationMetrics().as_dict()
+        for name in ("pruning_ratio_or", "pruning_ratio_and", "update_ratio_or", "update_ratio_and"):
+            assert name in keys
+
+
+class TestMetricsRecorder:
+    def test_touch_sets_are_deduplicated(self):
+        recorder = MetricsRecorder()
+        recorder.start()
+        key = OrKey(Expression.leaf("a"), ANY_PROPERTY)
+        recorder.touch_or(key)
+        recorder.touch_or(key)
+        recorder.touch_and(AndKey(Expression.leaf("a"), ANY_PROPERTY, 1))
+        assert recorder.touched_or_count == 1
+        assert recorder.touched_and_count == 1
+
+    def test_start_resets_state(self):
+        recorder = MetricsRecorder()
+        recorder.start()
+        recorder.touch_or(OrKey(Expression.leaf("a"), ANY_PROPERTY))
+        recorder.record_plan_cost()
+        recorder.start()
+        assert recorder.touched_or_count == 0
+        assert recorder.plan_costs_computed == 0
+
+    def test_elapsed_monotone(self):
+        recorder = MetricsRecorder()
+        assert recorder.elapsed() == 0.0
+        recorder.start()
+        assert recorder.elapsed() >= 0.0

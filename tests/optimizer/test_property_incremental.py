@@ -1,0 +1,97 @@
+"""Property-based test of the paper's central invariant.
+
+For *any* sequence of statistics changes, incrementally re-optimizing must
+yield the same optimal plan cost as optimizing from scratch under the same
+statistics — regardless of which pruning techniques are enabled.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.baselines.volcano import VolcanoOptimizer
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import PruningConfig
+from repro.workloads.queries import q3s, q5_expression_chain, q5s
+from repro.workloads.tpch import tpch_catalog
+
+CATALOG = tpch_catalog(0.01)
+
+factor_values = st.sampled_from([0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0])
+
+q3s_changes = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("selectivity"),
+            st.sampled_from(["customer orders", "lineitem orders", "customer lineitem orders"]),
+            factor_values,
+        ),
+        st.tuples(
+            st.just("scan"), st.sampled_from(["customer", "orders", "lineitem"]), factor_values
+        ),
+        st.tuples(
+            st.just("cardinality"),
+            st.sampled_from(["customer", "orders", "lineitem"]),
+            factor_values,
+        ),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def apply_change(optimizer, change):
+    kind, target, factor = change
+    if kind == "selectivity":
+        from repro.relational.expressions import Expression
+
+        return optimizer.update_join_selectivity(Expression(target.split()), factor)
+    if kind == "scan":
+        return optimizer.update_scan_cost(target, factor)
+    return optimizer.update_table_cardinality(target, factor)
+
+
+@given(q3s_changes)
+@settings(max_examples=25, deadline=None)
+def test_incremental_matches_from_scratch_q3s(changes):
+    optimizer = DeclarativeOptimizer(q3s(), CATALOG)
+    optimizer.optimize()
+    result = None
+    for change in changes:
+        delta = apply_change(optimizer, change)
+        result = optimizer.reoptimize([delta])
+    scratch = VolcanoOptimizer(
+        q3s(), CATALOG, overlay=optimizer.cost_model.overlay.copy()
+    ).optimize()
+    assert result.cost == pytest.approx(scratch.cost, rel=1e-6)
+
+
+chain_changes = st.lists(
+    st.tuples(st.sampled_from(["A", "B", "C", "D", "E"]), factor_values),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(chain_changes, st.sampled_from(["aggsel", "refcount", "bounding", "full", "evita"]))
+@settings(max_examples=15, deadline=None)
+def test_incremental_matches_from_scratch_q5s_all_configs(changes, config_name):
+    configs = {
+        "aggsel": PruningConfig.aggsel(),
+        "refcount": PruningConfig.aggsel_refcount(),
+        "bounding": PruningConfig.aggsel_bounding(),
+        "full": PruningConfig.full(),
+        "evita": PruningConfig.evita_raced(),
+    }
+    optimizer = DeclarativeOptimizer(q5s(), CATALOG, pruning=configs[config_name])
+    optimizer.optimize()
+    expressions = q5_expression_chain()
+    deltas = [
+        optimizer.update_join_selectivity(expressions[label], factor)
+        for label, factor in changes
+    ]
+    result = optimizer.reoptimize(deltas)
+    scratch = VolcanoOptimizer(
+        q5s(), CATALOG, overlay=optimizer.cost_model.overlay.copy()
+    ).optimize()
+    assert result.cost == pytest.approx(scratch.cost, rel=1e-6)

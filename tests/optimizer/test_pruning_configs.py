@@ -1,0 +1,83 @@
+"""Tests for the individual pruning strategies and their combinations (§3)."""
+
+import pytest
+
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.optimizer.tables import PruningConfig
+from repro.workloads.queries import q3s, q5s, q10
+from repro.workloads.tpch import tpch_catalog
+
+ALL_CONFIGS = [
+    PruningConfig.none(),
+    PruningConfig.evita_raced(),
+    PruningConfig.aggsel(),
+    PruningConfig.aggsel_refcount(),
+    PruningConfig.aggsel_bounding(),
+    PruningConfig.full(),
+]
+
+
+@pytest.fixture(scope="module")
+def catalog_small():
+    return tpch_catalog(0.01)
+
+
+class TestCorrectnessUnderAllConfigs:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.label())
+    @pytest.mark.parametrize("make_query", [q3s, q10])
+    def test_optimal_cost_independent_of_pruning(self, catalog_small, config, make_query):
+        """Pruning must never change the chosen plan's cost (Propositions 5-7)."""
+        query = make_query()
+        reference = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.none()
+        ).optimize()
+        result = DeclarativeOptimizer(query, catalog_small, pruning=config).optimize()
+        assert result.cost == pytest.approx(reference.cost, rel=1e-6)
+
+
+class TestPruningPower:
+    def test_each_technique_adds_pruning(self, catalog_small):
+        """Figure 7's qualitative claim: RefCount and Branch&Bounding each add
+        pruning power on top of aggregate selection."""
+        query = q5s()
+        aggsel = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.aggsel()
+        ).optimize()
+        with_refcount = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.aggsel_refcount()
+        ).optimize()
+        full = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.full()
+        ).optimize()
+        assert with_refcount.metrics.or_nodes_pruned >= aggsel.metrics.or_nodes_pruned
+        assert full.metrics.and_nodes_pruned >= aggsel.metrics.and_nodes_pruned
+
+    def test_no_pruning_keeps_every_alternative(self, catalog_small):
+        result = DeclarativeOptimizer(
+            q3s(), catalog_small, pruning=PruningConfig.none()
+        ).optimize()
+        assert result.metrics.and_nodes_pruned == 0
+        assert result.metrics.pruning_ratio_and == 0.0
+
+    def test_full_pruning_beats_evita_raced(self, catalog_small):
+        """Figure 4(b)/(c): the full strategy prunes plan-table entries that
+        Evita Raced-style pruning never touches, and at least as many
+        alternatives."""
+        query = q5s()
+        evita = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.evita_raced()
+        ).optimize()
+        full = DeclarativeOptimizer(
+            query, catalog_small, pruning=PruningConfig.full()
+        ).optimize()
+        assert evita.metrics.or_nodes_pruned == 0
+        assert full.metrics.or_nodes_pruned > 0
+        assert full.metrics.pruning_ratio_and >= evita.metrics.pruning_ratio_and
+
+    def test_pruning_ratio_reported_per_query(self, catalog_small):
+        for make_query in (q3s, q5s, q10):
+            metrics = DeclarativeOptimizer(
+                make_query(), catalog_small, pruning=PruningConfig.full()
+            ).optimize().metrics
+            assert 0.0 < metrics.pruning_ratio_and < 1.0
+            assert 0.0 <= metrics.pruning_ratio_or < 1.0

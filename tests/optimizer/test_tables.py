@@ -1,0 +1,99 @@
+"""Tests for optimizer view row types and the pruning configuration."""
+
+import pytest
+
+from repro.optimizer.tables import AndKey, OrKey, PruningConfig, SearchSpaceEntry
+from repro.relational.expressions import Expression
+from repro.relational.plan import LogicalOperator, PhysicalOperator
+from repro.relational.properties import ANY_PROPERTY
+
+
+class TestKeys:
+    def test_and_key_or_key_projection(self):
+        and_key = AndKey(Expression.of("a", "b"), ANY_PROPERTY, 2)
+        assert and_key.or_key == OrKey(Expression.of("a", "b"), ANY_PROPERTY)
+        assert and_key.index == 2
+
+    def test_keys_hashable_and_ordered(self):
+        keys = {
+            OrKey(Expression.leaf("a")),
+            OrKey(Expression.leaf("b")),
+            OrKey(Expression.leaf("a")),
+        }
+        assert len(keys) == 2
+        assert sorted(keys)[0].expression == Expression.leaf("a")
+
+
+class TestSearchSpaceEntry:
+    def test_leaf_entry(self):
+        entry = SearchSpaceEntry(
+            AndKey(Expression.leaf("a"), ANY_PROPERTY, 1),
+            LogicalOperator.SCAN,
+            PhysicalOperator.SEQ_SCAN,
+        )
+        assert entry.is_leaf
+        assert entry.children() == ()
+
+    def test_unary_entry(self):
+        entry = SearchSpaceEntry(
+            AndKey(Expression.of("a", "b"), ANY_PROPERTY, 1),
+            LogicalOperator.JOIN,
+            PhysicalOperator.SORT,
+            left=OrKey(Expression.of("a", "b")),
+        )
+        assert entry.is_unary and not entry.is_binary
+        assert len(entry.children()) == 1
+
+    def test_binary_entry(self):
+        entry = SearchSpaceEntry(
+            AndKey(Expression.of("a", "b"), ANY_PROPERTY, 1),
+            LogicalOperator.JOIN,
+            PhysicalOperator.HASH_JOIN,
+            left=OrKey(Expression.leaf("a")),
+            right=OrKey(Expression.leaf("b")),
+        )
+        assert entry.is_binary
+        assert len(entry.children()) == 2
+
+
+class TestPruningConfig:
+    def test_full_enables_everything(self):
+        config = PruningConfig.full()
+        assert config.aggregate_selection
+        assert config.tuple_source_suppression
+        assert config.reference_counting
+        assert config.recursive_bounding
+
+    def test_none_disables_everything(self):
+        config = PruningConfig.none()
+        assert not config.aggregate_selection
+
+    def test_evita_raced_keeps_plan_table_entries(self):
+        config = PruningConfig.evita_raced()
+        assert config.aggregate_selection
+        assert not config.tuple_source_suppression
+        assert not config.reference_counting
+        assert not config.recursive_bounding
+
+    def test_suppression_requires_aggregate_selection(self):
+        with pytest.raises(ValueError):
+            PruningConfig(aggregate_selection=False, tuple_source_suppression=True,
+                          reference_counting=False, recursive_bounding=False)
+
+    def test_bounding_requires_aggregate_selection(self):
+        with pytest.raises(ValueError):
+            PruningConfig(aggregate_selection=False, tuple_source_suppression=False,
+                          reference_counting=False, recursive_bounding=True)
+
+    @pytest.mark.parametrize(
+        "config,label",
+        [
+            (PruningConfig.aggsel(), "AggSel"),
+            (PruningConfig.aggsel_refcount(), "AggSel+RefCount"),
+            (PruningConfig.aggsel_bounding(), "AggSel+Branch&Bounding"),
+            (PruningConfig.full(), "All"),
+            (PruningConfig.none(), "NoPruning"),
+        ],
+    )
+    def test_labels_match_paper_legends(self, config, label):
+        assert config.label() == label

@@ -1,0 +1,96 @@
+"""Tests for expressions (alias sets) and column references."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef, Expression
+
+
+class TestColumnRef:
+    def test_parse_round_trip(self):
+        ref = ColumnRef.parse("orders.o_custkey")
+        assert ref.alias == "orders"
+        assert ref.column == "o_custkey"
+        assert str(ref) == "orders.o_custkey"
+
+    def test_parse_rejects_unqualified(self):
+        with pytest.raises(QueryError):
+            ColumnRef.parse("o_custkey")
+
+    def test_parse_rejects_empty_parts(self):
+        with pytest.raises(QueryError):
+            ColumnRef.parse(".col")
+        with pytest.raises(QueryError):
+            ColumnRef.parse("alias.")
+
+    def test_ordering_and_hashing(self):
+        a = ColumnRef("a", "x")
+        b = ColumnRef("b", "x")
+        assert a < b
+        assert len({a, ColumnRef("a", "x"), b}) == 2
+
+
+class TestExpression:
+    def test_canonical_name_is_sorted(self):
+        assert Expression.of("b", "a").name == "(a b)"
+        assert Expression.of("a", "b") == Expression.of("b", "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Expression([])
+
+    def test_leaf_properties(self):
+        leaf = Expression.leaf("orders")
+        assert leaf.is_leaf
+        assert leaf.sole_alias == "orders"
+        assert len(leaf) == 1
+
+    def test_sole_alias_requires_leaf(self):
+        with pytest.raises(QueryError):
+            Expression.of("a", "b").sole_alias
+
+    def test_containment_and_membership(self):
+        expr = Expression.of("a", "b", "c")
+        assert "a" in expr
+        assert "z" not in expr
+        assert expr.contains(Expression.of("a", "b"))
+        assert not Expression.of("a", "b").contains(expr)
+
+    def test_union_and_difference(self):
+        a = Expression.of("x", "y")
+        b = Expression.leaf("z")
+        assert a.union(b) == Expression.of("x", "y", "z")
+        assert a.union(b).difference(b) == a
+
+    def test_difference_to_empty_rejected(self):
+        expr = Expression.leaf("x")
+        with pytest.raises(QueryError):
+            expr.difference(expr)
+
+    def test_partitions_cover_all_splits_once(self):
+        expr = Expression.of("a", "b", "c")
+        splits = list(expr.partitions())
+        # 2^(n-1) - 1 unordered splits for n aliases.
+        assert len(splits) == 3
+        for left, right in splits:
+            assert left.aliases | right.aliases == expr.aliases
+            assert not left.aliases & right.aliases
+        # Each unordered split appears exactly once.
+        keys = {frozenset((left.aliases, right.aliases)) for left, right in splits}
+        assert len(keys) == 3
+
+    def test_leaf_has_no_partitions(self):
+        assert list(Expression.leaf("a").partitions()) == []
+
+    def test_ordering_by_size_then_name(self):
+        small = Expression.leaf("z")
+        large = Expression.of("a", "b")
+        assert small < large
+        assert sorted([large, small]) == [small, large]
+
+    def test_iteration_is_sorted(self):
+        assert list(Expression.of("c", "a", "b")) == ["a", "b", "c"]
+
+    def test_hashable_as_dict_key(self):
+        mapping = {Expression.of("a", "b"): 1}
+        assert mapping[Expression.of("b", "a")] == 1

@@ -1,0 +1,95 @@
+"""Tests for physical plan trees."""
+
+from repro.relational.expressions import Expression
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+
+
+def build_sample_plan() -> PhysicalPlan:
+    scan_a = PhysicalPlan(
+        PhysicalOperator.SEQ_SCAN, Expression.leaf("a"), local_cost=1.0, total_cost=1.0,
+        cardinality=10,
+    )
+    scan_b = PhysicalPlan(
+        PhysicalOperator.INDEX_SCAN, Expression.leaf("b"), local_cost=2.0, total_cost=2.0,
+        cardinality=20,
+    )
+    return PhysicalPlan(
+        PhysicalOperator.HASH_JOIN,
+        Expression.of("a", "b"),
+        children=(scan_a, scan_b),
+        local_cost=5.0,
+        total_cost=8.0,
+        cardinality=15,
+    )
+
+
+class TestPhysicalOperator:
+    def test_scan_classification(self):
+        assert PhysicalOperator.SEQ_SCAN.is_scan
+        assert not PhysicalOperator.HASH_JOIN.is_scan
+
+    def test_join_classification(self):
+        assert PhysicalOperator.HASH_JOIN.is_join
+        assert PhysicalOperator.SORT_MERGE_JOIN.is_join
+        assert not PhysicalOperator.SORT.is_join
+
+
+class TestPhysicalPlan:
+    def test_structure_accessors(self):
+        plan = build_sample_plan()
+        assert not plan.is_leaf
+        assert plan.left.expression == Expression.leaf("a")
+        assert plan.right.expression == Expression.leaf("b")
+        assert plan.node_count == 3
+        assert plan.depth == 2
+
+    def test_leaf_order(self):
+        plan = build_sample_plan()
+        assert plan.leaf_order() == ["a", "b"]
+
+    def test_operator_histogram(self):
+        plan = build_sample_plan()
+        counts = plan.operators_used()
+        assert counts[PhysicalOperator.HASH_JOIN] == 1
+        assert counts[PhysicalOperator.SEQ_SCAN] == 1
+
+    def test_iter_nodes_preorder(self):
+        plan = build_sample_plan()
+        nodes = list(plan.iter_nodes())
+        assert nodes[0] is plan
+        assert len(nodes) == 3
+
+    def test_signature_ignores_costs(self):
+        plan_a = build_sample_plan()
+        plan_b = PhysicalPlan(
+            PhysicalOperator.HASH_JOIN,
+            Expression.of("a", "b"),
+            children=plan_a.children,
+            local_cost=99.0,
+            total_cost=999.0,
+            cardinality=1,
+        )
+        assert plan_a.join_order_signature() == plan_b.join_order_signature()
+
+    def test_signature_distinguishes_operators(self):
+        plan_a = build_sample_plan()
+        plan_b = PhysicalPlan(
+            PhysicalOperator.SORT_MERGE_JOIN,
+            Expression.of("a", "b"),
+            children=plan_a.children,
+        )
+        assert plan_a.join_order_signature() != plan_b.join_order_signature()
+
+    def test_pretty_mentions_operators(self):
+        rendered = build_sample_plan().pretty()
+        assert "pipelined-hash-join" in rendered
+        assert "seq-scan" in rendered
+
+    def test_details_lookup(self):
+        plan = PhysicalPlan(
+            PhysicalOperator.SEQ_SCAN,
+            Expression.leaf("a"),
+            details=(("note", "value"),),
+        )
+        assert plan.detail("note") == "value"
+        assert plan.detail("missing", 42) == 42

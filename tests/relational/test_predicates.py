@@ -1,0 +1,81 @@
+"""Tests for filter and join predicates."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+
+
+class TestComparisonOp:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (ComparisonOp.EQ, 1, 1, True),
+            (ComparisonOp.EQ, 1, 2, False),
+            (ComparisonOp.NE, 1, 2, True),
+            (ComparisonOp.LT, 1, 2, True),
+            (ComparisonOp.LE, 2, 2, True),
+            (ComparisonOp.GT, 3, 2, True),
+            (ComparisonOp.GE, 1, 2, False),
+        ],
+    )
+    def test_evaluate(self, op, left, right, expected):
+        assert op.evaluate(left, right) is expected
+
+    def test_classification(self):
+        assert ComparisonOp.EQ.is_equality
+        assert ComparisonOp.LT.is_range
+        assert not ComparisonOp.EQ.is_range
+        assert not ComparisonOp.NE.is_equality
+
+
+class TestFilterPredicate:
+    def test_evaluate_row_value(self):
+        predicate = FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100)
+        assert predicate.evaluate(50)
+        assert not predicate.evaluate(150)
+
+    def test_alias_property(self):
+        predicate = FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100)
+        assert predicate.alias == "o"
+
+    def test_selectivity_hint_validation(self):
+        with pytest.raises(QueryError):
+            FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100, selectivity_hint=1.5)
+
+    def test_str_contains_operator(self):
+        predicate = FilterPredicate(ColumnRef("o", "d"), ComparisonOp.GE, 3)
+        assert ">=" in str(predicate)
+
+
+class TestJoinPredicate:
+    def test_same_alias_rejected(self):
+        with pytest.raises(QueryError):
+            JoinPredicate(ColumnRef("a", "x"), ColumnRef("a", "y"))
+
+    def test_aliases_and_involvement(self):
+        predicate = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        assert predicate.aliases == frozenset({"a", "b"})
+        assert predicate.involves("a")
+        assert not predicate.involves("c")
+        assert predicate.is_equijoin
+
+    def test_connects_either_orientation(self):
+        predicate = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        left = Expression.leaf("a")
+        right = Expression.leaf("b")
+        assert predicate.connects(left, right)
+        assert predicate.connects(right, left)
+        assert not predicate.connects(left, Expression.leaf("c"))
+
+    def test_column_for_side(self):
+        predicate = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        assert predicate.column_for(Expression.of("a", "c")) == ColumnRef("a", "x")
+        assert predicate.column_for(Expression.leaf("b")) == ColumnRef("b", "y")
+        with pytest.raises(QueryError):
+            predicate.column_for(Expression.leaf("z"))
+
+    def test_non_equi_join(self):
+        predicate = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"), ComparisonOp.LT)
+        assert not predicate.is_equijoin

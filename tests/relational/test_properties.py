@@ -1,0 +1,53 @@
+"""Tests for physical properties (interesting orders)."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef
+from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
+
+
+class TestPhysicalProperty:
+    def test_any_singleton(self):
+        assert PhysicalProperty.any() is ANY_PROPERTY
+        assert ANY_PROPERTY.is_any
+
+    def test_any_must_not_carry_column(self):
+        with pytest.raises(QueryError):
+            PhysicalProperty(PropertyKind.ANY, ColumnRef("a", "x"))
+
+    def test_non_any_requires_column(self):
+        with pytest.raises(QueryError):
+            PhysicalProperty(PropertyKind.SORTED, None)
+
+    def test_sorted_satisfies_itself_and_any(self):
+        column = ColumnRef("o", "o_custkey")
+        sorted_prop = PhysicalProperty.sorted_on(column)
+        assert sorted_prop.satisfies(ANY_PROPERTY)
+        assert sorted_prop.satisfies(PhysicalProperty.sorted_on(column))
+        assert not sorted_prop.satisfies(PhysicalProperty.sorted_on(ColumnRef("o", "other")))
+
+    def test_any_does_not_satisfy_sorted(self):
+        assert not ANY_PROPERTY.satisfies(
+            PhysicalProperty.sorted_on(ColumnRef("o", "o_custkey"))
+        )
+
+    def test_indexed_distinct_from_sorted(self):
+        column = ColumnRef("l", "l_orderkey")
+        indexed = PhysicalProperty.indexed_on(column)
+        sorted_prop = PhysicalProperty.sorted_on(column)
+        assert not indexed.satisfies(sorted_prop)
+        assert not sorted_prop.satisfies(indexed)
+
+    def test_str_rendering(self):
+        assert str(ANY_PROPERTY) == "-"
+        assert "sorted" in str(PhysicalProperty.sorted_on(ColumnRef("a", "x")))
+
+    def test_properties_are_hashable_keys(self):
+        column = ColumnRef("a", "x")
+        keys = {
+            ANY_PROPERTY: 1,
+            PhysicalProperty.sorted_on(column): 2,
+            PhysicalProperty.indexed_on(column): 3,
+        }
+        assert len(keys) == 3

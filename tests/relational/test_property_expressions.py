@@ -1,0 +1,51 @@
+"""Property-based tests for expressions and their partitions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.expressions import Expression
+
+alias_sets = st.sets(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]), min_size=1, max_size=6
+)
+
+
+@given(alias_sets)
+@settings(max_examples=100, deadline=None)
+def test_partitions_are_exact_covers(aliases):
+    expression = Expression(aliases)
+    for left, right in expression.partitions():
+        assert left.aliases | right.aliases == expression.aliases
+        assert not (left.aliases & right.aliases)
+        assert len(left) >= 1 and len(right) >= 1
+
+
+@given(alias_sets)
+@settings(max_examples=100, deadline=None)
+def test_partition_count_formula(aliases):
+    expression = Expression(aliases)
+    count = sum(1 for _ in expression.partitions())
+    n = len(aliases)
+    expected = 2 ** (n - 1) - 1 if n >= 2 else 0
+    assert count == expected
+
+
+@given(alias_sets, alias_sets)
+@settings(max_examples=100, deadline=None)
+def test_union_contains_both(left_aliases, right_aliases):
+    left = Expression(left_aliases)
+    right = Expression(right_aliases)
+    union = left.union(right)
+    assert union.contains(left)
+    assert union.contains(right)
+    assert union.aliases == left.aliases | right.aliases
+
+
+@given(alias_sets)
+@settings(max_examples=50, deadline=None)
+def test_name_is_canonical(aliases):
+    expression = Expression(aliases)
+    rebuilt = Expression(list(reversed(sorted(aliases))))
+    assert expression == rebuilt
+    assert expression.name == rebuilt.name
+    assert hash(expression) == hash(rebuilt)

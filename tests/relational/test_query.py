@@ -1,0 +1,153 @@
+"""Tests for the query model and builder."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import (
+    AggregateFunction,
+    Query,
+    QueryBuilder,
+    RelationRef,
+    WindowKind,
+    WindowSpec,
+)
+
+
+def build_triangle() -> Query:
+    """a-b-c chain query used throughout these tests."""
+    return (
+        QueryBuilder("tri")
+        .scan("ta", alias="a")
+        .scan("tb", alias="b")
+        .scan("tc", alias="c")
+        .join_on("a.x", "b.x")
+        .join_on("b.y", "c.y")
+        .filter("a.z", ComparisonOp.GT, 5)
+        .select("a.x", "c.y")
+        .build()
+    )
+
+
+class TestQueryConstruction:
+    def test_requires_relations(self):
+        with pytest.raises(QueryError):
+            Query("empty", [])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            Query("dup", [RelationRef("a", "t"), RelationRef("a", "t")])
+
+    def test_join_predicate_alias_validation(self):
+        with pytest.raises(QueryError):
+            (
+                QueryBuilder("bad")
+                .scan("t", alias="a")
+                .scan("t2", alias="b")
+                .join_on("a.x", "zz.y")
+                .build()
+            )
+
+    def test_filter_alias_validation(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("bad").scan("t", alias="a").filter("zz.x", ComparisonOp.EQ, 1).build()
+
+    def test_projection_alias_validation(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("bad").scan("t", alias="a").select("zz.x").build()
+
+
+class TestQueryAccessors:
+    def test_root_expression(self):
+        query = build_triangle()
+        assert query.root_expression == Expression.of("a", "b", "c")
+
+    def test_filters_for(self):
+        query = build_triangle()
+        assert len(query.filters_for("a")) == 1
+        assert query.filters_for("b") == []
+
+    def test_relation_lookup(self):
+        query = build_triangle()
+        assert query.relation("a").table == "ta"
+        with pytest.raises(QueryError):
+            query.relation("zz")
+
+    def test_columns_of_alias_unique(self):
+        query = build_triangle()
+        columns = query.columns_of_alias("a")
+        assert ColumnRef("a", "x") in columns
+        assert ColumnRef("a", "z") in columns
+        assert len(columns) == len(set(columns))
+
+    def test_has_aggregation(self):
+        query = build_triangle()
+        assert not query.has_aggregation
+        agg = (
+            QueryBuilder("agg")
+            .scan("t", alias="a")
+            .aggregate(AggregateFunction.COUNT)
+            .build()
+        )
+        assert agg.has_aggregation
+
+
+class TestJoinGraph:
+    def test_adjacency(self):
+        query = build_triangle()
+        graph = query.join_graph()
+        assert graph["a"] == {"b"}
+        assert graph["b"] == {"a", "c"}
+
+    def test_connectivity(self):
+        query = build_triangle()
+        assert query.is_connected({"a", "b"})
+        assert query.is_connected({"a", "b", "c"})
+        assert not query.is_connected({"a", "c"})
+        assert query.is_connected({"a"})
+        assert not query.is_connected(set())
+
+    def test_predicates_between(self):
+        query = build_triangle()
+        left = Expression.of("a", "b")
+        right = Expression.leaf("c")
+        predicates = query.predicates_between(left, right)
+        assert len(predicates) == 1
+        assert predicates[0].aliases == frozenset({"b", "c"})
+
+    def test_predicates_within(self):
+        query = build_triangle()
+        assert len(query.predicates_within(Expression.of("a", "b", "c"))) == 2
+        assert len(query.predicates_within(Expression.of("a", "c"))) == 0
+
+
+class TestWindows:
+    def test_window_spec_validation(self):
+        with pytest.raises(QueryError):
+            WindowSpec(WindowKind.TIME, 0)
+
+    def test_windowed_relation_ref(self):
+        spec = WindowSpec(WindowKind.TUPLES, 4, (ColumnRef("r", "carid"),))
+        query = QueryBuilder("w").scan("stream", alias="r", window=spec).build()
+        assert query.relation("r").is_windowed
+        assert query.relation("r").window.size == 4
+
+    def test_window_str(self):
+        spec = WindowSpec(WindowKind.TIME, 300)
+        assert "300" in str(spec)
+
+
+class TestValidationAgainstSchema:
+    def test_unknown_column_detected(self, two_table_schema):
+        query = (
+            QueryBuilder("bad")
+            .scan("emp", alias="e")
+            .filter("e.not_a_column", ComparisonOp.EQ, 1)
+            .build()
+        )
+        with pytest.raises(QueryError):
+            query.validate_against(two_table_schema)
+
+    def test_valid_query_passes(self, two_table_schema, two_table_query):
+        two_table_query.validate_against(two_table_schema)

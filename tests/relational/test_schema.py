@@ -1,0 +1,95 @@
+"""Tests for the schema objects (tables, columns, indexes)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Column, DataType, Index, Schema, Table
+
+
+class TestDataType:
+    def test_width_bytes_positive(self):
+        for data_type in DataType:
+            assert data_type.width_bytes > 0
+
+    def test_string_wider_than_integer(self):
+        assert DataType.STRING.width_bytes > DataType.INTEGER.width_bytes
+
+
+class TestTable:
+    def test_column_lookup(self):
+        table = Table("t", [Column("a"), Column("b", DataType.FLOAT)])
+        assert table.column("b").data_type is DataType.FLOAT
+        assert table.has_column("a")
+        assert not table.has_column("missing")
+
+    def test_unknown_column_raises(self):
+        table = Table("t", [Column("a")])
+        with pytest.raises(SchemaError):
+            table.column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a")], primary_key="b")
+
+    def test_row_width_sums_column_widths(self):
+        table = Table("t", [Column("a"), Column("b", DataType.STRING)])
+        expected = DataType.INTEGER.width_bytes + DataType.STRING.width_bytes
+        assert table.row_width_bytes == expected
+
+    def test_column_names_order_preserved(self):
+        table = Table("t", [Column("z"), Column("a"), Column("m")])
+        assert table.column_names == ["z", "a", "m"]
+
+
+class TestSchema:
+    def test_add_and_lookup_tables(self):
+        schema = Schema(tables=[Table("t", [Column("a")])])
+        assert schema.has_table("t")
+        assert schema.table("t").name == "t"
+        assert schema.table_names == ["t"]
+
+    def test_unknown_table_raises(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.table("missing")
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema(tables=[Table("t", [Column("a")])])
+        with pytest.raises(SchemaError):
+            schema.add_table(Table("t", [Column("b")]))
+
+    def test_index_registration_and_lookup(self):
+        schema = Schema(
+            tables=[Table("t", [Column("a"), Column("b")])],
+            indexes=[Index("idx", "t", "a")],
+        )
+        assert schema.index_on_column("t", "a") is not None
+        assert schema.index_on_column("t", "b") is None
+        assert len(schema.indexes_on("t")) == 1
+
+    def test_index_on_unknown_column_rejected(self):
+        schema = Schema(tables=[Table("t", [Column("a")])])
+        with pytest.raises(SchemaError):
+            schema.add_index(Index("idx", "t", "zzz"))
+
+    def test_index_on_unknown_table_rejected(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.add_index(Index("idx", "missing", "a"))
+
+    def test_duplicate_index_rejected(self):
+        schema = Schema(
+            tables=[Table("t", [Column("a")])], indexes=[Index("idx", "t", "a")]
+        )
+        with pytest.raises(SchemaError):
+            schema.add_index(Index("idx", "t", "a"))
+
+    def test_resolve_column(self):
+        schema = Schema(tables=[Table("t", [Column("a")])])
+        table, column = schema.resolve_column("t", "a")
+        assert table.name == "t"
+        assert column.name == "a"

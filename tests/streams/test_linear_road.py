@@ -1,0 +1,88 @@
+"""Tests for the Linear Road-style stream workload."""
+
+import pytest
+
+from repro.streams.linear_road import (
+    GeneratorConfig,
+    LinearRoadGenerator,
+    linear_road_catalog,
+    linear_road_schema,
+    segtolls_query,
+)
+
+
+class TestSchemaAndQuery:
+    def test_schema_has_stream_table(self):
+        schema = linear_road_schema()
+        assert schema.has_table("carlocstr")
+        assert schema.table("carlocstr").has_column("carid")
+
+    def test_segtolls_is_five_way_windowed_self_join(self):
+        query = segtolls_query()
+        assert len(query.relations) == 5
+        assert all(ref.table == "carlocstr" for ref in query.relations)
+        assert all(ref.is_windowed for ref in query.relations)
+        assert query.has_aggregation
+
+    def test_segtolls_join_graph_connected(self):
+        query = segtolls_query()
+        assert query.is_connected(query.aliases)
+
+    def test_segtolls_validates_against_schema(self):
+        segtolls_query().validate_against(linear_road_schema())
+
+
+class TestGenerator:
+    def test_report_volume(self):
+        generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=50, seed=1))
+        rows = generator.generate(10)
+        assert len(rows) == 500
+        assert {row["t"] for row in rows} == {float(s) for s in range(10)}
+
+    def test_values_within_domains(self):
+        config = GeneratorConfig(expressways=3, segments=50, cars=100, seed=2)
+        rows = LinearRoadGenerator(config).generate(5)
+        assert all(0 <= row["expway"] < 3 for row in rows)
+        assert all(0 <= row["seg"] < 50 for row in rows)
+        assert all(0 <= row["carid"] < 100 for row in rows)
+        assert all(row["dir"] in (0, 1) for row in rows)
+
+    def test_determinism_per_seed(self):
+        rows_a = LinearRoadGenerator(GeneratorConfig(seed=7)).generate(3)
+        rows_b = LinearRoadGenerator(GeneratorConfig(seed=7)).generate(3)
+        assert rows_a == rows_b
+
+    def test_distribution_drifts_over_time(self):
+        """The hotspot moves, so early and late slices favour different segments."""
+        config = GeneratorConfig(reports_per_second=200, hotspot_period=40.0, seed=3,
+                                 burst_probability=0.0)
+        rows = LinearRoadGenerator(config).generate(40)
+
+        def top_segment(second_range):
+            counts = {}
+            for row in rows:
+                if row["t"] in second_range:
+                    counts[row["seg"]] = counts.get(row["seg"], 0) + 1
+            return max(counts, key=counts.get)
+
+        early = top_segment({float(s) for s in range(5)})
+        late = top_segment({float(s) for s in range(18, 23)})
+        assert early != late
+
+    def test_generate_slices(self):
+        generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=10, seed=1))
+        slices = generator.generate_slices(10, 2.0)
+        assert len(slices) == 5
+        assert sum(s.row_count for s in slices) == 100
+
+
+class TestCatalog:
+    def test_catalog_without_sample_has_default_stats(self):
+        catalog = linear_road_catalog()
+        assert catalog.row_count("carlocstr") == 1000.0
+
+    def test_catalog_from_sample(self):
+        rows = LinearRoadGenerator(GeneratorConfig(reports_per_second=20, seed=1)).generate(5)
+        catalog = linear_road_catalog(rows)
+        assert catalog.row_count("carlocstr") == len(rows)
+        assert catalog.column_stats("carlocstr", "seg").distinct_count > 1

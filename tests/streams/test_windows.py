@@ -1,0 +1,105 @@
+"""Tests for stream slices and window materialization."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.relational.expressions import ColumnRef
+from repro.relational.query import QueryBuilder, WindowKind, WindowSpec
+from repro.streams.windows import StreamSlice, WindowManager, slice_stream
+
+
+def make_rows(count, start_time=0.0):
+    return [{"carid": i % 5, "seg": i % 10, "t": start_time + i * 0.1} for i in range(count)]
+
+
+def windowed_query():
+    return (
+        QueryBuilder("w")
+        .scan("s", alias="time_win", window=WindowSpec(WindowKind.TIME, 10))
+        .scan(
+            "s",
+            alias="tuple_win",
+            window=WindowSpec(WindowKind.TUPLES, 2, (ColumnRef("tuple_win", "carid"),)),
+        )
+        .join_on("time_win.carid", "tuple_win.carid")
+        .build()
+    )
+
+
+class TestSliceStream:
+    def test_rows_grouped_by_duration(self):
+        rows = [{"t": float(t)} for t in range(10)]
+        slices = slice_stream(rows, 2.0)
+        assert len(slices) == 5
+        assert all(s.row_count == 2 for s in slices)
+        assert slices[0].duration == 2.0
+
+    def test_empty_stream(self):
+        assert slice_stream([], 1.0) == []
+
+    def test_invalid_duration(self):
+        with pytest.raises(ExecutionError):
+            slice_stream([{"t": 0.0}], 0.0)
+
+    def test_gaps_produce_empty_slices(self):
+        rows = [{"t": 0.0}, {"t": 5.0}]
+        slices = slice_stream(rows, 1.0)
+        assert len(slices) == 6
+        assert slices[1].row_count == 0
+
+
+class TestWindowManager:
+    def test_time_window_evicts_old_rows(self):
+        query = windowed_query()
+        manager = WindowManager(query)
+        first = StreamSlice(0, 0.0, 1.0, tuple({"carid": 1, "seg": 1, "t": 0.5} for _ in range(3)))
+        manager.advance(first)
+        assert len(manager.materialize()["time_win"]) == 3
+        # Advance far past the 10-second window.
+        later = StreamSlice(1, 20.0, 21.0, ({"carid": 2, "seg": 2, "t": 20.5},))
+        manager.advance(later)
+        contents = manager.materialize()["time_win"]
+        assert len(contents) == 1
+        assert contents[0]["carid"] == 2
+
+    def test_tuple_window_keeps_last_n_per_partition(self):
+        query = windowed_query()
+        manager = WindowManager(query)
+        rows = tuple({"carid": 1, "seg": seg, "t": float(seg)} for seg in range(5))
+        manager.advance(StreamSlice(0, 0.0, 5.0, rows))
+        contents = manager.materialize()["tuple_win"]
+        assert len(contents) == 2
+        assert {row["seg"] for row in contents} == {3, 4}
+
+    def test_tuple_window_partitions_independent(self):
+        query = windowed_query()
+        manager = WindowManager(query)
+        rows = tuple(
+            {"carid": carid, "seg": seg, "t": float(seg)}
+            for carid in (1, 2)
+            for seg in range(3)
+        )
+        manager.advance(StreamSlice(0, 0.0, 3.0, rows))
+        contents = manager.materialize()["tuple_win"]
+        assert len(contents) == 4  # 2 per partition, 2 partitions
+
+    def test_static_tables_pass_through(self):
+        query = windowed_query()
+        manager = WindowManager(query)
+        manager.set_static_table("lookup", [{"k": 1}])
+        assert manager.materialize()["lookup"] == [{"k": 1}]
+
+    def test_window_sizes_reported(self):
+        query = windowed_query()
+        manager = WindowManager(query)
+        manager.advance(StreamSlice(0, 0.0, 1.0, ({"carid": 1, "seg": 1, "t": 0.5},)))
+        sizes = manager.window_sizes()
+        assert sizes["time_win"] == 1
+        assert sizes["tuple_win"] == 1
+        assert manager.total_window_rows() == 2
+
+    def test_non_windowed_alias_rejected(self):
+        query = QueryBuilder("q").scan("t", alias="a").build()
+        manager = WindowManager(query)
+        # No windowed aliases: materialize only returns static tables.
+        assert manager.materialize() == {}

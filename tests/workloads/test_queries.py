@@ -1,0 +1,87 @@
+"""Tests for the paper's query workload definitions."""
+
+import pytest
+
+from repro.relational.expressions import Expression
+from repro.workloads.queries import (
+    all_queries,
+    q1,
+    q3,
+    q3s,
+    q5,
+    q5_expression_chain,
+    q5s,
+    q6,
+    q8join,
+    q8joins,
+    q10,
+    workload_join_queries,
+)
+
+
+class TestQueryShapes:
+    @pytest.mark.parametrize(
+        "make_query,relation_count,has_agg",
+        [
+            (q1, 1, True),
+            (q6, 1, True),
+            (q3s, 3, False),
+            (q3, 3, True),
+            (q10, 4, True),
+            (q5, 6, True),
+            (q5s, 6, False),
+            (q8join, 8, True),
+            (q8joins, 8, False),
+        ],
+    )
+    def test_relation_counts_and_aggregation(self, make_query, relation_count, has_agg):
+        query = make_query()
+        assert len(query.relations) == relation_count
+        assert query.has_aggregation is has_agg
+
+    def test_join_graphs_connected(self):
+        for query in all_queries():
+            assert query.is_connected(query.aliases)
+
+    def test_simplified_variants_share_join_structure(self):
+        assert {p.aliases for p in q5().join_predicates} == {
+            p.aliases for p in q5s().join_predicates
+        }
+        assert {p.aliases for p in q8join().join_predicates} == {
+            p.aliases for p in q8joins().join_predicates
+        }
+
+    def test_q8join_has_seven_join_predicates(self):
+        assert len(q8join().join_predicates) == 7
+
+    def test_filters_have_selectivity_hints(self):
+        for query in all_queries():
+            for predicate in query.filters:
+                assert predicate.selectivity_hint is not None
+
+
+class TestExpressionChain:
+    def test_chain_is_nested(self):
+        chain = q5_expression_chain()
+        assert chain["A"] == Expression.of("region", "nation")
+        assert chain["E"] == q5().root_expression
+        for smaller, larger in zip("ABCD", "BCDE"):
+            assert chain[larger].contains(chain[smaller])
+            assert len(chain[larger]) == len(chain[smaller]) + 1
+
+    def test_chain_expressions_connected_in_q5(self):
+        query = q5()
+        for expression in q5_expression_chain().values():
+            assert query.is_connected(expression.aliases)
+
+
+class TestWorkloadHelpers:
+    def test_workload_join_queries_names(self):
+        queries = workload_join_queries()
+        assert set(queries) == {"Q5", "Q5S", "Q10", "Q8Join", "Q8JoinS"}
+        for name, query in queries.items():
+            assert query.name == name
+
+    def test_all_queries_have_unique_names(self):
+        names = [query.name for query in all_queries()]
+        assert len(names) == len(set(names))

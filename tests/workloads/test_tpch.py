@@ -1,0 +1,123 @@
+"""Tests for the TPC-H-style schema, catalog and data generator."""
+
+import pytest
+
+from repro.workloads.tpch import (
+    BASE_ROW_COUNTS,
+    ZipfSampler,
+    catalog_from_data,
+    generate_tpch_data,
+    partition_rows,
+    tpch_catalog,
+    tpch_schema,
+)
+
+import random
+
+
+class TestSchema:
+    def test_all_eight_tables_present(self):
+        schema = tpch_schema()
+        assert set(schema.table_names) == set(BASE_ROW_COUNTS)
+
+    def test_join_columns_are_indexed(self):
+        schema = tpch_schema()
+        for table, column in [
+            ("orders", "o_custkey"),
+            ("lineitem", "l_orderkey"),
+            ("customer", "c_custkey"),
+            ("partsupp", "ps_partkey"),
+            ("nation", "n_nationkey"),
+        ]:
+            assert schema.index_on_column(table, column) is not None
+
+    def test_queries_validate_against_schema(self):
+        from repro.workloads.queries import all_queries
+
+        schema = tpch_schema()
+        for query in all_queries():
+            query.validate_against(schema)
+
+
+class TestAnalyticCatalog:
+    def test_row_counts_match_spec_proportions(self):
+        catalog = tpch_catalog(1.0)
+        assert catalog.row_count("lineitem") == pytest.approx(6_000_000)
+        assert catalog.row_count("orders") == pytest.approx(1_500_000)
+        assert catalog.row_count("nation") == 25
+
+    def test_every_column_has_stats(self):
+        catalog = tpch_catalog(0.01)
+        schema = tpch_schema()
+        for table in schema.tables:
+            stats = catalog.table_stats(table.name)
+            for column in table.column_names:
+                assert stats.has_column(column), f"{table.name}.{column}"
+
+    def test_foreign_key_distincts_bounded_by_parent(self):
+        catalog = tpch_catalog(0.01)
+        assert catalog.column_stats("orders", "o_custkey").distinct_count <= catalog.row_count(
+            "customer"
+        )
+
+
+class TestZipfSampler:
+    def test_uniform_when_skew_zero(self):
+        sampler = ZipfSampler(100, 0.0, random.Random(1))
+        values = [sampler.sample() for _ in range(2000)]
+        assert min(values) >= 1 and max(values) <= 100
+        # roughly uniform: the most common value should not dominate
+        most_common = max(values.count(v) for v in set(values))
+        assert most_common < 100
+
+    def test_skew_concentrates_mass_on_low_ranks(self):
+        sampler = ZipfSampler(100, 1.0, random.Random(1))
+        values = [sampler.sample() for _ in range(2000)]
+        assert values.count(1) > len(values) * 0.1
+
+    def test_single_value_domain(self):
+        sampler = ZipfSampler(1, 0.5, random.Random(1))
+        assert sampler.sample() == 1
+
+
+class TestDataGenerator:
+    def test_row_counts_scale(self):
+        data = generate_tpch_data(scale_factor=0.001, seed=5)
+        assert len(data["lineitem"]) == 6000
+        assert len(data["orders"]) == 1500
+        assert len(data["region"]) == 5
+
+    def test_determinism(self):
+        first = generate_tpch_data(scale_factor=0.0005, seed=9)
+        second = generate_tpch_data(scale_factor=0.0005, seed=9)
+        assert first["orders"] == second["orders"]
+
+    def test_foreign_keys_reference_existing_rows(self):
+        data = generate_tpch_data(scale_factor=0.001, seed=5)
+        customer_keys = {row["c_custkey"] for row in data["customer"]}
+        assert all(row["o_custkey"] in customer_keys for row in data["orders"])
+        order_keys = {row["o_orderkey"] for row in data["orders"]}
+        assert all(row["l_orderkey"] in order_keys for row in data["lineitem"])
+
+    def test_skew_changes_distribution(self):
+        uniform = generate_tpch_data(scale_factor=0.001, skew=0.0, seed=5)
+        skewed = generate_tpch_data(scale_factor=0.001, skew=1.0, seed=5)
+
+        def top_customer_share(data):
+            counts = {}
+            for row in data["orders"]:
+                counts[row["o_custkey"]] = counts.get(row["o_custkey"], 0) + 1
+            return max(counts.values()) / len(data["orders"])
+
+        assert top_customer_share(skewed) > top_customer_share(uniform)
+
+    def test_catalog_from_data(self):
+        data = generate_tpch_data(scale_factor=0.0005, seed=5)
+        catalog = catalog_from_data(data)
+        assert catalog.row_count("customer") == len(data["customer"])
+
+    def test_partition_rows_covers_everything(self):
+        data = generate_tpch_data(scale_factor=0.0005, seed=5)
+        parts = partition_rows(data["orders"], 10)
+        assert sum(len(part) for part in parts) == len(data["orders"])
+        assert len(parts) == 10
