@@ -1,0 +1,88 @@
+"""SQL frontend latency: parse → bind → optimize for the workload queries.
+
+Unlike the figure benchmarks this does not reproduce a paper plot; it tracks
+the overhead the new SQL entry layer adds on top of the optimizer, broken
+into stages (parse, bind, optimize) per workload query, so later PRs (plan
+cache, prepared statements) have a baseline to beat.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sql_frontend.py \
+        -o python_files=bench_*.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.harness import format_table, publish
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+from repro.workloads.sql_queries import WORKLOAD_SQL
+
+QUERY_NAMES = sorted(WORKLOAD_SQL)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_parse_bind_latency(benchmark, catalog, query_name):
+    """Frontend-only latency: text to bound Query IR."""
+    sql = WORKLOAD_SQL[query_name]
+
+    def frontend():
+        statement = parse_select(sql)
+        return Binder(catalog, source=sql).bind(statement, name=query_name)
+
+    query = benchmark.pedantic(frontend, rounds=5, iterations=3)
+    assert query.relations
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_text_to_plan_latency(benchmark, catalog, query_name):
+    """End-to-end latency: text to optimized physical plan."""
+    sql = WORKLOAD_SQL[query_name]
+
+    def text_to_plan():
+        statement = parse_select(sql)
+        query = Binder(catalog, source=sql).bind(statement, name=query_name)
+        return DeclarativeOptimizer(query, catalog).optimize()
+
+    result = benchmark.pedantic(text_to_plan, rounds=3, iterations=1)
+    assert result.cost > 0
+
+
+def test_sql_frontend_report(benchmark, catalog):
+    """Emit the per-stage latency table (parse / bind / optimize / overhead)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for query_name in QUERY_NAMES:
+        sql = WORKLOAD_SQL[query_name]
+        stages: Dict[str, float] = {"parse": 0.0, "bind": 0.0, "optimize": 0.0}
+        repeats = 5
+        for _ in range(repeats):
+            started = time.perf_counter()
+            statement = parse_select(sql)
+            parsed = time.perf_counter()
+            query = Binder(catalog, source=sql).bind(statement, name=query_name)
+            bound = time.perf_counter()
+            DeclarativeOptimizer(query, catalog).optimize()
+            optimized = time.perf_counter()
+            stages["parse"] += parsed - started
+            stages["bind"] += bound - parsed
+            stages["optimize"] += optimized - bound
+        parse_ms = stages["parse"] / repeats * 1000
+        bind_ms = stages["bind"] / repeats * 1000
+        optimize_ms = stages["optimize"] / repeats * 1000
+        frontend_share = (parse_ms + bind_ms) / (parse_ms + bind_ms + optimize_ms)
+        rows.append(
+            (query_name, parse_ms, bind_ms, optimize_ms, f"{frontend_share:.1%}")
+        )
+    text = format_table(
+        "SQL frontend latency per workload query (mean of 5 runs)",
+        ["query", "parse ms", "bind ms", "optimize ms", "frontend share"],
+        rows,
+    )
+    publish("sql_frontend", text)

@@ -31,9 +31,10 @@ from repro.relational import (
     Query,
     QueryBuilder,
 )
+from repro.sql import Session, SqlResult
 from repro.workloads import q3s, q5, q5s, q8join, q8joins, q10, tpch_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DeclarativeOptimizer",
@@ -46,6 +47,8 @@ __all__ = [
     "PhysicalPlan",
     "Query",
     "QueryBuilder",
+    "Session",
+    "SqlResult",
     "q3s",
     "q5",
     "q5s",

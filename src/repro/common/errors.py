@@ -1,5 +1,7 @@
 """Exception hierarchy shared by all repro subpackages."""
 
+from typing import Optional, Tuple
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -27,3 +29,50 @@ class ExecutionError(ReproError):
 
 class AdaptationError(ReproError):
     """The adaptive controller was asked to do something inconsistent."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL frontend.
+
+    Carries an optional 1-based ``(line, column)`` position and the source
+    text so messages can point at the offending token::
+
+        SQL error at line 1, column 27: unknown column 'c_custky'
+          SELECT * FROM customer WHERE c_custky = 1
+                                       ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: Optional[Tuple[int, int]] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        self.bare_message = message
+        self.position = position
+        self.source = source
+        super().__init__(self._render(message, position, source))
+
+    @staticmethod
+    def _render(
+        message: str,
+        position: Optional[Tuple[int, int]],
+        source: Optional[str],
+    ) -> str:
+        if position is None:
+            return message
+        line, column = position
+        rendered = f"at line {line}, column {column}: {message}"
+        if source is not None:
+            lines = source.splitlines()
+            if 1 <= line <= len(lines):
+                rendered += f"\n  {lines[line - 1]}\n  {' ' * (column - 1)}^"
+        return rendered
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be tokenized or parsed."""
+
+
+class SqlBindingError(SqlError):
+    """The query parsed but references unknown tables/columns or is ambiguous."""

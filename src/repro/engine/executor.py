@@ -37,6 +37,10 @@ class ExecutionResult:
     observed_cardinalities: Dict[Expression, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     operator_timings: Dict[str, float] = field(default_factory=dict)
+    # Per-operator output counts keyed like operator_timings ("op (aliases)").
+    # Unlike observed_cardinalities this keeps operators with the same
+    # expression apart (an aggregate shares its child's expression).
+    operator_cardinalities: Dict[str, int] = field(default_factory=dict)
 
     @property
     def row_count(self) -> int:
@@ -79,9 +83,9 @@ class PlanExecutor:
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"unsupported operator {operator}")
         result.observed_cardinalities[node.expression] = len(rows)
-        result.operator_timings[f"{operator.value} {node.expression}"] = (
-            time.perf_counter() - node_start
-        )
+        operator_key = f"{operator.value} {node.expression}"
+        result.operator_cardinalities[operator_key] = len(rows)
+        result.operator_timings[operator_key] = time.perf_counter() - node_start
         return rows
 
     # ------------------------------------------------------------------
@@ -106,7 +110,14 @@ class PlanExecutor:
         for base_row in base_rows:
             keep = True
             for predicate in filters:
-                value = base_row.get(predicate.column.column)
+                name = predicate.column.column
+                if name not in base_row:
+                    raise ExecutionError(
+                        f"filter {predicate} references column {name!r} which is "
+                        f"absent from the data for alias {alias!r} "
+                        f"(table {relation.table!r})"
+                    )
+                value = base_row[name]
                 if value is None or not predicate.evaluate(value):
                     keep = False
                     break

@@ -126,7 +126,16 @@ class DeclarativeOptimizer:
             self.cost_model.summaries.invalidate_containing(delta.expression)
         self._incremental_pass = True
         try:
-            for and_key in self._affected_alternatives(deltas):
+            # Retained costs of regions killed while the initial pass was
+            # still improving their children are stale; refresh them together
+            # with the delta-affected entries (a noop-only pass leaves them
+            # untouched — they cannot influence the outcome until some cost
+            # actually changes).
+            stale: Set[AndKey] = set()
+            if any(not delta.is_noop for delta in deltas):
+                stale = self._stale_retained
+                self._stale_retained = set()
+            for and_key in self._affected_alternatives(deltas, extra=stale):
                 self._enqueue(("cost", and_key))
             self._run()
         finally:
@@ -228,6 +237,10 @@ class DeclarativeOptimizer:
             BoundsManager() if self.pruning.recursive_bounding else None
         )
         self._queue: Deque[Tuple] = deque()
+        # Retained alternatives of refcount-killed regions whose stored costs
+        # went stale (a child's BestCost changed while the region was dead).
+        # reoptimize() refreshes them before trusting retained state.
+        self._stale_retained: Set[AndKey] = set()
         self._optimized = False
         # During incremental re-optimization even pruned/dead regions must be
         # kept cost-consistent (their retained costs feed next-best recovery
@@ -352,6 +365,11 @@ class DeclarativeOptimizer:
         if state is None:
             return
         if not state.alive and not self._incremental_pass:
+            # The region died between enqueue and processing, so the update
+            # this event would have applied is dropped: the retained cost may
+            # now be stale.  Remember it for the next reoptimize() refresh.
+            if and_key in self._plan_costs:
+                self._stale_retained.add(and_key)
             return
         entry = state.alternatives.get(and_key.index)
         if entry is None:
@@ -396,6 +414,7 @@ class DeclarativeOptimizer:
             right_cost=right_cost,
             cardinality=cardinality,
         )
+        self._stale_retained.discard(and_key)
         self.recorder.touch_and(and_key)
         self.recorder.record_plan_cost()
 
@@ -515,12 +534,17 @@ class DeclarativeOptimizer:
         # Propagate to parents: their total costs depend on this BestCost.
         # During incremental maintenance pruned/dead parents are re-costed too,
         # so that their retained entries stay consistent with the new bests.
+        # During the initial pass dead parents are skipped for efficiency, but
+        # their retained costs are now stale: remember them so reoptimize()
+        # can refresh them before they feed re-introduction decisions.
         for parent in self._parents_of.get(or_key, ()):  # noqa: B020 - set iteration
             parent_state = self._or_states.get(parent.or_key)
             if parent_state is None:
                 continue
             if parent_state.alive or self._incremental_pass:
                 self._enqueue(("cost", parent))
+            else:
+                self._stale_retained.add(parent)
 
         # Recursive bounding: BestCost feeds the Bound relation (rule r4).
         if self._bounds is not None:
@@ -632,8 +656,10 @@ class DeclarativeOptimizer:
     # Incremental re-optimization seeding
     # ------------------------------------------------------------------
 
-    def _affected_alternatives(self, deltas: Sequence[StatisticsDelta]) -> List[AndKey]:
-        affected: Set[AndKey] = set()
+    def _affected_alternatives(
+        self, deltas: Sequence[StatisticsDelta], extra: Set[AndKey] = frozenset()
+    ) -> List[AndKey]:
+        affected: Set[AndKey] = set(extra)
         for or_key, state in self._or_states.items():
             # Dead (pruned) regions are included as well: their retained costs
             # must stay consistent with the new statistics, otherwise they can

@@ -7,6 +7,7 @@ from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, Property
 from repro.relational.query import (
     AggregateFunction,
     AggregateSpec,
+    OrderItem,
     Query,
     QueryBuilder,
     RelationRef,
@@ -29,6 +30,7 @@ __all__ = [
     "PropertyKind",
     "AggregateFunction",
     "AggregateSpec",
+    "OrderItem",
     "Query",
     "QueryBuilder",
     "RelationRef",

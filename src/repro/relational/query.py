@@ -67,6 +67,17 @@ class AggregateFunction(Enum):
 
 
 @dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry: a column plus direction."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'desc' if self.descending else 'asc'}"
+
+
+@dataclass(frozen=True)
 class AggregateSpec:
     """An aggregate in the SELECT list, e.g. ``COUNT(DISTINCT r5.xpos)``."""
 
@@ -93,9 +104,13 @@ class Query:
         projections: Sequence[ColumnRef] = (),
         group_by: Sequence[ColumnRef] = (),
         aggregates: Sequence[AggregateSpec] = (),
+        order_by: Sequence[OrderItem] = (),
+        limit: Optional[int] = None,
     ) -> None:
         if not relations:
             raise QueryError("a query needs at least one relation")
+        if limit is not None and limit < 0:
+            raise QueryError("limit must be non-negative")
         self.name = name
         self._relations: Dict[str, RelationRef] = {}
         for ref in relations:
@@ -107,6 +122,8 @@ class Query:
         self.projections: Tuple[ColumnRef, ...] = tuple(projections)
         self.group_by: Tuple[ColumnRef, ...] = tuple(group_by)
         self.aggregates: Tuple[AggregateSpec, ...] = tuple(aggregates)
+        self.order_by: Tuple[OrderItem, ...] = tuple(order_by)
+        self.limit: Optional[int] = limit
         self._validate_references()
 
     # -- validation ------------------------------------------------------
@@ -130,6 +147,9 @@ class Query:
         for aggregate in self.aggregates:
             if aggregate.column is not None and aggregate.column.alias not in aliases:
                 raise QueryError(f"aggregate {aggregate} uses unknown alias")
+        for item in self.order_by:
+            if item.column.alias not in aliases:
+                raise QueryError(f"order-by column {item.column} uses unknown alias")
 
     def validate_against(self, schema: Schema) -> None:
         """Check every table/column reference against a concrete schema."""
@@ -185,6 +205,9 @@ class Query:
         for aggregate in self.aggregates:
             if aggregate.column is not None and aggregate.column.alias == alias:
                 columns.append(aggregate.column)
+        for item in self.order_by:
+            if item.column.alias == alias:
+                columns.append(item.column)
         seen: Set[ColumnRef] = set()
         unique: List[ColumnRef] = []
         for column in columns:
@@ -255,6 +278,8 @@ class QueryBuilder:
         self._projections: List[ColumnRef] = []
         self._group_by: List[ColumnRef] = []
         self._aggregates: List[AggregateSpec] = []
+        self._order_by: List[OrderItem] = []
+        self._limit: Optional[int] = None
 
     def scan(
         self, table: str, alias: Optional[str] = None, window: Optional[WindowSpec] = None
@@ -298,6 +323,14 @@ class QueryBuilder:
         self._aggregates.append(AggregateSpec(function, ref, distinct))
         return self
 
+    def order_by(self, column: str, descending: bool = False) -> "QueryBuilder":
+        self._order_by.append(OrderItem(ColumnRef.parse(column), descending))
+        return self
+
+    def limit(self, count: int) -> "QueryBuilder":
+        self._limit = count
+        return self
+
     def build(self) -> Query:
         return Query(
             name=self._name,
@@ -307,4 +340,6 @@ class QueryBuilder:
             projections=self._projections,
             group_by=self._group_by,
             aggregates=self._aggregates,
+            order_by=self._order_by,
+            limit=self._limit,
         )

@@ -1,0 +1,49 @@
+"""SQL frontend: query text → tokens → AST → bound Query IR → plans → rows.
+
+This package is the user-facing entry layer over the optimizer stack.  The
+pipeline stages are usable independently (each is a thin module), or wired
+end-to-end through :class:`Session`::
+
+    from repro.sql import Session
+    from repro.workloads.tpch import tpch_catalog
+
+    session = Session(tpch_catalog(scale_factor=0.01))
+    print(session.execute("EXPLAIN SELECT n_name FROM nation, region "
+                          "WHERE n_regionkey = r_regionkey"))
+
+Stages:
+
+* :mod:`repro.sql.tokens` — hand-written lexer with source positions,
+* :mod:`repro.sql.parser` — recursive-descent parser for the TPC-H-class
+  subset (SELECT-FROM-WHERE, JOIN..ON, GROUP BY, aggregates with DISTINCT,
+  ORDER BY, LIMIT, ``/*+ selectivity=x */`` hints),
+* :mod:`repro.sql.binder` — semantic analysis against the catalog schema,
+  lowering to :class:`~repro.relational.query.Query`,
+* :mod:`repro.sql.session` — the facade adding optimization, execution and
+  ``EXPLAIN [ANALYZE]`` rendering,
+* :mod:`repro.sql.cli` — the ``repro-sql`` console entry point.
+"""
+
+from repro.sql.binder import Binder, bind
+from repro.sql.errors import SqlBindingError, SqlError, SqlSyntaxError
+from repro.sql.parser import Parser, parse, parse_select
+from repro.sql.session import Session, SqlResult, render_plan
+from repro.sql.tokens import Lexer, Token, TokenType, tokenize
+
+__all__ = [
+    "Binder",
+    "bind",
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlBindingError",
+    "Parser",
+    "parse",
+    "parse_select",
+    "Session",
+    "SqlResult",
+    "render_plan",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+]

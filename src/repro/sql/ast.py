@@ -1,0 +1,126 @@
+"""Abstract syntax tree for the SQL subset.
+
+The AST is deliberately *unresolved*: column references may be unqualified and
+table names unchecked.  The binder (:mod:`repro.sql.binder`) resolves names
+against a :class:`~repro.catalog.catalog.Catalog` and lowers the tree into the
+optimizer's :class:`~repro.relational.query.Query` IR.  Every node carries the
+source position of its first token for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+Position = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ColumnName:
+    """A possibly-unqualified column reference ``[qualifier.]name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[int, float, str]
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = Union[ColumnName, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison ``left <op> right`` from WHERE or ON.
+
+    ``selectivity_hint`` comes from a trailing ``/*+ selectivity=x */`` hint
+    comment and is carried through to the lowered
+    :class:`~repro.relational.predicates.FilterPredicate`.
+    """
+
+    left: Operand
+    op: str
+    right: Operand
+    selectivity_hint: Optional[float] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause item ``table [AS alias]``."""
+
+    table: str
+    alias: Optional[str] = None
+    position: Position = (1, 1)
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``fn([DISTINCT] column | *)`` in the SELECT list."""
+
+    function: str  # count / sum / min / max / avg (lowercase)
+    argument: Optional[ColumnName]  # None for COUNT(*)
+    distinct: bool = False
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.function.upper()}({inner})"
+
+
+SelectItem = Union[ColumnName, AggregateCall]
+
+
+@dataclass(frozen=True)
+class OrderExpr:
+    """One ORDER BY entry."""
+
+    column: ColumnName
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full single-block SELECT."""
+
+    select_items: Tuple[SelectItem, ...]
+    select_star: bool
+    tables: Tuple[TableRef, ...]
+    predicates: Tuple[Comparison, ...]
+    group_by: Tuple[ColumnName, ...] = ()
+    order_by: Tuple[OrderExpr, ...] = ()
+    limit: Optional[int] = None
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <select>``."""
+
+    select: SelectStatement
+    analyze: bool = False
+    position: Position = (1, 1)
+
+
+Statement = Union[SelectStatement, ExplainStatement]

@@ -1,0 +1,231 @@
+"""Semantic analysis: resolve names against the catalog, lower AST to Query IR.
+
+The binder takes a parsed :class:`~repro.sql.ast.SelectStatement` plus a
+:class:`~repro.catalog.catalog.Catalog` (only its schema is consulted) and
+produces the optimizer's :class:`~repro.relational.query.Query`:
+
+* FROM items become :class:`~repro.relational.query.RelationRef`\\ s (the alias
+  defaults to the table name, matching ``QueryBuilder.scan``),
+* column names are resolved — unqualified ones by searching every FROM table
+  for a unique owner — into qualified :class:`ColumnRef`\\ s,
+* each WHERE/ON comparison is classified as an equi-/theta-join predicate
+  (two columns of different relations) or a filter (column vs. constant,
+  carrying any ``/*+ selectivity=x */`` hint),
+* SELECT items become projections and aggregates, GROUP BY / ORDER BY / LIMIT
+  lower onto the corresponding ``Query`` fields.
+
+Every rejection raises a position-annotated
+:class:`~repro.common.errors.SqlBindingError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import SqlBindingError
+from repro.relational.expressions import ColumnRef
+from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.query import (
+    AggregateFunction,
+    AggregateSpec,
+    OrderItem,
+    Query,
+    RelationRef,
+)
+from repro.relational.schema import Table
+from repro.sql.ast import (
+    AggregateCall,
+    ColumnName,
+    Comparison,
+    Literal,
+    SelectStatement,
+)
+
+_FLIPPED = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+}
+
+
+class Binder:
+    """Bind one SELECT statement against a catalog's schema."""
+
+    def __init__(self, catalog: Catalog, source: Optional[str] = None) -> None:
+        self.catalog = catalog
+        self.source = source
+
+    # ------------------------------------------------------------------
+
+    def bind(self, statement: SelectStatement, name: str = "sql") -> Query:
+        tables = self._bind_tables(statement)
+        joins: List[JoinPredicate] = []
+        filters: List[FilterPredicate] = []
+        for comparison in statement.predicates:
+            self._bind_predicate(comparison, tables, joins, filters)
+        group_by = [self._resolve_column(column, tables) for column in statement.group_by]
+        projections: List[ColumnRef] = []
+        aggregates: List[AggregateSpec] = []
+        if statement.select_star:
+            if statement.group_by:
+                raise self._error(
+                    "SELECT * cannot be combined with GROUP BY; "
+                    "list the grouped columns explicitly",
+                    statement,
+                )
+            for alias, table in tables.items():
+                projections.extend(
+                    ColumnRef(alias, column) for column in table.column_names
+                )
+        for item in statement.select_items:
+            if isinstance(item, AggregateCall):
+                argument = (
+                    self._resolve_column(item.argument, tables)
+                    if item.argument is not None
+                    else None
+                )
+                aggregates.append(
+                    AggregateSpec(AggregateFunction(item.function), argument, item.distinct)
+                )
+            else:
+                projections.append(self._resolve_column(item, tables))
+        if aggregates or statement.group_by:
+            group_set = set(group_by)
+            for item in statement.select_items:
+                if isinstance(item, ColumnName):
+                    if self._resolve_column(item, tables) not in group_set:
+                        raise self._error(
+                            f"column {item} must appear in GROUP BY when "
+                            "aggregates are present",
+                            item,
+                        )
+        order_by: List[OrderItem] = []
+        for entry in statement.order_by:
+            resolved = self._resolve_column(entry.column, tables)
+            if (aggregates or group_by) and resolved not in group_by:
+                raise self._error(
+                    f"ORDER BY column {entry.column} must appear in GROUP BY "
+                    "when the query aggregates",
+                    entry.column,
+                )
+            order_by.append(OrderItem(resolved, entry.descending))
+        return Query(
+            name=name,
+            relations=list(self._relations.values()),
+            join_predicates=joins,
+            filters=filters,
+            projections=projections,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=order_by,
+            limit=statement.limit,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str, node) -> SqlBindingError:
+        position = getattr(node, "position", None)
+        return SqlBindingError(message, position, self.source)
+
+    def _bind_tables(self, statement: SelectStatement) -> Dict[str, Table]:
+        schema = self.catalog.schema
+        self._relations: Dict[str, RelationRef] = {}
+        tables: Dict[str, Table] = {}
+        for ref in statement.tables:
+            if not schema.has_table(ref.table):
+                known = ", ".join(sorted(schema.table_names))
+                raise self._error(
+                    f"unknown table {ref.table!r} (known tables: {known})", ref
+                )
+            binding = ref.binding_name
+            if binding in tables:
+                raise self._error(
+                    f"duplicate table alias {binding!r} in FROM clause", ref
+                )
+            self._relations[binding] = RelationRef(binding, ref.table)
+            tables[binding] = schema.table(ref.table)
+        return tables
+
+    def _resolve_column(self, column: ColumnName, tables: Dict[str, Table]) -> ColumnRef:
+        if column.qualifier is not None:
+            table = tables.get(column.qualifier)
+            if table is None:
+                known = ", ".join(sorted(tables))
+                raise self._error(
+                    f"unknown table alias {column.qualifier!r} "
+                    f"(FROM clause defines: {known})",
+                    column,
+                )
+            if not table.has_column(column.name):
+                raise self._error(
+                    f"column {column.name!r} does not exist in table "
+                    f"{table.name!r} (alias {column.qualifier!r})",
+                    column,
+                )
+            return ColumnRef(column.qualifier, column.name)
+        owners = [alias for alias, table in tables.items() if table.has_column(column.name)]
+        if not owners:
+            raise self._error(
+                f"unknown column {column.name!r} in any FROM table", column
+            )
+        if len(owners) > 1:
+            raise self._error(
+                f"ambiguous column {column.name!r}: present in "
+                + " and ".join(repr(owner) for owner in owners),
+                column,
+            )
+        return ColumnRef(owners[0], column.name)
+
+    def _bind_predicate(
+        self,
+        comparison: Comparison,
+        tables: Dict[str, Table],
+        joins: List[JoinPredicate],
+        filters: List[FilterPredicate],
+    ) -> None:
+        op = ComparisonOp(comparison.op)
+        left, right = comparison.left, comparison.right
+        if isinstance(left, ColumnName) and isinstance(right, ColumnName):
+            left_ref = self._resolve_column(left, tables)
+            right_ref = self._resolve_column(right, tables)
+            if left_ref.alias == right_ref.alias:
+                raise self._error(
+                    f"predicate {comparison} compares two columns of the same "
+                    "relation; only column-vs-constant filters and "
+                    "cross-relation joins are supported",
+                    comparison,
+                )
+            if comparison.selectivity_hint is not None:
+                raise self._error(
+                    "selectivity hints are only supported on filter "
+                    f"(column vs. constant) predicates, not on join {comparison}",
+                    comparison,
+                )
+            joins.append(JoinPredicate(left_ref, right_ref, op))
+            return
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            raise self._error(
+                f"predicate {comparison} compares two constants", comparison
+            )
+        if isinstance(left, Literal):
+            # Normalize "constant <op> column" to "column <flipped-op> constant".
+            assert isinstance(right, ColumnName)
+            column_ref = self._resolve_column(right, tables)
+            value = left.value
+            op = _FLIPPED[op]
+        else:
+            assert isinstance(right, Literal)
+            column_ref = self._resolve_column(left, tables)
+            value = right.value
+        filters.append(
+            FilterPredicate(column_ref, op, value, comparison.selectivity_hint)
+        )
+
+
+def bind(statement: SelectStatement, catalog: Catalog, name: str = "sql", source: Optional[str] = None) -> Query:
+    """Convenience wrapper: bind *statement* against *catalog*."""
+    return Binder(catalog, source).bind(statement, name)

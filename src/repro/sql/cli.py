@@ -1,0 +1,120 @@
+"""``repro-sql``: a small console front door to the SQL session.
+
+Examples::
+
+    # optimizer-only session (analytic statistics, no data): EXPLAIN works
+    repro-sql -c "EXPLAIN SELECT n_name FROM nation, region \
+                  WHERE n_regionkey = r_regionkey"
+
+    # generate synthetic data so SELECT / EXPLAIN ANALYZE execute for real
+    repro-sql --data-scale 0.0005 -c "SELECT c_mktsegment, COUNT(*) \
+                  FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment"
+
+    # interactive: statements end with ';'
+    repro-sql --data-scale 0.0005
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.common.errors import ReproError, SqlError
+from repro.sql.errors import describe
+from repro.sql.session import Session, SqlResult
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_catalog
+
+PROMPT = "repro-sql> "
+CONTINUATION = "      ...> "
+
+
+def build_session(scale: float, data_scale: Optional[float], seed: int) -> Session:
+    """An analytic-catalog session, or a data-backed one if data_scale given."""
+    if data_scale is None:
+        return Session(tpch_catalog(scale_factor=scale))
+    data = generate_tpch_data(scale_factor=data_scale, seed=seed)
+    return Session(catalog_from_data(data), data=data)
+
+
+def run_statement(session: Session, sql: str, out=None) -> SqlResult:
+    out = out if out is not None else sys.stdout
+    result = session.execute(sql)
+    if result.plan_text is not None:
+        print(result.plan_text, file=out)
+    else:
+        print(str(result), file=out)
+        print(f"({result.row_count} row{'s' if result.row_count != 1 else ''})", file=out)
+    return result
+
+
+def repl(session: Session) -> None:  # pragma: no cover - interactive loop
+    print("repro-sql — TPC-H-subset SQL over the declarative optimizer")
+    print("statements end with ';'; EXPLAIN / EXPLAIN ANALYZE supported; ctrl-d quits")
+    buffer: list[str] = []
+    while True:
+        try:
+            line = input(CONTINUATION if buffer else PROMPT)
+        except EOFError:
+            print()
+            return
+        except KeyboardInterrupt:
+            # psql-style: drop the half-typed statement, show a fresh prompt.
+            print()
+            buffer = []
+            continue
+        buffer.append(line)
+        if ";" not in line:
+            continue
+        sql = "\n".join(buffer).strip()
+        buffer = []
+        if not sql.strip(";").strip():
+            continue
+        try:
+            run_statement(session, sql)
+        except SqlError as error:
+            print(describe(error), file=sys.stderr)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sql", description="SQL frontend over the repro optimizer stack"
+    )
+    parser.add_argument(
+        "-c", "--command", help="execute one statement and exit", default=None
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="TPC-H scale factor of the analytic catalog (default 0.01)",
+    )
+    parser.add_argument(
+        "--data-scale",
+        type=float,
+        default=None,
+        help="also generate synthetic data at this scale so SELECT and "
+        "EXPLAIN ANALYZE can execute (e.g. 0.0005)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    args = parser.parse_args(argv)
+
+    session = build_session(args.scale, args.data_scale, args.seed)
+    if args.command is not None:
+        try:
+            run_statement(session, args.command)
+        except SqlError as error:
+            print(describe(error), file=sys.stderr)
+            return 1
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0
+    repl(session)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

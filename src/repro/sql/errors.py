@@ -1,0 +1,21 @@
+"""SQL-frontend error types.
+
+The concrete classes live in :mod:`repro.common.errors` so that callers can
+catch them alongside the rest of the library's hierarchy; this module
+re-exports them and adds a small formatting helper used by the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SqlBindingError, SqlError, SqlSyntaxError
+
+__all__ = ["SqlError", "SqlSyntaxError", "SqlBindingError", "describe"]
+
+
+def describe(error: SqlError) -> str:
+    """A one-line-or-caret-snippet description suitable for terminal output."""
+    kind = {
+        SqlSyntaxError: "syntax error",
+        SqlBindingError: "binding error",
+    }.get(type(error), "SQL error")
+    return f"{kind} {error}" if error.position is not None else f"{kind}: {error}"

@@ -1,0 +1,297 @@
+"""Recursive-descent parser for the TPC-H-class SQL subset.
+
+Grammar (EBNF, case-insensitive keywords)::
+
+    statement   := [EXPLAIN [ANALYZE]] select [";"]
+    select      := SELECT select_list FROM from_clause
+                   [WHERE conjunction]
+                   [GROUP BY column ("," column)*]
+                   [ORDER BY order_item ("," order_item)*]
+                   [LIMIT integer]
+    select_list := "*" | select_item ("," select_item)*
+    select_item := aggregate | column
+    aggregate   := (COUNT|SUM|MIN|MAX|AVG) "(" [DISTINCT] ("*" | column) ")"
+    from_clause := table_ref (("," table_ref) | ([INNER] JOIN table_ref ON conjunction))*
+    table_ref   := identifier [[AS] identifier]
+    conjunction := comparison (AND comparison)*
+    comparison  := operand op operand [hint]
+    operand     := column | literal
+    column      := identifier ["." identifier]
+    op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    hint        := "/*+" "selectivity" "=" number "*/"
+
+Only conjunctive predicates are supported, matching the paper's single-block
+select-project-join(-aggregate) optimizer IR; OR / subqueries / arithmetic are
+rejected with a positioned :class:`~repro.common.errors.SqlSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    ColumnName,
+    Comparison,
+    ExplainStatement,
+    Literal,
+    Operand,
+    OrderExpr,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+)
+from repro.sql.tokens import Token, TokenType, tokenize
+
+_AGGREGATE_NAMES = ("count", "sum", "min", "max", "avg")
+_HINT_RE = re.compile(r"^selectivity\s*=\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$")
+
+
+class Parser:
+    """Parse one SQL statement from text."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> SqlSyntaxError:
+        token = token or self._current
+        return SqlSyntaxError(message, token.position, self.source)
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        if self._current.type is not token_type:
+            raise self._error(f"expected {what}, found {self._current}")
+        return self._advance()
+
+    def _expect_keyword(self, *names: str) -> Token:
+        if not self._current.is_keyword(*names):
+            expected = "/".join(name.upper() for name in names)
+            raise self._error(f"expected {expected}, found {self._current}")
+        return self._advance()
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._current.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _identifier(self, what: str) -> Token:
+        # Allow non-reserved use of function-name keywords as identifiers is
+        # not needed for the TPC-H schema; plain identifiers only.
+        return self._expect(TokenType.IDENTIFIER, what)
+
+    # -- entry point -----------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        explain = self._accept_keyword("explain")
+        analyze = bool(explain and self._accept_keyword("analyze"))
+        select = self._parse_select()
+        if self._current.type is TokenType.SEMICOLON:
+            self._advance()
+        if self._current.type is not TokenType.EOF:
+            raise self._error(f"unexpected trailing input {self._current}")
+        if explain:
+            return ExplainStatement(select, analyze=analyze, position=explain.position)
+        return select
+
+    # -- select ----------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        start = self._expect_keyword("select")
+        select_star = False
+        items: List[SelectItem] = []
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            select_star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                items.append(self._parse_select_item())
+        self._expect_keyword("from")
+        tables, predicates = self._parse_from_clause()
+        if self._accept_keyword("where"):
+            predicates.extend(self._parse_conjunction())
+        group_by: List[ColumnName] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_column())
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                group_by.append(self._parse_column())
+        order_by: List[OrderExpr] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                order_by.append(self._parse_order_item())
+        limit: Optional[int] = None
+        if self._accept_keyword("limit"):
+            token = self._expect(TokenType.INTEGER, "an integer LIMIT")
+            limit = int(token.text)
+        return SelectStatement(
+            select_items=tuple(items),
+            select_star=select_star,
+            tables=tuple(tables),
+            predicates=tuple(predicates),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+            position=start.position,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._current.is_keyword(*_AGGREGATE_NAMES):
+            return self._parse_aggregate()
+        return self._parse_column()
+
+    def _parse_aggregate(self) -> AggregateCall:
+        name_token = self._advance()
+        function = name_token.text.lower()
+        self._expect(TokenType.LPAREN, "'('")
+        distinct = bool(self._accept_keyword("distinct"))
+        argument: Optional[ColumnName]
+        if self._current.type is TokenType.STAR:
+            if distinct:
+                raise self._error("DISTINCT * is not supported in aggregates")
+            self._advance()
+            argument = None
+            if function != "count":
+                raise self._error(
+                    f"{function.upper()}(*) is not supported; only COUNT(*)",
+                    name_token,
+                )
+        else:
+            argument = self._parse_column()
+        self._expect(TokenType.RPAREN, "')'")
+        return AggregateCall(function, argument, distinct, name_token.position)
+
+    def _parse_column(self) -> ColumnName:
+        first = self._identifier("a column name")
+        if self._current.type is TokenType.DOT:
+            self._advance()
+            second = self._identifier("a column name after '.'")
+            return ColumnName(second.text, qualifier=first.text, position=first.position)
+        return ColumnName(first.text, position=first.position)
+
+    def _parse_order_item(self) -> OrderExpr:
+        column = self._parse_column()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderExpr(column, descending)
+
+    # -- from ------------------------------------------------------------
+
+    def _parse_from_clause(self) -> Tuple[List[TableRef], List[Comparison]]:
+        tables = [self._parse_table_ref()]
+        predicates: List[Comparison] = []
+        while True:
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                tables.append(self._parse_table_ref())
+                continue
+            if self._current.is_keyword("inner", "join"):
+                self._accept_keyword("inner")
+                self._expect_keyword("join")
+                tables.append(self._parse_table_ref())
+                self._expect_keyword("on")
+                predicates.extend(self._parse_conjunction())
+                continue
+            return tables, predicates
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._identifier("a table name")
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._identifier("an alias after AS").text
+        elif self._current.type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return TableRef(name.text, alias, name.position)
+
+    # -- predicates ------------------------------------------------------
+
+    def _parse_conjunction(self) -> List[Comparison]:
+        comparisons = [self._parse_comparison()]
+        while self._accept_keyword("and"):
+            comparisons.append(self._parse_comparison())
+        return comparisons
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_operand()
+        op_token = self._expect(TokenType.OPERATOR, "a comparison operator")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        right = self._parse_operand()
+        hint: Optional[float] = None
+        if self._current.type is TokenType.HINT:
+            hint_token = self._advance()
+            match = _HINT_RE.match(hint_token.text)
+            if match is None:
+                raise self._error(
+                    f"malformed hint comment /*+ {hint_token.text} */ "
+                    "(expected /*+ selectivity=<number> */)",
+                    hint_token,
+                )
+            hint = float(match.group(1))
+            if not 0.0 <= hint <= 1.0:
+                raise self._error("selectivity hint must be within [0, 1]", hint_token)
+        position = (
+            left.position if isinstance(left, (ColumnName, Literal)) else op_token.position
+        )
+        return Comparison(left, op, right, hint, position)
+
+    def _parse_operand(self) -> Operand:
+        token = self._current
+        if token.type is TokenType.MINUS:
+            self._advance()
+            number = self._current
+            if number.type not in (TokenType.INTEGER, TokenType.FLOAT):
+                raise self._error("expected a number after '-'")
+            self._advance()
+            value: Union[int, float] = (
+                -int(number.text) if number.type is TokenType.INTEGER else -float(number.text)
+            )
+            return Literal(value, token.position)
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(int(token.text), token.position)
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return Literal(float(token.text), token.position)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text, token.position)
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        raise self._error(f"expected a column or literal, found {token}")
+
+
+def parse(source: str) -> Statement:
+    """Parse *source* into an AST statement."""
+    return Parser(source).parse_statement()
+
+
+def parse_select(source: str) -> SelectStatement:
+    """Parse *source*, requiring a plain SELECT (no EXPLAIN wrapper)."""
+    statement = parse(source)
+    if not isinstance(statement, SelectStatement):
+        raise SqlSyntaxError("expected a plain SELECT statement", statement.position, source)
+    return statement

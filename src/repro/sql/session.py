@@ -1,0 +1,243 @@
+"""Session facade: SQL text → parse → bind → optimize → execute.
+
+:class:`Session` wires the whole stack together: the parser and binder from
+this package, the :class:`~repro.optimizer.declarative.DeclarativeOptimizer`
+and, when the session holds data, the
+:class:`~repro.engine.executor.PlanExecutor`.  ``EXPLAIN`` renders the chosen
+physical plan with estimated cardinalities; ``EXPLAIN ANALYZE`` additionally
+executes the plan and shows observed cardinalities next to the estimates —
+the same estimated-vs-observed deltas the paper's re-optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import SqlError
+from repro.cost.cost_model import CostParameters
+from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
+from repro.optimizer.search_space import EnumerationOptions
+from repro.optimizer.tables import PruningConfig
+from repro.relational.plan import PhysicalPlan
+from repro.relational.query import Query
+from repro.sql.ast import ExplainStatement, SelectStatement
+from repro.sql.binder import Binder
+from repro.sql.parser import Parser
+
+Row = Dict[str, object]
+
+
+@dataclass
+class SqlResult:
+    """Outcome of :meth:`Session.execute` for one statement."""
+
+    statement: str  # "select" | "explain" | "explain analyze"
+    query: Query
+    optimization: OptimizationResult
+    columns: List[str] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
+    execution: Optional[ExecutionResult] = None
+    plan_text: Optional[str] = None
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self.optimization.plan
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        if self.plan_text is not None:
+            return self.plan_text
+        header = "\t".join(self.columns)
+        lines = [header] if header else []
+        for row in self.rows:
+            lines.append("\t".join(str(row.get(column)) for column in self.columns))
+        return "\n".join(lines)
+
+
+def render_plan(
+    plan: PhysicalPlan,
+    execution: Optional[ExecutionResult] = None,
+) -> str:
+    """Render a physical plan, one operator per line.
+
+    With *execution*, each line shows the observed row count next to the
+    estimate (``EXPLAIN ANALYZE`` style).
+    """
+    lines: List[str] = []
+
+    def visit(node: PhysicalPlan, depth: int) -> None:
+        prop = "" if node.output_property.is_any else f" [{node.output_property}]"
+        line = (
+            f"{'  ' * depth}{node.operator.value} {node.expression}{prop}"
+            f"  (cost={node.total_cost:.3f}, est_rows={node.cardinality:.0f}"
+        )
+        if execution is not None:
+            observed = execution.operator_cardinalities.get(
+                f"{node.operator.value} {node.expression}"
+            )
+            line += f", actual_rows={observed if observed is not None else '?'}"
+        lines.append(line + ")")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)
+
+
+class Session:
+    """A SQL session over one catalog (and, optionally, in-memory data)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        data: Optional[Mapping[str, Sequence[Mapping[str, object]]]] = None,
+        pruning: Optional[PruningConfig] = None,
+        cost_parameters: Optional[CostParameters] = None,
+        enumeration: Optional[EnumerationOptions] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.data = data
+        self.pruning = pruning
+        self.cost_parameters = cost_parameters
+        self.enumeration = enumeration
+        self._statement_counter = 0
+
+    # -- lowering stages (each usable on its own) ------------------------
+
+    def parse(self, sql: str) -> "SelectStatement | ExplainStatement":
+        return Parser(sql).parse_statement()
+
+    def query(self, sql: str, name: Optional[str] = None) -> Query:
+        """Parse and bind *sql* into the optimizer's Query IR."""
+        statement = self.parse(sql)
+        if isinstance(statement, ExplainStatement):
+            statement = statement.select
+        return self._bind(statement, sql, name)
+
+    def optimize(self, sql: str, name: Optional[str] = None) -> OptimizationResult:
+        """Parse, bind and optimize *sql*, returning the optimizer result."""
+        return self._optimize(self.query(sql, name))
+
+    # -- the one-stop entry point ----------------------------------------
+
+    def execute(self, sql: str) -> SqlResult:
+        """Run one statement end-to-end.
+
+        ``SELECT`` statements require the session to hold data and return
+        rows; ``EXPLAIN`` works on a statistics-only session; ``EXPLAIN
+        ANALYZE`` executes the plan and reports observed cardinalities.
+        """
+        statement = self.parse(sql)
+        if isinstance(statement, ExplainStatement):
+            return self._execute_explain(statement, sql)
+        return self._execute_select(statement, sql)
+
+    # ------------------------------------------------------------------
+
+    def _next_name(self) -> str:
+        self._statement_counter += 1
+        return f"sql-{self._statement_counter}"
+
+    def _bind(
+        self, statement: SelectStatement, sql: str, name: Optional[str] = None
+    ) -> Query:
+        return Binder(self.catalog, source=sql).bind(statement, name or self._next_name())
+
+    def _optimize(self, query: Query) -> OptimizationResult:
+        optimizer = DeclarativeOptimizer(
+            query,
+            self.catalog,
+            pruning=self.pruning,
+            cost_parameters=self.cost_parameters,
+            enumeration=self.enumeration,
+        )
+        return optimizer.optimize()
+
+    def _require_data(self, action: str) -> Mapping[str, Sequence[Mapping[str, object]]]:
+        if self.data is None:
+            raise SqlError(
+                f"cannot {action}: this session has no data loaded "
+                "(construct Session(catalog, data=...) or use plain EXPLAIN)"
+            )
+        return self.data
+
+    def _execute_explain(self, statement: ExplainStatement, sql: str) -> SqlResult:
+        query = self._bind(statement.select, sql)
+        optimization = self._optimize(query)
+        if not statement.analyze:
+            text = self._explain_header(query, optimization) + render_plan(optimization.plan)
+            return SqlResult("explain", query, optimization, plan_text=text)
+        data = self._require_data("EXPLAIN ANALYZE")
+        execution = PlanExecutor(query, data).execute(optimization.plan)
+        text = (
+            self._explain_header(query, optimization)
+            + render_plan(optimization.plan, execution)
+            + f"\nexecution time: {execution.elapsed_seconds * 1000:.2f} ms, "
+            f"output rows: {execution.row_count}"
+        )
+        return SqlResult(
+            "explain analyze", query, optimization, execution=execution, plan_text=text
+        )
+
+    @staticmethod
+    def _explain_header(query: Query, optimization: OptimizationResult) -> str:
+        extras = []
+        if query.order_by:
+            extras.append("order by " + ", ".join(str(item) for item in query.order_by))
+        if query.limit is not None:
+            extras.append(f"limit {query.limit}")
+        suffix = f"  ({'; '.join(extras)})" if extras else ""
+        return (
+            f"{query.name}: estimated cost {optimization.cost:.3f}{suffix}\n"
+        )
+
+    def _execute_select(self, statement: SelectStatement, sql: str) -> SqlResult:
+        query = self._bind(statement, sql)
+        data = self._require_data("execute a SELECT")
+        optimization = self._optimize(query)
+        execution = PlanExecutor(query, data).execute(optimization.plan)
+        columns = self._output_columns(query)
+        rows = self._shape_rows(query, execution.rows, columns)
+        return SqlResult(
+            "select",
+            query,
+            optimization,
+            columns=columns,
+            rows=rows,
+            execution=execution,
+        )
+
+    @staticmethod
+    def _output_columns(query: Query) -> List[str]:
+        if query.has_aggregation:
+            columns = [str(column) for column in query.group_by]
+            columns += [str(aggregate) for aggregate in query.aggregates]
+            return columns
+        return [str(column) for column in query.projections]
+
+    @staticmethod
+    def _shape_rows(query: Query, rows: List[Row], columns: List[str]) -> List[Row]:
+        """Order, limit and project the executor's output rows.
+
+        Sorting happens before projection so ORDER BY may reference columns
+        that are not in the SELECT list (for non-aggregated queries the
+        executor's rows carry every qualified column).
+        """
+        shaped = list(rows)
+        for item in reversed(query.order_by):
+            key = str(item.column)
+            shaped.sort(
+                key=lambda row: (row.get(key) is None, row.get(key)),
+                reverse=item.descending,
+            )
+        if query.limit is not None:
+            shaped = shaped[: query.limit]
+        if columns:
+            shaped = [{column: row.get(column) for column in columns} for row in shaped]
+        return shaped

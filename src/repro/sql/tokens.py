@@ -1,0 +1,208 @@
+"""Tokenizer for the SQL frontend.
+
+A hand-written scanner producing a flat token stream with 1-based line/column
+positions, so every later stage (parser, binder) can attach a precise position
+to its error messages.  Beyond standard SQL lexemes it understands *hint
+comments* ``/*+ selectivity=0.2 */`` which the parser attaches to the
+preceding predicate — that is how the declarative workload definitions carry
+the paper's pinned selectivities through query text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.common.errors import SqlSyntaxError
+
+
+class TokenType(Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"  # = != <> < <= > >=
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    SEMICOLON = ";"
+    MINUS = "-"
+    HINT = "hint"  # /*+ ... */
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "and",
+        "group",
+        "order",
+        "by",
+        "asc",
+        "desc",
+        "limit",
+        "as",
+        "join",
+        "inner",
+        "on",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "explain",
+        "analyze",
+        "window",
+        "rows",
+        "range",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][-+]?\d+)?")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its 1-based source position."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.line, self.column)
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text.lower() in names
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.type is TokenType.EOF:
+            return "end of input"
+        return repr(self.text)
+
+
+class Lexer:
+    """Scan SQL text into a token list (EOF-terminated)."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, (self._line, self._column), self.source)
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self._pos < len(self.source) and self.source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> Optional[Token]:
+        """Skip whitespace and plain comments; return a HINT token if found."""
+        while self._pos < len(self.source):
+            char = self.source[self._pos]
+            if char.isspace():
+                self._advance(1)
+                continue
+            if self.source.startswith("--", self._pos):
+                end = self.source.find("\n", self._pos)
+                self._advance((end if end != -1 else len(self.source)) - self._pos)
+                continue
+            if self.source.startswith("/*", self._pos):
+                is_hint = self.source.startswith("/*+", self._pos)
+                line, column = self._line, self._column
+                end = self.source.find("*/", self._pos + 2)
+                if end == -1:
+                    raise self._error("unterminated comment")
+                body = self.source[self._pos + (3 if is_hint else 2) : end]
+                self._advance(end + 2 - self._pos)
+                if is_hint:
+                    return Token(TokenType.HINT, body.strip(), line, column)
+                continue
+            break
+        return None
+
+    def _next_token(self) -> Token:
+        hint = self._skip_whitespace_and_comments()
+        if hint is not None:
+            return hint
+        if self._pos >= len(self.source):
+            return Token(TokenType.EOF, "", self._line, self._column)
+
+        line, column = self._line, self._column
+        char = self.source[self._pos]
+
+        singles = {
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "*": TokenType.STAR,
+            ";": TokenType.SEMICOLON,
+            "-": TokenType.MINUS,
+        }
+        if char in singles:
+            self._advance(1)
+            return Token(singles[char], char, line, column)
+
+        for operator in _OPERATORS:
+            if self.source.startswith(operator, self._pos):
+                self._advance(len(operator))
+                return Token(TokenType.OPERATOR, operator, line, column)
+
+        if char == "'":
+            end = self.source.find("'", self._pos + 1)
+            if end == -1:
+                raise self._error("unterminated string literal")
+            text = self.source[self._pos + 1 : end]
+            self._advance(end + 1 - self._pos)
+            return Token(TokenType.STRING, text, line, column)
+
+        match = _NUMBER_RE.match(self.source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            kind = TokenType.INTEGER if match.group(1) is None and match.group(2) is None else TokenType.FLOAT
+            return Token(kind, text, line, column)
+
+        match = _IDENTIFIER_RE.match(self.source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            kind = TokenType.KEYWORD if text.lower() in KEYWORDS else TokenType.IDENTIFIER
+            return Token(kind, text, line, column)
+
+        raise self._error(f"unexpected character {char!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: scan *source* into an EOF-terminated token list."""
+    return Lexer(source).tokens()

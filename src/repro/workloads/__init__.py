@@ -14,6 +14,12 @@ from repro.workloads.queries import (
     q10,
     workload_join_queries,
 )
+from repro.workloads.sql_queries import (
+    ALL_SQL,
+    WORKLOAD_SQL,
+    sql_query,
+    sql_workload_queries,
+)
 from repro.workloads.tpch import (
     BASE_ROW_COUNTS,
     ZipfSampler,
@@ -37,6 +43,10 @@ __all__ = [
     "q8joins",
     "q10",
     "workload_join_queries",
+    "ALL_SQL",
+    "WORKLOAD_SQL",
+    "sql_query",
+    "sql_workload_queries",
     "BASE_ROW_COUNTS",
     "ZipfSampler",
     "catalog_from_data",

@@ -1,0 +1,138 @@
+"""The paper's workload expressed as SQL text for the SQL frontend.
+
+Each statement lowers (parse → bind) to a :class:`~repro.relational.query.Query`
+that is content-identical to the builder-constructed original in
+:mod:`repro.workloads.queries`: same relations, join predicates, filters
+(including the pinned selectivities, carried by ``/*+ selectivity=x */`` hint
+comments), projections, grouping and aggregates — so the optimized plans have
+identical costs.  The integer constants are the same date/category encodings
+the builder queries use (days since 1992-01-01, encoded categoricals).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.catalog.catalog import Catalog
+from repro.relational.query import Query
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+
+Q1_SQL = """
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*)
+FROM lineitem
+WHERE l_shipdate <= 2436 /*+ selectivity=0.95 */
+GROUP BY l_returnflag, l_linestatus
+"""
+
+Q6_SQL = """
+SELECT SUM(l_extendedprice)
+FROM lineitem
+WHERE l_shipdate >= 730 /*+ selectivity=0.3 */
+  AND l_shipdate < 1095 /*+ selectivity=0.5 */
+  AND l_discount >= 0.05 /*+ selectivity=0.5 */
+  AND l_quantity < 24.0 /*+ selectivity=0.48 */
+"""
+
+Q3S_SQL = """
+SELECT l_orderkey, o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+  AND c_mktsegment = 2 /*+ selectivity=0.2 */
+  AND o_orderdate < 1168 /*+ selectivity=0.48 */
+  AND l_shipdate > 1168 /*+ selectivity=0.54 */
+"""
+
+Q3_SQL = """
+SELECT l_orderkey, o_orderdate, o_shippriority, SUM(l_extendedprice)
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+  AND c_mktsegment = 2 /*+ selectivity=0.2 */
+  AND o_orderdate < 1168 /*+ selectivity=0.48 */
+  AND l_shipdate > 1168 /*+ selectivity=0.54 */
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+"""
+
+_Q5_BODY = """
+FROM region, nation, customer, orders, lineitem, supplier
+WHERE n_regionkey = r_regionkey
+  AND c_nationkey = n_nationkey
+  AND o_custkey = c_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND r_name = 2 /*+ selectivity=0.2 */
+  AND o_orderdate >= 730 /*+ selectivity=0.3 */
+  AND o_orderdate < 1095 /*+ selectivity=0.5 */
+"""
+
+Q5_SQL = "SELECT n_name, SUM(l_extendedprice)" + _Q5_BODY + "GROUP BY n_name\n"
+
+Q5S_SQL = "SELECT n_name" + _Q5_BODY
+
+Q10_SQL = """
+SELECT c_name, n_name, SUM(l_extendedprice)
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND c_nationkey = n_nationkey
+  AND o_orderdate >= 639 /*+ selectivity=0.25 */
+  AND o_orderdate < 821 /*+ selectivity=0.35 */
+  AND l_returnflag = 1 /*+ selectivity=0.33 */
+GROUP BY c_name, n_name
+"""
+
+_Q8JOIN_SELECT = (
+    "c_name, p_name, ps_availqty, s_name, o_custkey, r_name, n_name"
+)
+
+_Q8JOIN_BODY = """
+FROM orders, lineitem, customer, part, partsupp, supplier, nation, region
+WHERE o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND p_partkey = l_partkey
+  AND ps_partkey = p_partkey
+  AND s_suppkey = ps_suppkey
+  AND r_regionkey = n_regionkey
+  AND s_nationkey = n_nationkey
+"""
+
+Q8JOIN_SQL = (
+    f"SELECT {_Q8JOIN_SELECT}, SUM(l_extendedprice)"
+    + _Q8JOIN_BODY
+    + f"GROUP BY {_Q8JOIN_SELECT}\n"
+)
+
+Q8JOINS_SQL = f"SELECT {_Q8JOIN_SELECT}" + _Q8JOIN_BODY
+
+# The six queries the scale experiments use (Figures 4 and 7), by query name.
+WORKLOAD_SQL: Dict[str, str] = {
+    "Q3S": Q3S_SQL,
+    "Q5": Q5_SQL,
+    "Q5S": Q5S_SQL,
+    "Q10": Q10_SQL,
+    "Q8Join": Q8JOIN_SQL,
+    "Q8JoinS": Q8JOINS_SQL,
+}
+
+# Every workload query with a SQL form (superset of WORKLOAD_SQL).
+ALL_SQL: Dict[str, str] = {
+    "Q1": Q1_SQL,
+    "Q3": Q3_SQL,
+    "Q6": Q6_SQL,
+    **WORKLOAD_SQL,
+}
+
+
+def sql_query(name: str, catalog: Catalog) -> Query:
+    """Lower the named workload statement into Query IR against *catalog*."""
+    sql = ALL_SQL[name]
+    return Binder(catalog, source=sql).bind(parse_select(sql), name=name)
+
+
+def sql_workload_queries(catalog: Catalog) -> Dict[str, Query]:
+    """The Figure 4 / Figure 7 query set, lowered from SQL text."""
+    return {name: sql_query(name, catalog) for name in WORKLOAD_SQL}

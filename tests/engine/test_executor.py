@@ -163,6 +163,39 @@ class TestErrorsAndEdgeCases:
         result = PlanExecutor(query, data).execute(plan)
         assert result.row_count == 1
 
+    def test_filter_on_unknown_column_raises(self):
+        """A predicate naming a column absent from the data must not silently
+        drop every row — it raises an ExecutionError naming the column."""
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .filter("a.no_such_column", ComparisonOp.EQ, 1)
+            .build()
+        )
+        from repro.relational.plan import PhysicalOperator, PhysicalPlan
+
+        plan = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("a"))
+        data = {"a": [{"k": 1}, {"k": 2}]}
+        with pytest.raises(ExecutionError) as excinfo:
+            PlanExecutor(query, data).execute(plan)
+        assert "no_such_column" in str(excinfo.value)
+        assert "'a'" in str(excinfo.value)
+
+    def test_filter_on_null_value_still_drops_row(self):
+        """A present-but-NULL value is dropped (SQL semantics), not an error."""
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .filter("a.k", ComparisonOp.EQ, 1)
+            .build()
+        )
+        from repro.relational.plan import PhysicalOperator, PhysicalPlan
+
+        plan = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("a"))
+        data = {"a": [{"k": None}, {"k": 1}]}
+        result = PlanExecutor(query, data).execute(plan)
+        assert result.row_count == 1
+
     def test_non_equi_join_residual_filter(self):
         query = (
             QueryBuilder("q")

@@ -1,0 +1,194 @@
+"""Tests for the binder / semantic analyzer."""
+
+import pytest
+
+from repro.common.errors import SqlBindingError
+from repro.relational.expressions import ColumnRef
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import AggregateFunction
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+
+
+def lower(sql, catalog, name="test"):
+    return Binder(catalog, source=sql).bind(parse_select(sql), name=name)
+
+
+class TestTableBinding:
+    def test_table_alias_defaults_to_name(self, catalog):
+        query = lower("SELECT c_name FROM customer", catalog)
+        assert query.aliases == ["customer"]
+        assert query.relation("customer").table == "customer"
+
+    def test_explicit_alias(self, catalog):
+        query = lower("SELECT c.c_name FROM customer AS c", catalog)
+        assert query.aliases == ["c"]
+        assert query.relation("c").table == "customer"
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT x FROM nonexistent", catalog)
+        assert "unknown table 'nonexistent'" in str(excinfo.value)
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(SqlBindingError):
+            lower("SELECT c_name FROM customer, customer", catalog)
+
+    def test_self_join_with_aliases(self, catalog):
+        query = lower(
+            "SELECT a.c_name FROM customer a, customer b "
+            "WHERE a.c_custkey = b.c_nationkey",
+            catalog,
+        )
+        assert sorted(query.aliases) == ["a", "b"]
+        assert len(query.join_predicates) == 1
+
+
+class TestColumnResolution:
+    def test_unqualified_resolution(self, catalog):
+        query = lower(
+            "SELECT o_orderkey FROM customer, orders WHERE c_custkey = o_custkey",
+            catalog,
+        )
+        predicate = query.join_predicates[0]
+        assert predicate.left == ColumnRef("customer", "c_custkey")
+        assert predicate.right == ColumnRef("orders", "o_custkey")
+
+    def test_qualified_resolution(self, catalog):
+        query = lower("SELECT customer.c_name FROM customer", catalog)
+        assert query.projections == (ColumnRef("customer", "c_name"),)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT c_custky FROM customer", catalog)
+        assert "unknown column 'c_custky'" in str(excinfo.value)
+
+    def test_unknown_column_in_aliased_table(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT c.no_such FROM customer c", catalog)
+        assert "'no_such'" in str(excinfo.value)
+
+    def test_unknown_qualifier(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT x.c_name FROM customer", catalog)
+        assert "unknown table alias 'x'" in str(excinfo.value)
+
+    def test_ambiguous_column(self, catalog):
+        # Self-join: every column exists on both sides.
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT c_name FROM customer a, customer b", catalog)
+        assert "ambiguous" in str(excinfo.value)
+
+    def test_binding_error_has_position(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT c_custky FROM customer", catalog)
+        assert excinfo.value.position == (1, 8)
+        assert "^" in str(excinfo.value)
+
+
+class TestPredicateClassification:
+    def test_filter_with_hint(self, catalog):
+        query = lower(
+            "SELECT c_name FROM customer "
+            "WHERE c_mktsegment = 2 /*+ selectivity=0.2 */",
+            catalog,
+        )
+        predicate = query.filters[0]
+        assert predicate.column == ColumnRef("customer", "c_mktsegment")
+        assert predicate.op is ComparisonOp.EQ
+        assert predicate.value == 2
+        assert predicate.selectivity_hint == 0.2
+
+    def test_constant_on_left_is_flipped(self, catalog):
+        query = lower("SELECT c_name FROM customer WHERE 100 < c_custkey", catalog)
+        predicate = query.filters[0]
+        assert predicate.column == ColumnRef("customer", "c_custkey")
+        assert predicate.op is ComparisonOp.GT
+        assert predicate.value == 100
+
+    def test_theta_join(self, catalog):
+        query = lower(
+            "SELECT o_orderkey FROM customer, orders WHERE c_custkey < o_custkey",
+            catalog,
+        )
+        assert query.join_predicates[0].op is ComparisonOp.LT
+        assert not query.join_predicates[0].is_equijoin
+
+    def test_join_on_clause(self, catalog):
+        query = lower(
+            "SELECT o_orderkey FROM customer JOIN orders ON c_custkey = o_custkey",
+            catalog,
+        )
+        assert len(query.join_predicates) == 1
+
+    def test_same_relation_column_comparison_rejected(self, catalog):
+        with pytest.raises(SqlBindingError):
+            lower("SELECT c_name FROM customer WHERE c_custkey = c_nationkey", catalog)
+
+    def test_constant_comparison_rejected(self, catalog):
+        with pytest.raises(SqlBindingError):
+            lower("SELECT c_name FROM customer WHERE 1 = 1", catalog)
+
+    def test_hint_on_join_rejected(self, catalog):
+        with pytest.raises(SqlBindingError):
+            lower(
+                "SELECT o_orderkey FROM customer, orders "
+                "WHERE c_custkey = o_custkey /*+ selectivity=0.5 */",
+                catalog,
+            )
+
+
+class TestSelectListLowering:
+    def test_star_expands_all_columns(self, catalog):
+        query = lower("SELECT * FROM region", catalog)
+        assert query.projections == (
+            ColumnRef("region", "r_regionkey"),
+            ColumnRef("region", "r_name"),
+        )
+
+    def test_aggregates(self, catalog):
+        query = lower(
+            "SELECT l_returnflag, SUM(l_quantity), COUNT(*), "
+            "COUNT(DISTINCT l_partkey) FROM lineitem GROUP BY l_returnflag",
+            catalog,
+        )
+        assert [agg.function for agg in query.aggregates] == [
+            AggregateFunction.SUM,
+            AggregateFunction.COUNT,
+            AggregateFunction.COUNT,
+        ]
+        assert query.aggregates[1].column is None
+        assert query.aggregates[2].distinct
+
+    def test_star_with_group_by_rejected(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT * FROM nation GROUP BY n_regionkey", catalog)
+        assert "SELECT *" in str(excinfo.value)
+
+    def test_bare_column_outside_group_by_rejected(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT c_name, COUNT(*) FROM customer", catalog)
+        assert "GROUP BY" in str(excinfo.value)
+
+
+class TestOrderLimitLowering:
+    def test_order_by_and_limit(self, catalog):
+        query = lower(
+            "SELECT c_name FROM customer ORDER BY c_acctbal DESC, c_name LIMIT 5",
+            catalog,
+        )
+        assert [str(item.column) for item in query.order_by] == [
+            "customer.c_acctbal",
+            "customer.c_name",
+        ]
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+        assert query.limit == 5
+
+    def test_order_by_must_be_grouped_when_aggregating(self, catalog):
+        with pytest.raises(SqlBindingError):
+            lower(
+                "SELECT c_mktsegment, COUNT(*) FROM customer "
+                "GROUP BY c_mktsegment ORDER BY c_acctbal",
+                catalog,
+            )

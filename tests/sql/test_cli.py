@@ -1,0 +1,55 @@
+"""Tests for the repro-sql console entry point."""
+
+import io
+
+import pytest
+
+from repro.sql.cli import build_session, main, run_statement
+
+
+class TestBuildSession:
+    def test_stats_only_session(self):
+        session = build_session(scale=0.01, data_scale=None, seed=7)
+        assert session.data is None
+
+    def test_data_backed_session(self):
+        session = build_session(scale=0.01, data_scale=0.0002, seed=7)
+        assert session.data is not None
+        assert "customer" in session.data
+
+
+class TestRunStatement:
+    def test_explain_prints_plan(self):
+        session = build_session(scale=0.01, data_scale=None, seed=7)
+        out = io.StringIO()
+        run_statement(
+            session,
+            "EXPLAIN SELECT n_name FROM nation, region WHERE n_regionkey = r_regionkey",
+            out=out,
+        )
+        assert "seq-scan" in out.getvalue()
+
+    def test_select_prints_rows_and_count(self):
+        session = build_session(scale=0.01, data_scale=0.0002, seed=7)
+        out = io.StringIO()
+        run_statement(session, "SELECT r_name FROM region LIMIT 2", out=out)
+        text = out.getvalue()
+        assert "region.r_name" in text
+        assert "(2 rows)" in text
+
+
+class TestMain:
+    def test_command_mode_success(self, capsys):
+        code = main(["-c", "EXPLAIN SELECT r_name FROM region"])
+        assert code == 0
+        assert "seq-scan" in capsys.readouterr().out
+
+    def test_command_mode_sql_error(self, capsys):
+        code = main(["-c", "SELECT nope FROM region"])
+        assert code == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_command_mode_select_without_data_fails_cleanly(self, capsys):
+        code = main(["-c", "SELECT r_name FROM region"])
+        assert code == 1
+        assert "no data loaded" in capsys.readouterr().err

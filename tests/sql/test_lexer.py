@@ -1,0 +1,111 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.tokens import TokenType, tokenize
+
+
+def types(source):
+    return [token.type for token in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_simple_select(self):
+        tokens = tokenize("SELECT a FROM t")
+        assert [t.type for t in tokens] == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.EOF,
+        ]
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "a"
+
+    def test_keywords_case_insensitive(self):
+        upper, lower = tokenize("SELECT")[0], tokenize("select")[0]
+        assert upper.type is TokenType.KEYWORD
+        assert lower.type is TokenType.KEYWORD
+
+    def test_qualified_column(self):
+        tokens = tokenize("customer.c_custkey")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+        ]
+
+    def test_operators(self):
+        for operator in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            tokens = tokenize(f"a {operator} b")
+            assert tokens[1].type is TokenType.OPERATOR
+            assert tokens[1].text == operator
+
+    def test_numbers(self):
+        tokens = tokenize("1 1168 2.5 1e3")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.INTEGER,
+            TokenType.INTEGER,
+            TokenType.FLOAT,
+            TokenType.FLOAT,
+        ]
+
+    def test_string_literal(self):
+        token = tokenize("'BUILDING'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "BUILDING"
+
+    def test_punctuation(self):
+        assert types("( ) , ; * -")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.STAR,
+            TokenType.MINUS,
+        ]
+
+
+class TestPositions:
+    def test_positions_are_one_based(self):
+        token = tokenize("SELECT")[0]
+        assert token.position == (1, 1)
+
+    def test_multiline_positions(self):
+        tokens = tokenize("SELECT a\nFROM t")
+        from_token = tokens[2]
+        assert from_token.text == "FROM"
+        assert from_token.position == (2, 1)
+        table_token = tokens[3]
+        assert table_token.position == (2, 6)
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT a -- trailing comment\nFROM t")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "a", "FROM", "t"]
+
+    def test_block_comment_skipped(self):
+        tokens = tokenize("SELECT /* not a hint */ a FROM t")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "a", "FROM", "t"]
+
+    def test_hint_comment_is_a_token(self):
+        tokens = tokenize("a = 2 /*+ selectivity=0.2 */")
+        assert tokens[3].type is TokenType.HINT
+        assert tokens[3].text == "selectivity=0.2"
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert "line 1, column 8" in str(excinfo.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")

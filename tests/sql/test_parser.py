@@ -1,0 +1,185 @@
+"""Tests for the recursive-descent SQL parser."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    ColumnName,
+    ExplainStatement,
+    Literal,
+    SelectStatement,
+)
+from repro.sql.parser import parse, parse_select
+
+
+class TestSelectCore:
+    def test_minimal_select(self):
+        statement = parse_select("SELECT c_name FROM customer")
+        assert isinstance(statement, SelectStatement)
+        assert statement.tables[0].table == "customer"
+        assert statement.select_items == (ColumnName("c_name", position=(1, 8)),)
+
+    def test_select_star(self):
+        statement = parse_select("SELECT * FROM customer")
+        assert statement.select_star
+        assert statement.select_items == ()
+
+    def test_qualified_columns_and_alias(self):
+        statement = parse_select("SELECT c.c_name FROM customer AS c")
+        assert statement.tables[0].alias == "c"
+        item = statement.select_items[0]
+        assert item.qualifier == "c"
+        assert item.name == "c_name"
+
+    def test_implicit_alias(self):
+        statement = parse_select("SELECT c.c_name FROM customer c")
+        assert statement.tables[0].alias == "c"
+
+    def test_trailing_semicolon_ok(self):
+        parse_select("SELECT c_name FROM customer;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT c_name FROM customer garbage extra")
+
+
+class TestPredicates:
+    def test_filter_and_join_predicates(self):
+        statement = parse_select(
+            "SELECT o_orderkey FROM customer, orders "
+            "WHERE c_custkey = o_custkey AND c_mktsegment = 2"
+        )
+        assert len(statement.predicates) == 2
+        join, filt = statement.predicates
+        assert isinstance(join.right, ColumnName)
+        assert isinstance(filt.right, Literal)
+        assert filt.right.value == 2
+
+    def test_theta_operators(self):
+        for op in ("<", "<=", ">", ">=", "!=", "="):
+            statement = parse_select(
+                f"SELECT a FROM t, u WHERE t.a {op} u.b"
+            )
+            assert statement.predicates[0].op == op
+
+    def test_diamond_normalized_to_bang_equals(self):
+        statement = parse_select("SELECT a FROM t WHERE a <> 1")
+        assert statement.predicates[0].op == "!="
+
+    def test_negative_and_float_literals(self):
+        statement = parse_select("SELECT a FROM t WHERE a > -1000 AND b < 24.5")
+        assert statement.predicates[0].right.value == -1000
+        assert statement.predicates[1].right.value == 24.5
+
+    def test_string_literal(self):
+        statement = parse_select("SELECT a FROM t WHERE a = 'BUILDING'")
+        assert statement.predicates[0].right.value == "BUILDING"
+
+    def test_selectivity_hint(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE a = 2 /*+ selectivity=0.2 */"
+        )
+        assert statement.predicates[0].selectivity_hint == 0.2
+
+    def test_malformed_hint_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE a = 2 /*+ sel 0.2 */")
+
+    def test_out_of_range_hint_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE a = 2 /*+ selectivity=1.5 */")
+
+    def test_or_not_supported(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE a = 1 OR a = 2")
+
+
+class TestJoinSyntax:
+    def test_explicit_join_on(self):
+        statement = parse_select(
+            "SELECT o_orderkey FROM customer "
+            "JOIN orders ON c_custkey = o_custkey"
+        )
+        assert [table.table for table in statement.tables] == ["customer", "orders"]
+        assert len(statement.predicates) == 1
+
+    def test_inner_join(self):
+        statement = parse_select(
+            "SELECT a FROM t INNER JOIN u ON t.a = u.b INNER JOIN v ON u.b = v.c"
+        )
+        assert len(statement.tables) == 3
+        assert len(statement.predicates) == 2
+
+    def test_join_on_conjunction(self):
+        statement = parse_select(
+            "SELECT a FROM t JOIN u ON t.a = u.a AND t.b = u.b"
+        )
+        assert len(statement.predicates) == 2
+
+    def test_mixed_comma_and_join(self):
+        statement = parse_select(
+            "SELECT a FROM t, u JOIN v ON u.x = v.x WHERE t.y = u.y"
+        )
+        assert len(statement.tables) == 3
+        assert len(statement.predicates) == 2
+
+
+class TestAggregatesGroupingOrdering:
+    def test_aggregates(self):
+        statement = parse_select(
+            "SELECT l_returnflag, SUM(l_quantity), COUNT(*), "
+            "COUNT(DISTINCT l_partkey), AVG(l_discount) "
+            "FROM lineitem GROUP BY l_returnflag"
+        )
+        aggregates = [item for item in statement.select_items if isinstance(item, AggregateCall)]
+        assert [agg.function for agg in aggregates] == ["sum", "count", "count", "avg"]
+        assert aggregates[1].argument is None
+        assert aggregates[2].distinct
+        assert [column.name for column in statement.group_by] == ["l_returnflag"]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT SUM(*) FROM lineitem")
+
+    def test_order_by_and_limit(self):
+        statement = parse_select(
+            "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10"
+        )
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t LIMIT 1.5")
+
+
+class TestExplain:
+    def test_explain(self):
+        statement = parse("EXPLAIN SELECT a FROM t")
+        assert isinstance(statement, ExplainStatement)
+        assert not statement.analyze
+
+    def test_explain_analyze(self):
+        statement = parse("EXPLAIN ANALYZE SELECT a FROM t")
+        assert isinstance(statement, ExplainStatement)
+        assert statement.analyze
+
+    def test_parse_select_rejects_explain(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("EXPLAIN SELECT a FROM t")
+
+
+class TestErrorPositions:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse("SELECT a WHERE b = 1")
+        assert "expected FROM" in str(excinfo.value)
+
+    def test_error_carries_caret_snippet(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse("SELECT a FROM t WHERE = 1")
+        message = str(excinfo.value)
+        assert "line 1, column 23" in message
+        assert "^" in message

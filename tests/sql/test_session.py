@@ -1,0 +1,153 @@
+"""End-to-end tests for the Session facade."""
+
+import pytest
+
+from repro.common.errors import SqlError
+from repro.engine.executor import PlanExecutor
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.sql.session import Session, render_plan
+from repro.workloads.queries import q3s
+from repro.workloads.sql_queries import Q3S_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_tpch_data(scale_factor=0.0005, seed=3)
+
+
+@pytest.fixture(scope="module")
+def data_session(dataset):
+    return Session(catalog_from_data(dataset), data=dataset)
+
+
+@pytest.fixture(scope="module")
+def stats_session(catalog):
+    """Statistics-only session: can plan and EXPLAIN but not execute."""
+    return Session(catalog)
+
+
+class TestLoweringStages:
+    def test_query_returns_ir(self, stats_session):
+        query = stats_session.query("SELECT c_name FROM customer", name="q")
+        assert query.name == "q"
+        assert query.aliases == ["customer"]
+
+    def test_optimize_returns_plan(self, stats_session):
+        result = stats_session.optimize(Q3S_SQL)
+        assert result.cost > 0
+        assert result.plan.expression.aliases == frozenset(
+            {"customer", "orders", "lineitem"}
+        )
+
+
+class TestSelectExecution:
+    def test_select_matches_builder_pipeline(self, dataset, data_session):
+        """Session output equals manually wiring optimizer + executor."""
+        result = data_session.execute(Q3S_SQL)
+        query = q3s()
+        catalog = data_session.catalog
+        plan = DeclarativeOptimizer(query, catalog).optimize().plan
+        reference = PlanExecutor(query, dataset).execute(plan)
+        key = lambda row: (
+            row["lineitem.l_orderkey"],
+            row["orders.o_orderdate"],
+            row["orders.o_shippriority"],
+        )
+        assert sorted(map(key, result.rows)) == sorted(map(key, reference.rows))
+        assert result.columns == [
+            "lineitem.l_orderkey",
+            "orders.o_orderdate",
+            "orders.o_shippriority",
+        ]
+
+    def test_rows_projected_to_select_list(self, data_session):
+        result = data_session.execute("SELECT c_name FROM customer LIMIT 4")
+        assert result.row_count == 4
+        for row in result.rows:
+            assert set(row) == {"customer.c_name"}
+
+    def test_group_by_order_by_limit(self, data_session):
+        result = data_session.execute(
+            "SELECT c_mktsegment, COUNT(*) FROM customer "
+            "GROUP BY c_mktsegment ORDER BY c_mktsegment DESC LIMIT 3"
+        )
+        segments = [row["customer.c_mktsegment"] for row in result.rows]
+        assert segments == sorted(segments, reverse=True)
+        assert result.row_count <= 3
+        assert all(row["count(*)"] > 0 for row in result.rows)
+
+    def test_order_by_column_outside_select_list(self, data_session):
+        result = data_session.execute(
+            "SELECT c_name FROM customer ORDER BY c_acctbal LIMIT 10"
+        )
+        assert result.row_count == 10
+        assert all(set(row) == {"customer.c_name"} for row in result.rows)
+
+    def test_select_without_data_raises(self, stats_session):
+        with pytest.raises(SqlError) as excinfo:
+            stats_session.execute("SELECT c_name FROM customer")
+        assert "no data loaded" in str(excinfo.value)
+
+
+class TestExplain:
+    def test_explain_without_data(self, stats_session):
+        result = stats_session.execute("EXPLAIN " + Q3S_SQL)
+        assert result.statement == "explain"
+        assert result.rows == []
+        assert "est_rows=" in result.plan_text
+        assert "actual_rows" not in result.plan_text
+        assert "seq-scan" in result.plan_text
+
+    def test_explain_analyze(self, data_session):
+        result = data_session.execute("EXPLAIN ANALYZE " + Q3S_SQL)
+        assert result.statement == "explain analyze"
+        assert "est_rows=" in result.plan_text
+        assert "actual_rows=" in result.plan_text
+        assert result.execution is not None
+        # Every plan operator line reports an observed cardinality.
+        assert "actual_rows=?" not in result.plan_text
+
+    def test_explain_analyze_requires_data(self, stats_session):
+        with pytest.raises(SqlError):
+            stats_session.execute("EXPLAIN ANALYZE SELECT c_name FROM customer")
+
+    def test_explain_mentions_order_and_limit(self, stats_session):
+        result = stats_session.execute(
+            "EXPLAIN SELECT c_name FROM customer ORDER BY c_acctbal DESC LIMIT 7"
+        )
+        assert "order by customer.c_acctbal desc" in result.plan_text
+        assert "limit 7" in result.plan_text
+
+    def test_render_plan_shape(self, stats_session):
+        result = stats_session.optimize(Q3S_SQL)
+        text = render_plan(result.plan)
+        lines = text.splitlines()
+        assert len(lines) == result.plan.node_count
+        assert lines[0].startswith(result.plan.operator.value)
+
+
+class TestAggregateObservedCardinality:
+    def test_aggregate_actual_rows_distinct_from_join(self, data_session):
+        """The aggregate's observed count is reported separately from its
+        child's even though both share the same expression."""
+        result = data_session.execute(
+            "EXPLAIN ANALYZE SELECT c_mktsegment, COUNT(*) FROM customer "
+            "GROUP BY c_mktsegment"
+        )
+        execution = result.execution
+        keys = list(execution.operator_cardinalities)
+        aggregate_keys = [key for key in keys if key.startswith("hash-aggregate")]
+        scan_keys = [key for key in keys if key.startswith("seq-scan")]
+        assert aggregate_keys and scan_keys
+        assert (
+            execution.operator_cardinalities[aggregate_keys[0]]
+            <= execution.operator_cardinalities[scan_keys[0]]
+        )
+
+
+class TestStatementNaming:
+    def test_autogenerated_names_increment(self, stats_session):
+        first = stats_session.query("SELECT c_name FROM customer")
+        second = stats_session.query("SELECT c_name FROM customer")
+        assert first.name != second.name
