@@ -8,8 +8,6 @@ with non-cumulative (latest-slice) statistics.
 
 from __future__ import annotations
 
-from typing import List
-
 import pytest
 
 from benchmarks.harness import format_table, publish
@@ -28,9 +26,7 @@ SLICES = 15
 
 @pytest.fixture(scope="module")
 def stream_slices():
-    generator = LinearRoadGenerator(
-        GeneratorConfig(reports_per_second=30, cars=150, seed=29)
-    )
+    generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=30, cars=150, seed=29))
     return generator.generate_slices(SLICES, 1.0)
 
 
@@ -71,9 +67,15 @@ def _run_adaptive(stream_slices, cumulative):
 def test_execution_series(benchmark, stream_slices, series):
     if series == "good-plan":
         plan = _good_plan(stream_slices)
-        run = lambda: _run_static(plan, stream_slices)
+
+        def run():
+            return _run_static(plan, stream_slices)
+
     else:
-        run = lambda: _run_adaptive(stream_slices, cumulative=True)
+
+        def run():
+            return _run_adaptive(stream_slices, cumulative=True)
+
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert len(result.reports) == SLICES
 

@@ -98,9 +98,7 @@ def test_fig4_report(benchmark, join_queries, catalog):
     ):
         rows = []
         for optimizer_name in ("Declarative", "Evita-Raced", "Volcano"):
-            rows.append(
-                [optimizer_name] + [ratios[name][optimizer_name] for name in QUERY_NAMES]
-            )
+            rows.append([optimizer_name] + [ratios[name][optimizer_name] for name in QUERY_NAMES])
         text += "\n" + format_table(title, header, rows)
     publish("fig4_initial_optimization", text)
 

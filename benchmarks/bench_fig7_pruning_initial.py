@@ -33,7 +33,10 @@ def test_initial_optimization_with_pruning_config(
     benchmark, join_queries, catalog, query_name, config_name
 ):
     query = join_queries[query_name]
-    run = lambda: DeclarativeOptimizer(query, catalog, pruning=CONFIGS[config_name]).optimize()
+
+    def run():
+        return DeclarativeOptimizer(query, catalog, pruning=CONFIGS[config_name]).optimize()
+
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.cost > 0
 
@@ -74,9 +77,5 @@ def test_fig7_report(benchmark, join_queries, catalog):
     # Shape checks: every technique adds pruning power (weakly), and AggSel
     # alone never prunes plan-table entries for these queries while RefCount does.
     for query_name in QUERY_NAMES:
-        assert (
-            and_ratios["All"][query_name] >= and_ratios["AggSel"][query_name] - 1e-9
-        )
-        assert (
-            or_ratios["AggSel+RefCount"][query_name] >= or_ratios["AggSel"][query_name] - 1e-9
-        )
+        assert and_ratios["All"][query_name] >= and_ratios["AggSel"][query_name] - 1e-9
+        assert or_ratios["AggSel+RefCount"][query_name] >= or_ratios["AggSel"][query_name] - 1e-9

@@ -26,9 +26,7 @@ SLICES = 30
 
 @pytest.fixture(scope="module")
 def stream_slices():
-    generator = LinearRoadGenerator(
-        GeneratorConfig(reports_per_second=25, cars=120, seed=23)
-    )
+    generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=25, cars=120, seed=23))
     return generator.generate_slices(SLICES, 1.0)
 
 

@@ -77,9 +77,7 @@ def test_sql_frontend_report(benchmark, catalog):
         bind_ms = stages["bind"] / repeats * 1000
         optimize_ms = stages["optimize"] / repeats * 1000
         frontend_share = (parse_ms + bind_ms) / (parse_ms + bind_ms + optimize_ms)
-        rows.append(
-            (query_name, parse_ms, bind_ms, optimize_ms, f"{frontend_share:.1%}")
-        )
+        rows.append((query_name, parse_ms, bind_ms, optimize_ms, f"{frontend_share:.1%}"))
     text = format_table(
         "SQL frontend latency per workload query (mean of 5 runs)",
         ["query", "parse ms", "bind ms", "optimize ms", "frontend share"],

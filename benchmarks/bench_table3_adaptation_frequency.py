@@ -27,9 +27,7 @@ INTERVALS = [1, 5, 10]
 
 @pytest.fixture(scope="module")
 def stream_slices():
-    generator = LinearRoadGenerator(
-        GeneratorConfig(reports_per_second=25, cars=120, seed=31)
-    )
+    generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=25, cars=120, seed=31))
     # Slices are always 1 second; the adaptation interval is expressed in slices.
     return generator.generate_slices(STREAM_SECONDS, 1.0)
 

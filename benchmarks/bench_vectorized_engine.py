@@ -1,0 +1,213 @@
+"""Row vs. vectorized engine: end-to-end execution speedup on the workload.
+
+Runs every workload query's optimized physical plan through both engines over
+the same generated TPC-H data and reports per-query wall time, the per-query
+speedup, the total-suite speedup and the geometric-mean speedup (the headline
+metric the CI gate tracks).  Results are published both as a text table
+(``benchmarks/results/vectorized_engine.txt``) and as machine-readable JSON
+(``benchmarks/results/BENCH_vectorized_engine.json``) for the CI bench-smoke
+job, which compares the JSON against ``benchmarks/baselines.json`` via
+``benchmarks/check_regression.py``.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_vectorized_engine [--quick]
+
+or through pytest-benchmark like the figure benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_vectorized_engine.py \
+        -o python_files=bench_*.py --benchmark-only -q
+
+Speedups (ratios) rather than absolute times are what the regression gate
+compares: ratios are stable across machines, absolute milliseconds are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from repro.engine import make_executor
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.relational.plan import PhysicalPlan
+from repro.relational.query import Query
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+from repro.workloads.sql_queries import ALL_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data
+
+BENCH_NAME = "bench_vectorized_engine"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_vectorized_engine.json")
+
+#: default scale: large enough that speedups are stable, small enough that a
+#: full run stays in single-digit seconds.  Quick mode is what CI smoke runs.
+DEFAULT_SCALE = 0.002
+QUICK_SCALE = 0.0005
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+
+QUERY_NAMES = sorted(ALL_SQL)
+ENGINES = ("row", "vectorized")
+
+
+def prepare(scale: float, seed: int = 7):
+    """Data, catalog and optimized plans shared by both engines."""
+    data = generate_tpch_data(scale_factor=scale, seed=seed)
+    catalog = catalog_from_data(data)
+    plans: Dict[str, tuple] = {}
+    for name in QUERY_NAMES:
+        sql = ALL_SQL[name]
+        query = Binder(catalog, source=sql).bind(parse_select(sql), name=name)
+        plan = DeclarativeOptimizer(query, catalog).optimize().plan
+        plans[name] = (query, plan)
+    return data, plans
+
+
+def time_engine(engine: str, query: Query, plan: PhysicalPlan, data, repeats: int) -> float:
+    """Best-of-N wall time for one engine executing one plan."""
+    best: Optional[float] = None
+    for _ in range(repeats):
+        executor = make_executor(engine, query, data)
+        started = time.perf_counter()
+        executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = 7) -> Dict:
+    """Execute the full comparison, returning the JSON-shaped result dict."""
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    data, plans = prepare(scale, seed)
+    queries: Dict[str, Dict[str, float]] = {}
+    totals = {engine: 0.0 for engine in ENGINES}
+    for name in QUERY_NAMES:
+        query, plan = plans[name]
+        times = {engine: time_engine(engine, query, plan, data, repeats) for engine in ENGINES}
+        for engine in ENGINES:
+            totals[engine] += times[engine]
+        queries[name] = {
+            "row_ms": times["row"] * 1000,
+            "vectorized_ms": times["vectorized"] * 1000,
+            "speedup": times["row"] / times["vectorized"]
+            if times["vectorized"] > 0
+            else 0.0,
+        }
+    speedups = [entry["speedup"] for entry in queries.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "queries": queries,
+        "summary": {
+            "total_row_ms": totals["row"] * 1000,
+            "total_vectorized_ms": totals["vectorized"] * 1000,
+            "total_speedup": totals["row"] / totals["vectorized"]
+            if totals["vectorized"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name in QUERY_NAMES:
+        entry = report["queries"][name]
+        rows.append((name, entry["row_ms"], entry["vectorized_ms"], f"{entry['speedup']:.2f}x"))
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_row_ms"],
+            summary["total_vectorized_ms"],
+            f"{summary['total_speedup']:.2f}x",
+        )
+    )
+    title = (
+        f"Row vs vectorized engine ({report['mode']} mode, scale {report['scale']}, "
+        f"best of {report['repeats']}) — geomean speedup {summary['geomean_speedup']:.2f}x"
+    )
+    return format_table(title, ["query", "row ms", "vectorized ms", "speedup"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (consistent with the figure benchmarks)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engine_setup():
+    return prepare(QUICK_SCALE)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_execution(benchmark, engine_setup, engine, query_name):
+    data, plans = engine_setup
+    query, plan = plans[query_name]
+
+    def run():
+        return make_executor(engine, query, data).execute(plan)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.engine == engine
+
+
+def test_vectorized_engine_report(benchmark):
+    """Emit the speedup table + BENCH json (quick mode under pytest)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("vectorized_engine", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    assert report["summary"]["geomean_speedup"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="row vs vectorized engine speedup benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("vectorized_engine", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""CI regression gate: compare a BENCH json against committed baselines.
+
+Usage (what the bench-smoke job runs)::
+
+    PYTHONPATH=src python -m benchmarks.check_regression \
+        --results benchmarks/results/BENCH_vectorized_engine.json \
+        --baselines benchmarks/baselines.json
+
+The gate compares *speedup ratios*, never absolute milliseconds: ratios hold
+steady across machines while raw timings do not.  A run fails when, against
+the baseline entry for the same bench and mode:
+
+* the geometric-mean speedup regresses by more than ``--tolerance``
+  (default 25%), or
+* any individual query's speedup regresses by more than twice the
+  tolerance (a single query cratering must not hide inside the geomean), or
+* a query present in the baseline is missing from the results.
+
+Queries new in the results but absent from the baseline are reported but do
+not fail the gate; refresh the baseline to start tracking them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def check(results: dict, baselines: dict, tolerance: float) -> List[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    bench = results.get("bench")
+    mode = results.get("mode")
+    baseline_bench = baselines.get(bench)
+    if baseline_bench is None:
+        return [f"no baseline recorded for bench {bench!r}"]
+    baseline = baseline_bench.get(mode)
+    if baseline is None:
+        return [f"no baseline recorded for bench {bench!r} in mode {mode!r}"]
+
+    failures: List[str] = []
+    floor = 1.0 - tolerance
+    baseline_geomean = baseline["summary"]["geomean_speedup"]
+    observed_geomean = results["summary"]["geomean_speedup"]
+    if observed_geomean < baseline_geomean * floor:
+        failures.append(
+            f"geomean speedup regressed: {observed_geomean:.2f}x vs baseline "
+            f"{baseline_geomean:.2f}x (allowed floor {baseline_geomean * floor:.2f}x)"
+        )
+
+    query_floor = 1.0 - 2 * tolerance
+    for name, baseline_entry in sorted(baseline.get("queries", {}).items()):
+        observed_entry = results.get("queries", {}).get(name)
+        if observed_entry is None:
+            failures.append(f"query {name} present in baseline but missing from results")
+            continue
+        baseline_speedup = baseline_entry["speedup"]
+        observed_speedup = observed_entry["speedup"]
+        if observed_speedup < baseline_speedup * query_floor:
+            failures.append(
+                f"query {name} speedup regressed: {observed_speedup:.2f}x vs "
+                f"baseline {baseline_speedup:.2f}x (allowed floor "
+                f"{baseline_speedup * query_floor:.2f}x)"
+            )
+    for name in sorted(set(results.get("queries", {})) - set(baseline.get("queries", {}))):
+        print(f"note: query {name} has no baseline yet (not gated)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_regression", description="benchmark regression gate"
+    )
+    parser.add_argument("--results", required=True, help="BENCH_*.json produced by a run")
+    parser.add_argument(
+        "--baselines", default="benchmarks/baselines.json", help="committed baselines"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression of the geomean speedup (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.results, encoding="utf-8") as handle:
+        results = json.load(handle)
+    with open(args.baselines, encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    failures = check(results, baselines, args.tolerance)
+    observed = results.get("summary", {})
+    print(
+        f"{results.get('bench')} [{results.get('mode')}]: geomean "
+        f"{observed.get('geomean_speedup', 0.0):.2f}x, total "
+        f"{observed.get('total_speedup', 0.0):.2f}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

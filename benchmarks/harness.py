@@ -17,7 +17,7 @@ reproduction targets — see EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

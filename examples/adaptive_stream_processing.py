@@ -28,9 +28,7 @@ STREAM_SECONDS = 20
 
 def main() -> None:
     query = segtolls_query()
-    generator = LinearRoadGenerator(
-        GeneratorConfig(reports_per_second=30, cars=150, seed=2)
-    )
+    generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=30, cars=150, seed=2))
     slices = generator.generate_slices(STREAM_SECONDS, 1.0)
     print(f"stream: {STREAM_SECONDS}s, {sum(s.row_count for s in slices)} reports")
 

@@ -17,6 +17,7 @@ Quick start::
     print(result.plan.pretty())
 """
 
+from repro.engine import PlanExecutor, VectorizedExecutor, make_executor
 from repro.optimizer import (
     DeclarativeOptimizer,
     OptimizationResult,
@@ -34,7 +35,7 @@ from repro.relational import (
 from repro.sql import Session, SqlResult
 from repro.workloads import q3s, q5, q5s, q8join, q8joins, q10, tpch_catalog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DeclarativeOptimizer",
@@ -47,6 +48,9 @@ __all__ = [
     "PhysicalPlan",
     "Query",
     "QueryBuilder",
+    "PlanExecutor",
+    "VectorizedExecutor",
+    "make_executor",
     "Session",
     "SqlResult",
     "q3s",

@@ -25,7 +25,7 @@ from repro.adaptive.migration import MigrationStats, StateMigrator
 from repro.adaptive.monitor import RuntimeMonitor
 from repro.catalog.catalog import Catalog
 from repro.common.errors import AdaptationError
-from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
 from repro.optimizer.baselines.volcano import VolcanoOptimizer
 from repro.optimizer.declarative import DeclarativeOptimizer
 from repro.optimizer.tables import PruningConfig
@@ -98,10 +98,14 @@ class AdaptiveController:
         pruning: Optional[PruningConfig] = None,
         static_plan: Optional[PhysicalPlan] = None,
         cost_parameters=None,
+        engine: str = DEFAULT_ENGINE,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.query = query
         self.catalog = catalog
         self.mode = mode
+        self.engine = validate_engine(engine)
+        self.batch_size = batch_size
         self.reoptimize_every = max(1, reoptimize_every)
         self.monitor = RuntimeMonitor(cumulative=cumulative)
         self.migrator = StateMigrator(query)
@@ -164,7 +168,7 @@ class AdaptiveController:
             else MigrationStats.empty()
         )
 
-        executor = PlanExecutor(self.query, data)
+        executor = make_executor(self.engine, self.query, data, batch_size=self.batch_size)
         execution = executor.execute(self.current_plan)
         self.monitor.record_execution(execution)
         self.monitor.record_window_sizes(windows.window_sizes())

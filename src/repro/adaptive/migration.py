@@ -52,7 +52,10 @@ class StateMigrator:
         Otherwise every hash join of the new plan gets its build side rebuilt
         from the window contents of the relations below it.
         """
-        if old_plan is not None and old_plan.join_order_signature() == new_plan.join_order_signature():
+        if (
+            old_plan is not None
+            and old_plan.join_order_signature() == new_plan.join_order_signature()
+        ):
             return MigrationStats.empty()
         started = time.perf_counter()
         joins_rebuilt = 0

@@ -1,9 +1,13 @@
 """Runtime statistics monitoring for adaptive query processing.
 
-During execution the engine reports the observed cardinality of every operator
-output.  The monitor turns those observations into the statistics deltas that
-drive incremental re-optimization.  Two accumulation modes mirror the paper's
-Figure 10 series:
+During execution the engine (row or vectorized — both report through the
+same :class:`~repro.engine.executor.ExecutionResult` contract) reports the
+observed cardinality of every operator output.  The monitor turns those
+observations into the statistics deltas that drive incremental
+re-optimization, and additionally accumulates per-operator execution time
+(keyed by the plan's stable operator labels; each value is *inclusive* of the
+operator's subtree, like ``EXPLAIN ANALYZE`` totals).  Two accumulation modes
+mirror the paper's Figure 10 series:
 
 * **cumulative** — observations are averaged over every slice seen so far
   ("AQP-Cumulative"); estimates stabilize as the stream progresses;
@@ -58,6 +62,8 @@ class RuntimeMonitor:
         #: relation-count scaling: window sizes per alias observed per slice
         self._alias_rows: Dict[str, ObservationHistory] = {}
         self._last_emitted: Dict[object, float] = {}
+        #: cumulative execution seconds per operator label across slices
+        self._operator_seconds: Dict[str, float] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -66,6 +72,10 @@ class RuntimeMonitor:
         for expression, rows in result.observed_cardinalities.items():
             history = self._history.setdefault(expression, ObservationHistory())
             history.add(max(float(rows), self.minimum_rows))
+        for operator_key, seconds in result.operator_timings.items():
+            self._operator_seconds[operator_key] = (
+                self._operator_seconds.get(operator_key, 0.0) + seconds
+            )
 
     def record_window_sizes(self, sizes: Mapping[str, int]) -> None:
         for alias, rows in sizes.items():
@@ -88,6 +98,17 @@ class RuntimeMonitor:
 
     def expressions(self) -> List[Expression]:
         return sorted(self._history, key=lambda expression: (len(expression), expression.name))
+
+    def operator_seconds(self) -> Dict[str, float]:
+        """Total execution seconds per operator label, across recorded slices.
+
+        Keys are the plan's stable per-node labels (``"op (aliases)#n"``), so
+        a plan switch mid-stream contributes under the new plan's labels.
+        Each value is inclusive of the operator's whole subtree (both engines
+        time a node from entry, children included), so values of nested
+        operators overlap — compare siblings, don't sum ancestors.
+        """
+        return dict(self._operator_seconds)
 
     # -- delta production -------------------------------------------------------
 

@@ -45,9 +45,7 @@ class EquiDepthHistogram:
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_values(
-        cls, values: Sequence[Number], bucket_count: int = 16
-    ) -> "EquiDepthHistogram":
+    def from_values(cls, values: Sequence[Number], bucket_count: int = 16) -> "EquiDepthHistogram":
         """Build an equi-depth histogram from a sample of column values."""
         if not values:
             raise CatalogError("cannot build a histogram from no values")

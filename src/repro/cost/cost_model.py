@@ -17,9 +17,9 @@ from repro.catalog.catalog import Catalog
 from repro.common.errors import OptimizationError
 from repro.cost.overrides import StatisticsOverlay
 from repro.cost.summaries import ExpressionSummary, SummaryProvider
-from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.expressions import Expression
 from repro.relational.plan import PhysicalOperator
-from repro.relational.properties import PhysicalProperty, PropertyKind
+from repro.relational.properties import PhysicalProperty
 from repro.relational.query import Query
 
 
@@ -133,7 +133,9 @@ class CostModel:
             )
         elif operator is PhysicalOperator.SORT_MERGE_JOIN:
             # Inputs are required to arrive sorted; the merge itself is linear.
-            cost = (left_rows + right_rows) * params.cpu_tuple_cost + out_rows * params.cpu_operator_cost
+            cost = (
+                left_rows + right_rows
+            ) * params.cpu_tuple_cost + out_rows * params.cpu_operator_cost
         elif operator is PhysicalOperator.INDEX_NL_JOIN:
             # Outer (left) probes an index on the inner (right) per tuple.
             probe_depth = math.log2(max(right_rows, 2.0))
@@ -142,7 +144,9 @@ class CostModel:
                 + out_rows * params.cpu_tuple_cost
             )
         elif operator is PhysicalOperator.NESTED_LOOP_JOIN:
-            cost = left_rows * right_rows * params.cpu_operator_cost + out_rows * params.cpu_tuple_cost
+            cost = (
+                left_rows * right_rows * params.cpu_operator_cost + out_rows * params.cpu_tuple_cost
+            )
         else:
             raise OptimizationError(f"{operator} is not a join operator")
 

@@ -10,9 +10,9 @@ catalog estimates.  The incremental re-optimizer consumes the resulting
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet
 
 from repro.common.errors import CatalogError
 from repro.relational.expressions import Expression
@@ -66,9 +66,7 @@ class StatisticsOverlay:
 
     # -- selectivity -------------------------------------------------------
 
-    def set_selectivity_factor(
-        self, expression: Expression, factor: float
-    ) -> StatisticsDelta:
+    def set_selectivity_factor(self, expression: Expression, factor: float) -> StatisticsDelta:
         if factor <= 0:
             raise CatalogError("selectivity factor must be positive")
         key = expression.aliases
@@ -95,9 +93,7 @@ class StatisticsOverlay:
             raise CatalogError("scan cost factor must be positive")
         old = self._scan_cost_factors.get(alias, 1.0)
         self._scan_cost_factors[alias] = factor
-        return StatisticsDelta(
-            ChangeKind.SCAN_COST, Expression.leaf(alias), old, factor
-        )
+        return StatisticsDelta(ChangeKind.SCAN_COST, Expression.leaf(alias), old, factor)
 
     def scan_cost_factor(self, alias: str) -> float:
         return self._scan_cost_factors.get(alias, 1.0)
@@ -109,9 +105,7 @@ class StatisticsOverlay:
             raise CatalogError("cardinality factor must be positive")
         old = self._table_card_factors.get(alias, 1.0)
         self._table_card_factors[alias] = factor
-        return StatisticsDelta(
-            ChangeKind.TABLE_CARDINALITY, Expression.leaf(alias), old, factor
-        )
+        return StatisticsDelta(ChangeKind.TABLE_CARDINALITY, Expression.leaf(alias), old, factor)
 
     def table_cardinality_factor(self, alias: str) -> float:
         return self._table_card_factors.get(alias, 1.0)

@@ -37,9 +37,7 @@ class SelectivityEstimator:
             return self._fallback(predicate.op)
         return self._estimate_from_stats(stats, predicate)
 
-    def _estimate_from_stats(
-        self, stats: ColumnStats, predicate: FilterPredicate
-    ) -> float:
+    def _estimate_from_stats(self, stats: ColumnStats, predicate: FilterPredicate) -> float:
         value = predicate.value
         numeric = isinstance(value, (int, float))
         if predicate.op is ComparisonOp.EQ:

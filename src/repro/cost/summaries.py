@@ -121,9 +121,7 @@ class SummaryProvider:
             width += table.row_width_bytes
         return max(width, 8.0)
 
-    def _distinct_counts(
-        self, expression: Expression, cardinality: float
-    ) -> Dict[str, float]:
+    def _distinct_counts(self, expression: Expression, cardinality: float) -> Dict[str, float]:
         counts: Dict[str, float] = {}
         for alias in expression:
             for column in self.query.columns_of_alias(alias):

@@ -70,9 +70,7 @@ class GroupedMinAggregate(Generic[K, P]):
         state = self._groups.get(group)
         key = (value, payload)
         if state is None or state.live.get(key, 0) <= 0:
-            raise ReproError(
-                f"delete of absent aggregate entry {key!r} in group {group!r}"
-            )
+            raise ReproError(f"delete of absent aggregate entry {key!r} in group {group!r}")
         before = self.current(group)
         state.live[key] -= 1
         if state.live[key] == 0:
@@ -102,9 +100,7 @@ class GroupedMinAggregate(Generic[K, P]):
         state = self._groups.get(group)
         key = (value, payload)
         if state is None or state.live.get(key, 0) <= 0:
-            raise ReproError(
-                f"delete of absent aggregate entry {key!r} in group {group!r}"
-            )
+            raise ReproError(f"delete of absent aggregate entry {key!r} in group {group!r}")
         state.live[key] -= 1
         if state.live[key] == 0:
             del state.live[key]

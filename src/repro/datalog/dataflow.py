@@ -193,12 +193,8 @@ class MinAggregateRule(Rule):
         emissions: List[Emission] = []
         if change.is_update:
             assert change.old_value is not None
-            emissions.append(
-                Emission(self.output, Delta.delete((group, change.old_value.value)))
-            )
-            emissions.append(
-                Emission(self.output, Delta.insert((group, change.value.value)))
-            )
+            emissions.append(Emission(self.output, Delta.delete((group, change.old_value.value))))
+            emissions.append(Emission(self.output, Delta.insert((group, change.value.value))))
         elif change.is_insert:
             emissions.append(Emission(self.output, Delta.insert((group, change.value.value))))
         else:

@@ -11,9 +11,8 @@ downstream operators react to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Generic, Hashable, Iterator, List, Optional, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Iterator, List, TypeVar
 
 from repro.datalog.deltas import Delta, DeltaAction
 

@@ -1,5 +1,59 @@
-"""In-memory execution engine for physical plans."""
+"""In-memory execution engines for physical plans.
 
+Two interchangeable engines execute the same plan trees over the same data:
+
+* ``"row"`` — :class:`~repro.engine.executor.PlanExecutor`, one Python dict
+  per row (the original engine, kept as the differential-testing oracle);
+* ``"vectorized"`` — :class:`~repro.engine.vectorized.VectorizedExecutor`,
+  column arrays processed in fixed-size batches (the default, ~an order of
+  magnitude faster).
+
+:func:`make_executor` is the one place that maps an engine name onto a
+constructed executor; :class:`~repro.sql.session.Session`, the ``repro-sql``
+CLI and the adaptive controller all select through it.
+"""
+
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ExecutionError
 from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.engine.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 
-__all__ = ["ExecutionResult", "PlanExecutor"]
+ENGINE_NAMES = ("row", "vectorized")
+DEFAULT_ENGINE = "vectorized"
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name, returning it; raise ExecutionError when unknown."""
+    if engine not in ENGINE_NAMES:
+        raise ExecutionError(
+            f"unknown engine {engine!r} (expected one of {', '.join(ENGINE_NAMES)})"
+        )
+    return engine
+
+
+def make_executor(
+    engine: str,
+    query,
+    data: Mapping[str, Sequence[Mapping[str, object]]],
+    batch_size: Optional[int] = None,
+):
+    """Construct the named execution engine over *query* and *data*."""
+    validate_engine(engine)
+    if engine == "row":
+        return PlanExecutor(query, data)
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    return VectorizedExecutor(query, data, batch_size=batch_size)
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "ExecutionResult",
+    "PlanExecutor",
+    "VectorizedExecutor",
+    "make_executor",
+    "validate_engine",
+]

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
-from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.expressions import Expression
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
-from repro.relational.predicates import ComparisonOp, JoinPredicate
+from repro.relational.predicates import JoinPredicate
 from repro.relational.query import AggregateFunction, Query
 
 Row = Dict[str, object]
@@ -37,10 +37,14 @@ class ExecutionResult:
     observed_cardinalities: Dict[Expression, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     operator_timings: Dict[str, float] = field(default_factory=dict)
-    # Per-operator output counts keyed like operator_timings ("op (aliases)").
+    # Per-operator output counts keyed like operator_timings: the stable
+    # per-node labels from PhysicalPlan.operator_keys() ("op (aliases)#n").
     # Unlike observed_cardinalities this keeps operators with the same
-    # expression apart (an aggregate shares its child's expression).
+    # expression apart (an aggregate shares its child's expression, and a
+    # self-join shape can repeat a whole operator label).
     operator_cardinalities: Dict[str, int] = field(default_factory=dict)
+    #: which engine produced this result ("row" or "vectorized")
+    engine: str = "row"
 
     @property
     def row_count(self) -> int:
@@ -60,7 +64,10 @@ class PlanExecutor:
 
     def execute(self, plan: PhysicalPlan) -> ExecutionResult:
         started = time.perf_counter()
-        result = ExecutionResult(rows=[])
+        result = ExecutionResult(rows=[], engine="row")
+        # Nodes are entered in pre-order, so consuming the pre-order key list
+        # as the recursion descends assigns every node its stable label.
+        self._keys: Iterator[str] = iter(plan.operator_keys())
         result.rows = self._execute_node(plan, result)
         result.elapsed_seconds = time.perf_counter() - started
         return result
@@ -71,6 +78,7 @@ class PlanExecutor:
 
     def _execute_node(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
         operator = node.operator
+        operator_key = next(self._keys)
         node_start = time.perf_counter()
         if operator.is_scan:
             rows = self._execute_scan(node)
@@ -83,7 +91,6 @@ class PlanExecutor:
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"unsupported operator {operator}")
         result.observed_cardinalities[node.expression] = len(rows)
-        operator_key = f"{operator.value} {node.expression}"
         result.operator_cardinalities[operator_key] = len(rows)
         result.operator_timings[operator_key] = time.perf_counter() - node_start
         return rows
@@ -102,9 +109,7 @@ class PlanExecutor:
         elif relation.table in self.data:
             base_rows = self.data[relation.table]
         else:
-            raise ExecutionError(
-                f"no data loaded for alias {alias!r} or table {relation.table!r}"
-            )
+            raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
         filters = self.query.filters_for(alias)
         output: Table = []
         for base_row in base_rows:
@@ -122,9 +127,7 @@ class PlanExecutor:
                     keep = False
                     break
             if keep:
-                output.append(
-                    {f"{alias}.{name}": value for name, value in base_row.items()}
-                )
+                output.append({f"{alias}.{name}": value for name, value in base_row.items()})
         return output
 
     # ------------------------------------------------------------------

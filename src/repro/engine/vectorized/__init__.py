@@ -1,0 +1,6 @@
+"""Vectorized columnar execution engine (batch-at-a-time over column arrays)."""
+
+from repro.engine.vectorized.columns import DEFAULT_BATCH_SIZE, ColumnTable, TableView
+from repro.engine.vectorized.executor import VectorizedExecutor
+
+__all__ = ["ColumnTable", "DEFAULT_BATCH_SIZE", "TableView", "VectorizedExecutor"]

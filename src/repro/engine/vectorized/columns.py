@@ -1,0 +1,116 @@
+"""Column-array storage for the vectorized engine.
+
+A :class:`ColumnTable` is the unit of data exchanged between vectorized
+operators: a dict of column name → Python list, every list the same length.
+Operators never touch one row at a time from the outside; they slice the
+arrays into fixed-size batches, compute *selection vectors* (lists of row
+indices that survive a predicate) and gather the surviving positions into new
+column arrays.  Rows only exist as dicts at the very edges: when a scan
+ingests the session's row-shaped data and when the root operator materializes
+the final result for the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default number of rows processed per batch.  Large enough that per-batch
+#: Python overhead amortizes, small enough that intermediate selection
+#: vectors stay cache-friendly.
+DEFAULT_BATCH_SIZE = 1024
+
+Row = Dict[str, object]
+
+
+class ColumnTable:
+    """An immutable-by-convention columnar table: name → equal-length lists."""
+
+    __slots__ = ("columns", "row_count")
+
+    def __init__(self, columns: Dict[str, List[object]], row_count: Optional[int] = None):
+        self.columns = columns
+        if row_count is None:
+            row_count = len(next(iter(columns.values()))) if columns else 0
+        self.row_count = row_count
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ColumnTable":
+        return cls({}, 0)
+
+    # -- access ----------------------------------------------------------
+
+    def column(self, name: str) -> Optional[List[object]]:
+        return self.columns.get(name)
+
+    def to_rows(self) -> List[Row]:
+        """Materialize the table back into row dicts (row order preserved)."""
+        names = list(self.columns)
+        return [dict(zip(names, values)) for values in zip(*(self.columns[n] for n in names))]
+
+
+class TableView:
+    """A late-materialized result: source tables plus a row-index per source.
+
+    Joins do not copy payload columns around; a join output is a view pairing
+    each source :class:`ColumnTable` with the index vector that selects (and
+    duplicates) its rows.  :meth:`column` gathers a single column on demand —
+    the only per-value work joins ever do is on their key and residual
+    columns — and :meth:`materialize` gathers just the columns the final
+    consumer asks for.  Because every :meth:`gather_view` flattens the
+    composition into direct indices over the base tables, lookup chains never
+    grow deeper than one indirection.
+    """
+
+    __slots__ = ("sources", "row_count")
+
+    def __init__(
+        self,
+        sources: List[Tuple[ColumnTable, Optional[List[int]]]],
+        row_count: int,
+    ) -> None:
+        self.sources = sources
+        self.row_count = row_count
+
+    @classmethod
+    def of_table(cls, table: ColumnTable) -> "TableView":
+        return cls([(table, None)], table.row_count)
+
+    def column(self, name: str) -> Optional[List[object]]:
+        """Gather one column across the view, or ``None`` if unknown."""
+        for table, index in self.sources:
+            values = table.column(name)
+            if values is not None:
+                if index is None:
+                    return values
+                return [values[i] for i in index]
+        return None
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for table, _ in self.sources:
+            names.extend(table.columns)
+        return names
+
+    def gather_view(self, indices: List[int]) -> "TableView":
+        """Select view positions, composing down to base-table indices."""
+        sources: List[Tuple[ColumnTable, Optional[List[int]]]] = []
+        for table, index in self.sources:
+            composed = indices if index is None else [index[i] for i in indices]
+            sources.append((table, composed))
+        return TableView(sources, len(indices))
+
+    def merge(self, other: "TableView") -> "TableView":
+        """Concatenate sources of two equal-length views (join output)."""
+        return TableView(self.sources + other.sources, max(self.row_count, other.row_count))
+
+    def materialize(self, names: Optional[Sequence[str]] = None) -> ColumnTable:
+        """Gather the named columns (or every column) into a ColumnTable."""
+        if names is None:
+            names = self.column_names()
+        columns: Dict[str, List[object]] = {}
+        for name in names:
+            values = self.column(name)
+            columns[name] = values if values is not None else [None] * self.row_count
+        return ColumnTable(columns, self.row_count)

@@ -1,0 +1,468 @@
+"""Vectorized (columnar, batch-at-a-time) execution of physical plans.
+
+:class:`VectorizedExecutor` executes the same
+:class:`~repro.relational.plan.PhysicalPlan` trees as the row engine
+(:class:`~repro.engine.executor.PlanExecutor`) but over column arrays instead
+of per-row dicts:
+
+* scans pivot the input rows into column arrays batch by batch, applying
+  pushed-down filters through selection vectors (index lists) instead of
+  constructing a dict per surviving row, and materialize only the columns the
+  query references (projection pushdown) when the query declares outputs;
+* hash joins build and probe on column slices and late-materialize: a join
+  output is a :class:`~repro.engine.vectorized.columns.TableView` pairing
+  each source table with a row-index vector, so payload columns are never
+  copied through the join cascade — only key columns are gathered, and
+  non-equi (theta) predicates fall back to residual evaluation over the
+  gathered predicate columns;
+* grouped aggregation scans the grouping arrays batch-wise into per-group
+  index lists and aggregates each group straight off the value columns;
+* the ORDER BY enforcer sorts an index permutation and re-indexes the view.
+
+The engine is a drop-in replacement for the row engine: identical result
+rows (same values, same order), identical per-expression
+``observed_cardinalities`` (so the adaptive monitor keeps working unchanged)
+and identical per-operator cardinality/timing keys (so ``EXPLAIN ANALYZE``
+renders the same tree).  Two deliberate, documented differences: every
+relation is assumed to have a uniform schema (column set taken from its
+first row), and when the query declares projections or aggregates the result
+rows carry only the columns the query references — the row engine drags every
+scanned column along; the vectorized engine prunes them at the scan.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.engine.executor import ExecutionResult
+from repro.engine.vectorized.columns import (
+    DEFAULT_BATCH_SIZE,
+    ColumnTable,
+    TableView,
+)
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.relational.predicates import JoinPredicate
+from repro.relational.query import AggregateFunction, Query
+
+_MISSING = object()
+
+
+class VectorizedExecutor:
+    """Executes physical plans over in-memory data, columnar and batched."""
+
+    def __init__(
+        self,
+        query: Query,
+        data: Mapping[str, Sequence[Mapping[str, object]]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size <= 0:
+            raise ExecutionError("batch_size must be positive")
+        self.query = query
+        self.data = data
+        self.batch_size = batch_size
+        #: with no declared outputs (bare builder queries) the row engine's
+        #: "every column rides along" behaviour is kept; otherwise scans
+        #: materialize only what the query references.
+        self._prune_columns = bool(query.projections) or query.has_aggregation
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> ExecutionResult:
+        started = time.perf_counter()
+        result = ExecutionResult(rows=[], engine="vectorized")
+        # Pre-order key consumption mirrors PlanExecutor: identical labels.
+        self._keys: Iterator[str] = iter(plan.operator_keys())
+        view = self._execute_node(plan, result)
+        result.rows = view.materialize(self._output_names(view)).to_rows()
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _output_names(self, view: TableView) -> Optional[List[str]]:
+        """Columns to materialize at the root (None = all).
+
+        Aggregation output is already minimal.  For plain select blocks the
+        session's row shaping needs the projections plus any ORDER BY
+        columns; everything else was only ever needed inside the plan.
+        """
+        if not self._prune_columns or self.query.has_aggregation:
+            return None
+        names: List[str] = [str(column) for column in self.query.projections]
+        for item in self.query.order_by:
+            name = str(item.column)
+            if name not in names:
+                names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_node(self, node: PhysicalPlan, result: ExecutionResult) -> TableView:
+        operator = node.operator
+        operator_key = next(self._keys)
+        node_start = time.perf_counter()
+        if operator.is_scan:
+            view = TableView.of_table(self._execute_scan(node))
+        elif operator is PhysicalOperator.SORT:
+            view = self._execute_sort(node, result)
+        elif operator.is_join:
+            view = self._execute_join(node, result)
+        elif operator is PhysicalOperator.HASH_AGGREGATE:
+            view = TableView.of_table(self._execute_aggregate(node, result))
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unsupported operator {operator}")
+        result.observed_cardinalities[node.expression] = view.row_count
+        result.operator_cardinalities[operator_key] = view.row_count
+        result.operator_timings[operator_key] = time.perf_counter() - node_start
+        return view
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def _execute_scan(self, node: PhysicalPlan) -> ColumnTable:
+        alias = node.expression.sole_alias
+        relation = self.query.relation(alias)
+        if alias in self.data:
+            base_rows = self.data[alias]
+        elif relation.table in self.data:
+            base_rows = self.data[relation.table]
+        else:
+            raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
+        if not base_rows:
+            return ColumnTable.empty()
+        if self._prune_columns:
+            names = [column.column for column in self.query.columns_of_alias(alias)]
+        else:
+            names = list(base_rows[0].keys())
+        filters = self.query.filters_for(alias)
+        output: Dict[str, List[object]] = {f"{alias}.{name}": [] for name in names}
+        out_columns = list(output.values())
+        batch_size = self.batch_size
+        # Track the surviving-row count explicitly: with column pruning a scan
+        # can legitimately carry zero columns (e.g. an alias only COUNT(*)ed
+        # or cross-joined), and the count must not be inferred from them.
+        row_count = 0
+        for start in range(0, len(base_rows), batch_size):
+            batch = base_rows[start : start + batch_size]
+            selection = self._filter_batch(batch, filters, alias, relation.table)
+            if selection is None:  # no filters: keep the whole batch
+                row_count += len(batch)
+                for name, out in zip(names, out_columns):
+                    try:
+                        out.extend([row[name] for row in batch])
+                    except KeyError:  # ragged rows: fall back to None-filling
+                        out.extend([row.get(name) for row in batch])
+            elif selection:
+                row_count += len(selection)
+                for name, out in zip(names, out_columns):
+                    try:
+                        out.extend([batch[index][name] for index in selection])
+                    except KeyError:
+                        out.extend([batch[index].get(name) for index in selection])
+        return ColumnTable(output, row_count)
+
+    def _filter_batch(
+        self,
+        batch: Sequence[Mapping[str, object]],
+        filters: Sequence,
+        alias: str,
+        table: str,
+    ) -> Optional[List[int]]:
+        """Selection vector of batch positions passing every filter.
+
+        Returns ``None`` when there are no filters (caller keeps the batch
+        wholesale).  Like the row engine, a filter column absent from a row
+        still under consideration raises; rows already rejected by an earlier
+        predicate are never inspected.
+        """
+        if not filters:
+            return None
+        selection: Sequence[int] = range(len(batch))
+        for predicate in filters:
+            name = predicate.column.column
+            values = [row.get(name, _MISSING) for row in batch]
+            compare = predicate.op.comparator
+            constant = predicate.value
+            surviving: List[int] = []
+            append = surviving.append
+            for index in selection:
+                value = values[index]
+                if value is None:
+                    continue
+                if value is _MISSING:
+                    raise ExecutionError(
+                        f"filter {predicate} references column {name!r} which is "
+                        f"absent from the data for alias {alias!r} "
+                        f"(table {table!r})"
+                    )
+                if compare(value, constant):
+                    append(index)
+            selection = surviving
+            if not selection:
+                break
+        return list(selection)
+
+    # ------------------------------------------------------------------
+    # Sort enforcer
+    # ------------------------------------------------------------------
+
+    def _execute_sort(self, node: PhysicalPlan, result: ExecutionResult) -> TableView:
+        child = self._execute_node(node.children[0], result)
+        column = node.output_property.column
+        if column is None:
+            return child
+        values = child.column(str(column))
+        if values is None:
+            return child  # row engine sorts on all-None keys: stable no-op
+        order = sorted(
+            range(child.row_count), key=lambda index: (values[index] is None, values[index])
+        )
+        return child.gather_view(order)
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+
+    def _execute_join(self, node: PhysicalPlan, result: ExecutionResult) -> TableView:
+        left_node, right_node = node.children[0], node.children[1]
+        left = self._execute_node(left_node, result)
+        right = self._execute_node(right_node, result)
+        predicates = self.query.predicates_between(left_node.expression, right_node.expression)
+        equi = [predicate for predicate in predicates if predicate.is_equijoin]
+        residual = [predicate for predicate in predicates if not predicate.is_equijoin]
+        if equi:
+            left_index, right_index = self._hash_join_indices(
+                left, right, left_node.expression, equi
+            )
+        else:
+            left_index, right_index = self._cross_indices(left.row_count, right.row_count)
+        if residual and left_index:
+            left_index, right_index = self._apply_residual(
+                left, right, left_index, right_index, residual
+            )
+        return left.gather_view(left_index).merge(right.gather_view(right_index))
+
+    def _key_column(self, view: TableView, name: str) -> List[object]:
+        values = view.column(name)
+        if values is None:
+            # Like the row engine's row.get(): a missing key column joins
+            # through None (and None build keys do match None probe keys).
+            return [None] * view.row_count
+        return values
+
+    def _hash_join_indices(
+        self,
+        left: TableView,
+        right: TableView,
+        left_expression,
+        predicates: List[JoinPredicate],
+    ) -> Tuple[List[int], List[int]]:
+        left_names: List[str] = []
+        right_names: List[str] = []
+        for predicate in predicates:
+            left_column = predicate.column_for(left_expression)
+            right_column = predicate.right if left_column == predicate.left else predicate.left
+            left_names.append(str(left_column))
+            right_names.append(str(right_column))
+        left_keys = [self._key_column(left, name) for name in left_names]
+        right_keys = [self._key_column(right, name) for name in right_names]
+        single = len(left_keys) == 1
+        batch_size = self.batch_size
+
+        index: Dict[object, List[int]] = defaultdict(list)
+        for start in range(0, right.row_count, batch_size):
+            if single:
+                keys: Sequence[object] = right_keys[0][start : start + batch_size]
+            else:
+                keys = list(zip(*(column[start : start + batch_size] for column in right_keys)))
+            for position, key in enumerate(keys, start):
+                index[key].append(position)
+        index.default_factory = None  # probe lookups must not create entries
+
+        left_index: List[int] = []
+        right_index: List[int] = []
+        append_left = left_index.append
+        extend_left = left_index.extend
+        append_right = right_index.append
+        extend_right = right_index.extend
+        get = index.get
+        for start in range(0, left.row_count, batch_size):
+            if single:
+                keys = left_keys[0][start : start + batch_size]
+            else:
+                keys = list(zip(*(column[start : start + batch_size] for column in left_keys)))
+            position = start
+            for matches in map(get, keys):
+                if matches is not None:
+                    if len(matches) == 1:
+                        append_left(position)
+                        append_right(matches[0])
+                    else:
+                        extend_left([position] * len(matches))
+                        extend_right(matches)
+                position += 1
+        return left_index, right_index
+
+    @staticmethod
+    def _cross_indices(left_count: int, right_count: int) -> Tuple[List[int], List[int]]:
+        """Left-major cross product, matching the row engine's nested loop."""
+        left_index = [i for i in range(left_count) for _ in range(right_count)]
+        right_index = list(range(right_count)) * left_count
+        return left_index, right_index
+
+    def _apply_residual(
+        self,
+        left: TableView,
+        right: TableView,
+        left_index: List[int],
+        right_index: List[int],
+        predicates: Sequence[JoinPredicate],
+    ) -> Tuple[List[int], List[int]]:
+        """Filter join candidates through non-equi predicates.
+
+        The predicate columns are gathered along the candidate pairs up
+        front; the scan over them is a flat per-pair pass.
+        """
+        sides = []
+        for predicate in predicates:
+            sides.append(
+                (
+                    self._joined_values(left, right, left_index, right_index, predicate.left),
+                    self._joined_values(left, right, left_index, right_index, predicate.right),
+                    predicate.op.comparator,
+                )
+            )
+        surviving_left: List[int] = []
+        surviving_right: List[int] = []
+        for position in range(len(left_index)):
+            for left_values, right_values, evaluate in sides:
+                left_value = left_values[position]
+                right_value = right_values[position]
+                if left_value is None or right_value is None:
+                    break
+                if not evaluate(left_value, right_value):
+                    break
+            else:
+                surviving_left.append(left_index[position])
+                surviving_right.append(right_index[position])
+        return surviving_left, surviving_right
+
+    @staticmethod
+    def _joined_values(
+        left: TableView,
+        right: TableView,
+        left_index: List[int],
+        right_index: List[int],
+        column,
+    ) -> List[object]:
+        """Gather one predicate column along the join candidate pairs."""
+        name = str(column)
+        values = left.column(name)
+        if values is not None:
+            return [values[i] for i in left_index]
+        values = right.column(name)
+        if values is not None:
+            return [values[i] for i in right_index]
+        return [None] * len(left_index)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _execute_aggregate(self, node: PhysicalPlan, result: ExecutionResult) -> ColumnTable:
+        child = self._execute_node(node.children[0], result)
+        group_columns = [str(column) for column in self.query.group_by]
+        groups: Dict[object, List[int]] = defaultdict(list)
+        single = len(group_columns) == 1
+        if not group_columns:
+            groups[()] = list(range(child.row_count))
+        else:
+            arrays = [self._key_column(child, name) for name in group_columns]
+            batch_size = self.batch_size
+            for start in range(0, child.row_count, batch_size):
+                if single:
+                    keys: Sequence[object] = arrays[0][start : start + batch_size]
+                else:
+                    keys = list(zip(*(array[start : start + batch_size] for array in arrays)))
+                for position, key in enumerate(keys, start):
+                    groups[key].append(position)
+
+        # Build the output columnar directly: transpose the group keys in one
+        # pass and produce each aggregate column with bulk comprehensions.
+        group_indices = list(groups.values())
+        output: Dict[str, List[object]] = {}
+        if single:
+            output[group_columns[0]] = list(groups.keys())
+        elif group_columns:
+            for name, key_values in zip(group_columns, zip(*groups.keys())):
+                output[name] = list(key_values)
+        for aggregate in self.query.aggregates:
+            output[str(aggregate)] = self._aggregate_column(aggregate, child, group_indices)
+        return ColumnTable(output, len(groups))
+
+    @staticmethod
+    def _aggregate_column(
+        aggregate, child: TableView, group_indices: List[List[int]]
+    ) -> List[object]:
+        """One aggregate's output column, one entry per group.
+
+        Gathering order (and therefore float summation order) matches the row
+        engine's per-group row order exactly.  Columns without NULLs take
+        all-comprehension fast paths; the generic path filters per group.
+        """
+        function = aggregate.function
+        if function is AggregateFunction.COUNT and aggregate.column is None:
+            return [len(indices) for indices in group_indices]
+        values = child.column(str(aggregate.column)) if aggregate.column is not None else None
+        if values is None:
+            # Column absent from the child: every value reads as None.
+            empty = 0 if function is AggregateFunction.COUNT else None
+            return [empty] * len(group_indices)
+        distinct = aggregate.distinct
+        clean = None not in values
+        if function is AggregateFunction.COUNT:
+            if distinct:
+                if clean:
+                    return [len({values[i] for i in ix}) for ix in group_indices]
+                return [len({values[i] for i in ix} - {None}) for ix in group_indices]
+            if clean:
+                return [len(indices) for indices in group_indices]
+            return [sum(1 for i in ix if values[i] is not None) for ix in group_indices]
+        if clean and not distinct:
+            if function is AggregateFunction.SUM:
+                return [sum([values[i] for i in ix]) if ix else None for ix in group_indices]
+            if function is AggregateFunction.MIN:
+                return [min([values[i] for i in ix]) if ix else None for ix in group_indices]
+            if function is AggregateFunction.MAX:
+                return [max([values[i] for i in ix]) if ix else None for ix in group_indices]
+            if function is AggregateFunction.AVG:
+                return [
+                    sum([values[i] for i in ix]) / len(ix) if ix else None
+                    for ix in group_indices
+                ]
+        if function is AggregateFunction.SUM:
+            final = sum
+        elif function is AggregateFunction.MIN:
+            final = min
+        elif function is AggregateFunction.MAX:
+            final = max
+        elif function is AggregateFunction.AVG:
+            def final(gathered):
+                return sum(gathered) / len(gathered)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unsupported aggregate {function}")
+        out: List[object] = []
+        append = out.append
+        for ix in group_indices:
+            gathered = [v for v in [values[i] for i in ix] if v is not None]
+            if distinct:
+                gathered = list(set(gathered))
+            append(final(gathered) if gathered else None)
+        return out

@@ -125,9 +125,7 @@ class SystemROptimizer(ProceduralOptimizerBase):
                 best.local = local
                 best.cardinality = cardinality
 
-    def _cost_alternative(
-        self, entry: SearchSpaceEntry
-    ) -> Optional[Tuple[float, float, float]]:
+    def _cost_alternative(self, entry: SearchSpaceEntry) -> Optional[Tuple[float, float, float]]:
         local, cardinality = self.local_cost(entry)
         total = local
         for child in entry.children():

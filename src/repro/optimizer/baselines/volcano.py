@@ -96,9 +96,7 @@ class VolcanoOptimizer(ProceduralOptimizerBase):
 
     def _explore_group(self, or_key: OrKey, group: _Group, limit: float) -> None:
         alternatives = self.enumerator.expand(or_key)
-        group.alternatives_enumerated = max(
-            group.alternatives_enumerated, len(alternatives)
-        )
+        group.alternatives_enumerated = max(group.alternatives_enumerated, len(alternatives))
         bound = min(limit, group.best_cost)
         pruned_this_round = 0
         for entry in alternatives:

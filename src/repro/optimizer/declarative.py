@@ -24,7 +24,6 @@ queue.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
@@ -33,8 +32,7 @@ from repro.catalog.catalog import Catalog
 from repro.common.errors import OptimizationError
 from repro.cost.cost_model import CostModel, CostParameters
 from repro.cost.overrides import ChangeKind, StatisticsDelta, StatisticsOverlay
-from repro.datalog.aggregates import GroupedMinAggregate, GroupExtreme
-from repro.datalog.deltas import Delta
+from repro.datalog.aggregates import GroupedMinAggregate
 from repro.datalog.refcount import ReferenceCounter, RefTransition
 from repro.optimizer.metrics import MetricsRecorder, OptimizationMetrics
 from repro.optimizer.pruning.bounds import INFINITY, BoundChange, BoundsManager
@@ -92,9 +90,7 @@ class DeclarativeOptimizer:
         self.query = query
         self.catalog = catalog
         self.pruning = pruning if pruning is not None else PruningConfig.full()
-        self.cost_model = CostModel(
-            query, catalog, parameters=cost_parameters, overlay=overlay
-        )
+        self.cost_model = CostModel(query, catalog, parameters=cost_parameters, overlay=overlay)
         self.enumerator = SearchSpaceEnumerator(query, catalog, enumeration)
         self.root_key = OrKey(query.root_expression, ANY_PROPERTY)
         self.recorder = MetricsRecorder()
@@ -115,9 +111,7 @@ class DeclarativeOptimizer:
         self._optimized = True
         return OptimizationResult(plan, plan.total_cost, metrics, "declarative")
 
-    def reoptimize(
-        self, deltas: Sequence[StatisticsDelta]
-    ) -> OptimizationResult:
+    def reoptimize(self, deltas: Sequence[StatisticsDelta]) -> OptimizationResult:
         """Incrementally re-optimize after the given statistics changes."""
         if not self._optimized:
             raise OptimizationError("call optimize() before reoptimize()")
@@ -525,10 +519,7 @@ class DeclarativeOptimizer:
                     if and_key == best_entry.payload:
                         if and_key in self._pruned and state.alive:
                             self._unprune_alternative(and_key)
-                    elif (
-                        and_key in self._active
-                        and cost.total_cost > best_entry.value + _EPSILON
-                    ):
+                    elif and_key in self._active and cost.total_cost > best_entry.value + _EPSILON:
                         self._prune_alternative(and_key)
 
         # Propagate to parents: their total costs depend on this BestCost.
@@ -568,9 +559,7 @@ class DeclarativeOptimizer:
         if not active or cost is None or parent_bound == INFINITY:
             changes.append(self._bounds.set_contribution(entry.left, and_key, "left", None))
             if entry.right is not None:
-                changes.append(
-                    self._bounds.set_contribution(entry.right, and_key, "right", None)
-                )
+                changes.append(self._bounds.set_contribution(entry.right, and_key, "right", None))
         elif entry.is_unary:
             assert entry.left is not None
             changes.append(
@@ -592,17 +581,13 @@ class DeclarativeOptimizer:
                 if left_best is not None
                 else INFINITY
             )
-            changes.append(
-                self._bounds.set_contribution(entry.left, and_key, "left", left_bound)
-            )
+            changes.append(self._bounds.set_contribution(entry.left, and_key, "left", left_bound))
             changes.append(
                 self._bounds.set_contribution(entry.right, and_key, "right", right_bound)
             )
         for change in changes:
             if change is not None:
-                self._enqueue(
-                    ("bound_changed", change.or_key, change.old_bound, change.new_bound)
-                )
+                self._enqueue(("bound_changed", change.or_key, change.old_bound, change.new_bound))
 
     def _clear_contributions(self, entry: SearchSpaceEntry) -> None:
         if self._bounds is None or entry.is_leaf:
@@ -612,9 +597,7 @@ class DeclarativeOptimizer:
                 continue
             change = self._bounds.set_contribution(child, entry.key, side, None)
             if change is not None:
-                self._enqueue(
-                    ("bound_changed", change.or_key, change.old_bound, change.new_bound)
-                )
+                self._enqueue(("bound_changed", change.or_key, change.old_bound, change.new_bound))
 
     def _handle_bound_changed(self, or_key: OrKey, old_bound: float, new_bound: float) -> None:
         if self._bounds is None:

@@ -13,7 +13,7 @@ Two families of numbers matter:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.optimizer.tables import AndKey, OrKey

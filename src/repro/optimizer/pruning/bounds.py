@@ -17,7 +17,7 @@ bound change so the optimizer can prune or re-introduce plans incrementally.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.datalog.aggregates import GroupedMaxAggregate
 from repro.optimizer.tables import AndKey, OrKey
@@ -116,7 +116,9 @@ class BoundsManager:
         """Remove both contributions of a parent alternative (it was pruned)."""
         changes: List[BoundChange] = []
         for side in ("left", "right"):
-            change = self.set_contribution(OrKey(parent.expression, parent.prop), parent, side, None)
+            change = self.set_contribution(
+                OrKey(parent.expression, parent.prop), parent, side, None
+            )
             if change is not None:
                 changes.append(change)
         return changes

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
-from repro.common.errors import OptimizationError
 from repro.relational.expressions import ColumnRef, Expression
 from repro.relational.plan import LogicalOperator, PhysicalOperator
 from repro.relational.predicates import JoinPredicate
@@ -102,9 +101,7 @@ class SearchSpaceEnumerator:
         if prop.is_any:
             alternatives.append((LogicalOperator.SCAN, PhysicalOperator.SEQ_SCAN, None, None))
             if self.options.enable_index_scans and self._filtered_index_column(alias):
-                alternatives.append(
-                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
-                )
+                alternatives.append((LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None))
         elif prop.kind is PropertyKind.SORTED:
             assert prop.column is not None
             alternatives.append((LogicalOperator.SCAN, PhysicalOperator.SORTED_SCAN, None, None))
@@ -113,18 +110,14 @@ class SearchSpaceEnumerator:
                 and prop.column.alias == alias
                 and self.catalog.index_on(table, prop.column.column) is not None
             ):
-                alternatives.append(
-                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
-                )
+                alternatives.append((LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None))
         elif prop.kind is PropertyKind.INDEXED:
             assert prop.column is not None
             if (
                 prop.column.alias == alias
                 and self.catalog.index_on(table, prop.column.column) is not None
             ):
-                alternatives.append(
-                    (LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None)
-                )
+                alternatives.append((LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None))
         return alternatives
 
     def _filtered_index_column(self, alias: str) -> Optional[ColumnRef]:
@@ -163,14 +156,10 @@ class SearchSpaceEnumerator:
                 alternatives.extend(self._any_join_alternatives(left, right, equi, predicates))
             else:
                 assert prop.column is not None
-                alternatives.extend(
-                    self._sorted_join_alternatives(left, right, equi, prop.column)
-                )
+                alternatives.extend(self._sorted_join_alternatives(left, right, equi, prop.column))
         return alternatives
 
-    def _valid_partitions(
-        self, expression: Expression
-    ) -> List[Tuple[Expression, Expression]]:
+    def _valid_partitions(self, expression: Expression) -> List[Tuple[Expression, Expression]]:
         """Connected, non-cross-product splits (falling back if none exist)."""
         connected: List[Tuple[Expression, Expression]] = []
         fallback: List[Tuple[Expression, Expression]] = []

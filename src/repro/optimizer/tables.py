@@ -10,7 +10,7 @@ configuration that controls which of the paper's three techniques are active.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.relational.expressions import Expression

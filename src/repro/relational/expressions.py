@@ -102,9 +102,7 @@ class Expression:
     def difference(self, other: "Expression") -> "Expression":
         remaining = self._aliases - other._aliases
         if not remaining:
-            raise QueryError(
-                f"difference of {self._name} and {other._name} would be empty"
-            )
+            raise QueryError(f"difference of {self._name} and {other._name} would be empty")
         return Expression(remaining)
 
     def partitions(self) -> Iterator[Tuple["Expression", "Expression"]]:

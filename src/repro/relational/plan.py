@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -117,6 +117,19 @@ class PhysicalPlan:
             if name == key:
                 return value
         return default
+
+    def operator_keys(self) -> List[str]:
+        """Stable, unique per-node labels in pre-order.
+
+        Both execution engines and ``EXPLAIN ANALYZE`` key per-operator
+        timings and cardinalities by these strings.  The ``#<n>`` suffix is
+        the node's pre-order position, which keeps two nodes with the same
+        operator and expression (e.g. in self-join shapes) apart.
+        """
+        return [
+            f"{node.operator.value} {node.expression}#{index}"
+            for index, node in enumerate(self.iter_nodes())
+        ]
 
     # -- comparison helpers ---------------------------------------------
 

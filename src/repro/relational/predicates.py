@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Optional, Union
+from typing import Callable, FrozenSet, Optional, Union
 
 from repro.common.errors import QueryError
 from repro.relational.expressions import ColumnRef, Expression
@@ -41,6 +42,25 @@ class ComparisonOp(Enum):
     def is_range(self) -> bool:
         return self in (ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE)
 
+    @property
+    def comparator(self) -> Callable[[object, object], bool]:
+        """The C-level callable for this operator (hot-loop evaluation).
+
+        Semantically identical to :meth:`evaluate`; the vectorized engine
+        binds this once per predicate instead of dispatching through the
+        enum per value.
+        """
+        return _COMPARATORS[self]
+
+
+_COMPARATORS = {
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+}
 
 Value = Union[int, float, str]
 
@@ -83,9 +103,7 @@ class JoinPredicate:
 
     def __post_init__(self) -> None:
         if self.left.alias == self.right.alias:
-            raise QueryError(
-                f"join predicate {self} must reference two distinct aliases"
-            )
+            raise QueryError(f"join predicate {self} must reference two distinct aliases")
 
     @property
     def aliases(self) -> FrozenSet[str]:

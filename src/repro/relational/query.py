@@ -9,9 +9,9 @@ API used by :mod:`repro.workloads.queries` to express the paper's workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import QueryError
 from repro.relational.expressions import ColumnRef, Expression
@@ -133,14 +133,10 @@ class Query:
         for predicate in self.join_predicates:
             for ref in (predicate.left, predicate.right):
                 if ref.alias not in aliases:
-                    raise QueryError(
-                        f"join predicate {predicate} uses unknown alias {ref.alias!r}"
-                    )
+                    raise QueryError(f"join predicate {predicate} uses unknown alias {ref.alias!r}")
         for predicate in self.filters:
             if predicate.alias not in aliases:
-                raise QueryError(
-                    f"filter {predicate} uses unknown alias {predicate.alias!r}"
-                )
+                raise QueryError(f"filter {predicate} uses unknown alias {predicate.alias!r}")
         for column in list(self.projections) + list(self.group_by):
             if column.alias not in aliases:
                 raise QueryError(f"column {column} uses unknown alias")
@@ -245,22 +241,14 @@ class Query:
                     frontier.append(neighbor)
         return seen == alias_set
 
-    def predicates_between(
-        self, left: Expression, right: Expression
-    ) -> List[JoinPredicate]:
+    def predicates_between(self, left: Expression, right: Expression) -> List[JoinPredicate]:
         """Join predicates connecting two disjoint subexpressions."""
-        return [
-            predicate
-            for predicate in self.join_predicates
-            if predicate.connects(left, right)
-        ]
+        return [predicate for predicate in self.join_predicates if predicate.connects(left, right)]
 
     def predicates_within(self, expr: Expression) -> List[JoinPredicate]:
         """Join predicates fully contained inside *expr*."""
         return [
-            predicate
-            for predicate in self.join_predicates
-            if predicate.aliases <= expr.aliases
+            predicate for predicate in self.join_predicates if predicate.aliases <= expr.aliases
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -288,9 +276,7 @@ class QueryBuilder:
         return self
 
     def join_on(self, left: str, right: str, op: ComparisonOp = ComparisonOp.EQ) -> "QueryBuilder":
-        self._joins.append(
-            JoinPredicate(ColumnRef.parse(left), ColumnRef.parse(right), op)
-        )
+        self._joins.append(JoinPredicate(ColumnRef.parse(left), ColumnRef.parse(right), op))
         return self
 
     def filter(
@@ -300,9 +286,7 @@ class QueryBuilder:
         value: object,
         selectivity: Optional[float] = None,
     ) -> "QueryBuilder":
-        self._filters.append(
-            FilterPredicate(ColumnRef.parse(column), op, value, selectivity)  # type: ignore[arg-type]
-        )
+        self._filters.append(FilterPredicate(ColumnRef.parse(column), op, value, selectivity))
         return self
 
     def select(self, *columns: str) -> "QueryBuilder":

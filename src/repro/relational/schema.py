@@ -68,9 +68,7 @@ class Table:
         if len(names) != len(set(names)):
             raise SchemaError(f"duplicate column names in table {self.name!r}")
         if self.primary_key is not None and self.primary_key not in names:
-            raise SchemaError(
-                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
-            )
+            raise SchemaError(f"primary key {self.primary_key!r} is not a column of {self.name!r}")
 
     @property
     def column_names(self) -> List[str]:

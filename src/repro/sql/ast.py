@@ -9,7 +9,7 @@ source position of its first token for error reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 Position = Tuple[int, int]

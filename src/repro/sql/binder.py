@@ -78,9 +78,7 @@ class Binder:
                     statement,
                 )
             for alias, table in tables.items():
-                projections.extend(
-                    ColumnRef(alias, column) for column in table.column_names
-                )
+                projections.extend(ColumnRef(alias, column) for column in table.column_names)
         for item in statement.select_items:
             if isinstance(item, AggregateCall):
                 argument = (
@@ -138,14 +136,10 @@ class Binder:
         for ref in statement.tables:
             if not schema.has_table(ref.table):
                 known = ", ".join(sorted(schema.table_names))
-                raise self._error(
-                    f"unknown table {ref.table!r} (known tables: {known})", ref
-                )
+                raise self._error(f"unknown table {ref.table!r} (known tables: {known})", ref)
             binding = ref.binding_name
             if binding in tables:
-                raise self._error(
-                    f"duplicate table alias {binding!r} in FROM clause", ref
-                )
+                raise self._error(f"duplicate table alias {binding!r} in FROM clause", ref)
             self._relations[binding] = RelationRef(binding, ref.table)
             tables[binding] = schema.table(ref.table)
         return tables
@@ -169,9 +163,7 @@ class Binder:
             return ColumnRef(column.qualifier, column.name)
         owners = [alias for alias, table in tables.items() if table.has_column(column.name)]
         if not owners:
-            raise self._error(
-                f"unknown column {column.name!r} in any FROM table", column
-            )
+            raise self._error(f"unknown column {column.name!r} in any FROM table", column)
         if len(owners) > 1:
             raise self._error(
                 f"ambiguous column {column.name!r}: present in "
@@ -208,9 +200,7 @@ class Binder:
             joins.append(JoinPredicate(left_ref, right_ref, op))
             return
         if isinstance(left, Literal) and isinstance(right, Literal):
-            raise self._error(
-                f"predicate {comparison} compares two constants", comparison
-            )
+            raise self._error(f"predicate {comparison} compares two constants", comparison)
         if isinstance(left, Literal):
             # Normalize "constant <op> column" to "column <flipped-op> constant".
             assert isinstance(right, ColumnName)
@@ -221,11 +211,11 @@ class Binder:
             assert isinstance(right, Literal)
             column_ref = self._resolve_column(left, tables)
             value = right.value
-        filters.append(
-            FilterPredicate(column_ref, op, value, comparison.selectivity_hint)
-        )
+        filters.append(FilterPredicate(column_ref, op, value, comparison.selectivity_hint))
 
 
-def bind(statement: SelectStatement, catalog: Catalog, name: str = "sql", source: Optional[str] = None) -> Query:
+def bind(
+    statement: SelectStatement, catalog: Catalog, name: str = "sql", source: Optional[str] = None
+) -> Query:
     """Convenience wrapper: bind *statement* against *catalog*."""
     return Binder(catalog, source).bind(statement, name)

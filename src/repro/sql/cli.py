@@ -21,6 +21,7 @@ import sys
 from typing import Optional
 
 from repro.common.errors import ReproError, SqlError
+from repro.engine import DEFAULT_BATCH_SIZE, DEFAULT_ENGINE, ENGINE_NAMES
 from repro.sql.errors import describe
 from repro.sql.session import Session, SqlResult
 from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_catalog
@@ -29,12 +30,18 @@ PROMPT = "repro-sql> "
 CONTINUATION = "      ...> "
 
 
-def build_session(scale: float, data_scale: Optional[float], seed: int) -> Session:
+def build_session(
+    scale: float,
+    data_scale: Optional[float],
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+    batch_size: Optional[int] = None,
+) -> Session:
     """An analytic-catalog session, or a data-backed one if data_scale given."""
     if data_scale is None:
-        return Session(tpch_catalog(scale_factor=scale))
+        return Session(tpch_catalog(scale_factor=scale), engine=engine, batch_size=batch_size)
     data = generate_tpch_data(scale_factor=data_scale, seed=seed)
-    return Session(catalog_from_data(data), data=data)
+    return Session(catalog_from_data(data), data=data, engine=engine, batch_size=batch_size)
 
 
 def run_statement(session: Session, sql: str, out=None) -> SqlResult:
@@ -82,9 +89,7 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sql", description="SQL frontend over the repro optimizer stack"
     )
-    parser.add_argument(
-        "-c", "--command", help="execute one statement and exit", default=None
-    )
+    parser.add_argument("-c", "--command", help="execute one statement and exit", default=None)
     parser.add_argument(
         "--scale",
         type=float,
@@ -99,9 +104,24 @@ def main(argv: Optional[list] = None) -> int:
         "EXPLAIN ANALYZE can execute (e.g. 0.0005)",
     )
     parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default=DEFAULT_ENGINE,
+        help="execution engine for SELECT / EXPLAIN ANALYZE (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="rows per batch for the vectorized engine "
+        f"(default {DEFAULT_BATCH_SIZE}; ignored by --engine row)",
+    )
     args = parser.parse_args(argv)
 
-    session = build_session(args.scale, args.data_scale, args.seed)
+    session = build_session(
+        args.scale, args.data_scale, args.seed, engine=args.engine, batch_size=args.batch_size
+    )
     if args.command is not None:
         try:
             run_statement(session, args.command)

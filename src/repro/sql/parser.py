@@ -253,9 +253,7 @@ class Parser:
             hint = float(match.group(1))
             if not 0.0 <= hint <= 1.0:
                 raise self._error("selectivity hint must be within [0, 1]", hint_token)
-        position = (
-            left.position if isinstance(left, (ColumnName, Literal)) else op_token.position
-        )
+        position = left.position if isinstance(left, (ColumnName, Literal)) else op_token.position
         return Comparison(left, op, right, hint, position)
 
     def _parse_operand(self) -> Operand:

@@ -2,22 +2,25 @@
 
 :class:`Session` wires the whole stack together: the parser and binder from
 this package, the :class:`~repro.optimizer.declarative.DeclarativeOptimizer`
-and, when the session holds data, the
-:class:`~repro.engine.executor.PlanExecutor`.  ``EXPLAIN`` renders the chosen
-physical plan with estimated cardinalities; ``EXPLAIN ANALYZE`` additionally
-executes the plan and shows observed cardinalities next to the estimates —
-the same estimated-vs-observed deltas the paper's re-optimizer consumes.
+and, when the session holds data, one of the execution engines — the
+vectorized columnar engine by default, or the row-at-a-time engine via
+``Session(..., engine="row")``.  ``EXPLAIN`` renders the chosen physical plan
+with estimated cardinalities; ``EXPLAIN ANALYZE`` additionally executes the
+plan, shows observed cardinalities next to the estimates — the same
+estimated-vs-observed deltas the paper's re-optimizer consumes — and reports
+which engine ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
-from repro.common.errors import SqlError
+from repro.common.errors import ExecutionError, SqlError
 from repro.cost.cost_model import CostParameters
-from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
+from repro.engine.executor import ExecutionResult
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
 from repro.optimizer.search_space import EnumerationOptions
 from repro.optimizer.tables import PruningConfig
@@ -70,17 +73,17 @@ def render_plan(
     estimate (``EXPLAIN ANALYZE`` style).
     """
     lines: List[str] = []
+    operator_keys = iter(plan.operator_keys())
 
     def visit(node: PhysicalPlan, depth: int) -> None:
+        operator_key = next(operator_keys)
         prop = "" if node.output_property.is_any else f" [{node.output_property}]"
         line = (
             f"{'  ' * depth}{node.operator.value} {node.expression}{prop}"
             f"  (cost={node.total_cost:.3f}, est_rows={node.cardinality:.0f}"
         )
         if execution is not None:
-            observed = execution.operator_cardinalities.get(
-                f"{node.operator.value} {node.expression}"
-            )
+            observed = execution.operator_cardinalities.get(operator_key)
             line += f", actual_rows={observed if observed is not None else '?'}"
         lines.append(line + ")")
         for child in node.children:
@@ -100,12 +103,20 @@ class Session:
         pruning: Optional[PruningConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
         enumeration: Optional[EnumerationOptions] = None,
+        engine: str = DEFAULT_ENGINE,
+        batch_size: Optional[int] = None,
     ) -> None:
+        try:
+            validate_engine(engine)
+        except ExecutionError as error:
+            raise SqlError(str(error)) from error
         self.catalog = catalog
         self.data = data
         self.pruning = pruning
         self.cost_parameters = cost_parameters
         self.enumeration = enumeration
+        self.engine = engine
+        self.batch_size = batch_size
         self._statement_counter = 0
 
     # -- lowering stages (each usable on its own) ------------------------
@@ -144,9 +155,7 @@ class Session:
         self._statement_counter += 1
         return f"sql-{self._statement_counter}"
 
-    def _bind(
-        self, statement: SelectStatement, sql: str, name: Optional[str] = None
-    ) -> Query:
+    def _bind(self, statement: SelectStatement, sql: str, name: Optional[str] = None) -> Query:
         return Binder(self.catalog, source=sql).bind(statement, name or self._next_name())
 
     def _optimize(self, query: Query) -> OptimizationResult:
@@ -174,16 +183,28 @@ class Session:
             text = self._explain_header(query, optimization) + render_plan(optimization.plan)
             return SqlResult("explain", query, optimization, plan_text=text)
         data = self._require_data("EXPLAIN ANALYZE")
-        execution = PlanExecutor(query, data).execute(optimization.plan)
+        execution = self._run_plan(query, data, optimization.plan)
         text = (
             self._explain_header(query, optimization)
             + render_plan(optimization.plan, execution)
             + f"\nexecution time: {execution.elapsed_seconds * 1000:.2f} ms, "
-            f"output rows: {execution.row_count}"
+            f"output rows: {execution.row_count}, engine: {execution.engine}"
         )
         return SqlResult(
             "explain analyze", query, optimization, execution=execution, plan_text=text
         )
+
+    def _run_plan(
+        self,
+        query: Query,
+        data: Mapping[str, Sequence[Mapping[str, object]]],
+        plan: PhysicalPlan,
+    ) -> ExecutionResult:
+        try:
+            executor = make_executor(self.engine, query, data, batch_size=self.batch_size)
+        except ExecutionError as error:  # e.g. an invalid batch_size
+            raise SqlError(str(error)) from error
+        return executor.execute(plan)
 
     @staticmethod
     def _explain_header(query: Query, optimization: OptimizationResult) -> str:
@@ -193,15 +214,13 @@ class Session:
         if query.limit is not None:
             extras.append(f"limit {query.limit}")
         suffix = f"  ({'; '.join(extras)})" if extras else ""
-        return (
-            f"{query.name}: estimated cost {optimization.cost:.3f}{suffix}\n"
-        )
+        return f"{query.name}: estimated cost {optimization.cost:.3f}{suffix}\n"
 
     def _execute_select(self, statement: SelectStatement, sql: str) -> SqlResult:
         query = self._bind(statement, sql)
         data = self._require_data("execute a SELECT")
         optimization = self._optimize(query)
-        execution = PlanExecutor(query, data).execute(optimization.plan)
+        execution = self._run_plan(query, data, optimization.plan)
         columns = self._output_columns(query)
         rows = self._shape_rows(query, execution.rows, columns)
         return SqlResult(

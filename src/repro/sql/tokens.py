@@ -190,7 +190,11 @@ class Lexer:
         if match:
             text = match.group(0)
             self._advance(len(text))
-            kind = TokenType.INTEGER if match.group(1) is None and match.group(2) is None else TokenType.FLOAT
+            kind = (
+                TokenType.INTEGER
+                if match.group(1) is None and match.group(2) is None
+                else TokenType.FLOAT
+            )
             return Token(kind, text, line, column)
 
         match = _IDENTIFIER_RE.match(self.source, self._pos)

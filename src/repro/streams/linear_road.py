@@ -170,9 +170,7 @@ class LinearRoadGenerator:
                 )
         return rows
 
-    def generate_slices(
-        self, duration_seconds: int, slice_duration: float
-    ) -> List[StreamSlice]:
+    def generate_slices(self, duration_seconds: int, slice_duration: float) -> List[StreamSlice]:
         return slice_stream(self.generate(duration_seconds), slice_duration)
 
 

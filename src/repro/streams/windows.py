@@ -12,8 +12,8 @@ materializes the current window contents per alias for the executor.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.relational.query import Query, RelationRef, WindowKind
@@ -147,9 +147,7 @@ def slice_stream(
     for row in ordered:
         timestamp = float(row.get(timestamp_column, 0))
         while timestamp >= boundary:
-            slices.append(
-                StreamSlice(index, boundary - slice_duration, boundary, tuple(bucket))
-            )
+            slices.append(StreamSlice(index, boundary - slice_duration, boundary, tuple(bucket)))
             bucket = []
             index += 1
             boundary += slice_duration

@@ -139,7 +139,9 @@ def q10() -> Query:
         .join_on("lineitem.l_orderkey", "orders.o_orderkey")
         .join_on("customer.c_nationkey", "nation.n_nationkey")
         .filter("orders.o_orderdate", ComparisonOp.GE, _DATE_1993_10_01, selectivity=0.25)
-        .filter("orders.o_orderdate", ComparisonOp.LT, _DATE_1994_01_01_PLUS_3M + 92, selectivity=0.35)
+        .filter(
+            "orders.o_orderdate", ComparisonOp.LT, _DATE_1994_01_01_PLUS_3M + 92, selectivity=0.35
+        )
         .filter("lineitem.l_returnflag", ComparisonOp.EQ, 1, selectivity=0.33)
         .select("customer.c_name", "nation.n_name")
         .group_by("customer.c_name", "nation.n_name")

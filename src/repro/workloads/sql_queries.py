@@ -85,9 +85,7 @@ WHERE c_custkey = o_custkey
 GROUP BY c_name, n_name
 """
 
-_Q8JOIN_SELECT = (
-    "c_name, p_name, ps_availqty, s_name, o_custkey, r_name, n_name"
-)
+_Q8JOIN_SELECT = "c_name, p_name, ps_availqty, s_name, o_custkey, r_name, n_name"
 
 _Q8JOIN_BODY = """
 FROM orders, lineitem, customer, part, partsupp, supplier, nation, region
@@ -124,6 +122,47 @@ ALL_SQL: Dict[str, str] = {
     "Q3": Q3_SQL,
     "Q6": Q6_SQL,
     **WORKLOAD_SQL,
+}
+
+# Extra statements for engine differential testing (no builder counterparts):
+# they exercise execution paths the paper's workload never reaches — ORDER
+# BY/LIMIT shaping, a self-join with a theta residual on top of an equi-join,
+# and a pure theta join that forces the nested-loop fallback.
+TOP_ACCTBAL_SQL = """
+SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT 25
+"""
+
+THETA_NATION_SQL = """
+SELECT n1.n_name, n2.n_name
+FROM nation n1, nation n2
+WHERE n1.n_regionkey = n2.n_regionkey AND n1.n_nationkey < n2.n_nationkey
+"""
+
+CROSS_REGION_SQL = """
+SELECT r1.r_name, r2.r_name
+FROM region r1, region r2
+WHERE r1.r_regionkey < r2.r_regionkey
+"""
+
+# Zero-referenced-column shapes: the scanned alias contributes only row
+# multiplicity (bare COUNT(*); an alias never named outside FROM), so the
+# vectorized scan must report its cardinality without any column to count.
+COUNT_ONLY_SQL = """
+SELECT COUNT(*) FROM region
+"""
+
+UNREFERENCED_ALIAS_SQL = """
+SELECT r1.r_name FROM region r1, nation n1
+"""
+
+# Every statement both engines must agree on, keyed by query name.
+PARITY_SQL: Dict[str, str] = {
+    **ALL_SQL,
+    "TopAcctbal": TOP_ACCTBAL_SQL,
+    "ThetaNation": THETA_NATION_SQL,
+    "CrossRegion": CROSS_REGION_SQL,
+    "CountOnly": COUNT_ONLY_SQL,
+    "UnreferencedAlias": UNREFERENCED_ALIAS_SQL,
 }
 
 

@@ -58,7 +58,6 @@ PART_TYPE_COUNT = 150
 
 def tpch_schema() -> Schema:
     """The TPC-H tables (columns restricted to what the workload touches)."""
-    integer = DataType.INTEGER
     floating = DataType.FLOAT
     tables = [
         Table("region", [Column("r_regionkey"), Column("r_name")], primary_key="r_regionkey"),
@@ -350,9 +349,7 @@ def generate_tpch_data(
     counts = {table: scaled(table) for table in BASE_ROW_COUNTS}
     data: Dict[str, Rows] = {}
 
-    data["region"] = [
-        {"r_regionkey": key, "r_name": key} for key in range(counts["region"])
-    ]
+    data["region"] = [{"r_regionkey": key, "r_name": key} for key in range(counts["region"])]
     data["nation"] = [
         {"n_nationkey": key, "n_regionkey": key % REGION_COUNT, "n_name": key}
         for key in range(counts["nation"])

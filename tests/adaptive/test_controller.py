@@ -15,9 +15,7 @@ from repro.streams.linear_road import (
 
 @pytest.fixture(scope="module")
 def small_stream():
-    generator = LinearRoadGenerator(
-        GeneratorConfig(reports_per_second=20, cars=80, seed=5)
-    )
+    generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=20, cars=80, seed=5))
     return generator.generate_slices(8, 1.0)
 
 
@@ -94,9 +92,7 @@ class TestAdaptiveController:
     def test_incremental_reopt_time_decays(self, query):
         """Figure 9's qualitative behaviour: as statistics converge, the
         incremental re-optimizer has less and less to do."""
-        generator = LinearRoadGenerator(
-            GeneratorConfig(reports_per_second=20, cars=80, seed=11)
-        )
+        generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=20, cars=80, seed=11))
         slices = generator.generate_slices(16, 1.0)
         controller = AdaptiveController(
             query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL

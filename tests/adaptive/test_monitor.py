@@ -44,6 +44,26 @@ class TestRecording:
         assert monitor.observed_alias_rows("r1") == 50.0
         assert monitor.observed_alias_rows("missing") is None
 
+    def test_operator_seconds_accumulate_across_slices(self):
+        monitor = RuntimeMonitor()
+        first = ExecutionResult(
+            rows=[], operator_timings={"seq-scan (a)#1": 0.5, "pipelined-hash-join (a b)#0": 2.0}
+        )
+        second = ExecutionResult(rows=[], operator_timings={"seq-scan (a)#1": 0.25})
+        monitor.record_execution(first)
+        monitor.record_execution(second)
+        assert monitor.operator_seconds() == {
+            "seq-scan (a)#1": 0.75,
+            "pipelined-hash-join (a b)#0": 2.0,
+        }
+
+    def test_operator_seconds_snapshot_is_detached(self):
+        monitor = RuntimeMonitor()
+        monitor.record_execution(ExecutionResult(rows=[], operator_timings={"sort (a)#0": 1.0}))
+        snapshot = monitor.operator_seconds()
+        snapshot["sort (a)#0"] = 99.0
+        assert monitor.operator_seconds()["sort (a)#0"] == 1.0
+
     def test_expressions_sorted_smallest_first(self):
         monitor = RuntimeMonitor()
         monitor.record_execution(

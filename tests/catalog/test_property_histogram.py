@@ -5,9 +5,7 @@ from hypothesis import strategies as st
 
 from repro.catalog.histogram import EquiDepthHistogram
 
-value_lists = st.lists(
-    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
-)
+value_lists = st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300)
 
 
 @given(value_lists, st.integers(min_value=1, max_value=32))

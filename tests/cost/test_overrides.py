@@ -64,13 +64,9 @@ class TestScanAndCardinalityFactors:
 
 class TestDeltaAndSnapshot:
     def test_noop_detection(self):
-        delta = StatisticsDelta(
-            ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 1.0
-        )
+        delta = StatisticsDelta(ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 1.0)
         assert delta.is_noop
-        delta2 = StatisticsDelta(
-            ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 2.0
-        )
+        delta2 = StatisticsDelta(ChangeKind.JOIN_SELECTIVITY, Expression.of("a", "b"), 1.0, 2.0)
         assert not delta2.is_noop
 
     def test_snapshot_round_trip(self):

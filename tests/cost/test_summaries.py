@@ -4,7 +4,7 @@ import pytest
 
 from repro.cost.overrides import StatisticsOverlay
 from repro.cost.summaries import SummaryProvider
-from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.expressions import Expression
 from repro.workloads.queries import q3s
 from repro.workloads.tpch import tpch_catalog
 

@@ -48,9 +48,7 @@ class TestCorrectnessAgainstBruteForce:
         plan = DeclarativeOptimizer(query, data_catalog).optimize().plan
         result = PlanExecutor(query, dataset).execute(plan)
         expected = brute_force_q3s(dataset)
-        got = [
-            (row["lineitem.l_orderkey"], row["orders.o_orderdate"]) for row in result.rows
-        ]
+        got = [(row["lineitem.l_orderkey"], row["orders.o_orderdate"]) for row in result.rows]
         assert sorted(got) == sorted(expected)
 
     def test_different_plans_same_result(self, dataset, data_catalog):
@@ -60,7 +58,10 @@ class TestCorrectnessAgainstBruteForce:
         plan_b = VolcanoOptimizer(query, data_catalog).optimize().plan
         rows_a = PlanExecutor(query, dataset).execute(plan_a).rows
         rows_b = PlanExecutor(query, dataset).execute(plan_b).rows
-        key = lambda row: (row["lineitem.l_orderkey"], row["orders.o_orderdate"])
+
+        def key(row):
+            return (row["lineitem.l_orderkey"], row["orders.o_orderdate"])
+
         assert sorted(map(key, rows_a)) == sorted(map(key, rows_b))
 
 
@@ -86,6 +87,45 @@ class TestObservedCardinalities:
         assert result.operator_timings
 
 
+class TestOperatorKeys:
+    def test_keys_are_unique_per_node(self, dataset, data_catalog):
+        """Same-label operators (aggregate over its child's expression, deep
+        self-join shapes) stay apart thanks to the pre-order #n suffix."""
+        query = q5()
+        plan = DeclarativeOptimizer(query, data_catalog).optimize().plan
+        keys = plan.operator_keys()
+        assert len(keys) == len(set(keys)) == plan.node_count
+        result = PlanExecutor(query, dataset).execute(plan)
+        assert set(result.operator_cardinalities) == set(keys)
+        assert set(result.operator_timings) == set(keys)
+
+    def test_self_join_scan_keys_disambiguated(self):
+        from repro.relational.plan import PhysicalOperator, PhysicalPlan
+
+        query = (
+            QueryBuilder("q")
+            .scan("stream", alias="r1")
+            .scan("stream", alias="r2")
+            .join_on("r1.k", "r2.k")
+            .build()
+        )
+        scan1 = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("r1"))
+        scan2 = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("r2"))
+        plan = PhysicalPlan(
+            PhysicalOperator.HASH_JOIN, Expression.of("r1", "r2"), children=(scan1, scan2)
+        )
+        data = {"r1": [{"k": 1}], "r2": [{"k": 1}, {"k": 2}]}
+        result = PlanExecutor(query, data).execute(plan)
+        assert sorted(result.operator_cardinalities) == [
+            "pipelined-hash-join (r1 r2)#0",
+            "seq-scan (r1)#1",
+            "seq-scan (r2)#2",
+        ]
+        # Per-node counts: the r2 scan's 2 rows don't clobber the r1 scan's 1.
+        assert result.operator_cardinalities["seq-scan (r1)#1"] == 1
+        assert result.operator_cardinalities["seq-scan (r2)#2"] == 2
+
+
 class TestAggregation:
     def test_group_by_sum(self, dataset, data_catalog):
         query = q5()
@@ -108,9 +148,7 @@ class TestAggregation:
         from repro.relational.plan import PhysicalOperator, PhysicalPlan
 
         scan = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("a"))
-        plan = PhysicalPlan(
-            PhysicalOperator.HASH_AGGREGATE, Expression.leaf("a"), children=(scan,)
-        )
+        plan = PhysicalPlan(PhysicalOperator.HASH_AGGREGATE, Expression.leaf("a"), children=(scan,))
         result = PlanExecutor(query, data).execute(plan)
         by_group = {row["a.g"]: row for row in result.rows}
         assert by_group[1]["count(distinct a.v)"] == 2
@@ -126,9 +164,7 @@ class TestAggregation:
         from repro.relational.plan import PhysicalOperator, PhysicalPlan
 
         scan = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("a"))
-        plan = PhysicalPlan(
-            PhysicalOperator.HASH_AGGREGATE, Expression.leaf("a"), children=(scan,)
-        )
+        plan = PhysicalPlan(PhysicalOperator.HASH_AGGREGATE, Expression.leaf("a"), children=(scan,))
         data = {"t": [{"v": 1}, {"v": 2}, {"v": 3}]}
         result = PlanExecutor(query, data).execute(plan)
         assert len(result.rows) == 1
@@ -183,12 +219,7 @@ class TestErrorsAndEdgeCases:
 
     def test_filter_on_null_value_still_drops_row(self):
         """A present-but-NULL value is dropped (SQL semantics), not an error."""
-        query = (
-            QueryBuilder("q")
-            .scan("t", alias="a")
-            .filter("a.k", ComparisonOp.EQ, 1)
-            .build()
-        )
+        query = QueryBuilder("q").scan("t", alias="a").filter("a.k", ComparisonOp.EQ, 1).build()
         from repro.relational.plan import PhysicalOperator, PhysicalPlan
 
         plan = PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf("a"))

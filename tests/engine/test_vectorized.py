@@ -1,0 +1,278 @@
+"""Unit tests for the vectorized engine's columnar building blocks."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.engine.vectorized import ColumnTable, TableView, VectorizedExecutor
+from repro.relational.expressions import Expression
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.relational.predicates import ComparisonOp
+from repro.relational.query import AggregateFunction, QueryBuilder
+
+
+def scan_plan(alias):
+    return PhysicalPlan(PhysicalOperator.SEQ_SCAN, Expression.leaf(alias))
+
+
+def join_plan(left_alias, right_alias):
+    return PhysicalPlan(
+        PhysicalOperator.HASH_JOIN,
+        Expression.of(left_alias, right_alias),
+        children=(scan_plan(left_alias), scan_plan(right_alias)),
+    )
+
+
+class TestColumnTable:
+    def test_row_count_inferred_from_columns(self):
+        table = ColumnTable({"a.k": [1, 3], "a.v": [2, 4]})
+        assert table.row_count == 2
+
+    def test_to_rows_pivots_in_row_order(self):
+        table = ColumnTable({"k": [1, 2], "v": ["x", "y"]})
+        assert table.to_rows() == [{"k": 1, "v": "x"}, {"k": 2, "v": "y"}]
+
+    def test_empty(self):
+        table = ColumnTable.empty()
+        assert table.row_count == 0
+        assert table.to_rows() == []
+
+    def test_explicit_row_count_wins_over_columns(self):
+        # A zero-column table still carries cardinality (COUNT(*)-only scans).
+        table = ColumnTable({}, 7)
+        assert table.row_count == 7
+        assert table.to_rows() == []
+
+
+class TestTableView:
+    def test_column_identity_and_indexed(self):
+        base = ColumnTable({"a.k": [1, 2, 3]})
+        view = TableView.of_table(base)
+        assert view.column("a.k") == [1, 2, 3]
+        indexed = view.gather_view([2, 2, 0])
+        assert indexed.column("a.k") == [3, 3, 1]
+        assert indexed.column("missing") is None
+
+    def test_gather_view_composes_flat(self):
+        base = ColumnTable({"a.k": [10, 20, 30, 40]})
+        once = TableView.of_table(base).gather_view([3, 1])
+        twice = once.gather_view([1, 1, 0])
+        assert twice.column("a.k") == [20, 20, 40]
+        # composition flattened into direct base indices, not chained views
+        table, index = twice.sources[0]
+        assert table is base
+        assert index == [1, 1, 3]
+
+    def test_merge_and_materialize_subset(self):
+        left = TableView.of_table(ColumnTable({"a.k": [1, 2]}))
+        right = TableView.of_table(ColumnTable({"b.k": [3, 4], "b.v": [5, 6]}))
+        merged = left.merge(right)
+        assert merged.column_names() == ["a.k", "b.k", "b.v"]
+        materialized = merged.materialize(["b.v", "a.k"])
+        assert materialized.columns == {"b.v": [5, 6], "a.k": [1, 2]}
+
+    def test_materialize_unknown_column_fills_none(self):
+        view = TableView.of_table(ColumnTable({"a.k": [1, 2]}))
+        assert view.materialize(["a.k", "a.zzz"]).columns["a.zzz"] == [None, None]
+
+
+class TestVectorizedScan:
+    def test_filter_via_selection_vector(self):
+        query = QueryBuilder("q").scan("t", alias="a").filter("a.k", ComparisonOp.GE, 3).build()
+        data = {"t": [{"k": value} for value in range(6)]}
+        result = VectorizedExecutor(query, data).execute(scan_plan("a"))
+        assert [row["a.k"] for row in result.rows] == [3, 4, 5]
+
+    def test_small_batches_match_single_batch(self):
+        query = QueryBuilder("q").scan("t", alias="a").filter("a.k", ComparisonOp.NE, 2).build()
+        data = {"t": [{"k": value % 5} for value in range(37)]}
+        small = VectorizedExecutor(query, data, batch_size=3).execute(scan_plan("a"))
+        large = VectorizedExecutor(query, data, batch_size=4096).execute(scan_plan("a"))
+        assert small.rows == large.rows
+
+    def test_missing_filter_column_raises(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .filter("a.no_such_column", ComparisonOp.EQ, 1)
+            .build()
+        )
+        data = {"a": [{"k": 1}]}
+        with pytest.raises(ExecutionError) as excinfo:
+            VectorizedExecutor(query, data).execute(scan_plan("a"))
+        assert "no_such_column" in str(excinfo.value)
+
+    def test_null_filter_value_drops_row(self):
+        query = QueryBuilder("q").scan("t", alias="a").filter("a.k", ComparisonOp.EQ, 1).build()
+        data = {"t": [{"k": None}, {"k": 1}]}
+        result = VectorizedExecutor(query, data).execute(scan_plan("a"))
+        assert result.row_count == 1
+
+    def test_missing_table_raises(self):
+        query = QueryBuilder("q").scan("missing", alias="m").build()
+        with pytest.raises(ExecutionError):
+            VectorizedExecutor(query, {}).execute(scan_plan("m"))
+
+    def test_invalid_batch_size_rejected(self):
+        query = QueryBuilder("q").scan("t", alias="a").build()
+        with pytest.raises(ExecutionError):
+            VectorizedExecutor(query, {"t": []}, batch_size=0)
+
+
+class TestVectorizedJoin:
+    def test_hash_join_with_duplicates(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .scan("u", alias="b")
+            .join_on("a.k", "b.k")
+            .build()
+        )
+        data = {
+            "t": [{"k": 1}, {"k": 2}],
+            "u": [{"k": 1}, {"k": 1}, {"k": 3}],
+        }
+        result = VectorizedExecutor(query, data, batch_size=2).execute(join_plan("a", "b"))
+        assert result.row_count == 2
+        assert all(row["a.k"] == row["b.k"] == 1 for row in result.rows)
+
+    def test_theta_only_join_nested_loop_fallback(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .scan("t", alias="b")
+            .join_on("a.k", "b.k", ComparisonOp.LT)
+            .build()
+        )
+        data = {"a": [{"k": 1}, {"k": 2}, {"k": 3}], "b": [{"k": 1}, {"k": 2}, {"k": 3}]}
+        result = VectorizedExecutor(query, data, batch_size=2).execute(join_plan("a", "b"))
+        pairs = sorted((row["a.k"], row["b.k"]) for row in result.rows)
+        assert pairs == [(1, 2), (1, 3), (2, 3)]
+
+    def test_equi_plus_residual(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .scan("t", alias="b")
+            .join_on("a.k", "b.k")
+            .join_on("a.v", "b.v", ComparisonOp.LT)
+            .build()
+        )
+        data = {
+            "a": [{"k": 1, "v": 1}, {"k": 1, "v": 9}],
+            "b": [{"k": 1, "v": 5}],
+        }
+        result = VectorizedExecutor(query, data).execute(join_plan("a", "b"))
+        assert result.row_count == 1
+        assert result.rows[0]["a.v"] == 1
+
+    def test_residual_null_drops_pair(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .scan("t", alias="b")
+            .join_on("a.k", "b.k")
+            .join_on("a.v", "b.v", ComparisonOp.NE)
+            .build()
+        )
+        data = {"a": [{"k": 1, "v": None}], "b": [{"k": 1, "v": 2}]}
+        result = VectorizedExecutor(query, data).execute(join_plan("a", "b"))
+        assert result.row_count == 0
+
+    def test_empty_side_yields_empty(self):
+        query = (
+            QueryBuilder("q")
+            .scan("t", alias="a")
+            .scan("u", alias="b")
+            .join_on("a.k", "b.k")
+            .build()
+        )
+        data = {"t": [], "u": [{"k": 1}]}
+        result = VectorizedExecutor(query, data).execute(join_plan("a", "b"))
+        assert result.rows == []
+
+
+class TestVectorizedAggregate:
+    def aggregate_plan(self, alias="a"):
+        return PhysicalPlan(
+            PhysicalOperator.HASH_AGGREGATE,
+            Expression.leaf(alias),
+            children=(scan_plan(alias),),
+        )
+
+    def test_count_distinct_matches_row_semantics(self):
+        query = (
+            QueryBuilder("count_distinct")
+            .scan("t", alias="a")
+            .group_by("a.g")
+            .aggregate(AggregateFunction.COUNT, "a.v", distinct=True)
+            .select("a.g")
+            .build()
+        )
+        data = {"t": [{"g": 1, "v": 10}, {"g": 1, "v": 10}, {"g": 1, "v": 20}, {"g": 2, "v": 5}]}
+        result = VectorizedExecutor(query, data, batch_size=2).execute(self.aggregate_plan())
+        by_group = {row["a.g"]: row for row in result.rows}
+        assert by_group[1]["count(distinct a.v)"] == 2
+        assert by_group[2]["count(distinct a.v)"] == 1
+
+    def test_aggregates_skip_nulls(self):
+        query = (
+            QueryBuilder("agg")
+            .scan("t", alias="a")
+            .aggregate(AggregateFunction.SUM, "a.v")
+            .aggregate(AggregateFunction.AVG, "a.v")
+            .aggregate(AggregateFunction.COUNT, "a.v")
+            .aggregate(AggregateFunction.COUNT)
+            .build()
+        )
+        data = {"t": [{"v": 1}, {"v": None}, {"v": 3}]}
+        result = VectorizedExecutor(query, data).execute(self.aggregate_plan())
+        row = result.rows[0]
+        assert row["sum(a.v)"] == 4
+        assert row["avg(a.v)"] == 2
+        assert row["count(a.v)"] == 2
+        assert row["count(*)"] == 3
+
+    def test_empty_input_without_groups_single_row(self):
+        query = (
+            QueryBuilder("agg")
+            .scan("t", alias="a")
+            .aggregate(AggregateFunction.SUM, "a.v")
+            .aggregate(AggregateFunction.COUNT)
+            .build()
+        )
+        result = VectorizedExecutor(query, {"t": []}).execute(self.aggregate_plan())
+        assert result.rows == [{"sum(a.v)": None, "count(*)": 0}]
+
+    def test_multi_column_grouping(self):
+        query = (
+            QueryBuilder("agg")
+            .scan("t", alias="a")
+            .group_by("a.g", "a.h")
+            .aggregate(AggregateFunction.MAX, "a.v")
+            .select("a.g", "a.h")
+            .build()
+        )
+        data = {
+            "t": [
+                {"g": 1, "h": 1, "v": 5},
+                {"g": 1, "h": 2, "v": 7},
+                {"g": 1, "h": 1, "v": 6},
+            ]
+        }
+        result = VectorizedExecutor(query, data, batch_size=2).execute(self.aggregate_plan())
+        by_key = {(row["a.g"], row["a.h"]): row["max(a.v)"] for row in result.rows}
+        assert by_key == {(1, 1): 6, (1, 2): 7}
+
+
+class TestProjectionPruning:
+    def test_projected_query_prunes_unreferenced_columns(self):
+        query = QueryBuilder("q").scan("t", alias="a").select("a.k").build()
+        data = {"t": [{"k": 1, "unused": 9}]}
+        result = VectorizedExecutor(query, data).execute(scan_plan("a"))
+        assert result.rows == [{"a.k": 1}]
+
+    def test_bare_query_keeps_every_column(self):
+        query = QueryBuilder("q").scan("t", alias="a").build()
+        data = {"t": [{"k": 1, "other": 9}]}
+        result = VectorizedExecutor(query, data).execute(scan_plan("a"))
+        assert result.rows == [{"a.k": 1, "a.other": 9}]

@@ -15,7 +15,7 @@ from repro.streams.linear_road import (
     linear_road_catalog,
     segtolls_query,
 )
-from repro.workloads.queries import q3s, q5, workload_join_queries
+from repro.workloads.queries import q3s, workload_join_queries
 from repro.workloads.tpch import (
     catalog_from_data,
     generate_tpch_data,
@@ -80,9 +80,7 @@ class TestOptimizeThenExecute:
 class TestStreamingEndToEnd:
     def test_adaptive_matches_static_results_and_reports_overheads(self):
         query = segtolls_query()
-        generator = LinearRoadGenerator(
-            GeneratorConfig(reports_per_second=15, cars=60, seed=17)
-        )
+        generator = LinearRoadGenerator(GeneratorConfig(reports_per_second=15, cars=60, seed=17))
         slices = generator.generate_slices(6, 1.0)
         adaptive = AdaptiveController(
             query, linear_road_catalog(), mode=AdaptationMode.INCREMENTAL
@@ -96,9 +94,7 @@ class TestStreamingEndToEnd:
             mode=AdaptationMode.STATIC,
             static_plan=static_plan,
         ).run(slices)
-        assert [r.output_rows for r in adaptive.reports] == [
-            r.output_rows for r in static.reports
-        ]
+        assert [r.output_rows for r in adaptive.reports] == [r.output_rows for r in static.reports]
         assert adaptive.total_reoptimize_seconds > 0
         assert static.total_reoptimize_seconds == 0
 
@@ -112,9 +108,7 @@ class TestPruningDoesNotChangeResults:
         for config in (PruningConfig.none(), PruningConfig.evita_raced(), PruningConfig.full()):
             plan = DeclarativeOptimizer(query, catalog, pruning=config).optimize().plan
             rows = PlanExecutor(query, data).execute(plan).rows
-            key = sorted(
-                (row["lineitem.l_orderkey"], row["orders.o_orderdate"]) for row in rows
-            )
+            key = sorted((row["lineitem.l_orderkey"], row["orders.o_orderdate"]) for row in rows)
             if reference is None:
                 reference = key
             else:

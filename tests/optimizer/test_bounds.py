@@ -1,7 +1,5 @@
 """Tests for the recursive bounding state (Bound / ParentBound / MaxBound)."""
 
-import pytest
-
 from repro.optimizer.pruning.bounds import INFINITY, BoundsManager
 from repro.optimizer.tables import AndKey, OrKey
 from repro.relational.expressions import Expression

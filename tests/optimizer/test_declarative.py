@@ -84,9 +84,7 @@ class TestMetricsOfInitialRun:
         assert metrics.elapsed_seconds > 0
 
     def test_full_pruning_reduces_state(self, catalog_small):
-        result = DeclarativeOptimizer(
-            q5s(), catalog_small, pruning=PruningConfig.full()
-        ).optimize()
+        result = DeclarativeOptimizer(q5s(), catalog_small, pruning=PruningConfig.full()).optimize()
         assert result.metrics.pruning_ratio_or > 0.3
         assert result.metrics.pruning_ratio_and > 0.5
 

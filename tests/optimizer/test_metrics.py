@@ -31,7 +31,9 @@ class TestOptimizationMetrics:
 
     def test_as_dict_contains_all_ratios(self):
         keys = OptimizationMetrics().as_dict()
-        for name in ("pruning_ratio_or", "pruning_ratio_and", "update_ratio_or", "update_ratio_and"):
+        for name in (
+            "pruning_ratio_or", "pruning_ratio_and", "update_ratio_or", "update_ratio_and"
+        ):
             assert name in keys
 
 

@@ -46,16 +46,12 @@ class TestPruningPower:
         with_refcount = DeclarativeOptimizer(
             query, catalog_small, pruning=PruningConfig.aggsel_refcount()
         ).optimize()
-        full = DeclarativeOptimizer(
-            query, catalog_small, pruning=PruningConfig.full()
-        ).optimize()
+        full = DeclarativeOptimizer(query, catalog_small, pruning=PruningConfig.full()).optimize()
         assert with_refcount.metrics.or_nodes_pruned >= aggsel.metrics.or_nodes_pruned
         assert full.metrics.and_nodes_pruned >= aggsel.metrics.and_nodes_pruned
 
     def test_no_pruning_keeps_every_alternative(self, catalog_small):
-        result = DeclarativeOptimizer(
-            q3s(), catalog_small, pruning=PruningConfig.none()
-        ).optimize()
+        result = DeclarativeOptimizer(q3s(), catalog_small, pruning=PruningConfig.none()).optimize()
         assert result.metrics.and_nodes_pruned == 0
         assert result.metrics.pruning_ratio_and == 0.0
 
@@ -67,9 +63,7 @@ class TestPruningPower:
         evita = DeclarativeOptimizer(
             query, catalog_small, pruning=PruningConfig.evita_raced()
         ).optimize()
-        full = DeclarativeOptimizer(
-            query, catalog_small, pruning=PruningConfig.full()
-        ).optimize()
+        full = DeclarativeOptimizer(query, catalog_small, pruning=PruningConfig.full()).optimize()
         assert evita.metrics.or_nodes_pruned == 0
         assert full.metrics.or_nodes_pruned > 0
         assert full.metrics.pruning_ratio_and >= evita.metrics.pruning_ratio_and

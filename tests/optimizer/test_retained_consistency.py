@@ -71,9 +71,7 @@ def test_reoptimize_matches_scratch_after_refcount_kills(config_name):
 def test_repeated_reoptimization_stays_consistent():
     """Several rounds of changes keep retained state consistent throughout."""
     catalog = tpch_catalog(0.01)
-    optimizer = DeclarativeOptimizer(
-        q5s(), catalog, pruning=PruningConfig.aggsel_refcount()
-    )
+    optimizer = DeclarativeOptimizer(q5s(), catalog, pruning=PruningConfig.aggsel_refcount())
     optimizer.optimize()
     expressions = q5_expression_chain()
     for label, factor in [("D", 2.0), ("B", 8.0), ("D", 0.5), ("E", 4.0)]:

@@ -28,9 +28,7 @@ class TestPhysicalProperty:
         assert not sorted_prop.satisfies(PhysicalProperty.sorted_on(ColumnRef("o", "other")))
 
     def test_any_does_not_satisfy_sorted(self):
-        assert not ANY_PROPERTY.satisfies(
-            PhysicalProperty.sorted_on(ColumnRef("o", "o_custkey"))
-        )
+        assert not ANY_PROPERTY.satisfies(PhysicalProperty.sorted_on(ColumnRef("o", "o_custkey")))
 
     def test_indexed_distinct_from_sorted(self):
         column = ColumnRef("l", "l_orderkey")

@@ -5,9 +5,7 @@ from hypothesis import strategies as st
 
 from repro.relational.expressions import Expression
 
-alias_sets = st.sets(
-    st.sampled_from(["a", "b", "c", "d", "e", "f"]), min_size=1, max_size=6
-)
+alias_sets = st.sets(st.sampled_from(["a", "b", "c", "d", "e", "f"]), min_size=1, max_size=6)
 
 
 @given(alias_sets)

@@ -82,9 +82,7 @@ class TestSchema:
             schema.add_index(Index("idx", "missing", "a"))
 
     def test_duplicate_index_rejected(self):
-        schema = Schema(
-            tables=[Table("t", [Column("a")])], indexes=[Index("idx", "t", "a")]
-        )
+        schema = Schema(tables=[Table("t", [Column("a")])], indexes=[Index("idx", "t", "a")])
         with pytest.raises(SchemaError):
             schema.add_index(Index("idx", "t", "a"))
 

@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.sql.cli import build_session, main, run_statement
 
 
@@ -53,3 +51,38 @@ class TestMain:
         code = main(["-c", "SELECT r_name FROM region"])
         assert code == 1
         assert "no data loaded" in capsys.readouterr().err
+
+
+class TestEngineFlag:
+    def test_engine_row_reported_by_explain_analyze(self, capsys):
+        code = main(
+            [
+                "--data-scale",
+                "0.0002",
+                "--engine",
+                "row",
+                "-c",
+                "EXPLAIN ANALYZE SELECT r_name FROM region",
+            ]
+        )
+        assert code == 0
+        assert "engine: row" in capsys.readouterr().out
+
+    def test_engine_defaults_to_vectorized(self, capsys):
+        code = main(["--data-scale", "0.0002", "-c", "EXPLAIN ANALYZE SELECT r_name FROM region"])
+        assert code == 0
+        assert "engine: vectorized" in capsys.readouterr().out
+
+    def test_batch_size_flag_accepted(self, capsys):
+        code = main(
+            [
+                "--data-scale",
+                "0.0002",
+                "--batch-size",
+                "16",
+                "-c",
+                "SELECT r_name FROM region LIMIT 1",
+            ]
+        )
+        assert code == 0
+        assert "(1 row)" in capsys.readouterr().out

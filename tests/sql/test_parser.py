@@ -58,9 +58,7 @@ class TestPredicates:
 
     def test_theta_operators(self):
         for op in ("<", "<=", ">", ">=", "!=", "="):
-            statement = parse_select(
-                f"SELECT a FROM t, u WHERE t.a {op} u.b"
-            )
+            statement = parse_select(f"SELECT a FROM t, u WHERE t.a {op} u.b")
             assert statement.predicates[0].op == op
 
     def test_diamond_normalized_to_bang_equals(self):
@@ -77,9 +75,7 @@ class TestPredicates:
         assert statement.predicates[0].right.value == "BUILDING"
 
     def test_selectivity_hint(self):
-        statement = parse_select(
-            "SELECT a FROM t WHERE a = 2 /*+ selectivity=0.2 */"
-        )
+        statement = parse_select("SELECT a FROM t WHERE a = 2 /*+ selectivity=0.2 */")
         assert statement.predicates[0].selectivity_hint == 0.2
 
     def test_malformed_hint_rejected(self):
@@ -112,15 +108,11 @@ class TestJoinSyntax:
         assert len(statement.predicates) == 2
 
     def test_join_on_conjunction(self):
-        statement = parse_select(
-            "SELECT a FROM t JOIN u ON t.a = u.a AND t.b = u.b"
-        )
+        statement = parse_select("SELECT a FROM t JOIN u ON t.a = u.a AND t.b = u.b")
         assert len(statement.predicates) == 2
 
     def test_mixed_comma_and_join(self):
-        statement = parse_select(
-            "SELECT a FROM t, u JOIN v ON u.x = v.x WHERE t.y = u.y"
-        )
+        statement = parse_select("SELECT a FROM t, u JOIN v ON u.x = v.x WHERE t.y = u.y")
         assert len(statement.tables) == 3
         assert len(statement.predicates) == 2
 
@@ -143,9 +135,7 @@ class TestAggregatesGroupingOrdering:
             parse_select("SELECT SUM(*) FROM lineitem")
 
     def test_order_by_and_limit(self):
-        statement = parse_select(
-            "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10"
-        )
+        statement = parse_select("SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10")
         assert statement.order_by[0].descending
         assert not statement.order_by[1].descending
         assert statement.limit == 10

@@ -36,9 +36,7 @@ class TestLoweringStages:
     def test_optimize_returns_plan(self, stats_session):
         result = stats_session.optimize(Q3S_SQL)
         assert result.cost > 0
-        assert result.plan.expression.aliases == frozenset(
-            {"customer", "orders", "lineitem"}
-        )
+        assert result.plan.expression.aliases == frozenset({"customer", "orders", "lineitem"})
 
 
 class TestSelectExecution:
@@ -49,11 +47,14 @@ class TestSelectExecution:
         catalog = data_session.catalog
         plan = DeclarativeOptimizer(query, catalog).optimize().plan
         reference = PlanExecutor(query, dataset).execute(plan)
-        key = lambda row: (
-            row["lineitem.l_orderkey"],
-            row["orders.o_orderdate"],
-            row["orders.o_shippriority"],
-        )
+
+        def key(row):
+            return (
+                row["lineitem.l_orderkey"],
+                row["orders.o_orderdate"],
+                row["orders.o_shippriority"],
+            )
+
         assert sorted(map(key, result.rows)) == sorted(map(key, reference.rows))
         assert result.columns == [
             "lineitem.l_orderkey",
@@ -78,9 +79,7 @@ class TestSelectExecution:
         assert all(row["count(*)"] > 0 for row in result.rows)
 
     def test_order_by_column_outside_select_list(self, data_session):
-        result = data_session.execute(
-            "SELECT c_name FROM customer ORDER BY c_acctbal LIMIT 10"
-        )
+        result = data_session.execute("SELECT c_name FROM customer ORDER BY c_acctbal LIMIT 10")
         assert result.row_count == 10
         assert all(set(row) == {"customer.c_name"} for row in result.rows)
 
@@ -144,6 +143,32 @@ class TestAggregateObservedCardinality:
             execution.operator_cardinalities[aggregate_keys[0]]
             <= execution.operator_cardinalities[scan_keys[0]]
         )
+
+
+class TestEngineSelection:
+    def test_vectorized_is_default(self, data_session):
+        assert data_session.engine == "vectorized"
+        result = data_session.execute("EXPLAIN ANALYZE SELECT c_name FROM customer")
+        assert "engine: vectorized" in result.plan_text
+        assert result.execution.engine == "vectorized"
+
+    def test_row_engine_selectable(self, dataset):
+        session = Session(catalog_from_data(dataset), data=dataset, engine="row")
+        result = session.execute("EXPLAIN ANALYZE SELECT c_name FROM customer")
+        assert "engine: row" in result.plan_text
+        assert result.execution.engine == "row"
+
+    def test_unknown_engine_rejected(self, dataset):
+        with pytest.raises(SqlError) as excinfo:
+            Session(catalog_from_data(dataset), data=dataset, engine="gpu")
+        assert "gpu" in str(excinfo.value)
+
+    def test_batch_size_forwarded(self, dataset):
+        session = Session(
+            catalog_from_data(dataset), data=dataset, engine="vectorized", batch_size=7
+        )
+        result = session.execute("SELECT c_name FROM customer LIMIT 3")
+        assert result.row_count == 3
 
 
 class TestStatementNaming:

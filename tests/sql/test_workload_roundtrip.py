@@ -56,10 +56,7 @@ def test_optimized_plan_cost_identical(name, catalog):
     sql_result = DeclarativeOptimizer(sql, catalog).optimize()
     built_result = DeclarativeOptimizer(built, catalog).optimize()
     assert sql_result.cost == pytest.approx(built_result.cost, rel=1e-12)
-    assert (
-        sql_result.plan.join_order_signature()
-        == built_result.plan.join_order_signature()
-    )
+    assert sql_result.plan.join_order_signature() == built_result.plan.join_order_signature()
 
 
 @pytest.mark.parametrize("name", sorted(ALL_SQL))

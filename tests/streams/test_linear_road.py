@@ -1,7 +1,5 @@
 """Tests for the Linear Road-style stream workload."""
 
-import pytest
-
 from repro.streams.linear_road import (
     GeneratorConfig,
     LinearRoadGenerator,
