@@ -1,0 +1,213 @@
+"""Plan cache: cold (parse→bind→optimize→execute) vs cached execute latency.
+
+Every workload query is executed through :class:`repro.api.Database` twice
+over the same generated TPC-H data:
+
+* **cold** — the plan cache is cleared first, so the statement pays the full
+  parse → bind → optimize pipeline before executing;
+* **cached** — the statement re-executes against the warm cache, so only
+  normalization, a cache lookup and the engine run remain.
+
+The per-query ``speedup`` (cold / cached) is what the CI gate tracks: it is
+the fraction of statement latency the optimizer pipeline was responsible
+for, a machine-stable ratio.  A parameterized variant of each query runs with
+fresh parameter values on the cached pass, proving re-binding parameters does
+not re-plan.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_plan_cache [--quick]
+
+or through pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_plan_cache.py \
+        -o python_files=bench_*.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional
+
+import pytest
+
+import repro
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from repro.workloads.sql_queries import PREPARED_SQL, WORKLOAD_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data
+
+BENCH_NAME = "bench_plan_cache"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_plan_cache.json")
+
+DEFAULT_SCALE = 0.001
+QUICK_SCALE = 0.0005
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+
+QUERY_NAMES = sorted(WORKLOAD_SQL)
+
+
+def prepare(scale: float, seed: int = 7) -> repro.Database:
+    data = generate_tpch_data(scale_factor=scale, seed=seed)
+    return repro.connect(catalog_from_data(data), data).database
+
+
+def time_execute(database: repro.Database, sql: str, repeats: int, cold: bool) -> float:
+    """Best-of-N statement latency; cold clears the plan cache every round."""
+    best: Optional[float] = None
+    for _ in range(repeats):
+        if cold:
+            database.plan_cache.clear()
+        else:
+            database.execute(sql)  # ensure the entry is warm
+        started = time.perf_counter()
+        database.execute(sql)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = 7) -> Dict:
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    database = prepare(scale, seed)
+    queries: Dict[str, Dict[str, float]] = {}
+    totals = {"cold": 0.0, "cached": 0.0}
+    for name in QUERY_NAMES:
+        sql = WORKLOAD_SQL[name]
+        cold = time_execute(database, sql, repeats, cold=True)
+        cached = time_execute(database, sql, repeats, cold=False)
+        totals["cold"] += cold
+        totals["cached"] += cached
+        queries[name] = {
+            "cold_ms": cold * 1000,
+            "cached_ms": cached * 1000,
+            "speedup": cold / cached if cached > 0 else 0.0,
+        }
+    speedups = [entry["speedup"] for entry in queries.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "queries": queries,
+        "summary": {
+            "total_cold_ms": totals["cold"] * 1000,
+            "total_cached_ms": totals["cached"] * 1000,
+            "total_speedup": totals["cold"] / totals["cached"]
+            if totals["cached"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+            "plan_cache": database.stats()["plan_cache"],
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name in QUERY_NAMES:
+        entry = report["queries"][name]
+        rows.append((name, entry["cold_ms"], entry["cached_ms"], f"{entry['speedup']:.2f}x"))
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_cold_ms"],
+            summary["total_cached_ms"],
+            f"{summary['total_speedup']:.2f}x",
+        )
+    )
+    title = (
+        f"Cold vs plan-cached execution ({report['mode']} mode, scale "
+        f"{report['scale']}, best of {report['repeats']}) — geomean speedup "
+        f"{summary['geomean_speedup']:.2f}x"
+    )
+    return format_table(title, ["query", "cold ms", "cached ms", "speedup"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cache_database():
+    return prepare(QUICK_SCALE)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+def test_cached_execute(benchmark, cache_database, query_name):
+    sql = WORKLOAD_SQL[query_name]
+    cache_database.execute(sql)  # warm
+
+    def run():
+        return cache_database.execute(sql)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.from_cache
+
+
+@pytest.mark.parametrize("name", sorted(PREPARED_SQL))
+def test_parameterized_cached_execution(cache_database, name):
+    """Changing parameter values must not re-plan (cache still hits)."""
+    sql, params = PREPARED_SQL[name]
+    cache_database.execute(sql, params)
+    shifted = tuple(
+        value + 1 if isinstance(value, (int, float)) else value for value in params
+    )
+    result = cache_database.execute(sql, shifted)
+    assert result.from_cache is True
+
+
+def test_plan_cache_report(benchmark):
+    """Emit the cold/cached latency table + BENCH json (quick mode)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("plan_cache", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    assert report["summary"]["geomean_speedup"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="cold vs plan-cached statement latency benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("plan_cache", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,12 +1,14 @@
 """SQL frontend walk-through: query text all the way to rows and EXPLAIN.
 
-The same Q3S walk-through as ``quickstart.py``, but entered through the new
-SQL layer instead of hand-built ``QueryBuilder`` plumbing:
+The same Q3S walk-through as ``quickstart.py``, but entered through the
+DB-API surface instead of hand-built ``QueryBuilder`` plumbing:
 
-1. a statistics-only session plans and EXPLAINs against the analytic catalog,
-2. a data-backed session executes SELECTs and shows EXPLAIN ANALYZE with
-   estimated vs. observed cardinalities — the estimation error that drives
-   the paper's incremental re-optimizer.
+1. a statistics-only database plans and EXPLAINs against the analytic
+   catalog,
+2. positioned error messages point a caret at the offending token,
+3. a data-backed database executes SELECTs (prepared, with parameters) and
+   shows EXPLAIN ANALYZE with estimated vs. observed cardinalities — the
+   estimation error that drives the paper's incremental re-optimizer.
 
 Run with::
 
@@ -15,33 +17,42 @@ Run with::
 
 from __future__ import annotations
 
-from repro.sql import Session
+import repro
 from repro.workloads.sql_queries import Q3S_SQL
 from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_catalog
 
 
 def main() -> None:
-    print("=== 1. Statistics-only session: plan from text ===")
-    stats_session = Session(tpch_catalog(scale_factor=0.01))
-    print(stats_session.execute("EXPLAIN " + Q3S_SQL).plan_text)
+    print("=== 1. Statistics-only database: plan from text ===")
+    stats_conn = repro.connect(tpch_catalog(scale_factor=0.01))
+    print(stats_conn.database.execute("EXPLAIN " + Q3S_SQL).plan_text)
 
     print("\n=== 2. Positioned error messages ===")
     try:
-        stats_session.execute("SELECT c_custky FROM customer")
-    except Exception as error:  # SqlBindingError
+        stats_conn.execute("SELECT c_custky FROM customer")
+    except repro.SqlError as error:
         print(error)
 
-    print("\n=== 3. Data-backed session: execute for real ===")
+    print("\n=== 3. Data-backed database: execute for real ===")
     data = generate_tpch_data(scale_factor=0.0005, seed=3)
-    session = Session(catalog_from_data(data), data=data)
-    result = session.execute(
+    conn = repro.connect(catalog_from_data(data), data)
+    cur = conn.execute(
         "SELECT c_mktsegment, COUNT(*), AVG(c_acctbal) FROM customer "
         "GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 5"
     )
-    print(result)
+    print("\t".join(name for name, *_ in cur.description))
+    for row in cur:
+        print("\t".join(str(value) for value in row))
 
-    print("\n=== 4. EXPLAIN ANALYZE: estimated vs. observed cardinalities ===")
-    print(session.execute("EXPLAIN ANALYZE " + Q3S_SQL).plan_text)
+    print("\n=== 4. Prepared statement: parameters re-bind, the plan is cached ===")
+    sql = "SELECT c_name FROM customer WHERE c_mktsegment = ? LIMIT 3"
+    for segment in (0, 1, 2):
+        result = conn.database.execute(sql, (segment,))
+        print(f"segment {segment}: {result.row_count} rows "
+              f"(from_cache={result.from_cache})")
+
+    print("\n=== 5. EXPLAIN ANALYZE: estimated vs. observed cardinalities ===")
+    print(conn.database.execute("EXPLAIN ANALYZE " + Q3S_SQL).plan_text)
 
 
 if __name__ == "__main__":

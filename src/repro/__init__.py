@@ -5,18 +5,48 @@ The package implements a declarative, rule-based query optimizer whose state
 so that re-optimization after a statistics change only recomputes the affected
 portion of the search space.  It also ships the substrates that the paper's
 evaluation relies on: a cost model and catalog, Volcano- and System-R-style
-baseline optimizers, an in-memory execution engine, TPC-H-style and Linear
-Road-style workloads, and an adaptive query processing loop.
+baseline optimizers, two in-memory execution engines (row and vectorized
+columnar), TPC-H-style and Linear Road-style workloads, and an adaptive query
+processing loop.
 
-Quick start::
+The public entry point is DB-API-flavored::
 
-    from repro import DeclarativeOptimizer, tpch_catalog, q3s
+    import repro
 
-    optimizer = DeclarativeOptimizer(q3s(), tpch_catalog(scale_factor=0.01))
-    result = optimizer.optimize()
-    print(result.plan.pretty())
+    conn = repro.connect()
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INTEGER, b FLOAT, PRIMARY KEY (a))")
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [(1, 0.5), (2, 1.5)])
+    cur.execute("ANALYZE t")
+    print(cur.execute("SELECT a FROM t WHERE b > $1", (0.9,)).fetchall())
+
+``Database`` owns the catalog, stored columnar tables, the LRU plan cache
+and the adaptive monitor; ``Connection``/``Cursor`` are the PEP 249-style
+client surface.  The research internals (optimizers, engines, workloads)
+remain importable for experiments.
 """
 
+from repro.api import (
+    CachedPlan,
+    Connection,
+    Cursor,
+    Database,
+    PlanCache,
+    StatementResult,
+    connect,
+)
+from repro.common.errors import (
+    AdaptationError,
+    CatalogError,
+    ExecutionError,
+    OptimizationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SqlBindingError,
+    SqlError,
+    SqlSyntaxError,
+)
 from repro.engine import PlanExecutor, VectorizedExecutor, make_executor
 from repro.optimizer import (
     DeclarativeOptimizer,
@@ -28,6 +58,7 @@ from repro.optimizer import (
 from repro.relational import (
     ComparisonOp,
     Expression,
+    ParameterRef,
     PhysicalPlan,
     Query,
     QueryBuilder,
@@ -35,24 +66,49 @@ from repro.relational import (
 from repro.sql import Session, SqlResult
 from repro.workloads import q3s, q5, q5s, q8join, q8joins, q10, tpch_catalog
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    # DB-API surface
+    "connect",
+    "Database",
+    "Connection",
+    "Cursor",
+    "StatementResult",
+    "PlanCache",
+    "CachedPlan",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "CatalogError",
+    "QueryError",
+    "OptimizationError",
+    "ExecutionError",
+    "AdaptationError",
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlBindingError",
+    # optimizers
     "DeclarativeOptimizer",
     "OptimizationResult",
     "PruningConfig",
     "SystemROptimizer",
     "VolcanoOptimizer",
+    # relational substrate
     "ComparisonOp",
     "Expression",
+    "ParameterRef",
     "PhysicalPlan",
     "Query",
     "QueryBuilder",
+    # engines
     "PlanExecutor",
     "VectorizedExecutor",
     "make_executor",
+    # legacy facade
     "Session",
     "SqlResult",
+    # workloads
     "q3s",
     "q5",
     "q5s",

@@ -18,7 +18,7 @@ mirror the paper's Figure 10 series:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cost.overrides import StatisticsDelta
 from repro.engine.executor import ExecutionResult
@@ -59,8 +59,14 @@ class RuntimeMonitor:
         #: the statistics) converge, as in the paper's Figure 9.
         self.change_threshold = change_threshold
         self._history: Dict[Expression, ObservationHistory] = {}
+        #: per-query histories: a monitor shared across many statements keeps
+        #: each query's observations apart (same alias set, different filters
+        #: or parameter values must not pollute each other's estimates).
+        self._scoped: Dict[Tuple[str, Expression], ObservationHistory] = {}
         #: relation-count scaling: window sizes per alias observed per slice
         self._alias_rows: Dict[str, ObservationHistory] = {}
+        #: last-emitted values, keyed per consuming query so one consumer's
+        #: emission does not suppress another's (threshold state is per plan)
         self._last_emitted: Dict[object, float] = {}
         #: cumulative execution seconds per operator label across slices
         self._operator_seconds: Dict[str, float] = {}
@@ -70,8 +76,12 @@ class RuntimeMonitor:
     def record_execution(self, result: ExecutionResult) -> None:
         """Record every operator output cardinality from one slice's execution."""
         for expression, rows in result.observed_cardinalities.items():
-            history = self._history.setdefault(expression, ObservationHistory())
-            history.add(max(float(rows), self.minimum_rows))
+            value = max(float(rows), self.minimum_rows)
+            self._history.setdefault(expression, ObservationHistory()).add(value)
+            if result.query_name:
+                self._scoped.setdefault(
+                    (result.query_name, expression), ObservationHistory()
+                ).add(value)
         for operator_key, seconds in result.operator_timings.items():
             self._operator_seconds[operator_key] = (
                 self._operator_seconds.get(operator_key, 0.0) + seconds
@@ -84,8 +94,20 @@ class RuntimeMonitor:
 
     # -- reads ----------------------------------------------------------------
 
-    def observed(self, expression: Expression) -> Optional[float]:
-        history = self._history.get(expression)
+    def observed(
+        self, expression: Expression, query_name: Optional[str] = None
+    ) -> Optional[float]:
+        """The accumulated observation for *expression*.
+
+        With *query_name*, observations recorded under that query are
+        preferred (falling back to the global history), so consumers sharing
+        one monitor read their own query's behaviour.
+        """
+        history = None
+        if query_name is not None:
+            history = self._scoped.get((query_name, expression))
+        if history is None:
+            history = self._history.get(expression)
         if history is None:
             return None
         return history.mean if self.cumulative else history.latest
@@ -98,6 +120,10 @@ class RuntimeMonitor:
 
     def expressions(self) -> List[Expression]:
         return sorted(self._history, key=lambda expression: (len(expression), expression.name))
+
+    def observation_count(self) -> int:
+        """Total recorded observations across every expression."""
+        return sum(len(history.observations) for history in self._history.values())
 
     def operator_seconds(self) -> Dict[str, float]:
         """Total execution seconds per operator label, across recorded slices.
@@ -119,9 +145,18 @@ class RuntimeMonitor:
         ``update_table_cardinality`` with the declarative optimizer's
         signatures (the procedural baselines share them through
         :class:`~repro.optimizer.baselines.base.ProceduralOptimizerBase`).
+
+        Observations are scoped to the optimizer's own query: a monitor shared
+        across many statements (the Database-wide monitor of the DB-API layer)
+        only feeds each optimizer the aliases and expressions its query
+        actually contains.
         """
         deltas: List[StatisticsDelta] = []
+        query_name = optimizer.query.name
+        query_aliases = set(optimizer.query.aliases)
         for alias in sorted(self._alias_rows):
+            if alias not in query_aliases:
+                continue
             observed_rows = self.observed_alias_rows(alias)
             if observed_rows is None:
                 continue
@@ -134,16 +169,24 @@ class RuntimeMonitor:
             if base is None or base <= 0:
                 continue
             factor = max(observed_rows / base, 1e-6)
-            if not self._worth_emitting(("alias", alias), factor):
+            if not self._worth_emitting((query_name, "alias", alias), factor):
                 continue
             deltas.append(optimizer.update_table_cardinality(alias, factor))
-        for expression in self.expressions():
+        # Prefer the query's own recorded expressions; only a monitor whose
+        # executions carried no query name falls back to the global pool.
+        scoped = sorted(
+            {expr for (name, expr) in self._scoped if name == query_name},
+            key=lambda expr: (len(expr), expr.name),
+        )
+        for expression in scoped if scoped else self.expressions():
             if len(expression) < 2:
                 continue
-            observed_rows = self.observed(expression)
+            if not expression.aliases <= query_aliases:
+                continue
+            observed_rows = self.observed(expression, query_name)
             if observed_rows is None:
                 continue
-            if not self._worth_emitting(("expr", expression), observed_rows):
+            if not self._worth_emitting((query_name, "expr", expression), observed_rows):
                 continue
             if hasattr(optimizer, "observe_cardinality"):
                 deltas.append(optimizer.observe_cardinality(expression, observed_rows))

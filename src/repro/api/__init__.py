@@ -1,0 +1,82 @@
+"""The DB-API-style front door: ``repro.connect() → Connection → Cursor``.
+
+This package is the stable public surface over the whole stack::
+
+    import repro
+
+    conn = repro.connect()                      # empty database
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (a INTEGER, b FLOAT, PRIMARY KEY (a))")
+    cur.executemany("INSERT INTO t VALUES (?, ?)", [(1, 0.5), (2, 1.5)])
+    cur.execute("ANALYZE t")
+    for a, b in cur.execute("SELECT a, b FROM t WHERE b > $1", (0.9,)):
+        print(a, b)
+    print(conn.database.stats()["plan_cache"])  # hits/misses/invalidations
+
+The object graph is ``Database`` (catalog + stored tables + plan cache +
+adaptive monitor) → ``Connection`` (client handle, engine preferences) →
+``Cursor`` (statement execution + fetch surface).  :func:`connect` builds a
+database — empty, or around an existing catalog / data mapping — and returns
+its first connection; ``Database.connect()`` opens more.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.api.connection import Connection
+from repro.api.cursor import Cursor
+from repro.api.database import Database, StatementResult
+from repro.api.plan_cache import (
+    DEFAULT_PLAN_CACHE_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    normalize_statement,
+)
+from repro.catalog.catalog import Catalog
+from repro.engine import DEFAULT_ENGINE
+
+
+def connect(
+    catalog: Optional[Catalog] = None,
+    data: Optional[Mapping[str, Sequence[Mapping[str, object]]]] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    batch_size: Optional[int] = None,
+    pruning=None,
+    cost_parameters=None,
+    enumeration=None,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_CAPACITY,
+) -> Connection:
+    """Open a connection to a new in-process database.
+
+    With no arguments the database starts empty — create tables and load
+    data through SQL (``CREATE TABLE`` / ``INSERT`` / ``COPY`` / ``ANALYZE``).
+    An existing :class:`~repro.catalog.catalog.Catalog` and/or a mapping of
+    table name → row dicts may be supplied to wrap pre-built state (tables
+    without statistics are analyzed from the data automatically).
+    """
+    database = Database(
+        catalog,
+        data,
+        engine=engine,
+        batch_size=batch_size,
+        pruning=pruning,
+        cost_parameters=cost_parameters,
+        enumeration=enumeration,
+        plan_cache_size=plan_cache_size,
+    )
+    return database.connect()
+
+
+__all__ = [
+    "connect",
+    "Connection",
+    "Cursor",
+    "Database",
+    "StatementResult",
+    "PlanCache",
+    "CachedPlan",
+    "DEFAULT_PLAN_CACHE_CAPACITY",
+    "normalize_statement",
+]

@@ -1,0 +1,91 @@
+"""Connections: per-client views over one shared :class:`Database`.
+
+A :class:`Connection` carries client-side execution preferences (engine,
+batch size) and hands out :class:`~repro.api.cursor.Cursor`\\ s.  All schema,
+data, statistics, plan-cache and monitor state lives on the
+:class:`~repro.api.database.Database`, so DDL performed through one
+connection is immediately visible to every other connection of the same
+database.
+
+The store is in-process and executions are synchronous, so ``commit`` is an
+accepted no-op (autocommit semantics) and ``rollback`` is unsupported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.api.cursor import Cursor
+from repro.api.database import Database, StatementResult
+from repro.common.errors import ExecutionError, SqlError
+from repro.engine import validate_engine
+
+
+class Connection:
+    """A client handle on a database: cursors + execution preferences."""
+
+    def __init__(
+        self,
+        database: Database,
+        engine: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if engine is not None:
+            try:
+                validate_engine(engine)
+            except ExecutionError as error:
+                raise SqlError(str(error)) from error
+        self.database = database
+        self.engine = engine
+        self.batch_size = batch_size
+        self._closed = False
+
+    # -- cursors ---------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, parameters: Optional[Sequence[object]] = None) -> Cursor:
+        """Convenience: open a cursor and execute in one call (sqlite3-style)."""
+        return self.cursor().execute(sql, parameters)
+
+    def executescript(self, script: str) -> List[StatementResult]:
+        """Run a ``;``-separated script; returns every statement's result."""
+        self._check_open()
+        return self.database.execute_script(script)
+
+    def _execute(
+        self, sql: str, parameters: Optional[Sequence[object]]
+    ) -> StatementResult:
+        return self.database.execute(
+            sql, parameters, engine=self.engine, batch_size=self.batch_size
+        )
+
+    # -- transactions (autocommit store) ----------------------------------
+
+    def commit(self) -> None:
+        """No-op: the in-process store is autocommit."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        raise SqlError("rollback is not supported: the store is autocommit")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

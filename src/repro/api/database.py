@@ -1,0 +1,622 @@
+"""The :class:`Database`: one catalog, one store, one plan cache, one monitor.
+
+A ``Database`` is the stateful heart of the DB-API surface
+(:func:`repro.api.connect`).  It owns
+
+* the **catalog** — schema plus statistics, mutated by ``CREATE TABLE`` /
+  ``ANALYZE`` / loads and versioned so the plan cache can invalidate;
+* the **store** — per-table data.  Tables created through SQL live as
+  columnar :class:`~repro.engine.vectorized.columns.ColumnTable`\\ s (the
+  vectorized engine scans them zero-copy); data handed to
+  :func:`~repro.api.connect` as row dicts is kept as given;
+* the **plan cache** — memoized parse→bind→optimize work keyed on
+  normalized SQL + parameter signature (see :mod:`repro.api.plan_cache`);
+* the **adaptive monitor** — every execution's observed per-operator
+  cardinalities feed a :class:`~repro.adaptive.monitor.RuntimeMonitor`,
+  and :meth:`Database.refresh_cached_plans` turns those observations into
+  statistics deltas applied *incrementally* to each cached plan's own
+  optimizer — the paper's incremental re-optimization, kept alive across
+  cached (re-)executions.
+
+Statements are executed by :meth:`Database.execute`; connections and cursors
+(:mod:`repro.api.connection`, :mod:`repro.api.cursor`) are thin views over
+it.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adaptive.monitor import RuntimeMonitor
+from repro.api.plan_cache import (
+    DEFAULT_PLAN_CACHE_CAPACITY,
+    CachedPlan,
+    PlanCache,
+    normalize_statement,
+    parameter_signature,
+)
+from repro.catalog.catalog import Catalog
+from repro.common.errors import ExecutionError, SqlError
+from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
+from repro.engine.executor import ExecutionResult
+from repro.engine.vectorized.columns import ColumnTable
+from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
+from repro.relational.predicates import ParameterRef
+from repro.relational.query import Query
+from repro.relational.schema import DataType, Schema
+from repro.sql.ast import (
+    AnalyzeStatement,
+    CopyStatement,
+    CreateTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    SelectStatement,
+)
+from repro.sql.binder import Binder, query_parameter_count, value_matches_type
+from repro.sql.parser import Parser, split_statements, statement_has_parameters
+from repro.sql.render import explain_footer, explain_header, render_plan
+
+Row = Dict[str, object]
+
+
+@dataclass
+class StatementResult:
+    """Outcome of executing one statement through :meth:`Database.execute`.
+
+    ``statement`` is one of ``select`` / ``explain`` / ``explain analyze`` /
+    ``create table`` / ``insert`` / ``copy`` / ``analyze``.  ``rowcount``
+    follows DB-API conventions: rows returned for SELECT, rows affected for
+    INSERT/COPY, -1 otherwise.
+    """
+
+    statement: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Row] = field(default_factory=list)
+    rowcount: int = -1
+    query: Optional[Query] = None
+    optimization: Optional[OptimizationResult] = None
+    execution: Optional[ExecutionResult] = None
+    plan_text: Optional[str] = None
+    parameter_count: int = 0
+    from_cache: bool = False
+
+    @property
+    def plan(self):
+        return self.optimization.plan if self.optimization is not None else None
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        if self.plan_text is not None:
+            return self.plan_text
+        header = "\t".join(self.columns)
+        lines = [header] if header else []
+        for row in self.rows:
+            lines.append("\t".join(str(row.get(column)) for column in self.columns))
+        return "\n".join(lines)
+
+
+def output_columns(query: Query) -> List[str]:
+    """The result column names (qualified) a bound query produces."""
+    if query.has_aggregation:
+        columns = [str(column) for column in query.group_by]
+        columns += [str(aggregate) for aggregate in query.aggregates]
+        return columns
+    return [str(column) for column in query.projections]
+
+
+def shape_rows(query: Query, rows: List[Row], columns: List[str]) -> List[Row]:
+    """Order, limit and project the executor's output rows.
+
+    Sorting happens before projection so ORDER BY may reference columns
+    that are not in the SELECT list (for non-aggregated queries the
+    executor's rows carry every referenced qualified column).
+    """
+    shaped = list(rows)
+    for item in reversed(query.order_by):
+        key = str(item.column)
+        shaped.sort(
+            key=lambda row: (row.get(key) is None, row.get(key)),
+            reverse=item.descending,
+        )
+    if query.limit is not None:
+        shaped = shaped[: query.limit]
+    if columns:
+        shaped = [{column: row.get(column) for column in columns} for row in shaped]
+    return shaped
+
+
+_SELECT_KINDS = ("select", "explain", "explain analyze")
+
+#: csv text → stored value, per column type ('' loads as NULL).
+_CSV_CONVERTERS = {
+    DataType.INTEGER: int,
+    DataType.FLOAT: float,
+    DataType.DATE: int,
+    DataType.STRING: str,
+}
+
+
+class Database:
+    """One database instance: catalog + stored tables + plan cache + monitor."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        data: Optional[Mapping[str, Sequence[Row]]] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        batch_size: Optional[int] = None,
+        pruning=None,
+        cost_parameters=None,
+        enumeration=None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_CAPACITY,
+        cumulative_monitor: bool = True,
+    ) -> None:
+        try:
+            validate_engine(engine)
+        except ExecutionError as error:
+            raise SqlError(str(error)) from error
+        self.catalog = catalog if catalog is not None else Catalog(Schema())
+        self.engine = engine
+        self.batch_size = batch_size
+        self.pruning = pruning
+        self.cost_parameters = cost_parameters
+        self.enumeration = enumeration
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.monitor = RuntimeMonitor(cumulative=cumulative_monitor)
+        self._store: Dict[str, object] = dict(data) if data is not None else {}
+        self._statement_counter = 0
+        self._statement_counts: Dict[str, int] = {}
+        self._executions = 0
+        self._closed = False
+        # Tables handed over as data but lacking statistics get them computed
+        # up front, so EXPLAIN/optimization works without an explicit ANALYZE.
+        for name in self._store:
+            if self.catalog.schema.has_table(name) and not self.catalog.has_stats(name):
+                self.catalog.analyze_table(name, self.table_rows(name))
+
+    # -- connections -----------------------------------------------------
+
+    def connect(self, engine: Optional[str] = None, batch_size: Optional[int] = None):
+        """Open a :class:`~repro.api.connection.Connection` over this database."""
+        from repro.api.connection import Connection
+
+        return Connection(self, engine=engine, batch_size=batch_size)
+
+    def close(self) -> None:
+        self._closed = True
+        self.plan_cache.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- store access ----------------------------------------------------
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._store)
+
+    def table_rows(self, name: str) -> List[Row]:
+        """The stored rows of one table, materialized as dicts."""
+        stored = self._store.get(name)
+        if stored is None:
+            return []
+        if isinstance(stored, ColumnTable):
+            return stored.to_rows()
+        return list(stored)
+
+    def stored_row_count(self, name: str) -> int:
+        stored = self._store.get(name)
+        if stored is None:
+            return 0
+        if isinstance(stored, ColumnTable):
+            return stored.row_count
+        return len(stored)
+
+    @property
+    def store(self) -> Mapping[str, object]:
+        """The raw store the engines scan (rows or ColumnTables, by table)."""
+        return self._store
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self._store)
+
+    # -- the statement pipeline ------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        parameters: Optional[Sequence[object]] = None,
+        *,
+        engine: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> StatementResult:
+        """Run one statement (SELECT / EXPLAIN / DDL / DML) end-to-end."""
+        self._check_open()
+        params: Tuple[object, ...] = tuple(parameters) if parameters is not None else ()
+        kind, normalized = normalize_statement(sql)
+        if kind in _SELECT_KINDS:
+            result = self._execute_select_kind(sql, kind, normalized, params, engine, batch_size)
+        else:
+            result = self._execute_other(sql, params)
+        self._statement_counts[result.statement] = (
+            self._statement_counts.get(result.statement, 0) + 1
+        )
+        return result
+
+    def execute_script(
+        self, sql: str, parameters: Optional[Sequence[object]] = None
+    ) -> List[StatementResult]:
+        """Run a ``;``-separated script, one statement at a time.
+
+        *parameters* (if given) are passed to every statement that contains
+        placeholders; parameter-free statements run as-is, so one value set
+        can drive a mixed DDL/query script.
+        """
+        results = []
+        for text in split_statements(sql):
+            takes_params = statement_has_parameters(text)
+            results.append(self.execute(text, parameters if takes_params else None))
+        return results
+
+    def prepare(self, sql: str, parameters: Optional[Sequence[object]] = None) -> CachedPlan:
+        """Parse, bind and optimize *sql*, warming (or hitting) the plan cache.
+
+        *parameters* only contributes the type signature under which the plan
+        is cached; no execution happens.
+        """
+        self._check_open()
+        params: Tuple[object, ...] = tuple(parameters) if parameters is not None else ()
+        kind, normalized = normalize_statement(sql)
+        if kind not in _SELECT_KINDS:
+            raise SqlError("only SELECT (or EXPLAIN) statements can be prepared")
+        entry, _ = self._cached_plan(sql, normalized, params)
+        return entry
+
+    # -- adaptive feedback ------------------------------------------------
+
+    def refresh_cached_plans(self) -> int:
+        """Feed monitor observations to every cached plan, incrementally.
+
+        Each cache entry owns the declarative optimizer that produced its
+        plan; the monitor's observed cardinalities become statistics deltas
+        (scoped to the entry's own relations) and the entry's plan is
+        re-derived through ``reoptimize`` — the paper's incremental pass, not
+        a from-scratch re-optimization.  Returns how many plans changed cost.
+        """
+        self._check_open()
+        refreshed = 0
+        for entry in self.plan_cache.cached_plans():
+            deltas = self.monitor.produce_deltas(entry.optimizer)
+            if not deltas:
+                continue
+            before = entry.optimization.cost
+            entry.optimization = entry.optimizer.reoptimize(deltas)
+            if entry.optimization.cost != before:
+                refreshed += 1
+        return refreshed
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for tables, the plan cache, statements and the monitor."""
+        return {
+            "tables": {name: self.stored_row_count(name) for name in sorted(self._store)},
+            "catalog_version": self.catalog.version,
+            "plan_cache": self.plan_cache.stats(),
+            "statements": dict(self._statement_counts),
+            "executions": self._executions,
+            "monitor": {
+                "expressions": len(self.monitor.expressions()),
+                "observations": self.monitor.observation_count(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # SELECT / EXPLAIN
+    # ------------------------------------------------------------------
+
+    def _cached_plan(
+        self, sql: str, normalized: str, params: Tuple[object, ...]
+    ) -> Tuple[CachedPlan, bool]:
+        """The cached (or freshly planned) entry for one statement + hit flag."""
+        key = (normalized, parameter_signature(params))
+        entry = self.plan_cache.lookup(key, self.catalog.version)
+        if entry is not None:
+            return entry, True
+        statement = Parser(sql).parse_statement()
+        if isinstance(statement, ExplainStatement):
+            statement = statement.select
+        assert isinstance(statement, SelectStatement)
+        query = Binder(self.catalog, source=sql).bind(statement, self._next_name())
+        optimizer = DeclarativeOptimizer(
+            query,
+            self.catalog,
+            pruning=self.pruning,
+            cost_parameters=self.cost_parameters,
+            enumeration=self.enumeration,
+        )
+        optimization = optimizer.optimize()
+        entry = CachedPlan(
+            query=query,
+            optimization=optimization,
+            optimizer=optimizer,
+            parameter_count=query_parameter_count(query),
+            catalog_version=self.catalog.version,
+        )
+        self.plan_cache.store(key, entry)
+        return entry, False
+
+    def _execute_select_kind(
+        self,
+        sql: str,
+        kind: str,
+        normalized: str,
+        params: Tuple[object, ...],
+        engine: Optional[str],
+        batch_size: Optional[int],
+    ) -> StatementResult:
+        entry, cached = self._cached_plan(sql, normalized, params)
+        self._check_arity(entry.parameter_count, params)
+        self._check_parameter_types(entry.query, params)
+        query, optimization = entry.query, entry.optimization
+        if kind == "explain":
+            text = explain_header(query, optimization) + render_plan(optimization.plan)
+            return StatementResult(
+                "explain",
+                query=query,
+                optimization=optimization,
+                plan_text=text,
+                parameter_count=entry.parameter_count,
+                from_cache=cached,
+            )
+        execution = self._run_plan(query, optimization.plan, params, engine, batch_size)
+        self.monitor.record_execution(execution)
+        self._executions += 1
+        if kind == "explain analyze":
+            text = (
+                explain_header(query, optimization)
+                + render_plan(optimization.plan, execution)
+                + explain_footer(execution)
+            )
+            return StatementResult(
+                "explain analyze",
+                query=query,
+                optimization=optimization,
+                execution=execution,
+                plan_text=text,
+                parameter_count=entry.parameter_count,
+                from_cache=cached,
+            )
+        columns = output_columns(query)
+        rows = shape_rows(query, execution.rows, columns)
+        return StatementResult(
+            "select",
+            columns=columns,
+            rows=rows,
+            rowcount=len(rows),
+            query=query,
+            optimization=optimization,
+            execution=execution,
+            parameter_count=entry.parameter_count,
+            from_cache=cached,
+        )
+
+    def _run_plan(
+        self,
+        query: Query,
+        plan,
+        params: Tuple[object, ...],
+        engine: Optional[str],
+        batch_size: Optional[int],
+    ) -> ExecutionResult:
+        engine = engine if engine is not None else self.engine
+        batch_size = batch_size if batch_size is not None else self.batch_size
+        try:
+            executor = make_executor(
+                engine, query, self._store, batch_size=batch_size, parameters=params or None
+            )
+        except ExecutionError as error:  # e.g. an invalid batch_size
+            raise SqlError(str(error)) from error
+        return executor.execute(plan)
+
+    def _check_arity(self, expected: int, params: Tuple[object, ...]) -> None:
+        if len(params) != expected:
+            raise SqlError(
+                f"prepared statement expects {expected} "
+                f"parameter{'s' if expected != 1 else ''}, got {len(params)}"
+            )
+
+    def _check_parameter_types(self, query: Query, params: Tuple[object, ...]) -> None:
+        """Admission-check parameter values against their filter columns.
+
+        Catches mistyped parameters with a positioned-free but explicit
+        SqlError instead of letting a raw TypeError escape from the engine's
+        comparison loop.  Numeric columns accept int and float (comparisons
+        mix them fine); STRING columns require str; NULL never compares.
+        """
+        if not params:
+            return
+        schema = self.catalog.schema
+        for predicate in query.filters:
+            slot = predicate.value
+            if not isinstance(slot, ParameterRef):
+                continue
+            resolved = params[slot.index - 1]
+            if resolved is None:
+                raise SqlError(
+                    f"parameter ${slot.index} is NULL: a NULL comparison "
+                    f"({predicate}) matches no rows and is not supported"
+                )
+            table_name = query.relation(predicate.alias).table
+            if not schema.has_table(table_name):
+                continue
+            table = schema.table(table_name)
+            if not table.has_column(predicate.column.column):
+                continue
+            data_type = table.column(predicate.column.column).data_type
+            if data_type is DataType.STRING:
+                comparable = isinstance(resolved, str)
+            else:
+                comparable = isinstance(resolved, (int, float)) and not isinstance(
+                    resolved, bool
+                )
+            if not comparable:
+                raise SqlError(
+                    f"type mismatch for parameter ${slot.index} bound to "
+                    f"{predicate.column}: expected {data_type.value}, got {resolved!r}"
+                )
+
+    def _next_name(self) -> str:
+        self._statement_counter += 1
+        return f"sql-{self._statement_counter}"
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SqlError("database is closed")
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def _execute_other(self, sql: str, params: Tuple[object, ...]) -> StatementResult:
+        statement = Parser(sql).parse_statement()
+        binder = Binder(self.catalog, source=sql)
+        if isinstance(statement, CreateTableStatement):
+            self._check_arity(0, params)
+            return self._execute_create(binder, statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(binder, statement, params)
+        if isinstance(statement, CopyStatement):
+            self._check_arity(0, params)
+            return self._execute_copy(binder, statement)
+        if isinstance(statement, AnalyzeStatement):
+            self._check_arity(0, params)
+            return self._execute_analyze(binder, statement)
+        # A SELECT/EXPLAIN can't reach here (kind dispatch), so this is a
+        # statement the parser knows but the database does not.
+        raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_create(self, binder: Binder, statement: CreateTableStatement) -> StatementResult:
+        bound = binder.bind_create_table(statement)
+        self.catalog.create_table(bound.table, bound.indexes)
+        self._store[bound.table.name] = ColumnTable.with_columns(bound.table.column_names)
+        return StatementResult("create table")
+
+    def _execute_insert(
+        self, binder: Binder, statement: InsertStatement, params: Tuple[object, ...]
+    ) -> StatementResult:
+        bound = binder.bind_insert(statement)
+        self._check_arity(bound.parameter_count, params)
+        rows: List[Row] = []
+        for bound_row in bound.rows:
+            values: Row = {}
+            for name, value in zip(bound.columns, bound_row):
+                if isinstance(value, ParameterRef):
+                    resolved = params[value.index - 1]
+                    data_type = bound.table.column(name).data_type
+                    if not value_matches_type(resolved, data_type):
+                        raise SqlError(
+                            f"type mismatch for parameter ${value.index} bound to "
+                            f"column {name!r}: expected {data_type.value}, "
+                            f"got {resolved!r}"
+                        )
+                    value = resolved
+                values[name] = value
+            rows.append({name: values.get(name) for name in bound.table.column_names})
+        added = self._append_rows(bound.table.name, rows)
+        self.catalog.bump_row_count(bound.table.name, added)
+        return StatementResult("insert", rowcount=added)
+
+    def _execute_copy(self, binder: Binder, statement: CopyStatement) -> StatementResult:
+        bound = binder.bind_copy(statement)
+        table = bound.table
+        try:
+            with open(bound.path, newline="", encoding="utf-8") as handle:
+                reader = csv.reader(handle)
+                header = next(reader, None)
+                if header is None:
+                    raise SqlError(
+                        f"COPY {table.name}: {bound.path!r} is empty "
+                        "(expected a header row naming the columns)"
+                    )
+                header = [name.strip() for name in header]
+                converters = []
+                for name in header:
+                    if not table.has_column(name):
+                        raise SqlError(
+                            f"COPY {table.name}: CSV column {name!r} does not "
+                            f"exist in the table (columns: "
+                            f"{', '.join(table.column_names)})"
+                        )
+                    converters.append(_CSV_CONVERTERS[table.column(name).data_type])
+                rows: List[Row] = []
+                for line_number, record in enumerate(reader, start=2):
+                    if not record:
+                        continue  # blank line
+                    if len(record) != len(header):
+                        raise SqlError(
+                            f"COPY {table.name}: row at line {line_number} has "
+                            f"{len(record)} values, expected {len(header)}"
+                        )
+                    values: Row = {}
+                    for name, convert, text in zip(header, converters, record):
+                        if text == "":
+                            values[name] = None
+                            continue
+                        try:
+                            values[name] = convert(text)
+                        except ValueError:
+                            raise SqlError(
+                                f"COPY {table.name}: line {line_number}, column "
+                                f"{name!r}: cannot convert {text!r} to "
+                                f"{table.column(name).data_type.value}"
+                            ) from None
+                    rows.append({name: values.get(name) for name in table.column_names})
+        except OSError as error:
+            raise SqlError(f"COPY {table.name}: cannot read {bound.path!r}: {error}") from error
+        added = self._append_rows(table.name, rows)
+        # Bulk loads refresh the table's statistics (row count + histograms)
+        # from the full stored contents; the catalog version bump invalidates
+        # any plan cached against the pre-load statistics.
+        self.catalog.analyze_table(table.name, self.table_rows(table.name))
+        return StatementResult("copy", rowcount=added)
+
+    def _execute_analyze(self, binder: Binder, statement: AnalyzeStatement) -> StatementResult:
+        bound = binder.bind_analyze(statement)
+        if bound.table is not None:
+            targets = [bound.table.name]
+            if bound.table.name not in self._store:
+                raise SqlError(
+                    f"ANALYZE {bound.table.name}: no stored data for this table "
+                    "(load it with INSERT or COPY first)"
+                )
+        else:
+            targets = [
+                name for name in self._store if self.catalog.schema.has_table(name)
+            ]
+        for name in targets:
+            self.catalog.analyze_table(name, self.table_rows(name))
+        return StatementResult("analyze", rowcount=len(targets))
+
+    def _append_rows(self, name: str, rows: List[Row]) -> int:
+        stored = self._store.get(name)
+        if stored is None:
+            table = self.catalog.schema.table(name)
+            stored = self._store[name] = ColumnTable.with_columns(table.column_names)
+        if isinstance(stored, ColumnTable):
+            return stored.append_rows(rows)
+        if isinstance(stored, list):
+            stored.extend(rows)
+            return len(rows)
+        raise SqlError(
+            f"table {name!r} holds read-only data "
+            "(pass a mutable list, or load through SQL)"
+        )

@@ -1,0 +1,128 @@
+"""The prepared-statement plan cache.
+
+Parsing, binding and optimizing a statement is the expensive part of
+executing SQL text (the optimizer enumerates a join order search space); the
+:class:`PlanCache` memoizes that work per :class:`~repro.api.database.Database`
+so re-executing a statement — prepared or not — skips straight to the
+execution engine.
+
+Keys are ``(normalized SQL, parameter signature)``:
+
+* *normalized SQL* comes from the lexer, so formatting, comments and keyword
+  case do not fragment the cache (``select 1`` and ``SELECT  1`` share an
+  entry).  A leading ``EXPLAIN [ANALYZE]`` is stripped — explaining a query
+  warms the cache for executing it;
+* the *parameter signature* is the tuple of Python type names of the supplied
+  parameters, so the same text re-prepared with different value types plans
+  independently.
+
+Entries are stamped with the catalog version they were planned against;
+any DDL or statistics change bumps that version and stale entries are
+dropped (and counted as invalidations) on their next lookup.  Eviction is
+LRU.  Each entry keeps its (incrementally re-optimizable) optimizer alive,
+so observed-cardinality feedback can refresh a cached plan *in place* —
+the paper's incremental re-optimization applied to a plan cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
+from repro.relational.query import Query
+from repro.sql.parser import normalize_statement
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE_CAPACITY",
+    "normalize_statement",
+    "parameter_signature",
+]
+
+#: Default number of cached plans per Database.
+DEFAULT_PLAN_CACHE_CAPACITY = 64
+
+CacheKey = Tuple[str, Tuple[str, ...]]
+
+
+def parameter_signature(parameters: Tuple[object, ...]) -> Tuple[str, ...]:
+    """The cache-key component describing the supplied parameter types."""
+    return tuple(type(value).__name__ for value in parameters)
+
+
+@dataclass
+class CachedPlan:
+    """One memoized parse→bind→optimize outcome.
+
+    ``optimizer`` is the entry's own incrementally-maintained optimizer;
+    :meth:`~repro.api.database.Database.refresh_cached_plans` feeds it
+    observed-cardinality deltas and swaps ``optimization`` in place.
+    """
+
+    query: Query
+    optimization: OptimizationResult
+    optimizer: DeclarativeOptimizer
+    parameter_count: int
+    catalog_version: int
+
+
+class PlanCache:
+    """A size-bounded LRU of :class:`CachedPlan` entries."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0 (0 disables caching)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def lookup(self, key: CacheKey, catalog_version: int) -> Optional[CachedPlan]:
+        """The live entry for *key*, or None (counting hit/miss/invalidation)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.catalog_version != catalog_version:
+            del self._entries[key]
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: CacheKey, entry: CachedPlan) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def cached_plans(self) -> List[CachedPlan]:
+        """Current entries, least recently used first."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

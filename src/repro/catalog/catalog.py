@@ -15,11 +15,55 @@ from repro.relational.schema import Index, Schema, Table
 
 
 class Catalog:
-    """Schema + statistics + index metadata for one database instance."""
+    """Schema + statistics + index metadata for one database instance.
+
+    ``version`` increments on every schema or statistics mutation; plan
+    caches key their entries on it so a DDL or statistics change invalidates
+    every plan built against the older catalog state.
+    """
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._stats: Dict[str, TableStats] = {}
+        self.version = 0
+
+    # -- schema mutation (DDL) --------------------------------------------
+
+    def create_table(self, table: Table, indexes: Sequence[Index] = ()) -> None:
+        """Register a new table (and its indexes) created through DDL."""
+        self.schema.add_table(table)
+        for index in indexes:
+            self.schema.add_index(index)
+        # A created table starts empty; give it zero-row statistics so the
+        # optimizer can plan against it before any ANALYZE.
+        self._stats[table.name] = TableStats(row_count=0.0)
+        self.version += 1
+
+    # -- statistics maintenance -------------------------------------------
+
+    def analyze_table(
+        self,
+        table: str,
+        rows: Sequence[Mapping[str, object]],
+        bucket_count: int = 16,
+    ) -> TableStats:
+        """(Re)build a table's statistics — row count and histograms — from rows."""
+        schema_table = self.schema.table(table)
+        stats = TableStats.from_rows(
+            rows, columns=schema_table.column_names, bucket_count=bucket_count
+        )
+        self._stats[table] = stats
+        self.version += 1
+        return stats
+
+    def bump_row_count(self, table: str, added_rows: float) -> float:
+        """Incrementally adjust a table's cardinality after appends."""
+        if table not in self._stats:
+            self._stats[table] = TableStats(row_count=0.0)
+        stats = self._stats[table]
+        stats.row_count = max(0.0, stats.row_count + float(added_rows))
+        self.version += 1
+        return stats.row_count
 
     # -- statistics ------------------------------------------------------
 
@@ -27,6 +71,7 @@ class Catalog:
         if not self.schema.has_table(table):
             raise CatalogError(f"cannot attach statistics to unknown table {table!r}")
         self._stats[table] = stats
+        self.version += 1
 
     def table_stats(self, table: str) -> TableStats:
         try:
@@ -47,6 +92,7 @@ class Catalog:
         """Overwrite a table's cardinality (used by adaptive feedback)."""
         stats = self.table_stats(table)
         stats.row_count = float(row_count)
+        self.version += 1
 
     # -- physical metadata ------------------------------------------------
 

@@ -35,16 +35,21 @@ def validate_engine(engine: str) -> str:
 def make_executor(
     engine: str,
     query,
-    data: Mapping[str, Sequence[Mapping[str, object]]],
+    data: Mapping[str, object],
     batch_size: Optional[int] = None,
+    parameters: Optional[Sequence[object]] = None,
 ):
-    """Construct the named execution engine over *query* and *data*."""
+    """Construct the named execution engine over *query* and *data*.
+
+    ``data`` values are row-dict sequences or stored ``ColumnTable`` columns;
+    ``parameters`` fills prepared-statement slots at execution time.
+    """
     validate_engine(engine)
     if engine == "row":
-        return PlanExecutor(query, data)
+        return PlanExecutor(query, data, parameters=parameters)
     if batch_size is None:
         batch_size = DEFAULT_BATCH_SIZE
-    return VectorizedExecutor(query, data, batch_size=batch_size)
+    return VectorizedExecutor(query, data, batch_size=batch_size, parameters=parameters)
 
 
 __all__ = [

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.relational.expressions import Expression
@@ -45,6 +45,10 @@ class ExecutionResult:
     operator_cardinalities: Dict[str, int] = field(default_factory=dict)
     #: which engine produced this result ("row" or "vectorized")
     engine: str = "row"
+    #: name of the query that ran — lets a monitor shared across many
+    #: statements (the Database-wide monitor) keep observations apart per
+    #: query instead of conflating same-alias expressions.
+    query_name: str = ""
 
     @property
     def row_count(self) -> int:
@@ -52,11 +56,24 @@ class ExecutionResult:
 
 
 class PlanExecutor:
-    """Executes physical plans over in-memory data."""
+    """Executes physical plans over in-memory data.
 
-    def __init__(self, query: Query, data: Mapping[str, Sequence[Mapping[str, object]]]) -> None:
+    ``data`` values may be row-dict sequences or columnar ``ColumnTable``
+    stores (anything exposing ``to_rows()``); the row engine materializes the
+    latter into rows at the scan.  ``parameters`` supplies the values for
+    prepared-statement slots (:class:`~repro.relational.predicates.ParameterRef`
+    filter constants) — the plan itself is reused unchanged.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        data: Mapping[str, object],
+        parameters: Optional[Sequence[object]] = None,
+    ) -> None:
         self.query = query
         self.data = data
+        self.parameters = parameters
 
     # ------------------------------------------------------------------
     # Entry point
@@ -64,7 +81,7 @@ class PlanExecutor:
 
     def execute(self, plan: PhysicalPlan) -> ExecutionResult:
         started = time.perf_counter()
-        result = ExecutionResult(rows=[], engine="row")
+        result = ExecutionResult(rows=[], engine="row", query_name=self.query.name)
         # Nodes are entered in pre-order, so consuming the pre-order key list
         # as the recursion descends assigns every node its stable label.
         self._keys: Iterator[str] = iter(plan.operator_keys())
@@ -110,11 +127,18 @@ class PlanExecutor:
             base_rows = self.data[relation.table]
         else:
             raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
-        filters = self.query.filters_for(alias)
+        if not isinstance(base_rows, (list, tuple)) and hasattr(base_rows, "to_rows"):
+            # A columnar store (ColumnTable): materialize rows at the scan.
+            base_rows = base_rows.to_rows()
+        # Prepared-statement slots resolve once per execution, not per row.
+        filters = [
+            (predicate, predicate.resolved_value(self.parameters))
+            for predicate in self.query.filters_for(alias)
+        ]
         output: Table = []
         for base_row in base_rows:
             keep = True
-            for predicate in filters:
+            for predicate, constant in filters:
                 name = predicate.column.column
                 if name not in base_row:
                     raise ExecutionError(
@@ -123,7 +147,7 @@ class PlanExecutor:
                         f"(table {relation.table!r})"
                     )
                 value = base_row[name]
-                if value is None or not predicate.evaluate(value):
+                if value is None or not predicate.op.evaluate(value, constant):
                     keep = False
                     break
             if keep:

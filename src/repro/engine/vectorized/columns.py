@@ -39,6 +39,35 @@ class ColumnTable:
     def empty(cls) -> "ColumnTable":
         return cls({}, 0)
 
+    @classmethod
+    def with_columns(cls, names: Sequence[str]) -> "ColumnTable":
+        """An empty table with a fixed column set (a stored base table)."""
+        return cls({name: [] for name in names}, 0)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Row], columns: Optional[Sequence[str]] = None
+    ) -> "ColumnTable":
+        """Pivot row dicts into columns (column set from *columns* or first row)."""
+        if columns is None:
+            columns = list(rows[0].keys()) if rows else []
+        table = cls.with_columns(columns)
+        table.append_rows(rows)
+        return table
+
+    # -- mutation (stored base tables only) -------------------------------
+
+    def append_rows(self, rows: Sequence[Row]) -> int:
+        """Append row dicts; missing keys fill with None.  Returns rows added.
+
+        This is the storage-side mutation used by INSERT/COPY.  Tables flowing
+        *between* operators stay immutable-by-convention.
+        """
+        for name, values in self.columns.items():
+            values.extend([row.get(name) for row in rows])
+        self.row_count += len(rows)
+        return len(rows)
+
     # -- access ----------------------------------------------------------
 
     def column(self, name: str) -> Optional[List[object]]:

@@ -56,14 +56,18 @@ class VectorizedExecutor:
     def __init__(
         self,
         query: Query,
-        data: Mapping[str, Sequence[Mapping[str, object]]],
+        data: Mapping[str, object],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        parameters: Optional[Sequence[object]] = None,
     ) -> None:
         if batch_size <= 0:
             raise ExecutionError("batch_size must be positive")
         self.query = query
         self.data = data
         self.batch_size = batch_size
+        #: prepared-statement slot values; plans with ParameterRef filter
+        #: constants are executed against these without any re-planning.
+        self.parameters = parameters
         #: with no declared outputs (bare builder queries) the row engine's
         #: "every column rides along" behaviour is kept; otherwise scans
         #: materialize only what the query references.
@@ -75,7 +79,7 @@ class VectorizedExecutor:
 
     def execute(self, plan: PhysicalPlan) -> ExecutionResult:
         started = time.perf_counter()
-        result = ExecutionResult(rows=[], engine="vectorized")
+        result = ExecutionResult(rows=[], engine="vectorized", query_name=self.query.name)
         # Pre-order key consumption mirrors PlanExecutor: identical labels.
         self._keys: Iterator[str] = iter(plan.operator_keys())
         view = self._execute_node(plan, result)
@@ -135,6 +139,10 @@ class VectorizedExecutor:
             base_rows = self.data[relation.table]
         else:
             raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
+        if isinstance(base_rows, ColumnTable):
+            # Stored columnar table: scan the column arrays directly, no
+            # row pivot at all (and zero-copy when there are no filters).
+            return self._scan_column_table(base_rows, alias, relation.table)
         if not base_rows:
             return ColumnTable.empty()
         if self._prune_columns:
@@ -189,7 +197,7 @@ class VectorizedExecutor:
             name = predicate.column.column
             values = [row.get(name, _MISSING) for row in batch]
             compare = predicate.op.comparator
-            constant = predicate.value
+            constant = predicate.resolved_value(self.parameters)
             surviving: List[int] = []
             append = surviving.append
             for index in selection:
@@ -208,6 +216,61 @@ class VectorizedExecutor:
             if not selection:
                 break
         return list(selection)
+
+    def _scan_column_table(self, stored: ColumnTable, alias: str, table: str) -> ColumnTable:
+        """Scan a stored columnar table without pivoting through rows.
+
+        Filters run straight over the stored column arrays with selection
+        vectors; the output gathers (or, filter-free, aliases zero-copy) only
+        the referenced columns.  Semantics match the row-dict scan path: a
+        filter on a column absent from the store raises, while a merely
+        referenced absent column reads as NULL.
+        """
+        if self._prune_columns:
+            names = [column.column for column in self.query.columns_of_alias(alias)]
+        else:
+            names = list(stored.columns)
+        filters = self.query.filters_for(alias)
+        selection: Optional[List[int]] = None
+        if filters:
+            sides = []
+            for predicate in filters:
+                values = stored.column(predicate.column.column)
+                if values is None:
+                    raise ExecutionError(
+                        f"filter {predicate} references column "
+                        f"{predicate.column.column!r} which is absent from the "
+                        f"data for alias {alias!r} (table {table!r})"
+                    )
+                sides.append(
+                    (values, predicate.op.comparator, predicate.resolved_value(self.parameters))
+                )
+            selection = []
+            extend = selection.extend
+            batch_size = self.batch_size
+            for start in range(0, stored.row_count, batch_size):
+                indices: Sequence[int] = range(start, min(start + batch_size, stored.row_count))
+                for values, compare, constant in sides:
+                    indices = [
+                        index
+                        for index in indices
+                        if values[index] is not None and compare(values[index], constant)
+                    ]
+                    if not indices:
+                        break
+                else:
+                    extend(indices)
+        row_count = stored.row_count if selection is None else len(selection)
+        output: Dict[str, List[object]] = {}
+        for name in names:
+            values = stored.column(name)
+            if values is None:
+                output[f"{alias}.{name}"] = [None] * row_count
+            elif selection is None:
+                output[f"{alias}.{name}"] = values
+            else:
+                output[f"{alias}.{name}"] = [values[index] for index in selection]
+        return ColumnTable(output, row_count)
 
     # ------------------------------------------------------------------
     # Sort enforcer

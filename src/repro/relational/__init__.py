@@ -2,7 +2,12 @@
 
 from repro.relational.expressions import ColumnRef, Expression
 from repro.relational.plan import LogicalOperator, PhysicalOperator, PhysicalPlan
-from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.predicates import (
+    ComparisonOp,
+    FilterPredicate,
+    JoinPredicate,
+    ParameterRef,
+)
 from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
 from repro.relational.query import (
     AggregateFunction,
@@ -25,6 +30,7 @@ __all__ = [
     "ComparisonOp",
     "FilterPredicate",
     "JoinPredicate",
+    "ParameterRef",
     "ANY_PROPERTY",
     "PhysicalProperty",
     "PropertyKind",

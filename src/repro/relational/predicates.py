@@ -5,7 +5,7 @@ from __future__ import annotations
 import operator
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, FrozenSet, Optional, Union
+from typing import Callable, FrozenSet, Optional, Sequence, Union
 
 from repro.common.errors import QueryError
 from repro.relational.expressions import ColumnRef, Expression
@@ -62,7 +62,28 @@ _COMPARATORS = {
     ComparisonOp.GE: operator.ge,
 }
 
-Value = Union[int, float, str]
+@dataclass(frozen=True)
+class ParameterRef:
+    """A placeholder for a prepared-statement parameter (1-based index).
+
+    A :class:`FilterPredicate` whose value is a ``ParameterRef`` belongs to a
+    prepared statement: the plan is built (and cached) once, and the engines
+    substitute the concrete value at execution time — no re-planning.
+    Selectivity estimation treats the value as unknown (non-numeric), falling
+    back to distinct-count / default heuristics.
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise QueryError("parameter indices are 1-based")
+
+    def __str__(self) -> str:
+        return f"${self.index}"
+
+
+Value = Union[int, float, str, ParameterRef]
 
 
 @dataclass(frozen=True)
@@ -71,6 +92,8 @@ class FilterPredicate:
 
     ``selectivity_hint`` lets a workload pin the selectivity directly instead
     of relying on histogram estimation (useful for deterministic tests).
+    The constant may be a :class:`ParameterRef`; such predicates must be
+    evaluated through :meth:`resolved_value` with the statement's parameters.
     """
 
     column: ColumnRef
@@ -86,11 +109,35 @@ class FilterPredicate:
     def alias(self) -> str:
         return self.column.alias
 
+    @property
+    def is_parameterized(self) -> bool:
+        return isinstance(self.value, ParameterRef)
+
+    def resolved_value(self, parameters: Optional[Sequence[object]]) -> object:
+        """The concrete comparison constant for one execution.
+
+        For a parameterized predicate, looks up the 1-based slot in
+        *parameters*; raises :class:`QueryError` when the slot is absent.
+        """
+        if not isinstance(self.value, ParameterRef):
+            return self.value
+        index = self.value.index
+        if parameters is None or index > len(parameters):
+            supplied = 0 if parameters is None else len(parameters)
+            raise QueryError(
+                f"predicate {self} references parameter ${index} but only "
+                f"{supplied} parameter{'s' if supplied != 1 else ''} supplied"
+            )
+        return parameters[index - 1]
+
     def evaluate(self, row_value: object) -> bool:
+        if isinstance(self.value, ParameterRef):
+            raise QueryError(f"cannot evaluate parameterized predicate {self} without parameters")
         return self.op.evaluate(row_value, self.value)
 
     def __str__(self) -> str:
-        return f"{self.column} {self.op.value} {self.value!r}"
+        value = self.value if isinstance(self.value, ParameterRef) else repr(self.value)
+        return f"{self.column} {self.op.value} {value}"
 
 
 @dataclass(frozen=True)

@@ -1,44 +1,74 @@
-"""SQL frontend: query text → tokens → AST → bound Query IR → plans → rows.
+"""SQL frontend: query text → tokens → AST → bound IR → plans → rows.
 
-This package is the user-facing entry layer over the optimizer stack.  The
-pipeline stages are usable independently (each is a thin module), or wired
-end-to-end through :class:`Session`::
+This package holds the language layers under the DB-API front door
+(:func:`repro.connect`).  The pipeline stages are usable independently::
 
-    from repro.sql import Session
-    from repro.workloads.tpch import tpch_catalog
+    import repro
 
-    session = Session(tpch_catalog(scale_factor=0.01))
-    print(session.execute("EXPLAIN SELECT n_name FROM nation, region "
-                          "WHERE n_regionkey = r_regionkey"))
+    conn = repro.connect()
+    conn.execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+    conn.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)")
+    print(conn.execute("SELECT a FROM t WHERE b > ?", (1.0,)).fetchall())
 
 Stages:
 
-* :mod:`repro.sql.tokens` — hand-written lexer with source positions,
+* :mod:`repro.sql.tokens` — hand-written lexer with source positions
+  (including ``?`` / ``$n`` parameter placeholders),
 * :mod:`repro.sql.parser` — recursive-descent parser for the TPC-H-class
   subset (SELECT-FROM-WHERE, JOIN..ON, GROUP BY, aggregates with DISTINCT,
-  ORDER BY, LIMIT, ``/*+ selectivity=x */`` hints),
+  ORDER BY, LIMIT, ``/*+ selectivity=x */`` hints) plus DDL/DML
+  (CREATE TABLE, INSERT, COPY, ANALYZE), ``;``-separated scripts and
+  statement normalization for the plan cache,
 * :mod:`repro.sql.binder` — semantic analysis against the catalog schema,
-  lowering to :class:`~repro.relational.query.Query`,
-* :mod:`repro.sql.session` — the facade adding optimization, execution and
-  ``EXPLAIN [ANALYZE]`` rendering,
+  lowering SELECTs to :class:`~repro.relational.query.Query` and validating
+  DDL/DML (types, arities) into bound statement forms,
+* :mod:`repro.sql.render` — ``EXPLAIN [ANALYZE]`` plan rendering,
+* :mod:`repro.sql.session` — the deprecated :class:`Session` shim over
+  :class:`repro.api.Database`,
 * :mod:`repro.sql.cli` — the ``repro-sql`` console entry point.
 """
 
-from repro.sql.binder import Binder, bind
+from repro.sql.binder import (
+    Binder,
+    BoundAnalyze,
+    BoundCopy,
+    BoundCreateTable,
+    BoundInsert,
+    bind,
+    query_parameter_count,
+)
 from repro.sql.errors import SqlBindingError, SqlError, SqlSyntaxError
-from repro.sql.parser import Parser, parse, parse_select
-from repro.sql.session import Session, SqlResult, render_plan
+from repro.sql.parser import (
+    Parser,
+    normalize_statement,
+    parse,
+    parse_script,
+    parse_select,
+    split_statements,
+    statement_has_parameters,
+)
+from repro.sql.render import render_plan
+from repro.sql.session import Session, SqlResult
 from repro.sql.tokens import Lexer, Token, TokenType, tokenize
 
 __all__ = [
     "Binder",
     "bind",
+    "BoundAnalyze",
+    "BoundCopy",
+    "BoundCreateTable",
+    "BoundInsert",
+    "query_parameter_count",
     "SqlError",
     "SqlSyntaxError",
     "SqlBindingError",
     "Parser",
     "parse",
+    "parse_script",
     "parse_select",
+    "split_statements",
+    "statement_has_parameters",
+    "normalize_statement",
     "Session",
     "SqlResult",
     "render_plan",

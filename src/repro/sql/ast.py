@@ -29,16 +29,31 @@ class ColumnName:
 
 @dataclass(frozen=True)
 class Literal:
-    """A numeric or string constant."""
+    """A numeric or string constant (``None`` for the NULL keyword)."""
 
-    value: Union[int, float, str]
+    value: Union[int, float, str, None]
     position: Position = (1, 1)
 
     def __str__(self) -> str:
         return repr(self.value)
 
 
-Operand = Union[ColumnName, Literal]
+@dataclass(frozen=True)
+class Parameter:
+    """A prepared-statement placeholder: ``?`` (positional) or ``$n``.
+
+    Indices are 1-based.  ``?`` placeholders are numbered left to right by
+    the parser; a statement may use ``?`` or ``$n`` style but not both.
+    """
+
+    index: int
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"${self.index}"
+
+
+Operand = Union[ColumnName, Literal, Parameter]
 
 
 @dataclass(frozen=True)
@@ -123,4 +138,66 @@ class ExplainStatement:
     position: Position = (1, 1)
 
 
-Statement = Union[SelectStatement, ExplainStatement]
+@dataclass(frozen=True)
+class ColumnDef:
+    """One ``name TYPE`` entry of a CREATE TABLE column list."""
+
+    name: str
+    type_name: str  # raw identifier as written; the binder maps it to DataType
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """An ``INDEX (column)`` clause inside CREATE TABLE."""
+
+    column: str
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    """``CREATE TABLE t (col TYPE, ..., [PRIMARY KEY (col)], [INDEX (col)]...)``."""
+
+    table: str
+    columns: Tuple[ColumnDef, ...]
+    indexes: Tuple[IndexDef, ...] = ()
+    primary_key: Optional[str] = None
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO t [(col, ...)] VALUES (v, ...), (v, ...)``."""
+
+    table: str
+    columns: Tuple[str, ...]  # empty = table's full column order
+    rows: Tuple[Tuple[Union[Literal, Parameter], ...], ...]
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class CopyStatement:
+    """``COPY t FROM '<csv path>'`` — bulk load from a header-ful CSV file."""
+
+    table: str
+    path: str
+    position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class AnalyzeStatement:
+    """``ANALYZE [t]`` — (re)build statistics from stored data."""
+
+    table: Optional[str] = None
+    position: Position = (1, 1)
+
+
+Statement = Union[
+    SelectStatement,
+    ExplainStatement,
+    CreateTableStatement,
+    InsertStatement,
+    CopyStatement,
+    AnalyzeStatement,
+]

@@ -20,12 +20,18 @@ Every rejection raises a position-annotated
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.catalog.catalog import Catalog
 from repro.common.errors import SqlBindingError
 from repro.relational.expressions import ColumnRef
-from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
+from repro.relational.predicates import (
+    ComparisonOp,
+    FilterPredicate,
+    JoinPredicate,
+    ParameterRef,
+)
 from repro.relational.query import (
     AggregateFunction,
     AggregateSpec,
@@ -33,12 +39,17 @@ from repro.relational.query import (
     Query,
     RelationRef,
 )
-from repro.relational.schema import Table
+from repro.relational.schema import Column, DataType, Index, Table
 from repro.sql.ast import (
     AggregateCall,
+    AnalyzeStatement,
     ColumnName,
     Comparison,
+    CopyStatement,
+    CreateTableStatement,
+    InsertStatement,
     Literal,
+    Parameter,
     SelectStatement,
 )
 
@@ -50,6 +61,86 @@ _FLIPPED = {
     ComparisonOp.EQ: ComparisonOp.EQ,
     ComparisonOp.NE: ComparisonOp.NE,
 }
+
+#: SQL type names (as written in CREATE TABLE) → engine data types.
+TYPE_NAMES: Dict[str, DataType] = {
+    "integer": DataType.INTEGER,
+    "int": DataType.INTEGER,
+    "bigint": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "string": DataType.STRING,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "char": DataType.STRING,
+    "date": DataType.DATE,
+}
+
+#: The value a prepared-statement slot holds before binding, or a literal.
+BoundValue = Union[int, float, str, None, ParameterRef]
+
+
+def value_matches_type(value: object, data_type: DataType) -> bool:
+    """Runtime type admission for one INSERT/COPY value (NULL always admits)."""
+    if value is None:
+        return True
+    if isinstance(value, bool):
+        return False
+    if data_type is DataType.INTEGER:
+        return isinstance(value, int)
+    if data_type is DataType.FLOAT:
+        return isinstance(value, (int, float))
+    if data_type is DataType.STRING:
+        return isinstance(value, str)
+    # DATE is encoded as integer days since the epoch start.
+    return isinstance(value, int)
+
+
+def query_parameter_count(query: Query) -> int:
+    """Number of parameter slots a bound SELECT expects (max 1-based index)."""
+    highest = 0
+    for predicate in query.filters:
+        if isinstance(predicate.value, ParameterRef):
+            highest = max(highest, predicate.value.index)
+    return highest
+
+
+@dataclass(frozen=True)
+class BoundCreateTable:
+    """A validated CREATE TABLE: schema objects ready to enter the catalog."""
+
+    table: Table
+    indexes: Tuple[Index, ...] = ()
+
+
+@dataclass(frozen=True)
+class BoundInsert:
+    """A validated INSERT: target columns in table order plus value rows.
+
+    ``rows`` holds literals and :class:`ParameterRef` slots; ``parameter_count``
+    is the highest slot index across every row.
+    """
+
+    table: Table
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[BoundValue, ...], ...]
+    parameter_count: int = 0
+
+
+@dataclass(frozen=True)
+class BoundCopy:
+    """A validated COPY: target table plus the CSV source path."""
+
+    table: Table
+    path: str
+
+
+@dataclass(frozen=True)
+class BoundAnalyze:
+    """A validated ANALYZE: the target table, or None for every table."""
+
+    table: Optional[Table] = None
 
 
 class Binder:
@@ -181,6 +272,9 @@ class Binder:
     ) -> None:
         op = ComparisonOp(comparison.op)
         left, right = comparison.left, comparison.right
+        if isinstance(left, Parameter) or isinstance(right, Parameter):
+            self._bind_parameter_predicate(comparison, tables, filters)
+            return
         if isinstance(left, ColumnName) and isinstance(right, ColumnName):
             left_ref = self._resolve_column(left, tables)
             right_ref = self._resolve_column(right, tables)
@@ -212,6 +306,159 @@ class Binder:
             column_ref = self._resolve_column(left, tables)
             value = right.value
         filters.append(FilterPredicate(column_ref, op, value, comparison.selectivity_hint))
+
+    def _bind_parameter_predicate(
+        self,
+        comparison: Comparison,
+        tables: Dict[str, Table],
+        filters: List[FilterPredicate],
+    ) -> None:
+        """Lower ``column <op> ?`` (either side) to a parameterized filter."""
+        op = ComparisonOp(comparison.op)
+        left, right = comparison.left, comparison.right
+        if isinstance(left, Parameter) and isinstance(right, Parameter):
+            raise self._error(
+                f"predicate {comparison} compares two parameters; a parameter "
+                "must be compared to a column",
+                comparison,
+            )
+        if isinstance(left, Parameter):
+            if not isinstance(right, ColumnName):
+                raise self._error(
+                    f"predicate {comparison} compares a parameter to a constant; "
+                    "a parameter must be compared to a column",
+                    comparison,
+                )
+            column_ref = self._resolve_column(right, tables)
+            slot = ParameterRef(left.index)
+            op = _FLIPPED[op]
+        else:
+            if not isinstance(left, ColumnName):
+                raise self._error(
+                    f"predicate {comparison} compares a parameter to a constant; "
+                    "a parameter must be compared to a column",
+                    comparison,
+                )
+            assert isinstance(right, Parameter)
+            column_ref = self._resolve_column(left, tables)
+            slot = ParameterRef(right.index)
+        filters.append(FilterPredicate(column_ref, op, slot, comparison.selectivity_hint))
+
+    # -- DDL / DML -------------------------------------------------------
+
+    def bind_create_table(self, statement: CreateTableStatement) -> BoundCreateTable:
+        schema = self.catalog.schema
+        if schema.has_table(statement.table):
+            raise self._error(f"table {statement.table!r} already exists", statement)
+        columns: List[Column] = []
+        seen: Dict[str, bool] = {}
+        for definition in statement.columns:
+            if definition.name in seen:
+                raise self._error(
+                    f"duplicate column {definition.name!r} in CREATE TABLE", definition
+                )
+            seen[definition.name] = True
+            data_type = TYPE_NAMES.get(definition.type_name.lower())
+            if data_type is None:
+                known = ", ".join(sorted(TYPE_NAMES))
+                raise self._error(
+                    f"unknown type {definition.type_name!r} for column "
+                    f"{definition.name!r} (known types: {known})",
+                    definition,
+                )
+            columns.append(Column(definition.name, data_type))
+        if statement.primary_key is not None and statement.primary_key not in seen:
+            raise self._error(
+                f"PRIMARY KEY column {statement.primary_key!r} is not a column "
+                f"of {statement.table!r}",
+                statement,
+            )
+        indexes: List[Index] = []
+        for definition in statement.indexes:
+            if definition.column not in seen:
+                raise self._error(
+                    f"INDEX column {definition.column!r} is not a column of "
+                    f"{statement.table!r}",
+                    definition,
+                )
+            indexes.append(
+                Index(
+                    f"idx_{statement.table}_{definition.column}",
+                    statement.table,
+                    definition.column,
+                )
+            )
+        if statement.primary_key is not None:
+            indexes.append(
+                Index(
+                    f"idx_{statement.table}_pk",
+                    statement.table,
+                    statement.primary_key,
+                    unique=True,
+                    clustered=True,
+                )
+            )
+        table = Table(statement.table, columns, primary_key=statement.primary_key)
+        return BoundCreateTable(table, tuple(indexes))
+
+    def bind_insert(self, statement: InsertStatement) -> BoundInsert:
+        table = self._bind_target_table(statement.table, statement, "INSERT INTO")
+        if statement.columns:
+            for name in statement.columns:
+                if not table.has_column(name):
+                    raise self._error(
+                        f"column {name!r} does not exist in table {table.name!r}", statement
+                    )
+            if len(set(statement.columns)) != len(statement.columns):
+                raise self._error("duplicate column in INSERT column list", statement)
+            columns = statement.columns
+        else:
+            columns = tuple(table.column_names)
+        parameter_count = 0
+        rows: List[Tuple[BoundValue, ...]] = []
+        for row in statement.rows:
+            if len(row) != len(columns):
+                raise self._error(
+                    f"INSERT row has {len(row)} value{'s' if len(row) != 1 else ''} "
+                    f"but {len(columns)} column{'s' if len(columns) != 1 else ''} "
+                    "are expected",
+                    row[0] if row else statement,
+                )
+            bound_row: List[BoundValue] = []
+            for name, value in zip(columns, row):
+                if isinstance(value, Parameter):
+                    parameter_count = max(parameter_count, value.index)
+                    bound_row.append(ParameterRef(value.index))
+                    continue
+                data_type = table.column(name).data_type
+                if not value_matches_type(value.value, data_type):
+                    raise self._error(
+                        f"type mismatch for column {name!r}: expected "
+                        f"{data_type.value}, got {value.value!r}",
+                        value,
+                    )
+                bound_row.append(value.value)
+            rows.append(tuple(bound_row))
+        return BoundInsert(table, columns, tuple(rows), parameter_count)
+
+    def bind_copy(self, statement: CopyStatement) -> BoundCopy:
+        table = self._bind_target_table(statement.table, statement, "COPY")
+        return BoundCopy(table, statement.path)
+
+    def bind_analyze(self, statement: AnalyzeStatement) -> BoundAnalyze:
+        if statement.table is None:
+            return BoundAnalyze(None)
+        table = self._bind_target_table(statement.table, statement, "ANALYZE")
+        return BoundAnalyze(table)
+
+    def _bind_target_table(self, name: str, node, action: str) -> Table:
+        schema = self.catalog.schema
+        if not schema.has_table(name):
+            known = ", ".join(sorted(schema.table_names)) or "none"
+            raise self._error(
+                f"unknown table {name!r} in {action} (known tables: {known})", node
+            )
+        return schema.table(name)
 
 
 def bind(

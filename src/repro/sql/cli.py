@@ -1,4 +1,4 @@
-"""``repro-sql``: a small console front door to the SQL session.
+"""``repro-sql``: a console front door over :func:`repro.connect`.
 
 Examples::
 
@@ -10,24 +10,42 @@ Examples::
     repro-sql --data-scale 0.0005 -c "SELECT c_mktsegment, COUNT(*) \
                   FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment"
 
-    # interactive: statements end with ';'
+    # start empty and drive everything from SQL: ;-separated scripts persist
+    # DDL across statements (one connection runs the whole script)
+    repro-sql --empty -c "CREATE TABLE t (a INTEGER); \
+                          INSERT INTO t VALUES (1), (2); ANALYZE t; \
+                          SELECT COUNT(*) FROM t"
+
+    # run a script file; prepared-statement parameters via --param
+    repro-sql --empty --file setup.sql
+    repro-sql --data-scale 0.0005 --param 2 -c \
+        "SELECT c_name FROM customer WHERE c_mktsegment = ? LIMIT 5"
+
+    # interactive: statements end with ';'; .load FILE runs a script,
+    # .tables lists stored tables, .stats shows plan-cache counters
     repro-sql --data-scale 0.0005
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
+import repro.api as api
+from repro.api.connection import Connection
 from repro.common.errors import ReproError, SqlError
 from repro.engine import DEFAULT_BATCH_SIZE, DEFAULT_ENGINE, ENGINE_NAMES
 from repro.sql.errors import describe
+from repro.sql.parser import split_statements, statement_has_parameters
 from repro.sql.session import Session, SqlResult
 from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_catalog
 
 PROMPT = "repro-sql> "
 CONTINUATION = "      ...> "
+
+Parameter = Union[int, float, str]
 
 
 def build_session(
@@ -37,28 +55,119 @@ def build_session(
     engine: str = DEFAULT_ENGINE,
     batch_size: Optional[int] = None,
 ) -> Session:
-    """An analytic-catalog session, or a data-backed one if data_scale given."""
+    """Deprecated helper kept for compatibility: a legacy Session."""
     if data_scale is None:
         return Session(tpch_catalog(scale_factor=scale), engine=engine, batch_size=batch_size)
     data = generate_tpch_data(scale_factor=data_scale, seed=seed)
     return Session(catalog_from_data(data), data=data, engine=engine, batch_size=batch_size)
 
 
-def run_statement(session: Session, sql: str, out=None) -> SqlResult:
-    out = out if out is not None else sys.stdout
-    result = session.execute(sql)
+def build_connection(
+    scale: float,
+    data_scale: Optional[float],
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+    batch_size: Optional[int] = None,
+    empty: bool = False,
+) -> Connection:
+    """A connection over an empty, analytic-catalog or data-backed database."""
+    if empty:
+        return api.connect(engine=engine, batch_size=batch_size)
+    if data_scale is None:
+        return api.connect(
+            tpch_catalog(scale_factor=scale), engine=engine, batch_size=batch_size
+        )
+    data = generate_tpch_data(scale_factor=data_scale, seed=seed)
+    return api.connect(catalog_from_data(data), data, engine=engine, batch_size=batch_size)
+
+
+def parse_parameter(text: str) -> Parameter:
+    """A --param value: int if it looks like one, else float, else string."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _print_result(result, out) -> None:
     if result.plan_text is not None:
         print(result.plan_text, file=out)
-    else:
+    elif result.statement == "select":
         print(str(result), file=out)
         print(f"({result.row_count} row{'s' if result.row_count != 1 else ''})", file=out)
+    else:
+        # Legacy SqlResult (Session path) has no rowcount; treat as unknown.
+        rowcount = getattr(result, "rowcount", -1)
+        suffix = f" ({rowcount} row{'s' if rowcount != 1 else ''})" if rowcount >= 0 else ""
+        print(f"ok: {result.statement}{suffix}", file=out)
+
+
+def run_statement(
+    target: Union[Connection, Session],
+    sql: str,
+    out=None,
+    parameters: Optional[Sequence[Parameter]] = None,
+) -> Union[SqlResult, "api.StatementResult"]:
+    """Execute one statement on a Connection (or legacy Session) and print it."""
+    out = out if out is not None else sys.stdout
+    if isinstance(target, Connection):
+        result = target._execute(sql, parameters)
+    else:
+        result = target.execute(sql)
+    _print_result(result, out)
     return result
 
 
-def repl(session: Session) -> None:  # pragma: no cover - interactive loop
-    print("repro-sql — TPC-H-subset SQL over the declarative optimizer")
-    print("statements end with ';'; EXPLAIN / EXPLAIN ANALYZE supported; ctrl-d quits")
-    buffer: list[str] = []
+def run_script(
+    connection: Connection,
+    script: str,
+    out=None,
+    parameters: Optional[Sequence[Parameter]] = None,
+) -> int:
+    """Run a ``;``-separated script on one connection (DDL persists).
+
+    *parameters* are passed to the statements that contain placeholders.
+    Returns the number of statements executed.
+    """
+    executed = 0
+    for text in split_statements(script):
+        takes_params = statement_has_parameters(text)
+        run_statement(connection, text, out, parameters if takes_params else None)
+        executed += 1
+    return executed
+
+
+def _meta_command(connection: Connection, line: str) -> bool:
+    """Handle a ``.command``; returns False for unknown commands."""
+    parts = line.split(maxsplit=1)
+    command = parts[0]
+    if command == ".load":
+        if len(parts) < 2:
+            print("usage: .load <script.sql>", file=sys.stderr)
+            return True
+        with open(parts[1], encoding="utf-8") as handle:
+            run_script(connection, handle.read())
+        return True
+    if command == ".tables":
+        database = connection.database
+        for name in sorted(database.table_names):
+            print(f"{name}\t{database.stored_row_count(name)} rows")
+        return True
+    if command == ".stats":
+        print(json.dumps(connection.database.stats(), indent=2, default=str))
+        return True
+    return False
+
+
+def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
+    print("repro-sql — SQL over the incremental re-optimization stack")
+    print(
+        "statements end with ';' (CREATE TABLE / INSERT / COPY / ANALYZE / "
+        "SELECT / EXPLAIN [ANALYZE]); .load FILE, .tables, .stats; ctrl-d quits"
+    )
+    buffer: List[str] = []
     while True:
         try:
             line = input(CONTINUATION if buffer else PROMPT)
@@ -70,6 +179,13 @@ def repl(session: Session) -> None:  # pragma: no cover - interactive loop
             print()
             buffer = []
             continue
+        if not buffer and line.strip().startswith("."):
+            try:
+                if not _meta_command(connection, line.strip()):
+                    print(f"unknown meta command {line.strip().split()[0]!r}", file=sys.stderr)
+            except (ReproError, OSError) as error:
+                print(f"error: {error}", file=sys.stderr)
+            continue
         buffer.append(line)
         if ";" not in line:
             continue
@@ -78,7 +194,7 @@ def repl(session: Session) -> None:  # pragma: no cover - interactive loop
         if not sql.strip(";").strip():
             continue
         try:
-            run_statement(session, sql)
+            run_script(connection, sql)
         except SqlError as error:
             print(describe(error), file=sys.stderr)
         except ReproError as error:
@@ -89,7 +205,17 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sql", description="SQL frontend over the repro optimizer stack"
     )
-    parser.add_argument("-c", "--command", help="execute one statement and exit", default=None)
+    parser.add_argument(
+        "-c", "--command", help="execute a ;-separated script and exit", default=None
+    )
+    parser.add_argument(
+        "--file", help="execute a ;-separated script from a file and exit", default=None
+    )
+    parser.add_argument(
+        "--empty",
+        action="store_true",
+        help="start with an empty database (create tables and load data via SQL)",
+    )
     parser.add_argument(
         "--scale",
         type=float,
@@ -117,22 +243,58 @@ def main(argv: Optional[list] = None) -> int:
         help="rows per batch for the vectorized engine "
         f"(default {DEFAULT_BATCH_SIZE}; ignored by --engine row)",
     )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="VALUE",
+        help="positional parameter for ?/$n placeholders (repeatable, in order)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print database statistics (plan cache counters...) before exiting",
+    )
     args = parser.parse_args(argv)
 
-    session = build_session(
-        args.scale, args.data_scale, args.seed, engine=args.engine, batch_size=args.batch_size
+    if args.command is not None and args.file is not None:
+        print("error: choose one of -c/--command or --file", file=sys.stderr)
+        return 2
+
+    connection = build_connection(
+        args.scale,
+        args.data_scale,
+        args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
+        empty=args.empty,
     )
-    if args.command is not None:
+    parameters = [parse_parameter(text) for text in args.param] if args.param else None
+
+    script: Optional[str] = args.command
+    if args.file is not None:
         try:
-            run_statement(session, args.command)
+            with open(args.file, encoding="utf-8") as handle:
+                script = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.file!r}: {error}", file=sys.stderr)
+            return 1
+
+    if script is not None:
+        try:
+            run_script(connection, script, parameters=parameters)
         except SqlError as error:
             print(describe(error), file=sys.stderr)
             return 1
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+        if args.stats:
+            print(json.dumps(connection.database.stats(), indent=2, default=str))
         return 0
-    repl(session)
+    repl(connection)
+    if args.stats:  # pragma: no cover - interactive path
+        print(json.dumps(connection.database.stats(), indent=2, default=str))
     return 0
 
 

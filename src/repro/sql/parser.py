@@ -2,7 +2,8 @@
 
 Grammar (EBNF, case-insensitive keywords)::
 
-    statement   := [EXPLAIN [ANALYZE]] select [";"]
+    script      := statement (";" statement)* [";"]
+    statement   := [EXPLAIN [ANALYZE]] select | create | insert | copy | analyze
     select      := SELECT select_list FROM from_clause
                    [WHERE conjunction]
                    [GROUP BY column ("," column)*]
@@ -15,14 +16,27 @@ Grammar (EBNF, case-insensitive keywords)::
     table_ref   := identifier [[AS] identifier]
     conjunction := comparison (AND comparison)*
     comparison  := operand op operand [hint]
-    operand     := column | literal
+    operand     := column | literal | parameter
     column      := identifier ["." identifier]
     op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
     hint        := "/*+" "selectivity" "=" number "*/"
+    parameter   := "?" | "$" integer
+    create      := CREATE TABLE identifier "(" create_entry ("," create_entry)* ")"
+    create_entry:= identifier identifier          -- column name + type
+                 | INDEX "(" identifier ")"
+                 | PRIMARY KEY "(" identifier ")"
+    insert      := INSERT INTO identifier ["(" identifier ("," identifier)* ")"]
+                   VALUES values_row ("," values_row)*
+    values_row  := "(" value ("," value)* ")"
+    value       := literal | NULL | parameter
+    copy        := COPY identifier FROM string
+    analyze     := ANALYZE [identifier]
 
 Only conjunctive predicates are supported, matching the paper's single-block
 select-project-join(-aggregate) optimizer IR; OR / subqueries / arithmetic are
 rejected with a positioned :class:`~repro.common.errors.SqlSyntaxError`.
+``?`` placeholders are numbered left to right; ``$n`` placeholders are
+explicit and 1-based.  A statement may use one style, not both.
 """
 
 from __future__ import annotations
@@ -33,12 +47,19 @@ from typing import List, Optional, Tuple, Union
 from repro.common.errors import SqlSyntaxError
 from repro.sql.ast import (
     AggregateCall,
+    AnalyzeStatement,
+    ColumnDef,
     ColumnName,
     Comparison,
+    CopyStatement,
+    CreateTableStatement,
     ExplainStatement,
+    IndexDef,
+    InsertStatement,
     Literal,
     Operand,
     OrderExpr,
+    Parameter,
     SelectItem,
     SelectStatement,
     Statement,
@@ -57,6 +78,8 @@ class Parser:
         self.source = source
         self._tokens = tokenize(source)
         self._index = 0
+        self._positional_parameters = 0
+        self._parameter_style: Optional[str] = None
 
     # -- token helpers ---------------------------------------------------
 
@@ -95,19 +118,47 @@ class Parser:
         # not needed for the TPC-H schema; plain identifiers only.
         return self._expect(TokenType.IDENTIFIER, what)
 
-    # -- entry point -----------------------------------------------------
+    # -- entry points ----------------------------------------------------
 
     def parse_statement(self) -> Statement:
-        explain = self._accept_keyword("explain")
-        analyze = bool(explain and self._accept_keyword("analyze"))
-        select = self._parse_select()
+        statement = self._parse_one()
         if self._current.type is TokenType.SEMICOLON:
             self._advance()
         if self._current.type is not TokenType.EOF:
             raise self._error(f"unexpected trailing input {self._current}")
+        return statement
+
+    def parse_script(self) -> List[Statement]:
+        """Parse a ``;``-separated sequence of statements (possibly empty)."""
+        statements: List[Statement] = []
+        while True:
+            while self._current.type is TokenType.SEMICOLON:
+                self._advance()
+            if self._current.type is TokenType.EOF:
+                return statements
+            statements.append(self._parse_one())
+            if self._current.type not in (TokenType.SEMICOLON, TokenType.EOF):
+                raise self._error(f"expected ';' between statements, found {self._current}")
+
+    def _parse_one(self) -> Statement:
+        # Parameter numbering restarts per statement; each statement commits
+        # to one placeholder style ("?" or "$n") on first use.
+        self._positional_parameters = 0
+        self._parameter_style: Optional[str] = None
+        explain = self._accept_keyword("explain")
         if explain:
+            analyze = bool(self._accept_keyword("analyze"))
+            select = self._parse_select()
             return ExplainStatement(select, analyze=analyze, position=explain.position)
-        return select
+        if self._current.is_keyword("create"):
+            return self._parse_create_table()
+        if self._current.is_keyword("insert"):
+            return self._parse_insert()
+        if self._current.is_keyword("copy"):
+            return self._parse_copy()
+        if self._current.is_keyword("analyze"):
+            return self._parse_analyze()
+        return self._parse_select()
 
     # -- select ----------------------------------------------------------
 
@@ -277,14 +328,206 @@ class Parser:
         if token.type is TokenType.STRING:
             self._advance()
             return Literal(token.text, token.position)
+        if token.type is TokenType.PARAMETER:
+            return self._parse_parameter()
         if token.type is TokenType.IDENTIFIER:
             return self._parse_column()
-        raise self._error(f"expected a column or literal, found {token}")
+        raise self._error(f"expected a column, literal or parameter, found {token}")
+
+    def _parse_parameter(self) -> Parameter:
+        token = self._expect(TokenType.PARAMETER, "a parameter placeholder")
+        style = "?" if token.text == "?" else "$n"
+        if self._parameter_style is not None and self._parameter_style != style:
+            raise self._error(
+                "cannot mix '?' and '$n' parameter styles in one statement", token
+            )
+        self._parameter_style = style
+        if style == "?":
+            self._positional_parameters += 1
+            return Parameter(self._positional_parameters, token.position)
+        index = int(token.text[1:])
+        if index < 1:
+            raise self._error("parameter indices are 1-based ($1, $2, ...)", token)
+        return Parameter(index, token.position)
+
+    # -- DDL / DML -------------------------------------------------------
+
+    def _parse_create_table(self) -> CreateTableStatement:
+        start = self._expect_keyword("create")
+        self._expect_keyword("table")
+        name = self._identifier("a table name after CREATE TABLE")
+        self._expect(TokenType.LPAREN, "'(' to open the column list")
+        columns: List[ColumnDef] = []
+        indexes: List[IndexDef] = []
+        primary_key: Optional[str] = None
+        while True:
+            if self._current.is_keyword("index"):
+                index_token = self._advance()
+                self._expect(TokenType.LPAREN, "'(' after INDEX")
+                column = self._identifier("an indexed column name")
+                self._expect(TokenType.RPAREN, "')' to close INDEX")
+                indexes.append(IndexDef(column.text, index_token.position))
+            elif self._current.is_keyword("primary"):
+                primary_token = self._advance()
+                self._expect_keyword("key")
+                self._expect(TokenType.LPAREN, "'(' after PRIMARY KEY")
+                column = self._identifier("the primary key column name")
+                self._expect(TokenType.RPAREN, "')' to close PRIMARY KEY")
+                if primary_key is not None:
+                    raise self._error("duplicate PRIMARY KEY clause", primary_token)
+                primary_key = column.text
+            else:
+                column = self._identifier("a column name")
+                type_token = self._identifier(f"a type for column {column.text!r}")
+                columns.append(ColumnDef(column.text, type_token.text, column.position))
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RPAREN, "')' to close the column list")
+        if not columns:
+            raise self._error("CREATE TABLE needs at least one column", start)
+        return CreateTableStatement(
+            name.text, tuple(columns), tuple(indexes), primary_key, start.position
+        )
+
+    def _parse_insert(self) -> InsertStatement:
+        start = self._expect_keyword("insert")
+        self._expect_keyword("into")
+        name = self._identifier("a table name after INSERT INTO")
+        columns: List[str] = []
+        if self._current.type is TokenType.LPAREN:
+            self._advance()
+            columns.append(self._identifier("a column name").text)
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                columns.append(self._identifier("a column name").text)
+            self._expect(TokenType.RPAREN, "')' to close the column list")
+        self._expect_keyword("values")
+        rows = [self._parse_values_row()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            rows.append(self._parse_values_row())
+        return InsertStatement(name.text, tuple(columns), tuple(rows), start.position)
+
+    def _parse_values_row(self) -> Tuple["Literal | Parameter", ...]:
+        self._expect(TokenType.LPAREN, "'(' to open a VALUES row")
+        values = [self._parse_value()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_value())
+        self._expect(TokenType.RPAREN, "')' to close a VALUES row")
+        return tuple(values)
+
+    def _parse_value(self) -> "Literal | Parameter":
+        if self._current.is_keyword("null"):
+            token = self._advance()
+            return Literal(None, token.position)
+        if self._current.type is TokenType.IDENTIFIER:
+            raise self._error(
+                f"expected a literal, NULL or parameter in VALUES, found {self._current}"
+            )
+        return self._parse_operand()  # literal, negative number or parameter
+
+    def _parse_copy(self) -> CopyStatement:
+        start = self._expect_keyword("copy")
+        name = self._identifier("a table name after COPY")
+        self._expect_keyword("from")
+        path = self._expect(TokenType.STRING, "a quoted CSV path after FROM")
+        return CopyStatement(name.text, path.text, start.position)
+
+    def _parse_analyze(self) -> AnalyzeStatement:
+        start = self._expect_keyword("analyze")
+        table: Optional[str] = None
+        if self._current.type is TokenType.IDENTIFIER:
+            table = self._advance().text
+        return AnalyzeStatement(table, start.position)
 
 
 def parse(source: str) -> Statement:
     """Parse *source* into an AST statement."""
     return Parser(source).parse_statement()
+
+
+def parse_script(source: str) -> List[Statement]:
+    """Parse a ``;``-separated script into a list of AST statements."""
+    return Parser(source).parse_script()
+
+
+def statement_has_parameters(source: str) -> bool:
+    """True if *source* contains ``?``/``$n`` placeholders (lexer-accurate)."""
+    return any(token.type is TokenType.PARAMETER for token in tokenize(source))
+
+
+def normalize_statement(source: str) -> Tuple[str, str]:
+    """Classify and normalize one statement: ``(kind, normalized text)``.
+
+    ``kind`` is ``"select"``, ``"explain"``, ``"explain analyze"`` or
+    ``"other"`` (DDL/DML).  The normalized text is the token stream re-joined
+    with single spaces, keywords lowercased and any leading ``EXPLAIN
+    [ANALYZE]`` removed — so every spelling of the same statement (case,
+    whitespace, comments, trailing ``;``) maps to the same string.  This is
+    the plan cache's key material: explaining a query warms the cache for
+    executing it.
+    """
+    tokens = tokenize(source)
+    index = 0
+    kind = "other"
+    if tokens[0].is_keyword("explain"):
+        kind = "explain"
+        index = 1
+        if tokens[1].is_keyword("analyze"):
+            kind = "explain analyze"
+            index = 2
+    elif tokens[0].is_keyword("select"):
+        kind = "select"
+    parts: List[str] = []
+    for token in tokens[index:]:
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.SEMICOLON:
+            continue
+        if token.type is TokenType.KEYWORD:
+            parts.append(token.text.lower())
+        elif token.type is TokenType.STRING:
+            parts.append(repr(token.text))
+        elif token.type is TokenType.HINT:
+            parts.append(f"/*+ {token.text} */")
+        else:
+            parts.append(token.text)
+    return kind, " ".join(parts)
+
+
+def split_statements(source: str) -> List[str]:
+    """Split a script into per-statement source texts on top-level ``;``.
+
+    Splitting is token-aware (semicolons inside string literals or comments
+    do not split) so each returned chunk is one complete statement, ready for
+    :class:`Parser` — and, crucially, for a plan cache keyed on single
+    statements.  Empty chunks (stray semicolons, trailing whitespace) are
+    dropped.
+    """
+    tokens = tokenize(source)
+    line_starts = [0]
+    for line in source.splitlines(keepends=True):
+        line_starts.append(line_starts[-1] + len(line))
+
+    def offset(token: Token) -> int:
+        return line_starts[token.line - 1] + token.column - 1
+
+    statements: List[str] = []
+    start: Optional[int] = None
+    for token in tokens:
+        if token.type is TokenType.SEMICOLON or token.type is TokenType.EOF:
+            if start is not None:
+                chunk = source[start : offset(token)].strip()
+                if chunk:
+                    statements.append(chunk)
+                start = None
+            continue
+        if start is None:
+            start = offset(token)
+    return statements
 
 
 def parse_select(source: str) -> SelectStatement:

@@ -1,25 +1,35 @@
-"""Session facade: SQL text → parse → bind → optimize → execute.
+"""The legacy Session facade — a deprecated shim over the DB-API layer.
 
-:class:`Session` wires the whole stack together: the parser and binder from
-this package, the :class:`~repro.optimizer.declarative.DeclarativeOptimizer`
-and, when the session holds data, one of the execution engines — the
-vectorized columnar engine by default, or the row-at-a-time engine via
-``Session(..., engine="row")``.  ``EXPLAIN`` renders the chosen physical plan
-with estimated cardinalities; ``EXPLAIN ANALYZE`` additionally executes the
-plan, shows observed cardinalities next to the estimates — the same
-estimated-vs-observed deltas the paper's re-optimizer consumes — and reports
-which engine ran.
+.. deprecated::
+    :class:`Session` predates the :func:`repro.connect` front door.  It is
+    kept as a thin adapter so existing code keeps working, but new code
+    should use::
+
+        import repro
+
+        conn = repro.connect(catalog, data)
+        cur = conn.cursor()
+        cur.execute("SELECT ...")
+
+    Everything a Session did — parse → bind → optimize → execute,
+    ``EXPLAIN [ANALYZE]`` rendering, engine selection — now lives on
+    :class:`repro.api.Database`, which adds DDL/DML, prepared statements
+    with parameters, an LRU plan cache and a database-wide adaptive monitor.
+
+The shim delegates execution to an internal :class:`Database` and converts
+its results back into the historical :class:`SqlResult` shape.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
-from repro.common.errors import ExecutionError, SqlError
+from repro.common.errors import SqlError
 from repro.cost.cost_model import CostParameters
-from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
+from repro.engine import DEFAULT_ENGINE
 from repro.engine.executor import ExecutionResult
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
 from repro.optimizer.search_space import EnumerationOptions
@@ -28,7 +38,10 @@ from repro.relational.plan import PhysicalPlan
 from repro.relational.query import Query
 from repro.sql.ast import ExplainStatement, SelectStatement
 from repro.sql.binder import Binder
-from repro.sql.parser import Parser
+from repro.sql.parser import Parser, normalize_statement
+from repro.sql.render import render_plan
+
+__all__ = ["Session", "SqlResult", "render_plan"]
 
 Row = Dict[str, object]
 
@@ -37,17 +50,17 @@ Row = Dict[str, object]
 class SqlResult:
     """Outcome of :meth:`Session.execute` for one statement."""
 
-    statement: str  # "select" | "explain" | "explain analyze"
-    query: Query
-    optimization: OptimizationResult
+    statement: str  # "select" | "explain" | "explain analyze" | DDL kinds
+    query: Optional[Query] = None
+    optimization: Optional[OptimizationResult] = None
     columns: List[str] = field(default_factory=list)
     rows: List[Row] = field(default_factory=list)
     execution: Optional[ExecutionResult] = None
     plan_text: Optional[str] = None
 
     @property
-    def plan(self) -> PhysicalPlan:
-        return self.optimization.plan
+    def plan(self) -> Optional[PhysicalPlan]:
+        return self.optimization.plan if self.optimization is not None else None
 
     @property
     def row_count(self) -> int:
@@ -63,38 +76,11 @@ class SqlResult:
         return "\n".join(lines)
 
 
-def render_plan(
-    plan: PhysicalPlan,
-    execution: Optional[ExecutionResult] = None,
-) -> str:
-    """Render a physical plan, one operator per line.
-
-    With *execution*, each line shows the observed row count next to the
-    estimate (``EXPLAIN ANALYZE`` style).
-    """
-    lines: List[str] = []
-    operator_keys = iter(plan.operator_keys())
-
-    def visit(node: PhysicalPlan, depth: int) -> None:
-        operator_key = next(operator_keys)
-        prop = "" if node.output_property.is_any else f" [{node.output_property}]"
-        line = (
-            f"{'  ' * depth}{node.operator.value} {node.expression}{prop}"
-            f"  (cost={node.total_cost:.3f}, est_rows={node.cardinality:.0f}"
-        )
-        if execution is not None:
-            observed = execution.operator_cardinalities.get(operator_key)
-            line += f", actual_rows={observed if observed is not None else '?'}"
-        lines.append(line + ")")
-        for child in node.children:
-            visit(child, depth + 1)
-
-    visit(plan, 0)
-    return "\n".join(lines)
-
-
 class Session:
-    """A SQL session over one catalog (and, optionally, in-memory data)."""
+    """A SQL session over one catalog (and, optionally, in-memory data).
+
+    .. deprecated:: use :func:`repro.connect` (see the module docstring).
+    """
 
     def __init__(
         self,
@@ -106,10 +92,26 @@ class Session:
         engine: str = DEFAULT_ENGINE,
         batch_size: Optional[int] = None,
     ) -> None:
-        try:
-            validate_engine(engine)
-        except ExecutionError as error:
-            raise SqlError(str(error)) from error
+        warnings.warn(
+            "Session is deprecated; use repro.connect(catalog, data) and the "
+            "Connection/Cursor API instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported here, not at module level: the api package imports the sql
+        # submodules (binder, parser, ...), which initialize this package —
+        # a module-level import of repro.api from here would be circular.
+        from repro.api.database import Database
+
+        self.database = Database(
+            catalog,
+            data,
+            engine=engine,
+            batch_size=batch_size,
+            pruning=pruning,
+            cost_parameters=cost_parameters,
+            enumeration=enumeration,
+        )
         self.catalog = catalog
         self.data = data
         self.pruning = pruning
@@ -117,7 +119,6 @@ class Session:
         self.enumeration = enumeration
         self.engine = engine
         self.batch_size = batch_size
-        self._statement_counter = 0
 
     # -- lowering stages (each usable on its own) ------------------------
 
@@ -129,38 +130,16 @@ class Session:
         statement = self.parse(sql)
         if isinstance(statement, ExplainStatement):
             statement = statement.select
-        return self._bind(statement, sql, name)
+        if not isinstance(statement, SelectStatement):
+            raise SqlError("only SELECT statements lower to a Query")
+        return Binder(self.catalog, source=sql).bind(
+            statement, name or self.database._next_name()
+        )
 
     def optimize(self, sql: str, name: Optional[str] = None) -> OptimizationResult:
         """Parse, bind and optimize *sql*, returning the optimizer result."""
-        return self._optimize(self.query(sql, name))
-
-    # -- the one-stop entry point ----------------------------------------
-
-    def execute(self, sql: str) -> SqlResult:
-        """Run one statement end-to-end.
-
-        ``SELECT`` statements require the session to hold data and return
-        rows; ``EXPLAIN`` works on a statistics-only session; ``EXPLAIN
-        ANALYZE`` executes the plan and reports observed cardinalities.
-        """
-        statement = self.parse(sql)
-        if isinstance(statement, ExplainStatement):
-            return self._execute_explain(statement, sql)
-        return self._execute_select(statement, sql)
-
-    # ------------------------------------------------------------------
-
-    def _next_name(self) -> str:
-        self._statement_counter += 1
-        return f"sql-{self._statement_counter}"
-
-    def _bind(self, statement: SelectStatement, sql: str, name: Optional[str] = None) -> Query:
-        return Binder(self.catalog, source=sql).bind(statement, name or self._next_name())
-
-    def _optimize(self, query: Query) -> OptimizationResult:
         optimizer = DeclarativeOptimizer(
-            query,
+            self.query(sql, name),
             self.catalog,
             pruning=self.pruning,
             cost_parameters=self.cost_parameters,
@@ -168,95 +147,32 @@ class Session:
         )
         return optimizer.optimize()
 
-    def _require_data(self, action: str) -> Mapping[str, Sequence[Mapping[str, object]]]:
-        if self.data is None:
-            raise SqlError(
-                f"cannot {action}: this session has no data loaded "
-                "(construct Session(catalog, data=...) or use plain EXPLAIN)"
-            )
-        return self.data
+    # -- the one-stop entry point ----------------------------------------
 
-    def _execute_explain(self, statement: ExplainStatement, sql: str) -> SqlResult:
-        query = self._bind(statement.select, sql)
-        optimization = self._optimize(query)
-        if not statement.analyze:
-            text = self._explain_header(query, optimization) + render_plan(optimization.plan)
-            return SqlResult("explain", query, optimization, plan_text=text)
-        data = self._require_data("EXPLAIN ANALYZE")
-        execution = self._run_plan(query, data, optimization.plan)
-        text = (
-            self._explain_header(query, optimization)
-            + render_plan(optimization.plan, execution)
-            + f"\nexecution time: {execution.elapsed_seconds * 1000:.2f} ms, "
-            f"output rows: {execution.row_count}, engine: {execution.engine}"
-        )
+    def execute(self, sql: str) -> SqlResult:
+        """Run one statement end-to-end (delegates to the Database)."""
+        # The historical no-data complaint only applies while the database
+        # really holds nothing — data loaded later through SQL (CREATE TABLE /
+        # INSERT / COPY on this same session) counts.
+        if self.data is None and not self.database.has_data:
+            kind, _ = normalize_statement(sql)
+            if kind in ("select", "explain analyze"):
+                # Parse/bind/optimize first so syntax and binding errors
+                # surface before the missing-data complaint (historical
+                # behavior); the planning work lands in the plan cache.
+                self.database.prepare(sql)
+                action = "execute a SELECT" if kind == "select" else "EXPLAIN ANALYZE"
+                raise SqlError(
+                    f"cannot {action}: this session has no data loaded "
+                    "(construct Session(catalog, data=...) or use plain EXPLAIN)"
+                )
+        result = self.database.execute(sql)
         return SqlResult(
-            "explain analyze", query, optimization, execution=execution, plan_text=text
+            statement=result.statement,
+            query=result.query,
+            optimization=result.optimization,
+            columns=result.columns,
+            rows=result.rows,
+            execution=result.execution,
+            plan_text=result.plan_text,
         )
-
-    def _run_plan(
-        self,
-        query: Query,
-        data: Mapping[str, Sequence[Mapping[str, object]]],
-        plan: PhysicalPlan,
-    ) -> ExecutionResult:
-        try:
-            executor = make_executor(self.engine, query, data, batch_size=self.batch_size)
-        except ExecutionError as error:  # e.g. an invalid batch_size
-            raise SqlError(str(error)) from error
-        return executor.execute(plan)
-
-    @staticmethod
-    def _explain_header(query: Query, optimization: OptimizationResult) -> str:
-        extras = []
-        if query.order_by:
-            extras.append("order by " + ", ".join(str(item) for item in query.order_by))
-        if query.limit is not None:
-            extras.append(f"limit {query.limit}")
-        suffix = f"  ({'; '.join(extras)})" if extras else ""
-        return f"{query.name}: estimated cost {optimization.cost:.3f}{suffix}\n"
-
-    def _execute_select(self, statement: SelectStatement, sql: str) -> SqlResult:
-        query = self._bind(statement, sql)
-        data = self._require_data("execute a SELECT")
-        optimization = self._optimize(query)
-        execution = self._run_plan(query, data, optimization.plan)
-        columns = self._output_columns(query)
-        rows = self._shape_rows(query, execution.rows, columns)
-        return SqlResult(
-            "select",
-            query,
-            optimization,
-            columns=columns,
-            rows=rows,
-            execution=execution,
-        )
-
-    @staticmethod
-    def _output_columns(query: Query) -> List[str]:
-        if query.has_aggregation:
-            columns = [str(column) for column in query.group_by]
-            columns += [str(aggregate) for aggregate in query.aggregates]
-            return columns
-        return [str(column) for column in query.projections]
-
-    @staticmethod
-    def _shape_rows(query: Query, rows: List[Row], columns: List[str]) -> List[Row]:
-        """Order, limit and project the executor's output rows.
-
-        Sorting happens before projection so ORDER BY may reference columns
-        that are not in the SELECT list (for non-aggregated queries the
-        executor's rows carry every qualified column).
-        """
-        shaped = list(rows)
-        for item in reversed(query.order_by):
-            key = str(item.column)
-            shaped.sort(
-                key=lambda row: (row.get(key) is None, row.get(key)),
-                reverse=item.descending,
-            )
-        if query.limit is not None:
-            shaped = shaped[: query.limit]
-        if columns:
-            shaped = [{column: row.get(column) for column in columns} for row in shaped]
-        return shaped

@@ -33,6 +33,7 @@ class TokenType(Enum):
     SEMICOLON = ";"
     MINUS = "-"
     HINT = "hint"  # /*+ ... */
+    PARAMETER = "parameter"  # ? or $1, $2, ...
     EOF = "eof"
 
 
@@ -63,6 +64,17 @@ KEYWORDS = frozenset(
         "window",
         "rows",
         "range",
+        # DDL / DML
+        "create",
+        "table",
+        "index",
+        "primary",
+        "key",
+        "insert",
+        "into",
+        "values",
+        "copy",
+        "null",
     }
 )
 
@@ -70,6 +82,7 @@ _OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
 
 _IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 _NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][-+]?\d+)?")
+_PARAMETER_RE = re.compile(r"\$\d+")
 
 
 @dataclass(frozen=True)
@@ -172,6 +185,18 @@ class Lexer:
         if char in singles:
             self._advance(1)
             return Token(singles[char], char, line, column)
+
+        if char == "?":
+            self._advance(1)
+            return Token(TokenType.PARAMETER, "?", line, column)
+
+        if char == "$":
+            match = _PARAMETER_RE.match(self.source, self._pos)
+            if match is None:
+                raise self._error("expected a parameter number after '$' (e.g. $1)")
+            text = match.group(0)
+            self._advance(len(text))
+            return Token(TokenType.PARAMETER, text, line, column)
 
         for operator in _OPERATORS:
             if self.source.startswith(operator, self._pos):

@@ -155,6 +155,42 @@ UNREFERENCED_ALIAS_SQL = """
 SELECT r1.r_name FROM region r1, nation n1
 """
 
+# Prepared-statement forms of workload shapes: the pinned constants become
+# ?/$n placeholders supplied at execution time, so one cached plan serves a
+# family of parameter values (no hints — the optimizer must plan them with
+# value-free selectivity fallbacks, like a real prepared statement).
+PREPARED_SQL: Dict[str, tuple] = {
+    "Q3SPrepared": (
+        """
+        SELECT l_orderkey, o_orderdate, o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_custkey = o_custkey
+          AND o_orderkey = l_orderkey
+          AND c_mktsegment = $1
+          AND o_orderdate < $2
+          AND l_shipdate > $3
+        """,
+        (2, 1168, 1168),
+    ),
+    "Q10Prepared": (
+        """
+        SELECT c_name, n_name, SUM(l_extendedprice)
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND c_nationkey = n_nationkey
+          AND o_orderdate >= ? AND o_orderdate < ? AND l_returnflag = ?
+        GROUP BY c_name, n_name
+        """,
+        (639, 821, 1),
+    ),
+    "TopAcctbalPrepared": (
+        "SELECT c_name, c_acctbal FROM customer WHERE c_acctbal > ? "
+        "ORDER BY c_acctbal DESC LIMIT 25",
+        (0.0,),
+    ),
+}
+
 # Every statement both engines must agree on, keyed by query name.
 PARITY_SQL: Dict[str, str] = {
     **ALL_SQL,

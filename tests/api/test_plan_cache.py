@@ -1,0 +1,122 @@
+"""Unit tests for the LRU plan cache and statement normalization."""
+
+import pytest
+
+import repro
+from repro.api.plan_cache import CachedPlan, PlanCache
+from repro.sql.parser import normalize_statement
+
+
+def _entry(version=0):
+    return CachedPlan(
+        query=None, optimization=None, optimizer=None, parameter_count=0, catalog_version=version
+    )
+
+
+class TestNormalization:
+    def test_whitespace_case_and_semicolon_insensitive(self):
+        kinds_and_keys = {
+            normalize_statement(sql)
+            for sql in (
+                "SELECT a FROM t WHERE b > 1",
+                "select   a\nfrom t  where b > 1;",
+                "SELECT a FROM t -- trailing comment\nWHERE b > 1",
+            )
+        }
+        assert len(kinds_and_keys) == 1
+        kind, key = kinds_and_keys.pop()
+        assert kind == "select"
+        assert key == "select a from t where b > 1"
+
+    def test_explain_prefix_stripped_but_kind_kept(self):
+        plain = normalize_statement("SELECT a FROM t")
+        explain = normalize_statement("EXPLAIN SELECT a FROM t")
+        analyze = normalize_statement("explain analyze SELECT a FROM t")
+        assert plain[1] == explain[1] == analyze[1]
+        assert (plain[0], explain[0], analyze[0]) == ("select", "explain", "explain analyze")
+
+    def test_hints_and_strings_preserved(self):
+        _, with_hint = normalize_statement("SELECT a FROM t WHERE b = 1 /*+ selectivity=0.5 */")
+        _, without = normalize_statement("SELECT a FROM t WHERE b = 1")
+        assert with_hint != without
+        _, quoted = normalize_statement("SELECT a FROM t WHERE c = 'x y'")
+        assert "'x y'" in quoted
+
+    def test_ddl_is_other(self):
+        assert normalize_statement("CREATE TABLE t (a INTEGER)")[0] == "other"
+        assert normalize_statement("ANALYZE t")[0] == "other"
+        assert normalize_statement("INSERT INTO t VALUES (1)")[0] == "other"
+
+
+class TestPlanCache:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store(("a", ()), _entry())
+        cache.store(("b", ()), _entry())
+        assert cache.lookup(("a", ()), 0) is not None  # refresh "a"
+        cache.store(("c", ()), _entry())  # evicts "b"
+        assert cache.lookup(("b", ()), 0) is None
+        assert cache.lookup(("a", ()), 0) is not None
+        assert cache.evictions == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = PlanCache()
+        cache.store(("a", ()), _entry(version=1))
+        assert cache.lookup(("a", ()), 2) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_signature_separates_entries(self):
+        cache = PlanCache()
+        cache.store(("a", ("int",)), _entry())
+        assert cache.lookup(("a", ("float",)), 0) is None
+        assert cache.lookup(("a", ("int",)), 0) is not None
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0)
+        cache.store(("a", ()), _entry())
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+
+    def test_stats_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.store(("a", ()), _entry())
+        cache.lookup(("a", ()), 0)
+        cache.lookup(("missing", ()), 0)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        cache.clear()
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestCacheBehaviorEndToEnd:
+    def test_differently_spelled_statements_share_entry(self):
+        conn = repro.connect()
+        conn.executescript(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2); ANALYZE t"
+        )
+        db = conn.database
+        db.execute("SELECT a FROM t WHERE a > 1")
+        result = db.execute("select  a   from t where a > 1;")
+        assert result.from_cache is True
+
+    def test_explain_warms_select(self):
+        conn = repro.connect()
+        conn.executescript("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); ANALYZE t")
+        db = conn.database
+        db.execute("EXPLAIN SELECT a FROM t WHERE a > 0")
+        assert db.execute("SELECT a FROM t WHERE a > 0").from_cache is True
+
+    def test_capacity_respected_end_to_end(self):
+        conn = repro.connect(plan_cache_size=2)
+        conn.executescript("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); ANALYZE t")
+        db = conn.database
+        for bound in range(4):
+            db.execute(f"SELECT a FROM t WHERE a > {bound}")
+        assert db.stats()["plan_cache"]["entries"] == 2
+        assert db.stats()["plan_cache"]["evictions"] == 2

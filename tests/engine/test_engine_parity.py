@@ -8,12 +8,13 @@ counts must be identical.
 
 import pytest
 
+import repro
 from repro.engine.executor import PlanExecutor
 from repro.engine.vectorized import VectorizedExecutor
 from repro.optimizer.declarative import DeclarativeOptimizer
 from repro.sql.session import Session
 from repro.workloads.queries import q3s, q5
-from repro.workloads.sql_queries import PARITY_SQL
+from repro.workloads.sql_queries import PARITY_SQL, PREPARED_SQL
 from repro.workloads.tpch import catalog_from_data, generate_tpch_data
 
 QUERY_NAMES = sorted(PARITY_SQL)
@@ -130,3 +131,127 @@ class TestExecutorLevelParity:
         plan = DeclarativeOptimizer(query, data_catalog).optimize().plan
         assert PlanExecutor(query, dataset).execute(plan).engine == "row"
         assert VectorizedExecutor(query, dataset).execute(plan).engine == "vectorized"
+
+
+@pytest.fixture(scope="module")
+def databases(dataset, data_catalog):
+    """Row and vectorized Databases over the same TPC-H rows and catalog."""
+    return {
+        engine: repro.connect(data_catalog, dataset, engine=engine).database
+        for engine in ("row", "vectorized")
+    }
+
+
+@pytest.mark.parametrize("name", sorted(PREPARED_SQL))
+class TestPreparedWorkloadParity:
+    """The prepared (parameterized) workload statements agree across engines,
+    with cached plans re-executed under fresh parameter values."""
+
+    def test_identical_rows_and_cardinalities(self, name, databases):
+        sql, params = PREPARED_SQL[name]
+        for _ in range(2):  # second round exercises the cached path
+            row_result = databases["row"].execute(sql, params)
+            vec_result = databases["vectorized"].execute(sql, params)
+            assert row_result.rows == vec_result.rows
+            assert (
+                row_result.execution.observed_cardinalities
+                == vec_result.execution.observed_cardinalities
+            )
+            assert (
+                row_result.execution.operator_cardinalities
+                == vec_result.execution.operator_cardinalities
+            )
+
+    def test_cached_execution_agrees_under_new_parameters(self, name, databases):
+        sql, params = PREPARED_SQL[name]
+        shifted = tuple(
+            value + 1 if isinstance(value, (int, float)) else value for value in params
+        )
+        databases["row"].execute(sql, params)
+        databases["vectorized"].execute(sql, params)
+        row_result = databases["row"].execute(sql, shifted)
+        vec_result = databases["vectorized"].execute(sql, shifted)
+        assert row_result.from_cache and vec_result.from_cache
+        assert row_result.rows == vec_result.rows
+
+
+DDL_SCRIPT = """
+CREATE TABLE item (ik INTEGER, ok INTEGER, qty FLOAT, tag STRING,
+                   PRIMARY KEY (ik), INDEX (ok));
+CREATE TABLE ord (ok INTEGER, day INTEGER, prio INTEGER, PRIMARY KEY (ok));
+INSERT INTO item VALUES (1, 10, 5.0, 'a'), (2, 10, 7.5, 'b'), (3, 20, 2.5, 'a'),
+                        (4, 30, NULL, 'c'), (5, 20, 9.0, 'b'), (6, 40, 1.0, 'a');
+INSERT INTO ord VALUES (10, 100, 0), (20, 200, 1), (30, 300, 0), (40, 400, 1);
+ANALYZE
+"""
+
+PARAMETRIC_SQL = {
+    "FilterParam": ("SELECT ik, tag FROM item WHERE qty > ?", (3.0,)),
+    "JoinParam": (
+        "SELECT ik, day FROM item, ord WHERE item.ok = ord.ok AND day < $1 AND qty > $2",
+        (350, 2.0),
+    ),
+    "AggregateParam": (
+        "SELECT tag, COUNT(*), SUM(qty) FROM item WHERE qty > ? GROUP BY tag ORDER BY tag",
+        (0.5,),
+    ),
+    "CopyAndInsertMix": ("SELECT ik FROM item WHERE qty > ? ORDER BY ik DESC LIMIT 3", (1.5,)),
+}
+
+
+@pytest.fixture(scope="module")
+def ddl_connections(tmp_path_factory):
+    """Row and vectorized databases loaded identically through SQL DDL + COPY."""
+    csv_path = tmp_path_factory.mktemp("parity") / "more_items.csv"
+    csv_path.write_text("ik,ok,qty,tag\n7,30,4.0,c\n8,40,,b\n9,10,6.0,a\n")
+    connections = {}
+    for engine in ("row", "vectorized"):
+        connection = repro.connect(engine=engine)
+        connection.executescript(DDL_SCRIPT)
+        connection.executescript(f"COPY item FROM '{csv_path}'; ANALYZE item")
+        connections[engine] = connection
+    return connections
+
+
+@pytest.mark.parametrize("name", sorted(PARAMETRIC_SQL))
+class TestDdlLoadedParity:
+    """INSERT/COPY-loaded tables + parameterized queries agree across engines."""
+
+    def test_identical_rows_and_order(self, name, ddl_connections):
+        sql, params = PARAMETRIC_SQL[name]
+        row_rows = ddl_connections["row"].execute(sql, params).fetchall()
+        vec_rows = ddl_connections["vectorized"].execute(sql, params).fetchall()
+        assert row_rows == vec_rows
+        assert row_rows  # the queries are chosen to return data
+
+    def test_identical_observed_cardinalities(self, name, ddl_connections):
+        sql, params = PARAMETRIC_SQL[name]
+        row_result = ddl_connections["row"].database.execute(sql, params)
+        vec_result = ddl_connections["vectorized"].database.execute(sql, params)
+        assert (
+            row_result.execution.observed_cardinalities
+            == vec_result.execution.observed_cardinalities
+        )
+        assert (
+            row_result.execution.operator_cardinalities
+            == vec_result.execution.operator_cardinalities
+        )
+
+
+class TestParameterizedReplanParity:
+    """One cached plan, many parameter values: both engines agree each time,
+    and the vectorized engine's zero-copy ColumnTable scans stay consistent
+    with the row engine's materialized view of the same store."""
+
+    @pytest.mark.parametrize("bound", [0.0, 2.6, 5.0, 100.0])
+    def test_rebinding_parameters_without_replanning(self, bound, ddl_connections):
+        sql = "SELECT ik FROM item WHERE qty > $1 ORDER BY ik"
+        row_db = ddl_connections["row"].database
+        vec_db = ddl_connections["vectorized"].database
+        row_result = row_db.execute(sql, (bound,))
+        vec_result = vec_db.execute(sql, (bound,))
+        assert row_result.rows == vec_result.rows
+        assert (
+            row_result.execution.observed_cardinalities
+            == vec_result.execution.observed_cardinalities
+        )

@@ -86,3 +86,109 @@ class TestEngineFlag:
         )
         assert code == 0
         assert "(1 row)" in capsys.readouterr().out
+
+
+class TestScripts:
+    def test_semicolon_separated_script_shares_connection(self, capsys):
+        code = main(
+            [
+                "--empty",
+                "-c",
+                "CREATE TABLE t (a INTEGER); "
+                "INSERT INTO t VALUES (1), (2), (3); "
+                "ANALYZE t; "
+                "SELECT COUNT(*) FROM t",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok: create table" in out
+        assert "ok: insert (3 rows)" in out
+        assert "(1 row)" in out  # the COUNT(*) result
+
+    def test_file_flag_runs_script(self, tmp_path, capsys):
+        script = tmp_path / "setup.sql"
+        script.write_text(
+            "CREATE TABLE t (a INTEGER, b FLOAT);\n"
+            "INSERT INTO t VALUES (1, 0.5), (2, 1.5);\n"
+            "ANALYZE t;\n"
+            "EXPLAIN ANALYZE SELECT a FROM t WHERE b > 1.0;\n"
+        )
+        code = main(["--empty", "--file", str(script)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "actual_rows=" in out
+        assert "engine: vectorized" in out
+
+    def test_file_missing(self, capsys):
+        code = main(["--empty", "--file", "/nonexistent/script.sql"])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_command_and_file_conflict(self, capsys):
+        code = main(["-c", "SELECT 1", "--file", "x.sql"])
+        assert code == 2
+
+    def test_error_in_mid_script_stops(self, capsys):
+        code = main(
+            ["--empty", "-c", "CREATE TABLE t (a INTEGER); SELECT nope FROM t"]
+        )
+        assert code == 1
+        assert "nope" in capsys.readouterr().err
+
+
+class TestParameters:
+    def test_param_flag_feeds_placeholders(self, capsys):
+        code = main(
+            [
+                "--empty",
+                "--param",
+                "1",
+                "-c",
+                "CREATE TABLE t (a INTEGER); "
+                "INSERT INTO t VALUES (1), (2), (3); "
+                "ANALYZE t; "
+                "SELECT a FROM t WHERE a > ?",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2 rows)" in out
+
+    def test_param_values_typed(self):
+        from repro.sql.cli import parse_parameter
+
+        assert parse_parameter("3") == 3
+        assert parse_parameter("2.5") == 2.5
+        assert parse_parameter("abc") == "abc"
+
+    def test_stats_flag_prints_plan_cache(self, capsys):
+        code = main(
+            [
+                "--empty",
+                "--stats",
+                "-c",
+                "CREATE TABLE t (a INTEGER); SELECT a FROM t; SELECT a FROM t",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"plan_cache"' in out
+        assert '"hits": 1' in out
+
+
+class TestRunStatementCompat:
+    def test_run_statement_handles_session_ddl_result(self):
+        """run_statement still accepts a legacy Session, including for DDL
+        results (SqlResult has no rowcount attribute)."""
+        import io
+
+        from repro.catalog.catalog import Catalog
+        from repro.relational.schema import Schema
+        from repro.sql.cli import run_statement
+        from repro.sql.session import Session
+
+        session = Session(Catalog(Schema()))
+        out = io.StringIO()
+        run_statement(session, "CREATE TABLE t (a INTEGER)", out=out)
+        assert "ok: create table" in out.getvalue()
