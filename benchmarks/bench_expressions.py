@@ -1,0 +1,316 @@
+"""Scalar expressions: compiled row closures vs naive tree-walk interpretation.
+
+Every expression case is evaluated over the same generated rows three ways:
+
+* **interpreted** — :func:`repro.relational.scalar.interpret`, re-dispatching
+  on node types for every row (what an engine without the compilation step
+  would do);
+* **compiled** — :func:`repro.relational.scalar.compile_row`, one closure
+  tree built per execution, no per-row dispatch;
+* **batched** — :func:`repro.relational.scalar.evaluate_batch` over pivoted
+  column arrays (the vectorized engine's evaluator), reported for context.
+
+The per-case ``speedup`` (interpreted / compiled) is what the CI gate
+tracks: a machine-stable ratio measuring what expression compilation buys.
+The case list deliberately covers the shapes the expression grammar added:
+wide OR chains, long IN lists, BETWEEN/LIKE mixes and arithmetic trees.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_expressions [--quick]
+
+or through pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_expressions.py \
+        -o python_files=bench_*.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from repro.relational import scalar
+from repro.relational.expressions import ColumnRef
+from repro.relational.scalar import (
+    And,
+    Arithmetic,
+    ArithOp,
+    Between,
+    Column,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Like,
+    Literal,
+    Or,
+    ScalarExpr,
+)
+
+BENCH_NAME = "bench_expressions"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_expressions.json")
+
+DEFAULT_ROWS = 20_000
+QUICK_ROWS = 6_000
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+
+REGIONS = ["EU", "APAC", "US", "LATAM", "MEA", "ANZ", "NORDIC", "BENELUX"]
+
+
+def col(name: str) -> Column:
+    return Column(ColumnRef("o", name))
+
+
+def eq(column: str, value) -> Comparison:
+    return Comparison(ComparisonOp.EQ, col(column), Literal(value))
+
+
+def build_cases() -> Dict[str, ScalarExpr]:
+    """The expression shapes under test, keyed by case name."""
+    return {
+        "SingleCompare": Comparison(ComparisonOp.LT, col("qty"), Literal(25)),
+        "Conjunct3": And(
+            (
+                Comparison(ComparisonOp.GE, col("qty"), Literal(5)),
+                Comparison(ComparisonOp.LT, col("price"), Literal(400.0)),
+                Comparison(ComparisonOp.NE, col("region"), Literal("US")),
+            )
+        ),
+        "WideOr8": Or(tuple(eq("region", region) for region in REGIONS)),
+        "InList16": InList(col("sku"), tuple(Literal(value) for value in range(0, 64, 4))),
+        "ArithCompare": Comparison(
+            ComparisonOp.GT,
+            Arithmetic(
+                ArithOp.ADD,
+                Arithmetic(ArithOp.MUL, col("price"), col("qty")),
+                col("tax"),
+            ),
+            Literal(2000.0),
+        ),
+        "BetweenLikeMix": And(
+            (
+                Between(col("qty"), Literal(5), Literal(45)),
+                Or(
+                    (
+                        Like(col("note"), "a%"),
+                        Comparison(ComparisonOp.GE, col("price"), Literal(250.0)),
+                    )
+                ),
+            )
+        ),
+    }
+
+
+def generate_rows(count: int, seed: int) -> List[Dict[str, object]]:
+    rng = random.Random(seed)
+    rows: List[Dict[str, object]] = []
+    for _ in range(count):
+        rows.append(
+            {
+                "qty": rng.randint(0, 50) if rng.random() > 0.1 else None,
+                "price": round(rng.uniform(1.0, 500.0), 2),
+                "tax": round(rng.uniform(0.0, 50.0), 2),
+                "region": rng.choice(REGIONS),
+                "sku": rng.randint(0, 99),
+                "note": rng.choice(["alpha", "beta", "audit", "none", None]),
+            }
+        )
+    return rows
+
+
+def _name_of(ref: ColumnRef) -> str:
+    return ref.column
+
+
+def time_best(run: Callable[[], object], repeats: int) -> float:
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def evaluate_case(
+    expr: ScalarExpr, rows: List[Dict[str, object]], repeats: int
+) -> Tuple[float, float, float, int]:
+    """(interpreted, compiled, batched) best-of-N seconds + sanity row count."""
+
+    def interpreted() -> int:
+        return sum(1 for row in rows if scalar.interpret(expr, row, _name_of) is True)
+
+    def compiled() -> int:
+        accept = scalar.compile_predicate(expr, _name_of)
+        return sum(1 for row in rows if accept(row))
+
+    columns: Dict[str, List[object]] = {
+        name: [row[name] for row in rows] for name in rows[0]
+    }
+
+    def resolve(ref: ColumnRef) -> List[object]:
+        return columns[ref.column]
+
+    indices = range(len(rows))
+
+    def batched() -> int:
+        return len(scalar.filter_batch(expr, resolve, indices))
+
+    selected = compiled()
+    if not (selected == interpreted() == batched()):  # pragma: no cover - sanity
+        raise AssertionError(f"backends disagree on {expr}")
+    return (
+        time_best(interpreted, repeats),
+        time_best(compiled, repeats),
+        time_best(batched, repeats),
+        selected,
+    )
+
+
+def run_suite(quick: bool = False, seed: int = 7) -> Dict:
+    row_count = QUICK_ROWS if quick else DEFAULT_ROWS
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    rows = generate_rows(row_count, seed)
+    cases = build_cases()
+    queries: Dict[str, Dict[str, float]] = {}
+    totals = {"interpreted": 0.0, "compiled": 0.0}
+    for name, expr in cases.items():
+        interpreted, compiled, batched, selected = evaluate_case(expr, rows, repeats)
+        totals["interpreted"] += interpreted
+        totals["compiled"] += compiled
+        queries[name] = {
+            "interpreted_ms": interpreted * 1000,
+            "compiled_ms": compiled * 1000,
+            "batched_ms": batched * 1000,
+            "selected_rows": selected,
+            "speedup": interpreted / compiled if compiled > 0 else 0.0,
+        }
+    speedups = [entry["speedup"] for entry in queries.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "rows": row_count,
+        "repeats": repeats,
+        "queries": queries,
+        "summary": {
+            "total_interpreted_ms": totals["interpreted"] * 1000,
+            "total_compiled_ms": totals["compiled"] * 1000,
+            "total_speedup": totals["interpreted"] / totals["compiled"]
+            if totals["compiled"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name, entry in report["queries"].items():
+        rows.append(
+            (
+                name,
+                entry["interpreted_ms"],
+                entry["compiled_ms"],
+                entry["batched_ms"],
+                f"{entry['speedup']:.2f}x",
+            )
+        )
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_interpreted_ms"],
+            summary["total_compiled_ms"],
+            "",
+            f"{summary['total_speedup']:.2f}x",
+        )
+    )
+    title = (
+        f"Interpreted vs compiled scalar expressions ({report['mode']} mode, "
+        f"{report['rows']} rows, best of {report['repeats']}) — geomean "
+        f"speedup {summary['geomean_speedup']:.2f}x"
+    )
+    return format_table(
+        title, ["case", "interp ms", "compiled ms", "batched ms", "speedup"], rows
+    )
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench_rows():
+    return generate_rows(QUICK_ROWS, seed=7)
+
+
+@pytest.mark.parametrize("case_name", sorted(build_cases()))
+def test_compiled_evaluation(benchmark, bench_rows, case_name):
+    expr = build_cases()[case_name]
+    accept = scalar.compile_predicate(expr, _name_of)
+
+    def run():
+        return sum(1 for row in bench_rows if accept(row))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_expressions_report(benchmark):
+    """Emit the interpreted/compiled latency table + BENCH json (quick mode)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("expressions", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    assert report["summary"]["geomean_speedup"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME,
+        description="compiled-closure vs tree-walk scalar expression benchmark",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer rows / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=7, help="row generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("expressions", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""The scalar-expression grammar: disjunctions, ranges, NULLs, computed columns.
+
+A tour of what WHERE clauses and SELECT lists can express since the typed
+scalar-expression IR (`repro.relational.scalar`) replaced the old
+single-comparison predicate model:
+
+1. a mixed-type table with NULLs, created and loaded through SQL,
+2. disjunctions, BETWEEN, IN lists and LIKE in one WHERE clause — and how
+   the binder splits it into CNF conjuncts the optimizer costs separately,
+3. SQL three-valued NULL semantics (NULL never satisfies a filter;
+   IS [NOT] NULL finds it),
+4. computed SELECT expressions with aliases (`price * qty AS total`),
+5. typed prepared-statement parameters inside arbitrary expressions,
+6. EXPLAIN rendering of predicate trees, identical on both engines.
+
+Run with::
+
+    PYTHONPATH=src python examples/expressions.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    conn = repro.connect()
+    cur = conn.cursor()
+
+    print("=== 1. A mixed-type table with NULLs ===")
+    cur.execute(
+        "CREATE TABLE orders (oid INTEGER, region STRING, qty INTEGER, "
+        "price FLOAT, note STRING, PRIMARY KEY (oid))"
+    )
+    cur.execute(
+        "INSERT INTO orders VALUES "
+        "(1, 'EU',    10, 2.50, 'rush'),  "
+        "(2, 'APAC',  60, 1.00, 'bulk'),  "
+        "(3, 'EU',     7, 3.00, NULL),    "
+        "(4, 'US',    10, 9.90, 'rush'),  "
+        "(5, 'APAC',  49, 4.00, 'remit'), "
+        "(6, 'LATAM',  5, 8.00, 'rush'),  "
+        "(7, 'EU',   NULL, 6.50, 'bulk')"
+    )
+    cur.execute("ANALYZE orders")
+    print(f"{conn.database.stored_row_count('orders')} rows stored")
+
+    print("\n=== 2. Disjunctions, ranges and NULL tests in one WHERE ===")
+    sql = (
+        "SELECT oid, region, qty FROM orders "
+        "WHERE (region = 'EU' OR region = 'APAC') "
+        "AND qty BETWEEN 5 AND 50 AND note IS NOT NULL ORDER BY oid"
+    )
+    for row in cur.execute(sql):
+        print(row)
+    print("-- each top-level AND conjunct is costed and pushed down separately:")
+    print(conn.database.execute("EXPLAIN " + sql).plan_text)
+
+    print("\n=== 3. Three-valued logic: NULL is 'filtered out' ===")
+    print("qty < 100 keeps:", [r[0] for r in cur.execute(
+        "SELECT oid FROM orders WHERE qty < 100 ORDER BY oid")])
+    print("(oid 7 has NULL qty: NULL < 100 is NULL, not TRUE)")
+    print("qty IS NULL finds:", [r[0] for r in cur.execute(
+        "SELECT oid FROM orders WHERE qty IS NULL")])
+    print("NOT qty < 100 resurrects nothing:", [r[0] for r in cur.execute(
+        "SELECT oid FROM orders WHERE NOT qty < 100")])
+
+    print("\n=== 4. Computed SELECT expressions ===")
+    for row in cur.execute(
+        "SELECT oid, price * qty AS total FROM orders "
+        "WHERE price * qty > 25.0 ORDER BY oid"
+    ):
+        print(row)
+    print("(NULL qty propagates: oid 7's total would be NULL, and the")
+    print(" filter 'price * qty > 25.0' drops it under 3VL)")
+
+    print("\n=== 5. Typed parameters inside expressions ===")
+    sql = (
+        "SELECT oid FROM orders "
+        "WHERE qty BETWEEN ? AND ? AND (note LIKE 'ru%' OR region IN ('APAC', ?)) "
+        "ORDER BY oid"
+    )
+    for bounds in ((5, 15, "EU"), (40, 70, "LATAM")):
+        rows = [r[0] for r in cur.execute(sql, bounds)]
+        print(f"params {bounds}: oids {rows} "
+              f"(from_cache={cur.result.from_cache})")
+
+    print("\n=== 6. Both engines agree on every expression ===")
+    sql = (
+        "SELECT oid, price - 1.5 * 2 AS adjusted FROM orders "
+        "WHERE NOT (region != 'EU') AND qty IS NOT NULL ORDER BY oid"
+    )
+    for engine in ("vectorized", "row"):
+        rows = conn.database.connect(engine=engine).execute(sql).fetchall()
+        print(f"{engine:>10}: {rows}")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,7 @@ from repro.engine.vectorized.columns import ColumnTable
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
 from repro.relational.predicates import ParameterRef
 from repro.relational.query import Query
+from repro.relational.scalar import ScalarType
 from repro.relational.schema import DataType, Schema
 from repro.sql.ast import (
     AnalyzeStatement,
@@ -101,12 +102,16 @@ class StatementResult:
 
 
 def output_columns(query: Query) -> List[str]:
-    """The result column names (qualified) a bound query produces."""
+    """The result column names a bound query produces, in SELECT order.
+
+    Plain columns are qualified (``alias.column``); computed expressions
+    appear under their ``AS`` alias.
+    """
     if query.has_aggregation:
         columns = [str(column) for column in query.group_by]
         columns += [str(aggregate) for aggregate in query.aggregates]
         return columns
-    return [str(column) for column in query.projections]
+    return query.output_names
 
 
 def shape_rows(query: Query, rows: List[Row], columns: List[str]) -> List[Row]:
@@ -368,7 +373,9 @@ class Database:
         self._check_parameter_types(entry.query, params)
         query, optimization = entry.query, entry.optimization
         if kind == "explain":
-            text = explain_header(query, optimization) + render_plan(optimization.plan)
+            text = explain_header(query, optimization) + render_plan(
+                optimization.plan, query=query
+            )
             return StatementResult(
                 "explain",
                 query=query,
@@ -383,7 +390,7 @@ class Database:
         if kind == "explain analyze":
             text = (
                 explain_header(query, optimization)
-                + render_plan(optimization.plan, execution)
+                + render_plan(optimization.plan, execution, query=query)
                 + explain_footer(execution)
             )
             return StatementResult(
@@ -435,34 +442,27 @@ class Database:
             )
 
     def _check_parameter_types(self, query: Query, params: Tuple[object, ...]) -> None:
-        """Admission-check parameter values against their filter columns.
+        """Admission-check parameter values against their inferred types.
 
-        Catches mistyped parameters with a positioned-free but explicit
-        SqlError instead of letting a raw TypeError escape from the engine's
-        comparison loop.  Numeric columns accept int and float (comparisons
-        mix them fine); STRING columns require str; NULL never compares.
+        The binder types each slot from the expressions it appears in
+        (``Query.parameter_types``); this catches mistyped parameters with an
+        explicit SqlError instead of letting a raw TypeError escape from the
+        engine's comparison loop.  Numeric slots accept int and float
+        (comparisons mix them fine); string slots require str; NULL never
+        compares, so it is rejected up front.
         """
         if not params:
             return
-        schema = self.catalog.schema
-        for predicate in query.filters:
-            slot = predicate.value
-            if not isinstance(slot, ParameterRef):
-                continue
-            resolved = params[slot.index - 1]
+        for index, expected in sorted(query.parameter_types.items()):
+            if index > len(params):
+                continue  # arity is checked separately
+            resolved = params[index - 1]
             if resolved is None:
                 raise SqlError(
-                    f"parameter ${slot.index} is NULL: a NULL comparison "
-                    f"({predicate}) matches no rows and is not supported"
+                    f"parameter ${index} is NULL: a NULL comparison matches "
+                    "no rows and is not supported"
                 )
-            table_name = query.relation(predicate.alias).table
-            if not schema.has_table(table_name):
-                continue
-            table = schema.table(table_name)
-            if not table.has_column(predicate.column.column):
-                continue
-            data_type = table.column(predicate.column.column).data_type
-            if data_type is DataType.STRING:
+            if expected is ScalarType.STRING:
                 comparable = isinstance(resolved, str)
             else:
                 comparable = isinstance(resolved, (int, float)) and not isinstance(
@@ -470,8 +470,8 @@ class Database:
                 )
             if not comparable:
                 raise SqlError(
-                    f"type mismatch for parameter ${slot.index} bound to "
-                    f"{predicate.column}: expected {data_type.value}, got {resolved!r}"
+                    f"type mismatch for parameter ${index}: expected "
+                    f"{expected.value}, got {resolved!r}"
                 )
 
     def _next_name(self) -> str:

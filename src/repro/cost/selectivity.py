@@ -3,6 +3,23 @@
 All optimizer implementations in this library share this estimator, just as
 the paper's Volcano-style, System-R-style and declarative optimizers share
 their histogram and cost-estimation code.
+
+Filter predicates are scalar expression trees
+(:mod:`repro.relational.scalar`); the estimator walks them structurally:
+
+* simple comparisons against constants use the column histogram (equality
+  through per-bucket frequency, ranges through bucket overlap);
+* ``BETWEEN`` estimates the closed range directly, ``IN (a, b, c)`` sums the
+  per-value equality estimates;
+* ``AND`` multiplies its operands' selectivities and ``OR`` combines them as
+  ``1 - prod(1 - s_i)`` — both under the usual independence assumption —
+  while ``NOT e`` is ``1 - s(e)``;
+* ``IS [NOT] NULL`` uses the column's null fraction when statistics carry
+  one; ``LIKE`` and anything the estimator cannot decompose (arithmetic over
+  columns, column-to-column comparisons) fall back to operator defaults.
+
+Because estimates stay per-conjunct, the incremental re-optimizer keeps
+seeing selectivity deltas at the same granularity as before.
 """
 
 from __future__ import annotations
@@ -11,12 +28,25 @@ from typing import Optional
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import ColumnStats
+from repro.relational import scalar
 from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
 from repro.relational.query import Query
 
 DEFAULT_EQ_SELECTIVITY = 0.01
 DEFAULT_RANGE_SELECTIVITY = 0.3
 DEFAULT_NE_SELECTIVITY = 0.9
+DEFAULT_BETWEEN_SELECTIVITY = 0.25
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_NULL_FRACTION = 0.02
+
+_FLIPPED = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+    ComparisonOp.NE: ComparisonOp.NE,
+}
 
 
 class SelectivityEstimator:
@@ -32,29 +62,124 @@ class SelectivityEstimator:
         if predicate.selectivity_hint is not None:
             return predicate.selectivity_hint
         table = query.relation(predicate.alias).table
-        stats = self._column_stats(table, predicate.column.column)
-        if stats is None:
-            return self._fallback(predicate.op)
-        return self._estimate_from_stats(stats, predicate)
+        return self._clamp(self._expr_selectivity(table, predicate.expr))
 
-    def _estimate_from_stats(self, stats: ColumnStats, predicate: FilterPredicate) -> float:
-        value = predicate.value
-        numeric = isinstance(value, (int, float))
-        if predicate.op is ComparisonOp.EQ:
+    def _expr_selectivity(self, table: str, expr: scalar.ScalarExpr) -> float:
+        if isinstance(expr, scalar.And):
+            product = 1.0
+            for item in expr.items:
+                product *= self._expr_selectivity(table, item)
+            return product
+        if isinstance(expr, scalar.Or):
+            none_match = 1.0
+            for item in expr.items:
+                none_match *= 1.0 - self._expr_selectivity(table, item)
+            return 1.0 - none_match
+        if isinstance(expr, scalar.Not):
+            return 1.0 - self._expr_selectivity(table, expr.operand)
+        if isinstance(expr, scalar.Comparison):
+            return self._comparison_selectivity(table, expr)
+        if isinstance(expr, scalar.Between):
+            return self._between_selectivity(table, expr)
+        if isinstance(expr, scalar.InList):
+            return self._in_selectivity(table, expr)
+        if isinstance(expr, scalar.Like):
+            fraction = DEFAULT_LIKE_SELECTIVITY
+            return 1.0 - fraction if expr.negated else fraction
+        if isinstance(expr, scalar.IsNull):
+            fraction = self._null_fraction(table, expr.operand)
+            return 1.0 - fraction if expr.negated else fraction
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _comparison_selectivity(self, table: str, expr: scalar.Comparison) -> float:
+        """``column <op> constant`` (either orientation) through statistics."""
+        op, left, right = expr.op, expr.left, expr.right
+        if isinstance(left, scalar.Column) and isinstance(
+            right, (scalar.Literal, scalar.Parameter)
+        ):
+            column, constant = left.ref, right
+        elif isinstance(right, scalar.Column) and isinstance(
+            left, (scalar.Literal, scalar.Parameter)
+        ):
+            column, constant, op = right.ref, left, _FLIPPED[op]
+        else:
+            # Column-to-column, arithmetic, nested — no histogram applies.
+            return self._fallback(op)
+        value: object = (
+            constant.value if isinstance(constant, scalar.Literal) else constant
+        )
+        if value is None:
+            return 1e-9  # NULL never compares TRUE
+        stats = self._column_stats(table, column.column)
+        if stats is None:
+            return self._fallback(op)
+        return self._estimate_from_stats(stats, op, value)
+
+    def _between_selectivity(self, table: str, expr: scalar.Between) -> float:
+        fraction = DEFAULT_BETWEEN_SELECTIVITY
+        if (
+            isinstance(expr.operand, scalar.Column)
+            and isinstance(expr.low, scalar.Literal)
+            and isinstance(expr.high, scalar.Literal)
+            and isinstance(expr.low.value, (int, float))
+            and isinstance(expr.high.value, (int, float))
+        ):
+            stats = self._column_stats(table, expr.operand.ref.column)
+            if stats is not None and stats.histogram is not None:
+                fraction = stats.histogram.selectivity_range(expr.low.value, expr.high.value)
+            elif stats is not None and None not in (stats.min_value, stats.max_value):
+                low_side = self._linear_range(
+                    stats.min_value, stats.max_value, ComparisonOp.GE, expr.low.value
+                )
+                high_side = self._linear_range(
+                    stats.min_value, stats.max_value, ComparisonOp.LE, expr.high.value
+                )
+                fraction = max(0.0, low_side + high_side - 1.0)
+        fraction = self._clamp(fraction)
+        return 1.0 - fraction if expr.negated else fraction
+
+    def _in_selectivity(self, table: str, expr: scalar.InList) -> float:
+        fraction = 0.0
+        stats = (
+            self._column_stats(table, expr.operand.ref.column)
+            if isinstance(expr.operand, scalar.Column)
+            else None
+        )
+        for item in expr.items:
+            value = item.value if isinstance(item, scalar.Literal) else None
+            if stats is not None and value is not None:
+                fraction += self._estimate_from_stats(stats, ComparisonOp.EQ, value)
+            else:
+                fraction += DEFAULT_EQ_SELECTIVITY
+        fraction = self._clamp(fraction)
+        return 1.0 - fraction if expr.negated else fraction
+
+    def _null_fraction(self, table: str, operand: scalar.ScalarExpr) -> float:
+        if isinstance(operand, scalar.Column):
+            stats = self._column_stats(table, operand.ref.column)
+            if stats is not None:
+                return self._clamp(stats.null_fraction)
+        return DEFAULT_NULL_FRACTION
+
+    def _estimate_from_stats(
+        self, stats: ColumnStats, op: ComparisonOp, value: object
+    ) -> float:
+        numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if op is ComparisonOp.EQ:
             if stats.histogram is not None and numeric:
                 return self._clamp(stats.histogram.selectivity_eq(value))
             return self._clamp(1.0 / max(1.0, stats.distinct_count))
-        if predicate.op is ComparisonOp.NE:
+        if op is ComparisonOp.NE:
             return self._clamp(1.0 - 1.0 / max(1.0, stats.distinct_count))
-        if predicate.op.is_range and numeric:
+        if op.is_range and numeric:
             if stats.histogram is not None:
-                low, high = self._range_bounds(predicate.op, value)
+                low, high = self._range_bounds(op, value)
                 return self._clamp(stats.histogram.selectivity_range(low, high))
             if stats.min_value is not None and stats.max_value is not None:
                 return self._clamp(
-                    self._linear_range(stats.min_value, stats.max_value, predicate.op, value)
+                    self._linear_range(stats.min_value, stats.max_value, op, value)
                 )
-        return self._fallback(predicate.op)
+        return self._fallback(op)
 
     @staticmethod
     def _range_bounds(op: ComparisonOp, value: object):

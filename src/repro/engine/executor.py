@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
+from repro.relational import scalar
 from repro.relational.expressions import Expression
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
 from repro.relational.predicates import JoinPredicate
@@ -27,6 +28,11 @@ from repro.relational.query import AggregateFunction, Query
 
 Row = Dict[str, object]
 Table = List[Row]
+
+
+def _scan_key(ref) -> str:
+    """Scans evaluate filters over base rows keyed by unqualified names."""
+    return ref.column
 
 
 @dataclass
@@ -86,8 +92,31 @@ class PlanExecutor:
         # as the recursion descends assigns every node its stable label.
         self._keys: Iterator[str] = iter(plan.operator_keys())
         result.rows = self._execute_node(plan, result)
+        self._attach_derived(result.rows)
         result.elapsed_seconds = time.perf_counter() - started
         return result
+
+    def _attach_derived(self, rows: Table) -> None:
+        """Compute the query's ``expr AS name`` columns on the output rows.
+
+        Output rows are keyed by qualified names, so derived expressions
+        compile against ``str(ref)``.
+        """
+        if not self.query.derived:
+            return
+        compiled = [
+            (column.name, scalar.compile_row(column.expr, str, self.parameters))
+            for column in self.query.derived
+        ]
+        try:
+            for row in rows:
+                for name, evaluate in compiled:
+                    row[name] = evaluate(row)
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"computed column references {error.ref} which is absent "
+                "from the data"
+            ) from error
 
     # ------------------------------------------------------------------
     # Node dispatch
@@ -130,28 +159,32 @@ class PlanExecutor:
         if not isinstance(base_rows, (list, tuple)) and hasattr(base_rows, "to_rows"):
             # A columnar store (ColumnTable): materialize rows at the scan.
             base_rows = base_rows.to_rows()
-        # Prepared-statement slots resolve once per execution, not per row.
-        filters = [
-            (predicate, predicate.resolved_value(self.parameters))
+        # Each CNF conjunct compiles once per execution into a closure tree
+        # (prepared-statement slots resolve at compile time, not per row); a
+        # row must evaluate to exactly TRUE on every conjunct to survive —
+        # SQL three-valued logic makes NULL "filtered out".
+        compiled = [
+            (predicate, scalar.compile_predicate(predicate.expr, _scan_key, self.parameters))
             for predicate in self.query.filters_for(alias)
         ]
         output: Table = []
-        for base_row in base_rows:
-            keep = True
-            for predicate, constant in filters:
-                name = predicate.column.column
-                if name not in base_row:
-                    raise ExecutionError(
-                        f"filter {predicate} references column {name!r} which is "
-                        f"absent from the data for alias {alias!r} "
-                        f"(table {relation.table!r})"
+        try:
+            for base_row in base_rows:
+                keep = True
+                for _predicate, accept in compiled:
+                    if not accept(base_row):
+                        keep = False
+                        break
+                if keep:
+                    output.append(
+                        {f"{alias}.{name}": value for name, value in base_row.items()}
                     )
-                value = base_row[name]
-                if value is None or not predicate.op.evaluate(value, constant):
-                    keep = False
-                    break
-            if keep:
-                output.append({f"{alias}.{name}": value for name, value in base_row.items()})
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"filter references column {error.ref.column!r} which is "
+                f"absent from the data for alias {alias!r} "
+                f"(table {relation.table!r})"
+            ) from error
         return output
 
     # ------------------------------------------------------------------

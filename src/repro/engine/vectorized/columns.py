@@ -76,6 +76,11 @@ class ColumnTable:
     def to_rows(self) -> List[Row]:
         """Materialize the table back into row dicts (row order preserved)."""
         names = list(self.columns)
+        if not names:
+            # A zero-column table still has a row count (e.g. a query whose
+            # only outputs are computed expressions): emit empty dicts for
+            # the derived columns to land in.
+            return [{} for _ in range(self.row_count)]
         return [dict(zip(names, values)) for values in zip(*(self.columns[n] for n in names))]
 
 

@@ -43,11 +43,10 @@ from repro.engine.vectorized.columns import (
     ColumnTable,
     TableView,
 )
+from repro.relational import scalar
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
 from repro.relational.predicates import JoinPredicate
 from repro.relational.query import AggregateFunction, Query
-
-_MISSING = object()
 
 
 class VectorizedExecutor:
@@ -71,7 +70,9 @@ class VectorizedExecutor:
         #: with no declared outputs (bare builder queries) the row engine's
         #: "every column rides along" behaviour is kept; otherwise scans
         #: materialize only what the query references.
-        self._prune_columns = bool(query.projections) or query.has_aggregation
+        self._prune_columns = (
+            bool(query.projections) or bool(query.derived) or query.has_aggregation
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -83,9 +84,41 @@ class VectorizedExecutor:
         # Pre-order key consumption mirrors PlanExecutor: identical labels.
         self._keys: Iterator[str] = iter(plan.operator_keys())
         view = self._execute_node(plan, result)
+        derived = self._derived_columns(view)
         result.rows = view.materialize(self._output_names(view)).to_rows()
+        for name, values in derived:
+            for row, value in zip(result.rows, values):
+                row[name] = value
         result.elapsed_seconds = time.perf_counter() - started
         return result
+
+    def _derived_columns(self, view: TableView) -> List[Tuple[str, List[object]]]:
+        """Evaluate the query's ``expr AS name`` columns over the root view."""
+        if not self.query.derived:
+            return []
+
+        def resolve(ref) -> Sequence[object]:
+            values = view.column(str(ref))
+            if values is None:
+                raise scalar.MissingColumnError(ref)
+            return values
+
+        indices = range(view.row_count)
+        out: List[Tuple[str, List[object]]] = []
+        try:
+            for column in self.query.derived:
+                out.append(
+                    (
+                        column.name,
+                        scalar.evaluate_batch(column.expr, resolve, indices, self.parameters),
+                    )
+                )
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"computed column references {error.ref} which is absent "
+                "from the data"
+            ) from error
+        return out
 
     def _output_names(self, view: TableView) -> Optional[List[str]]:
         """Columns to materialize at the root (None = all).
@@ -149,7 +182,12 @@ class VectorizedExecutor:
             names = [column.column for column in self.query.columns_of_alias(alias)]
         else:
             names = list(base_rows[0].keys())
-        filters = self.query.filters_for(alias)
+        # Filters compile once per scan into selection-vector transforms
+        # (sargable shapes get tight loops, the rest the generic evaluator).
+        compiled = [
+            scalar.compile_filter(predicate.expr, self.parameters)
+            for predicate in self.query.filters_for(alias)
+        ]
         output: Dict[str, List[object]] = {f"{alias}.{name}": [] for name in names}
         out_columns = list(output.values())
         batch_size = self.batch_size
@@ -159,7 +197,7 @@ class VectorizedExecutor:
         row_count = 0
         for start in range(0, len(base_rows), batch_size):
             batch = base_rows[start : start + batch_size]
-            selection = self._filter_batch(batch, filters, alias, relation.table)
+            selection = self._filter_batch(batch, compiled, alias, relation.table)
             if selection is None:  # no filters: keep the whole batch
                 row_count += len(batch)
                 for name, out in zip(names, out_columns):
@@ -179,42 +217,41 @@ class VectorizedExecutor:
     def _filter_batch(
         self,
         batch: Sequence[Mapping[str, object]],
-        filters: Sequence,
+        compiled: Sequence[scalar.FilterFn],
         alias: str,
         table: str,
     ) -> Optional[List[int]]:
-        """Selection vector of batch positions passing every filter.
+        """Selection vector of batch positions passing every filter conjunct.
 
         Returns ``None`` when there are no filters (caller keeps the batch
-        wholesale).  Like the row engine, a filter column absent from a row
-        still under consideration raises; rows already rejected by an earlier
-        predicate are never inspected.
+        wholesale).  Each conjunct is a compiled selection-vector transform
+        (:func:`scalar.compile_filter`); like the row engine, a filter column
+        absent from a row still under consideration raises, while rows
+        already rejected by an earlier conjunct are never inspected.
         """
-        if not filters:
+        if not compiled:
             return None
+        pivots: Dict[str, List[object]] = {}
+
+        def resolve(ref) -> List[object]:
+            values = pivots.get(ref.column)
+            if values is None:
+                values = pivots[ref.column] = [
+                    row.get(ref.column, scalar.MISSING) for row in batch
+                ]
+            return values
+
         selection: Sequence[int] = range(len(batch))
-        for predicate in filters:
-            name = predicate.column.column
-            values = [row.get(name, _MISSING) for row in batch]
-            compare = predicate.op.comparator
-            constant = predicate.resolved_value(self.parameters)
-            surviving: List[int] = []
-            append = surviving.append
-            for index in selection:
-                value = values[index]
-                if value is None:
-                    continue
-                if value is _MISSING:
-                    raise ExecutionError(
-                        f"filter {predicate} references column {name!r} which is "
-                        f"absent from the data for alias {alias!r} "
-                        f"(table {table!r})"
-                    )
-                if compare(value, constant):
-                    append(index)
-            selection = surviving
-            if not selection:
-                break
+        try:
+            for accept in compiled:
+                selection = accept(resolve, selection)
+                if not selection:
+                    break
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"filter references column {error.ref.column!r} which is "
+                f"absent from the data for alias {alias!r} (table {table!r})"
+            ) from error
         return list(selection)
 
     def _scan_column_table(self, stored: ColumnTable, alias: str, table: str) -> ColumnTable:
@@ -233,33 +270,36 @@ class VectorizedExecutor:
         filters = self.query.filters_for(alias)
         selection: Optional[List[int]] = None
         if filters:
-            sides = []
-            for predicate in filters:
-                values = stored.column(predicate.column.column)
+
+            def resolve(ref) -> List[object]:
+                values = stored.column(ref.column)
                 if values is None:
-                    raise ExecutionError(
-                        f"filter {predicate} references column "
-                        f"{predicate.column.column!r} which is absent from the "
-                        f"data for alias {alias!r} (table {table!r})"
-                    )
-                sides.append(
-                    (values, predicate.op.comparator, predicate.resolved_value(self.parameters))
-                )
+                    raise scalar.MissingColumnError(ref)
+                return values
+
+            compiled = [
+                scalar.compile_filter(predicate.expr, self.parameters)
+                for predicate in filters
+            ]
             selection = []
             extend = selection.extend
             batch_size = self.batch_size
-            for start in range(0, stored.row_count, batch_size):
-                indices: Sequence[int] = range(start, min(start + batch_size, stored.row_count))
-                for values, compare, constant in sides:
-                    indices = [
-                        index
-                        for index in indices
-                        if values[index] is not None and compare(values[index], constant)
-                    ]
-                    if not indices:
-                        break
-                else:
-                    extend(indices)
+            try:
+                for start in range(0, stored.row_count, batch_size):
+                    indices: Sequence[int] = range(
+                        start, min(start + batch_size, stored.row_count)
+                    )
+                    for accept in compiled:
+                        indices = accept(resolve, indices)
+                        if not indices:
+                            break
+                    else:
+                        extend(indices)
+            except scalar.MissingColumnError as error:
+                raise ExecutionError(
+                    f"filter references column {error.ref.column!r} which is "
+                    f"absent from the data for alias {alias!r} (table {table!r})"
+                ) from error
         row_count = stored.row_count if selection is None else len(selection)
         output: Dict[str, List[object]] = {}
         for name in names:

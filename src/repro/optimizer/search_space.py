@@ -121,11 +121,16 @@ class SearchSpaceEnumerator:
         return alternatives
 
     def _filtered_index_column(self, alias: str) -> Optional[ColumnRef]:
-        """A column of *alias* that both has an index and appears in a filter."""
+        """A column of *alias* that has an index and a sargable filter.
+
+        Only simple comparison/BETWEEN conjuncts qualify (an index cannot
+        serve a disjunction or an arithmetic expression over the column).
+        """
         table = self.query.relation(alias).table
         for predicate in self.query.filters_for(alias):
-            if self.catalog.index_on(table, predicate.column.column) is not None:
-                return predicate.column
+            column = predicate.indexable_column
+            if column is not None and self.catalog.index_on(table, column.column) is not None:
+                return column
         return None
 
     # -- joins ----------------------------------------------------------

@@ -1,5 +1,6 @@
 """Relational substrate: schema, expressions, predicates, queries, plans."""
 
+from repro.relational import scalar
 from repro.relational.expressions import ColumnRef, Expression
 from repro.relational.plan import LogicalOperator, PhysicalOperator, PhysicalPlan
 from repro.relational.predicates import (
@@ -8,10 +9,10 @@ from repro.relational.predicates import (
     JoinPredicate,
     ParameterRef,
 )
-from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
 from repro.relational.query import (
     AggregateFunction,
     AggregateSpec,
+    DerivedColumn,
     OrderItem,
     Query,
     QueryBuilder,
@@ -19,6 +20,8 @@ from repro.relational.query import (
     WindowKind,
     WindowSpec,
 )
+from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
+from repro.relational.scalar import ScalarExpr, ScalarType
 from repro.relational.schema import Column, DataType, Index, Schema, Table
 
 __all__ = [
@@ -36,7 +39,11 @@ __all__ = [
     "PropertyKind",
     "AggregateFunction",
     "AggregateSpec",
+    "DerivedColumn",
     "OrderItem",
+    "ScalarExpr",
+    "ScalarType",
+    "scalar",
     "Query",
     "QueryBuilder",
     "RelationRef",

@@ -1,143 +1,127 @@
-"""Filter and join predicates attached to a query block."""
+"""Filter and join predicates attached to a query block.
+
+A :class:`FilterPredicate` is a single-relation predicate: one CNF conjunct
+of the WHERE clause, held as a typed scalar expression tree
+(:mod:`repro.relational.scalar`) that references exactly one alias.  The
+binder extracts conjuncts so the optimizer keeps pushing down and costing
+individual conjuncts exactly as before, while each conjunct may now be an
+arbitrary boolean expression (disjunctions, ranges, arithmetic, NULL tests).
+
+:class:`JoinPredicate` is unchanged: a binary comparison between columns of
+two different relations, the unit of the optimizer's join enumeration.
+
+``ComparisonOp`` and ``ParameterRef`` live in :mod:`repro.relational.scalar`
+and are re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
-import operator
 from dataclasses import dataclass
-from enum import Enum
-from typing import Callable, FrozenSet, Optional, Sequence, Union
+from typing import FrozenSet, List, Optional, Union
 
 from repro.common.errors import QueryError
+from repro.relational import scalar
 from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.scalar import ComparisonOp, ParameterRef
+
+__all__ = [
+    "ComparisonOp",
+    "FilterPredicate",
+    "JoinPredicate",
+    "ParameterRef",
+    "Value",
+]
+
+Value = Union[int, float, str, None, ParameterRef]
 
 
-class ComparisonOp(Enum):
-    """Comparison operators supported in predicates."""
-
-    EQ = "="
-    NE = "!="
-    LT = "<"
-    LE = "<="
-    GT = ">"
-    GE = ">="
-
-    def evaluate(self, left: object, right: object) -> bool:
-        if self is ComparisonOp.EQ:
-            return left == right
-        if self is ComparisonOp.NE:
-            return left != right
-        if self is ComparisonOp.LT:
-            return left < right  # type: ignore[operator]
-        if self is ComparisonOp.LE:
-            return left <= right  # type: ignore[operator]
-        if self is ComparisonOp.GT:
-            return left > right  # type: ignore[operator]
-        return left >= right  # type: ignore[operator]
-
-    @property
-    def is_equality(self) -> bool:
-        return self is ComparisonOp.EQ
-
-    @property
-    def is_range(self) -> bool:
-        return self in (ComparisonOp.LT, ComparisonOp.LE, ComparisonOp.GT, ComparisonOp.GE)
-
-    @property
-    def comparator(self) -> Callable[[object, object], bool]:
-        """The C-level callable for this operator (hot-loop evaluation).
-
-        Semantically identical to :meth:`evaluate`; the vectorized engine
-        binds this once per predicate instead of dispatching through the
-        enum per value.
-        """
-        return _COMPARATORS[self]
-
-
-_COMPARATORS = {
-    ComparisonOp.EQ: operator.eq,
-    ComparisonOp.NE: operator.ne,
-    ComparisonOp.LT: operator.lt,
-    ComparisonOp.LE: operator.le,
-    ComparisonOp.GT: operator.gt,
-    ComparisonOp.GE: operator.ge,
-}
-
-@dataclass(frozen=True)
-class ParameterRef:
-    """A placeholder for a prepared-statement parameter (1-based index).
-
-    A :class:`FilterPredicate` whose value is a ``ParameterRef`` belongs to a
-    prepared statement: the plan is built (and cached) once, and the engines
-    substitute the concrete value at execution time — no re-planning.
-    Selectivity estimation treats the value as unknown (non-numeric), falling
-    back to distinct-count / default heuristics.
-    """
-
-    index: int
-
-    def __post_init__(self) -> None:
-        if self.index < 1:
-            raise QueryError("parameter indices are 1-based")
-
-    def __str__(self) -> str:
-        return f"${self.index}"
-
-
-Value = Union[int, float, str, ParameterRef]
+def _value_expr(value: Value) -> scalar.ScalarExpr:
+    if isinstance(value, ParameterRef):
+        return value
+    return scalar.Literal(value)
 
 
 @dataclass(frozen=True)
 class FilterPredicate:
-    """A single-relation predicate ``alias.column <op> constant``.
+    """One single-relation conjunct of a query's WHERE clause.
 
-    ``selectivity_hint`` lets a workload pin the selectivity directly instead
-    of relying on histogram estimation (useful for deterministic tests).
-    The constant may be a :class:`ParameterRef`; such predicates must be
-    evaluated through :meth:`resolved_value` with the statement's parameters.
+    ``expr`` is a boolean scalar expression referencing exactly one relation
+    alias.  ``selectivity_hint`` lets a workload pin the selectivity directly
+    instead of relying on histogram estimation (useful for deterministic
+    tests); it applies to the whole conjunct.
     """
 
-    column: ColumnRef
-    op: ComparisonOp
-    value: Value
+    expr: scalar.ScalarExpr
     selectivity_hint: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.selectivity_hint is not None and not 0.0 <= self.selectivity_hint <= 1.0:
             raise QueryError("selectivity_hint must be within [0, 1]")
+        aliases = scalar.aliases_of(self.expr)
+        if len(aliases) != 1:
+            raise QueryError(
+                f"a filter predicate must reference exactly one relation; "
+                f"{self.expr} references {sorted(aliases) or 'none'}"
+            )
+        object.__setattr__(self, "_alias", next(iter(aliases)))
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def comparison(
+        cls,
+        column: ColumnRef,
+        op: ComparisonOp,
+        value: Value,
+        selectivity_hint: Optional[float] = None,
+    ) -> "FilterPredicate":
+        """The classic ``column <op> constant`` shape as an expression tree."""
+        expr = scalar.Comparison(op, scalar.Column(column), _value_expr(value))
+        return cls(expr, selectivity_hint)
+
+    # -- accessors -------------------------------------------------------
 
     @property
     def alias(self) -> str:
-        return self.column.alias
+        return self._alias  # type: ignore[attr-defined]
+
+    @property
+    def columns(self) -> List[ColumnRef]:
+        return scalar.columns_of(self.expr)
 
     @property
     def is_parameterized(self) -> bool:
-        return isinstance(self.value, ParameterRef)
+        return bool(scalar.parameters_of(self.expr))
 
-    def resolved_value(self, parameters: Optional[Sequence[object]]) -> object:
-        """The concrete comparison constant for one execution.
+    @property
+    def indexable_column(self) -> Optional[ColumnRef]:
+        """The column an index scan could serve this predicate through.
 
-        For a parameterized predicate, looks up the 1-based slot in
-        *parameters*; raises :class:`QueryError` when the slot is absent.
+        Only sargable shapes qualify: a bare column compared to (or BETWEEN)
+        constants/parameters.  Anything else — arithmetic on the column,
+        disjunctions, IN, LIKE — returns None.
         """
-        if not isinstance(self.value, ParameterRef):
-            return self.value
-        index = self.value.index
-        if parameters is None or index > len(parameters):
-            supplied = 0 if parameters is None else len(parameters)
-            raise QueryError(
-                f"predicate {self} references parameter ${index} but only "
-                f"{supplied} parameter{'s' if supplied != 1 else ''} supplied"
-            )
-        return parameters[index - 1]
-
-    def evaluate(self, row_value: object) -> bool:
-        if isinstance(self.value, ParameterRef):
-            raise QueryError(f"cannot evaluate parameterized predicate {self} without parameters")
-        return self.op.evaluate(row_value, self.value)
+        expr = self.expr
+        if isinstance(expr, scalar.Comparison):
+            left, right = expr.left, expr.right
+            if isinstance(left, scalar.Column) and isinstance(
+                right, (scalar.Literal, scalar.Parameter)
+            ):
+                return left.ref
+            if isinstance(right, scalar.Column) and isinstance(
+                left, (scalar.Literal, scalar.Parameter)
+            ):
+                return right.ref
+        if isinstance(expr, scalar.Between) and not expr.negated:
+            if isinstance(expr.operand, scalar.Column) and all(
+                isinstance(bound, (scalar.Literal, scalar.Parameter))
+                for bound in (expr.low, expr.high)
+            ):
+                return expr.operand.ref
+        return None
 
     def __str__(self) -> str:
-        value = self.value if isinstance(self.value, ParameterRef) else repr(self.value)
-        return f"{self.column} {self.op.value} {value}"
+        return str(self.expr)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import QueryError
+from repro.relational import scalar
 from repro.relational.expressions import ColumnRef, Expression
 from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
 from repro.relational.schema import Schema
@@ -78,6 +79,22 @@ class OrderItem:
 
 
 @dataclass(frozen=True)
+class DerivedColumn:
+    """A computed SELECT item, e.g. ``price * qty AS total``.
+
+    ``expr`` is a typed scalar expression over the query's relations; the
+    engines evaluate it on their output rows and attach the value under
+    ``name``.  Derived columns are only available on non-aggregated blocks.
+    """
+
+    name: str
+    expr: scalar.ScalarExpr
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.name}"
+
+
+@dataclass(frozen=True)
 class AggregateSpec:
     """An aggregate in the SELECT list, e.g. ``COUNT(DISTINCT r5.xpos)``."""
 
@@ -106,6 +123,9 @@ class Query:
         aggregates: Sequence[AggregateSpec] = (),
         order_by: Sequence[OrderItem] = (),
         limit: Optional[int] = None,
+        derived: Sequence[DerivedColumn] = (),
+        output_order: Optional[Sequence[str]] = None,
+        parameter_types: Optional[Dict[int, scalar.ScalarType]] = None,
     ) -> None:
         if not relations:
             raise QueryError("a query needs at least one relation")
@@ -124,6 +144,12 @@ class Query:
         self.aggregates: Tuple[AggregateSpec, ...] = tuple(aggregates)
         self.order_by: Tuple[OrderItem, ...] = tuple(order_by)
         self.limit: Optional[int] = limit
+        self.derived: Tuple[DerivedColumn, ...] = tuple(derived)
+        self._output_order: Optional[Tuple[str, ...]] = (
+            tuple(output_order) if output_order is not None else None
+        )
+        #: types the binder inferred for prepared-statement slots (1-based).
+        self.parameter_types: Dict[int, scalar.ScalarType] = dict(parameter_types or {})
         self._validate_references()
 
     # -- validation ------------------------------------------------------
@@ -146,6 +172,24 @@ class Query:
         for item in self.order_by:
             if item.column.alias not in aliases:
                 raise QueryError(f"order-by column {item.column} uses unknown alias")
+        if self.derived and self.has_aggregation:
+            raise QueryError(
+                "computed SELECT expressions cannot be combined with "
+                "GROUP BY / aggregates"
+            )
+        names = [str(column) for column in self.projections]
+        for column in self.derived:
+            if column.name in names:
+                raise QueryError(f"duplicate output column {column.name!r}")
+            names.append(column.name)
+            for ref in scalar.columns_of(column.expr):
+                if ref.alias not in aliases:
+                    raise QueryError(f"computed column {column} uses unknown alias")
+        if self._output_order is not None and sorted(self._output_order) != sorted(names):
+            raise QueryError(
+                f"output_order {list(self._output_order)} does not cover the "
+                f"select list {names}"
+            )
 
     def validate_against(self, schema: Schema) -> None:
         """Check every table/column reference against a concrete schema."""
@@ -182,6 +226,15 @@ class Query:
     def has_aggregation(self) -> bool:
         return bool(self.aggregates) or bool(self.group_by)
 
+    @property
+    def output_names(self) -> List[str]:
+        """Result column names of a non-aggregated block, in SELECT order."""
+        if self._output_order is not None:
+            return list(self._output_order)
+        names = [str(column) for column in self.projections]
+        names.extend(column.name for column in self.derived)
+        return names
+
     def filters_for(self, alias: str) -> List[FilterPredicate]:
         return [predicate for predicate in self.filters if predicate.alias == alias]
 
@@ -194,7 +247,11 @@ class Query:
                     columns.append(ref)
         for predicate in self.filters:
             if predicate.alias == alias:
-                columns.append(predicate.column)
+                columns.extend(predicate.columns)
+        for column in self.derived:
+            for ref in scalar.columns_of(column.expr):
+                if ref.alias == alias:
+                    columns.append(ref)
         for ref in list(self.projections) + list(self.group_by):
             if ref.alias == alias:
                 columns.append(ref)
@@ -268,6 +325,8 @@ class QueryBuilder:
         self._aggregates: List[AggregateSpec] = []
         self._order_by: List[OrderItem] = []
         self._limit: Optional[int] = None
+        self._derived: List[DerivedColumn] = []
+        self._output_order: List[str] = []
 
     def scan(
         self, table: str, alias: Optional[str] = None, window: Optional[WindowSpec] = None
@@ -286,11 +345,29 @@ class QueryBuilder:
         value: object,
         selectivity: Optional[float] = None,
     ) -> "QueryBuilder":
-        self._filters.append(FilterPredicate(ColumnRef.parse(column), op, value, selectivity))
+        self._filters.append(
+            FilterPredicate.comparison(ColumnRef.parse(column), op, value, selectivity)
+        )
+        return self
+
+    def filter_expr(
+        self, expr: scalar.ScalarExpr, selectivity: Optional[float] = None
+    ) -> "QueryBuilder":
+        """Attach an arbitrary single-relation boolean expression as a filter."""
+        self._filters.append(FilterPredicate(expr, selectivity))
         return self
 
     def select(self, *columns: str) -> "QueryBuilder":
-        self._projections.extend(ColumnRef.parse(column) for column in columns)
+        for column in columns:
+            ref = ColumnRef.parse(column)
+            self._projections.append(ref)
+            self._output_order.append(str(ref))
+        return self
+
+    def select_expr(self, name: str, expr: scalar.ScalarExpr) -> "QueryBuilder":
+        """Add a computed output column ``expr AS name``."""
+        self._derived.append(DerivedColumn(name, expr))
+        self._output_order.append(name)
         return self
 
     def group_by(self, *columns: str) -> "QueryBuilder":
@@ -326,4 +403,6 @@ class QueryBuilder:
             aggregates=self._aggregates,
             order_by=self._order_by,
             limit=self._limit,
+            derived=self._derived,
+            output_order=self._output_order if self._derived else None,
         )

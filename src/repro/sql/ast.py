@@ -57,6 +57,30 @@ Operand = Union[ColumnName, Literal, Parameter]
 
 
 @dataclass(frozen=True)
+class BinaryArith:
+    """Binary arithmetic ``left (+|-|*|/) right``."""
+
+    op: str
+    left: "SqlExpr"
+    right: "SqlExpr"
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class UnaryMinus:
+    """Arithmetic negation ``-expr``."""
+
+    operand: "SqlExpr"
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"-{self.operand}"
+
+
+@dataclass(frozen=True)
 class Comparison:
     """A binary comparison ``left <op> right`` from WHERE or ON.
 
@@ -65,14 +89,142 @@ class Comparison:
     :class:`~repro.relational.predicates.FilterPredicate`.
     """
 
-    left: Operand
+    left: "SqlExpr"
     op: str
-    right: Operand
+    right: "SqlExpr"
     selectivity_hint: Optional[float] = None
     position: Position = (1, 1)
 
     def __str__(self) -> str:
         return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``operand [NOT] BETWEEN low AND high``."""
+
+    operand: "SqlExpr"
+    low: "SqlExpr"
+    high: "SqlExpr"
+    negated: bool = False
+    selectivity_hint: Optional[float] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"{self.operand} {keyword} {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``operand [NOT] IN (item, ...)``."""
+
+    operand: "SqlExpr"
+    items: Tuple["SqlExpr", ...]
+    negated: bool = False
+    selectivity_hint: Optional[float] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"{self.operand} {keyword} ({', '.join(str(item) for item in self.items)})"
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    """``operand [NOT] LIKE pattern``."""
+
+    operand: "SqlExpr"
+    pattern: "SqlExpr"
+    negated: bool = False
+    selectivity_hint: Optional[float] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand} {keyword} {self.pattern}"
+
+
+@dataclass(frozen=True)
+class IsNullPredicate:
+    """``operand IS [NOT] NULL``."""
+
+    operand: "SqlExpr"
+    negated: bool = False
+    selectivity_hint: Optional[float] = None
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {keyword}"
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """Logical ``NOT expr``."""
+
+    operand: "SqlExpr"
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    """``item AND item [AND ...]``."""
+
+    items: Tuple["SqlExpr", ...]
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({item})" for item in self.items)
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    """``item OR item [OR ...]``."""
+
+    items: Tuple["SqlExpr", ...]
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({item})" for item in self.items)
+
+
+@dataclass(frozen=True)
+class Hinted:
+    """A ``/*+ selectivity=x */`` hint attached to a compound conjunct.
+
+    Simple predicate nodes carry their hint inline; this wrapper exists for
+    hints that follow a parenthesized compound, e.g. ``(a = 1 OR b = 2)
+    /*+ selectivity=0.3 */``.
+    """
+
+    expr: "SqlExpr"
+    selectivity_hint: float
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+SqlExpr = Union[
+    ColumnName,
+    Literal,
+    Parameter,
+    BinaryArith,
+    UnaryMinus,
+    Comparison,
+    BetweenPredicate,
+    InPredicate,
+    LikePredicate,
+    IsNullPredicate,
+    NotExpr,
+    AndExpr,
+    OrExpr,
+    Hinted,
+]
 
 
 @dataclass(frozen=True)
@@ -104,7 +256,19 @@ class AggregateCall:
         return f"{self.function.upper()}({inner})"
 
 
-SelectItem = Union[ColumnName, AggregateCall]
+@dataclass(frozen=True)
+class ExpressionItem:
+    """A computed SELECT item ``expr AS alias``."""
+
+    expr: SqlExpr
+    alias: str
+    position: Position = (1, 1)
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}"
+
+
+SelectItem = Union[ColumnName, AggregateCall, ExpressionItem]
 
 
 @dataclass(frozen=True)
@@ -122,7 +286,8 @@ class SelectStatement:
     select_items: Tuple[SelectItem, ...]
     select_star: bool
     tables: Tuple[TableRef, ...]
-    predicates: Tuple[Comparison, ...]
+    #: top-level WHERE/ON conjuncts (each an arbitrary boolean expression)
+    predicates: Tuple[SqlExpr, ...]
     group_by: Tuple[ColumnName, ...] = ()
     order_by: Tuple[OrderExpr, ...] = ()
     limit: Optional[int] = None

@@ -8,11 +8,20 @@ produces the optimizer's :class:`~repro.relational.query.Query`:
   defaults to the table name, matching ``QueryBuilder.scan``),
 * column names are resolved — unqualified ones by searching every FROM table
   for a unique owner — into qualified :class:`ColumnRef`\\ s,
-* each WHERE/ON comparison is classified as an equi-/theta-join predicate
-  (two columns of different relations) or a filter (column vs. constant,
-  carrying any ``/*+ selectivity=x */`` hint),
-* SELECT items become projections and aggregates, GROUP BY / ORDER BY / LIMIT
-  lower onto the corresponding ``Query`` fields.
+* each top-level WHERE/ON conjunct is classified: a plain comparison between
+  columns of two different relations becomes an equi-/theta-join predicate;
+  anything else is lowered into a typed scalar expression tree
+  (:mod:`repro.relational.scalar`), type-checked against the catalog, and —
+  provided it references exactly one relation — becomes a
+  :class:`~repro.relational.predicates.FilterPredicate` (carrying any
+  ``/*+ selectivity=x */`` hint).  Conjuncts that span several relations
+  without being a simple column comparison are rejected,
+* SELECT items become projections, computed expressions (``expr AS name``,
+  lowered to :class:`~repro.relational.query.DerivedColumn`) and aggregates;
+  GROUP BY / ORDER BY / LIMIT lower onto the corresponding ``Query`` fields,
+* parameter slots pick up the type of whatever they are combined with
+  (``c_acctbal > ?`` types ``$1`` as the column's type); the inferred types
+  land on ``Query.parameter_types``.
 
 Every rejection raises a position-annotated
 :class:`~repro.common.errors.SqlBindingError`.
@@ -20,11 +29,13 @@ Every rejection raises a position-annotated
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.catalog.catalog import Catalog
-from repro.common.errors import SqlBindingError
+from repro.common.errors import QueryError, SqlBindingError
+from repro.relational import scalar
 from repro.relational.expressions import ColumnRef
 from repro.relational.predicates import (
     ComparisonOp,
@@ -35,11 +46,14 @@ from repro.relational.predicates import (
 from repro.relational.query import (
     AggregateFunction,
     AggregateSpec,
+    DerivedColumn,
     OrderItem,
     Query,
     RelationRef,
 )
+from repro.relational.scalar import ArithOp, ScalarType
 from repro.relational.schema import Column, DataType, Index, Table
+from repro.sql import ast
 from repro.sql.ast import (
     AggregateCall,
     AnalyzeStatement,
@@ -47,19 +61,19 @@ from repro.sql.ast import (
     Comparison,
     CopyStatement,
     CreateTableStatement,
+    ExpressionItem,
     InsertStatement,
     Literal,
     Parameter,
     SelectStatement,
 )
 
-_FLIPPED = {
-    ComparisonOp.LT: ComparisonOp.GT,
-    ComparisonOp.LE: ComparisonOp.GE,
-    ComparisonOp.GT: ComparisonOp.LT,
-    ComparisonOp.GE: ComparisonOp.LE,
-    ComparisonOp.EQ: ComparisonOp.EQ,
-    ComparisonOp.NE: ComparisonOp.NE,
+#: catalog column types → scalar expression types (DATE is day-number encoded).
+_SCALAR_TYPES: Dict[DataType, ScalarType] = {
+    DataType.INTEGER: ScalarType.INTEGER,
+    DataType.FLOAT: ScalarType.FLOAT,
+    DataType.STRING: ScalarType.STRING,
+    DataType.DATE: ScalarType.INTEGER,
 }
 
 #: SQL type names (as written in CREATE TABLE) → engine data types.
@@ -101,8 +115,11 @@ def query_parameter_count(query: Query) -> int:
     """Number of parameter slots a bound SELECT expects (max 1-based index)."""
     highest = 0
     for predicate in query.filters:
-        if isinstance(predicate.value, ParameterRef):
-            highest = max(highest, predicate.value.index)
+        for parameter in scalar.parameters_of(predicate.expr):
+            highest = max(highest, parameter.index)
+    for column in query.derived:
+        for parameter in scalar.parameters_of(column.expr):
+            highest = max(highest, parameter.index)
     return highest
 
 
@@ -154,13 +171,16 @@ class Binder:
 
     def bind(self, statement: SelectStatement, name: str = "sql") -> Query:
         tables = self._bind_tables(statement)
+        self._parameter_types: Dict[int, ScalarType] = {}
         joins: List[JoinPredicate] = []
         filters: List[FilterPredicate] = []
-        for comparison in statement.predicates:
-            self._bind_predicate(comparison, tables, joins, filters)
+        for conjunct in statement.predicates:
+            self._bind_conjunct(conjunct, tables, joins, filters)
         group_by = [self._resolve_column(column, tables) for column in statement.group_by]
         projections: List[ColumnRef] = []
+        derived: List[DerivedColumn] = []
         aggregates: List[AggregateSpec] = []
+        output_order: List[str] = []
         if statement.select_star:
             if statement.group_by:
                 raise self._error(
@@ -169,7 +189,9 @@ class Binder:
                     statement,
                 )
             for alias, table in tables.items():
-                projections.extend(ColumnRef(alias, column) for column in table.column_names)
+                for column in table.column_names:
+                    projections.append(ColumnRef(alias, column))
+                    output_order.append(f"{alias}.{column}")
         for item in statement.select_items:
             if isinstance(item, AggregateCall):
                 argument = (
@@ -180,8 +202,22 @@ class Binder:
                 aggregates.append(
                     AggregateSpec(AggregateFunction(item.function), argument, item.distinct)
                 )
+            elif isinstance(item, ExpressionItem):
+                derived.append(self._bind_derived(item, tables))
+                output_order.append(item.alias)
             else:
-                projections.append(self._resolve_column(item, tables))
+                resolved = self._resolve_column(item, tables)
+                projections.append(resolved)
+                output_order.append(str(resolved))
+        if derived and (aggregates or statement.group_by):
+            offender = next(
+                item for item in statement.select_items if isinstance(item, ExpressionItem)
+            )
+            raise self._error(
+                "computed SELECT expressions cannot be combined with "
+                "GROUP BY / aggregates",
+                offender,
+            )
         if aggregates or statement.group_by:
             group_set = set(group_by)
             for item in statement.select_items:
@@ -202,17 +238,23 @@ class Binder:
                     entry.column,
                 )
             order_by.append(OrderItem(resolved, entry.descending))
-        return Query(
-            name=name,
-            relations=list(self._relations.values()),
-            join_predicates=joins,
-            filters=filters,
-            projections=projections,
-            group_by=group_by,
-            aggregates=aggregates,
-            order_by=order_by,
-            limit=statement.limit,
-        )
+        try:
+            return Query(
+                name=name,
+                relations=list(self._relations.values()),
+                join_predicates=joins,
+                filters=filters,
+                projections=projections,
+                group_by=group_by,
+                aggregates=aggregates,
+                order_by=order_by,
+                limit=statement.limit,
+                derived=derived,
+                output_order=output_order if derived else None,
+                parameter_types=self._parameter_types,
+            )
+        except QueryError as error:
+            raise self._error(str(error), statement) from error
 
     # ------------------------------------------------------------------
 
@@ -263,86 +305,155 @@ class Binder:
             )
         return ColumnRef(owners[0], column.name)
 
-    def _bind_predicate(
+    # -- predicate classification and expression lowering ----------------
+
+    def _bind_conjunct(
         self,
-        comparison: Comparison,
+        conjunct: "ast.SqlExpr",
         tables: Dict[str, Table],
         joins: List[JoinPredicate],
         filters: List[FilterPredicate],
     ) -> None:
-        op = ComparisonOp(comparison.op)
-        left, right = comparison.left, comparison.right
-        if isinstance(left, Parameter) or isinstance(right, Parameter):
-            self._bind_parameter_predicate(comparison, tables, filters)
-            return
-        if isinstance(left, ColumnName) and isinstance(right, ColumnName):
-            left_ref = self._resolve_column(left, tables)
-            right_ref = self._resolve_column(right, tables)
-            if left_ref.alias == right_ref.alias:
-                raise self._error(
-                    f"predicate {comparison} compares two columns of the same "
-                    "relation; only column-vs-constant filters and "
-                    "cross-relation joins are supported",
-                    comparison,
-                )
-            if comparison.selectivity_hint is not None:
-                raise self._error(
-                    "selectivity hints are only supported on filter "
-                    f"(column vs. constant) predicates, not on join {comparison}",
-                    comparison,
-                )
-            joins.append(JoinPredicate(left_ref, right_ref, op))
-            return
-        if isinstance(left, Literal) and isinstance(right, Literal):
-            raise self._error(f"predicate {comparison} compares two constants", comparison)
-        if isinstance(left, Literal):
-            # Normalize "constant <op> column" to "column <flipped-op> constant".
-            assert isinstance(right, ColumnName)
-            column_ref = self._resolve_column(right, tables)
-            value = left.value
-            op = _FLIPPED[op]
-        else:
-            assert isinstance(right, Literal)
-            column_ref = self._resolve_column(left, tables)
-            value = right.value
-        filters.append(FilterPredicate(column_ref, op, value, comparison.selectivity_hint))
-
-    def _bind_parameter_predicate(
-        self,
-        comparison: Comparison,
-        tables: Dict[str, Table],
-        filters: List[FilterPredicate],
-    ) -> None:
-        """Lower ``column <op> ?`` (either side) to a parameterized filter."""
-        op = ComparisonOp(comparison.op)
-        left, right = comparison.left, comparison.right
-        if isinstance(left, Parameter) and isinstance(right, Parameter):
+        """Classify one top-level WHERE/ON conjunct as a join or a filter."""
+        node = conjunct
+        hint: Optional[float] = getattr(node, "selectivity_hint", None)
+        if isinstance(node, ast.Hinted):
+            hint = node.selectivity_hint
+            node = node.expr
+        elif hint is not None:
+            node = dataclasses.replace(node, selectivity_hint=None)
+        if (
+            isinstance(node, Comparison)
+            and isinstance(node.left, ColumnName)
+            and isinstance(node.right, ColumnName)
+        ):
+            left_ref = self._resolve_column(node.left, tables)
+            right_ref = self._resolve_column(node.right, tables)
+            if left_ref.alias != right_ref.alias:
+                if hint is not None:
+                    raise self._error(
+                        "selectivity hints are only supported on filter "
+                        f"predicates, not on join {node}",
+                        conjunct,
+                    )
+                joins.append(JoinPredicate(left_ref, right_ref, ComparisonOp(node.op)))
+                return
+        lowered = self._lower_expr(node, tables)
+        result = self._typecheck(lowered, tables, conjunct)
+        if not result.is_booleanish:
             raise self._error(
-                f"predicate {comparison} compares two parameters; a parameter "
-                "must be compared to a column",
-                comparison,
+                f"WHERE/ON predicate {node} is {result.value}, not boolean",
+                conjunct,
             )
-        if isinstance(left, Parameter):
-            if not isinstance(right, ColumnName):
+        aliases = scalar.aliases_of(lowered)
+        if not aliases:
+            raise self._error(
+                f"predicate {node} references no relation columns "
+                "(constant predicates are not supported)",
+                conjunct,
+            )
+        if len(aliases) > 1:
+            raise self._error(
+                f"predicate {node} spans relations {sorted(aliases)}; only "
+                "single-relation filters and binary column-to-column join "
+                "comparisons are supported",
+                conjunct,
+            )
+        try:
+            filters.append(FilterPredicate(lowered, hint))
+        except QueryError as error:
+            raise self._error(str(error), conjunct) from error
+
+    def _bind_derived(self, item: ExpressionItem, tables: Dict[str, Table]) -> DerivedColumn:
+        """Lower a computed SELECT item ``expr AS name``."""
+        lowered = self._lower_expr(item.expr, tables)
+        self._typecheck(lowered, tables, item)
+        return DerivedColumn(item.alias, lowered)
+
+    def _typecheck(self, lowered: scalar.ScalarExpr, tables: Dict[str, Table], node) -> ScalarType:
+        def column_type(ref: ColumnRef) -> ScalarType:
+            return _SCALAR_TYPES[tables[ref.alias].column(ref.column).data_type]
+
+        try:
+            return scalar.typecheck(lowered, column_type, self._parameter_types)
+        except QueryError as error:
+            raise self._error(str(error), node) from error
+
+    def _lower_expr(self, node: "ast.SqlExpr", tables: Dict[str, Table]) -> scalar.ScalarExpr:
+        """Lower an AST expression into the typed scalar IR (resolving names)."""
+        if isinstance(node, ColumnName):
+            return scalar.Column(self._resolve_column(node, tables))
+        if isinstance(node, Literal):
+            return scalar.Literal(node.value)
+        if isinstance(node, Parameter):
+            return scalar.Parameter(node.index)
+        if isinstance(node, ast.UnaryMinus):
+            return scalar.Negate(self._lower_expr(node.operand, tables))
+        if isinstance(node, ast.BinaryArith):
+            return scalar.Arithmetic(
+                ArithOp(node.op),
+                self._lower_expr(node.left, tables),
+                self._lower_expr(node.right, tables),
+            )
+        if isinstance(node, Comparison):
+            if node.selectivity_hint is not None:
                 raise self._error(
-                    f"predicate {comparison} compares a parameter to a constant; "
-                    "a parameter must be compared to a column",
-                    comparison,
+                    "selectivity hints may only follow a top-level conjunct, "
+                    f"not the nested predicate {node}",
+                    node,
                 )
-            column_ref = self._resolve_column(right, tables)
-            slot = ParameterRef(left.index)
-            op = _FLIPPED[op]
-        else:
-            if not isinstance(left, ColumnName):
+            return scalar.Comparison(
+                ComparisonOp(node.op),
+                self._lower_expr(node.left, tables),
+                self._lower_expr(node.right, tables),
+            )
+        if isinstance(node, ast.BetweenPredicate):
+            self._reject_nested_hint(node)
+            return scalar.Between(
+                self._lower_expr(node.operand, tables),
+                self._lower_expr(node.low, tables),
+                self._lower_expr(node.high, tables),
+                node.negated,
+            )
+        if isinstance(node, ast.InPredicate):
+            self._reject_nested_hint(node)
+            return scalar.InList(
+                self._lower_expr(node.operand, tables),
+                tuple(self._lower_expr(item, tables) for item in node.items),
+                node.negated,
+            )
+        if isinstance(node, ast.LikePredicate):
+            self._reject_nested_hint(node)
+            pattern = node.pattern
+            if not isinstance(pattern, Literal) or not isinstance(pattern.value, str):
                 raise self._error(
-                    f"predicate {comparison} compares a parameter to a constant; "
-                    "a parameter must be compared to a column",
-                    comparison,
+                    f"LIKE pattern must be a string literal, got {pattern}", node
                 )
-            assert isinstance(right, Parameter)
-            column_ref = self._resolve_column(left, tables)
-            slot = ParameterRef(right.index)
-        filters.append(FilterPredicate(column_ref, op, slot, comparison.selectivity_hint))
+            return scalar.Like(
+                self._lower_expr(node.operand, tables), pattern.value, node.negated
+            )
+        if isinstance(node, ast.IsNullPredicate):
+            self._reject_nested_hint(node)
+            return scalar.IsNull(self._lower_expr(node.operand, tables), node.negated)
+        if isinstance(node, ast.NotExpr):
+            return scalar.Not(self._lower_expr(node.operand, tables))
+        if isinstance(node, ast.AndExpr):
+            return scalar.And(tuple(self._lower_expr(item, tables) for item in node.items))
+        if isinstance(node, ast.OrExpr):
+            return scalar.Or(tuple(self._lower_expr(item, tables) for item in node.items))
+        if isinstance(node, ast.Hinted):
+            raise self._error(
+                "selectivity hints may only follow a top-level conjunct", node
+            )
+        raise self._error(f"unsupported expression {node!r}", node)  # pragma: no cover
+
+    def _reject_nested_hint(self, node) -> None:
+        if getattr(node, "selectivity_hint", None) is not None:
+            raise self._error(
+                "selectivity hints may only follow a top-level conjunct, "
+                f"not the nested predicate {node}",
+                node,
+            )
 
     # -- DDL / DML -------------------------------------------------------
 

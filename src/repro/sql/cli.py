@@ -22,7 +22,8 @@ Examples::
         "SELECT c_name FROM customer WHERE c_mktsegment = ? LIMIT 5"
 
     # interactive: statements end with ';'; .load FILE runs a script,
-    # .tables lists stored tables, .stats shows plan-cache counters
+    # .tables lists stored tables, .schema [TABLE] prints column types,
+    # .stats shows plan-cache counters
     repro-sql --data-scale 0.0005
 """
 
@@ -155,6 +156,23 @@ def _meta_command(connection: Connection, line: str) -> bool:
         for name in sorted(database.table_names):
             print(f"{name}\t{database.stored_row_count(name)} rows")
         return True
+    if command == ".schema":
+        schema = connection.database.catalog.schema
+        if len(parts) > 1:
+            if not schema.has_table(parts[1]):
+                known = ", ".join(sorted(schema.table_names)) or "none"
+                print(f"unknown table {parts[1]!r} (known tables: {known})", file=sys.stderr)
+                return True
+            names = [parts[1]]
+        else:
+            names = sorted(schema.table_names)
+        for name in names:
+            table = schema.table(name)
+            print(f"{table.name}:")
+            for column in table.columns:
+                marker = "  primary key" if table.primary_key == column.name else ""
+                print(f"  {column.name}  {column.data_type.value}{marker}")
+        return True
     if command == ".stats":
         print(json.dumps(connection.database.stats(), indent=2, default=str))
         return True
@@ -165,7 +183,8 @@ def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
     print("repro-sql — SQL over the incremental re-optimization stack")
     print(
         "statements end with ';' (CREATE TABLE / INSERT / COPY / ANALYZE / "
-        "SELECT / EXPLAIN [ANALYZE]); .load FILE, .tables, .stats; ctrl-d quits"
+        "SELECT / EXPLAIN [ANALYZE]); .load FILE, .tables, .schema [TABLE], "
+        ".stats; ctrl-d quits"
     )
     buffer: List[str] = []
     while True:

@@ -5,22 +5,35 @@ Grammar (EBNF, case-insensitive keywords)::
     script      := statement (";" statement)* [";"]
     statement   := [EXPLAIN [ANALYZE]] select | create | insert | copy | analyze
     select      := SELECT select_list FROM from_clause
-                   [WHERE conjunction]
+                   [WHERE expression]
                    [GROUP BY column ("," column)*]
                    [ORDER BY order_item ("," order_item)*]
                    [LIMIT integer]
     select_list := "*" | select_item ("," select_item)*
-    select_item := aggregate | column
+    select_item := aggregate | column | expression AS identifier
     aggregate   := (COUNT|SUM|MIN|MAX|AVG) "(" [DISTINCT] ("*" | column) ")"
-    from_clause := table_ref (("," table_ref) | ([INNER] JOIN table_ref ON conjunction))*
+    from_clause := table_ref (("," table_ref) | ([INNER] JOIN table_ref ON expression))*
     table_ref   := identifier [[AS] identifier]
-    conjunction := comparison (AND comparison)*
-    comparison  := operand op operand [hint]
-    operand     := column | literal | parameter
+
+    expression  := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive [predicate_tail] [hint]
+    predicate_tail
+                := op additive
+                 | IS [NOT] NULL
+                 | [NOT] BETWEEN additive AND additive
+                 | [NOT] IN "(" expression ("," expression)* ")"
+                 | [NOT] LIKE additive
+    additive    := term (("+" | "-") term)*
+    term        := factor (("*" | "/") factor)*
+    factor      := "-" factor | "(" expression ")" | column | literal | parameter
     column      := identifier ["." identifier]
     op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
     hint        := "/*+" "selectivity" "=" number "*/"
     parameter   := "?" | "$" integer
+
     create      := CREATE TABLE identifier "(" create_entry ("," create_entry)* ")"
     create_entry:= identifier identifier          -- column name + type
                  | INDEX "(" identifier ")"
@@ -32,38 +45,54 @@ Grammar (EBNF, case-insensitive keywords)::
     copy        := COPY identifier FROM string
     analyze     := ANALYZE [identifier]
 
-Only conjunctive predicates are supported, matching the paper's single-block
-select-project-join(-aggregate) optimizer IR; OR / subqueries / arithmetic are
-rejected with a positioned :class:`~repro.common.errors.SqlSyntaxError`.
-``?`` placeholders are numbered left to right; ``$n`` placeholders are
-explicit and 1-based.  A statement may use one style, not both.
+The WHERE clause is a full boolean expression with SQL precedence
+(``OR`` < ``AND`` < ``NOT`` < comparisons < ``+ -`` < ``* /`` < unary ``-``)
+and parentheses; the parser flattens its top-level ``AND`` conjuncts into
+``SelectStatement.predicates`` so the binder can classify each conjunct as a
+join predicate or a single-relation filter.  A ``/*+ selectivity=x */`` hint
+comment binds to the predicate (or parenthesized conjunct) it follows.
+Subqueries are not supported.  ``?`` placeholders are numbered left to right;
+``$n`` placeholders are explicit and 1-based.  A statement may use one style,
+not both.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import replace as _replace
 from typing import List, Optional, Tuple, Union
 
 from repro.common.errors import SqlSyntaxError
 from repro.sql.ast import (
     AggregateCall,
     AnalyzeStatement,
+    AndExpr,
+    BetweenPredicate,
+    BinaryArith,
     ColumnDef,
     ColumnName,
     Comparison,
     CopyStatement,
     CreateTableStatement,
     ExplainStatement,
+    ExpressionItem,
+    Hinted,
     IndexDef,
+    InPredicate,
     InsertStatement,
+    IsNullPredicate,
+    LikePredicate,
     Literal,
-    Operand,
+    NotExpr,
     OrderExpr,
+    OrExpr,
     Parameter,
     SelectItem,
     SelectStatement,
+    SqlExpr,
     Statement,
     TableRef,
+    UnaryMinus,
 )
 from repro.sql.tokens import Token, TokenType, tokenize
 
@@ -209,8 +238,22 @@ class Parser:
 
     def _parse_select_item(self) -> SelectItem:
         if self._current.is_keyword(*_AGGREGATE_NAMES):
-            return self._parse_aggregate()
-        return self._parse_column()
+            aggregate = self._parse_aggregate()
+            if self._current.is_keyword("as"):
+                raise self._error("aliases on aggregates are not supported")
+            return aggregate
+        start = self._current
+        expr = self._parse_expression()
+        if self._accept_keyword("as"):
+            alias = self._identifier("an output name after AS")
+            return ExpressionItem(expr, alias.text, start.position)
+        if isinstance(expr, ColumnName):
+            return expr
+        raise self._error(
+            "a computed SELECT expression needs an alias: "
+            f"write `{expr} AS name`",
+            start,
+        )
 
     def _parse_aggregate(self) -> AggregateCall:
         name_token = self._advance()
@@ -252,9 +295,9 @@ class Parser:
 
     # -- from ------------------------------------------------------------
 
-    def _parse_from_clause(self) -> Tuple[List[TableRef], List[Comparison]]:
+    def _parse_from_clause(self) -> Tuple[List[TableRef], List[SqlExpr]]:
         tables = [self._parse_table_ref()]
-        predicates: List[Comparison] = []
+        predicates: List[SqlExpr] = []
         while True:
             if self._current.type is TokenType.COMMA:
                 self._advance()
@@ -278,47 +321,148 @@ class Parser:
             alias = self._advance().text
         return TableRef(name.text, alias, name.position)
 
-    # -- predicates ------------------------------------------------------
+    # -- expressions and predicates --------------------------------------
 
-    def _parse_conjunction(self) -> List[Comparison]:
-        comparisons = [self._parse_comparison()]
+    def _parse_conjunction(self) -> List[SqlExpr]:
+        """Parse a boolean expression and split its top-level AND conjuncts."""
+        return self._split_conjuncts(self._parse_expression())
+
+    def _split_conjuncts(self, expr: SqlExpr) -> List[SqlExpr]:
+        if isinstance(expr, AndExpr):
+            out: List[SqlExpr] = []
+            for item in expr.items:
+                out.extend(self._split_conjuncts(item))
+            return out
+        return [expr]
+
+    def _parse_expression(self) -> SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpr:
+        start = self._current
+        items = [self._parse_and()]
+        while self._accept_keyword("or"):
+            items.append(self._parse_and())
+        if len(items) == 1:
+            return items[0]
+        return OrExpr(tuple(items), start.position)
+
+    def _parse_and(self) -> SqlExpr:
+        start = self._current
+        items = [self._parse_not()]
         while self._accept_keyword("and"):
-            comparisons.append(self._parse_comparison())
-        return comparisons
+            items.append(self._parse_not())
+        if len(items) == 1:
+            return items[0]
+        return AndExpr(tuple(items), start.position)
 
-    def _parse_comparison(self) -> Comparison:
-        left = self._parse_operand()
-        op_token = self._expect(TokenType.OPERATOR, "a comparison operator")
-        op = "!=" if op_token.text == "<>" else op_token.text
-        right = self._parse_operand()
-        hint: Optional[float] = None
+    def _parse_not(self) -> SqlExpr:
+        token = self._accept_keyword("not")
+        if token is not None:
+            return NotExpr(self._parse_not(), token.position)
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpr:
+        left = self._parse_additive()
+        position = getattr(left, "position", self._current.position)
+        node: SqlExpr = left
+        if self._current.type is TokenType.OPERATOR:
+            op_token = self._advance()
+            op = "!=" if op_token.text == "<>" else op_token.text
+            right = self._parse_additive()
+            node = Comparison(left, op, right, None, position)
+        elif self._current.is_keyword("is"):
+            self._advance()
+            negated = bool(self._accept_keyword("not"))
+            self._expect_keyword("null")
+            node = IsNullPredicate(left, negated, None, position)
+        elif self._current.is_keyword("between", "in", "like", "not"):
+            negated = bool(self._accept_keyword("not"))
+            if self._current.is_keyword("between"):
+                self._advance()
+                low = self._parse_additive()
+                self._expect_keyword("and")
+                high = self._parse_additive()
+                node = BetweenPredicate(left, low, high, negated, None, position)
+            elif self._current.is_keyword("in"):
+                self._advance()
+                self._expect(TokenType.LPAREN, "'(' after IN")
+                items = [self._parse_expression()]
+                while self._current.type is TokenType.COMMA:
+                    self._advance()
+                    items.append(self._parse_expression())
+                self._expect(TokenType.RPAREN, "')' to close the IN list")
+                node = InPredicate(left, tuple(items), negated, None, position)
+            elif self._current.is_keyword("like"):
+                self._advance()
+                pattern = self._parse_additive()
+                node = LikePredicate(left, pattern, negated, None, position)
+            else:
+                raise self._error("expected BETWEEN, IN or LIKE after NOT")
         if self._current.type is TokenType.HINT:
-            hint_token = self._advance()
-            match = _HINT_RE.match(hint_token.text)
-            if match is None:
-                raise self._error(
-                    f"malformed hint comment /*+ {hint_token.text} */ "
-                    "(expected /*+ selectivity=<number> */)",
-                    hint_token,
-                )
-            hint = float(match.group(1))
-            if not 0.0 <= hint <= 1.0:
-                raise self._error("selectivity hint must be within [0, 1]", hint_token)
-        position = left.position if isinstance(left, (ColumnName, Literal)) else op_token.position
-        return Comparison(left, op, right, hint, position)
+            node = self._attach_hint(node, self._parse_hint_value())
+        return node
 
-    def _parse_operand(self) -> Operand:
+    def _parse_hint_value(self) -> float:
+        hint_token = self._advance()
+        match = _HINT_RE.match(hint_token.text)
+        if match is None:
+            raise self._error(
+                f"malformed hint comment /*+ {hint_token.text} */ "
+                "(expected /*+ selectivity=<number> */)",
+                hint_token,
+            )
+        hint = float(match.group(1))
+        if not 0.0 <= hint <= 1.0:
+            raise self._error("selectivity hint must be within [0, 1]", hint_token)
+        return hint
+
+    @staticmethod
+    def _attach_hint(node: SqlExpr, hint: float) -> SqlExpr:
+        if hasattr(node, "selectivity_hint") and node.selectivity_hint is None:
+            return _replace(node, selectivity_hint=hint)
+        position = getattr(node, "position", (1, 1))
+        return Hinted(node, hint, position)
+
+    def _parse_additive(self) -> SqlExpr:
+        left = self._parse_term()
+        while self._current.type in (TokenType.PLUS, TokenType.MINUS):
+            op_token = self._advance()
+            right = self._parse_term()
+            left = BinaryArith(
+                op_token.text, left, right, getattr(left, "position", op_token.position)
+            )
+        return left
+
+    def _parse_term(self) -> SqlExpr:
+        left = self._parse_factor()
+        while self._current.type in (TokenType.STAR, TokenType.SLASH):
+            op_token = self._advance()
+            right = self._parse_factor()
+            left = BinaryArith(
+                op_token.text, left, right, getattr(left, "position", op_token.position)
+            )
+        return left
+
+    def _parse_factor(self) -> SqlExpr:
         token = self._current
         if token.type is TokenType.MINUS:
             self._advance()
-            number = self._current
-            if number.type not in (TokenType.INTEGER, TokenType.FLOAT):
-                raise self._error("expected a number after '-'")
+            # Fold a negated numeric literal so `-1000` stays one AST node.
+            if self._current.type in (TokenType.INTEGER, TokenType.FLOAT):
+                number = self._advance()
+                value: Union[int, float] = (
+                    -int(number.text)
+                    if number.type is TokenType.INTEGER
+                    else -float(number.text)
+                )
+                return Literal(value, token.position)
+            return UnaryMinus(self._parse_factor(), token.position)
+        if token.type is TokenType.LPAREN:
             self._advance()
-            value: Union[int, float] = (
-                -int(number.text) if number.type is TokenType.INTEGER else -float(number.text)
-            )
-            return Literal(value, token.position)
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')' to close the parenthesized expression")
+            return expr
         if token.type is TokenType.INTEGER:
             self._advance()
             return Literal(int(token.text), token.position)
@@ -328,6 +472,9 @@ class Parser:
         if token.type is TokenType.STRING:
             self._advance()
             return Literal(token.text, token.position)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None, token.position)
         if token.type is TokenType.PARAMETER:
             return self._parse_parameter()
         if token.type is TokenType.IDENTIFIER:
@@ -420,14 +567,34 @@ class Parser:
         return tuple(values)
 
     def _parse_value(self) -> "Literal | Parameter":
-        if self._current.is_keyword("null"):
-            token = self._advance()
+        token = self._current
+        if token.is_keyword("null"):
+            self._advance()
             return Literal(None, token.position)
-        if self._current.type is TokenType.IDENTIFIER:
-            raise self._error(
-                f"expected a literal, NULL or parameter in VALUES, found {self._current}"
+        if token.type is TokenType.MINUS:
+            self._advance()
+            number = self._current
+            if number.type not in (TokenType.INTEGER, TokenType.FLOAT):
+                raise self._error("expected a number after '-'")
+            self._advance()
+            value: Union[int, float] = (
+                -int(number.text) if number.type is TokenType.INTEGER else -float(number.text)
             )
-        return self._parse_operand()  # literal, negative number or parameter
+            return Literal(value, token.position)
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(int(token.text), token.position)
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return Literal(float(token.text), token.position)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.text, token.position)
+        if token.type is TokenType.PARAMETER:
+            return self._parse_parameter()
+        raise self._error(
+            f"expected a literal, NULL or parameter in VALUES, found {self._current}"
+        )
 
     def _parse_copy(self) -> CopyStatement:
         start = self._expect_keyword("copy")

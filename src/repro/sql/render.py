@@ -20,11 +20,13 @@ from repro.relational.query import Query
 def render_plan(
     plan: PhysicalPlan,
     execution: Optional[ExecutionResult] = None,
+    query: Optional[Query] = None,
 ) -> str:
     """Render a physical plan, one operator per line.
 
     With *execution*, each line shows the observed row count next to the
-    estimate (``EXPLAIN ANALYZE`` style).
+    estimate (``EXPLAIN ANALYZE`` style).  With *query*, each scan line shows
+    the pretty-printed predicate tree pushed down to it (``filter: ...``).
     """
     lines: List[str] = []
     operator_keys = iter(plan.operator_keys())
@@ -39,7 +41,16 @@ def render_plan(
         if execution is not None:
             observed = execution.operator_cardinalities.get(operator_key)
             line += f", actual_rows={observed if observed is not None else '?'}"
-        lines.append(line + ")")
+        line += ")"
+        if query is not None and node.operator.is_scan:
+            predicates = query.filters_for(node.expression.sole_alias)
+            if predicates:
+                rendered = " AND ".join(
+                    f"({predicate})" if len(predicates) > 1 else str(predicate)
+                    for predicate in predicates
+                )
+                line += f"  filter: {rendered}"
+        lines.append(line)
         for child in node.children:
             visit(child, depth + 1)
 

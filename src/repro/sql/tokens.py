@@ -29,9 +29,11 @@ class TokenType(Enum):
     DOT = "."
     LPAREN = "("
     RPAREN = ")"
-    STAR = "*"
+    STAR = "*"  # SELECT * and multiplication
     SEMICOLON = ";"
     MINUS = "-"
+    PLUS = "+"
+    SLASH = "/"
     HINT = "hint"  # /*+ ... */
     PARAMETER = "parameter"  # ? or $1, $2, ...
     EOF = "eof"
@@ -64,6 +66,13 @@ KEYWORDS = frozenset(
         "window",
         "rows",
         "range",
+        # expression grammar
+        "or",
+        "not",
+        "between",
+        "in",
+        "like",
+        "is",
         # DDL / DML
         "create",
         "table",
@@ -181,6 +190,8 @@ class Lexer:
             "*": TokenType.STAR,
             ";": TokenType.SEMICOLON,
             "-": TokenType.MINUS,
+            "+": TokenType.PLUS,
+            "/": TokenType.SLASH,
         }
         if char in singles:
             self._advance(1)

@@ -17,32 +17,32 @@ def estimator():
 class TestFilterSelectivity:
     def test_hint_takes_precedence(self, estimator):
         query = q3s()
-        predicate = FilterPredicate(
+        predicate = FilterPredicate.comparison(
             ColumnRef("customer", "c_mktsegment"), ComparisonOp.EQ, 2, selectivity_hint=0.2
         )
         assert estimator.filter_selectivity(query, predicate) == 0.2
 
     def test_equality_uses_distinct_count(self, estimator):
         query = q3s()
-        predicate = FilterPredicate(ColumnRef("customer", "c_mktsegment"), ComparisonOp.EQ, 2)
+        predicate = FilterPredicate.comparison(ColumnRef("customer", "c_mktsegment"), ComparisonOp.EQ, 2)
         value = estimator.filter_selectivity(query, predicate)
         assert value == pytest.approx(1.0 / 5.0, rel=0.5)
 
     def test_range_uses_histogram(self, estimator):
         query = q3s()
         # o_orderdate spans [0, 2555]; < 1277 should be about half.
-        predicate = FilterPredicate(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 1277)
+        predicate = FilterPredicate.comparison(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 1277)
         value = estimator.filter_selectivity(query, predicate)
         assert value == pytest.approx(0.5, abs=0.1)
 
     def test_not_equal_close_to_one(self, estimator):
         query = q3s()
-        predicate = FilterPredicate(ColumnRef("customer", "c_mktsegment"), ComparisonOp.NE, 2)
+        predicate = FilterPredicate.comparison(ColumnRef("customer", "c_mktsegment"), ComparisonOp.NE, 2)
         assert estimator.filter_selectivity(query, predicate) > 0.7
 
     def test_result_clamped(self, estimator):
         query = q3s()
-        predicate = FilterPredicate(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 99999)
+        predicate = FilterPredicate.comparison(ColumnRef("orders", "o_orderdate"), ComparisonOp.LT, 99999)
         value = estimator.filter_selectivity(query, predicate)
         assert 0.0 < value <= 1.0
 

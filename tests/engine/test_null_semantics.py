@@ -1,0 +1,91 @@
+"""Regression tests: NULLs reaching filter comparators on both engines.
+
+Before the scalar-expression refactor a ``None`` value flowing into a range
+comparator raised ``TypeError`` ('<' not supported between NoneType and int)
+or silently mis-compared on equality.  Under SQL three-valued logic the
+comparison is NULL and the row is filtered out — on both engines.
+"""
+
+import pytest
+
+import repro
+
+DDL = (
+    "CREATE TABLE t (k INTEGER, qty INTEGER, tag TEXT); "
+    "INSERT INTO t VALUES (1, 5, 'a'), (2, NULL, 'b'), (3, 50, NULL), "
+    "(4, 7, 'a'), (5, NULL, NULL)"
+)
+
+
+@pytest.fixture(scope="module", params=["row", "vectorized"])
+def connection(request):
+    conn = repro.connect(engine=request.param)
+    conn.executescript(DDL)
+    return conn
+
+
+def keys(conn, sql, params=None):
+    return [row[0] for row in conn.execute(sql, params).fetchall()]
+
+
+class TestNullFilteredOut:
+    def test_range_comparator_does_not_raise_on_null(self, connection):
+        # k=2 and k=5 have NULL qty: the comparison is NULL, not an error.
+        assert keys(connection, "SELECT k FROM t WHERE qty < 10 ORDER BY k") == [1, 4]
+
+    def test_equality_on_null_matches_nothing(self, connection):
+        assert keys(connection, "SELECT k FROM t WHERE qty = 50") == [3]
+        # NULL = NULL is NULL, so no qty value ever equals a NULL cell.
+        assert keys(connection, "SELECT k FROM t WHERE qty != 5 ORDER BY k") == [3, 4]
+
+    def test_is_null_finds_the_null_rows(self, connection):
+        assert keys(connection, "SELECT k FROM t WHERE qty IS NULL ORDER BY k") == [2, 5]
+        assert keys(connection, "SELECT k FROM t WHERE qty IS NOT NULL ORDER BY k") == [1, 3, 4]
+
+    def test_not_over_null_comparison_still_filters(self, connection):
+        # NOT (NULL < 10) is NULL: NOT does not resurrect NULL rows.
+        assert keys(connection, "SELECT k FROM t WHERE NOT qty < 10 ORDER BY k") == [3]
+
+    def test_null_in_disjunction(self, connection):
+        # NULL OR TRUE is TRUE: a NULL arm must not hide a TRUE arm.
+        assert keys(
+            connection, "SELECT k FROM t WHERE qty < 10 OR tag = 'b' ORDER BY k"
+        ) == [1, 2, 4]
+
+    def test_between_with_null_operand(self, connection):
+        assert keys(connection, "SELECT k FROM t WHERE qty BETWEEN 1 AND 10 ORDER BY k") == [1, 4]
+
+    def test_in_list_with_null_operand(self, connection):
+        assert keys(connection, "SELECT k FROM t WHERE qty IN (5, 50) ORDER BY k") == [1, 3]
+
+    def test_parameterized_range_on_null(self, connection):
+        assert keys(connection, "SELECT k FROM t WHERE qty < ? ORDER BY k", (10,)) == [1, 4]
+
+
+class TestEngineAgreementOnNulls:
+    """Both engines produce byte-identical results over NULL-heavy data."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT k FROM t WHERE qty < 10 ORDER BY k",
+            "SELECT k FROM t WHERE qty IS NULL ORDER BY k",
+            "SELECT k, qty FROM t WHERE NOT qty >= 7 ORDER BY k",
+            "SELECT k FROM t WHERE tag LIKE 'a%' ORDER BY k",
+            "SELECT qty * 2 AS dbl FROM t WHERE k <= 3 ORDER BY k",
+        ],
+    )
+    def test_row_vs_vectorized(self, sql):
+        results = {}
+        for engine in ("row", "vectorized"):
+            conn = repro.connect(engine=engine)
+            conn.executescript(DDL)
+            results[engine] = conn.execute(sql).fetchall()
+        assert results["row"] == results["vectorized"]
+
+    def test_derived_expression_propagates_null(self):
+        for engine in ("row", "vectorized"):
+            conn = repro.connect(engine=engine)
+            conn.executescript(DDL)
+            rows = conn.execute("SELECT qty * 2 AS dbl FROM t ORDER BY k").fetchall()
+            assert [row[0] for row in rows] == [10, None, 100, 14, None]

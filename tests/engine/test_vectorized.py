@@ -37,10 +37,12 @@ class TestColumnTable:
         assert table.to_rows() == []
 
     def test_explicit_row_count_wins_over_columns(self):
-        # A zero-column table still carries cardinality (COUNT(*)-only scans).
+        # A zero-column table still carries cardinality (COUNT(*)-only scans,
+        # queries whose only outputs are computed expressions): to_rows emits
+        # one empty dict per row for derived columns to land in.
         table = ColumnTable({}, 7)
         assert table.row_count == 7
-        assert table.to_rows() == []
+        assert table.to_rows() == [{}] * 7
 
 
 class TestTableView:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import QueryError
+from repro.relational import scalar
 from repro.relational.expressions import ColumnRef, Expression
 from repro.relational.predicates import ComparisonOp, FilterPredicate, JoinPredicate
 
@@ -32,21 +33,67 @@ class TestComparisonOp:
 
 class TestFilterPredicate:
     def test_evaluate_row_value(self):
-        predicate = FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100)
-        assert predicate.evaluate(50)
-        assert not predicate.evaluate(150)
+        predicate = FilterPredicate.comparison(ColumnRef("o", "date"), ComparisonOp.LT, 100)
+        keep = scalar.compile_predicate(predicate.expr, lambda ref: ref.column)
+        assert keep({"date": 50})
+        assert not keep({"date": 150})
 
     def test_alias_property(self):
-        predicate = FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100)
+        predicate = FilterPredicate.comparison(ColumnRef("o", "date"), ComparisonOp.LT, 100)
         assert predicate.alias == "o"
 
     def test_selectivity_hint_validation(self):
         with pytest.raises(QueryError):
-            FilterPredicate(ColumnRef("o", "date"), ComparisonOp.LT, 100, selectivity_hint=1.5)
+            FilterPredicate.comparison(
+                ColumnRef("o", "date"), ComparisonOp.LT, 100, selectivity_hint=1.5
+            )
 
     def test_str_contains_operator(self):
-        predicate = FilterPredicate(ColumnRef("o", "d"), ComparisonOp.GE, 3)
+        predicate = FilterPredicate.comparison(ColumnRef("o", "d"), ComparisonOp.GE, 3)
         assert ">=" in str(predicate)
+
+    def test_multi_alias_expression_rejected(self):
+        expr = scalar.Comparison(
+            ComparisonOp.EQ,
+            scalar.Column(ColumnRef("a", "x")),
+            scalar.Column(ColumnRef("b", "y")),
+        )
+        with pytest.raises(QueryError):
+            FilterPredicate(expr)
+
+    def test_no_column_expression_rejected(self):
+        expr = scalar.Comparison(ComparisonOp.EQ, scalar.Literal(1), scalar.Literal(1))
+        with pytest.raises(QueryError):
+            FilterPredicate(expr)
+
+    def test_indexable_column_sargable_shapes(self):
+        ref = ColumnRef("o", "qty")
+        assert FilterPredicate.comparison(ref, ComparisonOp.LT, 10).indexable_column == ref
+        between = FilterPredicate(
+            scalar.Between(scalar.Column(ref), scalar.Literal(1), scalar.Literal(9))
+        )
+        assert between.indexable_column == ref
+        arithmetic = FilterPredicate(
+            scalar.Comparison(
+                ComparisonOp.LT,
+                scalar.Arithmetic(scalar.ArithOp.MUL, scalar.Column(ref), scalar.Literal(2)),
+                scalar.Literal(10),
+            )
+        )
+        assert arithmetic.indexable_column is None
+
+    def test_disjunction_is_one_predicate(self):
+        ref = ColumnRef("o", "region")
+        expr = scalar.Or(
+            (
+                scalar.Comparison(ComparisonOp.EQ, scalar.Column(ref), scalar.Literal("EU")),
+                scalar.Comparison(ComparisonOp.EQ, scalar.Column(ref), scalar.Literal("APAC")),
+            )
+        )
+        predicate = FilterPredicate(expr)
+        assert predicate.alias == "o"
+        assert predicate.indexable_column is None
+        assert "OR" in str(predicate)
 
 
 class TestJoinPredicate:

@@ -1,0 +1,357 @@
+"""Unit tests for the typed scalar-expression IR.
+
+Covers SQL three-valued NULL semantics, the type checker, and backend
+agreement: the row-closure compiler (:func:`scalar.compile_row`), the naive
+tree-walk interpreter (:func:`scalar.interpret`) and the batched evaluator
+(:func:`scalar.evaluate_batch`) must produce identical values for every
+expression over every row.
+"""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.relational import scalar
+from repro.relational.expressions import ColumnRef
+from repro.relational.scalar import (
+    And,
+    Arithmetic,
+    ArithOp,
+    Between,
+    Column,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    Parameter,
+    ScalarType,
+)
+
+
+def col(name):
+    return Column(ColumnRef("t", name))
+
+
+def lit(value):
+    return Literal(value)
+
+
+def cmp_(op, left, right):
+    return Comparison(ComparisonOp(op), left, right)
+
+
+def run_all_backends(expr, row, parameters=None):
+    """Evaluate *expr* via all three backends and assert they agree."""
+
+    def name_of(ref):
+        return ref.column
+
+    compiled = scalar.compile_row(expr, name_of, parameters)(row)
+    walked = scalar.interpret(expr, row, name_of, parameters)
+
+    def resolve(ref):
+        if ref.column not in row:
+            raise scalar.MissingColumnError(ref)
+        return [row[ref.column]]
+
+    batched = scalar.evaluate_batch(expr, resolve, [0], parameters)[0]
+    assert compiled == walked == batched or (compiled is walked is batched is None)
+    return compiled
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        assert run_all_backends(cmp_("<", col("a"), lit(10)), {"a": None}) is None
+        assert run_all_backends(cmp_("=", lit(None), lit(1)), {}) is None
+
+    def test_and_truth_table(self):
+        true = cmp_("=", lit(1), lit(1))
+        false = cmp_("=", lit(1), lit(2))
+        null = cmp_("=", lit(None), lit(1))
+        assert run_all_backends(And((true, false)), {}) is False
+        assert run_all_backends(And((true, null)), {}) is None
+        # NULL AND FALSE is FALSE, not NULL.
+        assert run_all_backends(And((null, false)), {}) is False
+        assert run_all_backends(And((true, true)), {}) is True
+
+    def test_or_truth_table(self):
+        true = cmp_("=", lit(1), lit(1))
+        false = cmp_("=", lit(1), lit(2))
+        null = cmp_("=", lit(None), lit(1))
+        # NULL OR TRUE is TRUE, not NULL.
+        assert run_all_backends(Or((null, true)), {}) is True
+        assert run_all_backends(Or((false, null)), {}) is None
+        assert run_all_backends(Or((false, false)), {}) is False
+
+    def test_not_of_null_is_null(self):
+        null = cmp_("=", lit(None), lit(1))
+        assert run_all_backends(Not(null), {}) is None
+        assert run_all_backends(Not(cmp_("=", lit(1), lit(1))), {}) is False
+
+    def test_in_with_null_item_is_null_not_false(self):
+        expr = InList(col("a"), (lit(1), lit(2), lit(None)))
+        assert run_all_backends(expr, {"a": 1}) is True
+        assert run_all_backends(expr, {"a": 9}) is None
+        assert run_all_backends(expr, {"a": None}) is None
+
+    def test_not_in_with_null_item(self):
+        expr = InList(col("a"), (lit(1), lit(None)), negated=True)
+        assert run_all_backends(expr, {"a": 1}) is False
+        assert run_all_backends(expr, {"a": 9}) is None
+
+    def test_in_without_nulls(self):
+        expr = InList(col("a"), (lit(1), lit(2)))
+        assert run_all_backends(expr, {"a": 3}) is False
+
+    def test_between_null_operand_or_bound(self):
+        assert run_all_backends(Between(col("a"), lit(1), lit(9)), {"a": None}) is None
+        assert run_all_backends(Between(col("a"), lit(None), lit(9)), {"a": 5}) is None
+        assert run_all_backends(Between(col("a"), lit(1), lit(9)), {"a": 5}) is True
+        assert run_all_backends(Between(col("a"), lit(1), lit(9), negated=True), {"a": 5}) is False
+
+    def test_between_decomposes_under_kleene_and(self):
+        # x BETWEEN lo AND hi is x >= lo AND x <= hi: NULL AND FALSE is
+        # FALSE, so a NULL bound does not force NULL when the other side
+        # already fails — and NOT BETWEEN can then be TRUE.
+        assert run_all_backends(Between(col("a"), lit(None), lit(5)), {"a": 10}) is False
+        assert (
+            run_all_backends(Between(col("a"), lit(None), lit(5), negated=True), {"a": 10})
+            is True
+        )
+        assert run_all_backends(Between(col("a"), lit(5), lit(None)), {"a": 1}) is False
+        assert (
+            run_all_backends(Between(col("a"), lit(5), lit(None), negated=True), {"a": 1})
+            is True
+        )
+        # Both sides undecided: NULL AND NULL is NULL.
+        assert run_all_backends(Between(col("a"), lit(None), lit(None)), {"a": 1}) is None
+
+    def test_filter_batch_not_between_null_bound(self):
+        expr = Between(col("a"), lit(None), lit(5), negated=True)
+        values = [10, 3, None, 7]
+        selected = scalar.filter_batch(expr, lambda ref: values, range(4))
+        assert selected == [0, 3]
+
+    def test_is_null_never_null(self):
+        assert run_all_backends(IsNull(col("a")), {"a": None}) is True
+        assert run_all_backends(IsNull(col("a")), {"a": 1}) is False
+        assert run_all_backends(IsNull(col("a"), negated=True), {"a": None}) is False
+
+    def test_arithmetic_null_propagates(self):
+        expr = Arithmetic(ArithOp.ADD, col("a"), lit(1))
+        assert run_all_backends(expr, {"a": None}) is None
+        assert run_all_backends(expr, {"a": 2}) == 3
+
+    def test_division_by_zero_is_null(self):
+        expr = Arithmetic(ArithOp.DIV, lit(1), col("a"))
+        assert run_all_backends(expr, {"a": 0}) is None
+        assert run_all_backends(expr, {"a": 2}) == 0.5
+
+    def test_negate_null(self):
+        assert run_all_backends(Negate(col("a")), {"a": None}) is None
+        assert run_all_backends(Negate(col("a")), {"a": 3}) == -3
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("a%", "abc", True),
+            ("a%", "bca", False),
+            ("%c", "abc", True),
+            ("a_c", "abc", True),
+            ("a_c", "abxc", False),
+            ("a.c", "abc", False),  # regex metachars are literal
+            ("a.c", "a.c", True),
+            ("%b%", "abc", True),
+            ("", "", True),
+        ],
+    )
+    def test_patterns(self, pattern, value, expected):
+        assert run_all_backends(Like(col("s"), pattern), {"s": value}) is expected
+
+    def test_null_operand_is_null(self):
+        assert run_all_backends(Like(col("s"), "a%"), {"s": None}) is None
+
+    def test_negated(self):
+        assert run_all_backends(Like(col("s"), "a%", negated=True), {"s": "abc"}) is False
+
+
+class TestPredicateCollapse:
+    def test_null_means_filtered_out(self):
+        expr = cmp_("<", col("a"), lit(10))
+        keep = scalar.compile_predicate(expr, lambda ref: ref.column)
+        assert keep({"a": 5})
+        assert not keep({"a": 15})
+        assert not keep({"a": None})  # NULL comparison keeps nothing
+
+    def test_filter_batch_selects_only_true(self):
+        expr = cmp_("<", col("a"), lit(10))
+        values = [5, None, 15, 3]
+        selected = scalar.filter_batch(expr, lambda ref: values, range(4))
+        assert selected == [0, 3]
+
+
+class TestParameters:
+    def test_parameter_resolution(self):
+        expr = cmp_("<", col("a"), Parameter(1))
+        assert run_all_backends(expr, {"a": 5}, parameters=(10,)) is True
+        assert run_all_backends(expr, {"a": 15}, parameters=(10,)) is False
+
+    def test_missing_parameter_raises(self):
+        expr = cmp_("<", col("a"), Parameter(2))
+        with pytest.raises(QueryError, match=r"\$2"):
+            scalar.compile_row(expr, lambda ref: ref.column, (1,))
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(QueryError):
+            Parameter(0)
+
+
+class TestMissingColumns:
+    def test_row_backend_raises(self):
+        expr = cmp_("=", col("nope"), lit(1))
+        fn = scalar.compile_row(expr, lambda ref: ref.column)
+        with pytest.raises(scalar.MissingColumnError):
+            fn({"a": 1})
+
+    def test_batch_backend_raises_on_missing_sentinel(self):
+        expr = cmp_("=", col("a"), lit(1))
+        with pytest.raises(scalar.MissingColumnError):
+            scalar.evaluate_batch(expr, lambda ref: [scalar.MISSING], [0])
+
+
+class TestHelpers:
+    def test_conjuncts_flatten_nested_ands(self):
+        a = cmp_("=", col("a"), lit(1))
+        b = cmp_("=", col("b"), lit(2))
+        c = cmp_("=", col("c"), lit(3))
+        expr = And((And((a, b)), c))
+        assert scalar.conjuncts(expr) == [a, b, c]
+        assert scalar.conjuncts(a) == [a]
+
+    def test_conjoin_round_trips(self):
+        a = cmp_("=", col("a"), lit(1))
+        b = cmp_("=", col("b"), lit(2))
+        assert scalar.conjoin([a]) is a
+        assert scalar.conjuncts(scalar.conjoin([a, b])) == [a, b]
+
+    def test_columns_of_deduplicates(self):
+        expr = And((cmp_("<", col("a"), lit(1)), cmp_(">", col("a"), col("b"))))
+        assert scalar.columns_of(expr) == [ColumnRef("t", "a"), ColumnRef("t", "b")]
+
+    def test_comparison_op_evaluate_delegates_to_comparator(self):
+        # One source of truth: evaluate and comparator are the same callable
+        # semantics for every operator.
+        for op in ComparisonOp:
+            assert op.evaluate(1, 2) == op.comparator(1, 2)
+            assert op.evaluate(2, 2) == op.comparator(2, 2)
+
+
+class TestRendering:
+    def test_precedence_parentheses(self):
+        disjunction = Or(
+            (cmp_("=", col("a"), lit(1)), cmp_("=", col("b"), lit(2)))
+        )
+        conjunction = And((disjunction, cmp_("<", col("c"), lit(3))))
+        assert str(conjunction) == "(t.a = 1 OR t.b = 2) AND t.c < 3"
+
+    def test_arithmetic_precedence(self):
+        expr = Arithmetic(
+            ArithOp.MUL,
+            Arithmetic(ArithOp.ADD, col("a"), lit(1)),
+            col("b"),
+        )
+        assert str(expr) == "(t.a + 1) * t.b"
+        flat = Arithmetic(ArithOp.ADD, Arithmetic(ArithOp.MUL, col("a"), lit(2)), lit(1))
+        assert str(flat) == "t.a * 2 + 1"
+
+    def test_subtraction_right_association_parenthesized(self):
+        expr = Arithmetic(ArithOp.SUB, col("a"), Arithmetic(ArithOp.SUB, col("b"), lit(1)))
+        assert str(expr) == "t.a - (t.b - 1)"
+
+    def test_string_literal_quoted(self):
+        assert str(cmp_("=", col("s"), lit("EU"))) == "t.s = 'EU'"
+        assert str(lit(None)) == "NULL"
+
+
+class TestTypecheck:
+    TYPES = {
+        "i": ScalarType.INTEGER,
+        "f": ScalarType.FLOAT,
+        "s": ScalarType.STRING,
+    }
+
+    def check(self, expr, parameter_types=None):
+        return scalar.typecheck(expr, lambda ref: self.TYPES[ref.column], parameter_types)
+
+    def test_arithmetic_types(self):
+        assert self.check(Arithmetic(ArithOp.ADD, col("i"), lit(1))) is ScalarType.INTEGER
+        assert self.check(Arithmetic(ArithOp.ADD, col("i"), col("f"))) is ScalarType.FLOAT
+        assert self.check(Arithmetic(ArithOp.DIV, col("i"), lit(2))) is ScalarType.FLOAT
+
+    def test_arithmetic_on_string_rejected(self):
+        with pytest.raises(QueryError, match="numeric"):
+            self.check(Arithmetic(ArithOp.ADD, col("s"), lit(1)))
+
+    def test_string_numeric_comparison_rejected(self):
+        with pytest.raises(QueryError, match="cannot compare"):
+            self.check(cmp_("=", col("s"), lit(1)))
+
+    def test_null_compares_with_anything(self):
+        assert self.check(cmp_("=", col("s"), lit(None))) is ScalarType.BOOLEAN
+        assert self.check(cmp_("=", col("i"), lit(None))) is ScalarType.BOOLEAN
+
+    def test_like_needs_string(self):
+        assert self.check(Like(col("s"), "a%")) is ScalarType.BOOLEAN
+        with pytest.raises(QueryError, match="LIKE"):
+            self.check(Like(col("i"), "a%"))
+
+    def test_and_needs_boolean_operands(self):
+        with pytest.raises(QueryError, match="AND"):
+            self.check(And((col("i"), cmp_("=", col("i"), lit(1)))))
+
+    def test_parameter_inherits_partner_type(self):
+        collected = {}
+        self.check(cmp_("<", col("i"), Parameter(1)), collected)
+        assert collected == {1: ScalarType.INTEGER}
+
+    def test_parameter_type_conflict_rejected(self):
+        collected = {}
+        conj = And(
+            (
+                cmp_("<", col("i"), Parameter(1)),
+                cmp_("=", col("s"), Parameter(1)),
+            )
+        )
+        # The conflict surfaces at the second comparison: by then $1 is typed
+        # INTEGER and comparing it to a string column is incomparable.
+        with pytest.raises(QueryError, match="cannot compare"):
+            self.check(conj, collected)
+
+    def test_numeric_parameter_unifies_to_float(self):
+        collected = {}
+        conj = And(
+            (
+                cmp_("<", col("i"), Parameter(1)),
+                cmp_("<", col("f"), Parameter(1)),
+            )
+        )
+        self.check(conj, collected)
+        assert collected == {1: ScalarType.FLOAT}
+
+    def test_parameters_in_arithmetic_typed_float(self):
+        # Two untyped slots meeting in arithmetic still come out concrete:
+        # arithmetic is numeric-only, so both type as FLOAT and the admission
+        # check can reject strings before the engine's comparison loop.
+        collected = {}
+        self.check(cmp_("<", col("i"), Arithmetic(ArithOp.ADD, Parameter(1), Parameter(2))), collected)
+        assert collected == {1: ScalarType.FLOAT, 2: ScalarType.FLOAT}
+
+    def test_boolean_literal_rejected(self):
+        with pytest.raises(QueryError):
+            scalar.type_of_value(True)

@@ -94,17 +94,15 @@ class TestPredicateClassification:
             catalog,
         )
         predicate = query.filters[0]
-        assert predicate.column == ColumnRef("customer", "c_mktsegment")
-        assert predicate.op is ComparisonOp.EQ
-        assert predicate.value == 2
+        assert predicate.columns == [ColumnRef("customer", "c_mktsegment")]
+        assert str(predicate) == "customer.c_mktsegment = 2"
         assert predicate.selectivity_hint == 0.2
 
-    def test_constant_on_left_is_flipped(self, catalog):
+    def test_constant_on_left_binds_as_filter(self, catalog):
         query = lower("SELECT c_name FROM customer WHERE 100 < c_custkey", catalog)
         predicate = query.filters[0]
-        assert predicate.column == ColumnRef("customer", "c_custkey")
-        assert predicate.op is ComparisonOp.GT
-        assert predicate.value == 100
+        assert predicate.columns == [ColumnRef("customer", "c_custkey")]
+        assert str(predicate) == "100 < customer.c_custkey"
 
     def test_theta_join(self, catalog):
         query = lower(
@@ -121,9 +119,15 @@ class TestPredicateClassification:
         )
         assert len(query.join_predicates) == 1
 
-    def test_same_relation_column_comparison_rejected(self, catalog):
-        with pytest.raises(SqlBindingError):
-            lower("SELECT c_name FROM customer WHERE c_custkey = c_nationkey", catalog)
+    def test_same_relation_column_comparison_is_filter(self, catalog):
+        query = lower("SELECT c_name FROM customer WHERE c_custkey = c_nationkey", catalog)
+        assert not query.join_predicates
+        predicate = query.filters[0]
+        assert predicate.alias == "customer"
+        assert predicate.columns == [
+            ColumnRef("customer", "c_custkey"),
+            ColumnRef("customer", "c_nationkey"),
+        ]
 
     def test_constant_comparison_rejected(self, catalog):
         with pytest.raises(SqlBindingError):

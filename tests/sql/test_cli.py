@@ -192,3 +192,45 @@ class TestRunStatementCompat:
         out = io.StringIO()
         run_statement(session, "CREATE TABLE t (a INTEGER)", out=out)
         assert "ok: create table" in out.getvalue()
+
+
+class TestSchemaMetaCommand:
+    def _connection(self):
+        import repro
+
+        connection = repro.connect()
+        connection.executescript(
+            "CREATE TABLE orders (id INTEGER, region TEXT, qty INTEGER, "
+            "price FLOAT, PRIMARY KEY (id)); "
+            "CREATE TABLE tags (name TEXT)"
+        )
+        return connection
+
+    def test_schema_all_tables(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        assert _meta_command(self._connection(), ".schema")
+        out = capsys.readouterr().out
+        assert "orders:" in out and "tags:" in out
+        assert "region  string" in out
+        assert "price  float" in out
+        assert "id  integer  primary key" in out
+
+    def test_schema_single_table(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        assert _meta_command(self._connection(), ".schema tags")
+        captured = capsys.readouterr()
+        assert "tags:" in captured.out
+        assert "orders:" not in captured.out
+
+    def test_schema_unknown_table(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        assert _meta_command(self._connection(), ".schema nope")
+        assert "unknown table 'nope'" in capsys.readouterr().err
+
+    def test_unknown_meta_command_still_rejected(self):
+        from repro.sql.cli import _meta_command
+
+        assert not _meta_command(self._connection(), ".bogus")

@@ -7,7 +7,7 @@ message carries the caret snippet pointing at the offending token.
 import pytest
 
 import repro
-from repro.common.errors import SqlBindingError, SqlSyntaxError
+from repro.common.errors import SqlBindingError, SqlError, SqlSyntaxError
 from repro.sql.ast import (
     AnalyzeStatement,
     CopyStatement,
@@ -208,13 +208,22 @@ class TestParameterParsing:
     def test_parameter_vs_parameter_rejected(self):
         conn = repro.connect()
         conn.execute("CREATE TABLE t (a INTEGER)")
-        with pytest.raises(SqlBindingError, match="two parameters"):
+        with pytest.raises(SqlBindingError, match="references no relation columns"):
             conn.execute("SELECT a FROM t WHERE ? = ?", (1, 1))
+
+    def test_string_parameter_in_arithmetic_rejected_cleanly(self):
+        # Parameter-only arithmetic types the slots FLOAT, so a mistyped
+        # value raises SqlError instead of a raw TypeError from the engine.
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(SqlError, match="type mismatch for parameter"):
+            conn.execute("SELECT a FROM t WHERE a < ? + ?", ("foo", "bar"))
 
     def test_parameter_vs_constant_rejected(self):
         conn = repro.connect()
         conn.execute("CREATE TABLE t (a INTEGER)")
-        with pytest.raises(SqlBindingError, match="compared to a column"):
+        with pytest.raises(SqlBindingError, match="references no relation columns"):
             conn.execute("SELECT a FROM t WHERE ? = 1", (1,))
 
 

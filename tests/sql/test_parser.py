@@ -86,9 +86,14 @@ class TestPredicates:
         with pytest.raises(SqlSyntaxError):
             parse_select("SELECT a FROM t WHERE a = 2 /*+ selectivity=1.5 */")
 
-    def test_or_not_supported(self):
-        with pytest.raises(SqlSyntaxError):
-            parse_select("SELECT a FROM t WHERE a = 1 OR a = 2")
+    def test_or_parses_below_and(self):
+        statement = parse_select("SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3")
+        # AND binds tighter than OR: one top-level conjunct, an OrExpr.
+        assert len(statement.predicates) == 1
+        disjunction = statement.predicates[0]
+        assert type(disjunction).__name__ == "OrExpr"
+        assert len(disjunction.items) == 2
+        assert type(disjunction.items[1]).__name__ == "AndExpr"
 
 
 class TestJoinSyntax:
