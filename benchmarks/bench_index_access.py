@@ -1,0 +1,281 @@
+"""Index access paths: point/range/join latency, index plans vs seq scans.
+
+Four databases are loaded with identical synthetic data (an ``events`` fact
+table plus a small ``tags`` dimension) through the SQL surface (CREATE TABLE
+→ COPY → CREATE INDEX → ANALYZE): row/vectorized engine × index-enabled /
+index-disabled plan enumeration.  Each query then measures warm-plan-cache
+statement latency on both stores of the same engine; ``speedup`` is
+``seq / indexed`` — how much the physical access path buys at default scale:
+
+* **Point** — a hash-index point lookup on the primary key;
+* **Range** — a ~0.5%-selective ordered-index range scan;
+* **RangeNarrow** — a ~0.02%-selective range (the index's best case);
+* **Join** — the dimension probing the fact table's hash index per outer
+  row (index-NL) vs building a hash table over the whole fact table.
+
+The CI gate tracks the speedup ratios against ``baselines.json`` — ratios
+are machine-stable while raw milliseconds are not.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_index_access [--quick]
+
+or through pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_index_access.py \
+        -o python_files=bench_*.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import math
+import os
+import random
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+import repro
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from repro.optimizer.search_space import EnumerationOptions
+
+BENCH_NAME = "bench_index_access"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_index_access.json")
+
+DEFAULT_ROWS = 50_000
+QUICK_ROWS = 20_000
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+TS_DOMAIN = 100_000
+
+NO_INDEXES = EnumerationOptions(enable_index_scans=False, enable_index_nl=False)
+
+ENGINES = ("row", "vectorized")
+
+#: name → (sql, parameters); ranges sized against TS_DOMAIN for ~0.5% / ~0.02%
+QUERIES: Dict[str, Tuple[str, Optional[Tuple[object, ...]]]] = {
+    "Point": ("SELECT val FROM events WHERE id = 31737", None),
+    "Range": ("SELECT id FROM events WHERE ts BETWEEN 40000 AND 40500", None),
+    "RangeNarrow": ("SELECT id FROM events WHERE ts BETWEEN 70000 AND 70020", None),
+    "Join": (
+        "SELECT label, COUNT(*) FROM tags, events "
+        "WHERE tags.grp = events.grp AND tags.label <= 3 GROUP BY label",
+        None,
+    ),
+}
+
+
+def write_events_csv(rows: int, seed: int) -> str:
+    rng = random.Random(seed)
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".csv", delete=False, newline="", encoding="utf-8"
+    )
+    with handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "ts", "val", "grp"])
+        for i in range(rows):
+            writer.writerow([i, rng.randrange(TS_DOMAIN), f"{rng.uniform(0, 100):.4f}", i % 64])
+    return handle.name
+
+
+def prepare(rows: int, seed: int = 7) -> Dict[Tuple[str, str], repro.Database]:
+    """engine × (indexed, seq) databases over identical SQL-loaded stores."""
+    csv_path = write_events_csv(rows, seed)
+    grid: Dict[Tuple[str, str], repro.Database] = {}
+    try:
+        for engine in ENGINES:
+            for label, enumeration in (("indexed", None), ("seq", NO_INDEXES)):
+                database = repro.connect(engine=engine, enumeration=enumeration).database
+                database.execute_script(
+                    "CREATE TABLE events (id INTEGER, ts INTEGER, val FLOAT, "
+                    "grp INTEGER);"
+                    "CREATE TABLE tags (grp INTEGER, label INTEGER, PRIMARY KEY (grp));"
+                    "INSERT INTO tags VALUES "
+                    + ", ".join(f"({grp}, {grp % 8})" for grp in range(64))
+                )
+                database.execute(f"COPY events FROM '{csv_path}'")
+                database.execute_script(
+                    "CREATE INDEX idx_events_id ON events (id) USING HASH;"
+                    "CREATE INDEX idx_events_ts ON events (ts);"
+                    "CREATE INDEX idx_events_grp ON events (grp) USING HASH;"
+                    "ANALYZE"
+                )
+                grid[engine, label] = database
+    finally:
+        os.unlink(csv_path)
+    return grid
+
+
+def time_execute(database: repro.Database, sql: str, params, repeats: int) -> float:
+    """Best-of-N warm statement latency (plan cached; engine time dominates)."""
+    database.execute(sql, params)  # warm the plan cache and the lazy index sort
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        database.execute(sql, params)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = 7) -> Dict:
+    rows = QUICK_ROWS if quick else DEFAULT_ROWS
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    grid = prepare(rows, seed)
+    queries: Dict[str, Dict[str, float]] = {}
+    totals = {"seq": 0.0, "indexed": 0.0}
+    for name, (sql, params) in QUERIES.items():
+        for engine in ENGINES:
+            indexed_db = grid[engine, "indexed"]
+            expected = grid[engine, "seq"].execute(sql, params).rows
+            observed = indexed_db.execute(sql, params).rows
+            assert observed == expected, f"{name}[{engine}]: index plan changed results"
+            seq = time_execute(grid[engine, "seq"], sql, params, repeats)
+            indexed = time_execute(indexed_db, sql, params, repeats)
+            totals["seq"] += seq
+            totals["indexed"] += indexed
+            plan = indexed_db.execute("EXPLAIN " + sql, params).plan_text
+            queries[f"{name}[{engine}]"] = {
+                "seq_ms": seq * 1000,
+                "indexed_ms": indexed * 1000,
+                "speedup": seq / indexed if indexed > 0 else 0.0,
+                "access_path": "index" if "index-scan" in plan else "seq",
+            }
+    speedups = [entry["speedup"] for entry in queries.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "rows": rows,
+        "repeats": repeats,
+        "queries": queries,
+        "summary": {
+            "total_seq_ms": totals["seq"] * 1000,
+            "total_indexed_ms": totals["indexed"] * 1000,
+            "total_speedup": totals["seq"] / totals["indexed"]
+            if totals["indexed"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name in sorted(report["queries"]):
+        entry = report["queries"][name]
+        rows.append(
+            (
+                name,
+                entry["seq_ms"],
+                entry["indexed_ms"],
+                f"{entry['speedup']:.2f}x",
+                entry["access_path"],
+            )
+        )
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_seq_ms"],
+            summary["total_indexed_ms"],
+            f"{summary['total_speedup']:.2f}x",
+            "",
+        )
+    )
+    title = (
+        f"Seq-scan vs index access ({report['mode']} mode, {report['rows']} rows, "
+        f"best of {report['repeats']}) — geomean speedup "
+        f"{summary['geomean_speedup']:.2f}x"
+    )
+    return format_table(title, ["query", "seq ms", "indexed ms", "speedup", "path"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def index_grid():
+    return prepare(QUICK_ROWS)
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_indexed_execute(benchmark, index_grid, engine, query_name):
+    sql, params = QUERIES[query_name]
+    database = index_grid[engine, "indexed"]
+    database.execute(sql, params)  # warm
+
+    def run():
+        return database.execute(sql, params)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.from_cache
+
+
+def test_point_and_range_use_indexes(index_grid):
+    for engine in ENGINES:
+        database = index_grid[engine, "indexed"]
+        for name in ("Point", "Range", "RangeNarrow"):
+            sql, params = QUERIES[name]
+            plan = database.execute("EXPLAIN " + sql, params).plan_text
+            assert "index-scan" in plan and "using idx_events_" in plan, (engine, name)
+
+
+def test_index_access_report(benchmark):
+    """Emit the seq/indexed latency table + BENCH json (quick mode) and hold
+    the acceptance bar: >= 5x on selective point/range, both engines."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("index_access", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    for name in ("Point", "Range", "RangeNarrow"):
+        for engine in ENGINES:
+            assert report["queries"][f"{name}[{engine}]"]["speedup"] >= 5.0, (name, engine)
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="index access path vs sequential scan benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller table / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("index_access", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

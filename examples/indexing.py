@@ -1,0 +1,122 @@
+"""Physical storage & indexing: real hash/ordered indexes behind the plans.
+
+A tour of the storage layer (`repro.storage`) and the access paths it backs:
+
+1. a fact table created, bulk-loaded and indexed entirely through SQL
+   (CREATE TABLE → COPY → CREATE INDEX ... USING HASH|ORDERED),
+2. EXPLAIN showing the chosen access path (`index-scan ... using idx_...`),
+3. the measured gap between a sequential scan and an index lookup on the
+   same data — the speedup the incremental re-optimizer's plan switches
+   actually cash in,
+4. sargability: which predicates an index can serve, and which kinds,
+5. index maintenance: INSERT/COPY keep every index fresh in the same call,
+6. ordered iteration: key-order row ids straight off the index, no sort,
+7. DROP INDEX invalidating cached plans through the catalog version.
+
+Run with::
+
+    PYTHONPATH=src python examples/indexing.py
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import random
+import tempfile
+import time
+
+import repro
+from repro.optimizer.search_space import EnumerationOptions
+
+ROWS = 40_000
+
+
+def build_database(enumeration=None) -> repro.Database:
+    rng = random.Random(11)
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".csv", delete=False, newline="", encoding="utf-8"
+    )
+    with handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "ts", "val"])
+        for i in range(ROWS):
+            writer.writerow([i, rng.randrange(100_000), f"{rng.uniform(0, 100):.3f}"])
+    database = repro.connect(enumeration=enumeration).database
+    database.execute_script(
+        "CREATE TABLE events (id INTEGER, ts INTEGER, val FLOAT);"
+        f"COPY events FROM '{handle.name}';"
+        "CREATE INDEX idx_events_id ON events (id) USING HASH;"
+        "CREATE INDEX idx_events_ts ON events (ts);"  # ordered (the default)
+        "ANALYZE"
+    )
+    os.unlink(handle.name)
+    return database
+
+
+def timed(database: repro.Database, sql: str) -> float:
+    database.execute(sql)  # warm the plan cache
+    started = time.perf_counter()
+    database.execute(sql)
+    return (time.perf_counter() - started) * 1000
+
+
+def main() -> None:
+    print(f"=== 1. {ROWS} rows loaded through SQL, two indexes ===")
+    database = build_database()
+    for line in database.execute("SELECT COUNT(*) FROM events").rows:
+        print(f"  rows stored: {line['count(*)']}")
+    stored = database.store["events"]
+    for name, index in sorted(stored.indexes.items()):
+        print(f"  {name}: kind={index.kind}, entries={index.entry_count}")
+
+    print("\n=== 2. EXPLAIN shows the access path ===")
+    point = "SELECT val FROM events WHERE id = 31737"
+    rng = "SELECT id FROM events WHERE ts BETWEEN 40000 AND 40400"
+    print(database.execute("EXPLAIN " + point).plan_text)
+    print(database.execute("EXPLAIN " + rng).plan_text)
+
+    print("\n=== 3. What the index buys (same data, index plans disabled) ===")
+    seq_database = build_database(
+        EnumerationOptions(enable_index_scans=False, enable_index_nl=False)
+    )
+    for label, sql in (("hash point lookup", point), ("ordered range scan", rng)):
+        seq_ms = timed(seq_database, sql)
+        idx_ms = timed(database, sql)
+        print(f"  {label}: seq {seq_ms:8.3f} ms -> indexed {idx_ms:8.3f} ms "
+              f"({seq_ms / idx_ms:.0f}x)")
+
+    print("\n=== 4. Sargability: what an index can serve ===")
+    for sql, note in (
+        ("SELECT id FROM events WHERE ts <= 150", "range op on ordered index"),
+        ("SELECT ts FROM events WHERE id = 7", "equality on hash index"),
+        ("SELECT id FROM events WHERE id > 39990", "range on a hash-only column"),
+        ("SELECT id FROM events WHERE ts * 2 = 100", "arithmetic over the column"),
+        ("SELECT id FROM events WHERE ts != 5", "!= is never index-served"),
+    ):
+        plan = database.execute("EXPLAIN " + sql).plan_text.splitlines()[1].strip()
+        access = plan.split("  (")[0]
+        print(f"  {note:36s} -> {access}")
+
+    print("\n=== 5. INSERT maintains every index in the same call ===")
+    database.execute("INSERT INTO events VALUES (990001, 123456, 1.5)")
+    print("  " + str(database.execute("SELECT val FROM events WHERE id = 990001").rows))
+    print("  " + str(database.execute("SELECT id FROM events WHERE ts = 123456").rows))
+
+    print("\n=== 6. Ordered iteration: key order without a sort ===")
+    ordered = stored.usable_index("ts", "sorted")
+    first = ordered.ordered_row_ids()[:5]
+    print(f"  first five row ids in ts order: {first}")
+    print(f"  their ts values: {[stored.columns['ts'][i] for i in first]}")
+
+    print("\n=== 7. DROP INDEX invalidates cached plans ===")
+    before = database.stats()["plan_cache"]["invalidations"]
+    database.execute("DROP INDEX idx_events_id")
+    database.execute(point)  # re-plans against the new catalog version
+    after = database.stats()["plan_cache"]
+    print(f"  invalidations: {before} -> {after['invalidations']}")
+    print(database.execute("EXPLAIN " + point).plan_text)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,7 @@ from repro.api.plan_cache import (
     parameter_signature,
 )
 from repro.catalog.catalog import Catalog
-from repro.common.errors import ExecutionError, SqlError
+from repro.common.errors import ExecutionError, SchemaError, SqlError
 from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
 from repro.engine.executor import ExecutionResult
 from repro.engine.vectorized.columns import ColumnTable
@@ -50,11 +50,14 @@ from repro.relational.schema import DataType, Schema
 from repro.sql.ast import (
     AnalyzeStatement,
     CopyStatement,
+    CreateIndexStatement,
     CreateTableStatement,
+    DropIndexStatement,
     ExplainStatement,
     InsertStatement,
     SelectStatement,
 )
+from repro.storage.table import StoredTable
 from repro.sql.binder import Binder, query_parameter_count, value_matches_type
 from repro.sql.parser import Parser, split_statements, statement_has_parameters
 from repro.sql.render import explain_footer, explain_header, render_plan
@@ -492,6 +495,12 @@ class Database:
         if isinstance(statement, CreateTableStatement):
             self._check_arity(0, params)
             return self._execute_create(binder, statement)
+        if isinstance(statement, CreateIndexStatement):
+            self._check_arity(0, params)
+            return self._execute_create_index(binder, statement)
+        if isinstance(statement, DropIndexStatement):
+            self._check_arity(0, params)
+            return self._execute_drop_index(binder, statement)
         if isinstance(statement, InsertStatement):
             return self._execute_insert(binder, statement, params)
         if isinstance(statement, CopyStatement):
@@ -507,8 +516,66 @@ class Database:
     def _execute_create(self, binder: Binder, statement: CreateTableStatement) -> StatementResult:
         bound = binder.bind_create_table(statement)
         self.catalog.create_table(bound.table, bound.indexes)
-        self._store[bound.table.name] = ColumnTable.with_columns(bound.table.column_names)
+        stored = StoredTable.with_columns(bound.table.column_names)
+        for index in bound.indexes:
+            stored.create_index(index)
+        self._store[bound.table.name] = stored
         return StatementResult("create table")
+
+    def _physical_table(self, name: str) -> Optional[StoredTable]:
+        """The index-bearing store behind *name*, converting row lists.
+
+        Tables handed to :func:`repro.api.connect` as row dicts are adopted
+        into a :class:`StoredTable` (with every catalog index on the table
+        built physically) the first time an index has to exist for real.
+        Returns None for tables with no stored data at all (analytic
+        catalogs), whose indexes stay metadata-only.
+        """
+        stored = self._store.get(name)
+        if stored is None or isinstance(stored, StoredTable):
+            return stored
+        if isinstance(stored, ColumnTable):
+            adopted = StoredTable.from_column_table(stored)
+        else:
+            table = self.catalog.schema.table(name)
+            adopted = StoredTable.from_column_table(
+                ColumnTable.from_rows(list(stored), columns=table.column_names)
+            )
+        for index in self.catalog.indexes_on(name):
+            adopted.create_index(index)
+        self._store[name] = adopted
+        return adopted
+
+    def _execute_create_index(
+        self, binder: Binder, statement: CreateIndexStatement
+    ) -> StatementResult:
+        index = binder.bind_create_index(statement)
+        # Adopt the store first so only pre-existing catalog indexes are
+        # built during conversion; then register + build the new one.
+        stored = self._physical_table(index.table)
+        if stored is not None and index.unique:
+            # Validate before the catalog mutates: a failed unique build must
+            # leave neither metadata nor a half-registered physical index.
+            try:
+                stored.create_index(index)
+            except SchemaError as error:
+                raise SqlError(str(error)) from error
+            self.catalog.create_index(index)
+            return StatementResult("create index")
+        self.catalog.create_index(index)
+        if stored is not None:
+            stored.create_index(index)
+        return StatementResult("create index")
+
+    def _execute_drop_index(
+        self, binder: Binder, statement: DropIndexStatement
+    ) -> StatementResult:
+        index = binder.bind_drop_index(statement)
+        self.catalog.drop_index(index.name)
+        stored = self._store.get(index.table)
+        if isinstance(stored, StoredTable):
+            stored.drop_index(index.name)
+        return StatementResult("drop index")
 
     def _execute_insert(
         self, binder: Binder, statement: InsertStatement, params: Tuple[object, ...]
@@ -610,9 +677,15 @@ class Database:
         stored = self._store.get(name)
         if stored is None:
             table = self.catalog.schema.table(name)
-            stored = self._store[name] = ColumnTable.with_columns(table.column_names)
+            created = StoredTable.with_columns(table.column_names)
+            for index in self.catalog.indexes_on(name):
+                created.create_index(index)
+            stored = self._store[name] = created
         if isinstance(stored, ColumnTable):
-            return stored.append_rows(rows)
+            try:
+                return stored.append_rows(rows)
+            except SchemaError as error:  # unique-index violation
+                raise SqlError(str(error)) from error
         if isinstance(stored, list):
             stored.extend(rows)
             return len(rows)

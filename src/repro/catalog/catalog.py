@@ -39,6 +39,19 @@ class Catalog:
         self._stats[table.name] = TableStats(row_count=0.0)
         self.version += 1
 
+    def create_index(self, index: Index) -> Index:
+        """Register a standalone ``CREATE INDEX``; bumps the catalog version
+        so plans cached against the old access paths invalidate."""
+        self.schema.add_index(index)
+        self.version += 1
+        return index
+
+    def drop_index(self, name: str) -> Index:
+        """Remove an index (``DROP INDEX``); bumps the catalog version."""
+        index = self.schema.drop_index(name)
+        self.version += 1
+        return index
+
     # -- statistics maintenance -------------------------------------------
 
     def analyze_table(
@@ -101,6 +114,19 @@ class Catalog:
 
     def index_on(self, table: str, column: str) -> Optional[Index]:
         return self.schema.index_on_column(table, column)
+
+    def usable_index(self, table: str, column: str, shape: str = "point") -> Optional[Index]:
+        """The index that can serve a *shape* access on ``table.column``.
+
+        ``shape`` is ``"point"`` (equality/probe — any kind, hash preferred),
+        ``"range"`` or ``"sorted"`` (ordered indexes only).  The same
+        preference rule drives the physical lookup inside
+        :class:`~repro.storage.table.StoredTable`, so planner and engines
+        always pick the same index.
+        """
+        from repro.storage.indexes import select_index
+
+        return select_index(self.schema.indexes_on_column(table, column), shape)
 
     def indexes_on(self, table: str) -> Sequence[Index]:
         return self.schema.indexes_on(table)

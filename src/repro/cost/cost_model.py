@@ -19,7 +19,7 @@ from repro.cost.overrides import StatisticsOverlay
 from repro.cost.summaries import ExpressionSummary, SummaryProvider
 from repro.relational.expressions import Expression
 from repro.relational.plan import PhysicalOperator
-from repro.relational.properties import PhysicalProperty
+from repro.relational.properties import PhysicalProperty, PropertyKind
 from repro.relational.query import Query
 
 
@@ -35,6 +35,10 @@ class CostParameters:
     hash_build_tuple_cost: float = 0.02
     sort_tuple_cost: float = 0.015
     index_probe_cost: float = 0.25
+    #: gathering one matching row through its row id (dict build / column
+    #: gather) costs about twice what streaming it in a sequential scan does
+    #: — measured against the physical structures in repro.storage.
+    index_fetch_tuple_cost: float = 0.02
     output_tuple_cost: float = 0.005
 
 
@@ -81,7 +85,10 @@ class CostModel:
         table_name = self.query.relation(alias).table
         table = self.catalog.table(table_name)
         base_rows = self.summaries.base_cardinality(alias)
-        out_rows = self.summaries.filtered_cardinality(alias)
+        # Overlay-aware output estimate: observed-cardinality feedback on the
+        # leaf expression must move scan costs, or the incremental
+        # re-optimizer could never flip an access path.
+        out_rows = self.summaries.summary(Expression.leaf(alias)).cardinality
         pages = self._pages(base_rows, table.row_width_bytes)
         filter_count = len(self.query.filters_for(alias))
         cpu = base_rows * (params.cpu_tuple_cost + filter_count * params.cpu_operator_cost)
@@ -89,14 +96,34 @@ class CostModel:
         if operator is PhysicalOperator.SEQ_SCAN:
             cost = pages * params.sequential_page_cost + cpu
         elif operator is PhysicalOperator.INDEX_SCAN:
-            # Probe the index then fetch matching rows with random I/O.
-            matching_fraction = out_rows / max(base_rows, 1.0)
-            fetched_pages = max(1.0, pages * matching_fraction)
-            cost = (
-                out_rows * params.index_probe_cost
-                + fetched_pages * params.random_page_cost
-                + out_rows * params.cpu_tuple_cost
-            )
+            # Calibrated against the physical structures in repro.storage: a
+            # hash index reaches its bucket in one flat probe, an ordered
+            # index bisects (log2 descent); matching rows are then gathered
+            # with random access.  Unlike a sequential scan, per-tuple work
+            # scales with the *matching* rows, not the whole table.
+            index = self._scan_index(alias, output_property)
+            if index is not None and index.kind == "hash":
+                descent = params.index_probe_cost
+            else:
+                descent = params.index_probe_cost * math.log2(max(base_rows, 2.0))
+            if output_property.kind is PropertyKind.INDEXED:
+                # The inner of an index-NL join: rows are delivered lazily
+                # through equality probes (whose per-probe work the join's
+                # local cost carries), touching each matching row once —
+                # amortized sequential, not per-row random, access.
+                cost = (
+                    descent
+                    + pages * params.sequential_page_cost
+                    + out_rows * params.cpu_tuple_cost
+                )
+            else:
+                matching_fraction = out_rows / max(base_rows, 1.0)
+                fetched_pages = max(1.0, pages * matching_fraction)
+                cost = (
+                    descent
+                    + fetched_pages * params.random_page_cost
+                    + out_rows * params.index_fetch_tuple_cost
+                )
         elif operator is PhysicalOperator.SORTED_SCAN:
             # Sequential scan followed by an in-memory sort of the survivors.
             sort_cost = self._sort_cost(out_rows)
@@ -106,6 +133,23 @@ class CostModel:
 
         cost += out_rows * params.output_tuple_cost
         return cost * self.overlay.scan_cost_factor(alias)
+
+    def _scan_index(self, alias: str, output_property: PhysicalProperty):
+        """The catalog index an index scan on *alias* would use (kind matters)."""
+        table = self.query.relation(alias).table
+        prop = output_property
+        if prop.kind is PropertyKind.SORTED and prop.column is not None:
+            return self.catalog.usable_index(table, prop.column.column, "sorted")
+        if prop.kind is PropertyKind.INDEXED and prop.column is not None:
+            return self.catalog.usable_index(table, prop.column.column, "point")
+        for predicate in self.query.filters_for(alias):
+            sargable = predicate.sargable
+            if sargable is None:
+                continue
+            index = self.catalog.usable_index(table, sargable.column.column, sargable.shape)
+            if index is not None:
+                return index
+        return None
 
     # ------------------------------------------------------------------
     # Join / aggregate local costs (Fn_nonscancost)
@@ -117,6 +161,7 @@ class CostModel:
         output: ExpressionSummary,
         left: ExpressionSummary,
         right: ExpressionSummary,
+        inner_index=None,
     ) -> float:
         """Cost of the join operator itself, excluding its children."""
         params = self.parameters
@@ -137,12 +182,19 @@ class CostModel:
                 left_rows + right_rows
             ) * params.cpu_tuple_cost + out_rows * params.cpu_operator_cost
         elif operator is PhysicalOperator.INDEX_NL_JOIN:
-            # Outer (left) probes an index on the inner (right) per tuple.
-            probe_depth = math.log2(max(right_rows, 2.0))
-            cost = (
-                left_rows * params.index_probe_cost * probe_depth / 4.0
-                + out_rows * params.cpu_tuple_cost
-            )
+            # Outer (left) probes an index on the inner (right) per tuple:
+            # flat per-probe work for a hash index, a log2 bisect descent for
+            # an ordered one (the default when the index kind is unknown).
+            if inner_index is not None and inner_index.kind == "hash":
+                cost = (
+                    left_rows * params.index_probe_cost + out_rows * params.cpu_tuple_cost
+                )
+            else:
+                probe_depth = math.log2(max(right_rows, 2.0))
+                cost = (
+                    left_rows * params.index_probe_cost * probe_depth / 4.0
+                    + out_rows * params.cpu_tuple_cost
+                )
         elif operator is PhysicalOperator.NESTED_LOOP_JOIN:
             cost = (
                 left_rows * right_rows * params.cpu_operator_cost + out_rows * params.cpu_tuple_cost

@@ -25,6 +25,7 @@ from repro.relational.expressions import Expression
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
 from repro.relational.predicates import JoinPredicate
 from repro.relational.query import AggregateFunction, Query
+from repro.storage import access
 
 Row = Dict[str, object]
 Table = List[Row]
@@ -148,14 +149,9 @@ class PlanExecutor:
     def _execute_scan(self, node: PhysicalPlan) -> Table:
         alias = node.expression.sole_alias
         relation = self.query.relation(alias)
-        # Windowed/streamed inputs are keyed by alias (each alias sees its own
-        # window over the same stream); stored tables are keyed by table name.
-        if alias in self.data:
-            base_rows = self.data[alias]
-        elif relation.table in self.data:
-            base_rows = self.data[relation.table]
-        else:
-            raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
+        base_rows = access.scan_source(self.query, self.data, alias)
+        if node.operator is PhysicalOperator.INDEX_SCAN and access.is_physical_store(base_rows):
+            return self._execute_index_scan(node, base_rows, alias, relation.table)
         if not isinstance(base_rows, (list, tuple)) and hasattr(base_rows, "to_rows"):
             # A columnar store (ColumnTable): materialize rows at the scan.
             base_rows = base_rows.to_rows()
@@ -187,6 +183,44 @@ class PlanExecutor:
             ) from error
         return output
 
+    def _execute_index_scan(
+        self, node: PhysicalPlan, stored, alias: str, table: str
+    ) -> Table:
+        """An index-backed scan: fetch candidate row ids, then filter.
+
+        The index serves the sargable conjunct exactly; every pushed-down
+        conjunct (including the sargable one) is still applied to the
+        candidates, so the output — values *and* order — is identical to a
+        sequential scan unless the node's SORTED property asks for key-order
+        emission.
+        """
+        row_ids = access.resolve_index_scan_row_ids(node, self.query, stored, self.parameters)
+        compiled = [
+            scalar.compile_predicate(predicate.expr, _scan_key, self.parameters)
+            for predicate in self.query.filters_for(alias)
+        ]
+        columns = stored.columns
+        names = list(columns)
+        output: Table = []
+        append = output.append
+        try:
+            for row_id in row_ids:
+                base_row = {name: columns[name][row_id] for name in names}
+                keep = True
+                for accept in compiled:
+                    if not accept(base_row):
+                        keep = False
+                        break
+                if keep:
+                    append({f"{alias}.{name}": value for name, value in base_row.items()})
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"filter references column {error.ref.column!r} which is "
+                f"absent from the data for alias {alias!r} "
+                f"(table {table!r})"
+            ) from error
+        return output
+
     # ------------------------------------------------------------------
     # Sort enforcer
     # ------------------------------------------------------------------
@@ -205,6 +239,10 @@ class PlanExecutor:
 
     def _execute_join(self, node: PhysicalPlan, result: ExecutionResult) -> Table:
         left_node, right_node = node.children[0], node.children[1]
+        if node.operator is PhysicalOperator.INDEX_NL_JOIN:
+            setup = access.index_nl_setup(right_node, self.query, self.data)
+            if setup is not None:
+                return self._execute_index_nl_join(node, left_node, right_node, setup, result)
         left_rows = self._execute_node(left_node, result)
         right_rows = self._execute_node(right_node, result)
         predicates = self.query.predicates_between(left_node.expression, right_node.expression)
@@ -243,6 +281,83 @@ class PlanExecutor:
                 combined = dict(row)
                 combined.update(match)
                 output.append(combined)
+        return output
+
+    def _execute_index_nl_join(
+        self,
+        node: PhysicalPlan,
+        left_node: PhysicalPlan,
+        right_node: PhysicalPlan,
+        setup,
+        result: ExecutionResult,
+    ) -> Table:
+        """A real indexed nested-loop join: probe the inner's index per outer row.
+
+        The inner scan never materializes; its observed cardinality is the
+        number of probed candidates that passed the inner's own filters (the
+        rows the operator actually produced into the join).  Secondary equi
+        conjuncts keep the hash join's key-matching semantics (NULL matches
+        NULL), non-equi residuals keep its NULL-rejecting semantics, so an
+        index-NL plan returns exactly what the hash-join plan returns, in the
+        same order.
+        """
+        stored, index = setup
+        left_rows = self._execute_node(left_node, result)
+        right_key = next(self._keys)
+        probe_start = time.perf_counter()
+        right_alias = right_node.expression.sole_alias
+        predicates = self.query.predicates_between(left_node.expression, right_node.expression)
+        equi = [predicate for predicate in predicates if predicate.is_equijoin]
+        residual = [predicate for predicate in predicates if not predicate.is_equijoin]
+        probe = access.probe_predicate(equi, right_node)
+        other_equi = [
+            (str(predicate.left), str(predicate.right))
+            for predicate in equi
+            if predicate is not probe
+        ]
+        left_key = str(probe.column_for(left_node.expression))
+        compiled = [
+            scalar.compile_predicate(predicate.expr, _scan_key, self.parameters)
+            for predicate in self.query.filters_for(right_alias)
+        ]
+        columns = stored.columns
+        names = list(columns)
+        lookup = index.lookup
+        matched = 0
+        output: Table = []
+        append = output.append
+        try:
+            for left_row in left_rows:
+                for row_id in lookup(left_row.get(left_key)):
+                    base_row = {name: columns[name][row_id] for name in names}
+                    keep = True
+                    for accept in compiled:
+                        if not accept(base_row):
+                            keep = False
+                            break
+                    if not keep:
+                        continue
+                    matched += 1
+                    combined = dict(left_row)
+                    combined.update(
+                        {f"{right_alias}.{name}": value for name, value in base_row.items()}
+                    )
+                    if any(
+                        combined.get(left_name) != combined.get(right_name)
+                        for left_name, right_name in other_equi
+                    ):
+                        continue
+                    if residual and not self._residual_ok(combined, residual):
+                        continue
+                    append(combined)
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"filter references column {error.ref.column!r} which is "
+                f"absent from the data for alias {right_alias!r}"
+            ) from error
+        result.observed_cardinalities[right_node.expression] = matched
+        result.operator_cardinalities[right_key] = matched
+        result.operator_timings[right_key] = time.perf_counter() - probe_start
         return output
 
     @staticmethod

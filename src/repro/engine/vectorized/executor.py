@@ -47,6 +47,7 @@ from repro.relational import scalar
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
 from repro.relational.predicates import JoinPredicate
 from repro.relational.query import AggregateFunction, Query
+from repro.storage import access
 
 
 class VectorizedExecutor:
@@ -145,7 +146,7 @@ class VectorizedExecutor:
         operator_key = next(self._keys)
         node_start = time.perf_counter()
         if operator.is_scan:
-            view = TableView.of_table(self._execute_scan(node))
+            view = self._execute_scan_view(node)
         elif operator is PhysicalOperator.SORT:
             view = self._execute_sort(node, result)
         elif operator.is_join:
@@ -163,15 +164,77 @@ class VectorizedExecutor:
     # Scans
     # ------------------------------------------------------------------
 
+    def _execute_scan_view(self, node: PhysicalPlan) -> TableView:
+        """Scan dispatch: index-backed scans stay zero-copy views."""
+        if node.operator is PhysicalOperator.INDEX_SCAN:
+            base_rows = access.scan_source(self.query, self.data, node.expression.sole_alias)
+            if access.is_physical_store(base_rows):
+                return self._execute_index_scan_view(node, base_rows)
+        return TableView.of_table(self._execute_scan(node))
+
+    def _qualified_store(self, stored: ColumnTable, alias: str) -> ColumnTable:
+        """A zero-copy alias-qualified façade over a stored table's arrays."""
+        if self._prune_columns:
+            names = [column.column for column in self.query.columns_of_alias(alias)]
+        else:
+            names = list(stored.columns)
+        columns: Dict[str, List[object]] = {}
+        for name in names:
+            values = stored.column(name)
+            if values is not None:
+                columns[f"{alias}.{name}"] = values
+        return ColumnTable(columns, stored.row_count)
+
+    def _execute_index_scan_view(self, node: PhysicalPlan, stored) -> TableView:
+        """Index-backed scan: candidate row ids become a view's index vector.
+
+        Payload columns are never copied — the view pairs the stored table's
+        own arrays with the surviving row ids.  Every pushed-down conjunct is
+        re-applied over the candidates, so the result matches a sequential
+        scan of the same node exactly.
+        """
+        alias = node.expression.sole_alias
+        table = self.query.relation(alias).table
+        row_ids = access.resolve_index_scan_row_ids(node, self.query, stored, self.parameters)
+        filters = self.query.filters_for(alias)
+        selection: List[int] = row_ids
+        if filters and row_ids:
+
+            def resolve(ref) -> List[object]:
+                values = stored.column(ref.column)
+                if values is None:
+                    raise scalar.MissingColumnError(ref)
+                return values
+
+            compiled = [
+                scalar.compile_filter(predicate.expr, self.parameters)
+                for predicate in filters
+            ]
+            selection = []
+            extend = selection.extend
+            batch_size = self.batch_size
+            try:
+                for start in range(0, len(row_ids), batch_size):
+                    indices: Sequence[int] = row_ids[start : start + batch_size]
+                    for accept in compiled:
+                        indices = accept(resolve, indices)
+                        if not indices:
+                            break
+                    else:
+                        extend(indices)
+            except scalar.MissingColumnError as error:
+                raise ExecutionError(
+                    f"filter references column {error.ref.column!r} which is "
+                    f"absent from the data for alias {alias!r} (table {table!r})"
+                ) from error
+        return TableView(
+            [(self._qualified_store(stored, alias), list(selection))], len(selection)
+        )
+
     def _execute_scan(self, node: PhysicalPlan) -> ColumnTable:
         alias = node.expression.sole_alias
         relation = self.query.relation(alias)
-        if alias in self.data:
-            base_rows = self.data[alias]
-        elif relation.table in self.data:
-            base_rows = self.data[relation.table]
-        else:
-            raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
+        base_rows = access.scan_source(self.query, self.data, alias)
         if isinstance(base_rows, ColumnTable):
             # Stored columnar table: scan the column arrays directly, no
             # row pivot at all (and zero-copy when there are no filters).
@@ -333,8 +396,176 @@ class VectorizedExecutor:
     # Joins
     # ------------------------------------------------------------------
 
+    def _execute_index_nl_join(
+        self,
+        node: PhysicalPlan,
+        left_node: PhysicalPlan,
+        right_node: PhysicalPlan,
+        setup,
+        result: ExecutionResult,
+    ) -> TableView:
+        """A real indexed nested-loop join over column arrays.
+
+        The outer's key column drives per-row index probes that accumulate
+        (outer position, inner row id) pairs; the inner's own filters then
+        run once over the distinct candidate ids (selection-vector style),
+        and secondary equi / residual conjuncts trim the pairs with the same
+        NULL semantics as the hash-join path.  The inner never materializes:
+        the join output is a view straight into the stored column arrays.
+        """
+        stored, index = setup
+        left = self._execute_node(left_node, result)
+        right_key = next(self._keys)
+        probe_start = time.perf_counter()
+        right_alias = right_node.expression.sole_alias
+        predicates = self.query.predicates_between(left_node.expression, right_node.expression)
+        equi = [predicate for predicate in predicates if predicate.is_equijoin]
+        residual = [predicate for predicate in predicates if not predicate.is_equijoin]
+        probe = access.probe_predicate(equi, right_node)
+        left_values = self._key_column(left, str(probe.column_for(left_node.expression)))
+
+        left_index: List[int] = []
+        cand_ids: List[int] = []
+        append_left = left_index.append
+        extend_left = left_index.extend
+        append_right = cand_ids.append
+        extend_right = cand_ids.extend
+        lookup = index.lookup
+        for position, value in enumerate(left_values):
+            matches = lookup(value)
+            if matches:
+                if len(matches) == 1:
+                    append_left(position)
+                    append_right(matches[0])
+                else:
+                    extend_left([position] * len(matches))
+                    extend_right(matches)
+
+        filters = self.query.filters_for(right_alias)
+        if filters and cand_ids:
+            surviving = self._filter_candidate_ids(cand_ids, filters, stored, right_alias)
+            pairs = [
+                (left_position, row_id)
+                for left_position, row_id in zip(left_index, cand_ids)
+                if row_id in surviving
+            ]
+            left_index = [pair[0] for pair in pairs]
+            cand_ids = [pair[1] for pair in pairs]
+        matched = len(cand_ids)
+
+        for predicate in equi:
+            if predicate is probe:
+                continue
+            left_side = self._pair_values(left, stored, left_index, cand_ids, predicate.left)
+            right_side = self._pair_values(left, stored, left_index, cand_ids, predicate.right)
+            kept = [
+                position
+                for position in range(len(cand_ids))
+                if left_side[position] == right_side[position]
+            ]
+            left_index = [left_index[position] for position in kept]
+            cand_ids = [cand_ids[position] for position in kept]
+        if residual and cand_ids:
+            left_index, cand_ids = self._apply_inner_residual(
+                left, stored, left_index, cand_ids, residual
+            )
+
+        result.observed_cardinalities[right_node.expression] = matched
+        result.operator_cardinalities[right_key] = matched
+        result.operator_timings[right_key] = time.perf_counter() - probe_start
+        qualified = self._qualified_store(stored, right_alias)
+        return left.gather_view(left_index).merge(TableView([(qualified, cand_ids)], len(cand_ids)))
+
+    def _filter_candidate_ids(
+        self, cand_ids: List[int], filters, stored, alias: str
+    ) -> set:
+        """Row ids among the candidates that pass the inner's own filters."""
+
+        def resolve(ref) -> List[object]:
+            values = stored.column(ref.column)
+            if values is None:
+                raise scalar.MissingColumnError(ref)
+            return values
+
+        compiled = [
+            scalar.compile_filter(predicate.expr, self.parameters) for predicate in filters
+        ]
+        unique = sorted(set(cand_ids))
+        surviving: set = set()
+        batch_size = self.batch_size
+        try:
+            for start in range(0, len(unique), batch_size):
+                indices: Sequence[int] = unique[start : start + batch_size]
+                for accept in compiled:
+                    indices = accept(resolve, indices)
+                    if not indices:
+                        break
+                else:
+                    surviving.update(indices)
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"filter references column {error.ref.column!r} which is "
+                f"absent from the data for alias {alias!r}"
+            ) from error
+        return surviving
+
+    def _pair_values(
+        self,
+        left: TableView,
+        stored,
+        left_index: List[int],
+        cand_ids: List[int],
+        column,
+    ) -> List[object]:
+        """Gather one join-predicate column along the candidate pairs."""
+        name = str(column)
+        values = left.column(name)
+        if values is not None:
+            return [values[i] for i in left_index]
+        stored_values = stored.column(column.column)
+        if stored_values is not None:
+            return [stored_values[i] for i in cand_ids]
+        return [None] * len(cand_ids)
+
+    def _apply_inner_residual(
+        self,
+        left: TableView,
+        stored,
+        left_index: List[int],
+        cand_ids: List[int],
+        predicates: Sequence[JoinPredicate],
+    ) -> Tuple[List[int], List[int]]:
+        """Non-equi conjuncts over the probe pairs (NULL rejects, as in the
+        hash-join path's residual evaluation)."""
+        sides = [
+            (
+                self._pair_values(left, stored, left_index, cand_ids, predicate.left),
+                self._pair_values(left, stored, left_index, cand_ids, predicate.right),
+                predicate.op.comparator,
+            )
+            for predicate in predicates
+        ]
+        surviving_left: List[int] = []
+        surviving_right: List[int] = []
+        for position in range(len(cand_ids)):
+            for left_values, right_values, evaluate in sides:
+                left_value = left_values[position]
+                right_value = right_values[position]
+                if left_value is None or right_value is None:
+                    break
+                if not evaluate(left_value, right_value):
+                    break
+            else:
+                surviving_left.append(left_index[position])
+                surviving_right.append(cand_ids[position])
+        return surviving_left, surviving_right
+
     def _execute_join(self, node: PhysicalPlan, result: ExecutionResult) -> TableView:
         left_node, right_node = node.children[0], node.children[1]
+        if node.operator is PhysicalOperator.INDEX_NL_JOIN:
+            setup = access.index_nl_setup(right_node, self.query, self.data)
+            if setup is not None:
+                return self._execute_index_nl_join(node, left_node, right_node, setup, result)
         left = self._execute_node(left_node, result)
         right = self._execute_node(right_node, result)
         predicates = self.query.predicates_between(left_node.expression, right_node.expression)

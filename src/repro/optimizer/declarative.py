@@ -436,7 +436,16 @@ class DeclarativeOptimizer:
             assert entry.left is not None and entry.right is not None
             left_summary = self.cost_model.summary(entry.left.expression)
             right_summary = self.cost_model.summary(entry.right.expression)
-            local = self.cost_model.join_local_cost(operator, summary, left_summary, right_summary)
+            inner_index = None
+            if operator is PhysicalOperator.INDEX_NL_JOIN:
+                target = self.enumerator.index_scan_target(
+                    entry.right.expression, entry.right.prop
+                )
+                if target is not None:
+                    inner_index = target[1]
+            local = self.cost_model.join_local_cost(
+                operator, summary, left_summary, right_summary, inner_index=inner_index
+            )
         else:  # pragma: no cover - defensive
             raise OptimizationError(f"cannot cost operator {operator}")
         return local, summary.cardinality
@@ -680,6 +689,12 @@ class DeclarativeOptimizer:
         cost = self._plan_costs[and_key]
         visiting = visiting | {or_key}
         children = tuple(self._build_plan(child, visiting) for child in entry.children())
+        details: Tuple[Tuple[str, object], ...] = ()
+        if entry.physical_op is PhysicalOperator.INDEX_SCAN:
+            target = self.enumerator.index_scan_target(or_key.expression, or_key.prop)
+            if target is not None:
+                column, index = target
+                details = (("index", index.name), ("index_column", str(column)))
         return PhysicalPlan(
             operator=entry.physical_op,
             expression=or_key.expression,
@@ -688,6 +703,7 @@ class DeclarativeOptimizer:
             local_cost=cost.local_cost,
             total_cost=cost.total_cost,
             cardinality=cost.cardinality,
+            details=details,
         )
 
     def _wrap_with_aggregate(self, plan: PhysicalPlan) -> PhysicalPlan:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.relational.expressions import ColumnRef, Expression
+from repro.relational.schema import Index
 from repro.relational.plan import LogicalOperator, PhysicalOperator
 from repro.relational.predicates import JoinPredicate
 from repro.relational.properties import ANY_PROPERTY, PhysicalProperty, PropertyKind
@@ -108,29 +109,61 @@ class SearchSpaceEnumerator:
             if (
                 self.options.enable_index_scans
                 and prop.column.alias == alias
-                and self.catalog.index_on(table, prop.column.column) is not None
+                and self.catalog.usable_index(table, prop.column.column, "sorted") is not None
             ):
                 alternatives.append((LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None))
         elif prop.kind is PropertyKind.INDEXED:
             assert prop.column is not None
             if (
                 prop.column.alias == alias
-                and self.catalog.index_on(table, prop.column.column) is not None
+                and self.catalog.usable_index(table, prop.column.column, "point") is not None
             ):
                 alternatives.append((LogicalOperator.SCAN, PhysicalOperator.INDEX_SCAN, None, None))
         return alternatives
 
     def _filtered_index_column(self, alias: str) -> Optional[ColumnRef]:
-        """A column of *alias* that has an index and a sargable filter.
+        """A column of *alias* with a sargable filter a physical index serves.
 
         Only simple comparison/BETWEEN conjuncts qualify (an index cannot
-        serve a disjunction or an arithmetic expression over the column).
+        serve a disjunction or an arithmetic expression over the column),
+        and the index kind must match the predicate shape: hash indexes
+        serve equality only, ordered indexes serve everything.
         """
         table = self.query.relation(alias).table
         for predicate in self.query.filters_for(alias):
-            column = predicate.indexable_column
-            if column is not None and self.catalog.index_on(table, column.column) is not None:
-                return column
+            sargable = predicate.sargable
+            if (
+                sargable is not None
+                and self.catalog.usable_index(table, sargable.column.column, sargable.shape)
+                is not None
+            ):
+                return sargable.column
+        return None
+
+    def index_scan_target(
+        self, expression: Expression, prop: PhysicalProperty
+    ) -> Optional[Tuple[ColumnRef, "Index"]]:
+        """The (column, catalog index) an INDEX_SCAN on this OR node uses.
+
+        This is what plan extraction stamps into ``PhysicalPlan.details`` so
+        ``EXPLAIN`` can render the access path and the engines can detect a
+        since-dropped index.
+        """
+        alias = expression.sole_alias
+        table = self.query.relation(alias).table
+        if prop.kind is PropertyKind.SORTED and prop.column is not None:
+            index = self.catalog.usable_index(table, prop.column.column, "sorted")
+            return (prop.column, index) if index is not None else None
+        if prop.kind is PropertyKind.INDEXED and prop.column is not None:
+            index = self.catalog.usable_index(table, prop.column.column, "point")
+            return (prop.column, index) if index is not None else None
+        for predicate in self.query.filters_for(alias):
+            sargable = predicate.sargable
+            if sargable is None:
+                continue
+            index = self.catalog.usable_index(table, sargable.column.column, sargable.shape)
+            if index is not None:
+                return (sargable.column, index)
         return None
 
     # -- joins ----------------------------------------------------------
@@ -315,7 +348,8 @@ class SearchSpaceEnumerator:
         if column.alias != alias:
             return False
         table = self.query.relation(alias).table
-        return self.catalog.index_on(table, column.column) is not None
+        # Equality join probes: any index kind can serve them.
+        return self.catalog.usable_index(table, column.column, "point") is not None
 
     # ------------------------------------------------------------------
     # Exhaustive-universe helper (used for metrics denominators and tests)

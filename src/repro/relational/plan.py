@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -65,7 +65,9 @@ class PhysicalPlan:
     local_cost: float = 0.0
     total_cost: float = 0.0
     cardinality: float = 0.0
-    details: Tuple[Tuple[str, object], ...] = ()
+    #: access-path annotations (e.g. the index an index-scan uses); excluded
+    #: from equality/hash so annotated and bare plans still compare equal.
+    details: Tuple[Tuple[str, object], ...] = field(default=(), compare=False)
 
     # -- structure -------------------------------------------------------
 

@@ -17,7 +17,7 @@ and are re-exported here for compatibility.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Union
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import QueryError
 from repro.relational import scalar
@@ -29,10 +29,93 @@ __all__ = [
     "FilterPredicate",
     "JoinPredicate",
     "ParameterRef",
+    "Sargable",
     "Value",
 ]
 
 Value = Union[int, float, str, None, ParameterRef]
+
+#: value expressions an index can be probed with
+_CONSTANT_NODES = (scalar.Literal, scalar.Parameter)
+
+
+@dataclass(frozen=True)
+class Sargable:
+    """The index-servable form of one filter conjunct.
+
+    A sargable conjunct constrains a bare column through constant (or
+    prepared-parameter) bounds: ``col = v``, ``col < v`` (and friends, on
+    either side), or ``col BETWEEN lo AND hi``.  ``!=``, disjunctions,
+    arithmetic over the column, ``IN`` and ``LIKE`` are *not* sargable.
+
+    ``low``/``high`` are the unresolved bound expressions (``None`` =
+    unbounded on that side); :meth:`bounds` resolves prepared-statement
+    slots against actual parameter values at execution time.
+    """
+
+    column: ColumnRef
+    low: Optional[scalar.ScalarExpr]
+    low_inclusive: bool
+    high: Optional[scalar.ScalarExpr]
+    high_inclusive: bool
+    is_point: bool
+
+    @property
+    def shape(self) -> str:
+        """``"point"`` (equality — any index kind) or ``"range"`` (ordered)."""
+        return "point" if self.is_point else "range"
+
+    def bounds(
+        self, parameters: Optional[Sequence[object]]
+    ) -> Tuple[Optional[object], Optional[object]]:
+        """Resolved ``(low, high)`` bound values.
+
+        Either value may be ``None`` for an unbounded side.  A bound that
+        *resolves* to NULL can never compare TRUE, which the caller detects
+        via :meth:`is_empty`.
+        """
+        return (
+            self._resolve(self.low, parameters),
+            self._resolve(self.high, parameters),
+        )
+
+    def is_empty(self, parameters: Optional[Sequence[object]]) -> bool:
+        """True when a bound resolves to NULL: no row can satisfy the
+        conjunct (a comparison against NULL is never TRUE)."""
+        if self.low is not None and self._resolve(self.low, parameters) is None:
+            return True
+        if self.high is not None and self._resolve(self.high, parameters) is None:
+            return True
+        return False
+
+    @staticmethod
+    def _resolve(
+        expr: Optional[scalar.ScalarExpr], parameters: Optional[Sequence[object]]
+    ) -> Optional[object]:
+        if expr is None:
+            return None
+        if isinstance(expr, scalar.Parameter):
+            return scalar.resolve_parameter(expr.index, parameters)
+        assert isinstance(expr, scalar.Literal)
+        return expr.value
+
+
+#: comparison ops an index range scan can serve, column-on-the-left form.
+_RANGE_BOUNDS = {
+    ComparisonOp.LT: ("high", False),
+    ComparisonOp.LE: ("high", True),
+    ComparisonOp.GT: ("low", False),
+    ComparisonOp.GE: ("low", True),
+}
+
+#: mirror of each op when the column sits on the right (``5 > x`` = ``x < 5``).
+_MIRRORED = {
+    ComparisonOp.LT: ComparisonOp.GT,
+    ComparisonOp.LE: ComparisonOp.GE,
+    ComparisonOp.GT: ComparisonOp.LT,
+    ComparisonOp.GE: ComparisonOp.LE,
+    ComparisonOp.EQ: ComparisonOp.EQ,
+}
 
 
 def _value_expr(value: Value) -> scalar.ScalarExpr:
@@ -94,31 +177,46 @@ class FilterPredicate:
         return bool(scalar.parameters_of(self.expr))
 
     @property
-    def indexable_column(self) -> Optional[ColumnRef]:
-        """The column an index scan could serve this predicate through.
+    def sargable(self) -> Optional[Sargable]:
+        """The index-servable form of this conjunct, or None.
 
-        Only sargable shapes qualify: a bare column compared to (or BETWEEN)
-        constants/parameters.  Anything else — arithmetic on the column,
-        disjunctions, IN, LIKE — returns None.
+        Only sargable shapes qualify: a bare column compared (``= < <= >
+        >=``) to a constant/parameter on either side, or a non-negated
+        BETWEEN over constant/parameter bounds.  Anything else — ``!=``,
+        arithmetic on the column, disjunctions, IN, LIKE — returns None.
         """
         expr = self.expr
         if isinstance(expr, scalar.Comparison):
             left, right = expr.left, expr.right
-            if isinstance(left, scalar.Column) and isinstance(
-                right, (scalar.Literal, scalar.Parameter)
-            ):
-                return left.ref
-            if isinstance(right, scalar.Column) and isinstance(
-                left, (scalar.Literal, scalar.Parameter)
-            ):
-                return right.ref
+            if isinstance(left, scalar.Column) and isinstance(right, _CONSTANT_NODES):
+                column, op, value = left.ref, expr.op, right
+            elif isinstance(right, scalar.Column) and isinstance(left, _CONSTANT_NODES):
+                column, op, value = right.ref, _MIRRORED.get(expr.op), left
+            else:
+                return None
+            if op is ComparisonOp.EQ:
+                return Sargable(column, value, True, value, True, is_point=True)
+            bound = _RANGE_BOUNDS.get(op)
+            if bound is None:  # != (or a mirrored op with no range form)
+                return None
+            side, inclusive = bound
+            if side == "low":
+                return Sargable(column, value, inclusive, None, True, is_point=False)
+            return Sargable(column, None, True, value, inclusive, is_point=False)
         if isinstance(expr, scalar.Between) and not expr.negated:
             if isinstance(expr.operand, scalar.Column) and all(
-                isinstance(bound, (scalar.Literal, scalar.Parameter))
-                for bound in (expr.low, expr.high)
+                isinstance(bound, _CONSTANT_NODES) for bound in (expr.low, expr.high)
             ):
-                return expr.operand.ref
+                return Sargable(
+                    expr.operand.ref, expr.low, True, expr.high, True, is_point=False
+                )
         return None
+
+    @property
+    def indexable_column(self) -> Optional[ColumnRef]:
+        """The column an index scan could serve this predicate through."""
+        sargable = self.sargable
+        return sargable.column if sargable is not None else None
 
     def __str__(self) -> str:
         return str(self.expr)

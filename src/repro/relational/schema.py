@@ -44,15 +44,33 @@ class Column:
         return f"{self.name}:{self.data_type.value}"
 
 
+#: Physical index kinds: a hash index serves equality lookups and join
+#: probes; an ordered index additionally serves ranges and sorted delivery.
+INDEX_KINDS = ("hash", "ordered")
+
+
 @dataclass(frozen=True)
 class Index:
-    """A secondary (or primary) index over a single column of a table."""
+    """A secondary (or primary) index over a single column of a table.
+
+    ``kind`` names the physical structure backing the index: ``"ordered"``
+    (sorted key/row-id arrays — points, ranges and key-order iteration) or
+    ``"hash"`` (buckets — equality only).
+    """
 
     name: str
     table: str
     column: str
     unique: bool = False
     clustered: bool = False
+    kind: str = "ordered"
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise SchemaError(
+                f"unknown index kind {self.kind!r} for index {self.name!r} "
+                f"(expected one of {', '.join(INDEX_KINDS)})"
+            )
 
 
 @dataclass
@@ -141,8 +159,30 @@ class Schema:
             )
         self._indexes[index.name] = index
 
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise SchemaError(f"unknown index {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def drop_index(self, name: str) -> Index:
+        """Remove (and return) the named index."""
+        index = self.index(name)
+        del self._indexes[name]
+        return index
+
     def indexes_on(self, table: str) -> List[Index]:
         return [index for index in self._indexes.values() if index.table == table]
+
+    def indexes_on_column(self, table: str, column: str) -> List[Index]:
+        return [
+            index
+            for index in self._indexes.values()
+            if index.table == table and index.column == column
+        ]
 
     def index_on_column(self, table: str, column: str) -> Optional[Index]:
         for index in self._indexes.values():

@@ -332,6 +332,34 @@ class CreateTableStatement:
 
 
 @dataclass(frozen=True)
+class CreateIndexStatement:
+    """``CREATE [UNIQUE] INDEX name ON table (column) [USING HASH|ORDERED]``.
+
+    ``kind`` is ``None`` when no USING clause was written (the binder
+    defaults it to ``ordered``).  ``table_position`` / ``column_position``
+    let the binder point its caret at the offending identifier.
+    """
+
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    kind: Optional[str] = None
+    position: Position = (1, 1)
+    table_position: Position = (1, 1)
+    column_position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
+class DropIndexStatement:
+    """``DROP INDEX name``."""
+
+    name: str
+    position: Position = (1, 1)
+    name_position: Position = (1, 1)
+
+
+@dataclass(frozen=True)
 class InsertStatement:
     """``INSERT INTO t [(col, ...)] VALUES (v, ...), (v, ...)``."""
 
@@ -362,6 +390,8 @@ Statement = Union[
     SelectStatement,
     ExplainStatement,
     CreateTableStatement,
+    CreateIndexStatement,
+    DropIndexStatement,
     InsertStatement,
     CopyStatement,
     AnalyzeStatement,

@@ -60,7 +60,9 @@ from repro.sql.ast import (
     ColumnName,
     Comparison,
     CopyStatement,
+    CreateIndexStatement,
     CreateTableStatement,
+    DropIndexStatement,
     ExpressionItem,
     InsertStatement,
     Literal,
@@ -511,6 +513,57 @@ class Binder:
             )
         table = Table(statement.table, columns, primary_key=statement.primary_key)
         return BoundCreateTable(table, tuple(indexes))
+
+    def bind_create_index(self, statement: CreateIndexStatement) -> Index:
+        """Validate a standalone CREATE INDEX against the schema.
+
+        Errors carry the caret position of the offending identifier: the
+        table name, the column name or the duplicate index name.
+        """
+        schema = self.catalog.schema
+        if not schema.has_table(statement.table):
+            known = ", ".join(sorted(schema.table_names)) or "none"
+            raise SqlBindingError(
+                f"unknown table {statement.table!r} in CREATE INDEX "
+                f"(known tables: {known})",
+                statement.table_position,
+                self.source,
+            )
+        table = schema.table(statement.table)
+        if not table.has_column(statement.column):
+            raise SqlBindingError(
+                f"column {statement.column!r} does not exist in table "
+                f"{statement.table!r} (columns: {', '.join(table.column_names)})",
+                statement.column_position,
+                self.source,
+            )
+        if schema.has_index(statement.name):
+            existing = schema.index(statement.name)
+            raise self._error(
+                f"index {statement.name!r} already exists "
+                f"(on {existing.table}.{existing.column})",
+                statement,
+            )
+        return Index(
+            statement.name,
+            statement.table,
+            statement.column,
+            unique=statement.unique,
+            kind=statement.kind if statement.kind is not None else "ordered",
+        )
+
+    def bind_drop_index(self, statement: DropIndexStatement) -> Index:
+        """Resolve a DROP INDEX target; unknown names get a caret error."""
+        schema = self.catalog.schema
+        if not schema.has_index(statement.name):
+            known = ", ".join(sorted(index.name for index in schema.indexes)) or "none"
+            raise SqlBindingError(
+                f"unknown index {statement.name!r} in DROP INDEX "
+                f"(known indexes: {known})",
+                statement.name_position,
+                self.source,
+            )
+        return schema.index(statement.name)
 
     def bind_insert(self, statement: InsertStatement) -> BoundInsert:
         table = self._bind_target_table(statement.table, statement, "INSERT INTO")

@@ -173,6 +173,30 @@ def _meta_command(connection: Connection, line: str) -> bool:
                 marker = "  primary key" if table.primary_key == column.name else ""
                 print(f"  {column.name}  {column.data_type.value}{marker}")
         return True
+    if command == ".indexes":
+        database = connection.database
+        schema = database.catalog.schema
+        if len(parts) > 1:
+            if not schema.has_table(parts[1]):
+                known = ", ".join(sorted(schema.table_names)) or "none"
+                print(f"unknown table {parts[1]!r} (known tables: {known})", file=sys.stderr)
+                return True
+            indexes = schema.indexes_on(parts[1])
+        else:
+            indexes = schema.indexes
+        if not indexes:
+            print("(no indexes)")
+            return True
+        for index in sorted(indexes, key=lambda entry: (entry.table, entry.name)):
+            stored = database.store.get(index.table)
+            physical = getattr(stored, "indexes", {}).get(index.name)
+            entries = str(physical.entry_count) if physical is not None else "-"
+            unique = " unique" if index.unique else ""
+            print(
+                f"{index.name}\t{index.table}({index.column})\t"
+                f"{index.kind}{unique}\t{entries} entries"
+            )
+        return True
     if command == ".stats":
         print(json.dumps(connection.database.stats(), indent=2, default=str))
         return True
@@ -182,9 +206,9 @@ def _meta_command(connection: Connection, line: str) -> bool:
 def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
     print("repro-sql — SQL over the incremental re-optimization stack")
     print(
-        "statements end with ';' (CREATE TABLE / INSERT / COPY / ANALYZE / "
-        "SELECT / EXPLAIN [ANALYZE]); .load FILE, .tables, .schema [TABLE], "
-        ".stats; ctrl-d quits"
+        "statements end with ';' (CREATE TABLE / CREATE INDEX / DROP INDEX / "
+        "INSERT / COPY / ANALYZE / SELECT / EXPLAIN [ANALYZE]); .load FILE, "
+        ".tables, .schema [TABLE], .indexes [TABLE], .stats; ctrl-d quits"
     )
     buffer: List[str] = []
     while True:

@@ -3,7 +3,8 @@
 Grammar (EBNF, case-insensitive keywords)::
 
     script      := statement (";" statement)* [";"]
-    statement   := [EXPLAIN [ANALYZE]] select | create | insert | copy | analyze
+    statement   := [EXPLAIN [ANALYZE]] select | create | create_index
+                 | drop_index | insert | copy | analyze
     select      := SELECT select_list FROM from_clause
                    [WHERE expression]
                    [GROUP BY column ("," column)*]
@@ -38,6 +39,9 @@ Grammar (EBNF, case-insensitive keywords)::
     create_entry:= identifier identifier          -- column name + type
                  | INDEX "(" identifier ")"
                  | PRIMARY KEY "(" identifier ")"
+    create_index:= CREATE [UNIQUE] INDEX identifier ON identifier
+                   "(" identifier ")" [USING (HASH | ORDERED)]
+    drop_index  := DROP INDEX identifier
     insert      := INSERT INTO identifier ["(" identifier ("," identifier)* ")"]
                    VALUES values_row ("," values_row)*
     values_row  := "(" value ("," value)* ")"
@@ -73,7 +77,9 @@ from repro.sql.ast import (
     ColumnName,
     Comparison,
     CopyStatement,
+    CreateIndexStatement,
     CreateTableStatement,
+    DropIndexStatement,
     ExplainStatement,
     ExpressionItem,
     Hinted,
@@ -180,7 +186,9 @@ class Parser:
             select = self._parse_select()
             return ExplainStatement(select, analyze=analyze, position=explain.position)
         if self._current.is_keyword("create"):
-            return self._parse_create_table()
+            return self._parse_create()
+        if self._current.is_keyword("drop"):
+            return self._parse_drop_index()
         if self._current.is_keyword("insert"):
             return self._parse_insert()
         if self._current.is_keyword("copy"):
@@ -499,8 +507,49 @@ class Parser:
 
     # -- DDL / DML -------------------------------------------------------
 
-    def _parse_create_table(self) -> CreateTableStatement:
+    def _parse_create(self) -> Statement:
         start = self._expect_keyword("create")
+        if self._current.is_keyword("unique", "index"):
+            return self._parse_create_index(start)
+        return self._parse_create_table(start)
+
+    def _parse_create_index(self, start: Token) -> CreateIndexStatement:
+        unique = bool(self._accept_keyword("unique"))
+        self._expect_keyword("index")
+        name = self._identifier("an index name after CREATE INDEX")
+        self._expect_keyword("on")
+        table = self._identifier("a table name after ON")
+        self._expect(TokenType.LPAREN, "'(' to open the indexed column")
+        column = self._identifier("the indexed column name")
+        self._expect(TokenType.RPAREN, "')' to close the indexed column")
+        kind: Optional[str] = None
+        if self._accept_keyword("using"):
+            kind_token = self._expect(TokenType.IDENTIFIER, "an index kind after USING")
+            kind = kind_token.text.lower()
+            if kind not in ("hash", "ordered"):
+                raise self._error(
+                    f"unknown index kind {kind_token.text!r} "
+                    "(expected HASH or ORDERED)",
+                    kind_token,
+                )
+        return CreateIndexStatement(
+            name.text,
+            table.text,
+            column.text,
+            unique=unique,
+            kind=kind,
+            position=start.position,
+            table_position=table.position,
+            column_position=column.position,
+        )
+
+    def _parse_drop_index(self) -> DropIndexStatement:
+        start = self._expect_keyword("drop")
+        self._expect_keyword("index")
+        name = self._identifier("an index name after DROP INDEX")
+        return DropIndexStatement(name.text, start.position, name.position)
+
+    def _parse_create_table(self, start: Token) -> CreateTableStatement:
         self._expect_keyword("table")
         name = self._identifier("a table name after CREATE TABLE")
         self._expect(TokenType.LPAREN, "'(' to open the column list")

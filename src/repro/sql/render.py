@@ -34,8 +34,10 @@ def render_plan(
     def visit(node: PhysicalPlan, depth: int) -> None:
         operator_key = next(operator_keys)
         prop = "" if node.output_property.is_any else f" [{node.output_property}]"
+        index_name = node.detail("index")
+        access = f" using {index_name}" if index_name is not None else ""
         line = (
-            f"{'  ' * depth}{node.operator.value} {node.expression}{prop}"
+            f"{'  ' * depth}{node.operator.value} {node.expression}{prop}{access}"
             f"  (cost={node.total_cost:.3f}, est_rows={node.cardinality:.0f}"
         )
         if execution is not None:

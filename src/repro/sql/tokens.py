@@ -84,6 +84,9 @@ KEYWORDS = frozenset(
         "values",
         "copy",
         "null",
+        "drop",
+        "unique",
+        "using",
     }
 )
 

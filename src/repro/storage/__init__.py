@@ -1,0 +1,65 @@
+"""Physical storage: columnar base tables with maintained secondary indexes.
+
+This package grounds the optimizer's index-scan and indexed-nested-loop
+alternatives in real data structures:
+
+* :mod:`repro.storage.indexes` — :class:`HashIndex` (point lookups,
+  equality join probes) and :class:`OrderedIndex` (bisect range scans and
+  key-order iteration);
+* :mod:`repro.storage.table` — :class:`StoredTable`, the columnar store a
+  :class:`~repro.api.database.Database` keeps per SQL-managed table, whose
+  indexes are maintained under ``INSERT`` and ``COPY``;
+* :mod:`repro.storage.access` — the sargable access-path resolution both
+  execution engines share when a plan asks for an index scan or an index
+  nested-loop probe.
+"""
+
+from repro.storage.access import (
+    index_nl_setup,
+    is_physical_store,
+    merge_bounds,
+    probe_predicate,
+    resolve_index_nl_probe,
+    resolve_index_scan_row_ids,
+    scan_source,
+)
+from repro.storage.indexes import (
+    HASH,
+    INDEX_KINDS,
+    ORDERED,
+    HashIndex,
+    OrderedIndex,
+    PhysicalIndex,
+    build_index,
+    select_index,
+)
+
+
+def __getattr__(name: str):
+    # StoredTable subclasses the vectorized engine's ColumnTable while the
+    # engines import repro.storage.access; loading it lazily keeps this
+    # package importable from either direction of that dependency.
+    if name == "StoredTable":
+        from repro.storage.table import StoredTable
+
+        return StoredTable
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "HASH",
+    "INDEX_KINDS",
+    "ORDERED",
+    "HashIndex",
+    "OrderedIndex",
+    "PhysicalIndex",
+    "StoredTable",
+    "build_index",
+    "index_nl_setup",
+    "is_physical_store",
+    "merge_bounds",
+    "probe_predicate",
+    "resolve_index_nl_probe",
+    "resolve_index_scan_row_ids",
+    "scan_source",
+    "select_index",
+]

@@ -1,0 +1,231 @@
+"""Access-path resolution shared by both execution engines.
+
+Given an ``index-scan`` (or the inner side of an ``indexed-nested-loop-join``)
+plan node and the physical store behind it, resolve which physical index
+serves the node and compute the candidate row ids.  Keeping this logic in one
+place guarantees the row and vectorized engines (and, through the matching
+:func:`repro.storage.indexes.select_index` preference rule, the optimizer)
+always agree on the chosen access path.
+
+The engines deliberately re-apply *every* pushed-down filter conjunct over
+the returned candidates, so an index only needs to return a superset of the
+matching rows that is exact on the sargable conjunct — correctness never
+depends on index completeness subtleties (NULL bounds, mixed int/float
+keys); those only affect how many rows are fetched.
+
+When a plan names an index (``PhysicalPlan.details``) that the store no
+longer has — the catalog dropped it after the plan was built — resolution
+raises :class:`~repro.common.errors.ExecutionError` instead of silently
+falling back to a sequential scan: a cost-based plan must not lie about the
+access path it executes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ExecutionError
+from repro.relational.plan import PhysicalOperator, PhysicalPlan
+from repro.relational.predicates import JoinPredicate, Sargable
+from repro.relational.properties import PropertyKind
+from repro.relational.query import Query
+from repro.storage.indexes import ORDERED, PhysicalIndex
+
+#: sentinel distinguishing "no rows can match" from "no merged constraint"
+EMPTY = object()
+
+
+def is_physical_store(value: object) -> bool:
+    """True when *value* is an index-bearing store (a ``StoredTable``)."""
+    return hasattr(value, "usable_index")
+
+
+def scan_source(query: Query, data, alias: str):
+    """The stored data behind *alias* (alias-keyed windows win over tables)."""
+    relation = query.relation(alias)
+    if alias in data:
+        return data[alias]
+    if relation.table in data:
+        return data[relation.table]
+    raise ExecutionError(f"no data loaded for alias {alias!r} or table {relation.table!r}")
+
+
+def _sargables_on(query: Query, alias: str, column: str) -> List[Sargable]:
+    """Every sargable conjunct of *alias* constraining *column*."""
+    out = []
+    for predicate in query.filters_for(alias):
+        sargable = predicate.sargable
+        if sargable is not None and sargable.column.column == column:
+            out.append(sargable)
+    return out
+
+
+def merge_bounds(sargables: Sequence[Sargable], parameters):
+    """Intersect the resolved bounds of several conjuncts on one column.
+
+    The cost model prices a scan from *all* its conjuncts, so execution must
+    narrow by all of them too — ``k >= 10 AND k <= 20`` has to fetch the
+    11-row window, not everything above 10.  Returns ``(low, low_inclusive,
+    high, high_inclusive)`` (``None`` ends = unbounded) or :data:`EMPTY`
+    when no row can satisfy the conjunction (a NULL bound, or crossed
+    bounds).
+    """
+    low = high = None
+    low_inclusive = high_inclusive = True
+    for sargable in sargables:
+        if sargable.is_empty(parameters):
+            return EMPTY
+        s_low, s_high = sargable.bounds(parameters)
+        if s_low is not None and (
+            low is None
+            or s_low > low
+            or (s_low == low and not sargable.low_inclusive)
+        ):
+            low, low_inclusive = s_low, sargable.low_inclusive
+        if s_high is not None and (
+            high is None
+            or s_high < high
+            or (s_high == high and not sargable.high_inclusive)
+        ):
+            high, high_inclusive = s_high, sargable.high_inclusive
+    if low is not None and high is not None:
+        if low > high or (low == high and not (low_inclusive and high_inclusive)):
+            return EMPTY
+    return low, low_inclusive, high, high_inclusive
+
+
+def _named_index(node: PhysicalPlan, stored, alias: str) -> Optional[PhysicalIndex]:
+    """The index the plan names in its details, if any; error if dropped."""
+    name = node.detail("index")
+    if name is None:
+        return None
+    index = stored.index(name)
+    if index is None:
+        raise ExecutionError(
+            f"plan references index {name!r} on alias {alias!r} which the "
+            "catalog no longer has (dropped after the plan was built); "
+            "re-plan the statement"
+        )
+    return index
+
+
+def resolve_index_scan_row_ids(
+    node: PhysicalPlan,
+    query: Query,
+    stored,
+    parameters: Optional[Sequence[object]] = None,
+) -> List[int]:
+    """Candidate row ids for an ``index-scan`` node over a physical store.
+
+    * ``SORTED(col)`` output property → key-order iteration of the ordered
+      index on ``col`` (narrowed through a sargable conjunct on ``col`` when
+      one exists; NULL rows last, matching the engines' sort semantics);
+    * otherwise → the first sargable filter conjunct with a usable index
+      becomes a point/range lookup, emitted in stored (row-id) order so the
+      scan output is byte-identical to a sequential scan's.
+
+    Every remaining filter conjunct is re-applied by the caller.
+    """
+    alias = node.expression.sole_alias
+    prop = node.output_property
+    named = _named_index(node, stored, alias)
+
+    if prop.kind is PropertyKind.SORTED and prop.column is not None:
+        column = prop.column.column
+        index = named if named is not None else stored.usable_index(column, "sorted")
+        if index is None or index.kind != ORDERED:
+            raise ExecutionError(
+                f"plan delivers sorted({prop.column}) through an index scan "
+                f"but no ordered index on {column!r} exists"
+            )
+        sargables = _sargables_on(query, alias, column)
+        if sargables:
+            merged = merge_bounds(sargables, parameters)
+            if merged is EMPTY:
+                return []
+            low, low_inclusive, high, high_inclusive = merged
+            return list(index.range(low, low_inclusive, high, high_inclusive))
+        return index.ordered_row_ids(nulls_last=True)
+
+    for predicate in query.filters_for(alias):
+        sargable = predicate.sargable
+        if sargable is None:
+            continue
+        column = sargable.column.column
+        if (
+            named is not None
+            and named.meta.column == column
+            and (sargable.is_point or named.supports_range)
+        ):
+            index = named
+        else:
+            index = stored.usable_index(column, sargable.shape)
+        if index is None:
+            continue
+        # Narrow by every sargable conjunct on this column, not just the
+        # first: the cost model priced the scan from all of them.
+        merged = merge_bounds(_sargables_on(query, alias, column), parameters)
+        if merged is EMPTY:
+            return []
+        low, low_inclusive, high, high_inclusive = merged
+        if low is not None and low == high and low_inclusive and high_inclusive:
+            return list(index.lookup(low))
+        return sorted(index.range(low, low_inclusive, high, high_inclusive))
+
+    if prop.kind is PropertyKind.INDEXED:
+        # The inner of an index-NL join executed standalone (no probe driving
+        # it): emit the whole table; the caller's filters still apply.
+        return list(range(stored.row_count))
+    raise ExecutionError(
+        f"plan chose an index scan for alias {alias!r} but no usable "
+        "physical index matches its predicates (the catalog no longer has "
+        "the index the plan was built against)"
+    )
+
+
+def index_nl_setup(right_node: PhysicalPlan, query: Query, data):
+    """(stored, physical index) when an index-NL join can really probe.
+
+    Requires the inner to be an index-scan leaf over a physical store.
+    Over plain row/column data the join falls back to the legacy
+    (hash-equivalent) execution — return ``None``; over a physical store a
+    missing index raises, because a plan must not silently change its
+    access path.
+    """
+    if not (right_node.is_leaf and right_node.operator is PhysicalOperator.INDEX_SCAN):
+        return None
+    stored = scan_source(query, data, right_node.expression.sole_alias)
+    if not is_physical_store(stored):
+        return None
+    return stored, resolve_index_nl_probe(right_node, stored)
+
+
+def probe_predicate(
+    equi: Sequence[JoinPredicate], right_node: PhysicalPlan
+) -> JoinPredicate:
+    """The equi conjunct the inner's INDEXED property was enumerated for."""
+    target = right_node.output_property.column
+    for predicate in equi:
+        if predicate.column_for(right_node.expression) == target:
+            return predicate
+    return equi[0]
+
+
+def resolve_index_nl_probe(
+    right_node: PhysicalPlan, stored
+) -> PhysicalIndex:
+    """The physical index probed by an indexed nested-loop join's inner side."""
+    alias = right_node.expression.sole_alias
+    prop = right_node.output_property
+    named = _named_index(right_node, stored, alias)
+    if named is not None:
+        return named
+    column = prop.column.column if prop.column is not None else None
+    index = stored.usable_index(column, "point") if column is not None else None
+    if index is None:
+        raise ExecutionError(
+            f"plan probes an index on alias {alias!r}"
+            + (f" column {column!r}" if column else "")
+            + " but the physical store has none (dropped after planning)"
+        )
+    return index

@@ -120,3 +120,43 @@ class TestCacheBehaviorEndToEnd:
             db.execute(f"SELECT a FROM t WHERE a > {bound}")
         assert db.stats()["plan_cache"]["entries"] == 2
         assert db.stats()["plan_cache"]["evictions"] == 2
+
+
+class TestIndexDdlInvalidation:
+    """CREATE INDEX / DROP INDEX must bump Catalog.version and evict plans."""
+
+    def _database(self):
+        conn = repro.connect()
+        conn.executescript(
+            "CREATE TABLE t (a INTEGER, b INTEGER); "
+            "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30); ANALYZE t"
+        )
+        return conn.database
+
+    def test_create_index_bumps_version_and_evicts(self):
+        db = self._database()
+        version = db.catalog.version
+        db.execute("SELECT a FROM t WHERE a = 2")
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        assert db.catalog.version == version + 1
+        invalidations = db.stats()["plan_cache"]["invalidations"]
+        replanned = db.execute("SELECT a FROM t WHERE a = 2")
+        assert replanned.from_cache is False
+        assert db.stats()["plan_cache"]["invalidations"] == invalidations + 1
+
+    def test_drop_index_bumps_version_and_evicts(self):
+        db = self._database()
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        version = db.catalog.version
+        db.execute("SELECT a FROM t WHERE a = 2")
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True
+        db.execute("DROP INDEX idx_a")
+        assert db.catalog.version == version + 1
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is False
+
+    def test_unrelated_statements_do_not_invalidate(self):
+        db = self._database()
+        db.execute("SELECT a FROM t WHERE a = 2")
+        db.execute("SELECT b FROM t WHERE b = 20")  # another entry, no DDL
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True

@@ -1,0 +1,211 @@
+"""Differential parity over index-backed physical tables.
+
+The whole ``PARITY_SQL`` workload re-runs against TPC-H stores adopted into
+:class:`~repro.storage.table.StoredTable` (every catalog index built
+physically, plus an extra hash index per table so adoption is exercised
+through public ``CREATE INDEX``), compared four ways — row/vectorized engine
+× physical-index/plain store — and again after INSERT/COPY mutate the
+indexes.  A seeded stream of random expression trees does the same over a
+mixed-NULL DDL table whose columns are indexed, additionally comparing
+index-enabled against index-disabled plan enumeration.
+"""
+
+import random
+
+import pytest
+from test_expression_parity import (
+    MIX_COLUMNS,
+    MIX_LITERALS,
+    ExpressionGenerator,
+    build_mix_rows,
+    sql_value,
+)
+
+import repro
+from repro.optimizer.search_space import EnumerationOptions
+from repro.storage.table import StoredTable
+from repro.workloads.sql_queries import PARITY_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data
+
+NO_INDEXES = EnumerationOptions(enable_index_scans=False, enable_index_nl=False)
+
+#: one join-key per TPC-H table; the extra hash index triggers physical
+#: adoption of the whole store through the public CREATE INDEX path.
+ADOPTION_COLUMNS = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "orders": "o_custkey",
+    "lineitem": "l_orderkey",
+}
+
+
+def row_key(row):
+    """Order-insensitive row identity, float-rounding tolerant.
+
+    Different access paths legitimately produce different plan shapes, so
+    float aggregates accumulate in different orders; round to 6 decimals to
+    compare values rather than summation order.
+    """
+    normalized = {
+        name: round(value, 6) if isinstance(value, float) else value
+        for name, value in row.items()
+    }
+    return tuple((name, repr(normalized[name])) for name in sorted(normalized))
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """engine × (physical, plain) over identical TPC-H rows."""
+    dataset = generate_tpch_data(scale_factor=0.0005, seed=3)
+    grid = {}
+    for engine in ("row", "vectorized"):
+        for label in ("physical", "plain"):
+            # each database needs its own catalog: CREATE INDEX mutates it
+            database = repro.connect(
+                catalog_from_data(dataset),
+                {name: list(rows) for name, rows in dataset.items()},
+                engine=engine,
+            ).database
+            if label == "physical":
+                for table, column in ADOPTION_COLUMNS.items():
+                    database.execute(
+                        f"CREATE INDEX adopt_{table} ON {table} ({column}) USING HASH"
+                    )
+            grid[engine, label] = database
+    return grid
+
+
+@pytest.fixture(scope="module")
+def parity_results(databases):
+    return {
+        (name,) + key: database.execute(PARITY_SQL[name])
+        for name in sorted(PARITY_SQL)
+        for key, database in databases.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(PARITY_SQL))
+class TestWorkloadParityOverPhysicalStores:
+    def test_all_tables_adopted(self, name, databases):
+        database = databases["row", "physical"]
+        for table in ADOPTION_COLUMNS:
+            assert isinstance(database.store[table], StoredTable)
+
+    def test_four_way_identical_sorted_rows(self, name, parity_results, databases):
+        baseline = parity_results[(name, "row", "plain")]
+        expected = sorted(map(row_key, baseline.rows))
+        for key, database in databases.items():
+            outcome = parity_results[(name,) + key]
+            assert sorted(map(row_key, outcome.rows)) == expected, (name, key)
+            assert outcome.rowcount == baseline.rowcount, (name, key)
+
+    def test_engines_agree_in_order_on_physical_stores(self, name, parity_results):
+        row_result = parity_results[(name, "row", "physical")]
+        vec_result = parity_results[(name, "vectorized", "physical")]
+        assert list(map(row_key, row_result.rows)) == list(map(row_key, vec_result.rows))
+        assert (
+            row_result.execution.operator_cardinalities
+            == vec_result.execution.operator_cardinalities
+        )
+
+
+MUTATION_QUERIES = [
+    "SELECT c_custkey, c_acctbal FROM customer WHERE c_mktsegment = 1 ORDER BY c_custkey",
+    "SELECT n_name, COUNT(*) FROM nation, customer WHERE n_nationkey = c_nationkey "
+    "GROUP BY n_name ORDER BY n_name",
+]
+
+
+class TestParityAfterMutation:
+    def test_insert_and_copy_keep_parity(self, databases, tmp_path):
+        csv_path = tmp_path / "more_customers.csv"
+        # categorical/name attributes are integer-encoded in this schema
+        csv_path.write_text(
+            "c_custkey,c_nationkey,c_mktsegment,c_name,c_acctbal\n"
+            "900001,3,1,900001,123.45\n"
+            "900002,7,1,900002,\n"
+        )
+        before = {
+            key: database.execute(MUTATION_QUERIES[0]).rowcount
+            for key, database in databases.items()
+        }
+        for database in databases.values():
+            database.execute(
+                "INSERT INTO customer VALUES (900000, 5, 1, 900000, 50.0)"
+            )
+            database.execute(f"COPY customer FROM '{csv_path}'")
+        for sql in MUTATION_QUERIES:
+            results = {key: db.execute(sql) for key, db in databases.items()}
+            expected = sorted(map(row_key, results["row", "plain"].rows))
+            for key, outcome in results.items():
+                assert sorted(map(row_key, outcome.rows)) == expected, (sql, key)
+        after = databases["row", "physical"].execute(MUTATION_QUERIES[0]).rowcount
+        assert after == before["row", "physical"] + 3  # all three new rows visible
+
+    def test_physical_index_tracks_mutations(self, databases):
+        stored = databases["vectorized", "physical"].store["customer"]
+        adopt = stored.index("adopt_customer")
+        assert adopt.lookup(900000) != []
+        assert stored.usable_index("c_custkey", "range").lookup(900001) != []
+
+
+# ---------------------------------------------------------------------------
+# Randomized expression trees over an indexed mixed-NULL table
+# ---------------------------------------------------------------------------
+
+MIX_DDL_INDEXES = (
+    "CREATE INDEX idx_mix_a ON mix (a);"
+    "CREATE INDEX idx_mix_x ON mix (x);"
+    "CREATE INDEX idx_mix_s ON mix (s) USING HASH"
+)
+
+
+@pytest.fixture(scope="module")
+def mix_grid():
+    rows = build_mix_rows(count=240, seed=11)
+    values = ", ".join("(" + ", ".join(sql_value(v) for v in row) + ")" for row in rows)
+    script = (
+        "CREATE TABLE mix (k INTEGER, a INTEGER, b INTEGER, x FLOAT, "
+        "s TEXT, t TEXT, PRIMARY KEY (k)); "
+        f"INSERT INTO mix VALUES {values}; "
+        f"{MIX_DDL_INDEXES}; ANALYZE mix"
+    )
+    grid = {}
+    for engine in ("row", "vectorized"):
+        for label, enumeration in (("indexed", None), ("seq", NO_INDEXES)):
+            connection = repro.connect(engine=engine, enumeration=enumeration)
+            connection.executescript(script)
+            grid[engine, label] = connection.database
+    return grid
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_random_tree_parity_indexed_mix(seed, mix_grid):
+    rng = random.Random(9000 + seed)
+    generator = ExpressionGenerator(rng, MIX_COLUMNS, MIX_LITERALS)
+    sql = f"SELECT k FROM mix WHERE {generator.boolean(depth=3)} ORDER BY k"
+    results = {key: database.execute(sql) for key, database in mix_grid.items()}
+    baseline = results["row", "seq"]
+    for key, outcome in results.items():
+        assert outcome.rows == baseline.rows, (sql, key)
+        assert outcome.rowcount == baseline.rowcount, (sql, key)
+
+
+def test_random_trees_still_agree_after_insert(mix_grid):
+    for database in mix_grid.values():
+        database.execute(
+            "INSERT INTO mix VALUES (9001, 12, 4, 2.5, 'alpha', NULL), "
+            "(9002, NULL, 0, 19.0, NULL, 'teal')"
+        )
+    rng = random.Random(777)
+    generator = ExpressionGenerator(rng, MIX_COLUMNS, MIX_LITERALS)
+    for _ in range(12):
+        sql = f"SELECT k FROM mix WHERE {generator.boolean(depth=3)} ORDER BY k"
+        results = {key: database.execute(sql) for key, database in mix_grid.items()}
+        baseline = results["row", "seq"]
+        for key, outcome in results.items():
+            assert outcome.rows == baseline.rows, (sql, key)

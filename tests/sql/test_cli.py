@@ -234,3 +234,40 @@ class TestSchemaMetaCommand:
         from repro.sql.cli import _meta_command
 
         assert not _meta_command(self._connection(), ".bogus")
+
+
+class TestIndexesMetaCommand:
+    def _connection(self):
+        import repro
+
+        connection = repro.connect()
+        connection.executescript(
+            "CREATE TABLE orders (id INTEGER, qty INTEGER, PRIMARY KEY (id)); "
+            "CREATE TABLE tags (name TEXT); "
+            "INSERT INTO orders VALUES (1, 5), (2, 7), (3, NULL); "
+            "CREATE INDEX idx_orders_qty ON orders (qty) USING HASH"
+        )
+        return connection
+
+    def test_indexes_lists_kind_and_entry_count(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        assert _meta_command(self._connection(), ".indexes")
+        out = capsys.readouterr().out
+        assert "idx_orders_pk\torders(id)\tordered unique\t3 entries" in out
+        assert "idx_orders_qty\torders(qty)\thash\t2 entries" in out
+
+    def test_indexes_single_table_filter(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        connection = self._connection()
+        assert _meta_command(connection, ".indexes tags")
+        assert "(no indexes)" in capsys.readouterr().out
+        assert _meta_command(connection, ".indexes orders")
+        assert "idx_orders_qty" in capsys.readouterr().out
+
+    def test_indexes_unknown_table(self, capsys):
+        from repro.sql.cli import _meta_command
+
+        assert _meta_command(self._connection(), ".indexes nope")
+        assert "unknown table 'nope'" in capsys.readouterr().err

@@ -11,7 +11,9 @@ from repro.common.errors import SqlBindingError, SqlError, SqlSyntaxError
 from repro.sql.ast import (
     AnalyzeStatement,
     CopyStatement,
+    CreateIndexStatement,
     CreateTableStatement,
+    DropIndexStatement,
     InsertStatement,
     Parameter,
 )
@@ -243,3 +245,119 @@ class TestScripts:
     def test_missing_semicolon_between_statements(self):
         with pytest.raises(SqlSyntaxError, match="';'"):
             parse_script("ANALYZE t ANALYZE u")
+
+
+class TestCreateIndexParsing:
+    def test_full_create_index(self):
+        statement = parse("CREATE INDEX idx_t_a ON t (a)")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.name == "idx_t_a"
+        assert statement.table == "t"
+        assert statement.column == "a"
+        assert statement.unique is False
+        assert statement.kind is None
+
+    def test_unique_and_using(self):
+        statement = parse("CREATE UNIQUE INDEX i ON t (a) USING HASH")
+        assert statement.unique is True
+        assert statement.kind == "hash"
+        assert parse("CREATE INDEX i ON t (a) USING ORDERED").kind == "ordered"
+
+    def test_unknown_kind(self):
+        source = "CREATE INDEX i ON t (a) USING btree"
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse(source)
+        assert "HASH or ORDERED" in str(excinfo.value)
+        assert_caret_points_at(excinfo.value, source, "btree")
+
+    def test_missing_on(self):
+        source = "CREATE INDEX i t (a)"
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse(source)
+        assert "ON" in str(excinfo.value)
+        assert_caret_points_at(excinfo.value, source, "t (a)")
+
+    def test_drop_index(self):
+        statement = parse("DROP INDEX idx_t_a")
+        assert isinstance(statement, DropIndexStatement)
+        assert statement.name == "idx_t_a"
+
+    def test_drop_without_name(self):
+        with pytest.raises(SqlSyntaxError, match="index name"):
+            parse("DROP INDEX")
+
+
+class TestCreateIndexBinding:
+    def _connection(self):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INTEGER, b FLOAT)")
+        return conn
+
+    def test_create_and_drop_roundtrip(self):
+        conn = self._connection()
+        conn.execute("CREATE INDEX idx_a ON t (a)")
+        schema = conn.database.catalog.schema
+        assert schema.has_index("idx_a")
+        assert schema.index("idx_a").kind == "ordered"
+        conn.execute("DROP INDEX idx_a")
+        assert not schema.has_index("idx_a")
+
+    def test_unknown_table_caret(self):
+        conn = self._connection()
+        source = "CREATE INDEX idx ON missing (a)"
+        with pytest.raises(SqlBindingError) as excinfo:
+            conn.execute(source)
+        assert "unknown table 'missing'" in str(excinfo.value)
+        assert_caret_points_at(excinfo.value, source, "missing")
+
+    def test_unknown_column_caret(self):
+        conn = self._connection()
+        source = "CREATE INDEX idx ON t (nope)"
+        with pytest.raises(SqlBindingError) as excinfo:
+            conn.execute(source)
+        assert "column 'nope' does not exist" in str(excinfo.value)
+        assert_caret_points_at(excinfo.value, source, "nope")
+
+    def test_duplicate_name_rejected(self):
+        conn = self._connection()
+        conn.execute("CREATE INDEX idx ON t (a)")
+        with pytest.raises(SqlBindingError, match="already exists"):
+            conn.execute("CREATE INDEX idx ON t (b)")
+
+    def test_drop_unknown_index_caret(self):
+        conn = self._connection()
+        source = "DROP INDEX ghost"
+        with pytest.raises(SqlBindingError) as excinfo:
+            conn.execute(source)
+        assert "unknown index 'ghost'" in str(excinfo.value)
+        assert_caret_points_at(excinfo.value, source, "ghost")
+
+    def test_hash_index_built_physically(self):
+        conn = self._connection()
+        conn.execute("INSERT INTO t VALUES (1, 0.5), (2, 1.5)")
+        conn.execute("CREATE INDEX idx_hash ON t (a) USING HASH")
+        stored = conn.database.store["t"]
+        assert stored.index("idx_hash").kind == "hash"
+        assert stored.index("idx_hash").lookup(2) == [1]
+
+
+class TestUniqueIndexSql:
+    def test_primary_key_rejects_duplicate_insert(self):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        with pytest.raises(SqlError, match="unique index"):
+            conn.execute("INSERT INTO t VALUES (2)")
+        # the failed insert changed nothing
+        result = conn.database.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [{"count(*)": 2}]
+
+    def test_create_unique_index_over_duplicates_rejected(self):
+        conn = repro.connect()
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1), (1)")
+        with pytest.raises(SqlError, match="duplicate values"):
+            conn.execute("CREATE UNIQUE INDEX idx_a ON t (a)")
+        # the failed build registered nothing: the name is still free
+        assert not conn.database.catalog.schema.has_index("idx_a")
+        conn.execute("CREATE INDEX idx_a ON t (a)")  # non-unique is fine
