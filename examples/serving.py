@@ -1,0 +1,153 @@
+"""The serving tier end to end: snapshots, shared planning, and the wire.
+
+One script walks every layer the concurrent serving subsystem adds:
+
+1. copy-on-write table snapshots — readers on one thread see a consistent
+   published version while a writer appends on another,
+2. the shared cross-connection plan cache — eight threads miss on the same
+   cold statement, exactly one optimizer run happens (single-flight), and
+   a write to an *unrelated* table leaves the cached plans alone,
+3. the in-process pools — `ConnectionPool` leases and
+   `StatementExecutorPool` futures,
+4. the TCP server + remote client — start `repro-serve` on an ephemeral
+   port in a background thread, connect twice with `repro.client.connect`,
+   and show the second connection hitting the plan the first one cached.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+import repro
+from repro.client import connect as connect_remote
+from repro.server import start_server_thread
+from repro.server.pool import ConnectionPool, StatementExecutorPool
+
+
+def build_database() -> repro.Database:
+    database = repro.connect().database
+    database.execute_script(
+        "CREATE TABLE readings (sensor INTEGER, value FLOAT, INDEX (sensor));"
+        "INSERT INTO readings VALUES (1, 0.5), (1, 1.5), (2, 2.5), (2, 3.5);"
+        "ANALYZE readings;"
+        "CREATE TABLE audit (who INTEGER, what INTEGER);"
+        "ANALYZE audit"
+    )
+    return database
+
+
+def demo_snapshots(database: repro.Database) -> None:
+    print("=== 1. Copy-on-write snapshots ===")
+    print(f"published version: {database.table_version('readings')}")
+
+    torn = []
+
+    def reader() -> None:
+        for _ in range(200):
+            count = database.execute("SELECT COUNT(*) FROM readings").rows[0]["count(*)"]
+            if count % 4 != 0:  # every batch appends 4 rows atomically
+                torn.append(count)
+
+    def writer() -> None:
+        for batch in range(25):
+            base = 10 + batch
+            database.execute(
+                f"INSERT INTO readings VALUES ({base}, 1.0), ({base}, 2.0), "
+                f"({base}, 3.0), ({base}, 4.0)"
+            )
+
+    threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    print(f"published version after 25 batches: {database.table_version('readings')}")
+    print(f"torn reads observed: {len(torn)} (a snapshot always sees whole batches)")
+    print()
+
+
+def demo_shared_plan_cache(database: repro.Database) -> None:
+    print("=== 2. Shared plan cache: single-flight + table-scoped invalidation ===")
+    sql = "SELECT value FROM readings WHERE sensor = $1"
+    barrier = threading.Barrier(8)
+
+    def client(sensor: int) -> None:
+        barrier.wait()
+        database.execute(sql, (sensor,))
+
+    before = database.plan_cache.stats()
+    threads = [threading.Thread(target=client, args=(1 + i % 2,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    after = database.plan_cache.stats()
+    print(f"8 concurrent cold executions -> misses={after['misses'] - before['misses']} "
+          f"(one planner; the other {after['hits'] - before['hits']} picked up its entry)")
+
+    database.execute("INSERT INTO audit VALUES (1, 42)")
+    cached = database.execute(sql, (1,)).from_cache
+    print(f"after INSERT into an unrelated table, still cached: {cached}")
+    database.execute("INSERT INTO readings VALUES (9, 9.0)")
+    cached = database.execute(sql, (1,)).from_cache
+    print(f"after INSERT into the referenced table, replanned: {not cached}")
+    print()
+
+
+def demo_pools(database: repro.Database) -> None:
+    print("=== 3. Connection pool + executor pool ===")
+    pool = ConnectionPool(database, size=4)
+    with pool.lease() as conn:
+        count = conn.execute("SELECT COUNT(*) FROM readings").fetchone()[0]
+        print(f"leased connection (session {conn.session_id}): {count} rows")
+    pool.close()
+
+    executor = StatementExecutorPool(database, workers=4)
+    futures = [
+        executor.submit("SELECT COUNT(*) FROM readings WHERE sensor = $1", (s,))
+        for s in (1, 2, 9)
+    ]
+    counts = [future.result().rows[0]["count(*)"] for future in futures]
+    executor.shutdown()
+    print(f"executor-pool futures answered: {counts}")
+    print()
+
+
+def demo_wire(database: repro.Database) -> None:
+    print("=== 4. repro-serve + repro.client over TCP ===")
+    handle = start_server_thread(database)  # ephemeral port, background thread
+    host, port = handle.address
+    print(f"server listening on {host}:{port}")
+    try:
+        sql = "SELECT value FROM readings WHERE sensor = $1 ORDER BY value"
+        with connect_remote(host, port) as first:
+            rows = first.cursor().execute(sql, (2,)).fetchall()
+            print(f"connection {first.session_id}: {rows} (from_cache they planned it)")
+        with connect_remote(host, port) as second:
+            cur = second.cursor().execute(sql, (1,))
+            print(
+                f"connection {second.session_id}: {cur.fetchall()} "
+                f"(from_cache={cur.result.from_cache} — shared with the first)"
+            )
+            stmt = second.prepare("SELECT COUNT(*) FROM audit")
+            print(f"prepared over the wire: {stmt.execute().rows}")
+    finally:
+        handle.stop()
+    print()
+
+
+def main() -> None:
+    database = build_database()
+    demo_snapshots(database)
+    demo_shared_plan_cache(database)
+    demo_pools(database)
+    demo_wire(database)
+    print("stats:", database.stats()["plan_cache"])
+
+
+if __name__ == "__main__":
+    main()

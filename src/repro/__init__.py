@@ -22,8 +22,11 @@ The public entry point is DB-API-flavored::
 
 ``Database`` owns the catalog, stored columnar tables, the LRU plan cache
 and the adaptive monitor; ``Connection``/``Cursor`` are the PEP 249-style
-client surface.  The research internals (optimizers, engines, workloads)
-remain importable for experiments.
+client surface.  A database is safe to share across threads (copy-on-write
+table snapshots, a lock-protected plan cache) and can be served over TCP —
+``repro-serve`` / :mod:`repro.server` on the server side,
+:func:`repro.client.connect` on the client side.  The research internals
+(optimizers, engines, workloads) remain importable for experiments.
 """
 
 from repro.api import (
@@ -66,7 +69,7 @@ from repro.relational import (
 from repro.sql import Session, SqlResult
 from repro.workloads import q3s, q5, q5s, q8join, q8joins, q10, tpch_catalog
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # DB-API surface

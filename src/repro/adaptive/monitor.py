@@ -13,16 +13,34 @@ mirror the paper's Figure 10 series:
   ("AQP-Cumulative"); estimates stabilize as the stream progresses;
 * **non-cumulative** — only the latest slice's observations are used
   ("AQP-NonCumulative"); the optimizer chases the most recent distribution.
+
+Observation histories are kept at three scopes, narrowest wins on read:
+
+* **(session, query)** — recorded when the execution carried a session id
+  (the serving tier tags every statement with its connection's session).
+  Concurrent sessions share plans through the cross-connection plan cache,
+  but a session's cardinality feedback — e.g. a parameter value selecting a
+  very different slice of the data — stays its own;
+* **query** — the PR 3 scoping: statements sharing a join footprint under
+  one Database-wide monitor do not conflate each other's estimates;
+* **global** — the fallback pool for executions carrying no query name.
+
+The monitor is shared by every connection and executor-pool worker thread of
+a :class:`~repro.api.database.Database`, so all state is lock-protected.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cost.overrides import StatisticsDelta
 from repro.engine.executor import ExecutionResult
 from repro.relational.expressions import Expression
+
+#: scope key for an observation history: (session or None, query name)
+ScopeKey = Tuple[Optional[str], str]
 
 
 @dataclass
@@ -58,72 +76,104 @@ class RuntimeMonitor:
         #: this is what makes re-optimization overhead decay as the stream (and
         #: the statistics) converge, as in the paper's Figure 9.
         self.change_threshold = change_threshold
+        self._lock = threading.RLock()
         self._history: Dict[Expression, ObservationHistory] = {}
-        #: per-query histories: a monitor shared across many statements keeps
-        #: each query's observations apart (same alias set, different filters
-        #: or parameter values must not pollute each other's estimates).
-        self._scoped: Dict[Tuple[str, Expression], ObservationHistory] = {}
+        #: scoped histories: ``((session, query), expression)``.  A ``None``
+        #: session is the per-query scope; a named session layers on top so
+        #: concurrent sessions sharing one cached plan keep their own feedback.
+        self._scoped: Dict[Tuple[ScopeKey, Expression], ObservationHistory] = {}
         #: relation-count scaling: window sizes per alias observed per slice
         self._alias_rows: Dict[str, ObservationHistory] = {}
-        #: last-emitted values, keyed per consuming query so one consumer's
-        #: emission does not suppress another's (threshold state is per plan)
+        #: last-emitted values, keyed per consuming (session, query) so one
+        #: consumer's emission does not suppress another's (threshold state
+        #: is per plan per session)
         self._last_emitted: Dict[object, float] = {}
         #: cumulative execution seconds per operator label across slices
         self._operator_seconds: Dict[str, float] = {}
+        #: session ids that have recorded at least one execution
+        self._sessions: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
-    def record_execution(self, result: ExecutionResult) -> None:
-        """Record every operator output cardinality from one slice's execution."""
-        for expression, rows in result.observed_cardinalities.items():
-            value = max(float(rows), self.minimum_rows)
-            self._history.setdefault(expression, ObservationHistory()).add(value)
-            if result.query_name:
-                self._scoped.setdefault(
-                    (result.query_name, expression), ObservationHistory()
-                ).add(value)
-        for operator_key, seconds in result.operator_timings.items():
-            self._operator_seconds[operator_key] = (
-                self._operator_seconds.get(operator_key, 0.0) + seconds
-            )
+    def record_execution(self, result: ExecutionResult, session: Optional[str] = None) -> None:
+        """Record every operator output cardinality from one slice's execution.
+
+        *session* scopes the observations to the connection (or wire session)
+        that ran the statement, on top of the per-query scope the result's
+        ``query_name`` provides.
+        """
+        with self._lock:
+            if session is not None:
+                self._sessions[session] = self._sessions.get(session, 0) + 1
+            for expression, rows in result.observed_cardinalities.items():
+                value = max(float(rows), self.minimum_rows)
+                self._history.setdefault(expression, ObservationHistory()).add(value)
+                if result.query_name:
+                    self._scoped.setdefault(
+                        ((None, result.query_name), expression), ObservationHistory()
+                    ).add(value)
+                    if session is not None:
+                        self._scoped.setdefault(
+                            ((session, result.query_name), expression), ObservationHistory()
+                        ).add(value)
+            for operator_key, seconds in result.operator_timings.items():
+                self._operator_seconds[operator_key] = (
+                    self._operator_seconds.get(operator_key, 0.0) + seconds
+                )
 
     def record_window_sizes(self, sizes: Mapping[str, int]) -> None:
-        for alias, rows in sizes.items():
-            history = self._alias_rows.setdefault(alias, ObservationHistory())
-            history.add(max(float(rows), self.minimum_rows))
+        with self._lock:
+            for alias, rows in sizes.items():
+                history = self._alias_rows.setdefault(alias, ObservationHistory())
+                history.add(max(float(rows), self.minimum_rows))
 
     # -- reads ----------------------------------------------------------------
 
     def observed(
-        self, expression: Expression, query_name: Optional[str] = None
+        self,
+        expression: Expression,
+        query_name: Optional[str] = None,
+        session: Optional[str] = None,
     ) -> Optional[float]:
         """The accumulated observation for *expression*.
 
-        With *query_name*, observations recorded under that query are
-        preferred (falling back to the global history), so consumers sharing
-        one monitor read their own query's behaviour.
+        The narrowest populated scope wins: (session, query) when *session*
+        is given, then the query scope, then the global history — so
+        consumers sharing one monitor read their own behaviour first.
         """
-        history = None
-        if query_name is not None:
-            history = self._scoped.get((query_name, expression))
-        if history is None:
-            history = self._history.get(expression)
-        if history is None:
-            return None
-        return history.mean if self.cumulative else history.latest
+        with self._lock:
+            history = None
+            if query_name is not None:
+                if session is not None:
+                    history = self._scoped.get(((session, query_name), expression))
+                if history is None:
+                    history = self._scoped.get(((None, query_name), expression))
+            if history is None:
+                history = self._history.get(expression)
+            if history is None:
+                return None
+            return history.mean if self.cumulative else history.latest
 
     def observed_alias_rows(self, alias: str) -> Optional[float]:
-        history = self._alias_rows.get(alias)
-        if history is None:
-            return None
-        return history.mean if self.cumulative else history.latest
+        with self._lock:
+            history = self._alias_rows.get(alias)
+            if history is None:
+                return None
+            return history.mean if self.cumulative else history.latest
 
     def expressions(self) -> List[Expression]:
-        return sorted(self._history, key=lambda expression: (len(expression), expression.name))
+        with self._lock:
+            return sorted(self._history, key=lambda expression: (len(expression), expression.name))
 
     def observation_count(self) -> int:
         """Total recorded observations across every expression."""
-        return sum(len(history.observations) for history in self._history.values())
+        with self._lock:
+            return sum(len(history.observations) for history in self._history.values())
+
+    def session_names(self) -> List[str]:
+        """Sessions that have recorded executions, in first-seen order."""
+        with self._lock:
+            return list(self._sessions)
 
     def operator_seconds(self) -> Dict[str, float]:
         """Total execution seconds per operator label, across recorded slices.
@@ -134,11 +184,12 @@ class RuntimeMonitor:
         time a node from entry, children included), so values of nested
         operators overlap — compare siblings, don't sum ancestors.
         """
-        return dict(self._operator_seconds)
+        with self._lock:
+            return dict(self._operator_seconds)
 
     # -- delta production -------------------------------------------------------
 
-    def produce_deltas(self, optimizer) -> List[StatisticsDelta]:
+    def produce_deltas(self, optimizer, session: Optional[str] = None) -> List[StatisticsDelta]:
         """Translate current observations into optimizer statistics deltas.
 
         ``optimizer`` is any object exposing ``observe_cardinality`` /
@@ -149,48 +200,61 @@ class RuntimeMonitor:
         Observations are scoped to the optimizer's own query: a monitor shared
         across many statements (the Database-wide monitor of the DB-API layer)
         only feeds each optimizer the aliases and expressions its query
-        actually contains.
+        actually contains.  With *session*, that session's own observations
+        are preferred over the query-wide pool, so one session's cardinality
+        feedback does not steer another session's copy of the same plan.
         """
-        deltas: List[StatisticsDelta] = []
-        query_name = optimizer.query.name
-        query_aliases = set(optimizer.query.aliases)
-        for alias in sorted(self._alias_rows):
-            if alias not in query_aliases:
-                continue
-            observed_rows = self.observed_alias_rows(alias)
-            if observed_rows is None:
-                continue
-            table = optimizer.query.relation(alias).table
-            base = (
-                optimizer.catalog.row_count(table)
-                if optimizer.catalog.has_stats(table)
-                else None
-            )
-            if base is None or base <= 0:
-                continue
-            factor = max(observed_rows / base, 1e-6)
-            if not self._worth_emitting((query_name, "alias", alias), factor):
-                continue
-            deltas.append(optimizer.update_table_cardinality(alias, factor))
-        # Prefer the query's own recorded expressions; only a monitor whose
-        # executions carried no query name falls back to the global pool.
-        scoped = sorted(
-            {expr for (name, expr) in self._scoped if name == query_name},
+        with self._lock:
+            deltas: List[StatisticsDelta] = []
+            query_name = optimizer.query.name
+            query_aliases = set(optimizer.query.aliases)
+            for alias in sorted(self._alias_rows):
+                if alias not in query_aliases:
+                    continue
+                observed_rows = self.observed_alias_rows(alias)
+                if observed_rows is None:
+                    continue
+                table = optimizer.query.relation(alias).table
+                base = (
+                    optimizer.catalog.row_count(table)
+                    if optimizer.catalog.has_stats(table)
+                    else None
+                )
+                if base is None or base <= 0:
+                    continue
+                factor = max(observed_rows / base, 1e-6)
+                if not self._worth_emitting((session, query_name, "alias", alias), factor):
+                    continue
+                deltas.append(optimizer.update_table_cardinality(alias, factor))
+            # Prefer the narrowest scope that has data: this session's own
+            # recorded expressions, then the query's, then — only for monitors
+            # whose executions carried no query name — the global pool.
+            scoped = []
+            if session is not None:
+                scoped = self._scoped_expressions((session, query_name))
+            if not scoped:
+                scoped = self._scoped_expressions((None, query_name))
+            for expression in scoped if scoped else self.expressions():
+                if len(expression) < 2:
+                    continue
+                if not expression.aliases <= query_aliases:
+                    continue
+                observed_rows = self.observed(expression, query_name, session)
+                if observed_rows is None:
+                    continue
+                if not self._worth_emitting(
+                    (session, query_name, "expr", expression), observed_rows
+                ):
+                    continue
+                if hasattr(optimizer, "observe_cardinality"):
+                    deltas.append(optimizer.observe_cardinality(expression, observed_rows))
+            return [delta for delta in deltas if not delta.is_noop]
+
+    def _scoped_expressions(self, scope: ScopeKey) -> List[Expression]:
+        return sorted(
+            {expr for (key, expr) in self._scoped if key == scope},
             key=lambda expr: (len(expr), expr.name),
         )
-        for expression in scoped if scoped else self.expressions():
-            if len(expression) < 2:
-                continue
-            if not expression.aliases <= query_aliases:
-                continue
-            observed_rows = self.observed(expression, query_name)
-            if observed_rows is None:
-                continue
-            if not self._worth_emitting((query_name, "expr", expression), observed_rows):
-                continue
-            if hasattr(optimizer, "observe_cardinality"):
-                deltas.append(optimizer.observe_cardinality(expression, observed_rows))
-        return [delta for delta in deltas if not delta.is_noop]
 
     def _worth_emitting(self, key: object, value: float) -> bool:
         """Skip observations that barely changed since the last emitted delta."""

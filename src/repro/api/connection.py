@@ -38,6 +38,9 @@ class Connection:
         self.database = database
         self.engine = engine
         self.batch_size = batch_size
+        #: tags this connection's executions in the shared runtime monitor,
+        #: so concurrent sessions' adaptive feedback stays scoped per session.
+        self.session_id = database._register_session()
         self._closed = False
 
     # -- cursors ---------------------------------------------------------
@@ -59,7 +62,11 @@ class Connection:
         self, sql: str, parameters: Optional[Sequence[object]]
     ) -> StatementResult:
         return self.database.execute(
-            sql, parameters, engine=self.engine, batch_size=self.batch_size
+            sql,
+            parameters,
+            engine=self.engine,
+            batch_size=self.batch_size,
+            session=self.session_id,
         )
 
     # -- transactions (autocommit store) ----------------------------------

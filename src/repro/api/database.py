@@ -21,11 +21,32 @@ A ``Database`` is the stateful heart of the DB-API surface
 Statements are executed by :meth:`Database.execute`; connections and cursors
 (:mod:`repro.api.connection`, :mod:`repro.api.cursor`) are thin views over
 it.
+
+Since the concurrent serving tier (:mod:`repro.server`) a Database is safe
+to share across threads:
+
+* SQL-managed tables live behind
+  :class:`~repro.storage.versioning.VersionedTable` — copy-on-write
+  versioned snapshots.  Every statement resolves one consistent snapshot of
+  every table up front (:meth:`Database._snapshot_store`), writers append
+  under a per-table write lock and publish atomically;
+* the plan cache and the runtime monitor carry their own locks, so
+  concurrent sessions warm each other's plans while
+  :meth:`refresh_cached_plans` / :meth:`stats` stay iteration-safe;
+* DDL and statistics mutations serialize on one database-wide lock;
+* executions tagged with a *session* id keep their observed cardinalities
+  scoped per session (see :class:`~repro.adaptive.monitor.RuntimeMonitor`).
+
+Tables handed to :func:`~repro.api.connect` as plain row lists keep their
+legacy in-place behaviour (appends are a single atomic ``list.extend``);
+full snapshot semantics start once a table is adopted into the physical
+store (CREATE INDEX does this, and all SQL-created tables start there).
 """
 
 from __future__ import annotations
 
 import csv
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -58,6 +79,7 @@ from repro.sql.ast import (
     SelectStatement,
 )
 from repro.storage.table import StoredTable
+from repro.storage.versioning import VersionedTable
 from repro.sql.binder import Binder, query_parameter_count, value_matches_type
 from repro.sql.parser import Parser, split_statements, statement_has_parameters
 from repro.sql.render import explain_footer, explain_header, render_plan
@@ -182,6 +204,18 @@ class Database:
         self._statement_counts: Dict[str, int] = {}
         self._executions = 0
         self._closed = False
+        #: serializes DDL, statistics mutations and store-dict changes.
+        self._ddl_lock = threading.RLock()
+        #: guards the cheap counters (statement names/numbers, session ids).
+        self._counter_lock = threading.Lock()
+        #: serializes incremental re-optimization passes over cached plans.
+        self._refresh_lock = threading.Lock()
+        #: striped single-flight locks for planning: concurrent cache misses
+        #: on the same statement wait for the first planner instead of all
+        #: running the optimizer (the thundering-herd case when N pooled
+        #: clients issue the same statement at once).
+        self._planning_stripes = tuple(threading.Lock() for _ in range(16))
+        self._session_counter = 0
         # Tables handed over as data but lacking statistics get them computed
         # up front, so EXPLAIN/optimization works without an explicit ANALYZE.
         for name in self._store:
@@ -210,9 +244,33 @@ class Database:
     def table_names(self) -> List[str]:
         return list(self._store)
 
+    def _resolve(self, stored: object) -> object:
+        """What the engines scan for one store entry: snapshots resolved."""
+        if isinstance(stored, VersionedTable):
+            return stored.snapshot()
+        return stored
+
+    def _snapshot_store(self) -> Dict[str, object]:
+        """One consistent scan view of every table, resolved up front.
+
+        Each :class:`VersionedTable` contributes its latest published
+        version via a single atomic reference read; the returned dict never
+        changes underneath the statement that took it, which is what gives a
+        whole statement one table+index version per table even while writers
+        keep publishing.
+        """
+        return {name: self._resolve(stored) for name, stored in self._store.items()}
+
+    def table_version(self, name: str) -> Optional[int]:
+        """The published version of a table, or None for legacy row stores."""
+        stored = self._store.get(name)
+        if isinstance(stored, VersionedTable):
+            return stored.version
+        return None
+
     def table_rows(self, name: str) -> List[Row]:
         """The stored rows of one table, materialized as dicts."""
-        stored = self._store.get(name)
+        stored = self._resolve(self._store.get(name))
         if stored is None:
             return []
         if isinstance(stored, ColumnTable):
@@ -220,7 +278,7 @@ class Database:
         return list(stored)
 
     def stored_row_count(self, name: str) -> int:
-        stored = self._store.get(name)
+        stored = self._resolve(self._store.get(name))
         if stored is None:
             return 0
         if isinstance(stored, ColumnTable):
@@ -229,8 +287,8 @@ class Database:
 
     @property
     def store(self) -> Mapping[str, object]:
-        """The raw store the engines scan (rows or ColumnTables, by table)."""
-        return self._store
+        """A snapshot view of the store (rows or ColumnTables, by table)."""
+        return self._snapshot_store()
 
     @property
     def has_data(self) -> bool:
@@ -245,18 +303,27 @@ class Database:
         *,
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
+        session: Optional[str] = None,
     ) -> StatementResult:
-        """Run one statement (SELECT / EXPLAIN / DDL / DML) end-to-end."""
+        """Run one statement (SELECT / EXPLAIN / DDL / DML) end-to-end.
+
+        *session* tags the execution's observed cardinalities with the
+        calling session (connection / wire client), keeping concurrent
+        sessions' adaptive feedback apart even when they share a cached plan.
+        """
         self._check_open()
         params: Tuple[object, ...] = tuple(parameters) if parameters is not None else ()
         kind, normalized = normalize_statement(sql)
         if kind in _SELECT_KINDS:
-            result = self._execute_select_kind(sql, kind, normalized, params, engine, batch_size)
+            result = self._execute_select_kind(
+                sql, kind, normalized, params, engine, batch_size, session
+            )
         else:
             result = self._execute_other(sql, params)
-        self._statement_counts[result.statement] = (
-            self._statement_counts.get(result.statement, 0) + 1
-        )
+        with self._counter_lock:
+            self._statement_counts[result.statement] = (
+                self._statement_counts.get(result.statement, 0) + 1
+            )
         return result
 
     def execute_script(
@@ -290,40 +357,61 @@ class Database:
 
     # -- adaptive feedback ------------------------------------------------
 
-    def refresh_cached_plans(self) -> int:
+    def refresh_cached_plans(self, session: Optional[str] = None) -> int:
         """Feed monitor observations to every cached plan, incrementally.
 
         Each cache entry owns the declarative optimizer that produced its
         plan; the monitor's observed cardinalities become statistics deltas
-        (scoped to the entry's own relations) and the entry's plan is
-        re-derived through ``reoptimize`` — the paper's incremental pass, not
-        a from-scratch re-optimization.  Returns how many plans changed cost.
+        (scoped to the entry's own relations — and, with *session*, to that
+        session's own observations) and the entry's plan is re-derived
+        through ``reoptimize`` — the paper's incremental pass, not a
+        from-scratch re-optimization.  Returns how many plans changed cost.
+
+        Safe to call while other threads execute statements: the cache hands
+        back a stable copy of its entries, and refresh passes serialize on
+        one lock so two concurrent refreshes cannot interleave ``reoptimize``
+        calls on the same entry's optimizer.  (Before those locks existed, a
+        concurrent ``store``/eviction made the entry iteration raise
+        ``RuntimeError: OrderedDict mutated during iteration``.)
         """
         self._check_open()
         refreshed = 0
-        for entry in self.plan_cache.cached_plans():
-            deltas = self.monitor.produce_deltas(entry.optimizer)
-            if not deltas:
-                continue
-            before = entry.optimization.cost
-            entry.optimization = entry.optimizer.reoptimize(deltas)
-            if entry.optimization.cost != before:
-                refreshed += 1
+        with self._refresh_lock:
+            for entry in self.plan_cache.cached_plans():
+                deltas = self.monitor.produce_deltas(entry.optimizer, session=session)
+                if not deltas:
+                    continue
+                before = entry.optimization.cost
+                entry.optimization = entry.optimizer.reoptimize(deltas)
+                if entry.optimization.cost != before:
+                    refreshed += 1
         return refreshed
 
     # -- introspection ----------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Counters for tables, the plan cache, statements and the monitor."""
+        """Counters for tables, the plan cache, statements and the monitor.
+
+        Safe under concurrent execution: every sub-source is read through
+        its own lock or as an atomic snapshot (the store's table list is
+        copied under the DDL lock; statement counters under theirs), so this
+        never iterates a dict another thread is resizing.
+        """
+        with self._ddl_lock:
+            table_names = sorted(self._store)
+        with self._counter_lock:
+            statements = dict(self._statement_counts)
+            executions = self._executions
         return {
-            "tables": {name: self.stored_row_count(name) for name in sorted(self._store)},
+            "tables": {name: self.stored_row_count(name) for name in table_names},
             "catalog_version": self.catalog.version,
             "plan_cache": self.plan_cache.stats(),
-            "statements": dict(self._statement_counts),
-            "executions": self._executions,
+            "statements": statements,
+            "executions": executions,
             "monitor": {
                 "expressions": len(self.monitor.expressions()),
                 "observations": self.monitor.observation_count(),
+                "sessions": len(self.monitor.session_names()),
             },
         }
 
@@ -334,10 +422,33 @@ class Database:
     def _cached_plan(
         self, sql: str, normalized: str, params: Tuple[object, ...]
     ) -> Tuple[CachedPlan, bool]:
-        """The cached (or freshly planned) entry for one statement + hit flag."""
+        """The cached (or freshly planned) entry for one statement + hit flag.
+
+        Planning is single-flight per statement: a miss takes the key's
+        stripe lock and re-checks the cache before optimizing, so when many
+        pooled connections miss on the same statement at once exactly one
+        runs the optimizer and the rest pick up its stored entry.
+        """
         key = (normalized, parameter_signature(params))
-        entry = self.plan_cache.lookup(key, self.catalog.version)
+        # The fast-path lookup does not count misses: an execution counts as
+        # exactly one hit or one miss, decided under the stripe lock (a
+        # thread that misses here but finds the single-flight winner's entry
+        # below is a hit, not a miss-then-hit).
+        entry = self.plan_cache.lookup(
+            key, self.catalog.version, self.catalog.table_version, count_miss=False
+        )
         if entry is not None:
+            return entry, True
+        with self._planning_stripes[hash(key) % len(self._planning_stripes)]:
+            return self._plan_statement(sql, key)
+
+    def _plan_statement(self, sql: str, key) -> Tuple[CachedPlan, bool]:
+        """Plan + cache one statement (caller holds the key's stripe lock)."""
+        entry = self.plan_cache.lookup(
+            key, self.catalog.version, self.catalog.table_version
+        )
+        if entry is not None:
+            # Another thread planned this statement while we waited.
             return entry, True
         statement = Parser(sql).parse_statement()
         if isinstance(statement, ExplainStatement):
@@ -358,6 +469,12 @@ class Database:
             optimizer=optimizer,
             parameter_count=query_parameter_count(query),
             catalog_version=self.catalog.version,
+            # Statistics-version stamps for exactly the referenced tables:
+            # appends/ANALYZE elsewhere leave this entry live.
+            table_versions=tuple(
+                (name, self.catalog.table_version(name))
+                for name in sorted({ref.table for ref in query.relations})
+            ),
         )
         self.plan_cache.store(key, entry)
         return entry, False
@@ -370,6 +487,7 @@ class Database:
         params: Tuple[object, ...],
         engine: Optional[str],
         batch_size: Optional[int],
+        session: Optional[str] = None,
     ) -> StatementResult:
         entry, cached = self._cached_plan(sql, normalized, params)
         self._check_arity(entry.parameter_count, params)
@@ -388,8 +506,9 @@ class Database:
                 from_cache=cached,
             )
         execution = self._run_plan(query, optimization.plan, params, engine, batch_size)
-        self.monitor.record_execution(execution)
-        self._executions += 1
+        self.monitor.record_execution(execution, session=session)
+        with self._counter_lock:
+            self._executions += 1
         if kind == "explain analyze":
             text = (
                 explain_header(query, optimization)
@@ -429,9 +548,13 @@ class Database:
     ) -> ExecutionResult:
         engine = engine if engine is not None else self.engine
         batch_size = batch_size if batch_size is not None else self.batch_size
+        # One consistent snapshot of every table for the whole statement:
+        # concurrent writers keep publishing new versions, this statement
+        # never sees them mid-flight.
+        store = self._snapshot_store()
         try:
             executor = make_executor(
-                engine, query, self._store, batch_size=batch_size, parameters=params or None
+                engine, query, store, batch_size=batch_size, parameters=params or None
             )
         except ExecutionError as error:  # e.g. an invalid batch_size
             raise SqlError(str(error)) from error
@@ -478,12 +601,54 @@ class Database:
                 )
 
     def _next_name(self) -> str:
-        self._statement_counter += 1
-        return f"sql-{self._statement_counter}"
+        with self._counter_lock:
+            self._statement_counter += 1
+            return f"sql-{self._statement_counter}"
+
+    def _register_session(self) -> str:
+        """A fresh session id for one connection (local or wire)."""
+        with self._counter_lock:
+            self._session_counter += 1
+            return f"session-{self._session_counter}"
 
     def _check_open(self) -> None:
         if self._closed:
             raise SqlError("database is closed")
+
+    # -- bind/optimize helpers (no execution) ---------------------------------
+
+    def bind_select(self, sql: str, name: Optional[str] = None) -> Query:
+        """Parse and bind one SELECT into a :class:`Query`, without planning.
+
+        *name* names the bound query (defaulting to the database's statement
+        counter); the plan cache is bypassed entirely.
+        """
+        self._check_open()
+        statement = Parser(sql).parse_statement()
+        if isinstance(statement, ExplainStatement):
+            statement = statement.select
+        if not isinstance(statement, SelectStatement):
+            raise SqlError("only SELECT (or EXPLAIN) statements can be bound")
+        return Binder(self.catalog, source=sql).bind(statement, name or self._next_name())
+
+    def optimize_select(
+        self, sql: str, name: Optional[str] = None
+    ) -> Tuple[Query, DeclarativeOptimizer, OptimizationResult]:
+        """Bind and optimize one SELECT, returning its live optimizer.
+
+        Unlike :meth:`prepare` this always plans fresh and hands back the
+        optimizer itself, so callers (the legacy :class:`~repro.sql.session.
+        Session`, notebooks) can drive ``reoptimize`` directly.
+        """
+        query = self.bind_select(sql, name)
+        optimizer = DeclarativeOptimizer(
+            query,
+            self.catalog,
+            pruning=self.pruning,
+            cost_parameters=self.cost_parameters,
+            enumeration=self.enumeration,
+        )
+        return query, optimizer, optimizer.optimize()
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -515,25 +680,30 @@ class Database:
 
     def _execute_create(self, binder: Binder, statement: CreateTableStatement) -> StatementResult:
         bound = binder.bind_create_table(statement)
-        self.catalog.create_table(bound.table, bound.indexes)
-        stored = StoredTable.with_columns(bound.table.column_names)
-        for index in bound.indexes:
-            stored.create_index(index)
-        self._store[bound.table.name] = stored
+        with self._ddl_lock:
+            self.catalog.create_table(bound.table, bound.indexes)
+            stored = StoredTable.with_columns(bound.table.column_names)
+            for index in bound.indexes:
+                stored.create_index(index)
+            self._store[bound.table.name] = VersionedTable(stored)
         return StatementResult("create table")
 
-    def _physical_table(self, name: str) -> Optional[StoredTable]:
-        """The index-bearing store behind *name*, converting row lists.
+    def _versioned_table(self, name: str) -> Optional[VersionedTable]:
+        """The versioned, index-bearing store behind *name*, adopting legacy data.
 
-        Tables handed to :func:`repro.api.connect` as row dicts are adopted
-        into a :class:`StoredTable` (with every catalog index on the table
-        built physically) the first time an index has to exist for real.
-        Returns None for tables with no stored data at all (analytic
-        catalogs), whose indexes stay metadata-only.
+        Tables handed to :func:`repro.api.connect` as row dicts or bare
+        ColumnTables are adopted into a :class:`VersionedTable` over a
+        :class:`StoredTable` (with every catalog index on the table built
+        physically) the first time an index has to exist for real.  Returns
+        None for tables with no stored data at all (analytic catalogs), whose
+        indexes stay metadata-only.  Callers must hold the DDL lock.
         """
         stored = self._store.get(name)
-        if stored is None or isinstance(stored, StoredTable):
+        if stored is None or isinstance(stored, VersionedTable):
             return stored
+        if isinstance(stored, StoredTable):
+            versioned = self._store[name] = VersionedTable(stored)
+            return versioned
         if isinstance(stored, ColumnTable):
             adopted = StoredTable.from_column_table(stored)
         else:
@@ -543,38 +713,43 @@ class Database:
             )
         for index in self.catalog.indexes_on(name):
             adopted.create_index(index)
-        self._store[name] = adopted
-        return adopted
+        versioned = self._store[name] = VersionedTable(adopted)
+        return versioned
 
     def _execute_create_index(
         self, binder: Binder, statement: CreateIndexStatement
     ) -> StatementResult:
         index = binder.bind_create_index(statement)
-        # Adopt the store first so only pre-existing catalog indexes are
-        # built during conversion; then register + build the new one.
-        stored = self._physical_table(index.table)
-        if stored is not None and index.unique:
-            # Validate before the catalog mutates: a failed unique build must
-            # leave neither metadata nor a half-registered physical index.
-            try:
-                stored.create_index(index)
-            except SchemaError as error:
-                raise SqlError(str(error)) from error
+        with self._ddl_lock:
+            # Adopt the store first so only pre-existing catalog indexes are
+            # built during conversion; then register + build the new one.
+            versioned = self._versioned_table(index.table)
+            if versioned is not None and index.unique:
+                # Validate before the catalog mutates: a failed unique build
+                # must leave neither metadata nor a published physical index
+                # (the copy-on-write draft is discarded on failure).
+                try:
+                    versioned.create_index(index)
+                except SchemaError as error:
+                    raise SqlError(str(error)) from error
+                self.catalog.create_index(index)
+                return StatementResult("create index")
             self.catalog.create_index(index)
-            return StatementResult("create index")
-        self.catalog.create_index(index)
-        if stored is not None:
-            stored.create_index(index)
+            if versioned is not None:
+                versioned.create_index(index)
         return StatementResult("create index")
 
     def _execute_drop_index(
         self, binder: Binder, statement: DropIndexStatement
     ) -> StatementResult:
         index = binder.bind_drop_index(statement)
-        self.catalog.drop_index(index.name)
-        stored = self._store.get(index.table)
-        if isinstance(stored, StoredTable):
-            stored.drop_index(index.name)
+        with self._ddl_lock:
+            self.catalog.drop_index(index.name)
+            stored = self._store.get(index.table)
+            if isinstance(stored, VersionedTable):
+                stored.drop_index(index.name)
+            elif isinstance(stored, StoredTable):
+                stored.drop_index(index.name)
         return StatementResult("drop index")
 
     def _execute_insert(
@@ -599,7 +774,8 @@ class Database:
                 values[name] = value
             rows.append({name: values.get(name) for name in bound.table.column_names})
         added = self._append_rows(bound.table.name, rows)
-        self.catalog.bump_row_count(bound.table.name, added)
+        with self._ddl_lock:
+            self.catalog.bump_row_count(bound.table.name, added)
         return StatementResult("insert", rowcount=added)
 
     def _execute_copy(self, binder: Binder, statement: CopyStatement) -> StatementResult:
@@ -653,7 +829,8 @@ class Database:
         # Bulk loads refresh the table's statistics (row count + histograms)
         # from the full stored contents; the catalog version bump invalidates
         # any plan cached against the pre-load statistics.
-        self.catalog.analyze_table(table.name, self.table_rows(table.name))
+        with self._ddl_lock:
+            self.catalog.analyze_table(table.name, self.table_rows(table.name))
         return StatementResult("copy", rowcount=added)
 
     def _execute_analyze(self, binder: Binder, statement: AnalyzeStatement) -> StatementResult:
@@ -669,18 +846,27 @@ class Database:
             targets = [
                 name for name in self._store if self.catalog.schema.has_table(name)
             ]
-        for name in targets:
-            self.catalog.analyze_table(name, self.table_rows(name))
+        with self._ddl_lock:
+            for name in targets:
+                self.catalog.analyze_table(name, self.table_rows(name))
         return StatementResult("analyze", rowcount=len(targets))
 
     def _append_rows(self, name: str, rows: List[Row]) -> int:
-        stored = self._store.get(name)
-        if stored is None:
-            table = self.catalog.schema.table(name)
-            created = StoredTable.with_columns(table.column_names)
-            for index in self.catalog.indexes_on(name):
-                created.create_index(index)
-            stored = self._store[name] = created
+        with self._ddl_lock:
+            stored = self._store.get(name)
+            if stored is None:
+                table = self.catalog.schema.table(name)
+                created = StoredTable.with_columns(table.column_names)
+                for index in self.catalog.indexes_on(name):
+                    created.create_index(index)
+                stored = self._store[name] = VersionedTable(created)
+        if isinstance(stored, VersionedTable):
+            try:
+                # Copy-on-write append under the table's own write lock;
+                # readers keep scanning the previous published version.
+                return stored.append_rows(rows)
+            except SchemaError as error:  # unique-index violation
+                raise SqlError(str(error)) from error
         if isinstance(stored, ColumnTable):
             try:
                 return stored.append_rows(rows)

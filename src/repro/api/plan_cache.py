@@ -16,19 +16,37 @@ Keys are ``(normalized SQL, parameter signature)``:
   parameters, so the same text re-prepared with different value types plans
   independently.
 
-Entries are stamped with the catalog version they were planned against;
-any DDL or statistics change bumps that version and stale entries are
-dropped (and counted as invalidations) on their next lookup.  Eviction is
+Entries are stamped with the **schema** (catalog) version they were planned
+against plus the per-table **statistics versions** of exactly the tables the
+query references.  Any DDL bumps the schema version and invalidates every
+entry on its next lookup; a statistics-only change (an append bumping a row
+count, an ``ANALYZE``) bumps just that table's version and invalidates only
+the entries referencing it.  The table-scoped half is what makes the cache
+shareable under concurrent serving: one client streaming INSERTs into its
+own table no longer flushes every other client's cached plans.  Stale
+entries are dropped (and counted as invalidations) on lookup.  Eviction is
 LRU.  Each entry keeps its (incrementally re-optimizable) optimizer alive,
 so observed-cardinality feedback can refresh a cached plan *in place* —
 the paper's incremental re-optimization applied to a plan cache.
+
+Since the serving tier (:mod:`repro.server`) the cache is **shared across
+connections and worker threads**: every method takes an internal lock.
+Before that lock existed, a ``stats()`` or ``refresh_cached_plans()`` call
+racing a concurrent ``store``/eviction could blow up with ``RuntimeError:
+OrderedDict mutated during iteration`` — the race
+``tests/server/test_concurrent_database.py`` documents.  The lock covers the
+bookkeeping only; planning itself happens outside it.  On top of it the
+Database runs planning **single-flight** (striped per-key locks in
+``Database._cached_plan``): N pooled connections missing on the same
+statement at once produce one optimizer run, not N discarded duplicates.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
 from repro.relational.query import Query
@@ -67,62 +85,102 @@ class CachedPlan:
     optimizer: DeclarativeOptimizer
     parameter_count: int
     catalog_version: int
+    #: ``(table, statistics version)`` for each table the plan references.
+    table_versions: Tuple[Tuple[str, int], ...] = ()
 
 
 class PlanCache:
-    """A size-bounded LRU of :class:`CachedPlan` entries."""
+    """A size-bounded, lock-protected LRU of :class:`CachedPlan` entries.
+
+    Safe to share across connections and executor-pool worker threads; see
+    the module docstring for what the lock does and does not cover.
+    """
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
         if capacity < 0:
             raise ValueError("plan cache capacity must be >= 0 (0 disables caching)")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
-    def lookup(self, key: CacheKey, catalog_version: int) -> Optional[CachedPlan]:
-        """The live entry for *key*, or None (counting hit/miss/invalidation)."""
-        entry = self._entries.get(key)
-        if entry is not None and entry.catalog_version != catalog_version:
-            del self._entries[key]
-            self.invalidations += 1
-            entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+    def lookup(
+        self,
+        key: CacheKey,
+        catalog_version: int,
+        table_version_of: Optional[Callable[[str], int]] = None,
+        count_miss: bool = True,
+    ) -> Optional[CachedPlan]:
+        """The live entry for *key*, or None (counting hit/miss/invalidation).
+
+        ``table_version_of`` resolves a table's current statistics version
+        (normally :meth:`~repro.catalog.catalog.Catalog.table_version`); an
+        entry is stale if the schema version moved *or* any table it
+        references has newer statistics than it was planned against.
+
+        ``count_miss=False`` is for the single-flight fast path: a miss there
+        is provisional (the thread may still pick up the winner's entry as a
+        hit under the stripe lock), so only the authoritative under-lock
+        lookup records misses — each execution counts exactly once.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and (
+                entry.catalog_version != catalog_version
+                or (
+                    table_version_of is not None
+                    and any(
+                        table_version_of(table) != stamped
+                        for table, stamped in entry.table_versions
+                    )
+                )
+            ):
+                del self._entries[key]
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: CacheKey, entry: CachedPlan) -> None:
-        if self.capacity == 0:
-            return
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.capacity == 0:
+                return
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def cached_plans(self) -> List[CachedPlan]:
-        """Current entries, least recently used first."""
-        return list(self._entries.values())
+        """A stable copy of current entries, least recently used first."""
+        with self._lock:
+            return list(self._entries.values())
 
     def clear(self) -> None:
         """Drop every entry (counted as invalidations)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -17,15 +17,33 @@ from repro.relational.schema import Index, Schema, Table
 class Catalog:
     """Schema + statistics + index metadata for one database instance.
 
-    ``version`` increments on every schema or statistics mutation; plan
-    caches key their entries on it so a DDL or statistics change invalidates
-    every plan built against the older catalog state.
+    Two invalidation granularities feed the plan cache:
+
+    * ``version`` increments on every **schema** mutation (DDL — create
+      table, create/drop index).  Schema shape can change how *any* statement
+      binds or which access paths exist, so a DDL bump invalidates every
+      cached plan.
+    * per-table **statistics versions** (:meth:`table_version`) increment on
+      statistics-only changes — appends adjusting a row count, ``ANALYZE``
+      rebuilding histograms.  Cached plans are stamped with the versions of
+      just the tables they reference, so a busy writer appending to one table
+      does not flush every other statement's cached plan.  Under the serving
+      tier that distinction is load-bearing: without it, any client's INSERT
+      would invalidate the whole shared cross-connection plan cache.
     """
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._stats: Dict[str, TableStats] = {}
         self.version = 0
+        self._table_versions: Dict[str, int] = {}
+
+    def table_version(self, table: str) -> int:
+        """The statistics version of one table (0 until first mutation)."""
+        return self._table_versions.get(table, 0)
+
+    def _bump_table(self, table: str) -> None:
+        self._table_versions[table] = self._table_versions.get(table, 0) + 1
 
     # -- schema mutation (DDL) --------------------------------------------
 
@@ -66,16 +84,20 @@ class Catalog:
             rows, columns=schema_table.column_names, bucket_count=bucket_count
         )
         self._stats[table] = stats
-        self.version += 1
+        self._bump_table(table)
         return stats
 
     def bump_row_count(self, table: str, added_rows: float) -> float:
-        """Incrementally adjust a table's cardinality after appends."""
+        """Incrementally adjust a table's cardinality after appends.
+
+        Statistics-only: bumps the table's own version, not the global one,
+        so only cached plans referencing *table* invalidate.
+        """
         if table not in self._stats:
             self._stats[table] = TableStats(row_count=0.0)
         stats = self._stats[table]
         stats.row_count = max(0.0, stats.row_count + float(added_rows))
-        self.version += 1
+        self._bump_table(table)
         return stats.row_count
 
     # -- statistics ------------------------------------------------------
@@ -84,7 +106,7 @@ class Catalog:
         if not self.schema.has_table(table):
             raise CatalogError(f"cannot attach statistics to unknown table {table!r}")
         self._stats[table] = stats
-        self.version += 1
+        self._bump_table(table)
 
     def table_stats(self, table: str) -> TableStats:
         try:
@@ -105,7 +127,7 @@ class Catalog:
         """Overwrite a table's cardinality (used by adaptive feedback)."""
         stats = self.table_stats(table)
         stats.row_count = float(row_count)
-        self.version += 1
+        self._bump_table(table)
 
     # -- physical metadata ------------------------------------------------
 

@@ -1,0 +1,22 @@
+"""The wire client: ``repro.client.connect(host, port)``.
+
+The remote surface mirrors the in-process DB-API one —
+:class:`RemoteConnection` hands out the *same*
+:class:`~repro.api.cursor.Cursor` class the local API uses, so
+
+::
+
+    conn = repro.client.connect("127.0.0.1", 7531)
+    cur = conn.cursor()
+    for a, b in cur.execute("SELECT a, b FROM t WHERE b > $1", (0.9,)):
+        ...
+
+works identically against a server or an in-process database.  Server-side
+errors arrive as ``error`` frames and are re-raised as the original
+:class:`~repro.common.errors.SqlError` subclasses, caret-positioned message
+included.
+"""
+
+from repro.client.remote import RemoteConnection, RemotePreparedStatement, RemoteResult, connect
+
+__all__ = ["connect", "RemoteConnection", "RemotePreparedStatement", "RemoteResult"]

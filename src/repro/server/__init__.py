@@ -1,0 +1,40 @@
+"""The concurrent serving subsystem.
+
+Everything that turns the in-process :class:`~repro.api.database.Database`
+into a shared, multi-client service:
+
+* :mod:`repro.server.pool` — :class:`ConnectionPool` (bounded connections
+  over one database) and :class:`StatementExecutorPool` (worker threads
+  leasing pooled connections per statement);
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire protocol
+  (query / prepare / execute / fetch / error frames);
+* :mod:`repro.server.server` — :class:`ReproServer`, the asyncio TCP
+  server behind the ``repro-serve`` entry point, plus
+  :func:`start_server_thread` for embedding.
+
+The concurrency model underneath lives in
+:mod:`repro.storage.versioning` (copy-on-write versioned table snapshots)
+and the locks inside the plan cache, runtime monitor and Database.  The
+remote client is :func:`repro.client.connect`.
+"""
+
+from repro.server.pool import ConnectionPool, StatementExecutorPool
+from repro.server.protocol import ProtocolError
+from repro.server.server import (
+    DEFAULT_PORT,
+    ReproServer,
+    ServerHandle,
+    main,
+    start_server_thread,
+)
+
+__all__ = [
+    "ConnectionPool",
+    "StatementExecutorPool",
+    "ProtocolError",
+    "ReproServer",
+    "ServerHandle",
+    "DEFAULT_PORT",
+    "main",
+    "start_server_thread",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.server`` — same as the ``repro-serve`` entry point."""
+
+import sys
+
+from repro.server.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Connection and executor pools for serving one shared Database.
+
+Two layers:
+
+* :class:`ConnectionPool` — a bounded pool of
+  :class:`~repro.api.connection.Connection`\\ s over one
+  :class:`~repro.api.database.Database`.  A connection is cheap (a view plus
+  a session id), but bounding the pool bounds how many statements run at
+  once, and reusing connections keeps their per-session adaptive-feedback
+  scopes warm;
+* :class:`StatementExecutorPool` — worker threads that lease a pooled
+  connection per statement and run it.  The asyncio wire server submits
+  every statement here so the event loop never blocks on execution; tests
+  and benchmarks use it directly as a thread-pool client.
+
+Statements run with the *caller's* session id when one is given (the wire
+server passes its client session), falling back to the leased connection's
+own id, so observed-cardinality feedback stays scoped per logical session
+regardless of which pooled connection happened to run the statement.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.api.connection import Connection
+from repro.api.database import Database, StatementResult
+from repro.common.errors import SqlError
+
+__all__ = ["ConnectionPool", "StatementExecutorPool", "DEFAULT_POOL_SIZE"]
+
+DEFAULT_POOL_SIZE = 8
+
+
+class ConnectionPool:
+    """A fixed-size pool of connections over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        size: int = DEFAULT_POOL_SIZE,
+        *,
+        engine: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("connection pool size must be >= 1")
+        self.database = database
+        self.size = size
+        self._idle: "queue.LifoQueue[Connection]" = queue.LifoQueue()
+        for _ in range(size):
+            self._idle.put(database.connect(engine=engine, batch_size=batch_size))
+        self._lock = threading.Lock()
+        self._leases = 0
+        self._closed = False
+
+    @contextmanager
+    def lease(self, timeout: Optional[float] = None) -> Iterator[Connection]:
+        """Borrow a connection; blocks while the pool is exhausted."""
+        yield_target = self.acquire(timeout)
+        try:
+            yield yield_target
+        finally:
+            self.release(yield_target)
+
+    def acquire(self, timeout: Optional[float] = None) -> Connection:
+        if self._closed:
+            raise SqlError("connection pool is closed")
+        try:
+            connection = self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise SqlError(
+                f"no pooled connection became free within {timeout}s "
+                f"(pool size {self.size})"
+            ) from None
+        with self._lock:
+            self._leases += 1
+        return connection
+
+    def release(self, connection: Connection) -> None:
+        self._idle.put(connection)
+
+    @property
+    def leases(self) -> int:
+        """How many times a connection has been handed out."""
+        with self._lock:
+            return self._leases
+
+    @property
+    def idle(self) -> int:
+        return self._idle.qsize()
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                return
+
+
+class StatementExecutorPool:
+    """Worker threads running statements over pooled connections."""
+
+    def __init__(
+        self,
+        database: Database,
+        workers: int = 4,
+        *,
+        pool_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("executor pool needs at least one worker")
+        self.database = database
+        self.workers = workers
+        self.connections = ConnectionPool(
+            database,
+            pool_size if pool_size is not None else workers,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        self._threads = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-exec"
+        )
+
+    def submit(
+        self,
+        sql: str,
+        parameters: Optional[Sequence[object]] = None,
+        *,
+        session: Optional[str] = None,
+    ) -> "Future[StatementResult]":
+        """Queue one statement for execution on a worker thread."""
+        return self._threads.submit(self._run, sql, parameters, session)
+
+    def run(
+        self,
+        sql: str,
+        parameters: Optional[Sequence[object]] = None,
+        *,
+        session: Optional[str] = None,
+    ) -> StatementResult:
+        """Execute one statement synchronously on the calling thread."""
+        return self._run(sql, parameters, session)
+
+    def _run(
+        self,
+        sql: str,
+        parameters: Optional[Sequence[object]],
+        session: Optional[str],
+    ) -> StatementResult:
+        with self.connections.lease() as connection:
+            return self.database.execute(
+                sql,
+                parameters,
+                engine=connection.engine,
+                batch_size=connection.batch_size,
+                session=session if session is not None else connection.session_id,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=wait)
+        self.connections.close()

@@ -25,6 +25,10 @@ Examples::
     # .tables lists stored tables, .schema [TABLE] prints column types,
     # .stats shows plan-cache counters
     repro-sql --data-scale 0.0005
+
+    # remote REPL against a running repro-serve instance (see repro.server);
+    # statements execute server-side, .tables/.stats go over the wire
+    repro-sql --connect 127.0.0.1:7531 -c "SELECT COUNT(*) FROM t"
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from typing import List, Optional, Sequence, Union
 
 import repro.api as api
 from repro.api.connection import Connection
+from repro.client.remote import RemoteConnection
 from repro.common.errors import ReproError, SqlError
 from repro.engine import DEFAULT_BATCH_SIZE, DEFAULT_ENGINE, ENGINE_NAMES
 from repro.sql.errors import describe
@@ -106,14 +111,19 @@ def _print_result(result, out) -> None:
 
 
 def run_statement(
-    target: Union[Connection, Session],
+    target: Union[Connection, RemoteConnection, Session],
     sql: str,
     out=None,
     parameters: Optional[Sequence[Parameter]] = None,
 ) -> Union[SqlResult, "api.StatementResult"]:
-    """Execute one statement on a Connection (or legacy Session) and print it."""
+    """Execute one statement and print it.
+
+    Local :class:`Connection` and wire :class:`RemoteConnection` share the
+    ``_execute`` surface; the deprecated :class:`Session` falls back to its
+    own ``execute``.
+    """
     out = out if out is not None else sys.stdout
-    if isinstance(target, Connection):
+    if hasattr(target, "_execute"):
         result = target._execute(sql, parameters)
     else:
         result = target.execute(sql)
@@ -122,7 +132,7 @@ def run_statement(
 
 
 def run_script(
-    connection: Connection,
+    connection: Union[Connection, RemoteConnection],
     script: str,
     out=None,
     parameters: Optional[Sequence[Parameter]] = None,
@@ -140,10 +150,12 @@ def run_script(
     return executed
 
 
-def _meta_command(connection: Connection, line: str) -> bool:
+def _meta_command(connection, line: str) -> bool:
     """Handle a ``.command``; returns False for unknown commands."""
     parts = line.split(maxsplit=1)
     command = parts[0]
+    if isinstance(connection, RemoteConnection) and command != ".load":
+        return _remote_meta_command(connection, command, parts)
     if command == ".load":
         if len(parts) < 2:
             print("usage: .load <script.sql>", file=sys.stderr)
@@ -199,6 +211,22 @@ def _meta_command(connection: Connection, line: str) -> bool:
         return True
     if command == ".stats":
         print(json.dumps(connection.database.stats(), indent=2, default=str))
+        return True
+    return False
+
+
+def _remote_meta_command(connection: RemoteConnection, command: str, parts: List[str]) -> bool:
+    """Meta commands against a wire connection: server frames, not a catalog."""
+    if command == ".tables":
+        tables = connection.stats().get("tables", {})
+        for name in sorted(tables):
+            print(f"{name}\t{tables[name]} rows")
+        return True
+    if command == ".stats":
+        print(json.dumps(connection.stats(), indent=2, default=str))
+        return True
+    if command in (".schema", ".indexes"):
+        print(f"{command} is not supported over --connect", file=sys.stderr)
         return True
     return False
 
@@ -260,6 +288,13 @@ def main(argv: Optional[list] = None) -> int:
         help="start with an empty database (create tables and load data via SQL)",
     )
     parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="execute against a running repro-serve instance instead of an "
+        "in-process database",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
         default=0.01,
@@ -304,14 +339,27 @@ def main(argv: Optional[list] = None) -> int:
         print("error: choose one of -c/--command or --file", file=sys.stderr)
         return 2
 
-    connection = build_connection(
-        args.scale,
-        args.data_scale,
-        args.seed,
-        engine=args.engine,
-        batch_size=args.batch_size,
-        empty=args.empty,
-    )
+    if args.connect is not None:
+        from repro.client import connect as client_connect
+
+        host, separator, port_text = args.connect.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            print(f"error: --connect expects HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+        try:
+            connection = client_connect(host, int(port_text))
+        except OSError as error:
+            print(f"error: cannot connect to {args.connect}: {error}", file=sys.stderr)
+            return 1
+    else:
+        connection = build_connection(
+            args.scale,
+            args.data_scale,
+            args.seed,
+            engine=args.engine,
+            batch_size=args.batch_size,
+            empty=args.empty,
+        )
     parameters = [parse_parameter(text) for text in args.param] if args.param else None
 
     script: Optional[str] = args.command

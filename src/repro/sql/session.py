@@ -31,13 +31,12 @@ from repro.common.errors import SqlError
 from repro.cost.cost_model import CostParameters
 from repro.engine import DEFAULT_ENGINE
 from repro.engine.executor import ExecutionResult
-from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
+from repro.optimizer.declarative import OptimizationResult
 from repro.optimizer.search_space import EnumerationOptions
 from repro.optimizer.tables import PruningConfig
 from repro.relational.plan import PhysicalPlan
 from repro.relational.query import Query
 from repro.sql.ast import ExplainStatement, SelectStatement
-from repro.sql.binder import Binder
 from repro.sql.parser import Parser, normalize_statement
 from repro.sql.render import render_plan
 
@@ -112,13 +111,34 @@ class Session:
             cost_parameters=cost_parameters,
             enumeration=enumeration,
         )
-        self.catalog = catalog
         self.data = data
-        self.pruning = pruning
-        self.cost_parameters = cost_parameters
-        self.enumeration = enumeration
-        self.engine = engine
-        self.batch_size = batch_size
+
+    # Every knob a Session used to copy aside is read back off the Database,
+    # so there is exactly one source of truth (and one engine-selection path).
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.database.catalog
+
+    @property
+    def engine(self) -> str:
+        return self.database.engine
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        return self.database.batch_size
+
+    @property
+    def pruning(self) -> Optional[PruningConfig]:
+        return self.database.pruning
+
+    @property
+    def cost_parameters(self) -> Optional[CostParameters]:
+        return self.database.cost_parameters
+
+    @property
+    def enumeration(self) -> Optional[EnumerationOptions]:
+        return self.database.enumeration
 
     # -- lowering stages (each usable on its own) ------------------------
 
@@ -127,25 +147,12 @@ class Session:
 
     def query(self, sql: str, name: Optional[str] = None) -> Query:
         """Parse and bind *sql* into the optimizer's Query IR."""
-        statement = self.parse(sql)
-        if isinstance(statement, ExplainStatement):
-            statement = statement.select
-        if not isinstance(statement, SelectStatement):
-            raise SqlError("only SELECT statements lower to a Query")
-        return Binder(self.catalog, source=sql).bind(
-            statement, name or self.database._next_name()
-        )
+        return self.database.bind_select(sql, name)
 
     def optimize(self, sql: str, name: Optional[str] = None) -> OptimizationResult:
         """Parse, bind and optimize *sql*, returning the optimizer result."""
-        optimizer = DeclarativeOptimizer(
-            self.query(sql, name),
-            self.catalog,
-            pruning=self.pruning,
-            cost_parameters=self.cost_parameters,
-            enumeration=self.enumeration,
-        )
-        return optimizer.optimize()
+        _, _, optimization = self.database.optimize_select(sql, name)
+        return optimization
 
     # -- the one-stop entry point ----------------------------------------
 

@@ -11,7 +11,11 @@ alternatives in real data structures:
   indexes are maintained under ``INSERT`` and ``COPY``;
 * :mod:`repro.storage.access` — the sargable access-path resolution both
   execution engines share when a plan asks for an index scan or an index
-  nested-loop probe.
+  nested-loop probe;
+* :mod:`repro.storage.versioning` — :class:`VersionedTable`, the
+  copy-on-write snapshot container the concurrent serving tier wraps every
+  SQL-managed table in (readers get immutable versions, writers publish
+  atomically under a per-table lock).
 """
 
 from repro.storage.access import (
@@ -38,11 +42,16 @@ from repro.storage.indexes import (
 def __getattr__(name: str):
     # StoredTable subclasses the vectorized engine's ColumnTable while the
     # engines import repro.storage.access; loading it lazily keeps this
-    # package importable from either direction of that dependency.
+    # package importable from either direction of that dependency (the
+    # versioning module sits on top of StoredTable, so it is lazy too).
     if name == "StoredTable":
         from repro.storage.table import StoredTable
 
         return StoredTable
+    if name in ("VersionedTable", "TableVersion"):
+        from repro.storage import versioning
+
+        return getattr(versioning, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -53,6 +62,8 @@ __all__ = [
     "OrderedIndex",
     "PhysicalIndex",
     "StoredTable",
+    "TableVersion",
+    "VersionedTable",
     "build_index",
     "index_nl_setup",
     "is_physical_store",

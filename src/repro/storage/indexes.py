@@ -63,6 +63,14 @@ class HashIndex:
                 else:
                     bucket.append(start_row_id + offset)
 
+    def clone(self) -> "HashIndex":
+        """An independent copy (bucket lists included) for copy-on-write
+        publication: appends to the clone never reach this index."""
+        copied = HashIndex(self.meta)
+        copied._buckets = {value: list(bucket) for value, bucket in self._buckets.items()}
+        copied._null_row_ids = list(self._null_row_ids)
+        return copied
+
     # -- lookups ---------------------------------------------------------
 
     def lookup(self, value: object) -> List[int]:
@@ -115,6 +123,19 @@ class OrderedIndex:
             else:
                 self._keys.append(value)
                 self._row_ids.append(start_row_id + offset)
+
+    def clone(self) -> "OrderedIndex":
+        """An independent copy for copy-on-write publication.
+
+        The clone shares nothing mutable with the original; the sorted-prefix
+        watermark carries over so a clone of a sorted index stays sorted.
+        """
+        copied = OrderedIndex(self.meta)
+        copied._keys = list(self._keys)
+        copied._row_ids = list(self._row_ids)
+        copied._null_row_ids = list(self._null_row_ids)
+        copied._sorted_until = self._sorted_until
+        return copied
 
     def _ensure_sorted(self) -> None:
         if self._sorted_until == len(self._keys):

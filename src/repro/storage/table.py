@@ -40,6 +40,22 @@ class StoredTable(ColumnTable):
         """Adopt an existing columnar table's arrays (no copying)."""
         return cls(table.columns, table.row_count)
 
+    def copy_for_write(self) -> "StoredTable":
+        """An independent, mutable copy: column lists and indexes cloned.
+
+        This is the write side of copy-on-write versioning
+        (:class:`repro.storage.versioning.VersionedTable`): a writer mutates
+        the copy and publishes it as a new version, so every reader holding
+        the original keeps a table whose arrays and indexes never change
+        underneath it.
+        """
+        copied = StoredTable(
+            {name: list(values) for name, values in self.columns.items()},
+            self.row_count,
+        )
+        copied.indexes = {name: index.clone() for name, index in self.indexes.items()}
+        return copied
+
     # -- index maintenance ------------------------------------------------
 
     def create_index(self, meta: Index) -> PhysicalIndex:

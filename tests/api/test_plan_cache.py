@@ -160,3 +160,107 @@ class TestIndexDdlInvalidation:
         db.execute("SELECT a FROM t WHERE a = 2")
         db.execute("SELECT b FROM t WHERE b = 20")  # another entry, no DDL
         assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True
+
+
+class TestTableScopedInvalidation:
+    """Statistics changes invalidate only plans referencing the mutated table.
+
+    Load-bearing for the serving tier: the plan cache is shared across
+    connections, so one client's INSERT stream must not flush every other
+    client's cached plans.
+    """
+
+    def _database(self):
+        conn = repro.connect()
+        conn.executescript(
+            "CREATE TABLE t (a INTEGER, b INTEGER); "
+            "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30); ANALYZE t; "
+            "CREATE TABLE audit (x INTEGER); ANALYZE audit"
+        )
+        return conn.database
+
+    def test_insert_elsewhere_keeps_plan_cached(self):
+        db = self._database()
+        db.execute("SELECT a FROM t WHERE a = 2")
+        db.execute("INSERT INTO audit VALUES (1)")
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True
+
+    def test_analyze_elsewhere_keeps_plan_cached(self):
+        db = self._database()
+        db.execute("SELECT a FROM t WHERE a = 2")
+        db.execute("ANALYZE audit")
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is True
+
+    def test_insert_into_referenced_table_still_invalidates(self):
+        db = self._database()
+        db.execute("SELECT a FROM t WHERE a = 2")
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        assert db.execute("SELECT a FROM t WHERE a = 2").from_cache is False
+
+    def test_join_plan_invalidated_by_either_side(self):
+        db = self._database()
+        sql = "SELECT a FROM t, audit WHERE a = x"
+        db.execute(sql)
+        db.execute("INSERT INTO audit VALUES (9)")
+        assert db.execute(sql).from_cache is False
+
+    def test_table_versions_stamped_on_entry(self):
+        db = self._database()
+        db.execute("SELECT a FROM t WHERE a = 2")
+        (entry,) = db.plan_cache.cached_plans()
+        assert [table for table, _ in entry.table_versions] == ["t"]
+
+
+class TestSingleFlightPlanning:
+    def test_concurrent_misses_plan_once(self, monkeypatch):
+        """8 threads missing on the same cold statement run one optimizer."""
+        import threading
+        import time
+
+        import repro.api.database as database_module
+
+        db = repro.connect().database
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b INTEGER); "
+            "INSERT INTO t VALUES (1, 10), (2, 20); ANALYZE t"
+        )
+
+        real_optimizer = database_module.DeclarativeOptimizer
+        optimize_calls = []
+        call_lock = threading.Lock()
+
+        class CountingOptimizer(real_optimizer):
+            def optimize(self):
+                with call_lock:
+                    optimize_calls.append(threading.current_thread().name)
+                time.sleep(0.05)  # hold the stripe so every thread piles up
+                return super().optimize()
+
+        monkeypatch.setattr(database_module, "DeclarativeOptimizer", CountingOptimizer)
+
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def client():
+            try:
+                barrier.wait()
+                result = db.execute("SELECT a FROM t WHERE b = $1", (10,))
+                assert result.rows == [{"t.a": 1}]
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors[:3]
+        assert len(optimize_calls) == 1
+        stats = db.plan_cache.stats()
+        assert stats["entries"] == 1
+        # Every execution is accounted exactly once: one planning miss, the
+        # other seven picked up the single-flight winner's entry as hits.
+        assert stats["hits"] + stats["misses"] == 8
+        assert stats["hits"] == 7
+        assert stats["misses"] == 1

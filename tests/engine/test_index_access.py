@@ -166,11 +166,14 @@ class TestMaintenanceUnderMutation:
         database = repro.connect().database
         database.execute("CREATE TABLE t (a INTEGER, INDEX (a))")
         database.execute("INSERT INTO t VALUES (1), (2), (NULL)")
-        stored = database.store["t"]
-        index = stored.usable_index("a", "point")
+        index = database.store["t"].usable_index("a", "point")
         assert index.entry_count == 2
         assert index.null_count == 1
         database.execute("INSERT INTO t VALUES (2)")
+        # Appends publish a new copy-on-write version; the pre-insert index
+        # snapshot above stays frozen while the re-fetched one sees the row.
+        assert index.entry_count == 2
+        index = database.store["t"].usable_index("a", "point")
         assert index.entry_count == 3
         assert index.lookup(2) == [1, 3]
 

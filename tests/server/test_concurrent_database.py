@@ -1,0 +1,233 @@
+"""Concurrency torture tests for a shared Database.
+
+Two families:
+
+* **snapshot consistency** — many writer and reader threads over one table;
+  readers must always observe a published version's exact contents (the
+  serial oracle: version ``v`` holds ``v * BATCH`` rows, because every
+  append publishes exactly one new version);
+* **introspection races** — ``stats()`` and ``refresh_cached_plans()``
+  hammered while other threads execute and evict cached plans.  Before the
+  plan cache and monitor took locks (this PR), that raised ``RuntimeError:
+  OrderedDict mutated during iteration`` from the cache's entry iteration —
+  the race documented in :mod:`repro.api.plan_cache`'s docstring.
+"""
+
+import threading
+
+from repro.api.database import Database
+
+BATCH = 4
+
+
+def make_database(**kwargs) -> Database:
+    database = Database(**kwargs)
+    database.execute("CREATE TABLE t (a INTEGER, b INTEGER, INDEX (a))")
+    database.execute("ANALYZE t")
+    return database
+
+
+def run_threads(workers):
+    """Start, then join, one thread per worker callable."""
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestSnapshotTorture:
+    """≥8 concurrent writers + readers: every read sees one whole version."""
+
+    def test_writers_publish_readers_see_consistent_versions(self):
+        database = make_database()
+        writers, readers = 8, 8
+        batches_per_writer = 12
+        errors = []
+        stop = threading.Event()
+
+        def writer(seed):
+            def run():
+                try:
+                    for batch in range(batches_per_writer):
+                        base = seed * 1_000_000 + batch * BATCH
+                        values = ", ".join(
+                            f"({base + i}, {i})" for i in range(BATCH)
+                        )
+                        database.execute(f"INSERT INTO t VALUES {values}")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        def reader():
+            def run():
+                try:
+                    while not stop.is_set():
+                        # The serial oracle: appends go through one write lock
+                        # and publish one version per batch, so any consistent
+                        # snapshot holds a whole number of batches.  COUNT(*)
+                        # and the version are read from one snapshot each; a
+                        # torn (mid-append) view would break the invariant.
+                        version = database.table_version("t")
+                        count = database.execute("SELECT COUNT(*) FROM t").rows[0][
+                            "count(*)"
+                        ]
+                        assert count % BATCH == 0, (
+                            f"torn read: {count} rows is not a whole number of "
+                            f"{BATCH}-row batches"
+                        )
+                        # Published data only grows; the version read before
+                        # the count is a lower bound on what the count saw.
+                        assert count >= version * BATCH - BATCH, (version, count)
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        workers = [writer(seed) for seed in range(writers)]
+        reader_threads = [threading.Thread(target=reader()) for _ in range(readers)]
+        for thread in reader_threads:
+            thread.start()
+        run_threads(workers)
+        stop.set()
+        for thread in reader_threads:
+            thread.join()
+
+        assert not errors, errors[:3]
+        # After the dust settles: the serial oracle exactly.
+        expected_rows = writers * batches_per_writer * BATCH
+        assert database.table_version("t") == writers * batches_per_writer
+        final = database.execute("SELECT COUNT(*) FROM t").rows[0]["count(*)"]
+        assert final == expected_rows
+        # The maintained index agrees with the column data on the final version.
+        stored = database.store["t"]
+        assert stored.indexes["idx_t_a"].entry_count == expected_rows
+
+    def test_index_scans_match_serial_oracle_per_version(self):
+        """An indexed point query sees a whole published batch or none of it."""
+        database = make_database()
+        probes = 200
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            for batch in range(40):
+                base = batch * BATCH
+                values = ", ".join(f"({batch}, {base + i})" for i in range(BATCH))
+                database.execute(f"INSERT INTO t VALUES {values}")
+            done.set()
+
+        def prober():
+            try:
+                for probe in range(probes):
+                    rows = database.execute(
+                        "SELECT b FROM t WHERE a = $1", (probe % 40,)
+                    ).rows
+                    # Each batch writes all of key `batch` in one statement:
+                    # a snapshot either has the whole batch in the index or
+                    # has not seen the batch at all.
+                    assert len(rows) in (0, BATCH), rows
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        probers = [threading.Thread(target=prober) for _ in range(4)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in probers:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        for thread in probers:
+            thread.join()
+        assert not errors, errors[:3]
+
+    def test_concurrent_sessions_share_plan_cache(self):
+        database = make_database()
+        database.execute("INSERT INTO t VALUES (1, 1), (2, 2)")
+        connections = [database.connect() for _ in range(8)]
+        errors = []
+
+        def client(connection):
+            def run():
+                try:
+                    for _ in range(20):
+                        rows = connection.execute("SELECT a FROM t WHERE b = $1", (1,)).fetchall()
+                        assert rows == [(1,)]
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        run_threads([client(connection) for connection in connections])
+        assert not errors, errors[:3]
+        cache = database.plan_cache.stats()
+        # One plan, shared: everyone after the first planner hits.
+        assert cache["entries"] == 1
+        assert cache["hits"] == 8 * 20 - 1
+        # Each connection's feedback was recorded under its own session.
+        assert database.stats()["monitor"]["sessions"] == 8
+
+
+class TestIntrospectionRaces:
+    """stats()/refresh_cached_plans() vs concurrent execution + eviction.
+
+    The tiny plan cache (capacity 4) plus a stream of distinct statements
+    forces constant eviction, so any unlocked iteration over the cache's
+    OrderedDict would race a resize — the pre-fix failure mode was
+    ``RuntimeError: OrderedDict mutated during iteration``.
+    """
+
+    def test_stats_and_refresh_survive_concurrent_eviction(self):
+        database = make_database(plan_cache_size=4)
+        database.execute("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)")
+        errors = []
+        stop = threading.Event()
+
+        def executor():
+            def run():
+                try:
+                    statement = 0
+                    while not stop.is_set():
+                        statement += 1
+                        # Distinct texts -> distinct cache keys -> evictions.
+                        database.execute(f"SELECT a FROM t WHERE b = {statement % 50}")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        def introspector():
+            def run():
+                try:
+                    for _ in range(150):
+                        stats = database.stats()
+                        assert stats["plan_cache"]["entries"] <= 4
+                        database.refresh_cached_plans()
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        executors = [threading.Thread(target=executor()) for _ in range(4)]
+        inspectors = [threading.Thread(target=introspector()) for _ in range(2)]
+        for thread in executors + inspectors:
+            thread.start()
+        for thread in inspectors:
+            thread.join()
+        stop.set()
+        for thread in executors:
+            thread.join()
+        assert not errors, errors[:3]
+        evictions = database.plan_cache.stats()["evictions"]
+        assert evictions > 0, "the race needs evictions to mean anything"
+
+    def test_session_scoped_refresh(self):
+        """refresh_cached_plans(session=...) prefers that session's feedback."""
+        database = make_database()
+        database.execute("INSERT INTO t VALUES (1, 1), (2, 2)")
+        connection = database.connect()
+        connection.execute("SELECT a FROM t WHERE b = 1").fetchall()
+        # A session-scoped refresh for a session that never executed anything
+        # sees no session observations and falls back to query scope.
+        assert database.refresh_cached_plans(session="session-none") >= 0
+        assert database.refresh_cached_plans(session=connection.session_id) >= 0

@@ -1,0 +1,120 @@
+"""Connection pool and statement executor pool."""
+
+import threading
+
+import pytest
+
+from repro.api.database import Database
+from repro.common.errors import SqlError
+from repro.server.pool import ConnectionPool, StatementExecutorPool
+
+
+@pytest.fixture()
+def database():
+    db = Database()
+    db.execute_script(
+        "CREATE TABLE t (a INTEGER, b INTEGER);"
+        "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30);"
+        "ANALYZE t"
+    )
+    return db
+
+
+class TestConnectionPool:
+    def test_lease_returns_connection_to_pool(self, database):
+        pool = ConnectionPool(database, size=2)
+        with pool.lease() as connection:
+            assert connection.database is database
+            assert pool.idle == 1
+        assert pool.idle == 2
+        assert pool.leases == 1
+
+    def test_exhaustion_blocks_until_release(self, database):
+        pool = ConnectionPool(database, size=1)
+        first = pool.acquire()
+        obtained = []
+
+        def waiter():
+            with pool.lease(timeout=5):
+                obtained.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not obtained  # the one connection is still leased
+        pool.release(first)
+        thread.join(timeout=5)
+        assert obtained == [True]
+
+    def test_exhaustion_timeout_raises(self, database):
+        pool = ConnectionPool(database, size=1)
+        pool.acquire()
+        with pytest.raises(SqlError, match="no pooled connection"):
+            pool.acquire(timeout=0.05)
+
+    def test_pool_size_validated(self, database):
+        with pytest.raises(ValueError):
+            ConnectionPool(database, size=0)
+
+    def test_closed_pool_rejects_acquire(self, database):
+        pool = ConnectionPool(database, size=1)
+        pool.close()
+        with pytest.raises(SqlError, match="closed"):
+            pool.acquire()
+
+
+class TestStatementExecutorPool:
+    def test_submit_runs_on_worker_thread(self, database):
+        executor = StatementExecutorPool(database, workers=2)
+        try:
+            future = executor.submit("SELECT a FROM t WHERE b > $1", (15,))
+            rows = future.result(timeout=10).rows
+            assert sorted(row["t.a"] for row in rows) == [2, 3]
+        finally:
+            executor.shutdown()
+
+    def test_errors_propagate_through_future(self, database):
+        executor = StatementExecutorPool(database, workers=1)
+        try:
+            future = executor.submit("SELECT nope FROM t")
+            with pytest.raises(SqlError, match="nope"):
+                future.result(timeout=10)
+        finally:
+            executor.shutdown()
+
+    def test_concurrent_submissions_share_plan_cache(self, database):
+        executor = StatementExecutorPool(database, workers=4)
+        try:
+            futures = [
+                executor.submit("SELECT a FROM t WHERE b = $1", (10 * (1 + i % 3),))
+                for i in range(24)
+            ]
+            for future in futures:
+                assert future.result(timeout=10).rowcount == 1
+        finally:
+            executor.shutdown()
+        cache = database.plan_cache.stats()
+        assert cache["entries"] == 1
+        assert cache["hits"] == 23
+
+    def test_caller_session_scopes_feedback(self, database):
+        executor = StatementExecutorPool(database, workers=2)
+        try:
+            executor.submit("SELECT a FROM t WHERE b = 10", session="alpha").result(10)
+            executor.submit("SELECT a FROM t WHERE b = 20", session="beta").result(10)
+        finally:
+            executor.shutdown()
+        assert {"alpha", "beta"} <= set(database.monitor.session_names())
+
+    def test_writes_through_pool_are_atomic_batches(self, database):
+        executor = StatementExecutorPool(database, workers=4)
+        try:
+            futures = [
+                executor.submit(f"INSERT INTO t VALUES ({100 + i}, {i}), ({200 + i}, {i})")
+                for i in range(20)
+            ]
+            for future in futures:
+                assert future.result(timeout=10).rowcount == 2
+        finally:
+            executor.shutdown()
+        count = database.execute("SELECT COUNT(*) FROM t").rows[0]["count(*)"]
+        assert count == 3 + 40

@@ -1,0 +1,103 @@
+"""Copy-on-write versioned table snapshots."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import Index
+from repro.storage.table import StoredTable
+from repro.storage.versioning import TableVersion, VersionedTable
+
+
+def make_versioned(rows=None):
+    table = StoredTable.with_columns(["a", "b"])
+    if rows:
+        table.append_rows(rows)
+    return VersionedTable(table)
+
+
+class TestSnapshots:
+    def test_fresh_table_is_version_zero(self):
+        versioned = make_versioned()
+        assert versioned.version == 0
+        assert versioned.row_count == 0
+
+    def test_append_publishes_new_version(self):
+        versioned = make_versioned()
+        versioned.append_rows([{"a": 1, "b": 2}])
+        assert versioned.version == 1
+        assert versioned.row_count == 1
+
+    def test_snapshot_is_frozen_across_appends(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        before = versioned.snapshot()
+        versioned.append_rows([{"a": 3, "b": 4}])
+        assert before.row_count == 1
+        assert versioned.snapshot().row_count == 2
+        assert versioned.snapshot() is not before
+
+    def test_version_increments_once_per_batch(self):
+        versioned = make_versioned()
+        for batch in range(5):
+            versioned.append_rows([{"a": batch, "b": 0}, {"a": batch + 100, "b": 1}])
+        assert versioned.version == 5
+        assert versioned.row_count == 10
+
+    def test_current_pairs_version_and_table(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        current = versioned.current
+        assert isinstance(current, TableVersion)
+        assert current.version == versioned.version
+        assert current.table.row_count == 1
+
+
+class TestIndexVersioning:
+    def index(self, column="a", kind="hash", unique=False, name=None):
+        return Index(
+            name=name or f"idx_t_{column}",
+            table="t",
+            column=column,
+            kind=kind,
+            unique=unique,
+        )
+
+    def test_create_index_publishes_new_version(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        before = versioned.snapshot()
+        versioned.create_index(self.index())
+        assert versioned.version == 1
+        assert "idx_t_a" in versioned.snapshot().indexes
+        assert "idx_t_a" not in before.indexes
+
+    def test_indexes_cloned_not_shared_across_versions(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        versioned.create_index(self.index())
+        old_index = versioned.snapshot().indexes["idx_t_a"]
+        versioned.append_rows([{"a": 7, "b": 8}])
+        new_index = versioned.snapshot().indexes["idx_t_a"]
+        assert new_index is not old_index
+        assert old_index.entry_count == 1
+        assert new_index.entry_count == 2
+        assert new_index.lookup(7) == [1]
+
+    def test_failed_unique_append_publishes_nothing(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        versioned.create_index(self.index(unique=True, kind="ordered"))
+        version_before = versioned.version
+        with pytest.raises(SchemaError):
+            versioned.append_rows([{"a": 1, "b": 9}])
+        assert versioned.version == version_before
+        assert versioned.row_count == 1
+        assert versioned.snapshot().indexes["idx_t_a"].entry_count == 1
+
+    def test_drop_index_missing_publishes_nothing(self):
+        versioned = make_versioned()
+        assert versioned.drop_index("nope") is False
+        assert versioned.version == 0
+
+    def test_drop_index_publishes_and_keeps_old_snapshot(self):
+        versioned = make_versioned([{"a": 1, "b": 2}])
+        versioned.create_index(self.index())
+        before = versioned.snapshot()
+        assert versioned.drop_index("idx_t_a") is True
+        assert "idx_t_a" in before.indexes
+        assert "idx_t_a" not in versioned.snapshot().indexes

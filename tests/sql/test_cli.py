@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.sql.cli import build_session, main, run_statement
 
 
@@ -271,3 +273,57 @@ class TestIndexesMetaCommand:
 
         assert _meta_command(self._connection(), ".indexes nope")
         assert "unknown table 'nope'" in capsys.readouterr().err
+
+
+class TestConnectFlag:
+    """repro-sql --connect drives a running wire server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.api.database import Database
+        from repro.server import start_server_thread
+
+        database = Database()
+        database.execute_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2), (3); ANALYZE t"
+        )
+        handle = start_server_thread(database)
+        yield handle.address
+        handle.stop()
+
+    def test_command_executes_remotely(self, server, capsys):
+        from repro.sql.cli import main
+
+        host, port = server
+        assert main(["--connect", f"{host}:{port}", "-c", "SELECT COUNT(*) FROM t"]) == 0
+        out = capsys.readouterr().out
+        assert "count(*)" in out
+        assert "(1 row)" in out
+
+    def test_remote_meta_commands(self, server, capsys):
+        from repro.client import connect as client_connect
+        from repro.sql.cli import _meta_command
+
+        host, port = server
+        with client_connect(host, port) as connection:
+            assert _meta_command(connection, ".tables")
+            assert "t\t3 rows" in capsys.readouterr().out
+            assert _meta_command(connection, ".stats")
+            assert "plan_cache" in capsys.readouterr().out
+            assert _meta_command(connection, ".schema")
+            assert "not supported over --connect" in capsys.readouterr().err
+
+    def test_bad_address_rejected(self, capsys):
+        from repro.sql.cli import main
+
+        assert main(["--connect", "nonsense", "-c", "SELECT 1"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_remote_errors_render_with_caret(self, server, capsys):
+        from repro.sql.cli import main
+
+        host, port = server
+        assert main(["--connect", f"{host}:{port}", "-c", "SELECT nope FROM t"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown column 'nope'" in err
+        assert "^" in err
