@@ -242,6 +242,8 @@ class Database:
 
     @property
     def table_names(self) -> List[str]:
+        # list(dict) is a single C-level call: an atomic copy under the GIL,
+        # safe against a concurrent CREATE TABLE resizing the store dict.
         return list(self._store)
 
     def _resolve(self, stored: object) -> object:
@@ -259,7 +261,13 @@ class Database:
         whole statement one table+index version per table even while writers
         keep publishing.
         """
-        return {name: self._resolve(stored) for name, stored in self._store.items()}
+        # Copy the store entries first: list(dict.items()) is one C-level
+        # call (atomic under the GIL), whereas the comprehension below runs
+        # Python code per entry — iterating the live dict there would raise
+        # 'dictionary changed size during iteration' against a concurrent
+        # CREATE TABLE / first INSERT inserting a new store key.
+        entries = list(self._store.items())
+        return {name: self._resolve(stored) for name, stored in entries}
 
     def table_version(self, name: str) -> Optional[int]:
         """The published version of a table, or None for legacy row stores."""
@@ -450,11 +458,25 @@ class Database:
         if entry is not None:
             # Another thread planned this statement while we waited.
             return entry, True
+        # Version stamps are read *before* the catalog state they guard is
+        # consumed (the schema version before binding, each table's
+        # statistics version before optimization reads its statistics).  DDL
+        # does not take the planning stripe lock, so a CREATE/DROP INDEX or
+        # ANALYZE committing mid-plan must make this entry *stale* — stamping
+        # versions read after planning would certify a plan built against the
+        # old catalog as current, and it would never be invalidated.
+        catalog_version = self.catalog.version
         statement = Parser(sql).parse_statement()
         if isinstance(statement, ExplainStatement):
             statement = statement.select
         assert isinstance(statement, SelectStatement)
         query = Binder(self.catalog, source=sql).bind(statement, self._next_name())
+        # Statistics-version stamps for exactly the referenced tables:
+        # appends/ANALYZE elsewhere leave this entry live.
+        table_versions = tuple(
+            (name, self.catalog.table_version(name))
+            for name in sorted({ref.table for ref in query.relations})
+        )
         optimizer = DeclarativeOptimizer(
             query,
             self.catalog,
@@ -468,13 +490,8 @@ class Database:
             optimization=optimization,
             optimizer=optimizer,
             parameter_count=query_parameter_count(query),
-            catalog_version=self.catalog.version,
-            # Statistics-version stamps for exactly the referenced tables:
-            # appends/ANALYZE elsewhere leave this entry live.
-            table_versions=tuple(
-                (name, self.catalog.table_version(name))
-                for name in sorted({ref.table for ref in query.relations})
-            ),
+            catalog_version=catalog_version,
+            table_versions=table_versions,
         )
         self.plan_cache.store(key, entry)
         return entry, False
@@ -843,8 +860,10 @@ class Database:
                     "(load it with INSERT or COPY first)"
                 )
         else:
+            # Snapshot the table list atomically before the Python-level
+            # filter (same rationale as _snapshot_store).
             targets = [
-                name for name in self._store if self.catalog.schema.has_table(name)
+                name for name in list(self._store) if self.catalog.schema.has_table(name)
             ]
         with self._ddl_lock:
             for name in targets:

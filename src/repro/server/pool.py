@@ -78,11 +78,23 @@ class ConnectionPool:
                 f"(pool size {self.size})"
             ) from None
         with self._lock:
+            if self._closed:
+                # close() ran between the check above and the queue get;
+                # don't hand out a connection from a closed pool.
+                connection.close()
+                raise SqlError("connection pool is closed")
             self._leases += 1
         return connection
 
     def release(self, connection: Connection) -> None:
-        self._idle.put(connection)
+        # Checked under the lock close() sets the flag under: a connection
+        # leased when close() drained the idle queue is closed here instead
+        # of being re-queued open (and unreachable) forever.
+        with self._lock:
+            if self._closed:
+                connection.close()
+                return
+            self._idle.put(connection)
 
     @property
     def leases(self) -> int:
@@ -95,7 +107,11 @@ class ConnectionPool:
         return self._idle.qsize()
 
     def close(self) -> None:
-        self._closed = True
+        with self._lock:
+            self._closed = True
+        # With the flag set (under the same lock release() checks), no new
+        # connections can enter the queue; draining what's idle now closes
+        # everything not currently leased, and release() closes the rest.
         while True:
             try:
                 self._idle.get_nowait().close()

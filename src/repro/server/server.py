@@ -141,7 +141,15 @@ class ReproServer:
                 if frame is None:
                     return
                 response = await self._dispatch(frame, state)
-                writer.write(encode_frame(response))
+                try:
+                    data = encode_frame(response)
+                except ProtocolError as error:
+                    # A response too large to frame (e.g. a script whose
+                    # combined results still exceed MAX_FRAME_BYTES) becomes
+                    # an error frame; dropping the connection would leave the
+                    # blocking client stalled until its timeout.
+                    data = encode_frame(error_payload(error))
+                writer.write(data)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -259,7 +267,11 @@ class ReproServer:
         for text in split_statements(sql):
             takes = statement_has_parameters(text)
             result = await self._run(text, params if takes else None, state)
-            payloads.append(result_payload(result))
+            # Spool oversized per-statement results exactly like single
+            # queries: a large SELECT inside a script must not push the
+            # whole 'results' frame past MAX_FRAME_BYTES.  The client pages
+            # each payload's result_id through 'fetch' transparently.
+            payloads.append(self._result_frame(result, state))
         return {"type": "results", "results": payloads}
 
 

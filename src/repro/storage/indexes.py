@@ -21,10 +21,17 @@ hash join it replaces.  :attr:`entry_count` counts non-NULL entries.
 
 Appends are O(1) amortized: the ordered index buffers new pairs and re-sorts
 lazily on the next lookup (timsort over a mostly-sorted array is linear).
+Under the versioned store (:mod:`repro.storage.versioning`) that sort is
+forced *before* a version is published — :meth:`StoredTable.seal_indexes
+<repro.storage.table.StoredTable.seal_indexes>` runs under the table write
+lock — so published snapshots never re-sort and stay truly immutable; the
+per-index sort lock below only matters for unversioned (draft/legacy)
+tables.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -71,6 +78,9 @@ class HashIndex:
         copied._null_row_ids = list(self._null_row_ids)
         return copied
 
+    def seal(self) -> None:
+        """No deferred work: a hash index is always lookup-ready."""
+
     # -- lookups ---------------------------------------------------------
 
     def lookup(self, value: object) -> List[int]:
@@ -102,7 +112,7 @@ class OrderedIndex:
 
     kind = ORDERED
 
-    __slots__ = ("meta", "_keys", "_row_ids", "_null_row_ids", "_sorted_until")
+    __slots__ = ("meta", "_keys", "_row_ids", "_null_row_ids", "_sorted_until", "_sort_lock")
 
     def __init__(self, meta: Index) -> None:
         self.meta = meta
@@ -113,6 +123,10 @@ class OrderedIndex:
         #: arrays and lookups re-sort lazily (timsort: linear when almost
         #: sorted), so bulk loads do not pay per-row insertion costs.
         self._sorted_until = 0
+        #: serializes the lazy sort so two threads sharing an unsealed index
+        #: can never zip new keys with old row ids (the versioned store seals
+        #: before publishing, so this lock is a backstop, not the hot path).
+        self._sort_lock = threading.Lock()
 
     # -- maintenance -----------------------------------------------------
 
@@ -129,21 +143,43 @@ class OrderedIndex:
 
         The clone shares nothing mutable with the original; the sorted-prefix
         watermark carries over so a clone of a sorted index stays sorted.
+        The copy happens under the sort lock so a clone can never pair one
+        side of an in-flight re-sort with the other.
         """
         copied = OrderedIndex(self.meta)
-        copied._keys = list(self._keys)
-        copied._row_ids = list(self._row_ids)
-        copied._null_row_ids = list(self._null_row_ids)
-        copied._sorted_until = self._sorted_until
+        with self._sort_lock:
+            copied._keys = list(self._keys)
+            copied._row_ids = list(self._row_ids)
+            copied._null_row_ids = list(self._null_row_ids)
+            copied._sorted_until = self._sorted_until
         return copied
 
-    def _ensure_sorted(self) -> None:
+    def seal(self) -> None:
+        """Force the deferred sort now (the versioned store calls this under
+        the table write lock before publishing, so readers of a published
+        snapshot never trigger — or race — a lazy sort)."""
+        self._sorted_arrays()
+
+    def _sorted_arrays(self) -> "tuple[List[object], List[int]]":
+        """The sorted ``(keys, row_ids)`` pair, consistent as a pair.
+
+        Readers must use the returned lists, never re-read the attributes:
+        the swap below replaces both lists, and only the returned pair is
+        guaranteed to be two halves of the same sort.  ``_sorted_until`` is
+        assigned last, so the lock-free fast path can only observe it equal
+        to ``len(_keys)`` after both new lists are in place.
+        """
         if self._sorted_until == len(self._keys):
-            return
-        pairs = sorted(zip(self._keys, self._row_ids))
-        self._keys = [key for key, _ in pairs]
-        self._row_ids = [row_id for _, row_id in pairs]
-        self._sorted_until = len(self._keys)
+            return self._keys, self._row_ids
+        with self._sort_lock:
+            if self._sorted_until != len(self._keys):
+                pairs = sorted(zip(self._keys, self._row_ids))
+                keys = [key for key, _ in pairs]
+                row_ids = [row_id for _, row_id in pairs]
+                self._keys = keys
+                self._row_ids = row_ids
+                self._sorted_until = len(keys)
+            return self._keys, self._row_ids
 
     # -- lookups ---------------------------------------------------------
 
@@ -151,10 +187,10 @@ class OrderedIndex:
         """Row ids whose key equals *value* (row-id order within the run)."""
         if value is None:
             return self._null_row_ids
-        self._ensure_sorted()
-        low = bisect_left(self._keys, value)
-        high = bisect_right(self._keys, value)
-        return self._row_ids[low:high]
+        keys, row_ids = self._sorted_arrays()
+        low = bisect_left(keys, value)
+        high = bisect_right(keys, value)
+        return row_ids[low:high]
 
     def range(
         self,
@@ -170,26 +206,26 @@ class OrderedIndex:
         of equal keys come back in row-id order — the sort key is the
         ``(key, row_id)`` pair.
         """
-        self._ensure_sorted()
+        keys, row_ids = self._sorted_arrays()
         start = 0
         if low is not None:
             bisect = bisect_left if low_inclusive else bisect_right
-            start = bisect(self._keys, low)
-        end = len(self._keys)
+            start = bisect(keys, low)
+        end = len(keys)
         if high is not None:
             bisect = bisect_right if high_inclusive else bisect_left
-            end = bisect(self._keys, high)
+            end = bisect(keys, high)
         if start >= end:
             return []
-        return self._row_ids[start:end]
+        return row_ids[start:end]
 
     def ordered_row_ids(self, nulls_last: bool = True) -> List[int]:
         """Every row id in key order; NULL rows appended last (engine sort
         semantics) or prepended when ``nulls_last`` is False."""
-        self._ensure_sorted()
+        _, row_ids = self._sorted_arrays()
         if nulls_last:
-            return self._row_ids + self._null_row_ids
-        return self._null_row_ids + self._row_ids
+            return row_ids + self._null_row_ids
+        return self._null_row_ids + row_ids
 
     @property
     def supports_range(self) -> bool:
@@ -213,6 +249,7 @@ def build_index(meta: Index, values: Sequence[object]) -> "PhysicalIndex":
     else:  # pragma: no cover - Index.__post_init__ validates kinds
         raise ValueError(f"unknown index kind {meta.kind!r}")
     index.insert_values(values, 0)
+    index.seal()
     return index
 
 

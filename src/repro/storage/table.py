@@ -86,6 +86,18 @@ class StoredTable(ColumnTable):
         """Forget the named physical index; True if it existed."""
         return self.indexes.pop(name, None) is not None
 
+    def seal_indexes(self) -> None:
+        """Force every index's deferred maintenance (the ordered indexes'
+        lazy sort) to run now.
+
+        The versioned store calls this under the table write lock before
+        publishing a version, so a published snapshot never mutates itself
+        lazily under concurrent readers — the 'immutable once handed out'
+        contract of :class:`repro.storage.versioning.VersionedTable`.
+        """
+        for index in self.indexes.values():
+            index.seal()
+
     def index(self, name: str) -> Optional[PhysicalIndex]:
         return self.indexes.get(name)
 

@@ -62,6 +62,9 @@ class VersionedTable:
     def __init__(self, table: StoredTable, version: int = 0) -> None:
         #: serializes writers on this table; readers never take it.
         self.write_lock = threading.Lock()
+        # Adopted tables may carry indexes with deferred sorts; seal before
+        # the first snapshot is handed out (see _publish).
+        table.seal_indexes()
         self._current = TableVersion(version, table)
 
     # -- reader side ------------------------------------------------------
@@ -113,6 +116,11 @@ class VersionedTable:
             return dropped
 
     def _publish(self, table: StoredTable) -> None:
+        # Seal first (still under the write lock): an ordered index's lazy
+        # sort must never run on a published version, where two racing
+        # readers could pair half-swapped key/row-id arrays.  Published
+        # snapshots are immutable for real, not just by convention.
+        table.seal_indexes()
         # Single reference assignment — the only mutation readers can race
         # with, and one the GIL (and any sane memory model) makes atomic.
         self._current = TableVersion(self._current.version + 1, table)

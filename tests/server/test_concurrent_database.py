@@ -231,3 +231,86 @@ class TestIntrospectionRaces:
         # sees no session observations and falls back to query scope.
         assert database.refresh_cached_plans(session="session-none") >= 0
         assert database.refresh_cached_plans(session=connection.session_id) >= 0
+
+    def test_snapshot_store_survives_concurrent_create_table(self):
+        """Readers resolving snapshots never trip over a store-dict resize.
+
+        _snapshot_store runs Python code per table while resolving versions;
+        before it copied the store entries atomically first, a concurrent
+        CREATE TABLE inserting a new store key raised ``RuntimeError:
+        dictionary changed size during iteration`` in reader threads.
+        """
+        database = make_database()
+        database.execute("INSERT INTO t VALUES (1, 1)")
+        errors = []
+        stop = threading.Event()
+
+        def creator():
+            try:
+                for i in range(120):
+                    database.execute(f"CREATE TABLE extra_{i} (x INTEGER)")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader():
+            def run():
+                try:
+                    while not stop.is_set():
+                        snapshot = database.store
+                        assert "t" in snapshot
+                        assert len(database.table_names) >= 1
+                        database.execute("SELECT COUNT(*) FROM t")
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            return run
+
+        readers = [threading.Thread(target=reader()) for _ in range(4)]
+        creator_thread = threading.Thread(target=creator)
+        for thread in readers:
+            thread.start()
+        creator_thread.start()
+        creator_thread.join()
+        for thread in readers:
+            thread.join()
+        assert not errors, errors[:3]
+
+
+class TestPlanStampTOCTOU:
+    """DDL committing mid-planning must leave the cached entry *stale*.
+
+    Version stamps are read before the catalog state they guard is consumed;
+    stamping versions read after planning would certify a plan built against
+    the pre-DDL catalog as current — it would keep being served and never be
+    invalidated.
+    """
+
+    def test_ddl_during_planning_invalidates_the_entry(self, monkeypatch):
+        from repro.optimizer.declarative import DeclarativeOptimizer
+
+        database = make_database()
+        database.execute("INSERT INTO t VALUES (1, 1), (2, 2)")
+        original = DeclarativeOptimizer.optimize
+        fired = []
+
+        def optimize_with_concurrent_ddl(self, *args, **kwargs):
+            if not fired:
+                fired.append(True)
+                # Another session's DDL commits while this plan is being
+                # built (DDL does not take the planning stripe lock).
+                database.execute("CREATE INDEX idx_mid ON t (b)")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(DeclarativeOptimizer, "optimize", optimize_with_concurrent_ddl)
+        first = database.execute("SELECT a FROM t WHERE b = 1")
+        assert not first.from_cache
+        invalidations_before = database.plan_cache.stats()["invalidations"]
+        # The entry was planned against the pre-DDL catalog: the next lookup
+        # must treat it as stale and replan, not serve it as current.
+        second = database.execute("SELECT a FROM t WHERE b = 1")
+        assert not second.from_cache
+        assert database.plan_cache.stats()["invalidations"] == invalidations_before + 1
+        # With the catalog now quiet, the replanned entry is a normal hit.
+        assert database.execute("SELECT a FROM t WHERE b = 1").from_cache

@@ -61,6 +61,18 @@ class TestConnectionPool:
         with pytest.raises(SqlError, match="closed"):
             pool.acquire()
 
+    def test_release_after_close_closes_the_connection(self, database):
+        # close() can only drain connections that are idle at that moment; a
+        # connection leased across the close must be closed on release, not
+        # re-queued open (and unreachable) forever.
+        pool = ConnectionPool(database, size=2)
+        leased = pool.acquire()
+        pool.close()
+        assert not leased.closed
+        pool.release(leased)
+        assert leased.closed
+        assert pool.idle == 0
+
 
 class TestStatementExecutorPool:
     def test_submit_runs_on_worker_thread(self, database):

@@ -1,9 +1,12 @@
 """Copy-on-write versioned table snapshots."""
 
+import threading
+
 import pytest
 
 from repro.common.errors import SchemaError
 from repro.relational.schema import Index
+from repro.storage.indexes import OrderedIndex
 from repro.storage.table import StoredTable
 from repro.storage.versioning import TableVersion, VersionedTable
 
@@ -101,3 +104,61 @@ class TestIndexVersioning:
         assert versioned.drop_index("idx_t_a") is True
         assert "idx_t_a" in before.indexes
         assert "idx_t_a" not in versioned.snapshot().indexes
+
+
+class TestPublishedSnapshotsAreSealed:
+    """Published versions must never mutate themselves lazily.
+
+    An :class:`OrderedIndex` defers its sort until the first lookup; if a
+    published snapshot still carried an unsorted tail, two concurrent reader
+    lookups could race that lazy sort and pair newly-sorted keys with stale
+    row ids.  :meth:`VersionedTable._publish` therefore seals every index
+    (forces the sort) under the write lock, before the version becomes
+    visible.
+    """
+
+    def ordered_meta(self):
+        return Index(name="idx_t_a", table="t", column="a", kind="ordered")
+
+    def sealed(self, index):
+        return index._sorted_until == len(index._keys)
+
+    def test_append_publishes_fully_sorted_ordered_index(self):
+        versioned = make_versioned([{"a": 5, "b": 0}])
+        versioned.create_index(self.ordered_meta())
+        # Appends extend the arrays out of order; publication must sort.
+        versioned.append_rows([{"a": 3, "b": 0}, {"a": 9, "b": 0}, {"a": 1, "b": 0}])
+        index = versioned.snapshot().indexes["idx_t_a"]
+        assert self.sealed(index)
+        assert index._keys == sorted(index._keys)
+
+    def test_adopted_table_is_sealed_on_wrap(self):
+        table = StoredTable.with_columns(["a", "b"])
+        table.create_index(self.ordered_meta())
+        table.append_rows([{"a": 4, "b": 0}, {"a": 2, "b": 0}])  # unsorted tail
+        versioned = VersionedTable(table)
+        assert self.sealed(versioned.snapshot().indexes["idx_t_a"])
+
+    def test_concurrent_lookups_on_unsealed_index_stay_consistent(self):
+        """The sort-lock backstop: racing lazy sorts never mix key/row-id halves."""
+        errors = []
+        for _ in range(20):
+            index = OrderedIndex(self.ordered_meta())
+            # Deliberately unsorted, unsealed: row id i holds key 999 - i.
+            index.insert_values([999 - i for i in range(1000)], 0)
+            start = threading.Barrier(8)
+
+            def prober():
+                try:
+                    start.wait()
+                    for key in (0, 250, 500, 750, 999):
+                        assert index.lookup(key) == [999 - key], key
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [threading.Thread(target=prober) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[:3]

@@ -85,6 +85,23 @@ class TestQueryRoundTrip:
         assert len(rows) == 1400
         assert sorted(n for (n,) in rows) == list(range(1400))
 
+    def test_script_results_spool_through_fetch_frames(self, served):
+        # A large SELECT inside a script spools exactly like a single query
+        # (instead of inlining everything and risking an oversized frame);
+        # the client reassembles each payload through fetch paging.
+        _, (host, port) = served
+        with connect(host, port) as conn:
+            cur = conn.cursor()
+            cur.execute("CREATE TABLE sbig (n INTEGER)")
+            cur.executemany("INSERT INTO sbig VALUES (?)", [(i,) for i in range(1300)])
+            results = conn.executescript(
+                "SELECT n FROM sbig; SELECT COUNT(*) FROM sbig"
+            )
+        assert [r.statement for r in results] == ["select", "select"]
+        assert len(results[0].rows) == 1300
+        assert sorted(row["sbig.n"] for row in results[0].rows) == list(range(1300))
+        assert results[1].rows == [{"count(*)": 1300}]
+
 
 class TestPreparedStatements:
     def test_prepare_execute(self, served):
