@@ -1,0 +1,249 @@
+"""Serial vs morsel-parallel vectorized engine over typed column buffers.
+
+Runs the filter/aggregate-heavy slice of the workload (Q1, Q6, Q3, Q5)
+through the vectorized engine twice over the same typed
+:class:`~repro.engine.vectorized.columns.ColumnTable` stores — once serial
+and once morsel-parallel at ``workers=4`` — and reports per-query wall time
+and speedup.  Before any timing, every query's parallel result is asserted
+byte-identical (``==`` and ``repr``-equal, so float bit patterns count) to
+the serial result: the morsel merge order must reproduce the serial engine
+exactly, or the whole benchmark aborts.
+
+Results land in ``benchmarks/results/parallel_engine.txt`` (text table) and
+``benchmarks/results/BENCH_parallel_engine.json`` (machine-readable) for the
+manifest-driven CI gate (``benchmarks/run_manifest.py``), which compares the
+speedup ratios against ``benchmarks/baselines.json``.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_parallel_engine [--quick]
+
+A note on expected numbers: morsel parallelism here rides Python threads, so
+the attainable speedup depends on how much work each morsel spends inside
+GIL-releasing kernels (the numpy fast paths in ``repro.storage.buffers``) and
+on the machine's core count.  On a single-core or GIL-bound box the honest
+ratio is ~1.0x; the committed baselines record what the baseline machine
+actually achieved, and the gate tracks regressions relative to that — it does
+not assert an absolute speedup the hardware cannot deliver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+from typing import Dict, List, Optional
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from repro.engine import make_executor
+from repro.engine.vectorized.columns import ColumnTable
+from repro.optimizer.declarative import DeclarativeOptimizer
+from repro.relational.plan import PhysicalPlan
+from repro.relational.query import Query
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_select
+from repro.storage.buffers import column_kinds
+from repro.workloads.sql_queries import ALL_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_schema
+
+BENCH_NAME = "bench_parallel_engine"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_parallel_engine.json")
+
+DEFAULT_SCALE = 0.002
+QUICK_SCALE = 0.0005
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+
+#: the filter/aggregate-heavy workload slice where morsels have work to do.
+QUERY_NAMES = ("Q1", "Q6", "Q3", "Q5")
+WORKERS = 4
+
+
+def prepare(scale: float, seed: int = 7):
+    """Typed-buffer stores, catalog and optimized plans shared by both runs."""
+    data = generate_tpch_data(scale_factor=scale, seed=seed)
+    catalog = catalog_from_data(data)
+    typed: Dict[str, ColumnTable] = {}
+    for table in tpch_schema().tables:
+        kinds = column_kinds(
+            table.column_names, [column.data_type for column in table.columns]
+        )
+        typed[table.name] = ColumnTable.from_rows(
+            list(data[table.name]), columns=table.column_names, kinds=kinds
+        )
+    plans: Dict[str, tuple] = {}
+    for name in QUERY_NAMES:
+        sql = ALL_SQL[name]
+        query = Binder(catalog, source=sql).bind(parse_select(sql), name=name)
+        plan = DeclarativeOptimizer(query, catalog).optimize().plan
+        plans[name] = (query, plan)
+    return typed, plans
+
+
+def run_once(query: Query, plan: PhysicalPlan, data, workers: Optional[int]):
+    executor = make_executor("vectorized", query, data, workers=workers)
+    return executor.execute(plan)
+
+
+def assert_identical(query: Query, plan: PhysicalPlan, data) -> None:
+    """Parallel output must be byte-identical to serial before we time it."""
+    serial = run_once(query, plan, data, workers=None)
+    parallel = run_once(query, plan, data, workers=WORKERS)
+    if serial.rows != parallel.rows or repr(serial.rows) != repr(parallel.rows):
+        raise AssertionError(
+            f"{query.name}: workers={WORKERS} result differs from serial output"
+        )
+    if serial.observed_cardinalities != parallel.observed_cardinalities:
+        raise AssertionError(
+            f"{query.name}: workers={WORKERS} observed cardinalities differ from serial"
+        )
+
+
+def time_workers(
+    query: Query, plan: PhysicalPlan, data, workers: Optional[int], repeats: int
+) -> float:
+    """Best-of-N wall time at one worker setting."""
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_once(query, plan, data, workers)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = 7) -> Dict:
+    """Execute the full comparison, returning the JSON-shaped result dict."""
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    data, plans = prepare(scale, seed)
+    queries: Dict[str, Dict[str, float]] = {}
+    totals = {"serial": 0.0, "parallel": 0.0}
+    for name in QUERY_NAMES:
+        query, plan = plans[name]
+        assert_identical(query, plan, data)
+        serial = time_workers(query, plan, data, None, repeats)
+        parallel = time_workers(query, plan, data, WORKERS, repeats)
+        totals["serial"] += serial
+        totals["parallel"] += parallel
+        queries[name] = {
+            "serial_ms": serial * 1000,
+            "parallel_ms": parallel * 1000,
+            "speedup": serial / parallel if parallel > 0 else 0.0,
+        }
+    speedups = [entry["speedup"] for entry in queries.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "workers": WORKERS,
+        "queries": queries,
+        "summary": {
+            "total_serial_ms": totals["serial"] * 1000,
+            "total_parallel_ms": totals["parallel"] * 1000,
+            "total_speedup": totals["serial"] / totals["parallel"]
+            if totals["parallel"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name in QUERY_NAMES:
+        entry = report["queries"][name]
+        rows.append(
+            (name, entry["serial_ms"], entry["parallel_ms"], f"{entry['speedup']:.2f}x")
+        )
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_serial_ms"],
+            summary["total_parallel_ms"],
+            f"{summary['total_speedup']:.2f}x",
+        )
+    )
+    title = (
+        f"Serial vs workers={report['workers']} vectorized engine "
+        f"({report['mode']} mode, scale {report['scale']}, best of "
+        f"{report['repeats']}) — geomean speedup {summary['geomean_speedup']:.2f}x"
+    )
+    return format_table(title, ["query", "serial ms", "parallel ms", "speedup"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (consistent with the figure benchmarks)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parallel_setup():
+    return prepare(QUICK_SCALE)
+
+
+@pytest.mark.parametrize("query_name", QUERY_NAMES)
+@pytest.mark.parametrize("workers", [None, WORKERS])
+def test_parallel_execution(benchmark, parallel_setup, workers, query_name):
+    data, plans = parallel_setup
+    query, plan = plans[query_name]
+    result = benchmark.pedantic(
+        lambda: run_once(query, plan, data, workers), rounds=2, iterations=1
+    )
+    assert result.workers == workers
+
+
+def test_parallel_engine_report(benchmark):
+    """Emit the speedup table + BENCH json (quick mode under pytest)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("parallel_engine", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    assert report["summary"]["geomean_speedup"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="serial vs morsel-parallel engine benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=7, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("parallel_engine", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Manifest-driven bench runner + regression gate (what CI bench-smoke runs).
+
+``benchmarks/manifest.json`` is the single source of truth for which
+benchmarks CI runs and gates: one entry per gated bench, mapping the runnable
+module to the ``BENCH_*.json`` results file it writes.  This module loops over
+the manifest, running each bench as a subprocess (``python -m <module>
+--quick``) and then gating its results file against the committed baselines
+with the same logic as :mod:`benchmarks.check_regression`.
+
+Two failure modes beyond per-bench regressions keep the manifest honest:
+
+* a bench whose results file has **no baseline entry** fails the gate (new
+  benches must land with baselines, not silently ungated), and
+* a ``BENCH_*.json`` in the results directory that **no manifest entry
+  claims** fails the run — a benchmark that publishes machine-readable
+  results must be wired into the manifest so CI gates it.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.run_manifest [--quick] [--no-run]
+
+``--no-run`` gates existing results files without re-running the benches
+(useful locally after a manual bench run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+from benchmarks.check_regression import DEFAULT_TOLERANCE, check
+from benchmarks.harness import RESULTS_DIR
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "manifest.json")
+BASELINES_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines.json")
+
+
+def load_manifest(path: str) -> List[dict]:
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    entries = manifest.get("benchmarks", [])
+    if not entries:
+        raise SystemExit(f"manifest {path} lists no benchmarks")
+    for entry in entries:
+        if "module" not in entry or "results" not in entry:
+            raise SystemExit(f"manifest entry missing module/results: {entry}")
+    return entries
+
+
+def run_bench(module: str, quick: bool) -> int:
+    """Run one bench module as a subprocess, streaming its output."""
+    command = [sys.executable, "-m", module]
+    if quick:
+        command.append("--quick")
+    print(f"\n=== running {' '.join(command[1:])} ===", flush=True)
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    return completed.returncode
+
+
+def unmanifested_results(entries: List[dict]) -> List[str]:
+    """BENCH_*.json files in results/ that no manifest entry claims."""
+    claimed = {
+        os.path.abspath(os.path.join(REPO_ROOT, entry["results"])) for entry in entries
+    }
+    present = {
+        os.path.abspath(path)
+        for path in glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json"))
+    }
+    return sorted(os.path.relpath(path, REPO_ROOT) for path in present - claimed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_manifest", description="manifest-driven benchmark runner + gate"
+    )
+    parser.add_argument(
+        "--manifest", default=MANIFEST_PATH, help="benchmark manifest (module -> results)"
+    )
+    parser.add_argument(
+        "--baselines", default=BASELINES_PATH, help="committed speedup baselines"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression of each geomean speedup (default 0.25)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="pass --quick to every bench (CI smoke)"
+    )
+    parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="gate existing results files without re-running the benches",
+    )
+    args = parser.parse_args(argv)
+
+    entries = load_manifest(args.manifest)
+    with open(args.baselines, encoding="utf-8") as handle:
+        baselines = json.load(handle)
+
+    failures: List[str] = []
+    for entry in entries:
+        module, results_path = entry["module"], os.path.join(REPO_ROOT, entry["results"])
+        if not args.no_run:
+            code = run_bench(module, quick=args.quick)
+            if code != 0:
+                failures.append(f"{module}: bench run exited with {code}")
+                continue
+        if not os.path.exists(results_path):
+            failures.append(f"{module}: results file {entry['results']} was not written")
+            continue
+        with open(results_path, encoding="utf-8") as handle:
+            results = json.load(handle)
+        bench_failures = check(results, baselines, args.tolerance)
+        summary = results.get("summary", {})
+        print(
+            f"{results.get('bench')} [{results.get('mode')}]: geomean "
+            f"{summary.get('geomean_speedup', 0.0):.2f}x, total "
+            f"{summary.get('total_speedup', 0.0):.2f}x"
+        )
+        failures.extend(f"{module}: {failure}" for failure in bench_failures)
+
+    for orphan in unmanifested_results(entries):
+        failures.append(
+            f"{orphan} exists in results/ but no manifest entry gates it "
+            f"(add it to {os.path.relpath(args.manifest, REPO_ROOT)})"
+        )
+
+    if failures:
+        print(f"\n{len(failures)} gate failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(entries)} manifest benchmarks passed the regression gate")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

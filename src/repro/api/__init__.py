@@ -43,6 +43,7 @@ def connect(
     *,
     engine: str = DEFAULT_ENGINE,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
     pruning=None,
     cost_parameters=None,
     enumeration=None,
@@ -61,6 +62,7 @@ def connect(
         data,
         engine=engine,
         batch_size=batch_size,
+        workers=workers,
         pruning=pruning,
         cost_parameters=cost_parameters,
         enumeration=enumeration,

@@ -29,15 +29,19 @@ class Connection:
         database: Database,
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if engine is not None:
             try:
                 validate_engine(engine)
             except ExecutionError as error:
                 raise SqlError(str(error)) from error
+        if workers is not None and workers < 1:
+            raise SqlError(f"workers must be >= 1, got {workers}")
         self.database = database
         self.engine = engine
         self.batch_size = batch_size
+        self.workers = workers
         #: tags this connection's executions in the shared runtime monitor,
         #: so concurrent sessions' adaptive feedback stays scoped per session.
         self.session_id = database._register_session()
@@ -66,6 +70,7 @@ class Connection:
             parameters,
             engine=self.engine,
             batch_size=self.batch_size,
+            workers=self.workers,
             session=self.session_id,
         )
 

@@ -78,6 +78,7 @@ from repro.sql.ast import (
     InsertStatement,
     SelectStatement,
 )
+from repro.storage.buffers import column_kinds
 from repro.storage.table import StoredTable
 from repro.storage.versioning import VersionedTable
 from repro.sql.binder import Binder, query_parameter_count, value_matches_type
@@ -181,6 +182,7 @@ class Database:
         *,
         engine: str = DEFAULT_ENGINE,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
         pruning=None,
         cost_parameters=None,
         enumeration=None,
@@ -191,9 +193,12 @@ class Database:
             validate_engine(engine)
         except ExecutionError as error:
             raise SqlError(str(error)) from error
+        if workers is not None and workers < 1:
+            raise SqlError(f"workers must be >= 1, got {workers}")
         self.catalog = catalog if catalog is not None else Catalog(Schema())
         self.engine = engine
         self.batch_size = batch_size
+        self.workers = workers
         self.pruning = pruning
         self.cost_parameters = cost_parameters
         self.enumeration = enumeration
@@ -224,11 +229,16 @@ class Database:
 
     # -- connections -----------------------------------------------------
 
-    def connect(self, engine: Optional[str] = None, batch_size: Optional[int] = None):
+    def connect(
+        self,
+        engine: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+    ):
         """Open a :class:`~repro.api.connection.Connection` over this database."""
         from repro.api.connection import Connection
 
-        return Connection(self, engine=engine, batch_size=batch_size)
+        return Connection(self, engine=engine, batch_size=batch_size, workers=workers)
 
     def close(self) -> None:
         self._closed = True
@@ -311,6 +321,7 @@ class Database:
         *,
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
         session: Optional[str] = None,
     ) -> StatementResult:
         """Run one statement (SELECT / EXPLAIN / DDL / DML) end-to-end.
@@ -324,7 +335,7 @@ class Database:
         kind, normalized = normalize_statement(sql)
         if kind in _SELECT_KINDS:
             result = self._execute_select_kind(
-                sql, kind, normalized, params, engine, batch_size, session
+                sql, kind, normalized, params, engine, batch_size, workers, session
             )
         else:
             result = self._execute_other(sql, params)
@@ -504,6 +515,7 @@ class Database:
         params: Tuple[object, ...],
         engine: Optional[str],
         batch_size: Optional[int],
+        workers: Optional[int] = None,
         session: Optional[str] = None,
     ) -> StatementResult:
         entry, cached = self._cached_plan(sql, normalized, params)
@@ -522,7 +534,9 @@ class Database:
                 parameter_count=entry.parameter_count,
                 from_cache=cached,
             )
-        execution = self._run_plan(query, optimization.plan, params, engine, batch_size)
+        execution = self._run_plan(
+            query, optimization.plan, params, engine, batch_size, workers
+        )
         self.monitor.record_execution(execution, session=session)
         with self._counter_lock:
             self._executions += 1
@@ -562,16 +576,23 @@ class Database:
         params: Tuple[object, ...],
         engine: Optional[str],
         batch_size: Optional[int],
+        workers: Optional[int] = None,
     ) -> ExecutionResult:
         engine = engine if engine is not None else self.engine
         batch_size = batch_size if batch_size is not None else self.batch_size
+        workers = workers if workers is not None else self.workers
         # One consistent snapshot of every table for the whole statement:
         # concurrent writers keep publishing new versions, this statement
         # never sees them mid-flight.
         store = self._snapshot_store()
         try:
             executor = make_executor(
-                engine, query, store, batch_size=batch_size, parameters=params or None
+                engine,
+                query,
+                store,
+                batch_size=batch_size,
+                workers=workers,
+                parameters=params or None,
             )
         except ExecutionError as error:  # e.g. an invalid batch_size
             raise SqlError(str(error)) from error
@@ -699,7 +720,7 @@ class Database:
         bound = binder.bind_create_table(statement)
         with self._ddl_lock:
             self.catalog.create_table(bound.table, bound.indexes)
-            stored = StoredTable.with_columns(bound.table.column_names)
+            stored = StoredTable.for_table(bound.table)
             for index in bound.indexes:
                 stored.create_index(index)
             self._store[bound.table.name] = VersionedTable(stored)
@@ -725,8 +746,15 @@ class Database:
             adopted = StoredTable.from_column_table(stored)
         else:
             table = self.catalog.schema.table(name)
+            kinds = column_kinds(
+                table.column_names, [column.data_type for column in table.columns]
+            )
             adopted = StoredTable.from_column_table(
-                ColumnTable.from_rows(list(stored), columns=table.column_names)
+                # Typed buffers where the declared types allow; a column whose
+                # adopted values don't fit demotes itself back to a list.
+                ColumnTable.from_rows(
+                    list(stored), columns=table.column_names, kinds=kinds
+                )
             )
         for index in self.catalog.indexes_on(name):
             adopted.create_index(index)
@@ -875,7 +903,7 @@ class Database:
             stored = self._store.get(name)
             if stored is None:
                 table = self.catalog.schema.table(name)
-                created = StoredTable.with_columns(table.column_names)
+                created = StoredTable.for_table(table)
                 for index in self.catalog.indexes_on(name):
                     created.create_index(index)
                 stored = self._store[name] = VersionedTable(created)

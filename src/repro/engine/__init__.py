@@ -37,18 +37,33 @@ def make_executor(
     query,
     data: Mapping[str, object],
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
     parameters: Optional[Sequence[object]] = None,
 ):
     """Construct the named execution engine over *query* and *data*.
 
     ``data`` values are row-dict sequences or stored ``ColumnTable`` columns;
     ``parameters`` fills prepared-statement slots at execution time.
+    ``workers`` > 1 selects the morsel-parallel vectorized executor
+    (:mod:`repro.engine.parallel`); ``workers=1`` (or ``None``) is exactly
+    the serial path.  The row engine is single-threaded by design — it is
+    the differential-testing oracle — so it ignores ``workers``, which lets
+    a database-level ``workers`` default coexist with per-statement
+    ``engine="row"`` overrides.
     """
     validate_engine(engine)
+    if workers is not None and workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
     if engine == "row":
         return PlanExecutor(query, data, parameters=parameters)
     if batch_size is None:
         batch_size = DEFAULT_BATCH_SIZE
+    if workers is not None and workers > 1:
+        from repro.engine.parallel import ParallelExecutor
+
+        return ParallelExecutor(
+            query, data, batch_size=batch_size, workers=workers, parameters=parameters
+        )
     return VectorizedExecutor(query, data, batch_size=batch_size, parameters=parameters)
 
 

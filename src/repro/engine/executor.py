@@ -56,6 +56,10 @@ class ExecutionResult:
     #: statements (the Database-wide monitor) keep observations apart per
     #: query instead of conflating same-alias expressions.
     query_name: str = ""
+    #: worker-thread count when the morsel-parallel executor ran this
+    #: statement (None for the serial engines, so serial EXPLAIN ANALYZE
+    #: output is unchanged).
+    workers: Optional[int] = None
 
     @property
     def row_count(self) -> int:

@@ -1,0 +1,6 @@
+"""Morsel-driven parallel execution (see :mod:`repro.engine.parallel.executor`)."""
+
+from repro.engine.parallel.executor import ParallelExecutor
+from repro.engine.parallel.pool import shared_pool
+
+__all__ = ["ParallelExecutor", "shared_pool"]

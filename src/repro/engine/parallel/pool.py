@@ -1,0 +1,30 @@
+"""Shared morsel worker pools.
+
+One process-wide :class:`~concurrent.futures.ThreadPoolExecutor` per worker
+count, created lazily and reused across statements: executors are built per
+statement (:func:`repro.engine.make_executor`), and spinning threads up and
+down per query would dominate the morsel work itself.  Sharing one pool
+across concurrent statements (the serving tier) is safe because morsel tasks
+are leaves — they never submit to the pool themselves, so the pool cannot
+deadlock on its own capacity; concurrent statements simply queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict
+
+_lock = threading.Lock()
+_pools: Dict[int, ThreadPoolExecutor] = {}
+
+
+def shared_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide pool with *workers* threads (created on first use)."""
+    with _lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = _pools[workers] = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-morsel{workers}"
+            )
+        return pool

@@ -1,29 +1,53 @@
 """Column-array storage for the vectorized engine.
 
 A :class:`ColumnTable` is the unit of data exchanged between vectorized
-operators: a dict of column name → Python list, every list the same length.
-Operators never touch one row at a time from the outside; they slice the
-arrays into fixed-size batches, compute *selection vectors* (lists of row
-indices that survive a predicate) and gather the surviving positions into new
-column arrays.  Rows only exist as dicts at the very edges: when a scan
-ingests the session's row-shaped data and when the root operator materializes
-the final result for the caller.
+operators: a dict of column name → column array, every array the same
+length.  A column is either a plain Python list or a typed buffer
+(:class:`repro.storage.buffers.TypedColumn` — ``array('q')``/``array('d')``
+plus a null mask) when the schema pins it to INTEGER/FLOAT; both quack the
+same, and call sites go through the shared materialization helpers
+(:func:`column_values` / :func:`gather_values` / :func:`copy_column`) rather
+than touching column internals.  Operators never touch one row at a time
+from the outside; they slice the arrays into fixed-size batches, compute
+*selection vectors* (lists of row indices that survive a predicate) and
+gather the surviving positions into new column arrays.  Rows only exist as
+dicts at the very edges: when a scan ingests the session's row-shaped data
+and when the root operator materializes the final result for the caller.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.storage.buffers import (
+    BufferTypeError,
+    column_values,
+    copy_column,
+    gather_values,
+    make_column,
+)
 
 #: Default number of rows processed per batch.  Large enough that per-batch
 #: Python overhead amortizes, small enough that intermediate selection
-#: vectors stay cache-friendly.
+#: vectors stay cache-friendly.  Doubles as the morsel size of the parallel
+#: executor (:mod:`repro.engine.parallel`).
 DEFAULT_BATCH_SIZE = 1024
 
 Row = Dict[str, object]
 
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ColumnTable",
+    "Row",
+    "TableView",
+    "column_values",
+    "copy_column",
+    "gather_values",
+]
+
 
 class ColumnTable:
-    """An immutable-by-convention columnar table: name → equal-length lists."""
+    """An immutable-by-convention columnar table: name → equal-length arrays."""
 
     __slots__ = ("columns", "row_count")
 
@@ -40,18 +64,32 @@ class ColumnTable:
         return cls({}, 0)
 
     @classmethod
-    def with_columns(cls, names: Sequence[str]) -> "ColumnTable":
-        """An empty table with a fixed column set (a stored base table)."""
-        return cls({name: [] for name in names}, 0)
+    def with_columns(
+        cls,
+        names: Sequence[str],
+        kinds: Optional[Mapping[str, Optional[str]]] = None,
+    ) -> "ColumnTable":
+        """An empty table with a fixed column set (a stored base table).
+
+        *kinds* optionally assigns a typed-buffer kind per column
+        (``"int"``/``"float"`` from :mod:`repro.storage.buffers`); unmapped
+        columns stay plain lists.
+        """
+        if kinds is None:
+            return cls({name: [] for name in names}, 0)
+        return cls({name: make_column(kinds.get(name)) for name in names}, 0)
 
     @classmethod
     def from_rows(
-        cls, rows: Sequence[Row], columns: Optional[Sequence[str]] = None
+        cls,
+        rows: Sequence[Row],
+        columns: Optional[Sequence[str]] = None,
+        kinds: Optional[Mapping[str, Optional[str]]] = None,
     ) -> "ColumnTable":
         """Pivot row dicts into columns (column set from *columns* or first row)."""
         if columns is None:
             columns = list(rows[0].keys()) if rows else []
-        table = cls.with_columns(columns)
+        table = cls.with_columns(columns, kinds=kinds)
         table.append_rows(rows)
         return table
 
@@ -61,10 +99,23 @@ class ColumnTable:
         """Append row dicts; missing keys fill with None.  Returns rows added.
 
         This is the storage-side mutation used by INSERT/COPY.  Tables flowing
-        *between* operators stay immutable-by-convention.
+        *between* operators stay immutable-by-convention.  A typed column that
+        cannot hold a batch exactly (adopted data with off-type values, int64
+        overflow) demotes itself to a plain list — appends never fail on
+        representation, only on constraints.
         """
-        for name, values in self.columns.items():
-            values.extend([row.get(name) for row in rows])
+        for name in self.columns:
+            values = self.columns[name]
+            batch = [row.get(name) for row in rows]
+            if isinstance(values, list):
+                values.extend(batch)
+                continue
+            try:
+                values.extend(batch)  # atomic: nothing lands on failure
+            except BufferTypeError:
+                demoted = values.tolist()
+                demoted.extend(batch)
+                self.columns[name] = demoted
         self.row_count += len(rows)
         return len(rows)
 
@@ -81,7 +132,8 @@ class ColumnTable:
             # only outputs are computed expressions): emit empty dicts for
             # the derived columns to land in.
             return [{} for _ in range(self.row_count)]
-        return [dict(zip(names, values)) for values in zip(*(self.columns[n] for n in names))]
+        arrays = (column_values(self.columns[n]) for n in names)
+        return [dict(zip(names, values)) for values in zip(*arrays)]
 
 
 class TableView:
@@ -118,7 +170,7 @@ class TableView:
             if values is not None:
                 if index is None:
                     return values
-                return [values[i] for i in index]
+                return gather_values(values, index)
         return None
 
     def column_names(self) -> List[str]:

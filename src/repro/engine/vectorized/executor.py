@@ -42,6 +42,7 @@ from repro.engine.vectorized.columns import (
     DEFAULT_BATCH_SIZE,
     ColumnTable,
     TableView,
+    gather_values,
 )
 from repro.relational import scalar
 from repro.relational.plan import PhysicalOperator, PhysicalPlan
@@ -372,7 +373,7 @@ class VectorizedExecutor:
             elif selection is None:
                 output[f"{alias}.{name}"] = values
             else:
-                output[f"{alias}.{name}"] = [values[index] for index in selection]
+                output[f"{alias}.{name}"] = gather_values(values, selection)
         return ColumnTable(output, row_count)
 
     # ------------------------------------------------------------------
@@ -771,14 +772,20 @@ class VectorizedExecutor:
             return [sum(1 for i in ix if values[i] is not None) for ix in group_indices]
         if clean and not distinct:
             if function is AggregateFunction.SUM:
-                return [sum([values[i] for i in ix]) if ix else None for ix in group_indices]
+                return [
+                    sum(gather_values(values, ix)) if ix else None for ix in group_indices
+                ]
             if function is AggregateFunction.MIN:
-                return [min([values[i] for i in ix]) if ix else None for ix in group_indices]
+                return [
+                    min(gather_values(values, ix)) if ix else None for ix in group_indices
+                ]
             if function is AggregateFunction.MAX:
-                return [max([values[i] for i in ix]) if ix else None for ix in group_indices]
+                return [
+                    max(gather_values(values, ix)) if ix else None for ix in group_indices
+                ]
             if function is AggregateFunction.AVG:
                 return [
-                    sum([values[i] for i in ix]) / len(ix) if ix else None
+                    sum(gather_values(values, ix)) / len(ix) if ix else None
                     for ix in group_indices
                 ]
         if function is AggregateFunction.SUM:
@@ -795,7 +802,7 @@ class VectorizedExecutor:
         out: List[object] = []
         append = out.append
         for ix in group_indices:
-            gathered = [v for v in [values[i] for i in ix] if v is not None]
+            gathered = [v for v in gather_values(values, ix) if v is not None]
             if distinct:
                 gathered = list(set(gathered))
             append(final(gathered) if gathered else None)

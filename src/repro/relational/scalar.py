@@ -1018,6 +1018,15 @@ def compile_filter(
     missing column raises exactly when the row backend would).  Everything
     else falls back to the generic batched evaluator.  Parameter slots
     resolve once, at compile time, like :func:`compile_row`.
+
+    When the resolved array is a typed buffer
+    (:class:`repro.storage.buffers.TypedColumn`), each sargable closure first
+    probes the buffer's vectorized kernel (``filter_compare`` & friends) via
+    ``getattr`` — duck typing keeps this module free of storage imports.  A
+    kernel returns ``None`` whenever vectorized evaluation could diverge
+    from exact Python comparison semantics, in which case the loop below
+    runs unchanged; a typed buffer never holds :data:`MISSING`, so the
+    kernels don't need the ragged-row check.
     """
     if isinstance(expr, And):
         arms = [compile_filter(item, parameters) for item in expr.items]
@@ -1046,9 +1055,16 @@ def compile_filter(
         if isinstance(left, Column) and isinstance(right, Column):
             left_ref, right_ref = left.ref, right.ref
 
+            op_symbol = expr.op.value
+
             def column_to_column(resolve: Resolve, indices: Sequence[int]) -> List[int]:
                 left_values = resolve(left_ref)
                 right_values = resolve(right_ref)
+                fast = getattr(left_values, "filter_compare_with", None)
+                if fast is not None:
+                    hits = fast(right_values, op_symbol, indices)
+                    if hits is not None:
+                        return hits
                 out: List[int] = []
                 append = out.append
                 for index in indices:
@@ -1079,8 +1095,14 @@ def compile_filter(
                 ref=ref,
                 constant=constant,
                 flipped=flipped,
+                op_symbol=expr.op.value,
             ) -> List[int]:
                 values = resolve(ref)
+                fast = getattr(values, "filter_compare", None)
+                if fast is not None:
+                    hits = fast(op_symbol, constant, indices, flipped)
+                    if hits is not None:
+                        return hits
                 out: List[int] = []
                 append = out.append
                 for index in indices:
@@ -1110,6 +1132,11 @@ def compile_filter(
 
             def between(resolve: Resolve, indices: Sequence[int]) -> List[int]:
                 values = resolve(ref)
+                fast = getattr(values, "filter_between", None)
+                if fast is not None:
+                    hits = fast(low, high, negated, indices)
+                    if hits is not None:
+                        return hits
                 out: List[int] = []
                 append = out.append
                 for index in indices:
@@ -1135,6 +1162,11 @@ def compile_filter(
 
                 def not_in_list(resolve: Resolve, indices: Sequence[int]) -> List[int]:
                     values = resolve(ref)
+                    fast = getattr(values, "filter_in", None)
+                    if fast is not None:
+                        hits = fast(pool, True, indices)
+                        if hits is not None:
+                            return hits
                     out: List[int] = []
                     append = out.append
                     for index in indices:
@@ -1153,6 +1185,11 @@ def compile_filter(
                 # A NULL item only turns FALSE into NULL; the TRUE set is
                 # unchanged, so membership in the non-null pool is exact.
                 values = resolve(ref)
+                fast = getattr(values, "filter_in", None)
+                if fast is not None:
+                    hits = fast(pool, False, indices)
+                    if hits is not None:
+                        return hits
                 out: List[int] = []
                 append = out.append
                 for index in indices:
@@ -1172,6 +1209,9 @@ def compile_filter(
 
         def is_null(resolve: Resolve, indices: Sequence[int]) -> List[int]:
             values = resolve(ref)
+            fast = getattr(values, "filter_null", None)
+            if fast is not None:
+                return fast(want_null, indices)
             out: List[int] = []
             append = out.append
             for index in indices:

@@ -346,6 +346,13 @@ def start_server_thread(
 # -- console entry point ----------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -356,6 +363,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=4, help="executor pool threads")
     parser.add_argument("--pool-size", type=int, default=None, help="connection pool size")
     parser.add_argument(
+        "--query-workers",
+        type=_positive_int,
+        default=None,
+        help="morsel-parallel worker threads per statement "
+        "(default 1 = serial; distinct from --workers, the number of "
+        "statements executing concurrently)",
+    )
+    parser.add_argument(
         "--init",
         metavar="SQL_FILE",
         default=None,
@@ -364,7 +379,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--engine", default=None, help="default execution engine")
     args = parser.parse_args(argv)
 
-    database = Database(engine=args.engine) if args.engine else Database()
+    options = {}
+    if args.engine:
+        options["engine"] = args.engine
+    if args.query_workers:
+        options["workers"] = args.query_workers
+    database = Database(**options)
     if args.init:
         with open(args.init, encoding="utf-8") as handle:
             database.execute_script(handle.read())

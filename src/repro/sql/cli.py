@@ -74,17 +74,27 @@ def build_connection(
     seed: int,
     engine: str = DEFAULT_ENGINE,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
     empty: bool = False,
 ) -> Connection:
     """A connection over an empty, analytic-catalog or data-backed database."""
     if empty:
-        return api.connect(engine=engine, batch_size=batch_size)
+        return api.connect(engine=engine, batch_size=batch_size, workers=workers)
     if data_scale is None:
         return api.connect(
-            tpch_catalog(scale_factor=scale), engine=engine, batch_size=batch_size
+            tpch_catalog(scale_factor=scale),
+            engine=engine,
+            batch_size=batch_size,
+            workers=workers,
         )
     data = generate_tpch_data(scale_factor=data_scale, seed=seed)
-    return api.connect(catalog_from_data(data), data, engine=engine, batch_size=batch_size)
+    return api.connect(
+        catalog_from_data(data),
+        data,
+        engine=engine,
+        batch_size=batch_size,
+        workers=workers,
+    )
 
 
 def parse_parameter(text: str) -> Parameter:
@@ -272,6 +282,13 @@ def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
             print(f"error: {error}", file=sys.stderr)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sql", description="SQL frontend over the repro optimizer stack"
@@ -322,6 +339,13 @@ def main(argv: Optional[list] = None) -> int:
         f"(default {DEFAULT_BATCH_SIZE}; ignored by --engine row)",
     )
     parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker threads for morsel-parallel execution "
+        "(default 1 = serial; needs the vectorized engine)",
+    )
+    parser.add_argument(
         "--param",
         action="append",
         default=None,
@@ -358,6 +382,7 @@ def main(argv: Optional[list] = None) -> int:
             args.seed,
             engine=args.engine,
             batch_size=args.batch_size,
+            workers=args.workers,
             empty=args.empty,
         )
     parameters = [parse_parameter(text) for text in args.param] if args.param else None

@@ -73,7 +73,10 @@ def explain_header(query: Query, optimization: OptimizationResult) -> str:
 
 def explain_footer(execution: ExecutionResult) -> str:
     """The timing/engine line below an EXPLAIN ANALYZE plan."""
-    return (
+    footer = (
         f"\nexecution time: {execution.elapsed_seconds * 1000:.2f} ms, "
         f"output rows: {execution.row_count}, engine: {execution.engine}"
     )
+    if execution.workers is not None:
+        footer += f", workers={execution.workers}"
+    return footer

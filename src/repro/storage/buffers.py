@@ -1,0 +1,491 @@
+"""Typed column buffers: contiguous storage for INTEGER/FLOAT columns.
+
+A :class:`TypedColumn` stores a column's non-NULL values in a compact
+``array('q')`` (int64) or ``array('d')`` (float64) plus a byte-per-row null
+mask (1 = NULL; NULL rows hold a zero placeholder in the value buffer).  It
+quacks like the plain Python list the engines historically used — ``len``,
+indexing, slicing, iteration, ``in`` — so every existing call site keeps
+working, while filter kernels can run over contiguous memory.
+
+The module is deliberately standalone (no ``repro`` imports) so it sits at
+the very bottom of the import graph: ``storage.table`` builds typed columns,
+``engine/vectorized`` materializes them through duck-typed helpers, and
+``relational.scalar`` reaches the kernels through ``getattr`` probes — no
+layer above needs to know whether a column is a list or a buffer.
+
+numpy is optional.  When importable, the ``filter_*`` kernels evaluate
+predicates vectorized over zero-copy ``frombuffer`` views of the arrays
+(releasing the GIL for the comparison itself, which is what makes morsel
+threads worthwhile); without numpy every kernel returns ``None`` and the
+caller falls back to the generic per-row loop.  Either way the *semantics*
+are fixed by the fallback: kernels refuse (return ``None``) whenever
+vectorized evaluation could diverge from exact Python comparisons — e.g.
+int/float comparisons beyond 2**53 — rather than silently round.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from array import array
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+try:  # numpy accelerates the kernels but is never required
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via monkeypatching in tests
+    _np = None
+
+#: Buffer kinds.  ``INT`` backs INTEGER and DATE columns (days since epoch),
+#: ``FLOAT`` backs FLOAT columns; everything else (TEXT, mixed adopted data)
+#: stays a plain Python list.
+INT = "int"
+FLOAT = "float"
+
+_TYPECODES = {INT: "q", FLOAT: "d"}
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+#: ints with magnitude <= 2**53 survive the int -> float64 round trip
+#: exactly; beyond it, vectorized int/float comparisons could round where
+#: Python would compare exactly, so the kernels fall back.
+_EXACT_FLOAT_INT = 2**53
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: ``constant OP value`` rewritten as ``value OP' constant``.
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+Indices = Union[range, Sequence[int]]
+
+
+def kind_for_type(type_name: Optional[str]) -> Optional[str]:
+    """Map a :class:`~repro.relational.schema.DataType` name to a buffer kind.
+
+    Returns ``None`` for types that stay list-backed (TEXT/STRING, unknown).
+    """
+    if type_name in ("INTEGER", "DATE"):
+        return INT
+    if type_name == "FLOAT":
+        return FLOAT
+    return None
+
+
+def make_column(kind: Optional[str]) -> Union["TypedColumn", List[object]]:
+    """A fresh empty column of the given kind (``None`` -> plain list)."""
+    if kind is None:
+        return []
+    return TypedColumn(kind)
+
+
+class BufferTypeError(TypeError):
+    """A value does not fit the column's typed buffer (wrong type/overflow)."""
+
+
+class TypedColumn:
+    """An int64/float64 column buffer with a null mask, list-compatible.
+
+    Mutations (:meth:`append` / :meth:`extend`) are *atomic*: values are
+    validated into a scratch buffer first, so a failed batch leaves the
+    column untouched — the caller can then demote the column to a plain
+    list and retry without having to undo a partial append.
+    """
+
+    __slots__ = ("kind", "data", "mask", "null_count")
+
+    def __init__(
+        self,
+        kind: str,
+        data: Optional[array] = None,
+        mask: Optional[bytearray] = None,
+        null_count: int = 0,
+    ) -> None:
+        if kind not in _TYPECODES:
+            raise ValueError(f"unknown buffer kind {kind!r}")
+        self.kind = kind
+        self.data = data if data is not None else array(_TYPECODES[kind])
+        #: one byte per row, 1 = NULL (the value buffer holds a 0 there).
+        self.mask = mask if mask is not None else bytearray(len(self.data))
+        self.null_count = null_count
+
+    # -- list protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            data = self.data[item]
+            if not self.null_count:
+                return data.tolist()
+            mask = self.mask[item]
+            return [None if flag else value for value, flag in zip(data, mask)]
+        if self.null_count and self.mask[item]:
+            return None
+        return self.data[item]
+
+    def __iter__(self):
+        if not self.null_count:
+            return iter(self.data)
+        return iter(self.tolist())
+
+    def __contains__(self, value) -> bool:
+        if value is None:
+            return self.null_count > 0
+        if not self.null_count:
+            try:
+                return value in self.data
+            except TypeError:  # non-numeric probe can never match
+                return False
+        mask = self.mask
+        for pos, stored in enumerate(self.data):
+            if not mask[pos] and stored == value:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TypedColumn(kind={self.kind!r}, rows={len(self.data)}, "
+            f"nulls={self.null_count})"
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, value) -> None:
+        self.extend((value,))
+
+    def extend(self, values: Iterable[object]) -> None:
+        """Append a batch; all values land or none do (validate-then-commit).
+
+        Raises :class:`BufferTypeError` when any value cannot be stored
+        exactly (wrong type, bool, or int64 overflow).
+        """
+        data = array(_TYPECODES[self.kind])
+        mask = bytearray()
+        nulls = 0
+        is_int = self.kind == INT
+        for value in values:
+            if value is None:
+                data.append(0)
+                mask.append(1)
+                nulls += 1
+                continue
+            cls = type(value)  # exact type: bool must not collapse into 0/1
+            if is_int:
+                if cls is not int:
+                    raise BufferTypeError(
+                        f"cannot store {value!r} in an int64 column"
+                    )
+                try:
+                    data.append(value)
+                except OverflowError as exc:
+                    raise BufferTypeError(str(exc)) from exc
+            else:
+                if cls is float:
+                    data.append(value)
+                elif cls is int:
+                    # FLOAT columns admit ints (binder coercion rule); store
+                    # the float64 the comparison semantics expect.  Huge ints
+                    # that do not round-trip stay out of the typed buffer.
+                    as_float = float(value)
+                    if int(as_float) != value:
+                        raise BufferTypeError(
+                            f"int {value!r} is not exactly representable as float64"
+                        )
+                    data.append(as_float)
+                else:
+                    raise BufferTypeError(
+                        f"cannot store {value!r} in a float64 column"
+                    )
+            mask.append(0)
+        self.data.extend(data)
+        self.mask.extend(mask)
+        self.null_count += nulls
+
+    def copy(self) -> "TypedColumn":
+        return TypedColumn(
+            self.kind, array(self.data.typecode, self.data),
+            bytearray(self.mask), self.null_count,
+        )
+
+    # -- materialization ---------------------------------------------------
+
+    def tolist(self) -> List[object]:
+        """The column as a plain Python list (NULLs restored to ``None``)."""
+        values = self.data.tolist()
+        if self.null_count:
+            for pos, flag in enumerate(self.mask):
+                if flag:
+                    values[pos] = None
+        return values
+
+    def gather(self, indices: Indices) -> List[object]:
+        """``[column[i] for i in indices]``, accelerated when possible."""
+        data = self.data
+        if not self.null_count:
+            if isinstance(indices, range):
+                return data[indices.start : indices.stop : indices.step].tolist()
+            if _np is not None and len(indices) >= 64:
+                view = self._np_data()
+                return view[_np.asarray(indices, dtype=_np.intp)].tolist()
+            return [data[i] for i in indices]
+        mask = self.mask
+        return [None if mask[i] else data[i] for i in indices]
+
+    # -- numpy views -------------------------------------------------------
+
+    def _np_data(self):
+        # Zero-copy view over the array buffer; keep it function-local — a
+        # live export blocks array resizing (mutation happens only on
+        # copy-on-write drafts, never on a column a kernel is viewing).
+        dtype = _np.int64 if self.kind == INT else _np.float64
+        return _np.frombuffer(memoryview(self.data), dtype=dtype)
+
+    def _np_mask(self):
+        return _np.frombuffer(memoryview(self.mask), dtype=_np.bool_)
+
+    def _select(self, keep, indices, idx) -> List[int]:
+        """Positions of *indices* where boolean vector *keep* holds."""
+        if self.null_count:
+            if idx is None:
+                keep &= ~self._np_mask()[indices.start : indices.stop]
+            else:
+                keep &= ~self._np_mask()[idx]
+        if idx is None:
+            hits = _np.nonzero(keep)[0]
+            if indices.start:
+                hits = hits + indices.start
+            return hits.tolist()
+        return idx[keep].tolist()
+
+    def _vals(self, indices):
+        """(values, idx) where idx is None for a contiguous range."""
+        view = self._np_data()
+        if isinstance(indices, range) and indices.step == 1:
+            return view[indices.start : indices.stop], None
+        idx = _np.asarray(indices, dtype=_np.intp)
+        return view[idx], idx
+
+    def _nonnull(self, indices) -> List[int]:
+        if not self.null_count:
+            return list(indices)
+        mask = self.mask
+        return [i for i in indices if not mask[i]]
+
+    # -- filter kernels (None -> caller falls back to the generic loop) ----
+
+    def filter_compare(
+        self, op: str, constant, indices: Indices, flipped: bool = False
+    ) -> Optional[List[int]]:
+        """Indices whose value satisfies ``value OP constant`` (NULLs drop).
+
+        Exactness guard: the constant is normalized so the vectorized
+        comparison is bit-for-bit what Python's mixed int/float comparison
+        would produce; anything unrepresentable returns ``None``.
+        """
+        if _np is None:
+            return None
+        if flipped:
+            op = _FLIPPED[op]
+        normalized = self._normalize_constant(op, constant)
+        if normalized is None:
+            return None
+        op, constant = normalized
+        if op == "never":
+            return []
+        if op == "all":
+            return self._nonnull(indices)
+        if len(indices) == 0:
+            return []
+        vals, idx = self._vals(indices)
+        return self._select(_OPS[op](vals, constant), indices, idx)
+
+    def _normalize_constant(self, op: str, constant):
+        """Rewrite (op, constant) for exact evaluation, or ``None`` to bail.
+
+        ``("never", _)`` / ``("all", _)`` short-circuit: no row / every
+        non-NULL row matches.
+        """
+        cls = type(constant)
+        if self.kind == INT:
+            if cls is int:
+                if _INT64_MIN <= constant <= _INT64_MAX:
+                    return op, constant
+                return None  # out-of-range int64: rare, let Python decide
+            if cls is float:
+                if math.isnan(constant) or math.isinf(constant):
+                    return None
+                if constant == int(constant):
+                    return self._normalize_constant(op, int(constant))
+                # fractional bound against integers: exact floor/ceil rewrite
+                if op == "=":
+                    return ("never", None)
+                if op == "!=":
+                    return ("all", None)
+                if op in ("<", "<="):
+                    return self._normalize_constant("<=", math.floor(constant))
+                return self._normalize_constant(">=", math.ceil(constant))
+            return None
+        # FLOAT column
+        if cls is float:
+            if math.isnan(constant):
+                return None
+            return op, constant
+        if cls is int:
+            if abs(constant) <= _EXACT_FLOAT_INT:
+                return op, float(constant)
+            return None
+        return None
+
+    def filter_between(
+        self, low, high, negated: bool, indices: Indices
+    ) -> Optional[List[int]]:
+        """Indices where ``low <= value <= high`` (XOR *negated*); NULLs drop."""
+        if _np is None:
+            return None
+        low_n = self._normalize_constant(">=", low)
+        high_n = self._normalize_constant("<=", high)
+        if low_n is None or high_n is None:
+            return None
+        if low_n[0] != ">=" or high_n[0] != "<=":
+            return None  # a bound collapsed to never/all: let Python decide
+        if len(indices) == 0:
+            return []
+        vals, idx = self._vals(indices)
+        inside = (vals >= low_n[1]) & (vals <= high_n[1])
+        if negated:
+            inside = ~inside
+        return self._select(inside, indices, idx)
+
+    def filter_in(
+        self, pool: FrozenSet[object], negated: bool, indices: Indices
+    ) -> Optional[List[int]]:
+        """Indices where ``value in pool`` (XOR *negated*); NULLs drop.
+
+        Pool members that can never equal a stored value (strings, huge or
+        fractional numbers for this kind) are simply dropped — exactly what
+        Python's ``in`` would conclude about them.
+        """
+        if _np is None:
+            return None
+        members = self._pool_members(pool)
+        if members is None:
+            return None
+        if len(indices) == 0:
+            return []
+        if not members:
+            return [] if not negated else self._nonnull(indices)
+        vals, idx = self._vals(indices)
+        dtype = _np.int64 if self.kind == INT else _np.float64
+        keep = _np.isin(vals, _np.array(members, dtype=dtype))
+        if negated:
+            keep = ~keep
+        return self._select(keep, indices, idx)
+
+    def _pool_members(self, pool) -> Optional[List[object]]:
+        members: List[object] = []
+        for member in pool:
+            cls = type(member)
+            if cls is str:
+                continue  # cross-type equality is simply False
+            if self.kind == INT:
+                if cls is float:
+                    if math.isnan(member) or math.isinf(member):
+                        continue  # never equals an int
+                    if member != int(member):
+                        continue  # fractional: never equals a stored int
+                    member = int(member)  # integral float matches the int
+                elif cls is not int:
+                    return None
+                if not (_INT64_MIN <= member <= _INT64_MAX):
+                    return None
+                members.append(member)
+            else:
+                if cls is float:
+                    if math.isnan(member):
+                        continue  # nan == x is always False
+                    members.append(member)
+                elif cls is int:
+                    as_float = float(member)
+                    if int(as_float) == member:
+                        members.append(as_float)
+                    # else: not float64-representable, can never equal one
+                else:
+                    return None
+        return members
+
+    def filter_null(self, want_null: bool, indices: Indices) -> List[int]:
+        """Indices whose value IS NULL (or IS NOT NULL).  Always available —
+        the mask answers this without touching the value buffer."""
+        if not self.null_count:
+            return [] if want_null else list(indices)
+        mask = self.mask
+        if want_null:
+            return [i for i in indices if mask[i]]
+        return [i for i in indices if not mask[i]]
+
+    def filter_compare_with(
+        self, other, op: str, indices: Indices
+    ) -> Optional[List[int]]:
+        """Indices where ``self[i] OP other[i]`` holds (NULL on either drops).
+
+        Same-kind columns only: mixing int64 and float64 would promote
+        through float64 and could round where Python compares exactly.
+        """
+        if _np is None:
+            return None
+        if not isinstance(other, TypedColumn) or other.kind != self.kind:
+            return None
+        if len(indices) == 0:
+            return []
+        lvals, idx = self._vals(indices)
+        if idx is None:
+            rvals = other._np_data()[indices.start : indices.stop]
+        else:
+            rvals = other._np_data()[idx]
+        keep = _OPS[op](lvals, rvals)
+        if other.null_count:
+            if idx is None:
+                keep = keep & ~other._np_mask()[indices.start : indices.stop]
+            else:
+                keep = keep & ~other._np_mask()[idx]
+        return self._select(keep, indices, idx)
+
+
+# -- duck-typed helpers (work on TypedColumn and plain lists alike) --------
+
+
+def column_values(column) -> List[object]:
+    """The column as a plain list; zero-copy when it already is one."""
+    if isinstance(column, TypedColumn):
+        return column.tolist()
+    return column
+
+
+def gather_values(column, indices: Indices) -> List[object]:
+    """Gather positions out of a column of either representation."""
+    if isinstance(column, TypedColumn):
+        return column.gather(indices)
+    return [column[i] for i in indices]
+
+
+def copy_column(column):
+    """An independent mutable copy preserving the representation."""
+    if isinstance(column, TypedColumn):
+        return column.copy()
+    return list(column)
+
+
+def column_kinds(column_names: Sequence[str], data_types: Sequence[object]) -> Dict[str, Optional[str]]:
+    """name -> buffer kind for a schema's columns (enum or string types)."""
+    kinds: Dict[str, Optional[str]] = {}
+    for name, data_type in zip(column_names, data_types):
+        type_name = getattr(data_type, "name", data_type)
+        kinds[name] = kind_for_type(type_name)
+    return kinds

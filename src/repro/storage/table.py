@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import SchemaError
-from repro.engine.vectorized.columns import ColumnTable, Row
-from repro.relational.schema import Index
+from repro.engine.vectorized.columns import ColumnTable, Row, copy_column
+from repro.relational.schema import Index, Table
+from repro.storage.buffers import column_kinds
 from repro.storage.indexes import PhysicalIndex, build_index, select_index
 
 
@@ -40,17 +41,27 @@ class StoredTable(ColumnTable):
         """Adopt an existing columnar table's arrays (no copying)."""
         return cls(table.columns, table.row_count)
 
+    @classmethod
+    def for_table(cls, table: Table) -> "StoredTable":
+        """An empty store typed from the schema: INTEGER/DATE columns get
+        int64 buffers, FLOAT columns float64 buffers, the rest plain lists
+        (see :mod:`repro.storage.buffers`)."""
+        names = table.column_names
+        kinds = column_kinds(names, [column.data_type for column in table.columns])
+        return cls.with_columns(names, kinds=kinds)
+
     def copy_for_write(self) -> "StoredTable":
-        """An independent, mutable copy: column lists and indexes cloned.
+        """An independent, mutable copy: column arrays and indexes cloned.
 
         This is the write side of copy-on-write versioning
         (:class:`repro.storage.versioning.VersionedTable`): a writer mutates
         the copy and publishes it as a new version, so every reader holding
         the original keeps a table whose arrays and indexes never change
-        underneath it.
+        underneath it.  Typed buffers stay typed buffers across the copy —
+        COW must never silently demote a column's representation.
         """
         copied = StoredTable(
-            {name: list(values) for name, values in self.columns.items()},
+            {name: copy_column(values) for name, values in self.columns.items()},
             self.row_count,
         )
         copied.indexes = {name: index.clone() for name, index in self.indexes.items()}

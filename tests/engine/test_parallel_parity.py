@@ -1,0 +1,205 @@
+"""Differential parity for the morsel-parallel executor.
+
+The parallel executor promises *byte-identical* results to the serial
+vectorized engine — morsels merge in morsel order, group-by keeps serial
+first-occurrence order, float aggregation never reassociates — so every test
+here runs the same statement through the row-engine oracle, the serial
+vectorized engine (``workers=1``) and the parallel one (``workers=4``) and
+asserts identical rows *and* identical observed cardinalities (the input the
+re-optimizer consumes; per-morsel counts must sum to the serial counts).
+
+Both storage representations are covered: typed ``array``-backed column
+buffers (what SQL-created tables use) and plain list-backed columns (adopted
+legacy data) — the kernels' fast paths and the pure-Python fallbacks must
+agree.  Morsel-boundary edge cases get dedicated tests: an empty table, a
+table smaller than one morsel, and a batch size that does not divide the row
+count.
+"""
+
+import random
+
+import pytest
+from test_expression_parity import ExpressionGenerator
+
+import repro
+from repro.engine.vectorized.columns import ColumnTable
+from repro.storage.buffers import column_kinds
+from repro.workloads.sql_queries import PARITY_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_schema
+
+STORES = ("typed", "list")
+QUERY_NAMES = sorted(PARITY_SQL)
+
+#: (label, workers) — the row engine ignores workers and serves as the oracle.
+ROLES = (("row", None), ("serial", 1), ("parallel", 4))
+
+
+def build_tables(dataset, variant):
+    """The TPC-H tables as ColumnTables — typed buffers or plain lists."""
+    tables = {}
+    for table in tpch_schema().tables:
+        kinds = None
+        if variant == "typed":
+            kinds = column_kinds(
+                table.column_names, [column.data_type for column in table.columns]
+            )
+        tables[table.name] = ColumnTable.from_rows(
+            list(dataset[table.name]), columns=table.column_names, kinds=kinds
+        )
+    return tables
+
+
+@pytest.fixture(scope="module")
+def tpch_databases():
+    """{store variant: {role: Database}} over one shared TPC-H dataset."""
+    dataset = generate_tpch_data(scale_factor=0.0005, seed=5)
+    catalog = catalog_from_data(dataset)
+    databases = {}
+    for variant in STORES:
+        tables = build_tables(dataset, variant)
+        databases[variant] = {
+            label: repro.connect(
+                catalog,
+                tables,
+                engine="row" if label == "row" else "vectorized",
+                workers=workers,
+            ).database
+            for label, workers in ROLES
+        }
+    return databases
+
+
+@pytest.mark.parametrize("variant", STORES)
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_workload_parity(name, variant, tpch_databases):
+    """The whole parity workload agrees across engines, workers and stores."""
+    sql = PARITY_SQL[name]
+    results = {
+        label: database.execute(sql)
+        for label, database in tpch_databases[variant].items()
+    }
+    for label in ("serial", "parallel"):
+        assert results[label].rows == results["row"].rows, (name, variant, label)
+        assert (
+            results[label].execution.observed_cardinalities
+            == results["row"].execution.observed_cardinalities
+        ), (name, variant, label)
+    assert results["parallel"].execution.workers == 4, name
+    assert results["serial"].execution.workers is None, name
+
+
+def test_typed_and_list_stores_agree(tpch_databases):
+    """Same statement over typed buffers vs list columns: identical output."""
+    sql = PARITY_SQL["Q1"]
+    outputs = {
+        variant: tpch_databases[variant]["parallel"].execute(sql).rows
+        for variant in STORES
+    }
+    assert outputs["typed"] == outputs["list"]
+    assert repr(outputs["typed"]) == repr(outputs["list"])
+
+
+# ---------------------------------------------------------------------------
+# Randomized expression trees (reusing the parity grammar) across stores
+# ---------------------------------------------------------------------------
+
+TPCH_COLUMNS = {
+    "l_orderkey": "int",
+    "l_quantity": "float",
+    "l_extendedprice": "float",
+    "l_shipdate": "int",
+    "l_returnflag": "int",
+}
+TPCH_LITERALS = {
+    "l_orderkey": [10, 80, 400, 900],
+    "l_quantity": [5.0, 17.0, 33.0, 49.0],
+    "l_extendedprice": [1000.0, 20_000.0, 60_000.0],
+    "l_shipdate": [365, 1100, 2000],
+    "l_returnflag": [0, 1, 2],
+}
+
+RANDOM_SEEDS = range(60)
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_random_tree_parity_across_workers(seed, tpch_databases):
+    rng = random.Random(9000 + seed)
+    generator = ExpressionGenerator(rng, TPCH_COLUMNS, TPCH_LITERALS)
+    predicate = generator.boolean(depth=3)
+    sql = f"SELECT l_orderkey FROM lineitem WHERE {predicate} ORDER BY l_orderkey"
+    variant = STORES[seed % len(STORES)]
+    results = {
+        label: database.execute(sql)
+        for label, database in tpch_databases[variant].items()
+    }
+    for label in ("serial", "parallel"):
+        assert results[label].rows == results["row"].rows, (sql, variant, label)
+        assert (
+            results[label].execution.observed_cardinalities
+            == results["row"].execution.observed_cardinalities
+        ), (sql, variant, label)
+
+
+# ---------------------------------------------------------------------------
+# Morsel-boundary edge cases (DDL-created tables, typed store path)
+# ---------------------------------------------------------------------------
+
+
+def connect_pair(script, batch_size=None):
+    """A serial and a workers=4 connection over identically-built databases."""
+    serial = repro.connect(engine="vectorized", batch_size=batch_size)
+    parallel = repro.connect(engine="vectorized", batch_size=batch_size, workers=4)
+    for connection in (serial, parallel):
+        connection.executescript(script)
+    return serial, parallel
+
+
+def assert_same_result(serial, parallel, sql):
+    left = serial.database.execute(sql)
+    right = parallel.database.execute(sql)
+    assert left.rows == right.rows, sql
+    assert repr(left.rows) == repr(right.rows), sql
+    assert (
+        left.execution.observed_cardinalities == right.execution.observed_cardinalities
+    ), sql
+
+
+def test_parallel_empty_table():
+    script = "CREATE TABLE empty_t (k INTEGER, v FLOAT, PRIMARY KEY (k)); ANALYZE empty_t"
+    serial, parallel = connect_pair(script)
+    assert_same_result(serial, parallel, "SELECT k FROM empty_t WHERE v > 1.0")
+    assert_same_result(serial, parallel, "SELECT COUNT(*), SUM(v) FROM empty_t")
+
+
+def test_parallel_result_smaller_than_one_morsel():
+    values = ", ".join(f"({k}, {k * 0.5})" for k in range(10))
+    script = (
+        "CREATE TABLE tiny (k INTEGER, v FLOAT, PRIMARY KEY (k)); "
+        f"INSERT INTO tiny VALUES {values}; ANALYZE tiny"
+    )
+    serial, parallel = connect_pair(script)  # default morsel size 1024 >> 10 rows
+    assert_same_result(serial, parallel, "SELECT k, v FROM tiny WHERE v > 1.2 ORDER BY k")
+    assert_same_result(serial, parallel, "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM tiny")
+
+
+def test_parallel_morsel_size_not_dividing_row_count():
+    values = ", ".join(f"({k}, {k % 9}, {k * 0.25})" for k in range(100))
+    script = (
+        "CREATE TABLE mod_t (k INTEGER, g INTEGER, v FLOAT, PRIMARY KEY (k)); "
+        f"INSERT INTO mod_t VALUES {values}; ANALYZE mod_t"
+    )
+    serial, parallel = connect_pair(script, batch_size=7)  # 100 = 14*7 + 2
+    assert_same_result(serial, parallel, "SELECT k FROM mod_t WHERE v > 3.0 ORDER BY k")
+    # unordered GROUP BY: parallel must keep serial first-occurrence group order
+    assert_same_result(serial, parallel, "SELECT g, COUNT(*), SUM(v) FROM mod_t GROUP BY g")
+
+
+def test_explain_analyze_reports_workers():
+    script = (
+        "CREATE TABLE w_t (k INTEGER, PRIMARY KEY (k)); "
+        "INSERT INTO w_t VALUES (1), (2), (3); ANALYZE w_t"
+    )
+    serial, parallel = connect_pair(script)
+    sql = "EXPLAIN ANALYZE SELECT COUNT(*) FROM w_t"
+    assert "workers=4" in parallel.database.execute(sql).plan_text
+    assert "workers=" not in serial.database.execute(sql).plan_text

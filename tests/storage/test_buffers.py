@@ -1,0 +1,344 @@
+"""Unit tests for the typed column buffers (:mod:`repro.storage.buffers`).
+
+The contract under test: a :class:`TypedColumn` behaves exactly like the
+plain Python list it replaces (list protocol, NULLs as ``None``), mutations
+are atomic (a failed batch leaves the column untouched so the store can
+demote to a list), and every filter kernel either returns exactly what the
+brute-force Python loop would — mixed int/float comparison semantics
+included — or returns ``None`` to make the caller run that loop.
+"""
+
+import operator
+import random
+
+import pytest
+
+from repro.engine.vectorized.columns import ColumnTable
+from repro.storage import buffers
+from repro.storage.buffers import (
+    FLOAT,
+    INT,
+    BufferTypeError,
+    TypedColumn,
+    column_kinds,
+    column_values,
+    copy_column,
+    gather_values,
+    kind_for_type,
+    make_column,
+)
+
+OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def brute_compare(column, op, constant, indices, flipped=False):
+    """The exact-Python reference the kernels must reproduce."""
+    out = []
+    for i in indices:
+        value = column[i]
+        if value is None:
+            continue
+        hit = OPS[op](constant, value) if flipped else OPS[op](value, constant)
+        if hit:
+            out.append(i)
+    return out
+
+
+@pytest.fixture
+def int_column():
+    column = TypedColumn(INT)
+    column.extend([5, None, -3, 12, 0, None, 7, 12])
+    return column
+
+
+@pytest.fixture
+def float_column():
+    column = TypedColumn(FLOAT)
+    column.extend([0.5, None, -2.25, 12.0, 0.0, 7.5])
+    return column
+
+
+# ---------------------------------------------------------------------------
+# construction + list protocol
+# ---------------------------------------------------------------------------
+
+
+def test_kind_mapping():
+    assert kind_for_type("INTEGER") == INT
+    assert kind_for_type("DATE") == INT
+    assert kind_for_type("FLOAT") == FLOAT
+    assert kind_for_type("STRING") is None
+    assert kind_for_type(None) is None
+    assert isinstance(make_column(INT), TypedColumn)
+    assert make_column(None) == []
+
+
+def test_column_kinds_accepts_enums_and_strings():
+    class FakeType:
+        name = "INTEGER"
+
+    kinds = column_kinds(["a", "b", "c"], [FakeType(), "FLOAT", "STRING"])
+    assert kinds == {"a": INT, "b": FLOAT, "c": None}
+
+
+def test_list_protocol(int_column):
+    expected = [5, None, -3, 12, 0, None, 7, 12]
+    assert len(int_column) == len(expected)
+    assert list(int_column) == expected
+    assert int_column.tolist() == expected
+    assert [int_column[i] for i in range(len(expected))] == expected
+    assert int_column[-1] == 12
+    assert int_column[1:4] == [None, -3, 12]
+    assert int_column.null_count == 2
+
+
+def test_contains_ignores_null_placeholder():
+    column = TypedColumn(INT)
+    column.extend([None, 5])  # the NULL row stores a 0 placeholder
+    assert 0 not in column
+    assert 5 in column
+    assert None in column
+    assert "five" not in column
+    no_nulls = TypedColumn(INT)
+    no_nulls.extend([1, 2])
+    assert None not in no_nulls
+
+
+def test_copy_is_independent(int_column):
+    clone = int_column.copy()
+    clone.append(99)
+    assert len(clone) == len(int_column) + 1
+    assert 99 not in int_column
+    assert clone.tolist()[: len(int_column)] == int_column.tolist()
+
+
+# ---------------------------------------------------------------------------
+# mutation: exact typing, atomicity, demotion
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kind, bad",
+    [
+        (INT, 1.5),
+        (INT, "x"),
+        (INT, True),  # bool must not collapse into 0/1
+        (INT, 2**63),  # int64 overflow
+        (FLOAT, "x"),
+        (FLOAT, False),
+        (FLOAT, 2**53 + 1),  # int that does not round-trip through float64
+    ],
+)
+def test_extend_rejects_unrepresentable_values(kind, bad):
+    column = TypedColumn(kind)
+    column.extend([1, 2] if kind == INT else [1.0, 2.0])
+    before = column.tolist()
+    with pytest.raises(BufferTypeError):
+        column.extend([3, bad] if kind == INT else [3.0, bad])
+    # atomic: the valid prefix of the failed batch must not have landed
+    assert column.tolist() == before
+
+
+def test_float_column_coerces_exact_ints():
+    column = TypedColumn(FLOAT)
+    column.extend([1, 2.5, 2**53])
+    assert column.tolist() == [1.0, 2.5, float(2**53)]
+    assert all(type(value) is float for value in column.tolist())
+
+
+def test_column_table_demotes_on_off_type_batch():
+    table = ColumnTable.with_columns(["a"], kinds={"a": INT})
+    table.append_rows([{"a": 1}, {"a": 2}])
+    assert isinstance(table.columns["a"], TypedColumn)
+    table.append_rows([{"a": 3}, {"a": "oops"}])
+    demoted = table.columns["a"]
+    assert isinstance(demoted, list)
+    assert demoted == [1, 2, 3, "oops"]
+
+
+# ---------------------------------------------------------------------------
+# gather + duck-typed helpers
+# ---------------------------------------------------------------------------
+
+
+def test_gather_range_fancy_and_nulls(int_column):
+    expected = int_column.tolist()
+    assert int_column.gather(range(2, 6)) == expected[2:6]
+    picks = [7, 0, 3, 3]
+    assert int_column.gather(picks) == [expected[i] for i in picks]
+    many = list(range(len(int_column))) * 20  # trips the fancy-index path
+    assert int_column.gather(many) == [expected[i] for i in many]
+
+
+def test_helpers_work_on_both_representations(int_column):
+    as_list = int_column.tolist()
+    assert column_values(int_column) == as_list
+    assert column_values(as_list) is as_list
+    assert gather_values(int_column, [0, 2]) == gather_values(as_list, [0, 2])
+    typed_copy = copy_column(int_column)
+    list_copy = copy_column(as_list)
+    assert isinstance(typed_copy, TypedColumn)
+    assert isinstance(list_copy, list)
+    assert typed_copy.tolist() == list_copy
+
+
+# ---------------------------------------------------------------------------
+# filter kernels vs the brute-force reference
+# ---------------------------------------------------------------------------
+
+INT_CONSTANTS = [0, 5, 12, -3, 2.5, -0.5, 12.0, float("nan"), float("inf"), 2**64]
+FLOAT_CONSTANTS = [0.0, 0.5, -2.25, 7, 2**53, float("inf"), float("nan"), 2**53 + 1]
+
+
+@pytest.mark.parametrize("op", sorted(OPS))
+@pytest.mark.parametrize("flipped", [False, True])
+def test_filter_compare_matches_python_semantics(op, flipped, int_column, float_column):
+    for column, constants in ((int_column, INT_CONSTANTS), (float_column, FLOAT_CONSTANTS)):
+        indices = range(len(column))
+        for constant in constants:
+            got = column.filter_compare(op, constant, indices, flipped)
+            if got is None:
+                continue  # kernel bailed; callers run the exact loop
+            assert got == brute_compare(column, op, constant, indices, flipped), (
+                column.kind,
+                op,
+                constant,
+                flipped,
+            )
+
+
+def test_filter_compare_bails_where_exactness_is_at_risk(int_column, float_column):
+    indices = range(len(int_column))
+    assert int_column.filter_compare("<", float("nan"), indices) is None
+    assert int_column.filter_compare("<", 2**64, indices) is None
+    assert float_column.filter_compare("=", 2**53 + 1, range(len(float_column))) is None
+    assert int_column.filter_compare("<", "abc", indices) is None
+
+
+def test_filter_compare_fractional_constant_rewrite(int_column):
+    indices = range(len(int_column))
+    # 2.5 against int64 rows: <, <=, >, >=, =, != all have exact rewrites
+    assert int_column.filter_compare("=", 2.5, indices) == []
+    assert int_column.filter_compare("!=", 2.5, indices) == brute_compare(
+        int_column, "!=", 2.5, indices
+    )
+    for op in ("<", "<=", ">", ">="):
+        assert int_column.filter_compare(op, 2.5, indices) == brute_compare(
+            int_column, op, 2.5, indices
+        )
+
+
+def test_filter_between(int_column):
+    indices = range(len(int_column))
+    for low, high, negated in [(0, 12, False), (0, 12, True), (-5.5, 6.5, False)]:
+        got = int_column.filter_between(low, high, negated, indices)
+        expected = [
+            i
+            for i in indices
+            if int_column[i] is not None
+            and ((low <= int_column[i] <= high) ^ negated)
+        ]
+        assert got == expected, (low, high, negated)
+
+
+def test_filter_in(int_column, float_column):
+    indices = range(len(int_column))
+    pool = frozenset({5, 12.0, "x", 2.5, float("nan")})
+    got = int_column.filter_in(pool, False, indices)
+    expected = [i for i in indices if int_column[i] is not None and int_column[i] in pool]
+    assert got == expected
+    assert int_column.filter_in(pool, True, indices) == [
+        i for i in indices if int_column[i] is not None and int_column[i] not in pool
+    ]
+    # a pool with an unrepresentable int bails entirely for INT columns
+    assert int_column.filter_in(frozenset({5, 2**64}), False, indices) is None
+    # for FLOAT columns a non-representable int simply never matches
+    f_indices = range(len(float_column))
+    assert float_column.filter_in(frozenset({0.5, 2**53 + 1}), False, f_indices) == [
+        i for i in f_indices if float_column[i] == 0.5
+    ]
+
+
+def test_filter_null(int_column):
+    indices = range(len(int_column))
+    assert int_column.filter_null(True, indices) == [1, 5]
+    assert int_column.filter_null(False, indices) == [0, 2, 3, 4, 6, 7]
+    dense = TypedColumn(INT)
+    dense.extend([1, 2, 3])
+    assert dense.filter_null(True, range(3)) == []
+    assert dense.filter_null(False, range(3)) == [0, 1, 2]
+
+
+def test_filter_compare_with(int_column):
+    other = TypedColumn(INT)
+    other.extend([5, 1, -3, None, 2, 9, 6, 12])
+    indices = range(len(int_column))
+    for op in sorted(OPS):
+        got = int_column.filter_compare_with(other, op, indices)
+        expected = [
+            i
+            for i in indices
+            if int_column[i] is not None
+            and other[i] is not None
+            and OPS[op](int_column[i], other[i])
+        ]
+        assert got == expected, op
+    # mixed kinds refuse (int64 vs float64 promotion could round)
+    floats = TypedColumn(FLOAT)
+    floats.extend([1.0] * len(int_column))
+    assert int_column.filter_compare_with(floats, "<", indices) is None
+
+
+def test_kernels_respect_subset_indices(int_column):
+    subset = [0, 3, 6, 7]
+    assert int_column.filter_compare("=", 12, subset) == brute_compare(
+        int_column, "=", 12, subset
+    )
+    assert int_column.filter_compare(">", 4, range(2, 7)) == brute_compare(
+        int_column, ">", 4, range(2, 7)
+    )
+
+
+@pytest.mark.skipif(buffers._np is None, reason="numpy-specific fallback check")
+def test_kernels_fall_back_without_numpy(monkeypatch, int_column):
+    """With numpy gone every kernel bails except the mask-only NULL filter."""
+    indices = range(len(int_column))
+    with_numpy = int_column.filter_compare("<", 6, indices)
+    monkeypatch.setattr(buffers, "_np", None)
+    assert int_column.filter_compare("<", 6, indices) is None
+    assert int_column.filter_between(0, 10, False, indices) is None
+    assert int_column.filter_in(frozenset({5}), False, indices) is None
+    assert int_column.filter_compare_with(int_column, "=", indices) is None
+    assert int_column.filter_null(True, indices) == [1, 5]
+    assert int_column.gather(range(2, 6)) == int_column.tolist()[2:6]
+    monkeypatch.undo()
+    assert with_numpy == brute_compare(int_column, "<", 6, indices)
+
+
+def test_randomized_kernel_equivalence():
+    rng = random.Random(42)
+    column = TypedColumn(INT)
+    column.extend(
+        [None if rng.random() < 0.2 else rng.randint(-50, 50) for _ in range(500)]
+    )
+    indices = range(len(column))
+    for _ in range(200):
+        op = rng.choice(sorted(OPS))
+        constant = rng.choice(
+            [rng.randint(-60, 60), rng.uniform(-60.0, 60.0), rng.randint(-60, 60) + 0.5]
+        )
+        flipped = rng.random() < 0.3
+        got = column.filter_compare(op, constant, indices, flipped)
+        if got is not None:
+            assert got == brute_compare(column, op, constant, indices, flipped), (
+                op,
+                constant,
+                flipped,
+            )
