@@ -1,0 +1,223 @@
+"""TPC-H harness benchmark: row vs vectorized engine, oracle-verified.
+
+Generates a seeded TPC-H dataset (:mod:`benchmarks.tpch.dbgen`), loads it
+into both repro engines *and* the stdlib sqlite3 oracle, verifies every
+supported query's result matches the oracle under the shared
+normalization (:mod:`benchmarks.tpch.oracle`) — timing an unverified
+engine would be meaningless — and then reports per-query wall time and
+the row→vectorized speedup.
+
+A skew section re-loads a zipf-skewed copy of the data under
+assumed-uniform statistics and counts how many queries change plan shape
+after ``refresh_cached_plans()`` folds observed cardinalities back in
+(:func:`benchmarks.tpch.runner.skew_sweep`) — the adaptive story the
+harness exists to exercise.  The CI gate tracks the speedup ratios
+against ``benchmarks/baselines.json``; the flip count is informational.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_tpch [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from benchmarks.tpch import dbgen, oracle, runner
+
+BENCH_NAME = "bench_tpch"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_tpch.json")
+
+DEFAULT_SCALE = 0.01
+QUICK_SCALE = 0.002
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+SKEW = 1.0
+SEED = 19
+
+
+def prepare(scale: float, skew: float, seed: int) -> str:
+    """Generate one dataset into a temp directory, returning its path."""
+    directory = tempfile.mkdtemp(prefix=f"tpch_sf{scale}_z{skew}_")
+    dbgen.generate(directory, scale_factor=scale, skew=skew, seed=seed)
+    return directory
+
+
+def verify_against_oracle(
+    data_dir: str, queries: Dict[str, str], connections: Dict[str, object]
+) -> int:
+    """Every engine's every query must match sqlite3 before timing."""
+    checked = 0
+    with oracle.SqliteOracle(data_dir) as reference:
+        for name, sql in queries.items():
+            expected = reference.run(sql)
+            for engine, connection in connections.items():
+                run = runner.run_query(connection, name, sql)
+                outcome = oracle.compare_results(
+                    expected, run.rows, oracle.query_is_ordered(sql)
+                )
+                if not outcome.matches:
+                    raise AssertionError(
+                        f"{name} on {engine} diverges from sqlite3: "
+                        + "; ".join(outcome.differences)
+                    )
+                checked += 1
+    return checked
+
+
+def time_query(connection, name: str, sql: str, repeats: int) -> float:
+    """Best-of-N wall seconds with a warm plan cache."""
+    runner.run_query(connection, name, sql)  # warm: plan + caches
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        runner.run_query(connection, name, sql)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = SEED) -> Dict:
+    """Execute the benchmark, returning the JSON-shaped result dict."""
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    queries, _ = runner.load_queries()
+    uniform_dir = prepare(scale, 0.0, seed)
+    skewed_dir = prepare(scale, SKEW, seed)
+
+    connections = {
+        "row": runner.load_connection(uniform_dir, engine="row"),
+        "vectorized": runner.load_connection(uniform_dir, engine="vectorized"),
+    }
+    checked = verify_against_oracle(uniform_dir, queries, connections)
+
+    results: Dict[str, Dict[str, float]] = {}
+    totals = {"row": 0.0, "vectorized": 0.0}
+    for name, sql in sorted(queries.items()):
+        row_s = time_query(connections["row"], name, sql, repeats)
+        vec_s = time_query(connections["vectorized"], name, sql, repeats)
+        totals["row"] += row_s
+        totals["vectorized"] += vec_s
+        results[name] = {
+            "row_ms": row_s * 1000,
+            "vectorized_ms": vec_s * 1000,
+            "speedup": row_s / vec_s if vec_s > 0 else 0.0,
+        }
+    for connection in connections.values():
+        connection.close()
+
+    sweep = runner.skew_sweep({0.0: uniform_dir, SKEW: skewed_dir}, queries)
+    flips = sorted({(entry.name, entry.skew) for entry in sweep if entry.flipped})
+
+    speedups = [entry["speedup"] for entry in results.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "queries": results,
+        "summary": {
+            "total_row_ms": totals["row"] * 1000,
+            "total_vectorized_ms": totals["vectorized"] * 1000,
+            "total_speedup": totals["row"] / totals["vectorized"]
+            if totals["vectorized"] > 0
+            else 0.0,
+            "geomean_speedup": geomean,
+            "oracle_checks": checked,
+            "plan_flips": len(flips),
+            "flipped_queries": [f"{name}@z{skew:g}" for name, skew in flips],
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name, entry in sorted(report["queries"].items()):
+        rows.append(
+            (
+                name,
+                entry["row_ms"],
+                entry["vectorized_ms"],
+                f"{entry['speedup']:.2f}x",
+            )
+        )
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_row_ms"],
+            summary["total_vectorized_ms"],
+            f"{summary['total_speedup']:.2f}x",
+        )
+    )
+    title = (
+        f"TPC-H row vs vectorized ({report['mode']} mode, SF {report['scale']}, "
+        f"best of {report['repeats']}) — geomean {summary['geomean_speedup']:.2f}x, "
+        f"{summary['oracle_checks']} oracle checks, "
+        f"{summary['plan_flips']} plan flips after refresh "
+        f"({', '.join(summary['flipped_queries']) or 'none'})"
+    )
+    return format_table(title, ["query", "row ms", "vectorized ms", "speedup"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (consistent with the other bench modules)
+# ---------------------------------------------------------------------------
+
+
+def test_tpch_report(benchmark):
+    """Emit the TPC-H table + BENCH json (quick mode under pytest)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = run_suite(quick=True)
+    publish("tpch", render(report))
+    path = write_json(report)
+    print(f"[bench json written to {path}]")
+    assert report["summary"]["oracle_checks"] > 0
+    assert report["summary"]["geomean_speedup"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point (what the CI bench-smoke job runs)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="oracle-verified TPC-H engine benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=SEED, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("tpch", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

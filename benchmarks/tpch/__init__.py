@@ -1,0 +1,18 @@
+"""TPC-H harness: seeded dbgen-style data, the 22 queries, a differential
+oracle against real systems (sqlite3 always, DuckDB when installed), and a
+runner that times both engines and reports est-vs-observed cardinalities
+plus skew-driven plan flips.
+
+Layout:
+
+* :mod:`benchmarks.tpch.dbgen` — streaming CSV generator for all eight
+  tables at SF 0.01–1 with an optional zipf-skew knob on join keys.
+* ``benchmarks/tpch/queries/q01.sql … q22.sql`` — the query set, with
+  ``manifest.json`` marking which are runnable under the supported SQL
+  subset and which are excluded (and why).
+* :mod:`benchmarks.tpch.oracle` — loads identical CSVs into sqlite3 /
+  DuckDB, runs the same SQL text, and compares normalized result sets.
+* :mod:`benchmarks.tpch.runner` — loads the repro engines, times queries,
+  captures estimated vs observed cardinalities, and sweeps the skew knob
+  to find plan flips after ``refresh_cached_plans()``.
+"""

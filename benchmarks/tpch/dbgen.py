@@ -1,0 +1,706 @@
+"""Seeded, streaming, dbgen-style generator for the eight TPC-H tables.
+
+The generator mirrors the official ``dbgen`` layout — same tables, same
+column sets, same referential structure (every ``(l_partkey, l_suppkey)``
+pair exists in ``partsupp``; each part has four suppliers chosen by the
+dbgen bridging formula) — but trades its exact value distributions for a
+compact, reproducible core:
+
+* **Dates are integers** — days since 1992-01-01 — matching the repro
+  engine's ``DATE`` columns.  :func:`day` converts ISO dates for query
+  literals.
+* **Scale** follows ``BASE_ROW_COUNTS`` from :mod:`repro.workloads.tpch`
+  (region/nation fixed; everything else ``base * scale_factor``).
+  SF 0.01–1 is the supported range; smaller works for smoke tests.
+* **Skew knob**: ``skew > 0`` draws the *join keys referenced from the
+  fact tables* — ``o_custkey``, ``l_partkey``, the per-part supplier
+  choice, and nation keys — from a zipf distribution via the shared
+  :class:`repro.workloads.distributions.ZipfSampler`, so low keys become
+  hot while every dimension row keeps existing.  Order dates skew toward
+  the start of the window, concentrating range filters.
+* **Streaming**: rows go straight to ``csv.writer`` — nothing is held in
+  memory, so SF 1 (6M lineitems) generates in bounded space.
+
+CSV files are header-ful and load with ``COPY t FROM '<path>'`` on the
+repro engine and with :mod:`benchmarks.tpch.oracle` on sqlite3/DuckDB.
+DDL for all three dialects comes from the single ``TABLES`` description
+(:func:`create_table_sql`, :func:`create_index_sql`).
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import os
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.distributions import ZipfSampler
+from repro.workloads.tpch import BASE_ROW_COUNTS
+
+__all__ = [
+    "TABLES",
+    "TableDef",
+    "ColumnDef",
+    "day",
+    "scaled_row_counts",
+    "create_table_sql",
+    "create_index_sql",
+    "schema_statements",
+    "part_suppliers",
+    "generate",
+]
+
+_EPOCH = datetime.date(1992, 1, 1)
+
+
+def day(iso: str) -> int:
+    """Days since 1992-01-01 for an ISO date — the DATE column encoding."""
+    return (datetime.date.fromisoformat(iso) - _EPOCH).days
+
+
+#: dbgen's CURRENTDATE (1995-06-17): splits shipped/open lineitems.
+CURRENT_DATE = day("1995-06-17")
+#: last order date (dbgen: ENDDATE - 151 days so receipts stay in range).
+LAST_ORDER_DATE = day("1998-08-02") - 151
+
+
+# ---------------------------------------------------------------------------
+# Schema description → per-dialect DDL
+# ---------------------------------------------------------------------------
+
+#: abstract column kinds; mapped per dialect below.
+_KINDS = ("int", "float", "str", "date")
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    kind: str  # one of _KINDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class TableDef:
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    primary_key: Optional[str] = None
+    #: extra single-column indexes (join keys), built on every dialect.
+    indexed: Tuple[str, ...] = ()
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+
+def _cols(*pairs: Tuple[str, str]) -> Tuple[ColumnDef, ...]:
+    return tuple(ColumnDef(name, kind) for name, kind in pairs)
+
+
+TABLES: Dict[str, TableDef] = {
+    "region": TableDef(
+        "region",
+        _cols(("r_regionkey", "int"), ("r_name", "str"), ("r_comment", "str")),
+        primary_key="r_regionkey",
+    ),
+    "nation": TableDef(
+        "nation",
+        _cols(
+            ("n_nationkey", "int"),
+            ("n_name", "str"),
+            ("n_regionkey", "int"),
+            ("n_comment", "str"),
+        ),
+        primary_key="n_nationkey",
+        indexed=("n_regionkey",),
+    ),
+    "supplier": TableDef(
+        "supplier",
+        _cols(
+            ("s_suppkey", "int"),
+            ("s_name", "str"),
+            ("s_address", "str"),
+            ("s_nationkey", "int"),
+            ("s_phone", "str"),
+            ("s_acctbal", "float"),
+            ("s_comment", "str"),
+        ),
+        primary_key="s_suppkey",
+        indexed=("s_nationkey",),
+    ),
+    "customer": TableDef(
+        "customer",
+        _cols(
+            ("c_custkey", "int"),
+            ("c_name", "str"),
+            ("c_address", "str"),
+            ("c_nationkey", "int"),
+            ("c_phone", "str"),
+            ("c_acctbal", "float"),
+            ("c_mktsegment", "str"),
+            ("c_comment", "str"),
+        ),
+        primary_key="c_custkey",
+        indexed=("c_nationkey",),
+    ),
+    "part": TableDef(
+        "part",
+        _cols(
+            ("p_partkey", "int"),
+            ("p_name", "str"),
+            ("p_mfgr", "str"),
+            ("p_brand", "str"),
+            ("p_type", "str"),
+            ("p_size", "int"),
+            ("p_container", "str"),
+            ("p_retailprice", "float"),
+            ("p_comment", "str"),
+        ),
+        primary_key="p_partkey",
+    ),
+    "partsupp": TableDef(
+        "partsupp",
+        _cols(
+            ("ps_partkey", "int"),
+            ("ps_suppkey", "int"),
+            ("ps_availqty", "int"),
+            ("ps_supplycost", "float"),
+            ("ps_comment", "str"),
+        ),
+        indexed=("ps_partkey", "ps_suppkey"),
+    ),
+    "orders": TableDef(
+        "orders",
+        _cols(
+            ("o_orderkey", "int"),
+            ("o_custkey", "int"),
+            ("o_orderstatus", "str"),
+            ("o_totalprice", "float"),
+            ("o_orderdate", "date"),
+            ("o_orderpriority", "str"),
+            ("o_clerk", "str"),
+            ("o_shippriority", "int"),
+            ("o_comment", "str"),
+        ),
+        primary_key="o_orderkey",
+        indexed=("o_custkey",),
+    ),
+    "lineitem": TableDef(
+        "lineitem",
+        _cols(
+            ("l_orderkey", "int"),
+            ("l_partkey", "int"),
+            ("l_suppkey", "int"),
+            ("l_linenumber", "int"),
+            ("l_quantity", "float"),
+            ("l_extendedprice", "float"),
+            ("l_discount", "float"),
+            ("l_tax", "float"),
+            ("l_returnflag", "str"),
+            ("l_linestatus", "str"),
+            ("l_shipdate", "date"),
+            ("l_commitdate", "date"),
+            ("l_receiptdate", "date"),
+            ("l_shipinstruct", "str"),
+            ("l_shipmode", "str"),
+            ("l_comment", "str"),
+        ),
+        indexed=("l_orderkey", "l_partkey", "l_suppkey"),
+    ),
+}
+
+#: abstract kind → SQL type name per dialect.  sqlite: TEXT affinity needs
+#: "CHAR"; dates stay plain integers.  DuckDB: FLOAT is 32-bit there, so
+#: use DOUBLE; its DATE type would reject integer day numbers.
+_SQL_TYPES: Dict[str, Dict[str, str]] = {
+    "repro": {"int": "INTEGER", "float": "FLOAT", "str": "VARCHAR", "date": "DATE"},
+    "sqlite": {"int": "INTEGER", "float": "REAL", "str": "TEXT", "date": "INTEGER"},
+    "duckdb": {"int": "INTEGER", "float": "DOUBLE", "str": "VARCHAR", "date": "INTEGER"},
+}
+
+
+def create_table_sql(table: TableDef, dialect: str = "repro") -> str:
+    """``CREATE TABLE`` text for one table in the given dialect."""
+    types = _SQL_TYPES[dialect]
+    parts = [f"{column.name} {types[column.kind]}" for column in table.columns]
+    if table.primary_key is not None:
+        parts.append(f"PRIMARY KEY ({table.primary_key})")
+    return f"CREATE TABLE {table.name} ({', '.join(parts)})"
+
+
+def create_index_sql(table: TableDef, dialect: str = "repro") -> List[str]:
+    """``CREATE INDEX`` statements for the table's join-key columns."""
+    statements = []
+    for column in table.indexed:
+        name = f"idx_{table.name}_{column}"
+        if dialect == "repro":
+            statements.append(f"CREATE INDEX {name} ON {table.name} ({column}) USING HASH")
+        else:
+            statements.append(f"CREATE INDEX {name} ON {table.name} ({column})")
+    return statements
+
+
+def schema_statements(dialect: str = "repro", indexes: bool = True) -> List[str]:
+    """All DDL for the eight tables, creation order respecting references."""
+    statements = []
+    for table in TABLES.values():
+        statements.append(create_table_sql(table, dialect))
+        if indexes:
+            statements.extend(create_index_sql(table, dialect))
+    return statements
+
+
+def scaled_row_counts(scale_factor: float) -> Dict[str, int]:
+    """Row count per table at a scale factor (region/nation stay fixed)."""
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    counts = {}
+    for table, base in BASE_ROW_COUNTS.items():
+        if table in ("region", "nation"):
+            counts[table] = base
+        elif table == "partsupp":
+            continue  # derived: 4 suppliers per part, set below
+        else:
+            counts[table] = max(1, int(base * scale_factor))
+    counts["partsupp"] = counts["part"] * 4
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Value vocabularies (compact versions of dbgen's)
+# ---------------------------------------------------------------------------
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: the 25 spec nations with their region keys (index = nationkey).
+NATIONS: List[Tuple[str, int]] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+TYPE_SYLLABLES = (
+    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"],
+    ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"],
+    ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"],
+)
+CONTAINER_SYLLABLES = (
+    ["SM", "LG", "MED", "JUMBO", "WRAP"],
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"],
+)
+#: p_name word pool — includes the colors Q9's ``LIKE '%green%'`` relies on.
+NAME_WORDS = [
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "dodger",
+    "firebrick",
+    "forest",
+    "frosted",
+    "ghost",
+    "goldenrod",
+    "green",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lemon",
+    "light",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
+]
+_COMMENT_WORDS = [
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "packages",
+    "deposits",
+    "requests",
+    "accounts",
+    "instructions",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "integrate",
+]
+
+
+def part_suppliers(partkey: int, supplier_count: int) -> List[int]:
+    """dbgen's part→supplier bridge: the four suppliers stocking a part.
+
+    Deterministic in ``partkey`` so the lineitem pass can pick a valid
+    ``(l_partkey, l_suppkey)`` pair without materializing partsupp.
+    """
+    s = supplier_count
+    keys: List[int] = []
+    for i in range(4):
+        key = ((partkey + i * (s // 4 + (partkey - 1) // s)) % s) + 1
+        if key not in keys:  # tiny scales can collide; keep pairs unique
+            keys.append(key)
+    follow = keys[-1] if keys else 0
+    while len(keys) < min(4, s):
+        follow = follow % s + 1
+        if follow not in keys:
+            keys.append(follow)
+    return keys
+
+
+@dataclass
+class GeneratorConfig:
+    scale_factor: float = 0.01
+    #: zipf exponent for fact-table join keys; <= 0 means uniform.
+    skew: float = 0.0
+    seed: int = 19
+
+
+@dataclass
+class GenerationReport:
+    """What :func:`generate` wrote: paths and row counts per table."""
+
+    directory: str
+    row_counts: Dict[str, int] = field(default_factory=dict)
+
+    def path(self, table: str) -> str:
+        return os.path.join(self.directory, f"{table}.csv")
+
+
+class _TableWriter:
+    """csv.writer wrapper that counts rows and writes the header."""
+
+    def __init__(self, handle, columns: Sequence[str]) -> None:
+        self._writer = csv.writer(handle)
+        self._writer.writerow(columns)
+        self.rows = 0
+
+    def write(self, row: Sequence[object]) -> None:
+        self._writer.writerow(row)
+        self.rows += 1
+
+
+def _sampler(count: int, skew: float, rng: Random) -> ZipfSampler:
+    return ZipfSampler(count, skew, rng)
+
+
+def _comment(rng: Random, words: int = 3) -> str:
+    return " ".join(rng.choice(_COMMENT_WORDS) for _ in range(words))
+
+
+def _phone(rng: Random, nationkey: int) -> str:
+    return (
+        f"{10 + nationkey}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def generate(
+    out_dir: str,
+    scale_factor: float = 0.01,
+    skew: float = 0.0,
+    seed: int = 19,
+) -> GenerationReport:
+    """Write all eight tables as header-ful CSVs into *out_dir*.
+
+    Every table gets its own deterministic RNG stream derived from
+    ``seed``, so the same (scale, skew, seed) triple always produces
+    byte-identical files regardless of generation order.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    counts = scaled_row_counts(scale_factor)
+    report = GenerationReport(directory=out_dir)
+
+    def rng_for(table: str) -> Random:
+        return Random(f"tpch-dbgen:{seed}:{table}")
+
+    def open_writer(table: str):
+        handle = open(report.path(table), "w", newline="")
+        return handle, _TableWriter(handle, TABLES[table].column_names)
+
+    # -- region / nation (fixed contents) -------------------------------
+    rng = rng_for("region")
+    handle, writer = open_writer("region")
+    with handle:
+        for key, name in enumerate(REGIONS):
+            writer.write([key, name, _comment(rng)])
+    report.row_counts["region"] = writer.rows
+
+    rng = rng_for("nation")
+    handle, writer = open_writer("nation")
+    with handle:
+        for key, (name, regionkey) in enumerate(NATIONS):
+            writer.write([key, name, regionkey, _comment(rng)])
+    report.row_counts["nation"] = writer.rows
+
+    nation_count = len(NATIONS)
+
+    # -- supplier --------------------------------------------------------
+    rng = rng_for("supplier")
+    nation_sampler = _sampler(nation_count, skew, rng)
+    handle, writer = open_writer("supplier")
+    with handle:
+        for key in range(1, counts["supplier"] + 1):
+            nationkey = nation_sampler.sample() - 1
+            writer.write(
+                [
+                    key,
+                    f"Supplier#{key:09d}",
+                    f"addr sup {key}",
+                    nationkey,
+                    _phone(rng, nationkey),
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    _comment(rng),
+                ]
+            )
+    report.row_counts["supplier"] = writer.rows
+
+    # -- customer --------------------------------------------------------
+    rng = rng_for("customer")
+    nation_sampler = _sampler(nation_count, skew, rng)
+    handle, writer = open_writer("customer")
+    with handle:
+        for key in range(1, counts["customer"] + 1):
+            nationkey = nation_sampler.sample() - 1
+            writer.write(
+                [
+                    key,
+                    f"Customer#{key:09d}",
+                    f"addr cust {key}",
+                    nationkey,
+                    _phone(rng, nationkey),
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    rng.choice(SEGMENTS),
+                    _comment(rng),
+                ]
+            )
+    report.row_counts["customer"] = writer.rows
+
+    # -- part ------------------------------------------------------------
+    rng = rng_for("part")
+    handle, writer = open_writer("part")
+    with handle:
+        for key in range(1, counts["part"] + 1):
+            manufacturer = rng.randint(1, 5)
+            brand = f"Brand#{manufacturer}{rng.randint(1, 5)}"
+            p_type = " ".join(rng.choice(group) for group in TYPE_SYLLABLES)
+            container = " ".join(rng.choice(group) for group in CONTAINER_SYLLABLES)
+            name = " ".join(rng.sample(NAME_WORDS, 5))
+            writer.write(
+                [
+                    key,
+                    name,
+                    f"Manufacturer#{manufacturer}",
+                    brand,
+                    p_type,
+                    rng.randint(1, 50),
+                    container,
+                    round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+                    _comment(rng),
+                ]
+            )
+    report.row_counts["part"] = writer.rows
+
+    # -- partsupp --------------------------------------------------------
+    rng = rng_for("partsupp")
+    handle, writer = open_writer("partsupp")
+    with handle:
+        for partkey in range(1, counts["part"] + 1):
+            for suppkey in part_suppliers(partkey, counts["supplier"]):
+                writer.write(
+                    [
+                        partkey,
+                        suppkey,
+                        rng.randint(1, 9999),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                        _comment(rng),
+                    ]
+                )
+    report.row_counts["partsupp"] = writer.rows
+
+    # -- orders + lineitem (one correlated pass) -------------------------
+    rng = rng_for("orders")
+    customer_sampler = _sampler(counts["customer"], skew, rng)
+    part_sampler = _sampler(counts["part"], skew, rng)
+    #: with skew, order dates concentrate near the window start too.
+    date_sampler = _sampler(LAST_ORDER_DATE + 1, skew, rng)
+    #: skewed pick among a part's four suppliers (rank 1 hottest).
+    supplier_choice = _sampler(4, skew, rng)
+
+    orders_handle, orders_writer = open_writer("orders")
+    lineitem_handle, lineitem_writer = open_writer("lineitem")
+    with orders_handle, lineitem_handle:
+        for orderkey in range(1, counts["orders"] + 1):
+            orderdate = date_sampler.sample() - 1
+            custkey = customer_sampler.sample()
+            line_count = rng.randint(1, 7)
+            statuses = []
+            for linenumber in range(1, line_count + 1):
+                shipdate = orderdate + rng.randint(1, 121)
+                commitdate = orderdate + rng.randint(30, 90)
+                receiptdate = shipdate + rng.randint(1, 30)
+                linestatus = "F" if shipdate <= CURRENT_DATE else "O"
+                statuses.append(linestatus)
+                if receiptdate <= CURRENT_DATE:
+                    returnflag = rng.choice(["R", "A"])
+                else:
+                    returnflag = "N"
+                partkey = part_sampler.sample()
+                suppliers = part_suppliers(partkey, counts["supplier"])
+                suppkey = suppliers[(supplier_choice.sample() - 1) % len(suppliers)]
+                quantity = float(rng.randint(1, 50))
+                extendedprice = round(quantity * rng.uniform(900.0, 2000.0), 2)
+                lineitem_writer.write(
+                    [
+                        orderkey,
+                        partkey,
+                        suppkey,
+                        linenumber,
+                        quantity,
+                        extendedprice,
+                        round(rng.randint(0, 10) / 100.0, 2),
+                        round(rng.randint(0, 8) / 100.0, 2),
+                        returnflag,
+                        linestatus,
+                        shipdate,
+                        commitdate,
+                        receiptdate,
+                        rng.choice(SHIP_INSTRUCTS),
+                        rng.choice(SHIP_MODES),
+                        _comment(rng),
+                    ]
+                )
+            if all(status == "F" for status in statuses):
+                orderstatus = "F"
+            elif all(status == "O" for status in statuses):
+                orderstatus = "O"
+            else:
+                orderstatus = "P"
+            orders_writer.write(
+                [
+                    orderkey,
+                    custkey,
+                    orderstatus,
+                    round(rng.uniform(850.0, 500000.0), 2),
+                    orderdate,
+                    rng.choice(PRIORITIES),
+                    f"Clerk#{rng.randint(1, max(1, counts['orders'] // 1000)):09d}",
+                    0,
+                    _comment(rng),
+                ]
+            )
+    report.row_counts["orders"] = orders_writer.rows
+    report.row_counts["lineitem"] = lineitem_writer.rows
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Generate TPC-H CSVs")
+    parser.add_argument("out_dir", help="directory for the eight CSV files")
+    parser.add_argument("--scale-factor", type=float, default=0.01)
+    parser.add_argument("--skew", type=float, default=0.0, help="zipf exponent (0 = uniform)")
+    parser.add_argument("--seed", type=int, default=19)
+    options = parser.parse_args(argv)
+    report = generate(options.out_dir, options.scale_factor, options.skew, options.seed)
+    for table, rows in report.row_counts.items():
+        print(f"{table:10s} {rows:>10,d} rows -> {report.path(table)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""Differential oracle: run the same SQL on real systems and compare.
+
+Two reference engines load the *same CSV files* the repro engine loads:
+
+* **sqlite3** — stdlib, always available, the authoritative oracle.
+* **DuckDB** — optional; :func:`duckdb_available` gates it so the harness
+  degrades gracefully where the package is not installed (nothing is ever
+  installed by the harness itself).
+
+Both references and the repro engine then run identical query text (the
+supported queries avoid dialect divergence by construction: integer date
+literals, no aliases on aggregates, group columns leading the SELECT
+list) and their result sets are compared under one normalization:
+
+* columns compare **positionally** — engines disagree on derived column
+  names, never on order;
+* floats compare with ``math.isclose`` (rel 1e-9, abs 1e-6) — SUM/AVG
+  accumulate in engine-specific row orders, so the last few ulps differ;
+* absent ORDER BY the rows compare as **unordered multisets**; with
+  ORDER BY they compare as ordered lists (the supported queries order by
+  unique or near-unique key columns, never aggregates, so ordered
+  comparison is deterministic).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from benchmarks.tpch import dbgen
+
+__all__ = [
+    "SqliteOracle",
+    "DuckDBOracle",
+    "duckdb_available",
+    "normalize_value",
+    "normalize_rows",
+    "compare_results",
+    "ComparisonResult",
+]
+
+#: float comparison tolerances shared by every engine pair.
+REL_TOL = 1e-9
+ABS_TOL = 1e-6
+
+
+def duckdb_available() -> bool:
+    """True when the optional DuckDB package can be imported."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Normalization and comparison
+# ---------------------------------------------------------------------------
+
+
+def normalize_value(value: object) -> object:
+    """Canonicalize one cell: bools fold to ints, integral floats stay
+    floats (comparison handles numeric cross-type), bytes decode."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    return value
+
+
+def normalize_rows(rows: Sequence[Sequence[object]]) -> List[Tuple[object, ...]]:
+    return [tuple(normalize_value(cell) for cell in row) for row in rows]
+
+
+def _values_match(left: object, right: object) -> bool:
+    if isinstance(left, float) or isinstance(right, float):
+        if left is None or right is None:
+            return left is right
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            return False
+        return math.isclose(float(left), float(right), rel_tol=REL_TOL, abs_tol=ABS_TOL)
+    return left == right
+
+
+def _rows_match(left: Tuple[object, ...], right: Tuple[object, ...]) -> bool:
+    return len(left) == len(right) and all(
+        _values_match(a, b) for a, b in zip(left, right)
+    )
+
+
+def _sort_key(row: Tuple[object, ...]) -> Tuple:
+    # Total order across mixed types: key by (type rank, value); floats
+    # are rounded so near-equal sums land adjacently for the ordered walk.
+    key = []
+    for cell in row:
+        if cell is None:
+            key.append((0, ""))
+        elif isinstance(cell, (int, float)):
+            key.append((1, round(float(cell), 6)))
+        else:
+            key.append((2, str(cell)))
+    return tuple(key)
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing two engines' result sets for one query."""
+
+    matches: bool
+    row_count: int
+    differences: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.matches
+
+
+def compare_results(
+    expected: Sequence[Sequence[object]],
+    actual: Sequence[Sequence[object]],
+    ordered: bool,
+    max_differences: int = 5,
+) -> ComparisonResult:
+    """Compare two result sets under the shared normalization.
+
+    *expected* is the oracle's output, *actual* the engine under test.
+    """
+    left = normalize_rows(expected)
+    right = normalize_rows(actual)
+    differences: List[str] = []
+    if len(left) != len(right):
+        differences.append(f"row count: oracle={len(left)} engine={len(right)}")
+        return ComparisonResult(False, len(left), differences)
+    if not ordered:
+        left = sorted(left, key=_sort_key)
+        right = sorted(right, key=_sort_key)
+    for index, (expected_row, actual_row) in enumerate(zip(left, right)):
+        if not _rows_match(expected_row, actual_row):
+            differences.append(
+                f"row {index}: oracle={expected_row!r} engine={actual_row!r}"
+            )
+            if len(differences) >= max_differences:
+                break
+    return ComparisonResult(not differences, len(left), differences)
+
+
+def query_is_ordered(sql: str) -> bool:
+    """Whether the query text carries an ORDER BY (ordered comparison)."""
+    return "order by" in sql.lower()
+
+
+# ---------------------------------------------------------------------------
+# Reference engines
+# ---------------------------------------------------------------------------
+
+
+def _read_csv(path: str, table: dbgen.TableDef) -> Tuple[List[str], List[List[object]]]:
+    converters = {"int": int, "float": float, "date": int, "str": str}
+    kinds = [converters[column.kind] for column in table.columns]
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [
+            [convert(cell) for convert, cell in zip(kinds, row)] for row in reader
+        ]
+    return header, rows
+
+
+class SqliteOracle:
+    """The always-available reference: stdlib sqlite3 over the same CSVs."""
+
+    dialect = "sqlite"
+
+    def __init__(self, data_dir: str) -> None:
+        self.connection = sqlite3.connect(":memory:")
+        self._load(data_dir)
+
+    def _load(self, data_dir: str) -> None:
+        cursor = self.connection.cursor()
+        for statement in dbgen.schema_statements(self.dialect):
+            cursor.execute(statement)
+        for name, table in dbgen.TABLES.items():
+            header, rows = _read_csv(f"{data_dir}/{name}.csv", table)
+            placeholders = ", ".join("?" for _ in header)
+            cursor.executemany(
+                f"INSERT INTO {name} VALUES ({placeholders})", rows
+            )
+        self.connection.commit()
+
+    def run(self, sql: str) -> List[Tuple[object, ...]]:
+        return self.connection.execute(sql).fetchall()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DuckDBOracle:
+    """Optional second reference; raises RuntimeError when absent."""
+
+    dialect = "duckdb"
+
+    def __init__(self, data_dir: str) -> None:
+        if not duckdb_available():
+            raise RuntimeError(
+                "duckdb is not installed; gate callers on duckdb_available()"
+            )
+        import duckdb
+
+        self.connection = duckdb.connect(":memory:")
+        self._load(data_dir)
+
+    def _load(self, data_dir: str) -> None:
+        for statement in dbgen.schema_statements(self.dialect, indexes=False):
+            self.connection.execute(statement)
+        for name in dbgen.TABLES:
+            self.connection.execute(
+                f"COPY {name} FROM '{data_dir}/{name}.csv' (HEADER)"
+            )
+
+    def run(self, sql: str) -> List[Tuple[object, ...]]:
+        return self.connection.execute(sql).fetchall()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "DuckDBOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_oracle(kind: str, data_dir: str):
+    """Factory: ``sqlite`` or ``duckdb`` → a loaded oracle instance."""
+    if kind == "sqlite":
+        return SqliteOracle(data_dir)
+    if kind == "duckdb":
+        return DuckDBOracle(data_dir)
+    raise ValueError(f"unknown oracle kind {kind!r}")

@@ -1,0 +1,18 @@
+-- TPC-H Q1: pricing summary report.
+-- Dates are integer day numbers since 1992-01-01: 2436 = 1998-09-02
+-- (1998-12-01 minus 90 days, the spec's DELTA).
+SELECT
+    l_returnflag,
+    l_linestatus,
+    SUM(l_quantity),
+    SUM(l_extendedprice),
+    SUM(l_extendedprice * (1 - l_discount)),
+    SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+    AVG(l_quantity),
+    AVG(l_extendedprice),
+    AVG(l_discount),
+    COUNT(*)
+FROM lineitem
+WHERE l_shipdate <= 2436
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus

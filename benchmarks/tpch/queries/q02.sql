@@ -1,0 +1,23 @@
+-- TPC-H Q2: minimum cost supplier.
+-- EXCLUDED: needs a correlated scalar subquery (MIN(ps_supplycost) per
+-- part) which the single-block SELECT subset cannot express.
+SELECT
+    s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey
+  AND s_suppkey = ps_suppkey
+  AND p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+      SELECT MIN(ps_supplycost)
+      FROM partsupp, supplier, nation, region
+      WHERE p_partkey = ps_partkey
+        AND s_suppkey = ps_suppkey
+        AND s_nationkey = n_nationkey
+        AND n_regionkey = r_regionkey
+        AND r_name = 'EUROPE'
+  )
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey

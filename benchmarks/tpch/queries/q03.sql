@@ -1,0 +1,17 @@
+-- TPC-H Q3: shipping priority.
+-- Adapted: group columns lead the SELECT list; ORDER BY revenue and the
+-- LIMIT are dropped (ORDER BY over an aggregate is unsupported), so the
+-- result is ordered by l_orderkey instead.  1169 = 1995-03-15.
+SELECT
+    l_orderkey,
+    o_orderdate,
+    o_shippriority,
+    SUM(l_extendedprice * (1 - l_discount))
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < 1169
+  AND l_shipdate > 1169
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY l_orderkey

@@ -1,0 +1,14 @@
+-- TPC-H Q4: order priority checking.
+-- Adapted: the EXISTS subquery becomes a join plus COUNT(DISTINCT
+-- o_orderkey), which counts each qualifying order once.
+-- 547 = 1993-07-01, 639 = 1993-10-01 (the spec's three-month window).
+SELECT
+    o_orderpriority,
+    COUNT(DISTINCT o_orderkey)
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND o_orderdate >= 547
+  AND o_orderdate < 639
+  AND l_commitdate < l_receiptdate
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority

@@ -1,0 +1,18 @@
+-- TPC-H Q5: local supplier volume.
+-- Adapted: ORDER BY revenue is unsupported (aggregate ordering), so the
+-- result is ordered by n_name.  731 = 1994-01-01, 1096 = 1995-01-01.
+SELECT
+    n_name,
+    SUM(l_extendedprice * (1 - l_discount))
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= 731
+  AND o_orderdate < 1096
+GROUP BY n_name
+ORDER BY n_name

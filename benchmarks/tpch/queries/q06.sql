@@ -1,0 +1,8 @@
+-- TPC-H Q6: revenue change forecast.
+-- 731 = 1994-01-01, 1096 = 1995-01-01.
+SELECT SUM(l_extendedprice * l_discount)
+FROM lineitem
+WHERE l_shipdate >= 731
+  AND l_shipdate < 1096
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24

@@ -1,0 +1,19 @@
+-- TPC-H Q7: volume shipping.
+-- Adapted: the spec's bidirectional nation pair ('FRANCE'<->'GERMANY' via
+-- OR over both directions inside a derived table) and the per-year
+-- grouping (EXTRACT is unsupported) collapse to one direction and one
+-- total.  1096 = 1995-01-01, 1826 = 1996-12-31.
+SELECT
+    n1.n_name,
+    n2.n_name,
+    SUM(l_extendedprice * (1 - l_discount))
+FROM supplier, lineitem, orders, customer, nation AS n1, nation AS n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND n1.n_name = 'FRANCE'
+  AND n2.n_name = 'GERMANY'
+  AND l_shipdate BETWEEN 1096 AND 1826
+GROUP BY n1.n_name, n2.n_name

@@ -1,0 +1,16 @@
+-- TPC-H Q9: product type profit measure.
+-- Adapted: per-year grouping dropped (no EXTRACT); profit aggregates per
+-- nation over the full history.
+SELECT
+    n_name,
+    SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY n_name
+ORDER BY n_name

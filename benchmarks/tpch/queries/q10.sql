@@ -1,0 +1,21 @@
+-- TPC-H Q10: returned item reporting.
+-- Adapted: functionally-dependent group columns (c_phone, c_address,
+-- c_comment) dropped; ORDER BY revenue DESC LIMIT 20 replaced with
+-- ORDER BY c_custkey (aggregate ordering is unsupported, and LIMIT
+-- without a deterministic order would not compare across engines).
+-- 639 = 1993-10-01, 731 = 1994-01-01.
+SELECT
+    c_custkey,
+    c_name,
+    c_acctbal,
+    n_name,
+    SUM(l_extendedprice * (1 - l_discount))
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= 639
+  AND o_orderdate < 731
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, n_name
+ORDER BY c_custkey

@@ -1,0 +1,12 @@
+-- TPC-H Q11: important stock identification.
+-- Adapted: the HAVING threshold (a scalar subquery over the whole table)
+-- is dropped — every German part's stock value is reported.
+SELECT
+    ps_partkey,
+    SUM(ps_supplycost * ps_availqty)
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+ORDER BY ps_partkey

@@ -1,0 +1,15 @@
+-- TPC-H Q12: shipping modes and order priority.
+-- Adapted: the CASE split into high/low priority counts becomes a plain
+-- COUNT(*) per ship mode.  731 = 1994-01-01, 1096 = 1995-01-01.
+SELECT
+    l_shipmode,
+    COUNT(*)
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= 731
+  AND l_receiptdate < 1096
+GROUP BY l_shipmode
+ORDER BY l_shipmode

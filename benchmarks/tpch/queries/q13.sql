@@ -1,0 +1,12 @@
+-- TPC-H Q13: customer distribution.
+-- EXCLUDED: needs a LEFT OUTER JOIN (customers with zero orders must
+-- appear) and an aggregate-of-aggregate; both unsupported.
+SELECT c_count, COUNT(*)
+FROM (
+    SELECT c_custkey, COUNT(o_orderkey) AS c_count
+    FROM customer LEFT OUTER JOIN orders ON
+        c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+    GROUP BY c_custkey
+) AS c_orders
+GROUP BY c_count
+ORDER BY c_count

@@ -1,0 +1,10 @@
+-- TPC-H Q14: promotion effect.
+-- Adapted: the promo-revenue percentage needs CASE inside SUM; this
+-- keeps the numerator (promo revenue) only.
+-- 1339 = 1995-09-01, 1369 = 1995-10-01.
+SELECT SUM(l_extendedprice * (1 - l_discount))
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND p_type LIKE 'PROMO%'
+  AND l_shipdate >= 1339
+  AND l_shipdate < 1369

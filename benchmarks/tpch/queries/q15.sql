@@ -1,0 +1,12 @@
+-- TPC-H Q15: top supplier.
+-- Adapted: this is the revenue view body; the outer MAX(total_revenue)
+-- subquery is unsupported, so all supplier revenues are reported.
+-- 1461 = 1996-01-01, 1552 = 1996-04-01.
+SELECT
+    l_suppkey,
+    SUM(l_extendedprice * (1 - l_discount))
+FROM lineitem
+WHERE l_shipdate >= 1461
+  AND l_shipdate < 1552
+GROUP BY l_suppkey
+ORDER BY l_suppkey

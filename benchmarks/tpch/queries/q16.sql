@@ -1,0 +1,15 @@
+-- TPC-H Q16: parts/supplier relationship.
+-- Adapted: the NOT IN customer-complaint subquery is dropped; ORDER BY
+-- supplier count DESC becomes brand/type/size order.
+SELECT
+    p_brand,
+    p_type,
+    p_size,
+    COUNT(DISTINCT ps_suppkey)
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+GROUP BY p_brand, p_type, p_size
+ORDER BY p_brand, p_type, p_size

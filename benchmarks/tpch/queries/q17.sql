@@ -1,0 +1,13 @@
+-- TPC-H Q17: small-quantity-order revenue.
+-- EXCLUDED: needs a correlated scalar subquery (0.2 * AVG(l_quantity)
+-- per part) which the single-block subset cannot express.
+SELECT SUM(l_extendedprice) / 7.0
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (
+      SELECT 0.2 * AVG(l_quantity)
+      FROM lineitem
+      WHERE l_partkey = p_partkey
+  )

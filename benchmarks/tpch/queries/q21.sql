@@ -1,0 +1,17 @@
+-- TPC-H Q21: suppliers who kept orders waiting.
+-- Adapted: the EXISTS (another supplier on the order) and NOT EXISTS
+-- (no other late supplier) subqueries are dropped — this counts late
+-- lineitems on finished orders per Saudi supplier.  ORDER BY numwait
+-- DESC LIMIT 100 becomes ORDER BY s_name.
+SELECT
+    s_name,
+    COUNT(*)
+FROM supplier, lineitem, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND o_orderstatus = 'F'
+  AND l_receiptdate > l_commitdate
+  AND s_nationkey = n_nationkey
+  AND n_name = 'SAUDI ARABIA'
+GROUP BY s_name
+ORDER BY s_name

@@ -1,0 +1,20 @@
+-- TPC-H Q22: global sales opportunity.
+-- EXCLUDED: needs SUBSTRING, a scalar AVG subquery over customers, and
+-- NOT EXISTS; none are in the supported subset.
+SELECT cntrycode, COUNT(*), SUM(c_acctbal)
+FROM (
+    SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal
+    FROM customer
+    WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN ('13', '31', '23', '29', '30', '18', '17')
+      AND c_acctbal > (
+          SELECT AVG(c_acctbal)
+          FROM customer
+          WHERE c_acctbal > 0.00
+            AND SUBSTRING(c_phone FROM 1 FOR 2) IN ('13', '31', '23', '29', '30', '18', '17')
+      )
+      AND NOT EXISTS (
+          SELECT * FROM orders WHERE o_custkey = c_custkey
+      )
+) AS custsale
+GROUP BY cntrycode
+ORDER BY cntrycode

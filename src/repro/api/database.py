@@ -826,9 +826,10 @@ class Database:
     def _execute_copy(self, binder: Binder, statement: CopyStatement) -> StatementResult:
         bound = binder.bind_copy(statement)
         table = bound.table
+        null_token = bound.null_token
         try:
             with open(bound.path, newline="", encoding="utf-8") as handle:
-                reader = csv.reader(handle)
+                reader = csv.reader(handle, delimiter=bound.delimiter)
                 header = next(reader, None)
                 if header is None:
                     raise SqlError(
@@ -856,7 +857,10 @@ class Database:
                         )
                     values: Row = {}
                     for name, convert, text in zip(header, converters, record):
-                        if text == "":
+                        # With an explicit NULL token only that exact text is
+                        # NULL (empty strings round-trip); without one the
+                        # legacy rule applies: empty field loads as NULL.
+                        if text == null_token if null_token is not None else text == "":
                             values[name] = None
                             continue
                         try:

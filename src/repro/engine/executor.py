@@ -398,22 +398,41 @@ class PlanExecutor:
             groups.setdefault(key, []).append(row)
         if not groups and not group_columns:
             groups[()] = []
+        # Expression aggregates compile once per execution; the closure then
+        # evaluates per joined row inside each group, in group row order.
+        compiled = [
+            scalar.compile_row(aggregate.expr, str, self.parameters)
+            if aggregate.expr is not None
+            else None
+            for aggregate in self.query.aggregates
+        ]
         output: Table = []
-        for key, rows in groups.items():
-            out_row: Row = dict(zip(group_columns, key))
-            for aggregate in self.query.aggregates:
-                out_row[str(aggregate)] = self._compute_aggregate(aggregate, rows)
-            output.append(out_row)
+        try:
+            for key, rows in groups.items():
+                out_row: Row = dict(zip(group_columns, key))
+                for aggregate, evaluate in zip(self.query.aggregates, compiled):
+                    out_row[str(aggregate)] = self._compute_aggregate(aggregate, rows, evaluate)
+                output.append(out_row)
+        except scalar.MissingColumnError as error:
+            raise ExecutionError(
+                f"aggregate expression references {error.ref} which is absent "
+                "from the data"
+            ) from error
         return output
 
-    def _compute_aggregate(self, aggregate, rows: Table) -> object:
-        column = str(aggregate.column) if aggregate.column is not None else None
-        if aggregate.function is AggregateFunction.COUNT:
-            if column is None:
-                return len(rows)
+    def _compute_aggregate(self, aggregate, rows: Table, evaluate=None) -> object:
+        if evaluate is not None:
+            values = [value for value in map(evaluate, rows) if value is not None]
+            if aggregate.function is AggregateFunction.COUNT:
+                return len(set(values)) if aggregate.distinct else len(values)
+        else:
+            column = str(aggregate.column) if aggregate.column is not None else None
+            if aggregate.function is AggregateFunction.COUNT:
+                if column is None:
+                    return len(rows)
+                values = [row.get(column) for row in rows if row.get(column) is not None]
+                return len(set(values)) if aggregate.distinct else len(values)
             values = [row.get(column) for row in rows if row.get(column) is not None]
-            return len(set(values)) if aggregate.distinct else len(values)
-        values = [row.get(column) for row in rows if row.get(column) is not None]
         if aggregate.distinct:
             values = list(set(values))
         if not values:

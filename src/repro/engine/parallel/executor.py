@@ -377,13 +377,20 @@ class ParallelExecutor(VectorizedExecutor):
           ints are associative with arbitrary precision, so per-morsel
           partials combine exactly; MIN/MAX always are.  Floats are *not*
           reassociated — their summation order is part of result parity.
+
+        Expression aggregates evaluate their input column once, serially,
+        before the fan-out (batch evaluation order is the parity contract);
+        only the per-group gathering parallelizes.  Their value lists are
+        never TypedColumns, so the partial-combine SUM/AVG path — exact only
+        for int64 buffers — naturally skips them.
         """
+        values = self._aggregate_input(aggregate, child)
         count = len(group_indices)
         if self.workers > 1 and count >= _MIN_GROUPS_TO_CHUNK:
             size = (count + self.workers - 1) // self.workers
             chunks = [group_indices[start : start + size] for start in range(0, count, size)]
             parts = self._map(
-                lambda chunk: VectorizedExecutor._aggregate_column(aggregate, child, chunk),
+                lambda chunk: VectorizedExecutor._aggregate_column(aggregate, values, chunk),
                 chunks,
             )
             out: List[object] = []
@@ -391,21 +398,21 @@ class ParallelExecutor(VectorizedExecutor):
                 out.extend(part)
             return out
         if self.workers > 1 and count == 1 and len(group_indices[0]) >= _MIN_ROWS_TO_SPLIT:
-            combined = self._combine_single_group(aggregate, child, group_indices[0])
+            combined = self._combine_single_group(aggregate, values, group_indices[0])
             if combined is not None:
                 return combined
-        return self._aggregate_column(aggregate, child, group_indices)
+        return self._aggregate_column(aggregate, values, group_indices)
 
     def _combine_single_group(
-        self, aggregate, child: TableView, indices: List[int]
+        self, aggregate, values: Optional[Sequence[object]], indices: List[int]
     ) -> Optional[List[object]]:
         """Partial-combine one group's aggregate, or None when inexact/unsupported."""
         function = aggregate.function
         if aggregate.distinct:
             return None
-        if function is AggregateFunction.COUNT and aggregate.column is None:
+        is_count_star = aggregate.column is None and aggregate.expr is None
+        if function is AggregateFunction.COUNT and is_count_star:
             return [len(indices)]
-        values = child.column(str(aggregate.column)) if aggregate.column is not None else None
         if values is None:
             return None
         exact_combine = isinstance(values, TypedColumn) and values.kind == INT

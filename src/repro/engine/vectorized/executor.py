@@ -739,23 +739,56 @@ class VectorizedExecutor:
             for name, key_values in zip(group_columns, zip(*groups.keys())):
                 output[name] = list(key_values)
         for aggregate in self.query.aggregates:
-            output[str(aggregate)] = self._aggregate_column(aggregate, child, group_indices)
+            output[str(aggregate)] = self._aggregate_column(
+                aggregate, self._aggregate_input(aggregate, child), group_indices
+            )
         return ColumnTable(output, len(groups))
+
+    def _aggregate_input(self, aggregate, child: TableView) -> Optional[Sequence[object]]:
+        """The aggregate's input values aligned with the child's row positions.
+
+        ``None`` for ``COUNT(*)`` (and for a plain column absent from the
+        child, which the aggregation paths read as all-NULL).  Expression
+        aggregates evaluate batch-wise over the child's columns in row order,
+        so float summation order still matches the row engine.
+        """
+        if aggregate.expr is not None:
+
+            def resolve(ref) -> Sequence[object]:
+                values = child.column(str(ref))
+                if values is None:
+                    raise scalar.MissingColumnError(ref)
+                return values
+
+            try:
+                return scalar.evaluate_batch(
+                    aggregate.expr, resolve, range(child.row_count), self.parameters
+                )
+            except scalar.MissingColumnError as error:
+                raise ExecutionError(
+                    f"aggregate expression references {error.ref} which is "
+                    "absent from the data"
+                ) from error
+        if aggregate.column is None:
+            return None
+        return child.column(str(aggregate.column))
 
     @staticmethod
     def _aggregate_column(
-        aggregate, child: TableView, group_indices: List[List[int]]
+        aggregate, values: Optional[Sequence[object]], group_indices: List[List[int]]
     ) -> List[object]:
         """One aggregate's output column, one entry per group.
 
+        *values* is the precomputed input sequence from
+        :meth:`_aggregate_input` (``None`` for ``COUNT(*)`` / absent column).
         Gathering order (and therefore float summation order) matches the row
         engine's per-group row order exactly.  Columns without NULLs take
         all-comprehension fast paths; the generic path filters per group.
         """
         function = aggregate.function
-        if function is AggregateFunction.COUNT and aggregate.column is None:
+        is_count_star = aggregate.column is None and aggregate.expr is None
+        if function is AggregateFunction.COUNT and is_count_star:
             return [len(indices) for indices in group_indices]
-        values = child.column(str(aggregate.column)) if aggregate.column is not None else None
         if values is None:
             # Column absent from the child: every value reads as None.
             empty = 0 if function is AggregateFunction.COUNT else None

@@ -96,14 +96,25 @@ class DerivedColumn:
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """An aggregate in the SELECT list, e.g. ``COUNT(DISTINCT r5.xpos)``."""
+    """An aggregate in the SELECT list, e.g. ``COUNT(DISTINCT r5.xpos)``.
+
+    The argument is either a plain column (``column``), an arbitrary scalar
+    expression (``expr``, e.g. ``SUM(l.price * (1 - l.disc))``), or neither
+    for ``COUNT(*)``.  At most one of ``column``/``expr`` is set; the engines
+    keep the plain-column path separate because it reads stored arrays
+    directly without evaluation.
+    """
 
     function: AggregateFunction
     column: Optional[ColumnRef] = None
     distinct: bool = False
+    expr: Optional[scalar.ScalarExpr] = None
 
     def __str__(self) -> str:
-        inner = "*" if self.column is None else str(self.column)
+        if self.expr is not None:
+            inner = str(self.expr)
+        else:
+            inner = "*" if self.column is None else str(self.column)
         if self.distinct:
             inner = f"distinct {inner}"
         return f"{self.function.value}({inner})"
@@ -169,6 +180,10 @@ class Query:
         for aggregate in self.aggregates:
             if aggregate.column is not None and aggregate.column.alias not in aliases:
                 raise QueryError(f"aggregate {aggregate} uses unknown alias")
+            if aggregate.expr is not None:
+                for ref in scalar.columns_of(aggregate.expr):
+                    if ref.alias not in aliases:
+                        raise QueryError(f"aggregate {aggregate} uses unknown alias")
         for item in self.order_by:
             if item.column.alias not in aliases:
                 raise QueryError(f"order-by column {item.column} uses unknown alias")
@@ -258,6 +273,10 @@ class Query:
         for aggregate in self.aggregates:
             if aggregate.column is not None and aggregate.column.alias == alias:
                 columns.append(aggregate.column)
+            if aggregate.expr is not None:
+                for ref in scalar.columns_of(aggregate.expr):
+                    if ref.alias == alias:
+                        columns.append(ref)
         for item in self.order_by:
             if item.column.alias == alias:
                 columns.append(item.column)

@@ -242,10 +242,14 @@ class TableRef:
 
 @dataclass(frozen=True)
 class AggregateCall:
-    """``fn([DISTINCT] column | *)`` in the SELECT list."""
+    """``fn([DISTINCT] expr | *)`` in the SELECT list.
+
+    The argument may be any scalar expression (``SUM(price * (1 - disc))``),
+    not just a column; ``None`` means ``COUNT(*)``.
+    """
 
     function: str  # count / sum / min / max / avg (lowercase)
-    argument: Optional[ColumnName]  # None for COUNT(*)
+    argument: Optional[SqlExpr]  # None for COUNT(*)
     distinct: bool = False
     position: Position = (1, 1)
 
@@ -371,10 +375,17 @@ class InsertStatement:
 
 @dataclass(frozen=True)
 class CopyStatement:
-    """``COPY t FROM '<csv path>'`` — bulk load from a header-ful CSV file."""
+    """``COPY t FROM '<csv>' [WITH (NULL '<tok>', DELIMITER '<ch>')]``.
+
+    Bulk load from a header-ful CSV file.  Without an explicit NULL token,
+    empty fields load as NULL (so empty strings cannot round-trip); with
+    one, only fields exactly equal to the token are NULL.
+    """
 
     table: str
     path: str
+    null_token: Optional[str] = None
+    delimiter: str = ","
     position: Position = (1, 1)
 
 

@@ -149,10 +149,17 @@ class BoundInsert:
 
 @dataclass(frozen=True)
 class BoundCopy:
-    """A validated COPY: target table plus the CSV source path."""
+    """A validated COPY: target table, CSV source path, format options.
+
+    ``null_token`` is ``None`` for the legacy behavior (empty field loads
+    as NULL); when set, only fields exactly equal to the token are NULL and
+    empty strings round-trip as themselves.
+    """
 
     table: Table
     path: str
+    null_token: Optional[str] = None
+    delimiter: str = ","
 
 
 @dataclass(frozen=True)
@@ -196,14 +203,7 @@ class Binder:
                     output_order.append(f"{alias}.{column}")
         for item in statement.select_items:
             if isinstance(item, AggregateCall):
-                argument = (
-                    self._resolve_column(item.argument, tables)
-                    if item.argument is not None
-                    else None
-                )
-                aggregates.append(
-                    AggregateSpec(AggregateFunction(item.function), argument, item.distinct)
-                )
+                aggregates.append(self._bind_aggregate(item, tables))
             elif isinstance(item, ExpressionItem):
                 derived.append(self._bind_derived(item, tables))
                 output_order.append(item.alias)
@@ -365,6 +365,39 @@ class Binder:
             filters.append(FilterPredicate(lowered, hint))
         except QueryError as error:
             raise self._error(str(error), conjunct) from error
+
+    def _bind_aggregate(self, item: AggregateCall, tables: Dict[str, Table]) -> AggregateSpec:
+        """Lower one SELECT-list aggregate call.
+
+        A bare column argument stays on the ``AggregateSpec.column`` path the
+        engines read directly from stored arrays; any other expression is
+        lowered into the scalar IR, type-checked, and carried as
+        ``AggregateSpec.expr``.
+        """
+        function = AggregateFunction(item.function)
+        if item.argument is None:
+            return AggregateSpec(function, None, item.distinct)
+        if isinstance(item.argument, ColumnName):
+            return AggregateSpec(
+                function, self._resolve_column(item.argument, tables), item.distinct
+            )
+        lowered = self._lower_expr(item.argument, tables)
+        result_type = self._typecheck(lowered, tables, item)
+        if result_type is ScalarType.BOOLEAN:
+            raise self._error(
+                f"cannot aggregate over the predicate {item.argument}; "
+                "aggregate arguments must be scalar expressions",
+                item,
+            )
+        if function in (AggregateFunction.SUM, AggregateFunction.AVG) and (
+            result_type is ScalarType.STRING
+        ):
+            raise self._error(
+                f"{function.value.upper()} needs a numeric argument; "
+                f"{item.argument} is a string expression",
+                item,
+            )
+        return AggregateSpec(function, None, item.distinct, expr=lowered)
 
     def _bind_derived(self, item: ExpressionItem, tables: Dict[str, Table]) -> DerivedColumn:
         """Lower a computed SELECT item ``expr AS name``."""
@@ -607,7 +640,7 @@ class Binder:
 
     def bind_copy(self, statement: CopyStatement) -> BoundCopy:
         table = self._bind_target_table(statement.table, statement, "COPY")
-        return BoundCopy(table, statement.path)
+        return BoundCopy(table, statement.path, statement.null_token, statement.delimiter)
 
     def bind_analyze(self, statement: AnalyzeStatement) -> BoundAnalyze:
         if statement.table is None:

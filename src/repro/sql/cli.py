@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence, Union
 
 import repro.api as api
@@ -52,6 +53,20 @@ PROMPT = "repro-sql> "
 CONTINUATION = "      ...> "
 
 Parameter = Union[int, float, str]
+
+#: client-side per-statement wall-clock timing, toggled by ``.timer on|off``.
+#: Measured around the whole round trip, so it works identically for local
+#: connections and --connect sessions (where it includes the wire time).
+_timer_enabled = False
+
+
+def set_timer(enabled: bool) -> None:
+    global _timer_enabled
+    _timer_enabled = bool(enabled)
+
+
+def timer_enabled() -> bool:
+    return _timer_enabled
 
 
 def build_session(
@@ -133,11 +148,15 @@ def run_statement(
     own ``execute``.
     """
     out = out if out is not None else sys.stdout
+    started = time.perf_counter()
     if hasattr(target, "_execute"):
         result = target._execute(sql, parameters)
     else:
         result = target.execute(sql)
+    elapsed = time.perf_counter() - started
     _print_result(result, out)
+    if _timer_enabled:
+        print(f"Time: {elapsed * 1000.0:.3f} ms", file=out)
     return result
 
 
@@ -164,6 +183,14 @@ def _meta_command(connection, line: str) -> bool:
     """Handle a ``.command``; returns False for unknown commands."""
     parts = line.split(maxsplit=1)
     command = parts[0]
+    if command == ".timer":
+        argument = parts[1].strip().lower() if len(parts) > 1 else ""
+        if argument not in ("on", "off"):
+            print("usage: .timer on|off", file=sys.stderr)
+            return True
+        set_timer(argument == "on")
+        print(f"timer {argument}")
+        return True
     if isinstance(connection, RemoteConnection) and command != ".load":
         return _remote_meta_command(connection, command, parts)
     if command == ".load":
@@ -246,7 +273,8 @@ def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
     print(
         "statements end with ';' (CREATE TABLE / CREATE INDEX / DROP INDEX / "
         "INSERT / COPY / ANALYZE / SELECT / EXPLAIN [ANALYZE]); .load FILE, "
-        ".tables, .schema [TABLE], .indexes [TABLE], .stats; ctrl-d quits"
+        ".tables, .schema [TABLE], .indexes [TABLE], .stats, .timer on|off; "
+        "ctrl-d quits"
     )
     buffer: List[str] = []
     while True:

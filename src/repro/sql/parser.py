@@ -12,7 +12,7 @@ Grammar (EBNF, case-insensitive keywords)::
                    [LIMIT integer]
     select_list := "*" | select_item ("," select_item)*
     select_item := aggregate | column | expression AS identifier
-    aggregate   := (COUNT|SUM|MIN|MAX|AVG) "(" [DISTINCT] ("*" | column) ")"
+    aggregate   := (COUNT|SUM|MIN|MAX|AVG) "(" [DISTINCT] ("*" | expression) ")"
     from_clause := table_ref (("," table_ref) | ([INNER] JOIN table_ref ON expression))*
     table_ref   := identifier [[AS] identifier]
 
@@ -47,6 +47,8 @@ Grammar (EBNF, case-insensitive keywords)::
     values_row  := "(" value ("," value)* ")"
     value       := literal | NULL | parameter
     copy        := COPY identifier FROM string
+                   [WITH "(" copy_option ("," copy_option)* ")"]
+    copy_option := NULL string | DELIMITER string
     analyze     := ANALYZE [identifier]
 
 The WHERE clause is a full boolean expression with SQL precedence
@@ -145,6 +147,16 @@ class Parser:
 
     def _accept_keyword(self, *names: str) -> Optional[Token]:
         if self._current.is_keyword(*names):
+            return self._advance()
+        return None
+
+    def _accept_word(self, name: str) -> Optional[Token]:
+        """Accept a non-reserved word (COPY options: WITH, DELIMITER)."""
+        token = self._current
+        if (
+            token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+            and token.text.lower() == name
+        ):
             return self._advance()
         return None
 
@@ -268,7 +280,7 @@ class Parser:
         function = name_token.text.lower()
         self._expect(TokenType.LPAREN, "'('")
         distinct = bool(self._accept_keyword("distinct"))
-        argument: Optional[ColumnName]
+        argument: Optional[SqlExpr]
         if self._current.type is TokenType.STAR:
             if distinct:
                 raise self._error("DISTINCT * is not supported in aggregates")
@@ -280,7 +292,7 @@ class Parser:
                     name_token,
                 )
         else:
-            argument = self._parse_column()
+            argument = self._parse_expression()
         self._expect(TokenType.RPAREN, "')'")
         return AggregateCall(function, argument, distinct, name_token.position)
 
@@ -650,7 +662,29 @@ class Parser:
         name = self._identifier("a table name after COPY")
         self._expect_keyword("from")
         path = self._expect(TokenType.STRING, "a quoted CSV path after FROM")
-        return CopyStatement(name.text, path.text, start.position)
+        null_token: Optional[str] = None
+        delimiter = ","
+        if self._accept_word("with"):
+            self._expect(TokenType.LPAREN, "'('")
+            while True:
+                if self._accept_keyword("null"):
+                    token = self._expect(TokenType.STRING, "a quoted NULL token")
+                    null_token = token.text
+                elif self._accept_word("delimiter"):
+                    token = self._expect(TokenType.STRING, "a quoted delimiter")
+                    if len(token.text) != 1:
+                        raise self._error(
+                            f"COPY delimiter must be a single character, got {token.text!r}",
+                            token,
+                        )
+                    delimiter = token.text
+                else:
+                    raise self._error("expected NULL '<token>' or DELIMITER '<char>'")
+                if self._current.type is not TokenType.COMMA:
+                    break
+                self._advance()
+            self._expect(TokenType.RPAREN, "')'")
+        return CopyStatement(name.text, path.text, null_token, delimiter, start.position)
 
     def _parse_analyze(self) -> AnalyzeStatement:
         start = self._expect_keyword("analyze")

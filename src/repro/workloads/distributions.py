@@ -1,0 +1,59 @@
+"""Seeded value-distribution samplers shared by the data generators.
+
+Both the scaled-down in-memory generator (:mod:`repro.workloads.tpch`) and
+the CSV-streaming dbgen-style generator (``benchmarks/tpch/dbgen.py``) draw
+join keys from the same distributions: uniform by default, Zipf(s) when a
+skew knob is turned.  Keeping the samplers here means one implementation of
+the CDF/bisection logic decides what "skew 1.0" means everywhere — the
+paper's skewed-TPC-D experiments and the TPC-H harness agree by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class ZipfSampler:
+    """Deterministic sampler from a Zipf(s) distribution over 1..n.
+
+    ``skew <= 0`` degenerates to uniform sampling over the same domain.
+    Rank 1 is the most frequent value under skew; the full CDF is
+    precomputed so sampling is a single binary search.
+    """
+
+    def __init__(self, n: int, skew: float, rng: random.Random) -> None:
+        self._rng = rng
+        self._n = max(1, n)
+        if skew <= 0.0:
+            self._cdf: List[float] = []
+            return
+        weights = [1.0 / (rank**skew) for rank in range(1, self._n + 1)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def is_skewed(self) -> bool:
+        return bool(self._cdf)
+
+    def sample(self) -> int:
+        """A value in [1, n]; rank 1 is the most frequent under skew."""
+        if not self._cdf:
+            return self._rng.randint(1, self._n)
+        point = self._rng.random()
+        low, high = 0, self._n - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cdf[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return low + 1

@@ -155,6 +155,26 @@ UNREFERENCED_ALIAS_SQL = """
 SELECT r1.r_name FROM region r1, nation n1
 """
 
+# Aggregates over scalar expressions (the TPC-H revenue/charge shapes):
+# expression inputs are evaluated per row before grouping, so all three
+# engines must agree on float accumulation order, and the parallel
+# engine's exact-combine fast path must not apply to them.
+EXPR_AGGREGATE_SQL = """
+SELECT l_returnflag,
+       SUM(l_extendedprice * (1 - l_discount)),
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+       AVG(l_quantity + 1),
+       COUNT(*)
+FROM lineitem
+WHERE l_shipdate <= 2436
+GROUP BY l_returnflag
+"""
+
+EXPR_AGGREGATE_GLOBAL_SQL = """
+SELECT SUM(l_extendedprice * l_discount), MIN(0 - l_quantity), MAX(l_tax * 100)
+FROM lineitem
+"""
+
 # Prepared-statement forms of workload shapes: the pinned constants become
 # ?/$n placeholders supplied at execution time, so one cached plan serves a
 # family of parameter values (no hints — the optimizer must plan them with
@@ -199,6 +219,8 @@ PARITY_SQL: Dict[str, str] = {
     "CrossRegion": CROSS_REGION_SQL,
     "CountOnly": COUNT_ONLY_SQL,
     "UnreferencedAlias": UNREFERENCED_ALIAS_SQL,
+    "ExprAggregate": EXPR_AGGREGATE_SQL,
+    "ExprAggregateGlobal": EXPR_AGGREGATE_GLOBAL_SQL,
 }
 
 

@@ -31,6 +31,19 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.histogram import EquiDepthHistogram
 from repro.catalog.statistics import ColumnStats, TableStats
 from repro.relational.schema import Column, DataType, Index, Schema, Table
+from repro.workloads.distributions import ZipfSampler
+
+__all__ = [
+    "BASE_ROW_COUNTS",
+    "DATE_MIN",
+    "DATE_MAX",
+    "ZipfSampler",
+    "tpch_schema",
+    "tpch_catalog",
+    "generate_tpch_data",
+    "catalog_from_data",
+    "partition_rows",
+]
 
 # Row counts at scale factor 1.0 (from the TPC-H specification).
 BASE_ROW_COUNTS: Dict[str, int] = {
@@ -291,38 +304,6 @@ def tpch_catalog(scale_factor: float = 1.0) -> Catalog:
 # ---------------------------------------------------------------------------
 # Synthetic data generation (uniform or Zipf-skewed)
 # ---------------------------------------------------------------------------
-
-class ZipfSampler:
-    """Deterministic sampler from a Zipf(s) distribution over 1..n."""
-
-    def __init__(self, n: int, skew: float, rng: random.Random) -> None:
-        self._rng = rng
-        self._n = max(1, n)
-        if skew <= 0.0:
-            self._cdf: List[float] = []
-            return
-        weights = [1.0 / (rank ** skew) for rank in range(1, self._n + 1)]
-        total = sum(weights)
-        cumulative = 0.0
-        self._cdf = []
-        for weight in weights:
-            cumulative += weight / total
-            self._cdf.append(cumulative)
-
-    def sample(self) -> int:
-        """A value in [1, n]; rank 1 is the most frequent under skew."""
-        if not self._cdf:
-            return self._rng.randint(1, self._n)
-        point = self._rng.random()
-        low, high = 0, self._n - 1
-        while low < high:
-            mid = (low + high) // 2
-            if self._cdf[mid] < point:
-                low = mid + 1
-            else:
-                high = mid
-        return low + 1
-
 
 Rows = List[Dict[str, object]]
 

@@ -138,6 +138,30 @@ class TestCopy(object):
         with pytest.raises(SqlError, match="cannot convert"):
             conn.execute(f"COPY part FROM '{path}'")
 
+    def test_copy_quoted_field_with_delimiter_roundtrips(self, conn, tmp_path):
+        path = tmp_path / "quoted.csv"
+        path.write_text('pk,label\n10,"a,b"\n11,"say ""hi"""\n')
+        assert conn.execute(f"COPY part FROM '{path}'").rowcount == 2
+        rows = conn.execute("SELECT pk, label FROM part WHERE pk > 9 ORDER BY pk")
+        assert rows.fetchall() == [(10, "a,b"), (11, 'say "hi"')]
+
+    def test_copy_null_token_lets_empty_string_roundtrip(self, conn, tmp_path):
+        path = tmp_path / "nulls.csv"
+        path.write_text("pk,label\n10,NULL\n11,\n")
+        cur = conn.execute(f"COPY part FROM '{path}' WITH (NULL 'NULL')")
+        assert cur.rowcount == 2
+        rows = conn.execute("SELECT pk, label FROM part WHERE pk > 9 ORDER BY pk")
+        # only the explicit token is NULL; the empty field stays ''.
+        assert rows.fetchall() == [(10, None), (11, "")]
+
+    def test_copy_custom_delimiter(self, conn, tmp_path):
+        path = tmp_path / "pipes.csv"
+        path.write_text("pk|size|price|label\n10|100|10.5|x,y\n")
+        cur = conn.execute(f"COPY part FROM '{path}' WITH (DELIMITER '|')")
+        assert cur.rowcount == 1
+        rows = conn.execute("SELECT label FROM part WHERE pk = 10")
+        assert rows.fetchall() == [("x,y",)]
+
 
 class TestPreparedStatements:
     def test_positional_and_numbered_parameters(self, conn):

@@ -1,0 +1,133 @@
+"""Differential oracle: every supported TPC-H query vs sqlite3.
+
+The tier-1 acceptance gate for the TPC-H harness: at SF 0.01, under both
+a uniform and a zipf-skewed (z=1.0) dataset, every query the manifest
+marks supported must return the same result set as stdlib sqlite3 on the
+row *and* vectorized engines, compared under the shared normalization
+(positional columns, tolerance floats, unordered rows absent ORDER BY).
+
+DuckDB, when installed, is exercised as a second reference; where it is
+absent the tests skip rather than fail (nothing is ever installed here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.tpch import dbgen, oracle, runner
+
+SCALE = 0.01
+DATASETS = {"uniform": 0.0, "zipf": 1.0}
+ENGINES = ("row", "vectorized")
+
+SUPPORTED, EXCLUDED = runner.load_queries()
+
+
+@pytest.fixture(scope="session")
+def data_dirs(tmp_path_factory):
+    dirs = {}
+    for label, skew in DATASETS.items():
+        directory = tmp_path_factory.mktemp(f"tpch_{label}")
+        dbgen.generate(str(directory), scale_factor=SCALE, skew=skew)
+        dirs[label] = str(directory)
+    return dirs
+
+
+@pytest.fixture(scope="session")
+def sqlite_oracles(data_dirs):
+    oracles = {label: oracle.SqliteOracle(path) for label, path in data_dirs.items()}
+    yield oracles
+    for reference in oracles.values():
+        reference.close()
+
+
+@pytest.fixture(scope="session")
+def connections(data_dirs):
+    opened = {
+        (label, engine): runner.load_connection(path, engine=engine)
+        for label, path in data_dirs.items()
+        for engine in ENGINES
+    }
+    yield opened
+    for connection in opened.values():
+        connection.close()
+
+
+class TestManifest:
+    def test_supported_subset_is_large_enough(self):
+        assert len(SUPPORTED) >= 15
+        assert len(SUPPORTED) + len(EXCLUDED) == 22
+
+    def test_every_excluded_query_has_a_reason(self):
+        for name, reason in EXCLUDED.items():
+            assert reason, f"{name} excluded without a reason"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+@pytest.mark.parametrize("name", sorted(SUPPORTED))
+class TestSqliteDifferential:
+    def test_query_matches_oracle(
+        self, name, dataset, engine, sqlite_oracles, connections
+    ):
+        sql = SUPPORTED[name]
+        expected = sqlite_oracles[dataset].run(sql)
+        run = runner.run_query(connections[(dataset, engine)], name, sql)
+        outcome = oracle.compare_results(
+            expected, run.rows, oracle.query_is_ordered(sql)
+        )
+        assert outcome.matches, (
+            f"{name} [{dataset}/{engine}] diverges from sqlite3: "
+            + "; ".join(outcome.differences)
+        )
+        # The uniform SF 0.01 dataset must actually exercise the queries
+        # (every supported one returns rows except q07, whose two-nation
+        # pairing is legitimately sparse at this scale).  Skewed data may
+        # starve specific-nation queries — matching emptiness is fine.
+        if dataset == "uniform" and name not in ("q07",):
+            assert outcome.row_count > 0
+
+
+@pytest.mark.skipif(not oracle.duckdb_available(), reason="duckdb not installed")
+@pytest.mark.parametrize("name", sorted(SUPPORTED))
+class TestDuckDBDifferential:
+    def test_query_matches_duckdb(self, name, data_dirs, connections):
+        sql = SUPPORTED[name]
+        with oracle.DuckDBOracle(data_dirs["uniform"]) as reference:
+            expected = reference.run(sql)
+        run = runner.run_query(connections[("uniform", "vectorized")], name, sql)
+        outcome = oracle.compare_results(
+            expected, run.rows, oracle.query_is_ordered(sql)
+        )
+        assert outcome.matches, (
+            f"{name} [duckdb] diverges: " + "; ".join(outcome.differences)
+        )
+
+
+class TestSkewReoptimization:
+    def test_refresh_cached_plans_flips_at_least_one_plan(self, data_dirs):
+        """The paper's scenario: plans built under assumed-uniform stats
+        get re-optimized into a different shape once observed
+        cardinalities from skewed execution are folded back in."""
+        flip_prone = {
+            name: sql
+            for name, sql in SUPPORTED.items()
+            if name in ("q04", "q09", "q10", "q21")
+        }
+        entries = runner.skew_sweep(
+            {DATASETS["zipf"]: data_dirs["zipf"]}, flip_prone
+        )
+        assert any(entry.flipped for entry in entries), (
+            "no plan flipped after refresh_cached_plans() under skew"
+        )
+        # Flipped or not, results must stay equivalent after
+        # re-optimization (tolerance compare: a different join order
+        # accumulates float sums in a different row order).
+        for entry in entries:
+            outcome = oracle.compare_results(
+                entry.before.rows, entry.after.rows, ordered=False
+            )
+            assert outcome.matches, (
+                f"{entry.name}: replan changed the result: "
+                + "; ".join(outcome.differences)
+            )

@@ -164,6 +164,28 @@ class TestSelectListLowering:
         assert query.aggregates[1].column is None
         assert query.aggregates[2].distinct
 
+    def test_aggregate_over_expression_lowers_to_spec_expr(self, catalog):
+        query = lower(
+            "SELECT l_returnflag, SUM(l_extendedprice * (1 - l_discount)) "
+            "FROM lineitem GROUP BY l_returnflag",
+            catalog,
+        )
+        aggregate = query.aggregates[0]
+        assert aggregate.function is AggregateFunction.SUM
+        assert aggregate.column is None
+        assert aggregate.expr is not None
+
+    def test_aggregate_over_plain_column_stays_on_column_path(self, catalog):
+        query = lower("SELECT SUM(l_quantity) FROM lineitem", catalog)
+        aggregate = query.aggregates[0]
+        assert aggregate.column is not None
+        assert aggregate.expr is None
+
+    def test_aggregate_over_predicate_rejected(self, catalog):
+        with pytest.raises(SqlBindingError) as excinfo:
+            lower("SELECT SUM(l_quantity > 5) FROM lineitem", catalog)
+        assert "aggregate" in str(excinfo.value).lower()
+
     def test_star_with_group_by_rejected(self, catalog):
         with pytest.raises(SqlBindingError) as excinfo:
             lower("SELECT * FROM nation GROUP BY n_regionkey", catalog)

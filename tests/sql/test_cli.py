@@ -327,3 +327,49 @@ class TestConnectFlag:
         err = capsys.readouterr().err
         assert "unknown column 'nope'" in err
         assert "^" in err
+
+
+class TestTimerMetaCommand:
+    def _connection(self):
+        import repro
+
+        connection = repro.connect()
+        connection.executescript(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2)"
+        )
+        return connection
+
+    def test_timer_toggles_and_prints_wall_time(self, capsys):
+        from repro.sql.cli import _meta_command, set_timer, timer_enabled
+
+        connection = self._connection()
+        try:
+            assert _meta_command(connection, ".timer on")
+            assert timer_enabled()
+            assert capsys.readouterr().out.strip() == "timer on"
+            out = io.StringIO()
+            run_statement(connection, "SELECT a FROM t", out=out)
+            assert "Time: " in out.getvalue()
+            assert " ms" in out.getvalue()
+
+            assert _meta_command(connection, ".timer off")
+            assert not timer_enabled()
+            out = io.StringIO()
+            run_statement(connection, "SELECT a FROM t", out=out)
+            assert "Time: " not in out.getvalue()
+        finally:
+            set_timer(False)
+
+    def test_timer_requires_on_or_off(self, capsys):
+        from repro.sql.cli import _meta_command, timer_enabled
+
+        assert _meta_command(self._connection(), ".timer maybe")
+        assert "usage: .timer on|off" in capsys.readouterr().err
+        assert not timer_enabled()
+
+    def test_timer_listed_in_repl_banner_help(self):
+        import inspect
+
+        from repro.sql import cli
+
+        assert ".timer on|off" in inspect.getsource(cli.repl)

@@ -171,6 +171,25 @@ class TestCopyAndAnalyzeParsing:
         with pytest.raises(SqlSyntaxError, match="FROM"):
             parse("COPY t '/tmp/x.csv'")
 
+    def test_copy_with_options(self):
+        statement = parse("COPY t FROM '/tmp/x.csv' WITH (NULL 'NULL', DELIMITER '|')")
+        assert isinstance(statement, CopyStatement)
+        assert statement.null_token == "NULL"
+        assert statement.delimiter == "|"
+
+    def test_copy_options_default(self):
+        statement = parse("COPY t FROM '/tmp/x.csv'")
+        assert statement.null_token is None
+        assert statement.delimiter == ","
+
+    def test_copy_rejects_multichar_delimiter(self):
+        with pytest.raises(SqlSyntaxError, match="single character"):
+            parse("COPY t FROM '/tmp/x.csv' WITH (DELIMITER 'ab')")
+
+    def test_copy_rejects_unknown_option(self):
+        with pytest.raises(SqlSyntaxError, match="DELIMITER"):
+            parse("COPY t FROM '/tmp/x.csv' WITH (HEADER 'yes')")
+
     def test_analyze_forms(self):
         assert isinstance(parse("ANALYZE"), AnalyzeStatement)
         statement = parse("ANALYZE t")

@@ -139,6 +139,23 @@ class TestAggregatesGroupingOrdering:
         with pytest.raises(SqlSyntaxError):
             parse_select("SELECT SUM(*) FROM lineitem")
 
+    def test_aggregate_over_expression(self):
+        statement = parse_select(
+            "SELECT l_returnflag, SUM(l_extendedprice * (1 - l_discount)) "
+            "FROM lineitem GROUP BY l_returnflag"
+        )
+        aggregate = statement.select_items[1]
+        assert isinstance(aggregate, AggregateCall)
+        assert aggregate.function == "sum"
+        assert str(aggregate) == "SUM(l_extendedprice * 1 - l_discount)"
+
+    def test_aggregate_expression_keeps_structure(self):
+        statement = parse_select("SELECT AVG(a + b * c) FROM t")
+        aggregate = statement.select_items[0]
+        assert isinstance(aggregate, AggregateCall)
+        assert aggregate.argument is not None
+        assert not isinstance(aggregate.argument, ColumnName)
+
     def test_order_by_and_limit(self):
         statement = parse_select("SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10")
         assert statement.order_by[0].descending

@@ -1,0 +1,53 @@
+"""The shared zipf/uniform sampling core used by workloads and dbgen."""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+
+from repro.workloads import tpch
+from repro.workloads.distributions import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_uniform_when_skew_is_zero(self):
+        sampler = ZipfSampler(10, 0.0, Random(7))
+        values = [sampler.sample() for _ in range(5000)]
+        assert set(values) <= set(range(1, 11))
+        counts = Counter(values)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_skew_concentrates_on_low_ranks(self):
+        sampler = ZipfSampler(100, 1.5, Random(7))
+        values = [sampler.sample() for _ in range(5000)]
+        counts = Counter(values)
+        assert counts[1] > counts.get(50, 0)
+        head = sum(count for value, count in counts.items() if value <= 10)
+        assert head > len(values) * 0.5
+
+    def test_deterministic_for_seeded_rng(self):
+        first = ZipfSampler(50, 1.0, Random(11))
+        second = ZipfSampler(50, 1.0, Random(11))
+        assert [first.sample() for _ in range(100)] == [
+            second.sample() for _ in range(100)
+        ]
+
+    def test_range_is_one_based_inclusive(self):
+        sampler = ZipfSampler(3, 2.0, Random(3))
+        values = {sampler.sample() for _ in range(500)}
+        assert values == {1, 2, 3}
+
+    def test_properties(self):
+        assert ZipfSampler(5, 1.0, Random(1)).is_skewed
+        assert not ZipfSampler(5, 0.0, Random(1)).is_skewed
+        assert ZipfSampler(5, 1.0, Random(1)).n == 5
+
+
+class TestSharedAcrossConsumers:
+    def test_workloads_reexport_is_the_same_class(self):
+        assert tpch.ZipfSampler is ZipfSampler
+
+    def test_dbgen_uses_the_shared_sampler(self):
+        from benchmarks.tpch import dbgen
+
+        assert dbgen.ZipfSampler is ZipfSampler
