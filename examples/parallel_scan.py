@@ -11,7 +11,12 @@ The walk-through:
 3. show the knobs: database-wide ``workers``, per-statement override,
    ``batch_size`` (= the morsel size), and the ``workers=N`` footer that
    EXPLAIN ANALYZE adds only when the parallel executor ran;
-4. demote a typed column by inserting an off-type value — the store
+4. run the same statement on the **process** executor — typed columns ride
+   shared-memory segments to worker processes (true multi-core, no GIL),
+   results still byte-identical, and the EXPLAIN ANALYZE footer names the
+   executor that actually ran (``executor=thread`` when shared memory is
+   unavailable and the statement fell back);
+5. demote a typed column by inserting an off-type value — the store
    falls back to a plain list atomically and queries keep working.
 
 Run with::
@@ -81,7 +86,22 @@ def main() -> None:
     assert "workers=4" in footer
     assert "workers=" not in analyzed_serial.plan_text
 
-    print("\n=== 4. Off-type data demotes the buffer atomically ===")
+    print("\n=== 4. Process executor: shared-memory morsels, same bytes ===")
+    process = conn.database.execute(sql, executor="process")
+    assert process.rows == serial.rows
+    assert repr(process.rows) == repr(serial.rows)
+    ran_on = process.execution.executor  # "thread" = honest no-shm fallback
+    print(f"  executor={ran_on}: rows identical to serial again")
+    analyzed_process = conn.database.execute("EXPLAIN ANALYZE " + sql, executor="process")
+    print(f"  footer:  {analyzed_process.plan_text.rsplit(chr(10), 1)[-1]}")
+    stats = conn.database.stats()["parallel"]
+    print(
+        f"  morsels dispatched: {stats['morsels_dispatched']}, "
+        f"shm bytes exported: {stats['shm_bytes_exported']}, "
+        f"fallbacks: {stats['fallbacks']}"
+    )
+
+    print("\n=== 5. Off-type data demotes the buffer atomically ===")
     # The binder would reject a string here, so poke the storage layer the
     # way adopted legacy data does: an append the int64 buffer cannot hold.
     try:

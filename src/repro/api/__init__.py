@@ -44,6 +44,7 @@ def connect(
     engine: str = DEFAULT_ENGINE,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
     pruning=None,
     cost_parameters=None,
     enumeration=None,
@@ -56,6 +57,11 @@ def connect(
     An existing :class:`~repro.catalog.catalog.Catalog` and/or a mapping of
     table name → row dicts may be supplied to wrap pre-built state (tables
     without statistics are analyzed from the data automatically).
+
+    ``workers`` > 1 turns on morsel-parallel execution; ``executor`` picks
+    the worker kind — ``"thread"`` (default) or ``"process"`` (true
+    multi-core over shared-memory typed buffers, falling back to threads
+    when shared memory is unavailable).
     """
     database = Database(
         catalog,
@@ -63,6 +69,7 @@ def connect(
         engine=engine,
         batch_size=batch_size,
         workers=workers,
+        executor=executor,
         pruning=pruning,
         cost_parameters=cost_parameters,
         enumeration=enumeration,

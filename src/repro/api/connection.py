@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 from repro.api.cursor import Cursor
 from repro.api.database import Database, StatementResult
 from repro.common.errors import ExecutionError, SqlError
-from repro.engine import validate_engine
+from repro.engine import validate_engine, validate_executor
 
 
 class Connection:
@@ -30,18 +30,22 @@ class Connection:
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> None:
-        if engine is not None:
-            try:
+        try:
+            if engine is not None:
                 validate_engine(engine)
-            except ExecutionError as error:
-                raise SqlError(str(error)) from error
+            if executor is not None:
+                validate_executor(executor)
+        except ExecutionError as error:
+            raise SqlError(str(error)) from error
         if workers is not None and workers < 1:
             raise SqlError(f"workers must be >= 1, got {workers}")
         self.database = database
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
+        self.executor = executor
         #: tags this connection's executions in the shared runtime monitor,
         #: so concurrent sessions' adaptive feedback stays scoped per session.
         self.session_id = database._register_session()
@@ -71,6 +75,7 @@ class Connection:
             engine=self.engine,
             batch_size=self.batch_size,
             workers=self.workers,
+            executor=self.executor,
             session=self.session_id,
         )
 

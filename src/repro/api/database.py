@@ -60,7 +60,12 @@ from repro.api.plan_cache import (
 )
 from repro.catalog.catalog import Catalog
 from repro.common.errors import ExecutionError, SchemaError, SqlError
-from repro.engine import DEFAULT_ENGINE, make_executor, validate_engine
+from repro.engine import (
+    DEFAULT_ENGINE,
+    make_executor,
+    validate_engine,
+    validate_executor,
+)
 from repro.engine.executor import ExecutionResult
 from repro.engine.vectorized.columns import ColumnTable
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
@@ -183,6 +188,7 @@ class Database:
         engine: str = DEFAULT_ENGINE,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
         pruning=None,
         cost_parameters=None,
         enumeration=None,
@@ -191,6 +197,8 @@ class Database:
     ) -> None:
         try:
             validate_engine(engine)
+            if executor is not None:
+                validate_executor(executor)
         except ExecutionError as error:
             raise SqlError(str(error)) from error
         if workers is not None and workers < 1:
@@ -199,6 +207,7 @@ class Database:
         self.engine = engine
         self.batch_size = batch_size
         self.workers = workers
+        self.executor = executor
         self.pruning = pruning
         self.cost_parameters = cost_parameters
         self.enumeration = enumeration
@@ -234,11 +243,14 @@ class Database:
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ):
         """Open a :class:`~repro.api.connection.Connection` over this database."""
         from repro.api.connection import Connection
 
-        return Connection(self, engine=engine, batch_size=batch_size, workers=workers)
+        return Connection(
+            self, engine=engine, batch_size=batch_size, workers=workers, executor=executor
+        )
 
     def close(self) -> None:
         self._closed = True
@@ -322,6 +334,7 @@ class Database:
         engine: Optional[str] = None,
         batch_size: Optional[int] = None,
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
         session: Optional[str] = None,
     ) -> StatementResult:
         """Run one statement (SELECT / EXPLAIN / DDL / DML) end-to-end.
@@ -335,7 +348,7 @@ class Database:
         kind, normalized = normalize_statement(sql)
         if kind in _SELECT_KINDS:
             result = self._execute_select_kind(
-                sql, kind, normalized, params, engine, batch_size, workers, session
+                sql, kind, normalized, params, engine, batch_size, workers, executor, session
             )
         else:
             result = self._execute_other(sql, params)
@@ -421,6 +434,8 @@ class Database:
         with self._counter_lock:
             statements = dict(self._statement_counts)
             executions = self._executions
+        from repro.engine.parallel.stats import parallel_stats
+
         return {
             "tables": {name: self.stored_row_count(name) for name in table_names},
             "catalog_version": self.catalog.version,
@@ -432,6 +447,9 @@ class Database:
                 "observations": self.monitor.observation_count(),
                 "sessions": len(self.monitor.session_names()),
             },
+            # Process-wide parallel-executor counters (morsels dispatched,
+            # bytes exported to workers, fallback events by reason).
+            "parallel": parallel_stats(),
         }
 
     # ------------------------------------------------------------------
@@ -516,6 +534,7 @@ class Database:
         engine: Optional[str],
         batch_size: Optional[int],
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
         session: Optional[str] = None,
     ) -> StatementResult:
         entry, cached = self._cached_plan(sql, normalized, params)
@@ -535,7 +554,7 @@ class Database:
                 from_cache=cached,
             )
         execution = self._run_plan(
-            query, optimization.plan, params, engine, batch_size, workers
+            query, optimization.plan, params, engine, batch_size, workers, executor
         )
         self.monitor.record_execution(execution, session=session)
         with self._counter_lock:
@@ -577,10 +596,12 @@ class Database:
         engine: Optional[str],
         batch_size: Optional[int],
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> ExecutionResult:
         engine = engine if engine is not None else self.engine
         batch_size = batch_size if batch_size is not None else self.batch_size
         workers = workers if workers is not None else self.workers
+        executor = executor if executor is not None else self.executor
         # One consistent snapshot of every table for the whole statement:
         # concurrent writers keep publishing new versions, this statement
         # never sees them mid-flight.
@@ -593,6 +614,7 @@ class Database:
                 batch_size=batch_size,
                 workers=workers,
                 parameters=params or None,
+                executor=executor,
             )
         except ExecutionError as error:  # e.g. an invalid batch_size
             raise SqlError(str(error)) from error

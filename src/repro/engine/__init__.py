@@ -22,6 +22,9 @@ from repro.engine.vectorized import DEFAULT_BATCH_SIZE, VectorizedExecutor
 ENGINE_NAMES = ("row", "vectorized")
 DEFAULT_ENGINE = "vectorized"
 
+EXECUTOR_NAMES = ("thread", "process")
+DEFAULT_EXECUTOR = "thread"
+
 
 def validate_engine(engine: str) -> str:
     """Check an engine name, returning it; raise ExecutionError when unknown."""
@@ -32,6 +35,15 @@ def validate_engine(engine: str) -> str:
     return engine
 
 
+def validate_executor(executor: str) -> str:
+    """Check a parallel executor name; raise ExecutionError when unknown."""
+    if executor not in EXECUTOR_NAMES:
+        raise ExecutionError(
+            f"unknown executor {executor!r} (expected one of {', '.join(EXECUTOR_NAMES)})"
+        )
+    return executor
+
+
 def make_executor(
     engine: str,
     query,
@@ -39,6 +51,7 @@ def make_executor(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     parameters: Optional[Sequence[object]] = None,
+    executor: Optional[str] = None,
 ):
     """Construct the named execution engine over *query* and *data*.
 
@@ -46,12 +59,18 @@ def make_executor(
     ``parameters`` fills prepared-statement slots at execution time.
     ``workers`` > 1 selects the morsel-parallel vectorized executor
     (:mod:`repro.engine.parallel`); ``workers=1`` (or ``None``) is exactly
-    the serial path.  The row engine is single-threaded by design — it is
-    the differential-testing oracle — so it ignores ``workers``, which lets
-    a database-level ``workers`` default coexist with per-statement
-    ``engine="row"`` overrides.
+    the serial path.  ``executor`` picks the parallel worker kind:
+    ``"thread"`` (the default) or ``"process"`` — true multi-core morsel
+    dispatch over shared-memory typed buffers, falling back to the thread
+    pool (recorded as a ``no-shm`` fallback) when shared memory is
+    unavailable or the worker pool cannot be spawned.  The row engine is
+    single-threaded by design — it is the differential-testing oracle — so
+    it ignores ``workers`` and ``executor``, which lets database-level
+    defaults coexist with per-statement ``engine="row"`` overrides.
     """
     validate_engine(engine)
+    if executor is not None:
+        validate_executor(executor)
     if workers is not None and workers < 1:
         raise ExecutionError(f"workers must be >= 1, got {workers}")
     if engine == "row":
@@ -60,7 +79,29 @@ def make_executor(
         batch_size = DEFAULT_BATCH_SIZE
     if workers is not None and workers > 1:
         from repro.engine.parallel import ParallelExecutor
+        from repro.engine.parallel.stats import record_fallback
 
+        if executor == "process":
+            from repro.storage import shm
+
+            if shm.shm_available():
+                try:
+                    from repro.engine.parallel import ProcessParallelExecutor
+
+                    return ProcessParallelExecutor(
+                        query,
+                        data,
+                        batch_size=batch_size,
+                        workers=workers,
+                        parameters=parameters,
+                    )
+                except ExecutionError:
+                    raise
+                except Exception:
+                    # Worker pool could not be spawned; threads still work.
+                    record_fallback("no-shm")
+            else:
+                record_fallback("no-shm")
         return ParallelExecutor(
             query, data, batch_size=batch_size, workers=workers, parameters=parameters
         )
@@ -70,10 +111,13 @@ def make_executor(
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_ENGINE",
+    "DEFAULT_EXECUTOR",
     "ENGINE_NAMES",
+    "EXECUTOR_NAMES",
     "ExecutionResult",
     "PlanExecutor",
     "VectorizedExecutor",
     "make_executor",
     "validate_engine",
+    "validate_executor",
 ]

@@ -56,10 +56,14 @@ class ExecutionResult:
     #: statements (the Database-wide monitor) keep observations apart per
     #: query instead of conflating same-alias expressions.
     query_name: str = ""
-    #: worker-thread count when the morsel-parallel executor ran this
-    #: statement (None for the serial engines, so serial EXPLAIN ANALYZE
-    #: output is unchanged).
+    #: worker count when the morsel-parallel executor ran this statement
+    #: (None for the serial engines, so serial EXPLAIN ANALYZE output is
+    #: unchanged).
     workers: Optional[int] = None
+    #: which parallel executor kind ran ("thread" or "process"); None for
+    #: the serial engines.  After a no-shm fallback this truthfully reads
+    #: "thread" even though "process" was requested.
+    executor: Optional[str] = None
 
     @property
     def row_count(self) -> int:

@@ -1,6 +1,22 @@
 """Morsel-driven parallel execution (see :mod:`repro.engine.parallel.executor`)."""
 
 from repro.engine.parallel.executor import ParallelExecutor
-from repro.engine.parallel.pool import shared_pool
+from repro.engine.parallel.pool import (
+    ProcessMorselPool,
+    shared_pool,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
+from repro.engine.parallel.process_executor import ProcessParallelExecutor
+from repro.engine.parallel.stats import parallel_stats, reset_parallel_stats
 
-__all__ = ["ParallelExecutor", "shared_pool"]
+__all__ = [
+    "ParallelExecutor",
+    "ProcessMorselPool",
+    "ProcessParallelExecutor",
+    "parallel_stats",
+    "reset_parallel_stats",
+    "shared_pool",
+    "shared_process_pool",
+    "shutdown_shared_pools",
+]

@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.engine.parallel.pool import shared_pool
+from repro.engine.parallel.stats import record_morsels
 from repro.engine.vectorized.columns import (
     DEFAULT_BATCH_SIZE,
     ColumnTable,
@@ -57,6 +58,10 @@ _MIN_ROWS_TO_SPLIT = 4096
 class ParallelExecutor(VectorizedExecutor):
     """The vectorized engine with morsel-parallel scans, joins, aggregates."""
 
+    #: reported in ``ExecutionResult.executor`` and the EXPLAIN ANALYZE
+    #: footer; the process subclass overrides it.
+    executor_name = "thread"
+
     def __init__(
         self,
         query: Query,
@@ -74,6 +79,7 @@ class ParallelExecutor(VectorizedExecutor):
     def execute(self, plan: PhysicalPlan):
         result = super().execute(plan)
         result.workers = self.workers
+        result.executor = self.executor_name
         return result
 
     # -- morsel scheduling -------------------------------------------------
@@ -92,6 +98,7 @@ class ParallelExecutor(VectorizedExecutor):
         """
         if self.workers == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
+        record_morsels(len(tasks))
         return list(self._pool.map(fn, tasks))
 
     # -- scans -------------------------------------------------------------
@@ -327,28 +334,7 @@ class ParallelExecutor(VectorizedExecutor):
             groups[()] = list(range(child.row_count))
         else:
             arrays = [self._key_column(child, name) for name in group_columns]
-
-            def build_groups(morsel: range) -> Dict[object, List[int]]:
-                partial: Dict[object, List[int]] = defaultdict(list)
-                if single:
-                    keys: Sequence[object] = arrays[0][morsel.start : morsel.stop]
-                else:
-                    keys = list(
-                        zip(*(array[morsel.start : morsel.stop] for array in arrays))
-                    )
-                for position, key in enumerate(keys, morsel.start):
-                    partial[key].append(position)
-                return partial
-
-            # Per-morsel grouping merged in morsel order: group first-seen
-            # order and per-group position order match the serial pass.
-            for partial in self._map(build_groups, self._morsels(child.row_count)):
-                for key, positions in partial.items():
-                    existing = groups.get(key)
-                    if existing is None:
-                        groups[key] = positions
-                    else:
-                        existing.extend(positions)
+            groups = self._build_groups(arrays, single, child.row_count)
 
         group_indices = list(groups.values())
         output: Dict[str, List[object]] = {}
@@ -359,12 +345,42 @@ class ParallelExecutor(VectorizedExecutor):
                 output[name] = list(key_values)
         for aggregate in self.query.aggregates:
             output[str(aggregate)] = self._aggregate_column_parallel(
-                aggregate, child, group_indices
+                aggregate, self._aggregate_input(aggregate, child), group_indices
             )
         return ColumnTable(output, len(groups))
 
+    def _build_groups(
+        self, arrays: List[Sequence[object]], single: bool, row_count: int
+    ) -> Dict[object, List[int]]:
+        """Morsel-parallel group-by build; overridable by the process executor."""
+
+        def build_groups(morsel: range) -> Dict[object, List[int]]:
+            partial: Dict[object, List[int]] = defaultdict(list)
+            if single:
+                keys: Sequence[object] = arrays[0][morsel.start : morsel.stop]
+            else:
+                keys = list(zip(*(array[morsel.start : morsel.stop] for array in arrays)))
+            for position, key in enumerate(keys, morsel.start):
+                partial[key].append(position)
+            return partial
+
+        # Per-morsel grouping merged in morsel order: group first-seen
+        # order and per-group position order match the serial pass.
+        groups: Dict[object, List[int]] = {}
+        for partial in self._map(build_groups, self._morsels(row_count)):
+            for key, positions in partial.items():
+                existing = groups.get(key)
+                if existing is None:
+                    groups[key] = positions
+                else:
+                    existing.extend(positions)
+        return groups
+
     def _aggregate_column_parallel(
-        self, aggregate, child: TableView, group_indices: List[List[int]]
+        self,
+        aggregate,
+        values: Optional[Sequence[object]],
+        group_indices: List[List[int]],
     ) -> List[object]:
         """One aggregate's output column, fanned out without changing values.
 
@@ -384,7 +400,6 @@ class ParallelExecutor(VectorizedExecutor):
         never TypedColumns, so the partial-combine SUM/AVG path — exact only
         for int64 buffers — naturally skips them.
         """
-        values = self._aggregate_input(aggregate, child)
         count = len(group_indices)
         if self.workers > 1 and count >= _MIN_GROUPS_TO_CHUNK:
             size = (count + self.workers - 1) // self.workers

@@ -1,26 +1,58 @@
-"""Shared morsel worker pools.
+"""Shared morsel worker pools (threads and processes).
 
-One process-wide :class:`~concurrent.futures.ThreadPoolExecutor` per worker
-count, created lazily and reused across statements: executors are built per
-statement (:func:`repro.engine.make_executor`), and spinning threads up and
-down per query would dominate the morsel work itself.  Sharing one pool
-across concurrent statements (the serving tier) is safe because morsel tasks
-are leaves — they never submit to the pool themselves, so the pool cannot
-deadlock on its own capacity; concurrent statements simply queue.
+One process-wide pool per (kind, worker count), created lazily and reused
+across statements: executors are built per statement
+(:func:`repro.engine.make_executor`), and spinning workers up and down per
+query would dominate the morsel work itself.  Sharing one pool across
+concurrent statements (the serving tier) is safe because morsel tasks are
+leaves — they never submit to the pool themselves, so a pool cannot deadlock
+on its own capacity; concurrent statements simply queue.
+
+Two pool kinds live here:
+
+* :func:`shared_pool` — the :class:`~concurrent.futures.ThreadPoolExecutor`
+  the thread morsel executor fans out to (GIL-bound; numpy kernels release
+  the GIL, pure-Python morsels interleave);
+* :func:`shared_process_pool` — a :class:`ProcessMorselPool` of persistent
+  **spawned** worker processes for true multi-core execution.  Workers hold
+  per-statement state installed up front (shared-memory column attachments
+  via :mod:`repro.storage.shm`, pickled plan fragments such as filter
+  expressions, join indexes and aggregate specs) and then stream small
+  morsel task frames; per-worker FIFO inboxes guarantee installs land
+  before the tasks that reference them.  A worker that dies mid-statement
+  is detected by liveness polling and surfaces as a clean
+  :class:`~repro.common.errors.ExecutionError` — never a hang — after which
+  the pool is marked broken and the next statement builds a fresh one.
+
+Both kinds are torn down by :func:`shutdown_shared_pools`, an idempotent
+``atexit`` hook, so neither threads, worker processes, nor their queues
+outlive the interpreter silently.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import os
+import queue as queue_module
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
 
 _lock = threading.Lock()
 _pools: Dict[int, ThreadPoolExecutor] = {}
+_process_pools: Dict[int, "ProcessMorselPool"] = {}
+
+_statement_ids = itertools.count(1)
+
+#: Liveness poll interval while waiting on worker results (seconds).
+_POLL_INTERVAL = 0.05
 
 
 def shared_pool(workers: int) -> ThreadPoolExecutor:
-    """The process-wide pool with *workers* threads (created on first use)."""
+    """The process-wide thread pool with *workers* threads (lazily created)."""
     with _lock:
         pool = _pools.get(workers)
         if pool is None:
@@ -28,3 +60,409 @@ def shared_pool(workers: int) -> ThreadPoolExecutor:
                 max_workers=workers, thread_name_prefix=f"repro-morsel{workers}"
             )
         return pool
+
+
+def shared_process_pool(workers: int) -> "ProcessMorselPool":
+    """The process-wide morsel process pool with *workers* workers.
+
+    A pool marked broken by a worker crash is discarded and replaced, so
+    one failed statement never poisons the ones after it.
+    """
+    with _lock:
+        pool = _process_pools.get(workers)
+        if pool is not None and pool.broken:
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = _process_pools[workers] = ProcessMorselPool(workers)
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared pool (idempotent; registered with ``atexit``)."""
+    with _lock:
+        thread_pools = list(_pools.values())
+        _pools.clear()
+        process_pools = list(_process_pools.values())
+        _process_pools.clear()
+    for pool in thread_pools:
+        pool.shutdown(wait=False)
+    for pool in process_pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_shared_pools)
+
+
+def next_statement_id() -> int:
+    """A process-unique id scoping one statement's worker-side state."""
+    return next(_statement_ids)
+
+
+class ProcessMorselPool:
+    """Persistent spawn-safe worker processes executing morsel task frames.
+
+    Protocol (per-worker FIFO inbox, one shared outbox):
+
+    * ``("attach", stmt, key, manifest)`` — map a shared-memory column
+      export (broadcast; workers attach zero-copy);
+    * ``("put", stmt, key, blob)`` — install a pickled plan fragment
+      (filters, join index, aggregate spec) under *key*;
+    * ``("task", seq, stmt, spec)`` — run one morsel task, reply
+      ``(seq, ok, payload)`` on the outbox;
+    * ``("forget", stmt)`` — drop the statement's state and close its
+      attachments;
+    * ``("stop",)`` — exit the worker loop.
+
+    ``run_tasks`` serializes fan-outs with a lock (concurrent statements
+    queue at fan-out granularity) and polls worker liveness while waiting,
+    so a crashed worker raises instead of hanging; results are reordered to
+    task order so merges stay byte-identical to the serial engine.
+    """
+
+    def __init__(self, workers: int) -> None:
+        import multiprocessing
+
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._ctx = multiprocessing.get_context("spawn")
+        self._inboxes = [self._ctx.Queue() for _ in range(workers)]
+        self._outbox = self._ctx.Queue()
+        self._fanout_lock = threading.Lock()
+        self._seq = itertools.count()
+        self._broken = False
+        self._shut = False
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(index, inbox, self._outbox),
+                name=f"repro-morsel-proc-{index}",
+                daemon=True,
+            )
+            for index, inbox in enumerate(self._inboxes)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def worker_pids(self) -> List[int]:
+        return [proc.pid for proc in self._procs if proc.pid is not None]
+
+    # -- statement state ---------------------------------------------------
+
+    def _broadcast(self, message: Tuple) -> None:
+        for inbox in self._inboxes:
+            inbox.put(message)
+
+    def attach(self, stmt: int, key: str, manifest) -> None:
+        """Install a shared-memory table export on every worker."""
+        self._broadcast(("attach", stmt, key, manifest))
+
+    def put_pickled(self, stmt: int, key: str, blob: bytes) -> None:
+        """Install a pre-pickled plan fragment on every worker."""
+        self._broadcast(("put", stmt, key, blob))
+
+    def forget(self, stmt: int) -> None:
+        """Drop a statement's state on every worker (safe when broken)."""
+        if self._broken or self._shut:
+            return
+        try:
+            self._broadcast(("forget", stmt))
+        except Exception:  # pragma: no cover - queues torn down underneath us
+            pass
+
+    # -- fan-out -----------------------------------------------------------
+
+    def run_tasks(self, stmt: int, specs: Sequence[Tuple]) -> List[object]:
+        """Round-robin *specs* over the workers; results in task order.
+
+        The first failing task's error is re-raised (in task order) as an
+        :class:`ExecutionError`, mirroring the serial loop; a dead worker
+        breaks the pool and raises instead of hanging.
+        """
+        with self._fanout_lock:
+            if self._broken or self._shut:
+                raise ExecutionError("morsel process pool is not available")
+            seqs: List[int] = []
+            for position, spec in enumerate(specs):
+                seq = next(self._seq)
+                self._inboxes[position % self.workers].put(("task", seq, stmt, spec))
+                seqs.append(seq)
+            pending = set(seqs)
+            results: Dict[int, object] = {}
+            errors: Dict[int, Tuple[str, str]] = {}
+            while pending:
+                try:
+                    seq, ok, payload = self._outbox.get(timeout=_POLL_INTERVAL)
+                except queue_module.Empty:
+                    if any(not proc.is_alive() for proc in self._procs):
+                        self._mark_broken()
+                        raise ExecutionError(
+                            "morsel worker process died mid-statement; "
+                            "statement aborted (pool will be rebuilt)"
+                        ) from None
+                    continue
+                if seq not in pending:
+                    continue  # stale reply from an aborted fan-out
+                pending.discard(seq)
+                if ok:
+                    results[seq] = payload
+                else:
+                    errors[seq] = payload
+            if errors:
+                name, message = errors[min(errors)]
+                raise ExecutionError(f"morsel task failed in worker: {name}: {message}")
+            return [results[seq] for seq in seqs]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _mark_broken(self) -> None:
+        self._broken = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=1)
+
+    def shutdown(self) -> None:
+        """Stop the workers and drop the queues (idempotent)."""
+        if self._shut:
+            return
+        self._shut = True
+        if not self._broken:
+            try:
+                self._broadcast(("stop",))
+            except Exception:  # pragma: no cover - queues already gone
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+        for q in self._inboxes + [self._outbox]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+
+
+# -- worker side -------------------------------------------------------------
+#
+# Everything below runs in the spawned worker processes.  State is scoped by
+# statement id; "attach"/"put" frames always precede the "task" frames that
+# reference them because each worker's inbox is FIFO.
+
+
+def _worker_main(worker_index: int, inbox, outbox) -> None:  # pragma: no cover
+    # Covered by tests/engine/test_process_parallel.py, but in a child
+    # process where coverage cannot see it.
+    states: Dict[int, "_StatementState"] = {}
+    while True:
+        try:
+            message = inbox.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "task":
+            _, seq, stmt, spec = message
+            try:
+                payload = _run_task(states.setdefault(stmt, _StatementState()), spec)
+            except BaseException as error:  # noqa: BLE001 - shipped to parent
+                outbox.put((seq, False, (type(error).__name__, str(error))))
+            else:
+                outbox.put((seq, True, payload))
+        elif kind == "attach":
+            _, stmt, key, manifest = message
+            states.setdefault(stmt, _StatementState()).attach(key, manifest)
+        elif kind == "put":
+            _, stmt, key, blob = message
+            states.setdefault(stmt, _StatementState()).put(key, blob)
+        elif kind == "forget":
+            state = states.pop(message[1], None)
+            if state is not None:
+                state.close()
+    for state in states.values():
+        state.close()
+
+
+class _StatementState:
+    """One statement's worker-side context: attachments, fragments, caches."""
+
+    __slots__ = ("attached", "objects", "compiled")
+
+    def __init__(self) -> None:
+        self.attached: Dict[str, object] = {}
+        self.objects: Dict[str, object] = {}
+        self.compiled: Dict[str, List[object]] = {}
+
+    def attach(self, key: str, manifest) -> None:
+        from repro.storage import shm
+
+        try:
+            self.attached[key] = shm.attach_columns(manifest)
+        except Exception as error:  # surfaced when a task references the key
+            self.objects[key] = _InstallError(str(error))
+
+    def put(self, key: str, blob: bytes) -> None:
+        import pickle
+
+        try:
+            self.objects[key] = pickle.loads(blob)
+        except Exception as error:
+            self.objects[key] = _InstallError(str(error))
+
+    def columns(self, key: str) -> Dict[str, object]:
+        table = self.attached.get(key)
+        if table is None:
+            failure = self.objects.get(key)
+            if isinstance(failure, _InstallError):
+                raise RuntimeError(f"shared-memory attach failed: {failure.message}")
+            raise RuntimeError(f"no attached table {key!r}")
+        return table.columns
+
+    def fragment(self, key: str) -> object:
+        if key not in self.objects:
+            raise RuntimeError(f"no installed fragment {key!r}")
+        value = self.objects[key]
+        if isinstance(value, _InstallError):
+            raise RuntimeError(f"fragment install failed: {value.message}")
+        return value
+
+    def close(self) -> None:
+        attached = list(self.attached.values())
+        self.attached = {}
+        self.objects = {}
+        self.compiled = {}
+        for table in attached:
+            try:
+                table.close()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+
+
+class _InstallError:
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+def _run_task(state: _StatementState, spec: Tuple) -> object:
+    kind = spec[0]
+    if kind == "scan_filter":
+        return _task_scan_filter(state, *spec[1:])
+    if kind == "build":
+        return _task_build(state, *spec[1:])
+    if kind == "probe":
+        return _task_probe(state, *spec[1:])
+    if kind == "agg_chunk":
+        return _task_agg_chunk(state, *spec[1:])
+    if kind == "exit_for_test":
+        os._exit(13)
+    raise RuntimeError(f"unknown morsel task {kind!r}")
+
+
+def _task_scan_filter(
+    state: _StatementState, table_key: str, filters_key: str, start: int, stop: int
+) -> List[int]:
+    """Apply the statement's compiled filters to one morsel of row ids.
+
+    Identical to the thread executor's ``run_morsel``: filters chain over
+    the surviving indices, so the returned selection fragment is exactly
+    the serial engine's for this row range.
+    """
+    from repro.relational import scalar
+
+    columns = state.columns(table_key)
+    compiled = state.compiled.get(filters_key)
+    if compiled is None:
+        exprs, parameters = state.fragment(filters_key)
+        compiled = [scalar.compile_filter(expr, parameters) for expr in exprs]
+        state.compiled[filters_key] = compiled
+
+    def resolve(ref):
+        values = columns.get(ref.column)
+        if values is None:
+            raise scalar.MissingColumnError(ref)
+        return values
+
+    indices: Sequence[int] = range(start, stop)
+    for accept in compiled:
+        indices = accept(resolve, indices)
+        if not indices:
+            return []
+    return list(indices)
+
+
+def _morsel_keys(
+    columns: Dict[str, object], count: int, start: int, stop: int
+) -> Sequence[object]:
+    """Key tuples (or scalars for a single key) for one morsel slice."""
+    if count == 1:
+        return columns["k0"][start:stop]
+    return list(zip(*(columns[f"k{i}"][start:stop] for i in range(count))))
+
+
+def _task_build(
+    state: _StatementState, table_key: str, count: int, start: int, stop: int
+) -> Dict[object, List[int]]:
+    """One morsel's partial hash index (join build or group-by build)."""
+    from collections import defaultdict
+
+    columns = state.columns(table_key)
+    partial: Dict[object, List[int]] = defaultdict(list)
+    for position, key in enumerate(_morsel_keys(columns, count, start, stop), start):
+        partial[key].append(position)
+    return dict(partial)
+
+
+def _task_probe(
+    state: _StatementState,
+    table_key: str,
+    count: int,
+    index_key: str,
+    start: int,
+    stop: int,
+) -> Tuple[List[int], List[int]]:
+    """One morsel's probe fragment against the installed join index."""
+    columns = state.columns(table_key)
+    index: Dict[object, List[int]] = state.fragment(index_key)
+    get = index.get
+    left_part: List[int] = []
+    right_part: List[int] = []
+    append_left = left_part.append
+    extend_left = left_part.extend
+    append_right = right_part.append
+    extend_right = right_part.extend
+    position = start
+    for matches in map(get, _morsel_keys(columns, count, start, stop)):
+        if matches is not None:
+            if len(matches) == 1:
+                append_left(position)
+                append_right(matches[0])
+            else:
+                extend_left([position] * len(matches))
+                extend_right(matches)
+        position += 1
+    return left_part, right_part
+
+
+def _task_agg_chunk(
+    state: _StatementState,
+    values_key: Optional[str],
+    agg_key: str,
+    chunk: List[List[int]],
+) -> List[object]:
+    """One chunk of groups through the serial per-group aggregate code."""
+    from repro.engine.vectorized.executor import VectorizedExecutor
+
+    aggregate = state.fragment(agg_key)
+    values = None if values_key is None else state.columns(values_key)["v"]
+    return VectorizedExecutor._aggregate_column(aggregate, values, chunk)

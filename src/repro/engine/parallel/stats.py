@@ -1,0 +1,80 @@
+"""Process-wide counters for the parallel executors.
+
+Both the thread and the process morsel executors report here; the numbers
+surface through ``Database.stats()["parallel"]`` (and therefore ``.stats``
+in the CLI).  Counters are cumulative for the process — they answer "has
+parallel execution actually been doing work, and how often did it decline?"
+rather than timing any one statement.
+
+Fallback reasons are a small closed vocabulary:
+
+``no-shm``
+    ``executor="process"`` was requested but shared memory is unavailable,
+    so the statement ran on the thread pool instead.
+``demoted-column``
+    a process fan-out touched a column demoted to a plain Python list and
+    the operator fell back to the thread path for that fragment.
+``single-morsel``
+    the input was too small to split, so fan-out was skipped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = [
+    "parallel_stats",
+    "record_export",
+    "record_fallback",
+    "record_morsels",
+    "reset_parallel_stats",
+]
+
+_lock = threading.Lock()
+_morsels_dispatched = 0
+_shm_bytes_exported = 0
+_pickled_bytes_exported = 0
+_fallbacks: Dict[str, int] = {}
+
+
+def record_morsels(count: int) -> None:
+    """Count *count* morsel tasks handed to a worker pool."""
+    global _morsels_dispatched
+    with _lock:
+        _morsels_dispatched += count
+
+
+def record_export(shm_bytes: int, pickled_bytes: int = 0) -> None:
+    """Count bytes shipped to workers, split by transport."""
+    global _shm_bytes_exported, _pickled_bytes_exported
+    with _lock:
+        _shm_bytes_exported += shm_bytes
+        _pickled_bytes_exported += pickled_bytes
+
+
+def record_fallback(reason: str) -> None:
+    """Count one fallback event under *reason* (see module docstring)."""
+    with _lock:
+        _fallbacks[reason] = _fallbacks.get(reason, 0) + 1
+
+
+def parallel_stats() -> Dict[str, object]:
+    """Snapshot of the counters, safe to mutate by the caller."""
+    with _lock:
+        return {
+            "morsels_dispatched": _morsels_dispatched,
+            "shm_bytes_exported": _shm_bytes_exported,
+            "pickled_bytes_exported": _pickled_bytes_exported,
+            "fallbacks": dict(sorted(_fallbacks.items())),
+        }
+
+
+def reset_parallel_stats() -> None:
+    """Zero every counter (tests and benchmarks)."""
+    global _morsels_dispatched, _shm_bytes_exported, _pickled_bytes_exported
+    with _lock:
+        _morsels_dispatched = 0
+        _shm_bytes_exported = 0
+        _pickled_bytes_exported = 0
+        _fallbacks.clear()

@@ -371,6 +371,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "statements executing concurrently)",
     )
     parser.add_argument(
+        "--query-executor",
+        choices=("thread", "process"),
+        default=None,
+        help="morsel-parallel worker kind for statements: thread (default) "
+        "or process (true multi-core over shared-memory buffers; needs "
+        "--query-workers > 1)",
+    )
+    parser.add_argument(
         "--init",
         metavar="SQL_FILE",
         default=None,
@@ -384,6 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         options["engine"] = args.engine
     if args.query_workers:
         options["workers"] = args.query_workers
+    if args.query_executor:
+        options["executor"] = args.query_executor
     database = Database(**options)
     if args.init:
         with open(args.init, encoding="utf-8") as handle:

@@ -90,17 +90,21 @@ def build_connection(
     engine: str = DEFAULT_ENGINE,
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
     empty: bool = False,
 ) -> Connection:
     """A connection over an empty, analytic-catalog or data-backed database."""
     if empty:
-        return api.connect(engine=engine, batch_size=batch_size, workers=workers)
+        return api.connect(
+            engine=engine, batch_size=batch_size, workers=workers, executor=executor
+        )
     if data_scale is None:
         return api.connect(
             tpch_catalog(scale_factor=scale),
             engine=engine,
             batch_size=batch_size,
             workers=workers,
+            executor=executor,
         )
     data = generate_tpch_data(scale_factor=data_scale, seed=seed)
     return api.connect(
@@ -109,6 +113,7 @@ def build_connection(
         engine=engine,
         batch_size=batch_size,
         workers=workers,
+        executor=executor,
     )
 
 
@@ -374,6 +379,13 @@ def main(argv: Optional[list] = None) -> int:
         "(default 1 = serial; needs the vectorized engine)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="morsel-parallel worker kind: thread (default) or process "
+        "(true multi-core over shared-memory buffers; needs --workers > 1)",
+    )
+    parser.add_argument(
         "--param",
         action="append",
         default=None,
@@ -411,6 +423,7 @@ def main(argv: Optional[list] = None) -> int:
             engine=args.engine,
             batch_size=args.batch_size,
             workers=args.workers,
+            executor=args.executor,
             empty=args.empty,
         )
     parameters = [parse_parameter(text) for text in args.param] if args.param else None

@@ -79,4 +79,6 @@ def explain_footer(execution: ExecutionResult) -> str:
     )
     if execution.workers is not None:
         footer += f", workers={execution.workers}"
+    if execution.executor is not None:
+        footer += f", executor={execution.executor}"
     return footer

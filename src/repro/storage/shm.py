@@ -1,0 +1,315 @@
+"""Shared-memory export of column data for process-parallel execution.
+
+The process-based morsel executor (:mod:`repro.engine.parallel`) cannot hand
+closures over live :class:`~repro.storage.buffers.TypedColumn` buffers to
+worker *processes* the way the thread pool does.  Instead, this module copies
+a set of columns into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment per export and ships a small picklable :class:`TableManifest`
+describing the layout; the worker side re-materializes the columns with
+**zero copies** — each typed column becomes a ``TypedColumn`` whose ``data``
+and ``mask`` are ``memoryview`` casts straight into the mapped segment, which
+the existing filter kernels (``frombuffer`` numpy views) and the list
+protocol consume unchanged.  Columns that are plain Python lists (demoted or
+computed data) cannot be shared structurally; they ride in the same segment
+as a pickled blob — the measured fallback — and the parent records typed
+bytes and pickled bytes separately so the cost stays visible in
+``Database.stats()``.
+
+Lifecycle discipline makes orphaned segments impossible:
+
+* the parent keeps every live :class:`TableExport` in a module registry and
+  ``release()`` (close **and** unlink, idempotent, in a ``finally``) drops
+  it; an ``atexit`` hook releases anything a crashed statement left behind;
+* the worker side attaches read-only, unregisters the segment from the
+  resource tracker (attaching must not schedule a second unlink), and only
+  ever ``close()``\\ s — unlinking is exclusively the creator's job.
+
+Availability is probed once (creating and unlinking a tiny segment) and can
+be forced off — :func:`set_shm_enabled` for tests, ``REPRO_DISABLE_SHM=1``
+for environments where ``/dev/shm`` is unusable; the executor then falls
+back to the thread pool and records the ``no-shm`` fallback.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.buffers import TypedColumn
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None
+
+__all__ = [
+    "AttachedTable",
+    "TableExport",
+    "TableManifest",
+    "attach_columns",
+    "export_columns",
+    "live_export_names",
+    "release_all_exports",
+    "set_shm_enabled",
+    "shm_available",
+]
+
+#: column kinds inside a manifest: typed buffers keep their buffer kind
+#: ("int"/"float"); anything else is a pickled blob.
+_PICKLED = "pickle"
+
+_TYPECODES = {"int": "q", "float": "d"}
+
+
+def _align(offset: int) -> int:
+    """Round *offset* up to an 8-byte boundary (typed views need alignment)."""
+    return (offset + 7) & ~7
+
+
+class TableManifest:
+    """Picklable description of one exported segment's column layout."""
+
+    __slots__ = ("segment", "row_count", "specs")
+
+    def __init__(
+        self,
+        segment: str,
+        row_count: int,
+        specs: Sequence[Tuple[str, str, int, int, int, int, int]],
+    ) -> None:
+        self.segment = segment
+        self.row_count = row_count
+        #: (name, kind, data_off, data_len, mask_off, mask_len, null_count)
+        self.specs = tuple(specs)
+
+    def __getstate__(self):
+        return (self.segment, self.row_count, self.specs)
+
+    def __setstate__(self, state):
+        self.segment, self.row_count, self.specs = state
+
+
+# -- availability -----------------------------------------------------------
+
+_state_lock = threading.Lock()
+_forced: Optional[bool] = None
+_probed: Optional[bool] = None
+
+
+def set_shm_enabled(enabled: Optional[bool]) -> None:
+    """Force shared-memory availability on/off (``None`` = autodetect).
+
+    Tests use this to exercise the no-shm fallback path deterministically.
+    """
+    global _forced
+    with _state_lock:
+        _forced = enabled
+
+
+def shm_available() -> bool:
+    """Whether SharedMemory segments can actually be created here."""
+    global _probed
+    with _state_lock:
+        if _forced is not None:
+            return _forced
+        if os.environ.get("REPRO_DISABLE_SHM"):
+            return False
+        if _probed is None:
+            _probed = _probe()
+        return _probed
+
+
+def _probe() -> bool:
+    if _shared_memory is None:
+        return False
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        segment.close()
+        segment.unlink()
+    except Exception:  # pragma: no cover - cleanup best-effort
+        pass
+    return True
+
+
+# -- parent side: export ----------------------------------------------------
+
+_live_lock = threading.Lock()
+_live: Dict[str, "TableExport"] = {}
+
+
+def live_export_names() -> List[str]:
+    """Names of segments this process created and has not yet released."""
+    with _live_lock:
+        return sorted(_live)
+
+
+def release_all_exports() -> None:
+    """Release every live export (idempotent; registered with ``atexit``)."""
+    with _live_lock:
+        pending = list(_live.values())
+    for export in pending:
+        export.release()
+
+
+atexit.register(release_all_exports)
+
+
+class TableExport:
+    """A parent-side handle on one exported segment.
+
+    ``release()`` closes *and* unlinks; it is idempotent and must run in a
+    ``finally`` on the statement that created the export — a crashed worker
+    or a failing statement never orphans the segment.
+    """
+
+    __slots__ = ("manifest", "shm_bytes", "pickled_bytes", "_segment", "_released")
+
+    def __init__(self, segment, manifest: TableManifest, shm_bytes: int, pickled_bytes: int):
+        self._segment = segment
+        self.manifest = manifest
+        self.shm_bytes = shm_bytes
+        self.pickled_bytes = pickled_bytes
+        self._released = False
+        with _live_lock:
+            _live[manifest.segment] = self
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        with _live_lock:
+            _live.pop(self.manifest.segment, None)
+        try:
+            self._segment.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+        try:
+            self._segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+
+def export_columns(columns: Dict[str, object], row_count: int) -> TableExport:
+    """Copy *columns* into one fresh SharedMemory segment.
+
+    Typed columns contribute their raw ``data``/``mask`` bytes (one memcpy,
+    attachable zero-copy); any other column is pickled — the measured
+    fallback for demoted/computed lists.  Raises whatever ``SharedMemory``
+    raises when segments cannot be created; callers treat that as no-shm.
+    """
+    if _shared_memory is None:  # pragma: no cover - guarded by shm_available
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    planned: List[Tuple[str, str, object, bytes]] = []
+    offset = 0
+    specs: List[Tuple[str, str, int, int, int, int, int]] = []
+    shm_bytes = 0
+    pickled_bytes = 0
+    for name, column in columns.items():
+        if isinstance(column, TypedColumn):
+            data_view = memoryview(column.data)
+            data_len = data_view.nbytes
+            mask_len = len(column.mask)
+            data_off = _align(offset)
+            mask_off = data_off + data_len
+            offset = mask_off + mask_len
+            specs.append(
+                (name, column.kind, data_off, data_len, mask_off, mask_len, column.null_count)
+            )
+            planned.append((name, column.kind, column, b""))
+            shm_bytes += data_len + mask_len
+        else:
+            blob = pickle.dumps(list(column), protocol=pickle.HIGHEST_PROTOCOL)
+            data_off = _align(offset)
+            offset = data_off + len(blob)
+            specs.append((name, _PICKLED, data_off, len(blob), 0, 0, 0))
+            planned.append((name, _PICKLED, None, blob))
+            pickled_bytes += len(blob)
+    segment = _shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    buf = segment.buf
+    for (name, kind, column, blob), spec in zip(planned, specs):
+        _, _, data_off, data_len, mask_off, mask_len, _ = spec
+        if kind == _PICKLED:
+            buf[data_off : data_off + data_len] = blob
+        else:
+            buf[data_off : data_off + data_len] = memoryview(column.data).cast("B")
+            if mask_len:
+                buf[mask_off : mask_off + mask_len] = memoryview(column.mask)
+    manifest = TableManifest(segment.name, row_count, specs)
+    return TableExport(segment, manifest, shm_bytes, pickled_bytes)
+
+
+# -- worker side: attach ----------------------------------------------------
+
+#: serializes the resource-tracker patch window in attach_columns.
+_attach_lock = threading.Lock()
+
+
+class AttachedTable:
+    """Worker-side view of an exported segment: zero-copy typed columns.
+
+    ``close()`` drops the column views before unmapping; it never unlinks —
+    the creator owns the segment's lifetime.
+    """
+
+    __slots__ = ("columns", "row_count", "_segment")
+
+    def __init__(self, segment, columns: Dict[str, object], row_count: int) -> None:
+        self._segment = segment
+        self.columns = columns
+        self.row_count = row_count
+
+    def close(self) -> None:
+        # Release the memoryview exports before unmapping; a TypedColumn
+        # still referenced elsewhere would make close() raise BufferError,
+        # in which case the map is reclaimed at process exit instead.
+        self.columns = {}
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a view outlived the table
+            pass
+
+
+def attach_columns(manifest: TableManifest) -> AttachedTable:
+    """Attach to an exported segment, rebuilding its columns zero-copy."""
+    if _shared_memory is None:  # pragma: no cover - guarded by shm_available
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    # Attaching registers the segment with the resource tracker as if this
+    # process created it, scheduling a duplicate unlink (and a tracker-side
+    # KeyError when the creator unlinks first).  Only the creator owns the
+    # segment, so suppress the registration for the duration of the attach
+    # (Python 3.13's ``track=False`` made official; patched here for older
+    # interpreters).
+    with _attach_lock:
+        try:  # pragma: no cover - CPython implementation detail
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+
+            def _skip_shared_memory(name, rtype):
+                if rtype != "shared_memory":
+                    original_register(name, rtype)
+
+            resource_tracker.register = _skip_shared_memory
+        except Exception:
+            original_register = None
+        try:
+            segment = _shared_memory.SharedMemory(name=manifest.segment)
+        finally:
+            if original_register is not None:
+                resource_tracker.register = original_register
+    buf = segment.buf
+    columns: Dict[str, object] = {}
+    for name, kind, data_off, data_len, mask_off, mask_len, null_count in manifest.specs:
+        if kind == _PICKLED:
+            columns[name] = pickle.loads(bytes(buf[data_off : data_off + data_len]))
+            continue
+        data = buf[data_off : data_off + data_len].cast(_TYPECODES[kind])
+        mask = buf[mask_off : mask_off + mask_len]
+        columns[name] = TypedColumn(kind, data, mask, null_count)
+    return AttachedTable(segment, columns, manifest.row_count)

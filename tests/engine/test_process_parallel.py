@@ -1,0 +1,243 @@
+"""Differential parity and lifecycle tests for the process morsel executor.
+
+The process executor promises the same contract as the thread one — results
+byte-identical to the serial vectorized engine, which is itself held to the
+row-engine oracle — *plus* a fallback story: when shared memory is
+unavailable the statement silently (but measurably, and truthfully reported
+in EXPLAIN ANALYZE) runs on threads, and a scan whose filter touches a
+demoted list column stays on the thread path while the rest of the
+statement keeps fanning out to processes.  Every mode is asserted
+byte-identical here over the full parity workload.
+
+Lifecycle coverage: a worker killed mid-statement raises a clean
+:class:`ExecutionError` (never a hang), leaks no shared-memory segments,
+and the next statement transparently rebuilds the pool; pool teardown is
+idempotent.
+"""
+
+import os
+import signal
+
+import pytest
+
+import repro
+from repro.common.errors import ExecutionError, SqlError
+from repro.engine.parallel import (
+    ProcessMorselPool,
+    parallel_stats,
+    reset_parallel_stats,
+    shared_process_pool,
+    shutdown_shared_pools,
+)
+from repro.engine.vectorized.columns import ColumnTable
+from repro.storage import shm
+from repro.storage.buffers import TypedColumn, column_kinds
+from repro.workloads.sql_queries import PARITY_SQL
+from repro.workloads.tpch import catalog_from_data, generate_tpch_data, tpch_schema
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable on this platform"
+)
+
+QUERY_NAMES = sorted(PARITY_SQL)
+
+#: Representative slice for the forced-fallback modes (scan-heavy, join,
+#: grouped aggregation, and an ORDER BY + LIMIT shape).
+FALLBACK_SLICE = ("Q1", "Q3", "Q6", "TopAcctbal")
+
+ROLES = (("row", None, None), ("serial", 1, None), ("thread", 4, "thread"), ("process", 4, "process"))
+
+
+def build_typed_tables(dataset):
+    tables = {}
+    for table in tpch_schema().tables:
+        kinds = column_kinds(
+            table.column_names, [column.data_type for column in table.columns]
+        )
+        tables[table.name] = ColumnTable.from_rows(
+            list(dataset[table.name]), columns=table.column_names, kinds=kinds
+        )
+    return tables
+
+
+@pytest.fixture(scope="module")
+def tpch_dataset():
+    return generate_tpch_data(scale_factor=0.0005, seed=5)
+
+
+@pytest.fixture(scope="module")
+def databases(tpch_dataset):
+    """{role: Database} over one shared typed-buffer TPC-H store."""
+    catalog = catalog_from_data(tpch_dataset)
+    tables = build_typed_tables(tpch_dataset)
+    return {
+        label: repro.connect(
+            catalog,
+            tables,
+            engine="row" if label == "row" else "vectorized",
+            workers=workers,
+            executor=executor,
+        ).database
+        for label, workers, executor in ROLES
+    }
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_process_workload_parity(name, databases):
+    """Full parity workload: process == thread == serial == row oracle."""
+    sql = PARITY_SQL[name]
+    results = {label: database.execute(sql) for label, database in databases.items()}
+    for label in ("serial", "thread", "process"):
+        assert results[label].rows == results["row"].rows, (name, label)
+        assert repr(results[label].rows) == repr(results["row"].rows), (name, label)
+        assert (
+            results[label].execution.observed_cardinalities
+            == results["row"].execution.observed_cardinalities
+        ), (name, label)
+    assert results["process"].execution.executor == "process", name
+    assert results["thread"].execution.executor == "thread", name
+    assert results["serial"].execution.executor is None, name
+
+
+def test_no_statement_leaks_shared_memory(databases):
+    for name in FALLBACK_SLICE:
+        databases["process"].execute(PARITY_SQL[name])
+    assert shm.live_export_names() == []
+
+
+def test_no_shm_fallback_parity(databases):
+    """Shared memory off: the statement runs on threads, byte-identically."""
+    reset_parallel_stats()
+    try:
+        shm.set_shm_enabled(False)
+        for name in FALLBACK_SLICE:
+            sql = PARITY_SQL[name]
+            fallback = databases["process"].execute(sql)
+            oracle = databases["row"].execute(sql)
+            assert fallback.rows == oracle.rows, name
+            assert repr(fallback.rows) == repr(oracle.rows), name
+            # The footer reports what actually ran, not what was asked for.
+            assert fallback.execution.executor == "thread", name
+        stats = parallel_stats()
+        assert stats["fallbacks"].get("no-shm", 0) >= len(FALLBACK_SLICE)
+        assert stats["shm_bytes_exported"] == 0
+    finally:
+        shm.set_shm_enabled(None)
+
+
+def test_demoted_column_fallback_parity(tpch_dataset):
+    """A mid-table demote-to-list keeps the scan serial but the results equal."""
+    catalog = catalog_from_data(tpch_dataset)
+    tables = build_typed_tables(tpch_dataset)
+    # Append one row whose l_quantity cannot live in a float64 buffer:
+    # the column demotes to a plain list mid-table, exactly the adopted
+    # legacy-data shape the fallback exists for.
+    extra = dict(tpch_dataset["lineitem"][0])
+    extra["l_quantity"] = 2**53 + 1  # not exactly representable as float64
+    tables["lineitem"].append_rows([extra])
+    assert not isinstance(tables["lineitem"].column("l_quantity"), TypedColumn)
+
+    roles = {
+        label: repro.connect(
+            catalog,
+            tables,
+            engine="row" if label == "row" else "vectorized",
+            workers=workers,
+            executor=executor,
+        ).database
+        for label, workers, executor in ROLES
+    }
+    reset_parallel_stats()
+    for name in ("Q1", "Q6"):  # both filter or aggregate over lineitem
+        sql = PARITY_SQL[name]
+        results = {label: database.execute(sql) for label, database in roles.items()}
+        for label in ("serial", "thread", "process"):
+            assert results[label].rows == results["row"].rows, (name, label)
+            assert repr(results[label].rows) == repr(results["row"].rows), (name, label)
+    # Q6 filters on the demoted l_quantity: that scan fell back, yet the
+    # statement still reports (and elsewhere uses) the process executor.
+    assert parallel_stats()["fallbacks"].get("demoted-column", 0) >= 1
+    assert results["process"].execution.executor == "process"
+
+
+def test_explain_analyze_reports_executor(databases):
+    sql = "EXPLAIN ANALYZE " + PARITY_SQL["Q6"]
+    process_text = databases["process"].execute(sql).plan_text
+    assert "workers=4" in process_text
+    assert "executor=process" in process_text
+    thread_text = databases["thread"].execute(sql).plan_text
+    assert "executor=thread" in thread_text
+    serial_text = databases["serial"].execute(sql).plan_text
+    assert "executor=" not in serial_text
+
+
+def test_database_stats_expose_parallel_counters(databases):
+    reset_parallel_stats()
+    databases["process"].execute(PARITY_SQL["Q1"])
+    stats = databases["process"].stats()["parallel"]
+    assert set(stats) == {
+        "morsels_dispatched",
+        "shm_bytes_exported",
+        "pickled_bytes_exported",
+        "fallbacks",
+    }
+    assert stats["morsels_dispatched"] > 0
+    assert stats["shm_bytes_exported"] > 0
+    assert isinstance(stats["fallbacks"], dict)
+
+
+def test_invalid_executor_rejected():
+    with pytest.raises(SqlError):
+        repro.connect(executor="fibers")
+
+
+def test_worker_crash_raises_cleanly_and_pool_rebuilds():
+    """SIGKILL mid-fleet: clean error, no leaked segments, next query works."""
+    connection = repro.connect(engine="vectorized", workers=3, executor="process")
+    values = ", ".join(f"({k}, {k * 0.5})" for k in range(4000))
+    connection.executescript(
+        "CREATE TABLE crash_t (k INTEGER, v FLOAT, PRIMARY KEY (k)); "
+        f"INSERT INTO crash_t VALUES {values}; ANALYZE crash_t"
+    )
+    sql = "SELECT COUNT(*), SUM(v) FROM crash_t WHERE v > 10.0"
+    healthy = connection.database.execute(sql)
+    assert healthy.execution.executor == "process"
+
+    pool = shared_process_pool(3)
+    for pid in pool.worker_pids():
+        os.kill(pid, signal.SIGKILL)
+    with pytest.raises(ExecutionError):
+        connection.database.execute(sql)
+    assert pool.broken
+    assert shm.live_export_names() == []  # the failed statement leaked nothing
+
+    recovered = connection.database.execute(sql)  # fresh pool, same answer
+    assert recovered.rows == healthy.rows
+    assert recovered.execution.executor == "process"
+    assert not shared_process_pool(3).broken
+
+
+def test_exit_task_breaks_pool_without_hanging():
+    pool = ProcessMorselPool(1)
+    try:
+        with pytest.raises(ExecutionError):
+            pool.run_tasks(999_999, [("exit_for_test",)])
+        assert pool.broken
+    finally:
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+
+
+def test_shutdown_shared_pools_idempotent_and_recoverable():
+    shutdown_shared_pools()
+    shutdown_shared_pools()  # second call is a no-op
+    # Pools are recreated lazily afterwards; statements keep working.
+    connection = repro.connect(engine="vectorized", workers=2, executor="process")
+    values = ", ".join(f"({k})" for k in range(3000))
+    connection.executescript(
+        "CREATE TABLE after_t (k INTEGER, PRIMARY KEY (k)); "
+        f"INSERT INTO after_t VALUES {values}; ANALYZE after_t"
+    )
+    result = connection.database.execute("SELECT COUNT(*) FROM after_t WHERE k > 10")
+    assert result.rows == [{"count(*)": 2989}]
+    assert result.execution.executor == "process"

@@ -1,0 +1,159 @@
+"""Unit coverage for the shared-memory column transport (`repro.storage.shm`).
+
+Exercises the parent/worker contract in-process: export typed columns and
+pickled list fallbacks into one segment, attach them back zero-copy, and
+verify the lifecycle discipline (idempotent release, the live-export
+registry, forced availability) that the process executor's leak guarantees
+rest on.
+"""
+
+import pickle
+
+import pytest
+
+from repro.storage import shm
+from repro.storage.buffers import TypedColumn
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(), reason="shared memory unavailable on this platform"
+)
+
+
+def int_column(values):
+    column = TypedColumn("int")
+    column.extend(values)
+    return column
+
+
+def float_column(values):
+    column = TypedColumn("float")
+    column.extend(values)
+    return column
+
+
+def test_typed_int_round_trip_with_nulls():
+    column = int_column([1, None, 3, -(2**40), None])
+    export = shm.export_columns({"a": column}, len(column))
+    try:
+        attached = shm.attach_columns(export.manifest)
+        got = attached.columns["a"]
+        assert isinstance(got, TypedColumn)
+        assert got.kind == "int"
+        assert got.null_count == 2
+        assert list(got) == [1, None, 3, -(2**40), None]
+        assert got[0:5] == [1, None, 3, -(2**40), None]
+        assert attached.row_count == 5
+        del got  # drop the view before unmapping
+        attached.close()
+    finally:
+        export.release()
+
+
+def test_typed_float_round_trip_bit_exact():
+    values = [0.1, -0.0, None, 1e300, 2.5000000000000004]
+    column = float_column(values)
+    export = shm.export_columns({"v": column}, len(column))
+    try:
+        attached = shm.attach_columns(export.manifest)
+        got = attached.columns["v"][0:5]
+        assert repr(got) == repr(values)
+        attached.close()
+    finally:
+        export.release()
+
+
+def test_attach_is_zero_copy():
+    """Attached typed columns view the segment directly — no materialized copy."""
+    column = int_column(list(range(100)))
+    export = shm.export_columns({"a": column}, 100)
+    try:
+        attached = shm.attach_columns(export.manifest)
+        assert isinstance(attached.columns["a"].data, memoryview)
+        assert isinstance(attached.columns["a"].mask, memoryview)
+        attached.close()
+    finally:
+        export.release()
+
+
+def test_list_column_pickled_fallback():
+    values = ["x", None, "yy", 3]
+    export = shm.export_columns({"s": values}, len(values))
+    try:
+        assert export.shm_bytes == 0
+        assert export.pickled_bytes > 0
+        attached = shm.attach_columns(export.manifest)
+        got = attached.columns["s"]
+        assert isinstance(got, list)
+        assert got == values
+        attached.close()
+    finally:
+        export.release()
+
+
+def test_mixed_export_alignment_and_accounting():
+    # A pickled blob first forces the typed region onto a padded offset.
+    blob_column = ["odd-length-strings", "x"]
+    typed = float_column([1.5, None, 2.5])
+    export = shm.export_columns({"s": blob_column, "v": typed}, 3)
+    try:
+        specs = {spec[0]: spec for spec in export.manifest.specs}
+        _, _, data_off, data_len, mask_off, mask_len, null_count = specs["v"]
+        assert data_off % 8 == 0
+        assert data_len == 3 * 8
+        assert mask_len == 3
+        assert null_count == 1
+        assert export.shm_bytes == data_len + mask_len
+        assert export.pickled_bytes == specs["s"][3]
+        attached = shm.attach_columns(export.manifest)
+        assert attached.columns["s"] == blob_column
+        assert attached.columns["v"][0:3] == [1.5, None, 2.5]
+        attached.close()
+    finally:
+        export.release()
+
+
+def test_release_is_idempotent_and_unlinks():
+    export = shm.export_columns({"a": int_column([1, 2, 3])}, 3)
+    name = export.manifest.segment
+    assert name in shm.live_export_names()
+    export.release()
+    assert name not in shm.live_export_names()
+    export.release()  # second release is a no-op
+    with pytest.raises(Exception):  # segment is gone: attach must fail
+        shm.attach_columns(export.manifest)
+
+
+def test_release_all_exports_clears_registry():
+    exports = [shm.export_columns({"a": int_column([i])}, 1) for i in range(3)]
+    names = {export.manifest.segment for export in exports}
+    assert names <= set(shm.live_export_names())
+    shm.release_all_exports()
+    assert shm.live_export_names() == []
+    for export in exports:
+        export.release()  # already released: still a no-op
+
+
+def test_set_shm_enabled_forces_availability():
+    try:
+        shm.set_shm_enabled(False)
+        assert not shm.shm_available()
+        shm.set_shm_enabled(True)
+        assert shm.shm_available()
+    finally:
+        shm.set_shm_enabled(None)
+    assert shm.shm_available()  # autodetect on this platform
+
+
+def test_manifest_pickle_round_trip():
+    column = int_column([7, None])
+    export = shm.export_columns({"a": column}, 2)
+    try:
+        manifest = pickle.loads(pickle.dumps(export.manifest))
+        assert manifest.segment == export.manifest.segment
+        assert manifest.row_count == 2
+        assert manifest.specs == export.manifest.specs
+        attached = shm.attach_columns(manifest)
+        assert list(attached.columns["a"]) == [7, None]
+        attached.close()
+    finally:
+        export.release()
