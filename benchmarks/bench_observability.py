@@ -1,0 +1,218 @@
+"""Observability overhead: tracing enabled vs disabled on the TPC-H subset.
+
+Three connections are loaded over the same generated TPC-H dataset:
+
+* **bare** — tracing disabled *and* the always-on instrumentation hot path
+  (statement counters, the latency histogram) stubbed out, measuring what
+  the statement path costs with no observability at all;
+* **off** — the shipped default: metrics live, tracing disabled.  The gap
+  between *off* and *bare* is the disabled-path overhead, which this bench
+  **gates at < 5%** (total across the subset, best-of-N — per-query ratios
+  on sub-millisecond statements are all noise);
+* **on** — ``trace=True``: every statement builds its full span tree with
+  per-operator est/observed rows.  The enabled overhead is *reported
+  honestly* per query (``traced_overhead_pct``) rather than gated on an
+  absolute number: it is real, intentional work.
+
+The CI regression gate tracks ``speedup = off_ms / on_ms`` per query (how
+much of the statement latency tracing consumes; higher is better), the
+same machine-stable-ratio scheme every other bench uses.
+
+Run as a script (what CI does)::
+
+    PYTHONPATH=src python -m benchmarks.bench_observability [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from benchmarks.harness import RESULTS_DIR, format_table, publish
+from benchmarks.tpch import dbgen, runner
+
+BENCH_NAME = "bench_observability"
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_observability.json")
+
+DEFAULT_SCALE = 0.005
+QUICK_SCALE = 0.002
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+SEED = 23
+
+DISABLED_OVERHEAD_LIMIT_PCT = 5.0
+
+
+class _NullInstrument:
+    """Absorbs ``inc``/``observe`` so the bare config skips the hot path."""
+
+    def inc(self, *args, **kwargs) -> None:
+        pass
+
+    def observe(self, *args, **kwargs) -> None:
+        pass
+
+
+def _strip_instrumentation(database) -> None:
+    """Disable the always-on observability hot path on one Database."""
+    database._statements_total = _NullInstrument()
+    database._executions_total = _NullInstrument()
+    database._statement_seconds = _NullInstrument()
+    database._note_latency = lambda *args, **kwargs: None
+
+
+def prepare(scale: float, seed: int) -> str:
+    directory = tempfile.mkdtemp(prefix=f"tpch_obs_sf{scale}_")
+    dbgen.generate(directory, scale_factor=scale, seed=seed)
+    return directory
+
+
+def time_query(connection, sql: str, repeats: int) -> float:
+    """Best-of-N warm-cache statement latency (plans once beforehand)."""
+    connection.database.execute(sql)  # warm the plan cache
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        connection.database.execute(sql)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best or 0.0
+
+
+def run_suite(quick: bool = False, seed: int = SEED) -> Dict:
+    scale = QUICK_SCALE if quick else DEFAULT_SCALE
+    repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    queries, _ = runner.load_queries()
+    data_dir = prepare(scale, seed)
+
+    bare = runner.load_connection(data_dir)
+    _strip_instrumentation(bare.database)
+    off = runner.load_connection(data_dir)
+    on = runner.load_connection(data_dir, trace=True)
+
+    results: Dict[str, Dict[str, float]] = {}
+    totals = {"bare": 0.0, "off": 0.0, "on": 0.0}
+    for name in sorted(queries):
+        sql = queries[name]
+        bare_s = time_query(bare, sql, repeats)
+        off_s = time_query(off, sql, repeats)
+        on_s = time_query(on, sql, repeats)
+        totals["bare"] += bare_s
+        totals["off"] += off_s
+        totals["on"] += on_s
+        results[name] = {
+            "bare_ms": bare_s * 1000,
+            "off_ms": off_s * 1000,
+            "on_ms": on_s * 1000,
+            "traced_overhead_pct": ((on_s - off_s) / off_s * 100) if off_s > 0 else 0.0,
+            "speedup": off_s / on_s if on_s > 0 else 0.0,
+        }
+    for connection in (bare, off, on):
+        connection.close()
+
+    speedups = [entry["speedup"] for entry in results.values() if entry["speedup"] > 0]
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    disabled_overhead_pct = (
+        (totals["off"] - totals["bare"]) / totals["bare"] * 100
+        if totals["bare"] > 0
+        else 0.0
+    )
+    return {
+        "bench": BENCH_NAME,
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "repeats": repeats,
+        "queries": results,
+        "summary": {
+            "total_bare_ms": totals["bare"] * 1000,
+            "total_off_ms": totals["off"] * 1000,
+            "total_on_ms": totals["on"] * 1000,
+            "disabled_overhead_pct": disabled_overhead_pct,
+            "traced_overhead_pct": (
+                (totals["on"] - totals["off"]) / totals["off"] * 100
+                if totals["off"] > 0
+                else 0.0
+            ),
+            "geomean_speedup": geomean,
+            "total_speedup": totals["off"] / totals["on"] if totals["on"] > 0 else 0.0,
+        },
+    }
+
+
+def render(report: Dict) -> str:
+    rows: List[tuple] = []
+    for name in sorted(report["queries"]):
+        entry = report["queries"][name]
+        rows.append(
+            (
+                name,
+                entry["bare_ms"],
+                entry["off_ms"],
+                entry["on_ms"],
+                f"{entry['traced_overhead_pct']:+.1f}%",
+            )
+        )
+    summary = report["summary"]
+    rows.append(
+        (
+            "TOTAL",
+            summary["total_bare_ms"],
+            summary["total_off_ms"],
+            summary["total_on_ms"],
+            f"{summary['traced_overhead_pct']:+.1f}%",
+        )
+    )
+    title = (
+        f"Observability overhead ({report['mode']} mode, scale {report['scale']}, "
+        f"best of {report['repeats']}) — disabled path "
+        f"{summary['disabled_overhead_pct']:+.2f}% vs bare (limit "
+        f"{DISABLED_OVERHEAD_LIMIT_PCT:.0f}%), tracing "
+        f"{summary['traced_overhead_pct']:+.1f}%"
+    )
+    return format_table(title, ["query", "bare ms", "off ms", "traced ms", "traced ovh"], rows)
+
+
+def write_json(report: Dict, path: str = JSON_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog=BENCH_NAME, description="tracing enabled vs disabled overhead benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale / fewer repeats (CI smoke)"
+    )
+    parser.add_argument("--json", default=JSON_PATH, help="where to write the BENCH json artifact")
+    parser.add_argument("--seed", type=int, default=SEED, help="data generator seed")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick, seed=args.seed)
+    publish("observability", render(report))
+    path = write_json(report, args.json)
+    print(f"[bench json written to {path}]")
+    overhead = report["summary"]["disabled_overhead_pct"]
+    if overhead >= DISABLED_OVERHEAD_LIMIT_PCT:
+        print(
+            f"FAIL: disabled-tracing overhead {overhead:.2f}% exceeds the "
+            f"{DISABLED_OVERHEAD_LIMIT_PCT:.0f}% gate"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

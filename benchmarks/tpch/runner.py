@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import repro
 from repro.catalog.histogram import EquiDepthHistogram
 from repro.catalog.statistics import ColumnStats, TableStats
+from repro.obs.events import plan_shape as obs_plan_shape
 
 from benchmarks.tpch import dbgen
 
@@ -67,14 +68,20 @@ def load_connection(
     engine: str = "vectorized",
     workers: Optional[int] = None,
     indexes: bool = True,
+    trace: bool = False,
+    slow_query_ms: Optional[float] = None,
 ) -> repro.Connection:
     """COPY the generated CSVs into a fresh repro database.
 
     COPY analyzes each table after loading, so the catalog starts with
     *true* statistics; :func:`assume_uniform_statistics` can overwrite
-    them afterwards for the stale-stats scenario.
+    them afterwards for the stale-stats scenario.  ``trace=True`` records
+    per-statement span trees (per-operator est/observed rows included) for
+    every query the harness runs.
     """
-    connection = repro.connect(engine=engine, workers=workers)
+    connection = repro.connect(
+        engine=engine, workers=workers, trace=trace, slow_query_ms=slow_query_ms
+    )
     cursor = connection.cursor()
     for statement in dbgen.schema_statements("repro", indexes=indexes):
         cursor.execute(statement)
@@ -122,18 +129,14 @@ def assume_uniform_statistics(database) -> None:
 
 def plan_shape(plan) -> str:
     """Operator/expression/access-path skeleton of a plan, one node per
-    line — stable under cost-only changes, different under real flips."""
-    lines: List[str] = []
+    line — stable under cost-only changes, different under real flips.
 
-    def visit(node, depth: int) -> None:
-        index_name = node.detail("index")
-        access = f" using {index_name}" if index_name is not None else ""
-        lines.append(f"{'  ' * depth}{node.operator.value} {node.expression}{access}")
-        for child in node.children:
-            visit(child, depth + 1)
-
-    visit(plan, 0)
-    return "\n".join(lines)
+    Delegates to :func:`repro.obs.events.plan_shape`, the same flip
+    detector the re-optimization event log uses, so a sweep entry's
+    ``flipped`` flag and the event log's ``plan_flipped`` field can never
+    disagree about what counts as a plan change.
+    """
+    return obs_plan_shape(plan)
 
 
 @dataclass

@@ -1,0 +1,81 @@
+"""The observability layer end to end: slow query → trace → re-optimization.
+
+The walk-through follows one skewed workload through every surface the
+unified observability layer exposes:
+
+1. connect with ``trace=True`` and a slow-query threshold, build two
+   tables whose analyzed statistics immediately go stale (a hot join
+   key appears *after* ``ANALYZE``);
+2. run the join — under stale statistics the optimizer misestimates it,
+   and the statement lands in the **slow-query log** with its full
+   trace embedded;
+3. render the **trace**: the parse → bind → optimize → execute span
+   tree, with per-operator spans carrying estimated vs observed rows
+   (the same numbers ``EXPLAIN ANALYZE`` prints);
+4. call ``refresh_cached_plans()`` and render the **re-optimization
+   event**: which cardinality deltas triggered it, cost before/after,
+   and the old vs new plan shape;
+5. dump the **metrics registry** — the same counters behind
+   ``Database.stats()`` — as Prometheus text, ready to scrape.
+
+Run from the repo root with::
+
+    PYTHONPATH=src python examples/observability.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.obs.render import render_event, render_trace
+
+HOT_ROWS = 400
+
+
+def main() -> None:
+    print("=== 1. Connect with tracing + a slow-query threshold ===")
+    connection = repro.connect(trace=True, slow_query_ms=0.0)
+    database = connection.database
+    connection.executescript(
+        "CREATE TABLE orders (okey INTEGER, cust INTEGER); "
+        "CREATE TABLE lines (lkey INTEGER, qty INTEGER); "
+        "INSERT INTO orders VALUES (1, 10), (2, 20); "
+        "INSERT INTO lines VALUES (1, 5), (2, 7); "
+        "ANALYZE orders; ANALYZE lines"
+    )
+    # The statistics are now frozen — and promptly go stale: a hot key
+    # floods one side of the join after ANALYZE already ran.
+    values = ", ".join(f"(1, {qty})" for qty in range(HOT_ROWS))
+    connection.execute(f"INSERT INTO lines VALUES {values}")
+    print(f"  orders: 2 rows, lines: {2 + HOT_ROWS} rows (stats think: 2)")
+
+    print("\n=== 2. The misestimated join lands in the slow-query log ===")
+    join = "SELECT COUNT(*) FROM orders, lines WHERE okey = lkey"
+    cursor = connection.execute(join)
+    print(f"  {join}")
+    print(f"  -> {cursor.fetchall()}")
+    slow = database.events(kind="slow_query")[-1]
+    print(f"  slow-query entry #{slow['seq']}: {slow['elapsed_ms']:.3f} ms "
+          f"(threshold {slow['threshold_ms']} ms), trace {slow['trace_id']}")
+
+    print("\n=== 3. The embedded trace: spans with est vs observed rows ===")
+    print(render_trace(slow["trace"]))
+
+    print("\n=== 4. refresh_cached_plans() leaves a re-optimization event ===")
+    refreshed = database.refresh_cached_plans()
+    print(f"  refreshed plans: {refreshed}")
+    events = database.events(kind="reoptimization")
+    assert events, "stale join statistics must trigger a re-optimization"
+    print(render_event(events[-1]))
+
+    print("\n=== 5. The metrics registry, ready for a Prometheus scrape ===")
+    for line in database.prometheus_metrics().splitlines():
+        if line.startswith(("repro_statements_total", "repro_plan_cache",
+                            "repro_reoptimizations_total", "repro_slow_queries_total")):
+            print(f"  {line}")
+
+    connection.close()
+    print("\ndone: slow query -> trace -> re-optimization event -> metrics")
+
+
+if __name__ == "__main__":
+    main()

@@ -90,6 +90,10 @@ class RuntimeMonitor:
         self._last_emitted: Dict[object, float] = {}
         #: cumulative execution seconds per operator label across slices
         self._operator_seconds: Dict[str, float] = {}
+        #: cumulative worker-side seconds per operator label (the time pool
+        #: workers — threads or processes — spent on an operator's morsels,
+        #: which the parent-side operator clock cannot see for processes)
+        self._worker_seconds: Dict[str, float] = {}
         #: session ids that have recorded at least one execution
         self._sessions: Dict[str, int] = {}
 
@@ -119,6 +123,10 @@ class RuntimeMonitor:
             for operator_key, seconds in result.operator_timings.items():
                 self._operator_seconds[operator_key] = (
                     self._operator_seconds.get(operator_key, 0.0) + seconds
+                )
+            for operator_key, seconds in result.operator_worker_seconds.items():
+                self._worker_seconds[operator_key] = (
+                    self._worker_seconds.get(operator_key, 0.0) + seconds
                 )
 
     def record_window_sizes(self, sizes: Mapping[str, int]) -> None:
@@ -186,6 +194,17 @@ class RuntimeMonitor:
         """
         with self._lock:
             return dict(self._operator_seconds)
+
+    def worker_operator_seconds(self) -> Dict[str, float]:
+        """Worker-side seconds per operator label, across recorded slices.
+
+        Populated only by the parallel executors: the summed time pool
+        workers spent executing an operator's morsels.  For the process
+        executor this is the only view of worker CPU time — the parent's
+        ``operator_seconds`` mostly measures dispatch-and-wait there.
+        """
+        with self._lock:
+            return dict(self._worker_seconds)
 
     # -- delta production -------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.api.plan_cache import (
 )
 from repro.catalog.catalog import Catalog
 from repro.engine import DEFAULT_ENGINE
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY
 
 
 def connect(
@@ -49,6 +50,9 @@ def connect(
     cost_parameters=None,
     enumeration=None,
     plan_cache_size: int = DEFAULT_PLAN_CACHE_CAPACITY,
+    trace: bool = False,
+    slow_query_ms: Optional[float] = None,
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY,
 ) -> Connection:
     """Open a connection to a new in-process database.
 
@@ -62,6 +66,12 @@ def connect(
     the worker kind — ``"thread"`` (default) or ``"process"`` (true
     multi-core over shared-memory typed buffers, falling back to threads
     when shared memory is unavailable).
+
+    ``trace=True`` records a span tree per statement (see
+    ``Database.traces()``); ``slow_query_ms`` logs statements over the
+    threshold to the event log, with their traces embedded (setting it
+    implies tracing).  Metrics are always on — ``Database.metrics()`` /
+    ``Database.prometheus_metrics()`` expose the registry.
     """
     database = Database(
         catalog,
@@ -74,6 +84,9 @@ def connect(
         cost_parameters=cost_parameters,
         enumeration=enumeration,
         plan_cache_size=plan_cache_size,
+        trace=trace,
+        slow_query_ms=slow_query_ms,
+        trace_capacity=trace_capacity,
     )
     return database.connect()
 

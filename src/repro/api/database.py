@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import csv
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.adaptive.monitor import RuntimeMonitor
 from repro.api.plan_cache import (
@@ -68,6 +69,17 @@ from repro.engine import (
 )
 from repro.engine.executor import ExecutionResult
 from repro.engine.vectorized.columns import ColumnTable
+from repro.obs.events import EventLog, describe_delta, plan_shape
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    Trace,
+    Tracer,
+    install_fanout_sink,
+    remove_fanout_sink,
+    span,
+)
 from repro.optimizer.declarative import DeclarativeOptimizer, OptimizationResult
 from repro.relational.predicates import ParameterRef
 from repro.relational.query import Query
@@ -113,6 +125,9 @@ class StatementResult:
     plan_text: Optional[str] = None
     parameter_count: int = 0
     from_cache: bool = False
+    #: id of the trace this statement produced (None with tracing disabled);
+    #: look it up through :meth:`Database.traces`.
+    trace_id: Optional[str] = None
 
     @property
     def plan(self):
@@ -194,6 +209,9 @@ class Database:
         enumeration=None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_CAPACITY,
         cumulative_monitor: bool = True,
+        trace: bool = False,
+        slow_query_ms: Optional[float] = None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
     ) -> None:
         try:
             validate_engine(engine)
@@ -215,9 +233,17 @@ class Database:
         self.monitor = RuntimeMonitor(cumulative=cumulative_monitor)
         self._store: Dict[str, object] = dict(data) if data is not None else {}
         self._statement_counter = 0
-        self._statement_counts: Dict[str, int] = {}
-        self._executions = 0
         self._closed = False
+        # -- observability: tracer + metrics registry + event log --------
+        # A slow-query threshold implies tracing (each slow-query entry
+        # embeds its statement's trace).
+        self.slow_query_ms = slow_query_ms
+        self.tracer = Tracer(
+            enabled=bool(trace) or slow_query_ms is not None, capacity=trace_capacity
+        )
+        self.metrics_registry = MetricsRegistry()
+        self.event_log = EventLog()
+        self._register_metrics()
         #: serializes DDL, statistics mutations and store-dict changes.
         self._ddl_lock = threading.RLock()
         #: guards the cheap counters (statement names/numbers, session ids).
@@ -235,6 +261,66 @@ class Database:
         for name in self._store:
             if self.catalog.schema.has_table(name) and not self.catalog.has_stats(name):
                 self.catalog.analyze_table(name, self.table_rows(name))
+
+    def _register_metrics(self) -> None:
+        """Create the hot-path instruments and absorb existing stat sources.
+
+        Counters/histograms are updated as statements run; *providers* wrap
+        the pre-existing stats sources (plan cache, monitor, parallel-engine
+        counters, store row counts) so :meth:`stats` and the Prometheus
+        export read one registry without those sources moving their
+        bookkeeping.
+        """
+        registry = self.metrics_registry
+        self._statements_total = registry.counter(
+            "repro_statements_total", "Statements executed, by statement kind.", label="statement"
+        )
+        self._executions_total = registry.counter(
+            "repro_executions_total", "Plan executions (SELECT and EXPLAIN ANALYZE runs)."
+        )
+        self._statement_seconds = registry.histogram(
+            "repro_statement_seconds",
+            "Statement wall-clock latency in seconds, by statement shape.",
+            label="shape",
+        )
+        self._slow_queries_total = registry.counter(
+            "repro_slow_queries_total", "Statements exceeding the slow-query threshold."
+        )
+        self._reoptimizations_total = registry.counter(
+            "repro_reoptimizations_total",
+            "Cached plans re-optimized from monitor deltas by refresh_cached_plans().",
+        )
+        self._plan_flips_total = registry.counter(
+            "repro_plan_flips_total",
+            "Re-optimizations that changed the physical plan shape.",
+        )
+        from repro.engine.parallel.stats import parallel_stats
+
+        # list(self._store) is an atomic copy under the GIL (same rationale
+        # as _snapshot_store), so providers never iterate a resizing dict.
+        registry.register_provider(
+            "tables",
+            lambda: {name: self.stored_row_count(name) for name in sorted(list(self._store))},
+        )
+        registry.register_provider("plan_cache", self.plan_cache.stats)
+        registry.register_provider("catalog", lambda: {"version": self.catalog.version})
+        registry.register_provider(
+            "monitor",
+            lambda: {
+                "expressions": len(self.monitor.expressions()),
+                "observations": self.monitor.observation_count(),
+                "sessions": len(self.monitor.session_names()),
+            },
+        )
+        registry.register_provider("parallel", parallel_stats)
+        registry.register_provider(
+            "table_versions",
+            lambda: {
+                name: version
+                for name in sorted(list(self._store))
+                if (version := self.table_version(name)) is not None
+            },
+        )
 
     # -- connections -----------------------------------------------------
 
@@ -346,17 +432,59 @@ class Database:
         self._check_open()
         params: Tuple[object, ...] = tuple(parameters) if parameters is not None else ()
         kind, normalized = normalize_statement(sql)
-        if kind in _SELECT_KINDS:
-            result = self._execute_select_kind(
-                sql, kind, normalized, params, engine, batch_size, workers, executor, session
-            )
-        else:
-            result = self._execute_other(sql, params)
-        with self._counter_lock:
-            self._statement_counts[result.statement] = (
-                self._statement_counts.get(result.statement, 0) + 1
-            )
+        trace = self.tracer.begin(sql, session=session)
+        started = time.perf_counter()
+        try:
+            if kind in _SELECT_KINDS:
+                result = self._execute_select_kind(
+                    sql, kind, normalized, params, engine, batch_size, workers, executor,
+                    session, trace=trace,
+                )
+            else:
+                with span(trace, "execute", statement=kind):
+                    result = self._execute_other(sql, params)
+        except Exception as error:
+            snapshot = None
+            if trace is not None:
+                trace.finish(status="error", error=str(error))
+                snapshot = self.tracer.finish(trace)
+                try:
+                    error.trace_id = trace.trace_id  # type: ignore[attr-defined]
+                except AttributeError:
+                    pass  # slotted exception types cannot carry the id
+            self._note_latency(normalized, time.perf_counter() - started, snapshot)
+            raise
+        elapsed = time.perf_counter() - started
+        self._statements_total.inc(label=result.statement)
+        snapshot = None
+        if trace is not None:
+            trace.finish()
+            result.trace_id = trace.trace_id
+            snapshot = self.tracer.finish(trace)
+        self._note_latency(normalized, elapsed, snapshot)
         return result
+
+    @staticmethod
+    def _statement_shape(normalized: str) -> str:
+        """The latency histogram's label: normalized SQL, bounded in length."""
+        return normalized if len(normalized) <= 120 else normalized[:117] + "..."
+
+    def _note_latency(
+        self, normalized: str, seconds: float, trace_snapshot: Optional[Dict[str, Any]]
+    ) -> None:
+        """Record one statement's latency; log it when over the slow threshold."""
+        self._statement_seconds.observe(seconds, label=self._statement_shape(normalized))
+        threshold = self.slow_query_ms
+        if threshold is not None and seconds * 1000.0 >= threshold:
+            self._slow_queries_total.inc()
+            self.event_log.record(
+                "slow_query",
+                statement=normalized,
+                elapsed_ms=seconds * 1000.0,
+                threshold_ms=threshold,
+                trace_id=trace_snapshot["trace_id"] if trace_snapshot else None,
+                trace=trace_snapshot,
+            )
 
     def execute_script(
         self, sql: str, parameters: Optional[Sequence[object]] = None
@@ -413,9 +541,28 @@ class Database:
                 deltas = self.monitor.produce_deltas(entry.optimizer, session=session)
                 if not deltas:
                     continue
-                before = entry.optimization.cost
+                before_cost = entry.optimization.cost
+                before_shape = plan_shape(entry.optimization.plan)
                 entry.optimization = entry.optimizer.reoptimize(deltas)
-                if entry.optimization.cost != before:
+                after_cost = entry.optimization.cost
+                after_shape = plan_shape(entry.optimization.plan)
+                flipped = after_shape != before_shape
+                self._reoptimizations_total.inc()
+                if flipped:
+                    self._plan_flips_total.inc()
+                self.event_log.record(
+                    "reoptimization",
+                    query=entry.query.name,
+                    session=session,
+                    cost_before=before_cost,
+                    cost_after=after_cost,
+                    cost_changed=after_cost != before_cost,
+                    plan_flipped=flipped,
+                    plan_before=before_shape,
+                    plan_after=after_shape,
+                    deltas=[describe_delta(delta) for delta in deltas],
+                )
+                if after_cost != before_cost:
                     refreshed += 1
         return refreshed
 
@@ -424,40 +571,59 @@ class Database:
     def stats(self) -> Dict[str, object]:
         """Counters for tables, the plan cache, statements and the monitor.
 
-        Safe under concurrent execution: every sub-source is read through
-        its own lock or as an atomic snapshot (the store's table list is
-        copied under the DDL lock; statement counters under theirs), so this
-        never iterates a dict another thread is resizing.
+        Since the observability layer this is a thin view over the metrics
+        registry: the legacy key set is preserved exactly, but every value is
+        read from a registry instrument or provider, so ``stats()``, the
+        ``metrics`` wire frame and the Prometheus export can never disagree.
+        Safe under concurrent execution — instruments copy under the registry
+        lock and providers snapshot atomically.
         """
-        with self._ddl_lock:
-            table_names = sorted(self._store)
-        with self._counter_lock:
-            statements = dict(self._statement_counts)
-            executions = self._executions
-        from repro.engine.parallel.stats import parallel_stats
-
+        registry = self.metrics_registry
+        statements = {
+            name: int(count)
+            for name, count in self._statements_total.values().items()
+            if name is not None
+        }
         return {
-            "tables": {name: self.stored_row_count(name) for name in table_names},
+            "tables": registry.provider_snapshot("tables"),
             "catalog_version": self.catalog.version,
-            "plan_cache": self.plan_cache.stats(),
+            "plan_cache": registry.provider_snapshot("plan_cache"),
             "statements": statements,
-            "executions": executions,
-            "monitor": {
-                "expressions": len(self.monitor.expressions()),
-                "observations": self.monitor.observation_count(),
-                "sessions": len(self.monitor.session_names()),
-            },
+            "executions": int(self._executions_total.total()),
+            "monitor": registry.provider_snapshot("monitor"),
             # Process-wide parallel-executor counters (morsels dispatched,
             # bytes exported to workers, fallback events by reason).
-            "parallel": parallel_stats(),
+            "parallel": registry.provider_snapshot("parallel"),
         }
+
+    def metrics(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of every registry instrument + provider."""
+        return self.metrics_registry.to_dict()
+
+    def prometheus_metrics(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        return self.metrics_registry.to_prometheus()
+
+    def traces(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent finished traces (oldest first) as plain dicts."""
+        return self.tracer.traces(limit)
+
+    def events(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Observability events (re-optimizations, slow queries), oldest first."""
+        return self.event_log.events(kind=kind, limit=limit)
 
     # ------------------------------------------------------------------
     # SELECT / EXPLAIN
     # ------------------------------------------------------------------
 
     def _cached_plan(
-        self, sql: str, normalized: str, params: Tuple[object, ...]
+        self,
+        sql: str,
+        normalized: str,
+        params: Tuple[object, ...],
+        trace: Optional[Trace] = None,
     ) -> Tuple[CachedPlan, bool]:
         """The cached (or freshly planned) entry for one statement + hit flag.
 
@@ -471,15 +637,27 @@ class Database:
         # exactly one hit or one miss, decided under the stripe lock (a
         # thread that misses here but finds the single-flight winner's entry
         # below is a hit, not a miss-then-hit).
-        entry = self.plan_cache.lookup(
-            key, self.catalog.version, self.catalog.table_version, count_miss=False
-        )
+        with span(trace, "plan-cache-lookup") as lookup_span:
+            entry = self.plan_cache.lookup(
+                key, self.catalog.version, self.catalog.table_version, count_miss=False
+            )
+            if lookup_span is not None:
+                lookup_span.attributes["hit"] = entry is not None
         if entry is not None:
             return entry, True
-        with self._planning_stripes[hash(key) % len(self._planning_stripes)]:
-            return self._plan_statement(sql, key)
+        stripe = self._planning_stripes[hash(key) % len(self._planning_stripes)]
+        # The plan-wait span covers only the single-flight wait, so a trace
+        # shows time lost to another session planning the same statement.
+        with span(trace, "plan-wait"):
+            stripe.acquire()
+        try:
+            return self._plan_statement(sql, key, trace=trace)
+        finally:
+            stripe.release()
 
-    def _plan_statement(self, sql: str, key) -> Tuple[CachedPlan, bool]:
+    def _plan_statement(
+        self, sql: str, key, trace: Optional[Trace] = None
+    ) -> Tuple[CachedPlan, bool]:
         """Plan + cache one statement (caller holds the key's stripe lock)."""
         entry = self.plan_cache.lookup(
             key, self.catalog.version, self.catalog.table_version
@@ -495,11 +673,13 @@ class Database:
         # versions read after planning would certify a plan built against the
         # old catalog as current, and it would never be invalidated.
         catalog_version = self.catalog.version
-        statement = Parser(sql).parse_statement()
-        if isinstance(statement, ExplainStatement):
-            statement = statement.select
-        assert isinstance(statement, SelectStatement)
-        query = Binder(self.catalog, source=sql).bind(statement, self._next_name())
+        with span(trace, "parse"):
+            statement = Parser(sql).parse_statement()
+            if isinstance(statement, ExplainStatement):
+                statement = statement.select
+            assert isinstance(statement, SelectStatement)
+        with span(trace, "bind"):
+            query = Binder(self.catalog, source=sql).bind(statement, self._next_name())
         # Statistics-version stamps for exactly the referenced tables:
         # appends/ANALYZE elsewhere leave this entry live.
         table_versions = tuple(
@@ -513,7 +693,10 @@ class Database:
             cost_parameters=self.cost_parameters,
             enumeration=self.enumeration,
         )
-        optimization = optimizer.optimize()
+        with span(trace, "optimize") as optimize_span:
+            optimization = optimizer.optimize()
+            if optimize_span is not None:
+                optimize_span.attributes["cost"] = round(optimization.cost, 3)
         entry = CachedPlan(
             query=query,
             optimization=optimization,
@@ -536,8 +719,9 @@ class Database:
         workers: Optional[int] = None,
         executor: Optional[str] = None,
         session: Optional[str] = None,
+        trace: Optional[Trace] = None,
     ) -> StatementResult:
-        entry, cached = self._cached_plan(sql, normalized, params)
+        entry, cached = self._cached_plan(sql, normalized, params, trace=trace)
         self._check_arity(entry.parameter_count, params)
         self._check_parameter_types(entry.query, params)
         query, optimization = entry.query, entry.optimization
@@ -554,11 +738,11 @@ class Database:
                 from_cache=cached,
             )
         execution = self._run_plan(
-            query, optimization.plan, params, engine, batch_size, workers, executor
+            query, optimization.plan, params, engine, batch_size, workers, executor,
+            trace=trace,
         )
         self.monitor.record_execution(execution, session=session)
-        with self._counter_lock:
-            self._executions += 1
+        self._executions_total.inc()
         if kind == "explain analyze":
             text = (
                 explain_header(query, optimization)
@@ -597,6 +781,7 @@ class Database:
         batch_size: Optional[int],
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        trace: Optional[Trace] = None,
     ) -> ExecutionResult:
         engine = engine if engine is not None else self.engine
         batch_size = batch_size if batch_size is not None else self.batch_size
@@ -618,7 +803,64 @@ class Database:
             )
         except ExecutionError as error:  # e.g. an invalid batch_size
             raise SqlError(str(error)) from error
-        return executor.execute(plan)
+        if trace is None:
+            return executor.execute(plan)
+        # The fan-out sink collects the parallel executors' per-morsel and
+        # shm export/attach timings on this thread; they become children of
+        # the execute span alongside the per-operator spans.
+        fanout_events: List[Dict[str, Any]] = []
+        install_fanout_sink(fanout_events)
+        try:
+            with trace.span("execute", engine=engine) as execute_span:
+                execution = executor.execute(plan)
+        finally:
+            remove_fanout_sink()
+        if execution.workers is not None:
+            execute_span.attributes["workers"] = execution.workers
+        if execution.executor is not None:
+            execute_span.attributes["executor"] = execution.executor
+        self._attach_operator_spans(trace, execute_span, plan, execution, fanout_events)
+        return execution
+
+    def _attach_operator_spans(
+        self,
+        trace: Trace,
+        parent: Span,
+        plan,
+        execution: ExecutionResult,
+        fanout_events: List[Dict[str, Any]],
+    ) -> None:
+        """Per-operator + fan-out child spans for one traced execution.
+
+        Operator spans carry the same estimated vs observed row counts that
+        ``EXPLAIN ANALYZE`` renders (``est_rows`` formatted with ``:.0f``,
+        ``actual_rows`` the observed count or ``"?"``), keyed by the plan's
+        stable pre-order operator labels, so a trace and the rendered plan
+        agree byte-for-byte.
+        """
+        for event in fanout_events:
+            trace.add_span(
+                event["name"],
+                event["start"],
+                event["end"],
+                attributes=event["attributes"],
+                parent=parent,
+            )
+        clock = parent.start
+        for operator_key, node in zip(plan.operator_keys(), plan.iter_nodes()):
+            observed = execution.operator_cardinalities.get(operator_key)
+            attributes: Dict[str, Any] = {
+                "operator": operator_key,
+                "est_rows": f"{node.cardinality:.0f}",
+                "actual_rows": str(observed) if observed is not None else "?",
+            }
+            worker_seconds = execution.operator_worker_seconds.get(operator_key)
+            if worker_seconds is not None:
+                attributes["worker_seconds"] = worker_seconds
+            seconds = execution.operator_timings.get(operator_key, 0.0)
+            trace.add_span(
+                "operator", clock, clock + seconds, attributes=attributes, parent=parent
+            )
 
     def _check_arity(self, expected: int, params: Tuple[object, ...]) -> None:
         if len(params) != expected:

@@ -50,6 +50,8 @@ class RemoteResult:
     plan_text: Optional[str] = None
     parameter_count: int = 0
     from_cache: bool = False
+    #: the server-side trace id, when the server runs with tracing on
+    trace_id: Optional[str] = None
 
     @property
     def row_count(self) -> int:
@@ -134,6 +136,7 @@ class RemoteConnection:
             plan_text=payload.get("plan_text"),
             parameter_count=payload.get("parameter_count", 0),
             from_cache=bool(payload.get("from_cache", False)),
+            trace_id=payload.get("trace_id"),
         )
 
     # -- the DB-API-facing surface ----------------------------------------
@@ -183,6 +186,31 @@ class RemoteConnection:
 
     def stats(self) -> Dict[str, object]:
         return self._request({"type": "stats"}).get("stats", {})
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's metrics-registry snapshot (counters/gauges/histograms)."""
+        return self._request({"type": "metrics"}).get("metrics", {})
+
+    def prometheus_metrics(self) -> str:
+        """The server's metrics in the Prometheus text exposition format."""
+        reply = self._request({"type": "metrics", "format": "prometheus"})
+        return str(reply.get("text", ""))
+
+    def traces(self, limit: Optional[int] = None) -> List[dict]:
+        """Recent server-side statement traces, oldest first."""
+        frame: dict = {"type": "traces"}
+        if limit is not None:
+            frame["limit"] = limit
+        return list(self._request(frame).get("traces", []))
+
+    def events(self, kind: Optional[str] = None, limit: Optional[int] = None) -> List[dict]:
+        """Server observability events (re-optimizations, slow queries)."""
+        frame: dict = {"type": "events"}
+        if kind is not None:
+            frame["kind"] = kind
+        if limit is not None:
+            frame["limit"] = limit
+        return list(self._request(frame).get("events", []))
 
     def refresh_cached_plans(self) -> int:
         """Ask the server for an incremental re-optimization pass."""

@@ -64,6 +64,12 @@ class ExecutionResult:
     #: the serial engines.  After a no-shm fallback this truthfully reads
     #: "thread" even though "process" was requested.
     executor: Optional[str] = None
+    #: per-operator seconds spent inside pool workers (thread or process),
+    #: keyed like operator_timings.  The serial engines leave this empty;
+    #: the parallel executors fill it so worker-side work is attributed to
+    #: the operator that fanned it out (operator_timings only measures the
+    #: dispatching thread, which for a process pool is mostly waiting).
+    operator_worker_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def row_count(self) -> int:

@@ -27,12 +27,15 @@ plain :class:`VectorizedExecutor`) remains the exact serial path.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import defaultdict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.engine.parallel.pool import shared_pool
 from repro.engine.parallel.stats import record_morsels
+from repro.obs.trace import fanout_span
 from repro.engine.vectorized.columns import (
     DEFAULT_BATCH_SIZE,
     ColumnTable,
@@ -75,12 +78,24 @@ class ParallelExecutor(VectorizedExecutor):
             raise ExecutionError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._pool = shared_pool(workers)
+        #: per-operator seconds spent inside pool workers, keyed by the
+        #: fanning-out node's operator key (satellite of ExecutionResult.
+        #: operator_worker_seconds).  Guarded by its own lock because thread
+        #: pool workers report concurrently.
+        self._worker_seconds: Dict[str, float] = {}
+        self._worker_seconds_lock = threading.Lock()
 
     def execute(self, plan: PhysicalPlan):
         result = super().execute(plan)
         result.workers = self.workers
         result.executor = self.executor_name
+        result.operator_worker_seconds = dict(self._worker_seconds)
         return result
+
+    def _add_worker_seconds(self, operator_key: Optional[str], seconds: float) -> None:
+        key = operator_key or "?"
+        with self._worker_seconds_lock:
+            self._worker_seconds[key] = self._worker_seconds.get(key, 0.0) + seconds
 
     # -- morsel scheduling -------------------------------------------------
 
@@ -99,7 +114,25 @@ class ParallelExecutor(VectorizedExecutor):
         if self.workers == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
         record_morsels(len(tasks))
-        return list(self._pool.map(fn, tasks))
+        operator_key = self._current_operator_key
+
+        def timed(task):
+            started = time.perf_counter()
+            try:
+                return fn(task)
+            finally:
+                self._add_worker_seconds(operator_key, time.perf_counter() - started)
+
+        # _map always dispatches to the shared *thread* pool — the process
+        # executor routes its fan-outs through _run and only lands here on
+        # its thread-fallback paths.
+        with fanout_span(
+            "morsel-fanout",
+            transport="thread",
+            morsels=len(tasks),
+            operator=operator_key,
+        ):
+            return list(self._pool.map(timed, tasks))
 
     # -- scans -------------------------------------------------------------
 

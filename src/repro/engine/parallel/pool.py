@@ -36,6 +36,7 @@ import itertools
 import os
 import queue as queue_module
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -109,7 +110,9 @@ class ProcessMorselPool:
     * ``("put", stmt, key, blob)`` — install a pickled plan fragment
       (filters, join index, aggregate spec) under *key*;
     * ``("task", seq, stmt, spec)`` — run one morsel task, reply
-      ``(seq, ok, payload)`` on the outbox;
+      ``(seq, ok, payload, elapsed_seconds)`` on the outbox (the elapsed
+      worker-side seconds let the parent attribute operator time spent in
+      workers, which merge-side clocks cannot see);
     * ``("forget", stmt)`` — drop the statement's state and close its
       attachments;
     * ``("stop",)`` — exit the worker loop.
@@ -178,7 +181,13 @@ class ProcessMorselPool:
     # -- fan-out -----------------------------------------------------------
 
     def run_tasks(self, stmt: int, specs: Sequence[Tuple]) -> List[object]:
-        """Round-robin *specs* over the workers; results in task order.
+        """Round-robin *specs* over the workers; results in task order."""
+        return self.run_tasks_timed(stmt, specs)[0]
+
+    def run_tasks_timed(
+        self, stmt: int, specs: Sequence[Tuple]
+    ) -> Tuple[List[object], float]:
+        """Like :meth:`run_tasks`, also returning summed worker-side seconds.
 
         The first failing task's error is re-raised (in task order) as an
         :class:`ExecutionError`, mirroring the serial loop; a dead worker
@@ -195,9 +204,10 @@ class ProcessMorselPool:
             pending = set(seqs)
             results: Dict[int, object] = {}
             errors: Dict[int, Tuple[str, str]] = {}
+            worker_seconds = 0.0
             while pending:
                 try:
-                    seq, ok, payload = self._outbox.get(timeout=_POLL_INTERVAL)
+                    seq, ok, payload, elapsed = self._outbox.get(timeout=_POLL_INTERVAL)
                 except queue_module.Empty:
                     if any(not proc.is_alive() for proc in self._procs):
                         self._mark_broken()
@@ -209,6 +219,7 @@ class ProcessMorselPool:
                 if seq not in pending:
                     continue  # stale reply from an aborted fan-out
                 pending.discard(seq)
+                worker_seconds += elapsed
                 if ok:
                     results[seq] = payload
                 else:
@@ -216,7 +227,7 @@ class ProcessMorselPool:
             if errors:
                 name, message = errors[min(errors)]
                 raise ExecutionError(f"morsel task failed in worker: {name}: {message}")
-            return [results[seq] for seq in seqs]
+            return [results[seq] for seq in seqs], worker_seconds
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -272,12 +283,15 @@ def _worker_main(worker_index: int, inbox, outbox) -> None:  # pragma: no cover
             break
         if kind == "task":
             _, seq, stmt, spec = message
+            started = time.perf_counter()
             try:
                 payload = _run_task(states.setdefault(stmt, _StatementState()), spec)
             except BaseException as error:  # noqa: BLE001 - shipped to parent
-                outbox.put((seq, False, (type(error).__name__, str(error))))
+                outbox.put(
+                    (seq, False, (type(error).__name__, str(error)), time.perf_counter() - started)
+                )
             else:
-                outbox.put((seq, True, payload))
+                outbox.put((seq, True, payload, time.perf_counter() - started))
         elif kind == "attach":
             _, stmt, key, manifest = message
             states.setdefault(stmt, _StatementState()).attach(key, manifest)

@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.engine.parallel.executor import _MIN_GROUPS_TO_CHUNK, ParallelExecutor
 from repro.engine.parallel.pool import next_statement_id, shared_process_pool
 from repro.engine.parallel.stats import record_export, record_fallback, record_morsels
+from repro.obs.trace import fanout_span
 from repro.engine.vectorized.columns import (
     DEFAULT_BATCH_SIZE,
     ColumnTable,
@@ -112,11 +113,16 @@ class ProcessParallelExecutor(ParallelExecutor):
             for cached_anchor, cached_extra, key in self._export_cache:
                 if cached_anchor is anchor and cached_extra == extra:
                     return key
-        export = shm.export_columns(columns, row_count)
+        with fanout_span("shm-export", operator=self._current_operator_key) as span_attrs:
+            export = shm.export_columns(columns, row_count)
+            if span_attrs is not None:
+                span_attrs["shm_bytes"] = export.shm_bytes
+                span_attrs["pickled_bytes"] = export.pickled_bytes
         record_export(export.shm_bytes, export.pickled_bytes)
         self._exports.append(export)
         key = self._new_key()
-        self._process_pool.attach(self._stmt, key, export.manifest)
+        with fanout_span("shm-attach", operator=self._current_operator_key):
+            self._process_pool.attach(self._stmt, key, export.manifest)
         if anchor is not None:
             self._export_cache.append((anchor, extra, key))
         return key
@@ -131,7 +137,16 @@ class ProcessParallelExecutor(ParallelExecutor):
 
     def _run(self, specs: Sequence[Tuple]) -> List[object]:
         record_morsels(len(specs))
-        return self._process_pool.run_tasks(self._stmt, specs)
+        operator_key = self._current_operator_key
+        with fanout_span(
+            "morsel-fanout",
+            transport="process",
+            morsels=len(specs),
+            operator=operator_key,
+        ):
+            results, worker_seconds = self._process_pool.run_tasks_timed(self._stmt, specs)
+        self._add_worker_seconds(operator_key, worker_seconds)
+        return results
 
     # -- scans -------------------------------------------------------------
 

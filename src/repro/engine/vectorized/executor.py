@@ -75,6 +75,11 @@ class VectorizedExecutor:
         self._prune_columns = (
             bool(query.projections) or bool(query.derived) or query.has_aggregation
         )
+        #: the operator key whose node is currently executing — the parallel
+        #: subclasses attribute worker-side morsel time to it.  Maintained
+        #: save/restore in _execute_node because a join's own fan-out work
+        #: happens after its children return.
+        self._current_operator_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -145,17 +150,22 @@ class VectorizedExecutor:
     def _execute_node(self, node: PhysicalPlan, result: ExecutionResult) -> TableView:
         operator = node.operator
         operator_key = next(self._keys)
+        previous_key = self._current_operator_key
+        self._current_operator_key = operator_key
         node_start = time.perf_counter()
-        if operator.is_scan:
-            view = self._execute_scan_view(node)
-        elif operator is PhysicalOperator.SORT:
-            view = self._execute_sort(node, result)
-        elif operator.is_join:
-            view = self._execute_join(node, result)
-        elif operator is PhysicalOperator.HASH_AGGREGATE:
-            view = TableView.of_table(self._execute_aggregate(node, result))
-        else:  # pragma: no cover - defensive
-            raise ExecutionError(f"unsupported operator {operator}")
+        try:
+            if operator.is_scan:
+                view = self._execute_scan_view(node)
+            elif operator is PhysicalOperator.SORT:
+                view = self._execute_sort(node, result)
+            elif operator.is_join:
+                view = self._execute_join(node, result)
+            elif operator is PhysicalOperator.HASH_AGGREGATE:
+                view = TableView.of_table(self._execute_aggregate(node, result))
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unsupported operator {operator}")
+        finally:
+            self._current_operator_key = previous_key
         result.observed_cardinalities[node.expression] = view.row_count
         result.operator_cardinalities[operator_key] = view.row_count
         result.operator_timings[operator_key] = time.perf_counter() - node_start
@@ -417,6 +427,8 @@ class VectorizedExecutor:
         stored, index = setup
         left = self._execute_node(left_node, result)
         right_key = next(self._keys)
+        # Probe work below belongs to the inner scan's key, not the join's.
+        self._current_operator_key = right_key
         probe_start = time.perf_counter()
         right_alias = right_node.expression.sole_alias
         predicates = self.query.predicates_between(left_node.expression, right_node.expression)

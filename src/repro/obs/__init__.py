@@ -1,0 +1,56 @@
+"""Unified observability: tracing, metrics registry, adaptivity event log.
+
+``repro.obs`` is the cross-cutting nervous system of the stack:
+
+* :mod:`repro.obs.trace` — per-statement span trees in a bounded ring
+  buffer, near-zero cost when disabled;
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and histograms that absorbs the previously scattered stats sources and
+  exports JSON + Prometheus text;
+* :mod:`repro.obs.events` — the append-only re-optimization event log and
+  slow-query log;
+* :mod:`repro.obs.render` — human-facing text rendering for the CLI.
+"""
+
+from repro.obs.events import DEFAULT_EVENT_CAPACITY, EventLog, describe_delta, plan_shape
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.render import render_event, render_stats, render_trace
+from repro.obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    Trace,
+    Tracer,
+    fanout_span,
+    install_fanout_sink,
+    remove_fanout_sink,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_EVENT_CAPACITY",
+    "DEFAULT_TRACE_CAPACITY",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "describe_delta",
+    "fanout_span",
+    "install_fanout_sink",
+    "parse_prometheus",
+    "plan_shape",
+    "remove_fanout_sink",
+    "render_event",
+    "render_stats",
+    "render_trace",
+    "span",
+]

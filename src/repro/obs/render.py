@@ -1,0 +1,87 @@
+"""Human-facing text rendering for stats, traces and events (repro-sql)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+
+def _format_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_mapping(mapping: Dict[str, Any], depth: int) -> List[str]:
+    pad = "  " * depth
+    scalar_widths = [
+        len(str(key)) for key, value in mapping.items() if not isinstance(value, dict)
+    ]
+    width = max(scalar_widths) if scalar_widths else 0
+    lines: List[str] = []
+    for key, value in mapping.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            if value:
+                lines.extend(_render_mapping(value, depth + 1))
+            else:
+                lines.append(f"{pad}  (empty)")
+        else:
+            lines.append(f"{pad}{str(key):<{width}}  {_format_scalar(value)}")
+    return lines
+
+
+def render_stats(stats: Dict[str, Any]) -> str:
+    """Render nested stats as an indented, stable-ordered key/value table.
+
+    Insertion order is preserved (``Database.stats()`` emits a stable key
+    order), nested dicts become indented sections, and values align within
+    each sibling group — no raw ``repr`` of nested dicts.
+    """
+    return "\n".join(_render_mapping(stats, 0))
+
+
+def _render_span(span: Dict[str, Any], depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    attributes = span.get("attributes") or {}
+    suffix = "".join(
+        f"  {key}={_format_scalar(value)}" for key, value in attributes.items()
+    )
+    lines.append(f"{pad}{span['name']}  {span['seconds'] * 1000:.3f} ms{suffix}")
+    for child in span.get("children", ()):
+        _render_span(child, depth + 1, lines)
+
+
+def render_trace(trace: Dict[str, Any]) -> str:
+    """Render one trace dict: a header line plus the indented span tree."""
+    header = (
+        f"{trace['trace_id']}  status={trace['status']}  "
+        f"elapsed={trace['elapsed_ms']:.3f} ms"
+    )
+    if trace.get("session"):
+        header += f"  session={trace['session']}"
+    lines = [header, f"  statement: {trace['statement']}"]
+    if trace.get("error"):
+        lines.append(f"  error: {trace['error']}")
+    _render_span(trace["spans"], 1, lines)
+    return "\n".join(lines)
+
+
+def render_event(event: Dict[str, Any]) -> str:
+    """Render one event-log entry; multi-line/nested fields become blocks."""
+    lines = [f"#{event['seq']}  {event['kind']}"]
+    for key, value in event.items():
+        if key in ("seq", "kind", "time"):
+            continue
+        if isinstance(value, str) and "\n" in value:
+            lines.append(f"  {key}:")
+            lines.extend(f"    {line}" for line in value.splitlines())
+        elif isinstance(value, (dict, list)):
+            lines.append(f"  {key}:")
+            rendered = json.dumps(value, indent=2, default=str)
+            lines.extend(f"    {line}" for line in rendered.splitlines())
+        else:
+            lines.append(f"  {key}: {_format_scalar(value)}")
+    return "\n".join(lines)

@@ -145,6 +145,17 @@ class StatementExecutorPool:
             max_workers=workers, thread_name_prefix="repro-exec"
         )
 
+    @property
+    def queue_depth(self) -> int:
+        """Statements submitted but not yet picked up by a worker thread.
+
+        Reads the executor's internal work queue (a documented-enough
+        CPython attribute, guarded for absence), so the serving tier can
+        export backpressure without wrapping every submit.
+        """
+        work_queue = getattr(self._threads, "_work_queue", None)
+        return work_queue.qsize() if work_queue is not None else 0
+
     def submit(
         self,
         sql: str,

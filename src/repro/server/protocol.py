@@ -18,14 +18,20 @@ Client → server frames (``type`` field):
   through a result set larger than the server's inline-row threshold;
 * ``script`` — run a ``;``-separated script, returning every result;
 * ``tables`` / ``stats`` / ``refresh`` — introspection and an explicit
-  incremental re-optimization pass (the remote REPL's meta commands).
+  incremental re-optimization pass (the remote REPL's meta commands);
+* ``metrics`` / ``traces`` / ``events`` — the observability surface:
+  the metrics registry (JSON, or Prometheus text with
+  ``"format": "prometheus"``), the trace ring buffer, and the
+  re-optimization/slow-query event log.
 
 Server → client frames: ``hello`` (session id, sent once on connect),
 ``result``, ``prepared``, ``rows``, ``results``, ``tables``, ``stats``,
-``refreshed`` and ``error``.  An ``error`` frame carries the exception class
-name, the bare message, the 1-based ``(line, column)`` position and the
-source text, so the client reconstructs the same caret-positioned
-:class:`~repro.common.errors.SqlError` the in-process API raises.
+``refreshed``, ``metrics``, ``traces``, ``events`` and ``error``.  An
+``error`` frame carries the exception class name, the bare message, the
+1-based ``(line, column)`` position and the source text, so the client
+reconstructs the same caret-positioned
+:class:`~repro.common.errors.SqlError` the in-process API raises — plus the
+server-side ``trace_id`` when tracing captured the failing statement.
 """
 
 from __future__ import annotations
@@ -162,6 +168,7 @@ def result_payload(result) -> Dict[str, object]:
         "plan_text": result.plan_text,
         "parameter_count": result.parameter_count,
         "from_cache": result.from_cache,
+        "trace_id": getattr(result, "trace_id", None),
     }
 
 
@@ -176,6 +183,12 @@ def error_payload(error: Exception) -> Dict[str, object]:
         payload["bare_message"] = error.bare_message
         payload["position"] = list(error.position) if error.position else None
         payload["source"] = error.source
+    # With server-side tracing on, Database.execute stamps the failing
+    # statement's trace id onto the exception; echo it so the client can
+    # fetch the trace through a 'traces' frame.
+    trace_id = getattr(error, "trace_id", None)
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
     return payload
 
 
@@ -194,9 +207,17 @@ def raise_error_payload(payload: Dict[str, object]) -> None:
     cls = _ERROR_CLASSES.get(name)
     if cls is not None and "bare_message" in payload:
         position = payload.get("position")
-        raise cls(
+        error: SqlError = cls(
             payload["bare_message"],
             tuple(position) if position else None,
             payload.get("source"),
         )
-    raise SqlError(str(payload.get("message", "server error")))
+    else:
+        error = SqlError(str(payload.get("message", "server error")))
+    trace_id = payload.get("trace_id")
+    if trace_id is not None:
+        try:
+            error.trace_id = trace_id  # type: ignore[attr-defined]
+        except AttributeError:  # pragma: no cover - slotted exception types
+            pass
+    raise error

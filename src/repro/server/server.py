@@ -91,7 +91,23 @@ class ReproServer:
         self.executor = StatementExecutorPool(database, workers, pool_size=pool_size)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections = 0
+        self._active = 0
         self._lock = threading.Lock()
+        # Serving-tier gauges join the database's registry as a provider, so
+        # one metrics scrape covers the whole deployment (connection counts,
+        # statement queue depth, pool occupancy).
+        database.metrics_registry.register_provider("server", self._server_stats)
+
+    def _server_stats(self) -> Dict[str, int]:
+        with self._lock:
+            connections, active = self._connections, self._active
+        return {
+            "connections_served": connections,
+            "active_connections": active,
+            "queue_depth": self.executor.queue_depth,
+            "pool_idle": self.executor.connections.idle,
+            "pool_leases": self.executor.connections.leases,
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,6 +145,7 @@ class ReproServer:
     ) -> None:
         with self._lock:
             self._connections += 1
+            self._active += 1
         state = _ClientState(self.database._register_session())
         writer.write(encode_frame({"type": "hello", "session": state.session}))
         try:
@@ -154,6 +171,8 @@ class ReproServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            with self._lock:
+                self._active -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -177,6 +196,23 @@ class ReproServer:
                 return {"type": "tables", "tables": self.database.table_names}
             if kind == "stats":
                 return {"type": "stats", "stats": self.database.stats()}
+            if kind == "metrics":
+                if frame.get("format") == "prometheus":
+                    return {
+                        "type": "metrics",
+                        "format": "prometheus",
+                        "text": self.database.prometheus_metrics(),
+                    }
+                return {"type": "metrics", "metrics": self.database.metrics()}
+            if kind == "traces":
+                return {"type": "traces", "traces": self.database.traces(frame.get("limit"))}
+            if kind == "events":
+                return {
+                    "type": "events",
+                    "events": self.database.events(
+                        kind=frame.get("kind"), limit=frame.get("limit")
+                    ),
+                }
             if kind == "refresh":
                 refreshed = self.database.refresh_cached_plans(session=state.session)
                 return {"type": "refreshed", "refreshed": refreshed}
@@ -385,6 +421,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run this ;-separated SQL script (DDL/loads) before serving",
     )
     parser.add_argument("--engine", default=None, help="default execution engine")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree per statement (scrape through 'traces' frames)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log statements slower than MS to the event log, traces embedded "
+        "(implies --trace; 0 logs every statement)",
+    )
     args = parser.parse_args(argv)
 
     options = {}
@@ -394,6 +443,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         options["workers"] = args.query_workers
     if args.query_executor:
         options["executor"] = args.query_executor
+    if args.trace:
+        options["trace"] = True
+    if args.slow_query_ms is not None:
+        options["slow_query_ms"] = args.slow_query_ms
     database = Database(**options)
     if args.init:
         with open(args.init, encoding="utf-8") as handle:

@@ -44,6 +44,7 @@ from repro.api.connection import Connection
 from repro.client.remote import RemoteConnection
 from repro.common.errors import ReproError, SqlError
 from repro.engine import DEFAULT_BATCH_SIZE, DEFAULT_ENGINE, ENGINE_NAMES
+from repro.obs.render import render_event, render_stats, render_trace
 from repro.sql.errors import describe
 from repro.sql.parser import split_statements, statement_has_parameters
 from repro.sql.session import Session, SqlResult
@@ -92,29 +93,24 @@ def build_connection(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
     empty: bool = False,
+    trace: bool = False,
+    slow_query_ms: Optional[float] = None,
 ) -> Connection:
     """A connection over an empty, analytic-catalog or data-backed database."""
-    if empty:
-        return api.connect(
-            engine=engine, batch_size=batch_size, workers=workers, executor=executor
-        )
-    if data_scale is None:
-        return api.connect(
-            tpch_catalog(scale_factor=scale),
-            engine=engine,
-            batch_size=batch_size,
-            workers=workers,
-            executor=executor,
-        )
-    data = generate_tpch_data(scale_factor=data_scale, seed=seed)
-    return api.connect(
-        catalog_from_data(data),
-        data,
+    options = dict(
         engine=engine,
         batch_size=batch_size,
         workers=workers,
         executor=executor,
+        trace=trace,
+        slow_query_ms=slow_query_ms,
     )
+    if empty:
+        return api.connect(**options)
+    if data_scale is None:
+        return api.connect(tpch_catalog(scale_factor=scale), **options)
+    data = generate_tpch_data(scale_factor=data_scale, seed=seed)
+    return api.connect(catalog_from_data(data), data, **options)
 
 
 def parse_parameter(text: str) -> Parameter:
@@ -196,6 +192,12 @@ def _meta_command(connection, line: str) -> bool:
         set_timer(argument == "on")
         print(f"timer {argument}")
         return True
+    if command in (".metrics", ".traces", ".events"):
+        # Local and remote databases expose the same observability surface
+        # (the wire connection proxies it through metrics/traces/events
+        # frames), so one handler serves both.
+        _observability_command(connection, command, parts)
+        return True
     if isinstance(connection, RemoteConnection) and command != ".load":
         return _remote_meta_command(connection, command, parts)
     if command == ".load":
@@ -252,7 +254,7 @@ def _meta_command(connection, line: str) -> bool:
             )
         return True
     if command == ".stats":
-        print(json.dumps(connection.database.stats(), indent=2, default=str))
+        print(render_stats(connection.database.stats()))
         return True
     return False
 
@@ -265,7 +267,7 @@ def _remote_meta_command(connection: RemoteConnection, command: str, parts: List
             print(f"{name}\t{tables[name]} rows")
         return True
     if command == ".stats":
-        print(json.dumps(connection.stats(), indent=2, default=str))
+        print(render_stats(connection.stats()))
         return True
     if command in (".schema", ".indexes"):
         print(f"{command} is not supported over --connect", file=sys.stderr)
@@ -273,13 +275,42 @@ def _remote_meta_command(connection: RemoteConnection, command: str, parts: List
     return False
 
 
+def _observability_command(
+    connection: Union[Connection, RemoteConnection], command: str, parts: List[str]
+) -> None:
+    """``.metrics [prom]`` / ``.traces [N]`` / ``.events [KIND]``."""
+    source = connection if isinstance(connection, RemoteConnection) else connection.database
+    argument = parts[1].strip() if len(parts) > 1 else ""
+    if command == ".metrics":
+        if argument.lower() in ("prom", "prometheus"):
+            print(source.prometheus_metrics(), end="")
+        else:
+            print(json.dumps(source.metrics(), indent=2, default=str))
+        return
+    if command == ".traces":
+        limit = int(argument) if argument.isdigit() else 5
+        traces = source.traces(limit)
+        if not traces:
+            print("(no traces — run with --trace or --slow-query-ms)")
+            return
+        for trace in traces:
+            print(render_trace(trace))
+        return
+    events = source.events(kind=argument or None)
+    if not events:
+        print("(no events)" + (f" of kind {argument!r}" if argument else ""))
+        return
+    for event in events:
+        print(render_event(event))
+
+
 def repl(connection: Connection) -> None:  # pragma: no cover - interactive loop
     print("repro-sql — SQL over the incremental re-optimization stack")
     print(
         "statements end with ';' (CREATE TABLE / CREATE INDEX / DROP INDEX / "
         "INSERT / COPY / ANALYZE / SELECT / EXPLAIN [ANALYZE]); .load FILE, "
-        ".tables, .schema [TABLE], .indexes [TABLE], .stats, .timer on|off; "
-        "ctrl-d quits"
+        ".tables, .schema [TABLE], .indexes [TABLE], .stats, .metrics [prom], "
+        ".traces [N], .events [KIND], .timer on|off; ctrl-d quits"
     )
     buffer: List[str] = []
     while True:
@@ -397,6 +428,20 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="print database statistics (plan cache counters...) before exiting",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree per statement; inspect with .traces "
+        "(in-process databases only)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log statements slower than MS to the event log with traces "
+        "embedded (implies --trace; 0 logs everything; in-process only)",
+    )
     args = parser.parse_args(argv)
 
     if args.command is not None and args.file is not None:
@@ -425,6 +470,8 @@ def main(argv: Optional[list] = None) -> int:
             workers=args.workers,
             executor=args.executor,
             empty=args.empty,
+            trace=args.trace,
+            slow_query_ms=args.slow_query_ms,
         )
     parameters = [parse_parameter(text) for text in args.param] if args.param else None
 
@@ -447,11 +494,11 @@ def main(argv: Optional[list] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
         if args.stats:
-            print(json.dumps(connection.database.stats(), indent=2, default=str))
+            print(render_stats(connection.database.stats()))
         return 0
     repl(connection)
     if args.stats:  # pragma: no cover - interactive path
-        print(json.dumps(connection.database.stats(), indent=2, default=str))
+        print(render_stats(connection.database.stats()))
     return 0
 
 

@@ -1,0 +1,97 @@
+"""Acceptance test: the observability layer on the paper's core scenario.
+
+Runs the TPC-H skew sweep (zipf z=1.0, SF 0.01, assumed-uniform starting
+statistics) with tracing enabled and checks the two contracts that make
+the traces trustworthy:
+
+* every traced query's per-operator spans carry est/observed row counts
+  that match ``EXPLAIN ANALYZE`` **byte for byte**, in plan pre-order;
+* ``refresh_cached_plans()`` flips at least one plan, and the flip shows
+  up in the re-optimization event log with the exact before/after plan
+  shapes the harness observed.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from benchmarks.tpch import dbgen, runner
+
+SCALE = 0.01
+SKEW = 1.0
+FLIP_PRONE = ("q04", "q09", "q10", "q21")
+
+SUPPORTED, _ = runner.load_queries()
+EST_ACTUAL = re.compile(r"est_rows=([^,)]+), actual_rows=([^,)]+)\)")
+
+
+@pytest.fixture(scope="module")
+def traced_connection(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("tpch_traced_zipf")
+    dbgen.generate(str(directory), scale_factor=SCALE, skew=SKEW)
+    connection = runner.load_connection(str(directory), trace=True)
+    runner.assume_uniform_statistics(connection.database)
+    yield connection
+    connection.close()
+
+
+def _operator_pairs_from_trace(trace: dict) -> list:
+    """(est_rows, actual_rows) per operator span, in plan pre-order."""
+    execute = trace["spans"]["children"][-1]
+    assert execute["name"] == "execute"
+    return [
+        (span["attributes"]["est_rows"], span["attributes"]["actual_rows"])
+        for span in execute["children"]
+        if span["name"] == "operator"
+    ]
+
+
+class TestTracedSkewSweep:
+    def test_operator_spans_match_explain_analyze_and_flip_is_logged(
+        self, traced_connection
+    ):
+        database = traced_connection.database
+        queries = {name: SUPPORTED[name] for name in FLIP_PRONE}
+
+        before: dict = {}
+        for name, sql in queries.items():
+            before[name] = runner.run_query(traced_connection, name, sql)
+            trace = database.traces(limit=1)[0]
+            assert trace["status"] == "ok"
+            pairs = _operator_pairs_from_trace(trace)
+
+            # EXPLAIN ANALYZE re-executes the same cached plan; its printed
+            # est/actual pairs must equal the trace's, byte for byte.
+            analyzed = database.execute(f"EXPLAIN ANALYZE {sql}")
+            expected = EST_ACTUAL.findall(analyzed.plan_text)
+            assert pairs == expected, f"{name}: trace disagrees with EXPLAIN ANALYZE"
+            assert len(pairs) > 0
+            assert all(actual != "?" for _, actual in pairs), (
+                f"{name}: an operator has no observed cardinality"
+            )
+
+        refreshed = database.refresh_cached_plans()
+        assert refreshed >= 1, "no cached plan was re-optimized under skew"
+
+        flipped = []
+        for name, sql in queries.items():
+            after = runner.run_query(traced_connection, name, sql)
+            if after.plan != before[name].plan:
+                flipped.append((name, before[name].plan, after.plan))
+        assert flipped, "no plan flipped after refresh_cached_plans() under skew"
+
+        events = database.events(kind="reoptimization")
+        flip_events = [event for event in events if event["plan_flipped"]]
+        assert flip_events, "a flipped plan must leave a re-optimization event"
+        # the event log's shapes come from the same plan_shape() the sweep
+        # uses, so each flip must have an event with the identical
+        # before/after skeletons
+        by_shapes = {
+            (event["plan_before"], event["plan_after"]): event for event in flip_events
+        }
+        for name, plan_before, plan_after in flipped:
+            event = by_shapes.get((plan_before, plan_after))
+            assert event is not None, f"{name}: flip missing from the event log"
+            assert event["deltas"], "a flip without deltas cannot happen"

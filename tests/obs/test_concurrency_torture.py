@@ -1,0 +1,97 @@
+"""Torture test: writers hammer a served database while a reader scrapes.
+
+Eight worker threads execute statements against a :class:`Database` behind
+the wire server while a reader thread concurrently scrapes every
+observability surface (``metrics()``, ``traces()``, ``events()``,
+``stats()``, the Prometheus text).  The assertions are the classic
+shared-mutable-state failure modes: lost counter updates, ``dict changed
+size during iteration``, and non-monotonic histogram totals.
+"""
+
+import threading
+
+from repro.api.database import Database
+from repro.client import connect as client_connect
+from repro.obs.metrics import parse_prometheus
+from repro.server import start_server_thread
+
+WRITERS = 8
+STATEMENTS_PER_WRITER = 30
+SEED_STATEMENTS = 3  # the CREATE/INSERT/ANALYZE that build the fixture
+
+
+class TestObservabilityUnderConcurrency:
+    def test_no_lost_updates_and_no_iteration_errors(self):
+        database = Database(trace=True, slow_query_ms=0.0)
+        database.execute_script(
+            "CREATE TABLE t (a INTEGER, b INTEGER); "
+            "INSERT INTO t VALUES (1, 1), (2, 4), (3, 9); "
+            "ANALYZE t"
+        )
+        handle = start_server_thread(database)
+        host, port = handle.address
+        stop_reading = threading.Event()
+        errors = []
+        totals = []
+
+        def writer(index: int) -> None:
+            try:
+                with client_connect(host, port) as connection:
+                    for step in range(STATEMENTS_PER_WRITER):
+                        if step % 3 == 2:
+                            connection.execute(
+                                f"INSERT INTO t VALUES ({index * 1000 + step}, {step})"
+                            )
+                        else:
+                            # vary the shape so the latency histogram grows labels
+                            connection.execute(f"SELECT a FROM t WHERE b >= {step % 5}")
+                    connection.refresh_cached_plans()
+            except Exception as error:  # pragma: no cover - the assertion target
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                while not stop_reading.is_set():
+                    metrics = database.metrics()
+                    histogram = metrics["histograms"]["repro_statement_seconds"]["values"]
+                    totals.append(sum(series["count"] for series in histogram.values()))
+                    database.stats()
+                    database.traces()
+                    database.events()
+                    parse_prometheus(database.prometheus_metrics())
+            except Exception as error:  # pragma: no cover - the assertion target
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(index,)) for index in range(WRITERS)
+        ]
+        scraper = threading.Thread(target=reader)
+        scraper.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_reading.set()
+        scraper.join()
+        handle.stop()
+
+        assert not errors, f"concurrent access raised: {errors!r}"
+
+        executed = WRITERS * STATEMENTS_PER_WRITER + SEED_STATEMENTS
+        counters = database.metrics_registry.to_dict()["counters"]
+        statement_counts = counters["repro_statements_total"]["values"]
+        # no lost updates: every statement is counted exactly once
+        assert sum(statement_counts.values()) == executed
+        assert statement_counts["select"] == WRITERS * 20
+        assert statement_counts["insert"] == WRITERS * 10 + 1  # +1 seed insert
+        assert database.stats()["statements"]["select"] == WRITERS * 20
+
+        # the reader saw the histogram total only ever grow
+        assert totals == sorted(totals)
+        final = database.metrics()["histograms"]["repro_statement_seconds"]["values"]
+        assert sum(series["count"] for series in final.values()) == executed
+
+        # every statement also left a slow-query event (threshold 0) and the
+        # ring of traces stayed bounded
+        assert database.event_log.count("slow_query") == executed
+        assert len(database.traces()) <= database.tracer.capacity

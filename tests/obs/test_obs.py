@@ -1,0 +1,248 @@
+"""Unit tests for the observability primitives (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    MAX_LABEL_VALUES,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+    parse_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.render import render_event, render_stats, render_trace
+from repro.obs.trace import (
+    Trace,
+    Tracer,
+    fanout_span,
+    install_fanout_sink,
+    remove_fanout_sink,
+    span,
+)
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.begin("SELECT 1") is None
+        assert tracer.finish(None) is None
+        assert tracer.traces() == []
+
+    def test_span_helper_is_noop_without_trace(self):
+        with span(None, "parse") as opened:
+            assert opened is None
+
+    def test_spans_nest_and_freeze(self):
+        tracer = Tracer(enabled=True)
+        trace = tracer.begin("SELECT 1", session="s-1")
+        with trace.span("plan") as plan:
+            plan.attributes["cost"] = 3.5
+            with trace.span("optimize"):
+                pass
+        with trace.span("execute"):
+            pass
+        snapshot = tracer.finish(trace)
+        assert snapshot["statement"] == "SELECT 1"
+        assert snapshot["session"] == "s-1"
+        assert snapshot["status"] == "ok"
+        children = snapshot["spans"]["children"]
+        assert [child["name"] for child in children] == ["plan", "execute"]
+        assert children[0]["attributes"] == {"cost": 3.5}
+        assert [grand["name"] for grand in children[0]["children"]] == ["optimize"]
+        assert snapshot["elapsed_ms"] >= 0.0
+
+    def test_error_status_and_ring_capacity(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for index in range(5):
+            trace = tracer.begin(f"SELECT {index}")
+            if index == 4:
+                trace.finish(status="error", error="boom")
+            tracer.finish(trace)
+        traces = tracer.traces()
+        assert len(traces) == 3  # ring keeps only the newest
+        assert traces[-1]["status"] == "error"
+        assert traces[-1]["error"] == "boom"
+        assert tracer.traces(limit=1)[0]["statement"] == "SELECT 4"
+        tracer.clear()
+        assert tracer.traces() == []
+
+    def test_post_hoc_spans_attach_under_parent(self):
+        trace = Trace("SELECT 1")
+        with trace.span("execute") as execute:
+            pass
+        trace.add_span("operator", 1.0, 1.5, attributes={"est_rows": "3"}, parent=execute)
+        child = trace.to_dict()["spans"]["children"][0]["children"][0]
+        assert child["name"] == "operator"
+        assert child["seconds"] == pytest.approx(0.5)
+        assert child["attributes"]["est_rows"] == "3"
+
+
+class TestFanoutSink:
+    def test_no_sink_is_noop(self):
+        remove_fanout_sink()
+        with fanout_span("morsel-fanout", morsels=4) as attrs:
+            assert attrs is None
+
+    def test_sink_collects_events_with_late_attributes(self):
+        sink = []
+        install_fanout_sink(sink)
+        try:
+            with fanout_span("shm-export", operator="scan#1") as attrs:
+                attrs["shm_bytes"] = 1024
+        finally:
+            remove_fanout_sink()
+        assert len(sink) == 1
+        event = sink[0]
+        assert event["name"] == "shm-export"
+        assert event["end"] >= event["start"]
+        assert event["attributes"] == {"operator": "scan#1", "shm_bytes": 1024}
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_statements_total", label="statement")
+        counter.inc(label="select")
+        counter.inc(2, label="select")
+        counter.inc(label="insert")
+        assert counter.value(label="select") == 3
+        assert counter.total() == 4
+        gauge = registry.gauge("repro_connections")
+        gauge.set(5)
+        gauge.dec()
+        assert gauge.value() == 4
+        histogram = registry.histogram("repro_latency_seconds")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        series = histogram.snapshot()[None]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(1.0)
+        assert series["p50"] == pytest.approx(0.2)
+        assert series["p99"] == pytest.approx(0.4)
+
+    def test_instruments_are_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+
+    def test_label_cardinality_cap(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("shapes", label="shape")
+        for index in range(MAX_LABEL_VALUES + 50):
+            counter.inc(label=f"shape-{index}")
+        values = counter.values()
+        assert len(values) == MAX_LABEL_VALUES + 1
+        assert values[OVERFLOW_LABEL] == 50
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("a b-c.d") == "a_b_c_d"
+        assert sanitize_metric_name("0abc").startswith("_")
+
+    def test_prometheus_round_trip(self):
+        """The acceptance-criterion round trip: export → parse → same values."""
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_statements_total", "Statements.", label="statement")
+        counter.inc(3, label="select")
+        counter.inc(label='we"ird\nlabel')
+        registry.gauge("repro_queue_depth", "Depth.").set(7)
+        histogram = registry.histogram("repro_latency_seconds", "Latency.")
+        histogram.observe(0.25)
+        histogram.observe(0.75)
+        registry.register_provider("plan_cache", lambda: {"hits": 11, "misses": 2})
+        text = registry.to_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed["families"]["repro_statements_total"] == "counter"
+        assert parsed["families"]["repro_queue_depth"] == "gauge"
+        assert parsed["families"]["repro_latency_seconds"] == "summary"
+        samples = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in parsed["samples"]
+        }
+        assert samples[("repro_statements_total", (("statement", "select"),))] == 3
+        assert samples[("repro_statements_total", (("statement", 'we"ird\nlabel'),))] == 1
+        assert samples[("repro_queue_depth", ())] == 7
+        assert samples[("repro_latency_seconds_count", ())] == 2
+        assert samples[("repro_latency_seconds_sum", ())] == pytest.approx(1.0)
+        assert samples[("repro_plan_cache_hits", ())] == 11
+        assert samples[("repro_plan_cache_misses", ())] == 2
+
+    def test_to_dict_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label="k").inc(label="v")
+        registry.histogram("h").observe(1.0)
+        registry.register_provider("p", lambda: {"nested": {"x": 1}})
+        json.dumps(registry.to_dict())
+
+
+class TestEventLog:
+    def test_record_filter_and_limit(self):
+        log = EventLog()
+        log.record("slow_query", statement="SELECT 1", elapsed_ms=12.0)
+        log.record("reoptimization", query="q1")
+        log.record("reoptimization", query="q2")
+        assert log.count() == 3
+        assert log.count("reoptimization") == 2
+        events = log.events(kind="reoptimization")
+        assert [event["query"] for event in events] == ["q1", "q2"]
+        assert [event["seq"] for event in events] == [2, 3]
+        assert log.events(limit=1)[0]["query"] == "q2"
+
+    def test_capacity_bounds_the_log(self):
+        log = EventLog(capacity=2)
+        for index in range(5):
+            log.record("slow_query", index=index)
+        events = log.events()
+        assert [event["index"] for event in events] == [3, 4]
+        # seq keeps counting even as old events fall off
+        assert events[-1]["seq"] == 5
+
+
+class TestRender:
+    def test_render_stats_nested_table(self):
+        text = render_stats(
+            {
+                "tables": {"t": 3, "u": 10},
+                "catalog_version": 4,
+                "plan_cache": {"hits": 1, "misses": 2, "entries": 1},
+                "empty": {},
+                "ratio": 0.251234567,
+            }
+        )
+        lines = text.splitlines()
+        assert "tables:" in lines[0]
+        assert "  t  3" in text
+        assert "plan_cache:" in text
+        assert "  hits     1" in text  # keys aligned to the widest sibling ("entries")
+        assert "(empty)" in text
+        assert "0.251235" in text  # floats via %.6g
+        assert "{" not in text  # no raw dict reprs anywhere
+
+    def test_render_trace(self):
+        tracer = Tracer(enabled=True)
+        trace = tracer.begin("SELECT 1", session="s-9")
+        with trace.span("execute", engine="vectorized"):
+            pass
+        snapshot = tracer.finish(trace)
+        text = render_trace(snapshot)
+        assert snapshot["trace_id"] in text
+        assert "status=ok" in text
+        assert "session=s-9" in text
+        assert "statement: SELECT 1" in text
+        assert "execute" in text and "engine=vectorized" in text
+
+    def test_render_event(self):
+        log = EventLog()
+        event = log.record(
+            "reoptimization",
+            query="q1",
+            plan_before="a\n  b",
+            deltas=[{"kind": "join-selectivity"}],
+        )
+        text = render_event(event)
+        assert text.startswith("#1  reoptimization")
+        assert "query: q1" in text
+        assert "    a" in text and "      b" in text  # multi-line block
+        assert "join-selectivity" in text

@@ -1,6 +1,7 @@
 """Tests for the repro-sql console entry point."""
 
 import io
+import re
 
 import pytest
 
@@ -175,8 +176,8 @@ class TestParameters:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert '"plan_cache"' in out
-        assert '"hits": 1' in out
+        assert "plan_cache:" in out
+        assert re.search(r"\bhits\s+1\b", out)
 
 
 class TestRunStatementCompat:
